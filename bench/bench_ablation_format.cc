@@ -1,0 +1,100 @@
+// Ablation E: Slice file format — TextFile (the paper's implementation) vs
+// RCFile (the paper's "easy to extend" claim, implemented). Compares index
+// build, storage footprint, and aggregation/group-by query cost over the
+// same data and grid.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "kv/mem_kv.h"
+#include "workload/query_gen.h"
+
+namespace dgf::bench {
+namespace {
+
+struct Variant {
+  const char* name;
+  table::FileFormat format;
+  std::shared_ptr<kv::KvStore> store;
+  std::unique_ptr<core::DgfIndex> index;
+  std::unique_ptr<query::QueryExecutor> executor;
+  double build_sim_s = 0;
+};
+
+void Run() {
+  MeterBench bench = MeterBench::Create("abl_format", DefaultMeterOptions());
+  std::printf("Ablation: DGF slice format (TextFile vs RCFile), %lld rows\n",
+              static_cast<long long>(bench.config().TotalRows()));
+
+  Variant variants[2] = {{"TextFile", table::FileFormat::kText, {}, {}, {}, 0},
+                         {"RCFile", table::FileFormat::kRcFile, {}, {}, {}, 0}};
+  for (Variant& v : variants) {
+    v.store = std::make_shared<kv::MemKv>();
+    core::DgfBuilder::Options options;
+    const int64_t interval = std::max<int64_t>(
+        1, bench.config().num_users / IntervalCount(IntervalClass::kMedium));
+    options.dims = {
+        {"userId", table::DataType::kInt64, 0, static_cast<double>(interval)},
+        {"regionId", table::DataType::kInt64, 0, 1},
+        {"time", table::DataType::kDate,
+         static_cast<double>(bench.config().start_day), 1}};
+    options.precompute = {"sum(powerConsumed)", "count(*)"};
+    options.data_dir = std::string("/warehouse/meterdata_dgf_fmt_") + v.name;
+    options.data_format = v.format;
+    options.job.cluster = bench.options().cluster;
+    options.job.worker_threads = bench.options().worker_threads;
+    exec::JobResult build;
+    v.index = CheckOk(core::DgfBuilder::Build(bench.dfs(), v.store,
+                                              bench.meter(), options, &build),
+                      "build");
+    v.build_sim_s = build.simulated_seconds;
+
+    query::QueryExecutor::Options exec_options;
+    exec_options.dfs = bench.dfs();
+    exec_options.cluster = bench.options().cluster;
+    exec_options.worker_threads = bench.options().worker_threads;
+    v.executor = std::make_unique<query::QueryExecutor>(exec_options);
+    v.executor->RegisterTable(bench.meter());
+    v.executor->RegisterDgfIndex(bench.meter().name, v.index.get());
+  }
+
+  TablePrinter table("Ablation E: slice format (medium intervals)",
+                     {"format", "slice data bytes", "build (sim s)",
+                      "agg 12% (sim s)", "group-by 12% (sim s)",
+                      "gb records read"});
+  for (Variant& v : variants) {
+    uint64_t data_bytes = 0;
+    for (const auto& file :
+         bench.dfs()->ListFiles(v.index->data_dir() + "/")) {
+      data_bytes += file.length;
+    }
+    query::Query agg = workload::MakeMeterQuery(
+        bench.config(), workload::MeterQueryKind::kAggregation,
+        workload::Selectivity::kTwelvePercent, 51);
+    auto agg_result = CheckOk(
+        v.executor->Execute(agg, query::AccessPath::kDgfIndex), "agg");
+    query::Query gb = workload::MakeMeterQuery(
+        bench.config(), workload::MeterQueryKind::kGroupBy,
+        workload::Selectivity::kTwelvePercent, 51);
+    auto gb_result =
+        CheckOk(v.executor->Execute(gb, query::AccessPath::kDgfIndex), "gb");
+    table.AddRow({v.name, HumanBytes(data_bytes), Seconds(v.build_sim_s),
+                  Seconds(agg_result.stats.total_seconds),
+                  Seconds(gb_result.stats.total_seconds),
+                  Count(gb_result.stats.records_read)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected: identical records read (same grid); RCFile trades a\n"
+      "per-group framing overhead at fine grids for columnar layout; both\n"
+      "formats answer identically (asserted by tests).\n");
+}
+
+}  // namespace
+}  // namespace dgf::bench
+
+int main() {
+  dgf::bench::Run();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Reproduces Figures 8-10: aggregation query time (Listing 4) at point, 5%,
+// and 12% selectivity, for the three DGF interval classes, against the
+// Compact Index and HadoopDB, with the paper's "read index and other" vs
+// "read data and process" breakdown. The ScanTable baseline is printed once
+// per selectivity.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workload/query_gen.h"
+
+namespace dgf::bench {
+namespace {
+
+using workload::MeterQueryKind;
+using workload::Selectivity;
+
+void Run() {
+  MeterBench bench = MeterBench::Create("fig08_10", DefaultMeterOptions());
+  std::printf("Figures 8-10 reproduction: aggregation query, %lld rows\n",
+              static_cast<long long>(bench.config().TotalRows()));
+
+  auto scan_exec = bench.MakeScanExecutor();
+  auto compact_exec = bench.MakeCompactExecutor();
+  auto* hadoop = bench.HadoopDb();
+
+  const Selectivity kSelectivities[] = {
+      Selectivity::kPoint, Selectivity::kFivePercent,
+      Selectivity::kTwelvePercent};
+  const char* kFigure[] = {"Figure 8 (point)", "Figure 9 (5%)",
+                           "Figure 10 (12%)"};
+
+  for (int s = 0; s < 3; ++s) {
+    const Selectivity sel = kSelectivities[s];
+    query::Query q = workload::MakeMeterQuery(
+        bench.config(), MeterQueryKind::kAggregation, sel, 11);
+
+    TablePrinter table(
+        std::string(kFigure[s]) + ": aggregation query cost (simulated s)",
+        {"system", "read index+other", "read data+process", "total",
+         "records read", "matched"});
+
+    auto scan = CheckOk(
+        scan_exec->Execute(q, query::AccessPath::kFullScan), "scan");
+    const double scan_total = scan.stats.total_seconds;
+
+    for (IntervalClass c : {IntervalClass::kLarge, IntervalClass::kMedium,
+                            IntervalClass::kSmall}) {
+      auto exec = bench.MakeDgfExecutor(c);
+      auto dgf = CheckOk(exec->Execute(q, query::AccessPath::kDgfIndex),
+                         "dgf query");
+      table.AddRow({std::string("DGF-") + IntervalClassName(c),
+                    Seconds(dgf.stats.index_seconds),
+                    Seconds(dgf.stats.data_seconds),
+                    Seconds(dgf.stats.total_seconds),
+                    Count(dgf.stats.records_read),
+                    Count(dgf.stats.records_matched)});
+    }
+    auto compact = CheckOk(
+        compact_exec->Execute(q, query::AccessPath::kCompactIndex), "compact");
+    table.AddRow({"Compact (2-dim)", Seconds(compact.stats.index_seconds),
+                  Seconds(compact.stats.data_seconds),
+                  Seconds(compact.stats.total_seconds),
+                  Count(compact.stats.records_read),
+                  Count(compact.stats.records_matched)});
+
+    auto hdb = CheckOk(hadoop->Execute(q), "hadoopdb");
+    table.AddRow({"HadoopDB", Seconds(hdb.stats.mr_seconds),
+                  Seconds(hdb.stats.db_seconds),
+                  Seconds(hdb.stats.total_seconds),
+                  Count(hdb.stats.rows_examined),
+                  Count(hdb.stats.rows_matched)});
+
+    table.AddRow({"ScanTable", Seconds(0.0),
+                  Seconds(scan.stats.data_seconds), Seconds(scan_total),
+                  Count(scan.stats.records_read),
+                  Count(scan.stats.records_matched)});
+    table.Print();
+  }
+  std::printf(
+      "\nPaper shape: DGF time is nearly flat across selectivities\n"
+      "(pre-aggregated inner region); Compact and HadoopDB degrade toward\n"
+      "ScanTable as selectivity grows.\n");
+}
+
+}  // namespace
+}  // namespace dgf::bench
+
+int main() {
+  dgf::bench::Run();
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Micro-benchmarks (google-benchmark) of the hot primitives under the
+// DGFIndex implementation: key encoding, cell standardization, KV store
+// operations, B-tree inserts/scans, and the makespan simulator. These are
+// the constants behind the macro benches' cost model.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/encoding.h"
+#include "common/random.h"
+#include "dgf/gfu.h"
+#include "dgf/splitting_policy.h"
+#include "exec/cluster.h"
+#include "hadoopdb/btree.h"
+#include "kv/mem_kv.h"
+#include "table/schema.h"
+#include "table/value.h"
+
+namespace dgf {
+namespace {
+
+void BM_GfuKeyEncode(benchmark::State& state) {
+  core::GfuKey key{{123, 7, 15704}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.Encode());
+  }
+}
+BENCHMARK(BM_GfuKeyEncode);
+
+void BM_GfuKeyDecode(benchmark::State& state) {
+  const std::string encoded = core::GfuKey{{123, 7, 15704}}.Encode();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::GfuKey::Decode(encoded, 3));
+  }
+}
+BENCHMARK(BM_GfuKeyDecode);
+
+void BM_CellStandardization(benchmark::State& state) {
+  table::Schema schema({{"userId", table::DataType::kInt64},
+                        {"regionId", table::DataType::kInt64},
+                        {"time", table::DataType::kDate}});
+  auto policy = core::SplittingPolicy::Create(
+      {{"userId", table::DataType::kInt64, 0, 1400},
+       {"regionId", table::DataType::kInt64, 0, 1},
+       {"time", table::DataType::kDate, 15675, 1}},
+      schema);
+  Random rng(1);
+  const auto value = table::Value::Int64(rng.UniformRange(0, 14000000));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->CellOf(0, value));
+  }
+}
+BENCHMARK(BM_CellStandardization);
+
+void BM_MemKvPut(benchmark::State& state) {
+  kv::MemKv store;
+  Random rng(2);
+  std::string value(64, 'v');
+  int64_t i = 0;
+  for (auto _ : state) {
+    std::string key;
+    PutOrderedInt64(&key, i++);
+    benchmark::DoNotOptimize(store.Put(key, value));
+  }
+}
+BENCHMARK(BM_MemKvPut);
+
+void BM_MemKvGet(benchmark::State& state) {
+  kv::MemKv store;
+  for (int64_t i = 0; i < 10000; ++i) {
+    std::string key;
+    PutOrderedInt64(&key, i);
+    (void)store.Put(key, "value");
+  }
+  Random rng(3);
+  for (auto _ : state) {
+    std::string key;
+    PutOrderedInt64(&key, rng.UniformRange(0, 9999));
+    benchmark::DoNotOptimize(store.Get(key));
+  }
+}
+BENCHMARK(BM_MemKvGet);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  hadoopdb::BTree tree;
+  Random rng(4);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    std::string key;
+    PutOrderedInt64(&key, static_cast<int64_t>(rng.Next() % 1000000));
+    tree.Insert(key, i++);
+  }
+}
+BENCHMARK(BM_BTreeInsert);
+
+void BM_BTreeRangeScan(benchmark::State& state) {
+  hadoopdb::BTree tree;
+  for (int64_t i = 0; i < 100000; ++i) {
+    std::string key;
+    PutOrderedInt64(&key, i);
+    tree.Insert(key, static_cast<uint64_t>(i));
+  }
+  std::string lo, hi;
+  PutOrderedInt64(&lo, 40000);
+  PutOrderedInt64(&hi, 40000 + state.range(0));
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (auto it = tree.Range(lo, hi); it.Valid(); it.Next()) sum += it.value();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeRangeScan)->Arg(100)->Arg(10000);
+
+void BM_SimulateMakespan(benchmark::State& state) {
+  Random rng(5);
+  std::vector<double> tasks;
+  for (int i = 0; i < state.range(0); ++i) {
+    tasks.push_back(rng.UniformDouble(1.0, 10.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec::SimulateMakespan(tasks, 140));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulateMakespan)->Arg(1000)->Arg(100000);
+
+void BM_RowTextRoundTrip(benchmark::State& state) {
+  table::Schema schema({{"userId", table::DataType::kInt64},
+                        {"regionId", table::DataType::kInt64},
+                        {"time", table::DataType::kDate},
+                        {"powerConsumed", table::DataType::kDouble}});
+  table::Row row = {table::Value::Int64(12345), table::Value::Int64(7),
+                    table::Value::Date(15704), table::Value::Double(123.456)};
+  for (auto _ : state) {
+    const std::string line = table::FormatRowText(row);
+    benchmark::DoNotOptimize(table::ParseRowText(line, schema));
+  }
+}
+BENCHMARK(BM_RowTextRoundTrip);
+
+}  // namespace
+}  // namespace dgf
+
+BENCHMARK_MAIN();

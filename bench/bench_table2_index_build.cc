@@ -1,0 +1,73 @@
+// Reproduces Table 2: index size and construction time on the meter data.
+//
+// Rows: Compact-3D (RCFile), Compact-2D (RCFile), DGF-Large, DGF-Medium,
+// DGF-Small. Construction time is the simulated cluster duration of the
+// build job; size is the real on-disk/in-store footprint. Expected shape:
+// the 3-dim Compact index is comparable to the base table itself; DGF
+// indexes are orders of magnitude smaller and shrink as intervals grow;
+// DGF construction costs more than Compact construction (full data
+// reorganization through the shuffle).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+
+namespace dgf::bench {
+namespace {
+
+void Run() {
+  MeterBench bench = MeterBench::Create("table2", DefaultMeterOptions());
+  const auto base_bytes =
+      CheckOk(table::TableDataBytes(bench.dfs(), bench.meter()), "base bytes");
+  std::printf("Table 2 reproduction: %lld rows, base table %s (TextFile)\n",
+              static_cast<long long>(bench.config().TotalRows()),
+              HumanBytes(base_bytes).c_str());
+
+  TablePrinter table(
+      "Table 2: index size and construction time",
+      {"index", "base format", "dims", "size", "size/base",
+       "construction (sim s)"});
+
+  {
+    exec::JobResult build;
+    auto* compact3 = bench.Compact3(&build);
+    const uint64_t size = CheckOk(compact3->IndexSizeBytes(), "size");
+    table.AddRow({"Compact", "RCFile", "3", HumanBytes(size),
+                  StringPrintf("%.3f", static_cast<double>(size) / base_bytes),
+                  Seconds(build.simulated_seconds)});
+  }
+  {
+    exec::JobResult build;
+    auto* compact2 = bench.Compact(&build);
+    const uint64_t size = CheckOk(compact2->IndexSizeBytes(), "size");
+    table.AddRow({"Compact", "RCFile", "2", HumanBytes(size),
+                  StringPrintf("%.3f", static_cast<double>(size) / base_bytes),
+                  Seconds(build.simulated_seconds)});
+  }
+  for (IntervalClass c : {IntervalClass::kLarge, IntervalClass::kMedium,
+                          IntervalClass::kSmall}) {
+    exec::JobResult build;
+    auto* dgf = bench.Dgf(c, &build);
+    const uint64_t size = CheckOk(dgf->IndexSizeBytes(), "size");
+    const uint64_t gfus = CheckOk(dgf->NumGfus(), "gfus");
+    table.AddRow({StringPrintf("DGF-%s (%s GFUs)", IntervalClassName(c),
+                               Count(gfus).c_str()),
+                  "TextFile", "3", HumanBytes(size),
+                  StringPrintf("%.5f", static_cast<double>(size) / base_bytes),
+                  Seconds(build.simulated_seconds)});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape: Compact-3D ~ base-table sized; DGF indexes are MBs;\n"
+      "finer intervals -> more GFUs -> larger DGF index; DGF construction\n"
+      "slower than Compact (reorganization shuffles all data).\n");
+}
+
+}  // namespace
+}  // namespace dgf::bench
+
+int main() {
+  dgf::bench::Run();
+  return 0;
+}

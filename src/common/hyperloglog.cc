@@ -1,0 +1,73 @@
+#include "common/hyperloglog.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dgf {
+
+HyperLogLog::HyperLogLog(int precision) : precision_(precision) {
+  assert(precision >= 4 && precision <= 16);
+  precision_ = std::clamp(precision, 4, 16);
+  registers_.assign(size_t{1} << precision_, 0);
+}
+
+uint64_t HyperLogLog::Hash(std::string_view item) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : item) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  // Finalizer: FNV output alone is too regular for the leading-zero test.
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  h *= 0xC4CEB9FE1A85EC53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+void HyperLogLog::AddHash(uint64_t hash) {
+  const uint64_t index = hash >> (64 - precision_);
+  const uint64_t rest = hash << precision_;
+  // Rank = position of the leftmost 1-bit in the remaining bits (1-based).
+  const int rank =
+      rest == 0 ? (64 - precision_ + 1) : (__builtin_clzll(rest) + 1);
+  auto& reg = registers_[static_cast<size_t>(index)];
+  reg = std::max<uint8_t>(reg, static_cast<uint8_t>(rank));
+}
+
+double HyperLogLog::Estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  double alpha;
+  if (registers_.size() == 16) {
+    alpha = 0.673;
+  } else if (registers_.size() == 32) {
+    alpha = 0.697;
+  } else if (registers_.size() == 64) {
+    alpha = 0.709;
+  } else {
+    alpha = 0.7213 / (1.0 + 1.079 / m);
+  }
+  double sum = 0;
+  int zeros = 0;
+  for (uint8_t reg : registers_) {
+    sum += std::ldexp(1.0, -reg);
+    if (reg == 0) ++zeros;
+  }
+  double estimate = alpha * m * m / sum;
+  // Small-range correction (linear counting).
+  if (estimate <= 2.5 * m && zeros > 0) {
+    estimate = m * std::log(m / static_cast<double>(zeros));
+  }
+  return estimate;
+}
+
+void HyperLogLog::Merge(const HyperLogLog& other) {
+  assert(precision_ == other.precision_);
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+}
+
+}  // namespace dgf

@@ -1,0 +1,73 @@
+#ifndef DGF_COMMON_LOGGING_H_
+#define DGF_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace dgf {
+
+/// Severity levels for the lightweight logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kFatal = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+/// Defaults to kInfo; tests lower it to kWarn to keep output quiet.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Collects one log line and emits it (to stderr) on destruction.
+/// kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace dgf
+
+#define DGF_LOG_ENABLED(level) \
+  (::dgf::LogLevel::level >= ::dgf::GetLogLevel())
+
+#define DGF_LOG(level)                                                \
+  if (!DGF_LOG_ENABLED(level)) {                                      \
+  } else                                                              \
+    ::dgf::internal::LogMessage(::dgf::LogLevel::level, __FILE__, __LINE__) \
+        .stream()
+
+/// Checks an invariant in all build types; logs and aborts on failure.
+#define DGF_CHECK(cond)                                                      \
+  if (cond) {                                                                \
+  } else                                                                     \
+    ::dgf::internal::LogMessage(::dgf::LogLevel::kFatal, __FILE__, __LINE__) \
+            .stream()                                                        \
+        << "Check failed: " #cond " "
+
+#define DGF_CHECK_OK(expr)                                   \
+  do {                                                       \
+    ::dgf::Status _st = (expr);                              \
+    DGF_CHECK(_st.ok()) << _st.ToString();                   \
+  } while (0)
+
+#endif  // DGF_COMMON_LOGGING_H_

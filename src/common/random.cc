@@ -1,0 +1,35 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace dgf {
+namespace {
+
+double Zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  zetan_ = Zeta(n_, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  const double zeta2 = Zeta(2, theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+uint64_t ZipfGenerator::Next() {
+  // Gray et al. "Quickly generating billion-record synthetic databases".
+  const double u = rng_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  return static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+}
+
+}  // namespace dgf

@@ -1,0 +1,78 @@
+#ifndef DGF_COMMON_RANDOM_H_
+#define DGF_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dgf {
+
+/// Deterministic PRNG (xorshift128+) used by all workload generators, so that
+/// every dataset and test is reproducible from an explicit seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // SplitMix64 seeding avoids poor low-entropy seeds.
+    uint64_t z = seed + 0x9E3779B97F4A7C15ULL;
+    for (uint64_t* s : {&s0_, &s1_}) {
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      *s = z ^ (z >> 31);
+      z += 0x9E3779B97F4A7C15ULL;
+    }
+    if (s0_ == 0 && s1_ == 0) s0_ = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+ private:
+  uint64_t s0_ = 0;
+  uint64_t s1_ = 0;
+};
+
+/// Zipf-distributed generator over [0, n) with skew `theta` in (0, 1).
+/// Used for optional region skew in the meter-data generator.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed);
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Random rng_;
+};
+
+}  // namespace dgf
+
+#endif  // DGF_COMMON_RANDOM_H_

@@ -1,0 +1,65 @@
+#ifndef DGF_COMMON_RESULT_H_
+#define DGF_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace dgf {
+
+/// A value-or-error holder, the value-producing counterpart of `Status`.
+///
+/// A `Result<T>` is either OK and holds a `T`, or holds a non-OK `Status`.
+/// Accessing `value()` on an error result aborts in debug builds, so callers
+/// must check `ok()` (or use DGF_ASSIGN_OR_RETURN).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value makes `return value;` work.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status makes
+  /// `return Status::NotFound(...);` work. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) status_ = Status::Internal("Result from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; OK when a value is present.
+  const Status& status() const& { return status_; }
+  Status status() && { return std::move(status_); }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` if this holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace dgf
+
+#endif  // DGF_COMMON_RESULT_H_

@@ -1,0 +1,104 @@
+#ifndef DGF_COMMON_STATUS_H_
+#define DGF_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace dgf {
+
+/// Error categories used across the library. Mirrors the RocksDB/Arrow
+/// convention of returning rich status objects instead of throwing.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kIOError,
+  kCorruption,
+  kNotSupported,
+  kOutOfRange,
+  kInternal,
+};
+
+/// Outcome of an operation: either OK or an error code plus message.
+///
+/// Library functions that can fail return `Status` (or `Result<T>` when they
+/// also produce a value). `Status` is cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "IOError: disk full".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Returns a short name for `code`, e.g. "NotFound".
+const char* StatusCodeName(StatusCode code);
+
+}  // namespace dgf
+
+/// Propagates an error status from the current function.
+#define DGF_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::dgf::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Evaluates a Result<T> expression and assigns the value, or propagates
+/// the error. `lhs` must be a declaration, e.g.
+///   DGF_ASSIGN_OR_RETURN(auto file, fs->Open(path));
+#define DGF_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  DGF_ASSIGN_OR_RETURN_IMPL_(DGF_CONCAT_(_dgf_res, __LINE__), lhs, rexpr)
+
+#define DGF_CONCAT_INNER_(a, b) a##b
+#define DGF_CONCAT_(a, b) DGF_CONCAT_INNER_(a, b)
+
+#define DGF_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#endif  // DGF_COMMON_STATUS_H_

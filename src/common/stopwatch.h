@@ -1,0 +1,35 @@
+#ifndef DGF_COMMON_STOPWATCH_H_
+#define DGF_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace dgf {
+
+/// Wall-clock stopwatch used by the benchmark harness and the MiniMR engine.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dgf
+
+#endif  // DGF_COMMON_STOPWATCH_H_

@@ -1,0 +1,44 @@
+#ifndef DGF_COMMON_STRING_UTIL_H_
+#define DGF_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dgf {
+
+/// Splits `input` on `delim`, keeping empty fields. Never fails.
+std::vector<std::string_view> SplitString(std::string_view input, char delim);
+
+/// Joins `parts` with `delim`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view delim);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view TrimString(std::string_view input);
+
+/// Strict integer parse of the full string (optionally signed decimal).
+Result<int64_t> ParseInt64(std::string_view input);
+
+/// Strict floating-point parse of the full string.
+Result<double> ParseDouble(std::string_view input);
+
+/// True if `value` starts with `prefix`.
+bool StartsWith(std::string_view value, std::string_view prefix);
+
+/// Renders a byte count as a human-readable string, e.g. "3.2 MB".
+std::string HumanBytes(uint64_t bytes);
+
+/// Renders `n` with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string WithCommas(int64_t n);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace dgf
+
+#endif  // DGF_COMMON_STRING_UTIL_H_

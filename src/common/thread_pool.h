@@ -1,0 +1,49 @@
+#ifndef DGF_COMMON_THREAD_POOL_H_
+#define DGF_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dgf {
+
+/// Fixed-size worker pool used by the MiniMR engine to run map/reduce tasks.
+///
+/// Tasks are plain `std::function<void()>`. `WaitIdle()` blocks until every
+/// submitted task has finished, which is how a MapReduce phase barrier is
+/// implemented. The pool is neither copyable nor movable.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void WaitIdle();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace dgf
+
+#endif  // DGF_COMMON_THREAD_POOL_H_

@@ -1,0 +1,220 @@
+#include "dgf/aggregators.h"
+
+#include <algorithm>
+#include <cctype>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace dgf::core {
+namespace {
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+}  // namespace
+
+const char* AggFuncName(AggFunc func) {
+  switch (func) {
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+    case AggFunc::kSumProduct:
+      return "sum";  // rendered as sum(a*b)
+    case AggFunc::kAvg:
+      return "avg";
+  }
+  return "?";
+}
+
+std::string AggSpec::ToString() const {
+  if (func == AggFunc::kCount && column_a.empty()) return "count(*)";
+  if (func == AggFunc::kSumProduct) {
+    return "sum(" + ToLower(column_a) + "*" + ToLower(column_b) + ")";
+  }
+  return std::string(AggFuncName(func)) + "(" + ToLower(column_a) + ")";
+}
+
+Result<AggSpec> AggSpec::Parse(std::string_view text) {
+  const std::string lower = ToLower(TrimString(text));
+  const size_t open = lower.find('(');
+  const size_t close = lower.rfind(')');
+  if (open == std::string::npos || close != lower.size() - 1 || close <= open) {
+    return Status::InvalidArgument("bad aggregation: " + std::string(text));
+  }
+  const std::string name = lower.substr(0, open);
+  const std::string arg = lower.substr(open + 1, close - open - 1);
+  AggSpec spec;
+  if (name == "count") {
+    spec.func = AggFunc::kCount;
+    if (arg != "*") spec.column_a = arg;
+    return spec;
+  }
+  if (name == "min") {
+    spec.func = AggFunc::kMin;
+  } else if (name == "max") {
+    spec.func = AggFunc::kMax;
+  } else if (name == "sum") {
+    const size_t star = arg.find('*');
+    if (star != std::string::npos) {
+      spec.func = AggFunc::kSumProduct;
+      spec.column_a = std::string(TrimString(arg.substr(0, star)));
+      spec.column_b = std::string(TrimString(arg.substr(star + 1)));
+      if (spec.column_a.empty() || spec.column_b.empty()) {
+        return Status::InvalidArgument("bad sum-of-products: " +
+                                       std::string(text));
+      }
+      return spec;
+    }
+    spec.func = AggFunc::kSum;
+  } else if (name == "avg") {
+    spec.func = AggFunc::kAvg;
+  } else {
+    return Status::InvalidArgument("unknown aggregation: " + name);
+  }
+  spec.column_a = std::string(TrimString(arg));
+  if (spec.column_a.empty()) {
+    return Status::InvalidArgument("missing column: " + std::string(text));
+  }
+  return spec;
+}
+
+Result<AggregatorList> AggregatorList::Create(std::vector<AggSpec> specs,
+                                              const table::Schema& schema) {
+  std::vector<int> col_a(specs.size(), -1);
+  std::vector<int> col_b(specs.size(), -1);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const AggSpec& spec = specs[i];
+    if (spec.func == AggFunc::kAvg) {
+      return Status::InvalidArgument(
+          "avg is not additive; expand to sum/count before building "
+          "aggregators (the query executor does this)");
+    }
+    if (!spec.column_a.empty()) {
+      DGF_ASSIGN_OR_RETURN(col_a[i], schema.FieldIndex(spec.column_a));
+      if (schema.field(col_a[i]).type == table::DataType::kString &&
+          spec.func != AggFunc::kCount) {
+        return Status::InvalidArgument("cannot aggregate string column " +
+                                       spec.column_a);
+      }
+    }
+    if (spec.func == AggFunc::kSumProduct) {
+      DGF_ASSIGN_OR_RETURN(col_b[i], schema.FieldIndex(spec.column_b));
+      if (schema.field(col_b[i]).type == table::DataType::kString) {
+        return Status::InvalidArgument("cannot multiply string column " +
+                                       spec.column_b);
+      }
+    }
+  }
+  return AggregatorList(std::move(specs), std::move(col_a), std::move(col_b));
+}
+
+Result<int> AggregatorList::IndexOf(const AggSpec& spec) const {
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    if (specs_[i] == spec) return static_cast<int>(i);
+  }
+  return Status::NotFound("aggregation not precomputed: " + spec.ToString());
+}
+
+std::vector<double> AggregatorList::Identity() const {
+  std::vector<double> header;
+  header.reserve(specs_.size());
+  for (const AggSpec& spec : specs_) {
+    switch (spec.func) {
+      case AggFunc::kSum:
+      case AggFunc::kCount:
+      case AggFunc::kSumProduct:
+        header.push_back(0.0);
+        break;
+      case AggFunc::kMin:
+        header.push_back(std::numeric_limits<double>::infinity());
+        break;
+      case AggFunc::kMax:
+        header.push_back(-std::numeric_limits<double>::infinity());
+        break;
+      case AggFunc::kAvg:
+        header.push_back(0.0);  // unreachable: Create rejects kAvg
+        break;
+    }
+  }
+  return header;
+}
+
+void AggregatorList::Update(std::vector<double>* header,
+                            const table::Row& row) const {
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    double& acc = (*header)[i];
+    switch (specs_[i].func) {
+      case AggFunc::kCount:
+        acc += 1.0;
+        break;
+      case AggFunc::kSum:
+        acc += row[static_cast<size_t>(col_a_[i])].AsDouble();
+        break;
+      case AggFunc::kSumProduct:
+        acc += row[static_cast<size_t>(col_a_[i])].AsDouble() *
+               row[static_cast<size_t>(col_b_[i])].AsDouble();
+        break;
+      case AggFunc::kMin:
+        acc = std::min(acc, row[static_cast<size_t>(col_a_[i])].AsDouble());
+        break;
+      case AggFunc::kMax:
+        acc = std::max(acc, row[static_cast<size_t>(col_a_[i])].AsDouble());
+        break;
+      case AggFunc::kAvg:
+        break;  // unreachable: Create rejects kAvg
+    }
+  }
+}
+
+void AggregatorList::Merge(std::vector<double>* acc,
+                           const std::vector<double>& delta) const {
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    switch (specs_[i].func) {
+      case AggFunc::kSum:
+      case AggFunc::kCount:
+      case AggFunc::kSumProduct:
+        (*acc)[i] += delta[i];
+        break;
+      case AggFunc::kMin:
+        (*acc)[i] = std::min((*acc)[i], delta[i]);
+        break;
+      case AggFunc::kMax:
+        (*acc)[i] = std::max((*acc)[i], delta[i]);
+        break;
+      case AggFunc::kAvg:
+        break;  // unreachable: Create rejects kAvg
+    }
+  }
+}
+
+std::string AggregatorList::Serialize() const {
+  std::string out;
+  for (const AggSpec& spec : specs_) {
+    out += spec.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+Result<AggregatorList> AggregatorList::Deserialize(
+    std::string_view data, const table::Schema& schema) {
+  std::vector<AggSpec> specs;
+  for (std::string_view line : SplitString(data, '\n')) {
+    if (TrimString(line).empty()) continue;
+    DGF_ASSIGN_OR_RETURN(AggSpec spec, AggSpec::Parse(line));
+    specs.push_back(std::move(spec));
+  }
+  return Create(std::move(specs), schema);
+}
+
+}  // namespace dgf::core

@@ -1,0 +1,95 @@
+#ifndef DGF_DGF_AGGREGATORS_H_
+#define DGF_DGF_AGGREGATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/schema.h"
+
+namespace dgf::core {
+
+/// Additive aggregate functions precomputable per GFU.
+///
+/// These are the paper's "UDFs (need to be additive functions)": each has an
+/// identity element and an associative merge, so per-slice headers can be
+/// combined into per-region results without touching the data.
+enum class AggFunc {
+  kSum,
+  kCount,
+  kMin,
+  kMax,
+  kSumProduct,
+  /// avg is NOT additive: AggregatorList rejects it. The query executor
+  /// expands avg(c) into sum(c)/count(*) before building aggregators, so it
+  /// exists only at the query surface.
+  kAvg,
+};
+
+const char* AggFuncName(AggFunc func);
+
+/// One aggregation specification, e.g. sum(powerConsumed) or
+/// sum(l_extendedprice*l_discount).
+struct AggSpec {
+  AggFunc func = AggFunc::kCount;
+  std::string column_a;  // empty for count(*)
+  std::string column_b;  // second factor for kSumProduct
+
+  /// Canonical text form, e.g. "sum(powerconsumed)"; used to match a query's
+  /// requested aggregation against the precomputed list.
+  std::string ToString() const;
+
+  /// Parses "sum(col)", "count(*)" / "count(col)", "min(col)", "max(col)",
+  /// "avg(col)" is rejected here (derive it from sum+count at query level),
+  /// and "sum(a*b)" as a sum-of-products.
+  static Result<AggSpec> Parse(std::string_view text);
+
+  friend bool operator==(const AggSpec& a, const AggSpec& b) {
+    return a.func == b.func && a.column_a == b.column_a &&
+           a.column_b == b.column_b;
+  }
+};
+
+/// A resolved, ordered list of aggregators over a concrete schema; header
+/// vectors (std::vector<double>) are positionally matched to this list.
+class AggregatorList {
+ public:
+  /// Resolves column references; fails on unknown or non-numeric columns.
+  static Result<AggregatorList> Create(std::vector<AggSpec> specs,
+                                       const table::Schema& schema);
+
+  int size() const { return static_cast<int>(specs_.size()); }
+  const std::vector<AggSpec>& specs() const { return specs_; }
+
+  /// Position of `spec` in the list, or NotFound.
+  Result<int> IndexOf(const AggSpec& spec) const;
+
+  /// Identity header (the value of an empty record set).
+  std::vector<double> Identity() const;
+
+  /// Folds one row into `header`.
+  void Update(std::vector<double>* header, const table::Row& row) const;
+
+  /// Merges `delta` into `acc` (both must have size() entries).
+  void Merge(std::vector<double>* acc, const std::vector<double>& delta) const;
+
+  /// Serializes the spec list for index metadata.
+  std::string Serialize() const;
+  static Result<AggregatorList> Deserialize(std::string_view data,
+                                            const table::Schema& schema);
+
+ private:
+  AggregatorList(std::vector<AggSpec> specs, std::vector<int> col_a,
+                 std::vector<int> col_b)
+      : specs_(std::move(specs)),
+        col_a_(std::move(col_a)),
+        col_b_(std::move(col_b)) {}
+
+  std::vector<AggSpec> specs_;
+  std::vector<int> col_a_;  // -1 when unused (count(*))
+  std::vector<int> col_b_;
+};
+
+}  // namespace dgf::core
+
+#endif  // DGF_DGF_AGGREGATORS_H_

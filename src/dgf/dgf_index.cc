@@ -1,0 +1,330 @@
+#include "dgf/dgf_index.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "dgf/dgf_input_format.h"
+#include "table/text_format.h"
+
+namespace dgf::core {
+namespace {
+
+using table::DataType;
+using table::Value;
+
+// Upper bound on the number of cells a single lookup may enumerate; a box
+// larger than this means the splitting policy is far too fine for the query
+// pattern (the paper's policy-choice discussion) and we fail loudly instead
+// of grinding.
+constexpr uint64_t kMaxLookupCells = 8ULL << 20;
+
+}  // namespace
+
+Result<std::unique_ptr<DgfIndex>> DgfIndex::Open(
+    std::shared_ptr<fs::MiniDfs> dfs, std::shared_ptr<kv::KvStore> store,
+    table::Schema schema) {
+  DGF_ASSIGN_OR_RETURN(std::string policy_text, store->Get(kMetaPolicyKey));
+  DGF_ASSIGN_OR_RETURN(SplittingPolicy policy,
+                       SplittingPolicy::Deserialize(policy_text));
+  DGF_ASSIGN_OR_RETURN(std::string aggs_text, store->Get(kMetaAggsKey));
+  DGF_ASSIGN_OR_RETURN(AggregatorList aggs,
+                       AggregatorList::Deserialize(aggs_text, schema));
+  DGF_ASSIGN_OR_RETURN(std::string data_dir, store->Get(kMetaDataDirKey));
+  table::FileFormat format = table::FileFormat::kText;
+  if (auto format_text = store->Get(kMetaDataFormatKey);
+      format_text.ok() && *format_text == "rcfile") {
+    format = table::FileFormat::kRcFile;
+  }
+  return std::unique_ptr<DgfIndex>(new DgfIndex(
+      std::move(dfs), std::move(store), std::move(schema), std::move(policy),
+      std::move(aggs), std::move(data_dir), format));
+}
+
+table::TableDesc DgfIndex::DataDesc() const {
+  table::TableDesc desc;
+  desc.name = "__dgf_data__";
+  desc.schema = schema_;
+  desc.format = data_format_;
+  desc.dir = data_dir_;
+  return desc;
+}
+
+Result<uint64_t> DgfIndex::NumGfus() const {
+  uint64_t count = 0;
+  auto it = store_->NewIterator();
+  const std::string prefix(1, kGfuKeyPrefix);
+  for (it->Seek(prefix); it->Valid(); it->Next()) {
+    if (it->key().empty() || it->key().front() != kGfuKeyPrefix) break;
+    ++count;
+  }
+  return count;
+}
+
+Result<GfuValue> DgfIndex::GetGfu(const GfuKey& key) const {
+  DGF_ASSIGN_OR_RETURN(std::string encoded, store_->Get(key.Encode()));
+  return GfuValue::Decode(encoded);
+}
+
+Result<int64_t> DgfIndex::MetaCell(const std::string& prefix, int dim) const {
+  DGF_ASSIGN_OR_RETURN(std::string text,
+                       store_->Get(prefix + std::to_string(dim)));
+  return ParseInt64(text);
+}
+
+bool DgfIndex::CoversAggregations(const std::vector<AggSpec>& requested) const {
+  for (const AggSpec& spec : requested) {
+    if (!aggs_.IndexOf(spec).ok()) return false;
+  }
+  return !requested.empty();
+}
+
+Result<DgfIndex::CellRange> DgfIndex::DimCellRange(
+    int dim, const query::Predicate& pred, uint64_t* kv_gets) const {
+  const DimensionPolicy& dp = policy_.dim(dim);
+  const query::ColumnRange* range = pred.FindColumn(dp.column);
+
+  CellRange out;
+  // Stored domain of this dimension (cells observed at build time). Also the
+  // completion for missing predicate dimensions — the paper's partial query
+  // handling fetches these from the KV store.
+  DGF_ASSIGN_OR_RETURN(const int64_t min_cell, MetaCell(kMetaDimMinPrefix, dim));
+  DGF_ASSIGN_OR_RETURN(const int64_t max_cell, MetaCell(kMetaDimMaxPrefix, dim));
+  *kv_gets += 2;
+
+  if (range == nullptr ||
+      (!range->lower.has_value() && !range->upper.has_value())) {
+    // Unconstrained: whole domain, and every cell is inner on this axis.
+    out.lo = out.inner_lo = min_cell;
+    out.hi = out.inner_hi = max_cell;
+    return out;
+  }
+
+  if (dp.type == DataType::kDouble) {
+    // Real-valued dimension: work with the bound values directly.
+    double lo_value = -std::numeric_limits<double>::infinity();
+    bool lo_inclusive = true;
+    double hi_value = std::numeric_limits<double>::infinity();
+    bool hi_inclusive = true;
+    if (range->lower.has_value()) {
+      lo_value = range->lower->value.AsDouble();
+      lo_inclusive = range->lower->inclusive;
+    }
+    if (range->upper.has_value()) {
+      hi_value = range->upper->value.AsDouble();
+      hi_inclusive = range->upper->inclusive;
+    }
+    if (lo_value > hi_value || (lo_value == hi_value && !(lo_inclusive && hi_inclusive))) {
+      return out;  // empty
+    }
+    out.lo = std::isinf(lo_value) ? min_cell
+                                  : policy_.CellOf(dim, Value::Double(lo_value));
+    if (std::isinf(hi_value)) {
+      out.hi = max_cell;
+    } else {
+      out.hi = policy_.CellOf(dim, Value::Double(hi_value));
+      // An exclusive upper bound sitting exactly on a cell edge does not
+      // reach into that cell.
+      if (!hi_inclusive &&
+          hi_value == policy_.CellLowerBound(dim, out.hi).AsDouble()) {
+        --out.hi;
+      }
+    }
+    out.lo = std::max(out.lo, min_cell);
+    out.hi = std::min(out.hi, max_cell);
+    // Inner cells: [cell_lb, cell_ub) fully inside the value range.
+    out.inner_lo = out.lo;
+    if (!std::isinf(lo_value)) {
+      const double lb = policy_.CellLowerBound(dim, out.lo).AsDouble();
+      const bool lo_cell_inner = lo_inclusive ? (lb >= lo_value) : (lb > lo_value);
+      out.inner_lo = lo_cell_inner ? out.lo : out.lo + 1;
+    }
+    out.inner_hi = out.hi;
+    if (!std::isinf(hi_value)) {
+      const double ub = policy_.CellUpperBound(dim, out.hi).AsDouble();
+      // Cell values are < ub; they all satisfy "< hi" or "<= hi" iff ub <= hi.
+      const bool hi_cell_inner = ub <= hi_value;
+      out.inner_hi = hi_cell_inner ? out.hi : out.hi - 1;
+    }
+    return out;
+  }
+
+  // Integer / date dimension: convert to an effective closed integer range.
+  int64_t lo = INT64_MIN, hi = INT64_MAX;
+  bool lo_bounded = false, hi_bounded = false;
+  if (range->lower.has_value()) {
+    lo = range->lower->value.int64();
+    if (!range->lower->inclusive) ++lo;
+    lo_bounded = true;
+  }
+  if (range->upper.has_value()) {
+    hi = range->upper->value.int64();
+    if (!range->upper->inclusive) --hi;
+    hi_bounded = true;
+  }
+  if (lo > hi) return out;  // empty
+  out.lo = lo_bounded ? policy_.CellOf(dim, Value::Int64(lo)) : min_cell;
+  out.hi = hi_bounded ? policy_.CellOf(dim, Value::Int64(hi)) : max_cell;
+  out.lo = std::max(out.lo, min_cell);
+  out.hi = std::min(out.hi, max_cell);
+  // Inner: the cell's closed value range [lb, ub-1] within [lo, hi].
+  out.inner_lo = out.lo;
+  if (lo_bounded && policy_.CellLowerBound(dim, out.lo).int64() < lo) {
+    out.inner_lo = out.lo + 1;
+  }
+  out.inner_hi = out.hi;
+  if (hi_bounded && policy_.CellUpperBound(dim, out.hi).int64() - 1 > hi) {
+    out.inner_hi = out.hi - 1;
+  }
+  return out;
+}
+
+Result<DgfIndex::LookupResult> DgfIndex::Lookup(const query::Predicate& pred,
+                                                bool aggregation) {
+  LookupResult result;
+  result.aggregation_path = aggregation;
+  result.inner_header = aggs_.Identity();
+
+  const int num_dims = policy_.num_dims();
+  std::vector<CellRange> ranges(static_cast<size_t>(num_dims));
+  uint64_t total_cells = 1;
+  for (int d = 0; d < num_dims; ++d) {
+    DGF_ASSIGN_OR_RETURN(ranges[static_cast<size_t>(d)],
+                         DimCellRange(d, pred, &result.kv_gets));
+    const CellRange& r = ranges[static_cast<size_t>(d)];
+    if (r.empty()) return result;  // provably no matching data
+    total_cells *= static_cast<uint64_t>(r.hi - r.lo + 1);
+    if (total_cells > kMaxLookupCells) {
+      return Status::OutOfRange(
+          "query region spans too many GFUs; use a coarser splitting policy");
+    }
+  }
+
+  // Folds one present GFU cell into the result.
+  const auto absorb = [&](const GfuKey& cell_key,
+                          const GfuValue& value) -> void {
+    bool inner = true;
+    for (int d = 0; d < num_dims; ++d) {
+      const CellRange& r = ranges[static_cast<size_t>(d)];
+      const int64_t c = cell_key.cells[static_cast<size_t>(d)];
+      if (c < r.inner_lo || c > r.inner_hi) {
+        inner = false;
+        break;
+      }
+    }
+    if (inner && aggregation) {
+      aggs_.Merge(&result.inner_header, value.header);
+      result.inner_records += value.record_count;
+      ++result.inner_gfus;
+    } else {
+      result.slices.insert(result.slices.end(), value.slices.begin(),
+                           value.slices.end());
+      if (inner) {
+        ++result.inner_gfus;
+      } else {
+        ++result.boundary_gfus;
+      }
+    }
+  };
+
+  // Strategy: small boxes use per-cell point gets; large boxes open one
+  // HBase-style scanner over the box's encoded key range (row-major order)
+  // and filter streamed entries against the box.
+  constexpr uint64_t kScanThresholdCells = 512;
+  if (total_cells <= kScanThresholdCells) {
+    GfuKey key;
+    std::vector<int64_t> cursor(static_cast<size_t>(num_dims));
+    for (int d = 0; d < num_dims; ++d) {
+      cursor[static_cast<size_t>(d)] = ranges[static_cast<size_t>(d)].lo;
+    }
+    for (;;) {
+      key.cells.assign(cursor.begin(), cursor.end());
+      ++result.kv_gets;
+      auto encoded = store_->Get(key.Encode());
+      if (encoded.ok()) {
+        DGF_ASSIGN_OR_RETURN(GfuValue value, GfuValue::Decode(*encoded));
+        absorb(key, value);
+      } else if (!encoded.status().IsNotFound()) {
+        return encoded.status();
+      }
+      int d = num_dims - 1;
+      for (; d >= 0; --d) {
+        const CellRange& r = ranges[static_cast<size_t>(d)];
+        if (++cursor[static_cast<size_t>(d)] <= r.hi) break;
+        cursor[static_cast<size_t>(d)] = r.lo;
+      }
+      if (d < 0) break;
+    }
+    return result;
+  }
+
+  GfuKey lower_key, upper_key;
+  for (int d = 0; d < num_dims; ++d) {
+    lower_key.cells.push_back(ranges[static_cast<size_t>(d)].lo);
+    upper_key.cells.push_back(ranges[static_cast<size_t>(d)].hi);
+  }
+  const std::string lower = lower_key.Encode();
+  const std::string upper = upper_key.Encode();
+  auto it = store_->NewIterator();
+  ++result.kv_gets;  // scanner open
+  for (it->Seek(lower); it->Valid() && it->key() <= upper; it->Next()) {
+    ++result.kv_scan_entries;
+    if (it->key().empty() || it->key().front() != kGfuKeyPrefix) break;
+    DGF_ASSIGN_OR_RETURN(GfuKey key, GfuKey::Decode(it->key(), num_dims));
+    bool in_box = true;
+    for (int d = 0; d < num_dims && in_box; ++d) {
+      const CellRange& r = ranges[static_cast<size_t>(d)];
+      const int64_t c = key.cells[static_cast<size_t>(d)];
+      in_box = (c >= r.lo && c <= r.hi);
+    }
+    if (!in_box) continue;
+    DGF_ASSIGN_OR_RETURN(GfuValue value, GfuValue::Decode(it->value()));
+    absorb(key, value);
+  }
+  return result;
+}
+
+Status DgfIndex::AddAggregation(const AggSpec& spec) {
+  if (aggs_.IndexOf(spec).ok()) {
+    return Status::AlreadyExists("aggregation already precomputed: " +
+                                 spec.ToString());
+  }
+  std::vector<AggSpec> extended = aggs_.specs();
+  extended.push_back(spec);
+  DGF_ASSIGN_OR_RETURN(AggregatorList new_aggs,
+                       AggregatorList::Create(extended, schema_));
+  // One-aggregator list to compute the new header slot per GFU.
+  DGF_ASSIGN_OR_RETURN(AggregatorList only_new,
+                       AggregatorList::Create({spec}, schema_));
+
+  // Rewrite every GFU: scan its slices, compute the new accumulator, append.
+  auto it = store_->NewIterator();
+  const std::string prefix(1, kGfuKeyPrefix);
+  std::vector<std::pair<std::string, std::string>> rewrites;
+  for (it->Seek(prefix); it->Valid(); it->Next()) {
+    if (it->key().empty() || it->key().front() != kGfuKeyPrefix) break;
+    DGF_ASSIGN_OR_RETURN(GfuValue value, GfuValue::Decode(it->value()));
+    std::vector<double> acc = only_new.Identity();
+    for (const SliceLocation& slice : value.slices) {
+      DGF_ASSIGN_OR_RETURN(auto reader,
+                           OpenSliceReader(dfs_, slice, schema_, data_format_));
+      table::Row row;
+      for (;;) {
+        DGF_ASSIGN_OR_RETURN(bool more, reader->Next(&row));
+        if (!more) break;
+        only_new.Update(&acc, row);
+      }
+    }
+    value.header.push_back(acc[0]);
+    rewrites.emplace_back(std::string(it->key()), value.Encode());
+  }
+  for (const auto& [key, encoded] : rewrites) {
+    DGF_RETURN_IF_ERROR(store_->Put(key, encoded));
+  }
+  DGF_RETURN_IF_ERROR(store_->Put(kMetaAggsKey, new_aggs.Serialize()));
+  aggs_ = std::move(new_aggs);
+  return Status::OK();
+}
+
+}  // namespace dgf::core

@@ -1,0 +1,142 @@
+#ifndef DGF_DGF_DGF_INDEX_H_
+#define DGF_DGF_DGF_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dgf/aggregators.h"
+#include "dgf/gfu.h"
+#include "dgf/splitting_policy.h"
+#include "fs/mini_dfs.h"
+#include "kv/kv_store.h"
+#include "query/predicate.h"
+#include "table/schema.h"
+#include "table/table.h"
+
+namespace dgf::core {
+
+/// The Distributed Grid File Index.
+///
+/// An open handle over (a) the key-value store holding GFUKey -> GFUValue
+/// pairs and per-dimension metadata, and (b) the reorganized table data
+/// (Slices) under `data_dir` on the DFS. Instances are created by
+/// `DgfBuilder::Build` (which reorganizes the base table) or reopened with
+/// `Open` from persisted metadata.
+///
+/// Query-side entry point is `Lookup`, which implements the paper's
+/// Algorithm 3: decompose the query box into inner GFUs (answered from
+/// pre-computed headers) and boundary GFUs (whose Slices must be scanned).
+class DgfIndex {
+ public:
+  /// Reopens an index whose metadata lives in `store` for a base table with
+  /// `schema` (reorganized data keeps the base schema).
+  static Result<std::unique_ptr<DgfIndex>> Open(
+      std::shared_ptr<fs::MiniDfs> dfs, std::shared_ptr<kv::KvStore> store,
+      table::Schema schema);
+
+  /// Result of consulting the index for one predicate.
+  struct LookupResult {
+    /// True when the query was answered on the aggregation path (inner GFUs
+    /// contributed headers instead of slices).
+    bool aggregation_path = false;
+    /// Merged header of all inner GFUs (AggregatorList order); identity when
+    /// no inner GFU exists.
+    std::vector<double> inner_header;
+    /// Records covered by the inner region (already aggregated).
+    uint64_t inner_records = 0;
+    /// Slices that must be scanned (boundary region; for non-aggregation
+    /// lookups the whole query region).
+    std::vector<SliceLocation> slices;
+    /// Number of GFU cells classified each way (empty cells included).
+    uint64_t inner_gfus = 0;
+    uint64_t boundary_gfus = 0;
+    /// KV point round trips performed; benches charge kv_get_s per entry.
+    uint64_t kv_gets = 0;
+    /// Entries streamed through a KV range scan (large query boxes switch
+    /// from per-cell gets to one HBase-style scanner over the box's key
+    /// range); benches charge kv_scan_entry_s per entry.
+    uint64_t kv_scan_entries = 0;
+  };
+
+  /// Consults the index. If `aggregation` is true the caller intends to
+  /// compute only aggregations that are all precomputed in this index
+  /// (verify with `CoversAggregations`); inner GFUs then contribute headers.
+  /// Dimensions absent from `pred` are completed with the stored min/max
+  /// (the paper's partial-specified query handling). Predicate conditions on
+  /// non-indexed columns are ignored here (the scan re-applies them).
+  Result<LookupResult> Lookup(const query::Predicate& pred, bool aggregation);
+
+  /// True if every requested aggregation is precomputed.
+  bool CoversAggregations(const std::vector<AggSpec>& requested) const;
+
+  /// Extends the index with a newly precomputed aggregation by scanning each
+  /// GFU's slices once and rewriting headers — the paper's "users can still
+  /// add more UDFs dynamically to DGFIndex on demand".
+  Status AddAggregation(const AggSpec& spec);
+
+  const SplittingPolicy& policy() const { return policy_; }
+  const AggregatorList& aggregators() const { return aggs_; }
+  const std::string& data_dir() const { return data_dir_; }
+  /// Storage format of the reorganized Slice files (TextFile by default;
+  /// the builder can also lay Slices out as whole RCFile row groups).
+  table::FileFormat data_format() const { return data_format_; }
+  const table::Schema& schema() const { return schema_; }
+  const std::shared_ptr<kv::KvStore>& store() const { return store_; }
+  const std::shared_ptr<fs::MiniDfs>& dfs() const { return dfs_; }
+
+  /// Table descriptor for the reorganized data (TextFile, base schema).
+  table::TableDesc DataDesc() const;
+
+  /// Live size of the index (GFU pairs + metadata) in the KV store.
+  Result<uint64_t> IndexSizeBytes() const { return store_->ApproximateSizeBytes(); }
+  /// Number of GFU entries.
+  Result<uint64_t> NumGfus() const;
+
+  /// Point fetch of one GFU (tests / tooling).
+  Result<GfuValue> GetGfu(const GfuKey& key) const;
+
+ private:
+  friend class DgfBuilder;
+
+  DgfIndex(std::shared_ptr<fs::MiniDfs> dfs, std::shared_ptr<kv::KvStore> store,
+           table::Schema schema, SplittingPolicy policy, AggregatorList aggs,
+           std::string data_dir, table::FileFormat data_format)
+      : dfs_(std::move(dfs)),
+        store_(std::move(store)),
+        schema_(std::move(schema)),
+        policy_(std::move(policy)),
+        aggs_(std::move(aggs)),
+        data_dir_(std::move(data_dir)),
+        data_format_(data_format) {}
+
+  /// Effective closed cell range of `dim` under `pred`, falling back to the
+  /// stored min/max cells; `kv_gets` is incremented for metadata fetches.
+  /// Returns an empty optional when the range is empty (no matching cell).
+  struct CellRange {
+    int64_t lo = 0;
+    int64_t hi = -1;  // inclusive; lo > hi encodes empty
+    int64_t inner_lo = 0;
+    int64_t inner_hi = -1;
+    bool empty() const { return lo > hi; }
+    bool has_inner() const { return inner_lo <= inner_hi; }
+  };
+  Result<CellRange> DimCellRange(int dim, const query::Predicate& pred,
+                                 uint64_t* kv_gets) const;
+
+  Result<int64_t> MetaCell(const std::string& prefix, int dim) const;
+
+  std::shared_ptr<fs::MiniDfs> dfs_;
+  std::shared_ptr<kv::KvStore> store_;
+  table::Schema schema_;
+  SplittingPolicy policy_;
+  AggregatorList aggs_;
+  std::string data_dir_;
+  table::FileFormat data_format_ = table::FileFormat::kText;
+};
+
+}  // namespace dgf::core
+
+#endif  // DGF_DGF_DGF_INDEX_H_

@@ -1,0 +1,115 @@
+#include "dgf/dgf_input_format.h"
+
+#include <algorithm>
+#include <map>
+
+#include "table/rc_format.h"
+#include "table/text_format.h"
+
+namespace dgf::core {
+
+Result<std::vector<SlicedSplit>> PlanSlicedSplits(
+    const std::shared_ptr<fs::MiniDfs>& dfs,
+    const std::vector<SliceLocation>& slices, uint64_t split_size) {
+  // Group slices by file, sorted by start offset. Zero-length slices carry no
+  // records and are dropped.
+  std::map<std::string, std::vector<SliceLocation>> by_file;
+  for (const SliceLocation& slice : slices) {
+    if (slice.length() == 0) continue;
+    by_file[slice.file].push_back(slice);
+  }
+  std::vector<SlicedSplit> out;
+  for (auto& [file, file_slices] : by_file) {
+    std::sort(file_slices.begin(), file_slices.end(),
+              [](const SliceLocation& a, const SliceLocation& b) {
+                return a.start < b.start;
+              });
+    // Coalesce adjacent slices: after placement optimization the slices of a
+    // query box are contiguous, collapsing to a handful of long reads.
+    size_t write_pos = 0;
+    for (size_t i = 1; i < file_slices.size(); ++i) {
+      if (file_slices[i].start <= file_slices[write_pos].end) {
+        file_slices[write_pos].end =
+            std::max(file_slices[write_pos].end, file_slices[i].end);
+      } else {
+        file_slices[++write_pos] = file_slices[i];
+      }
+    }
+    file_slices.resize(write_pos + 1);
+    DGF_ASSIGN_OR_RETURN(auto splits, dfs->GetSplits(file, split_size));
+    size_t cursor = 0;
+    for (const fs::FileSplit& split : splits) {
+      SlicedSplit sliced;
+      sliced.split = split;
+      while (cursor < file_slices.size() &&
+             file_slices[cursor].start < split.end()) {
+        sliced.slices.push_back(file_slices[cursor]);
+        ++cursor;
+      }
+      if (!sliced.slices.empty()) out.push_back(std::move(sliced));
+      if (cursor >= file_slices.size()) break;
+    }
+  }
+  return out;
+}
+
+Result<std::unique_ptr<table::RecordReader>> OpenSliceReader(
+    const std::shared_ptr<fs::MiniDfs>& dfs, const SliceLocation& slice,
+    const table::Schema& schema, table::FileFormat format) {
+  fs::FileSplit range{slice.file, slice.start, slice.length()};
+  if (format == table::FileFormat::kText) {
+    DGF_ASSIGN_OR_RETURN(auto reader,
+                         table::TextSplitReader::OpenExactRange(dfs, range,
+                                                                schema));
+    return std::unique_ptr<table::RecordReader>(std::move(reader));
+  }
+  // RCFile Slices are whole row groups: the first sync sits exactly at the
+  // Slice start and no group straddles the end, so plain split semantics
+  // read exactly the Slice.
+  DGF_ASSIGN_OR_RETURN(auto reader,
+                       table::RcSplitReader::Open(dfs, range, schema));
+  return std::unique_ptr<table::RecordReader>(std::move(reader));
+}
+
+Result<std::unique_ptr<SliceRecordReader>> SliceRecordReader::Open(
+    std::shared_ptr<fs::MiniDfs> dfs, const SlicedSplit& sliced,
+    table::Schema schema, table::FileFormat format) {
+  return std::unique_ptr<SliceRecordReader>(new SliceRecordReader(
+      std::move(dfs), sliced, std::move(schema), format));
+}
+
+Status SliceRecordReader::AdvanceSlice() {
+  if (current_ != nullptr) {
+    finished_bytes_ += current_->BytesRead();
+    current_.reset();
+  }
+  if (next_slice_ >= sliced_.slices.size()) return Status::OK();
+  const SliceLocation& slice = sliced_.slices[next_slice_++];
+  DGF_ASSIGN_OR_RETURN(current_,
+                       OpenSliceReader(dfs_, slice, schema_, format_));
+  ++seeks_;
+  return Status::OK();
+}
+
+Result<bool> SliceRecordReader::Next(table::Row* row) {
+  for (;;) {
+    if (current_ == nullptr) {
+      DGF_RETURN_IF_ERROR(AdvanceSlice());
+      if (current_ == nullptr) return false;
+    }
+    DGF_ASSIGN_OR_RETURN(bool more, current_->Next(row));
+    if (more) return true;
+    finished_bytes_ += current_->BytesRead();
+    current_.reset();
+  }
+}
+
+uint64_t SliceRecordReader::CurrentBlockOffset() const {
+  return current_ != nullptr ? current_->CurrentBlockOffset() : 0;
+}
+
+uint64_t SliceRecordReader::BytesRead() const {
+  return finished_bytes_ + (current_ != nullptr ? current_->BytesRead() : 0);
+}
+
+}  // namespace dgf::core

@@ -1,0 +1,83 @@
+#ifndef DGF_DGF_DGF_INPUT_FORMAT_H_
+#define DGF_DGF_DGF_INPUT_FORMAT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dgf/gfu.h"
+#include "fs/mini_dfs.h"
+#include "fs/split.h"
+#include "table/record_reader.h"
+#include "table/schema.h"
+#include "table/table.h"
+#include "table/text_format.h"
+
+namespace dgf::core {
+
+/// One chosen split plus the Slices a map task must read from it — the
+/// <split, slicesInSplit> pairs of the paper's Algorithm 4.
+struct SlicedSplit {
+  fs::FileSplit split;
+  /// Slices assigned to this split, ordered by start offset. A Slice is
+  /// assigned to the split containing its start; the reader follows a Slice
+  /// across the split end when it straddles the boundary.
+  std::vector<SliceLocation> slices;
+};
+
+/// Split filter (Algorithm 4): enumerates the splits of the reorganized data
+/// files, keeps only those containing the start of at least one query-related
+/// Slice, and attaches each split's ordered Slice list.
+Result<std::vector<SlicedSplit>> PlanSlicedSplits(
+    const std::shared_ptr<fs::MiniDfs>& dfs,
+    const std::vector<SliceLocation>& slices, uint64_t split_size = 0);
+
+/// Opens a reader over one Slice. Slices are exact record-aligned byte
+/// ranges: TextFile Slices start/end at line boundaries; RCFile Slices
+/// consist of whole row groups (the builder forces a group boundary per GFU).
+Result<std::unique_ptr<table::RecordReader>> OpenSliceReader(
+    const std::shared_ptr<fs::MiniDfs>& dfs, const SliceLocation& slice,
+    const table::Schema& schema,
+    table::FileFormat format = table::FileFormat::kText);
+
+/// RecordReader that yields only the records inside its split's Slices,
+/// skipping the margins between adjacent Slices (step 3 of the query path).
+/// `SeekCount()` reports the number of positional jumps for cost accounting.
+class SliceRecordReader : public table::RecordReader {
+ public:
+  static Result<std::unique_ptr<SliceRecordReader>> Open(
+      std::shared_ptr<fs::MiniDfs> dfs, const SlicedSplit& sliced,
+      table::Schema schema,
+      table::FileFormat format = table::FileFormat::kText);
+
+  Result<bool> Next(table::Row* row) override;
+  uint64_t CurrentBlockOffset() const override;
+  uint64_t CurrentRowInBlock() const override { return 0; }
+  uint64_t BytesRead() const override;
+
+  uint64_t SeekCount() const { return seeks_; }
+
+ private:
+  SliceRecordReader(std::shared_ptr<fs::MiniDfs> dfs, SlicedSplit sliced,
+                    table::Schema schema, table::FileFormat format)
+      : dfs_(std::move(dfs)),
+        sliced_(std::move(sliced)),
+        schema_(std::move(schema)),
+        format_(format) {}
+
+  Status AdvanceSlice();
+
+  std::shared_ptr<fs::MiniDfs> dfs_;
+  SlicedSplit sliced_;
+  table::Schema schema_;
+  table::FileFormat format_ = table::FileFormat::kText;
+  size_t next_slice_ = 0;
+  std::unique_ptr<table::RecordReader> current_;
+  uint64_t finished_bytes_ = 0;
+  uint64_t seeks_ = 0;
+};
+
+}  // namespace dgf::core
+
+#endif  // DGF_DGF_DGF_INPUT_FORMAT_H_

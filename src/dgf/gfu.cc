@@ -1,0 +1,76 @@
+#include "dgf/gfu.h"
+
+#include "common/encoding.h"
+#include "common/string_util.h"
+
+namespace dgf::core {
+
+std::string GfuKey::Encode() const {
+  std::string out;
+  out.push_back(kGfuKeyPrefix);
+  for (int64_t cell : cells) PutOrderedInt64(&out, cell);
+  return out;
+}
+
+Result<GfuKey> GfuKey::Decode(std::string_view encoded, int num_dims) {
+  if (encoded.size() != 1 + static_cast<size_t>(num_dims) * 8 ||
+      encoded.front() != kGfuKeyPrefix) {
+    return Status::Corruption("bad GFU key encoding");
+  }
+  GfuKey key;
+  key.cells.reserve(static_cast<size_t>(num_dims));
+  for (int d = 0; d < num_dims; ++d) {
+    key.cells.push_back(
+        DecodeOrderedInt64(encoded.data() + 1 + static_cast<size_t>(d) * 8));
+  }
+  return key;
+}
+
+std::string GfuKey::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out.push_back('_');
+    out += std::to_string(cells[i]);
+  }
+  return out;
+}
+
+std::string GfuValue::Encode() const {
+  std::string out;
+  PutVarint64(&out, header.size());
+  for (double h : header) PutOrderedDouble(&out, h);
+  PutVarint64(&out, record_count);
+  PutVarint64(&out, slices.size());
+  for (const auto& slice : slices) {
+    PutLengthPrefixed(&out, slice.file);
+    PutVarint64(&out, slice.start);
+    PutVarint64(&out, slice.end);
+  }
+  return out;
+}
+
+Result<GfuValue> GfuValue::Decode(std::string_view encoded) {
+  GfuValue value;
+  DGF_ASSIGN_OR_RETURN(uint64_t num_headers, GetVarint64(&encoded));
+  value.header.reserve(num_headers);
+  for (uint64_t i = 0; i < num_headers; ++i) {
+    if (encoded.size() < 8) return Status::Corruption("truncated GFU header");
+    value.header.push_back(DecodeOrderedDouble(encoded.data()));
+    encoded.remove_prefix(8);
+  }
+  DGF_ASSIGN_OR_RETURN(value.record_count, GetVarint64(&encoded));
+  DGF_ASSIGN_OR_RETURN(uint64_t num_slices, GetVarint64(&encoded));
+  value.slices.reserve(num_slices);
+  for (uint64_t i = 0; i < num_slices; ++i) {
+    SliceLocation slice;
+    DGF_ASSIGN_OR_RETURN(std::string_view file, GetLengthPrefixed(&encoded));
+    slice.file = std::string(file);
+    DGF_ASSIGN_OR_RETURN(slice.start, GetVarint64(&encoded));
+    DGF_ASSIGN_OR_RETURN(slice.end, GetVarint64(&encoded));
+    value.slices.push_back(std::move(slice));
+  }
+  if (!encoded.empty()) return Status::Corruption("trailing GFU value bytes");
+  return value;
+}
+
+}  // namespace dgf::core

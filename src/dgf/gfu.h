@@ -1,0 +1,78 @@
+#ifndef DGF_DGF_GFU_H_
+#define DGF_DGF_GFU_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dgf::core {
+
+/// Grid File Unit key: the per-dimension cell ordinals of one cube.
+///
+/// Encoded order-preservingly (dimension 0 most significant), so a KV range
+/// scan over encoded keys walks the grid in row-major order. The paper's
+/// "7_13" key (lower-left coordinates) corresponds to the cell ordinals here;
+/// SplittingPolicy::CellLowerBound recovers the coordinates.
+struct GfuKey {
+  std::vector<int64_t> cells;
+
+  std::string Encode() const;
+  static Result<GfuKey> Decode(std::string_view encoded, int num_dims);
+
+  /// Human-readable "7_13" form used in logs and the paper's figures.
+  std::string ToString() const;
+
+  friend bool operator==(const GfuKey& a, const GfuKey& b) {
+    return a.cells == b.cells;
+  }
+  friend bool operator<(const GfuKey& a, const GfuKey& b) {
+    return a.cells < b.cells;
+  }
+};
+
+/// Byte range of one Slice: a contiguous run of records (all belonging to a
+/// single GFU) inside a reorganized data file.
+struct SliceLocation {
+  std::string file;
+  uint64_t start = 0;
+  /// Exclusive end offset (the paper stores the inclusive last byte; we store
+  /// one-past-the-end, which composes with Pread directly).
+  uint64_t end = 0;
+
+  uint64_t length() const { return end - start; }
+
+  friend bool operator==(const SliceLocation& a, const SliceLocation& b) {
+    return a.file == b.file && a.start == b.start && a.end == b.end;
+  }
+};
+
+/// GFU value: the pre-computed aggregate header plus the locations of the
+/// GFU's slices (one slice per build/append batch that touched the cube).
+struct GfuValue {
+  /// One accumulator per pre-computed aggregation, in AggregatorList order.
+  std::vector<double> header;
+  /// Number of records in this GFU (kept even when no aggregations are
+  /// configured; needed for merge-correct min/max and for stats).
+  uint64_t record_count = 0;
+  std::vector<SliceLocation> slices;
+
+  std::string Encode() const;
+  static Result<GfuValue> Decode(std::string_view encoded);
+};
+
+/// Key prefixes inside the index KV store. GFU entries sort after meta
+/// entries; both live in one store per index.
+inline constexpr char kGfuKeyPrefix = 'G';
+inline constexpr const char* kMetaPolicyKey = "M:policy";
+inline constexpr const char* kMetaAggsKey = "M:aggs";
+inline constexpr const char* kMetaDimMinPrefix = "M:dim_min:";
+inline constexpr const char* kMetaDimMaxPrefix = "M:dim_max:";
+inline constexpr const char* kMetaDataDirKey = "M:data_dir";
+inline constexpr const char* kMetaDataFormatKey = "M:data_format";
+inline constexpr const char* kMetaNumFilesKey = "M:num_files";
+
+}  // namespace dgf::core
+
+#endif  // DGF_DGF_GFU_H_

@@ -1,0 +1,95 @@
+#include "dgf/partitioned_dgf.h"
+
+#include "common/string_util.h"
+
+namespace dgf::core {
+
+Result<std::unique_ptr<PartitionedDgfIndex>> PartitionedDgfIndex::Build(
+    std::shared_ptr<fs::MiniDfs> dfs, const table::PartitionedTable& table,
+    const DgfBuilder::Options& base, const StoreFactory& store_factory) {
+  const table::TableDesc& desc = table.desc();
+  for (const DimensionPolicy& dim : base.dims) {
+    for (const std::string& column : table.partition_columns()) {
+      if (table::ColumnNameEquals(dim.column, column)) {
+        return Status::InvalidArgument(
+            "partition column '" + column +
+            "' must not also be a grid dimension (pruning covers it)");
+      }
+    }
+  }
+  std::unique_ptr<PartitionedDgfIndex> out(
+      new PartitionedDgfIndex(desc.schema, table.partition_columns()));
+  for (const std::string& dir : table.PartitionDirs()) {
+    Partition partition;
+    partition.dir = dir;
+    DGF_ASSIGN_OR_RETURN(partition.values, table.ParsePartitionPath(dir));
+    DGF_ASSIGN_OR_RETURN(partition.store, store_factory(dir));
+
+    // The partition's data is a plain (sub)table rooted at its directory.
+    table::TableDesc partition_desc = desc;
+    partition_desc.dir = dir;
+    DgfBuilder::Options options = base;
+    // Mirror the partition fragments under the index data prefix.
+    options.data_dir = base.data_dir + dir.substr(desc.dir.size());
+    DGF_ASSIGN_OR_RETURN(
+        partition.index,
+        DgfBuilder::Build(dfs, partition.store, partition_desc, options));
+    out->partitions_.push_back(std::move(partition));
+  }
+  if (out->partitions_.empty()) {
+    return Status::InvalidArgument("table has no partitions to index");
+  }
+  return out;
+}
+
+bool PartitionedDgfIndex::CoversAggregations(
+    const std::vector<AggSpec>& requested) const {
+  return !partitions_.empty() &&
+         partitions_.front().index->CoversAggregations(requested);
+}
+
+Result<PartitionedDgfIndex::LookupResult> PartitionedDgfIndex::Lookup(
+    const query::Predicate& pred, bool aggregation) {
+  LookupResult out;
+  const AggregatorList& aggs = partitions_.front().index->aggregators();
+  out.merged.aggregation_path = aggregation;
+  out.merged.inner_header = aggs.Identity();
+  for (Partition& partition : partitions_) {
+    bool pruned = false;
+    for (size_t i = 0; i < partition_columns_.size(); ++i) {
+      const query::ColumnRange* range =
+          pred.FindColumn(partition_columns_[i]);
+      if (range != nullptr && !range->Matches(partition.values[i])) {
+        pruned = true;
+        break;
+      }
+    }
+    if (pruned) {
+      ++out.partitions_pruned;
+      continue;
+    }
+    ++out.partitions_consulted;
+    DGF_ASSIGN_OR_RETURN(DgfIndex::LookupResult piece,
+                         partition.index->Lookup(pred, aggregation));
+    aggs.Merge(&out.merged.inner_header, piece.inner_header);
+    out.merged.inner_records += piece.inner_records;
+    out.merged.inner_gfus += piece.inner_gfus;
+    out.merged.boundary_gfus += piece.boundary_gfus;
+    out.merged.kv_gets += piece.kv_gets;
+    out.merged.kv_scan_entries += piece.kv_scan_entries;
+    out.merged.slices.insert(out.merged.slices.end(), piece.slices.begin(),
+                             piece.slices.end());
+  }
+  return out;
+}
+
+Result<uint64_t> PartitionedDgfIndex::IndexSizeBytes() const {
+  uint64_t total = 0;
+  for (const Partition& partition : partitions_) {
+    DGF_ASSIGN_OR_RETURN(uint64_t size, partition.index->IndexSizeBytes());
+    total += size;
+  }
+  return total;
+}
+
+}  // namespace dgf::core

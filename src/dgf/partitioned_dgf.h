@@ -1,0 +1,78 @@
+#ifndef DGF_DGF_PARTITIONED_DGF_H_
+#define DGF_DGF_PARTITIONED_DGF_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dgf/dgf_builder.h"
+#include "dgf/dgf_index.h"
+#include "table/partition.h"
+
+namespace dgf::core {
+
+/// One DGFIndex per partition of a Hive-partitioned table — the combination
+/// the paper recommends: "partition is a good complement for index, because
+/// an index can be created on the basis of each partition" (Section 2.2).
+///
+/// A lookup first prunes partitions with the predicate's conditions on the
+/// partition columns (free, directory-level), then consults only the
+/// surviving partitions' grid files and merges their results. Partition
+/// columns should not be grid dimensions (pruning already handles them).
+class PartitionedDgfIndex {
+ public:
+  /// Supplies one KV store per partition (keyed by partition directory).
+  using StoreFactory =
+      std::function<Result<std::shared_ptr<kv::KvStore>>(const std::string&)>;
+
+  /// Builds an index for every current partition of `table`. `base` supplies
+  /// the grid dimensions and precomputed aggregations; its data_dir is used
+  /// as a prefix (per-partition slice files land under
+  /// `<data_dir>/<partition fragments>`).
+  static Result<std::unique_ptr<PartitionedDgfIndex>> Build(
+      std::shared_ptr<fs::MiniDfs> dfs, const table::PartitionedTable& table,
+      const DgfBuilder::Options& base, const StoreFactory& store_factory);
+
+  struct LookupResult {
+    DgfIndex::LookupResult merged;
+    int64_t partitions_pruned = 0;
+    int64_t partitions_consulted = 0;
+  };
+
+  /// Prunes partitions, consults surviving per-partition indexes, and merges
+  /// their headers/slices. Semantics match DgfIndex::Lookup.
+  Result<LookupResult> Lookup(const query::Predicate& pred, bool aggregation);
+
+  bool CoversAggregations(const std::vector<AggSpec>& requested) const;
+
+  int64_t num_partitions() const {
+    return static_cast<int64_t>(partitions_.size());
+  }
+  Result<uint64_t> IndexSizeBytes() const;
+
+  const table::Schema& schema() const { return schema_; }
+
+ private:
+  struct Partition {
+    std::string dir;
+    std::vector<table::Value> values;  // partition column values
+    std::shared_ptr<kv::KvStore> store;
+    std::unique_ptr<DgfIndex> index;
+  };
+
+  PartitionedDgfIndex(table::Schema schema,
+                      std::vector<std::string> partition_columns)
+      : schema_(std::move(schema)),
+        partition_columns_(std::move(partition_columns)) {}
+
+  table::Schema schema_;
+  std::vector<std::string> partition_columns_;
+  std::vector<Partition> partitions_;
+};
+
+}  // namespace dgf::core
+
+#endif  // DGF_DGF_PARTITIONED_DGF_H_

@@ -1,0 +1,166 @@
+#include "dgf/policy_advisor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dgf::core {
+
+double PolicyAdvisor::RangeWidth(int d, const query::Predicate& pred) const {
+  const DimensionStats& stats = stats_[static_cast<size_t>(d)];
+  const double domain = std::max(1.0, stats.max - stats.min);
+  const query::ColumnRange* range = pred.FindColumn(stats.column);
+  if (range == nullptr) return domain;
+  double lo = stats.min, hi = stats.max;
+  if (range->lower.has_value()) lo = range->lower->value.AsDouble();
+  if (range->upper.has_value()) hi = range->upper->value.AsDouble();
+  return std::clamp(hi - lo, 0.0, domain);
+}
+
+std::vector<double> PolicyAdvisor::Ladder(int d) const {
+  const DimensionStats& stats = stats_[static_cast<size_t>(d)];
+  const double domain = std::max(1.0, stats.max - stats.min);
+  // Finest useful interval: roughly one distinct value per cell.
+  double finest = domain / std::max(1.0, stats.distinct);
+  if (stats.type != table::DataType::kDouble) finest = std::max(finest, 1.0);
+  std::vector<double> ladder;
+  const int n = std::max(2, options_.ladder_size);
+  const double ratio = std::pow(domain / finest, 1.0 / (n - 1));
+  double interval = finest;
+  for (int i = 0; i < n; ++i) {
+    double candidate = interval;
+    if (stats.type != table::DataType::kDouble) {
+      candidate = std::max(1.0, std::round(candidate));
+    }
+    if (ladder.empty() || candidate > ladder.back()) ladder.push_back(candidate);
+    interval *= ratio;
+  }
+  return ladder;
+}
+
+double PolicyAdvisor::TotalCells(const std::vector<double>& intervals) const {
+  double cells = 1;
+  for (size_t d = 0; d < stats_.size(); ++d) {
+    const double domain = std::max(1.0, stats_[d].max - stats_[d].min);
+    cells *= std::max(1.0, domain / intervals[d]);
+  }
+  return cells;
+}
+
+double PolicyAdvisor::QueryCost(const std::vector<double>& intervals,
+                                const query::Predicate& pred) const {
+  // Selectivity and per-dimension cell counts of the query box.
+  double selected_fraction = 1;
+  double kv_gets = 1;
+  double inner_fraction = 1;
+  for (size_t d = 0; d < stats_.size(); ++d) {
+    const double domain = std::max(1.0, stats_[d].max - stats_[d].min);
+    const double width = RangeWidth(static_cast<int>(d), pred);
+    selected_fraction *= std::min(1.0, width / domain);
+    // Cells overlapped along this axis (a point query still touches one).
+    const double cells = std::min(domain / intervals[d],
+                                  width / intervals[d] + 1.0);
+    kv_gets *= std::max(1.0, cells);
+    // Fraction of the overlapped region that is fully inner on this axis.
+    const double inner_cells = std::max(0.0, width / intervals[d] - 1.0);
+    inner_fraction *= std::max(1.0, cells) > 0
+                          ? std::min(1.0, inner_cells / std::max(1.0, cells))
+                          : 0.0;
+  }
+  const double selected_rows = selected_fraction * options_.total_records;
+  // Region actually read: boundary rows for aggregation queries, the whole
+  // selected region otherwise. Whole-cell reads mean a point query still
+  // fetches ~total/cells rows.
+  const double rows_per_cell =
+      options_.total_records / std::max(1.0, TotalCells(intervals));
+  const double region_rows =
+      std::max(selected_rows, kv_gets * rows_per_cell * 0.5);
+  const double boundary_rows = region_rows * (1.0 - inner_fraction);
+  const double scanned_rows =
+      options_.aggregation_fraction * boundary_rows +
+      (1.0 - options_.aggregation_fraction) * region_rows;
+
+  const double kv_cost = kv_gets * options_.cluster.kv_get_s;
+  const double scan_cost = scanned_rows * options_.record_bytes /
+                           (1e6 * options_.cluster.scan_mb_per_s *
+                            options_.cluster.total_map_slots());
+  return kv_cost + scan_cost;
+}
+
+Result<PolicyAdvisor::Recommendation> PolicyAdvisor::Recommend(
+    const std::vector<query::Predicate>& history) const {
+  if (stats_.empty()) {
+    return Status::InvalidArgument("advisor needs at least one dimension");
+  }
+  if (history.empty()) {
+    return Status::InvalidArgument("advisor needs a query history");
+  }
+  const int num_dims = static_cast<int>(stats_.size());
+  std::vector<std::vector<double>> ladders;
+  for (int d = 0; d < num_dims; ++d) ladders.push_back(Ladder(d));
+
+  const auto total_cost = [&](const std::vector<double>& intervals) {
+    double cost = 0;
+    for (const auto& pred : history) cost += QueryCost(intervals, pred);
+    return cost / static_cast<double>(history.size());
+  };
+
+  // Start from the coarsest grid (always within the cell budget).
+  std::vector<double> best(static_cast<size_t>(num_dims));
+  for (int d = 0; d < num_dims; ++d) best[static_cast<size_t>(d)] = ladders[d].back();
+  double best_cost = total_cost(best);
+
+  if (num_dims <= 3) {
+    // Exhaustive search over the ladder cross product.
+    std::vector<size_t> idx(static_cast<size_t>(num_dims), 0);
+    for (;;) {
+      std::vector<double> candidate(static_cast<size_t>(num_dims));
+      for (int d = 0; d < num_dims; ++d) {
+        candidate[static_cast<size_t>(d)] = ladders[d][idx[static_cast<size_t>(d)]];
+      }
+      if (TotalCells(candidate) <= options_.max_cells) {
+        const double cost = total_cost(candidate);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = candidate;
+        }
+      }
+      int d = num_dims - 1;
+      for (; d >= 0; --d) {
+        if (++idx[static_cast<size_t>(d)] < ladders[d].size()) break;
+        idx[static_cast<size_t>(d)] = 0;
+      }
+      if (d < 0) break;
+    }
+  } else {
+    // Coordinate descent for higher dimensionality.
+    for (int pass = 0; pass < 4; ++pass) {
+      for (int d = 0; d < num_dims; ++d) {
+        for (double candidate_interval : ladders[d]) {
+          std::vector<double> candidate = best;
+          candidate[static_cast<size_t>(d)] = candidate_interval;
+          if (TotalCells(candidate) > options_.max_cells) continue;
+          const double cost = total_cost(candidate);
+          if (cost < best_cost) {
+            best_cost = cost;
+            best = candidate;
+          }
+        }
+      }
+    }
+  }
+
+  Recommendation rec;
+  rec.expected_query_cost = best_cost;
+  rec.expected_cells = TotalCells(best);
+  for (int d = 0; d < num_dims; ++d) {
+    DimensionPolicy dim;
+    dim.column = stats_[static_cast<size_t>(d)].column;
+    dim.type = stats_[static_cast<size_t>(d)].type;
+    dim.min = stats_[static_cast<size_t>(d)].min;
+    dim.interval = best[static_cast<size_t>(d)];
+    rec.dims.push_back(std::move(dim));
+  }
+  return rec;
+}
+
+}  // namespace dgf::core

@@ -1,0 +1,89 @@
+#ifndef DGF_DGF_POLICY_ADVISOR_H_
+#define DGF_DGF_POLICY_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dgf/splitting_policy.h"
+#include "exec/cluster.h"
+#include "query/predicate.h"
+#include "table/schema.h"
+
+namespace dgf::core {
+
+/// Implements the paper's future work: "an algorithm to find the best
+/// splitting policy for DGFIndex based on the distribution of the meter data
+/// and the query history".
+///
+/// The advisor models the two opposing forces of interval choice:
+///   * finer grids -> more GFUs -> more KV round trips per query and a
+///     larger index, but a thinner boundary region to scan;
+///   * coarser grids -> few KV reads but fat boundaries (and, for point
+///     queries, whole-cell reads).
+/// It searches a geometric ladder of interval candidates per dimension
+/// (exhaustively for <= 3 dimensions, coordinate descent above) minimizing
+/// the expected per-query cost over the supplied query history, subject to a
+/// bound on the total number of grid cells.
+class PolicyAdvisor {
+ public:
+  /// Summary statistics of one candidate dimension of the dataset.
+  struct DimensionStats {
+    std::string column;
+    table::DataType type = table::DataType::kInt64;
+    double min = 0;
+    double max = 0;
+    /// Estimated distinct values (bounds the useful grid resolution).
+    double distinct = 1;
+  };
+
+  struct Options {
+    /// Upper bound on total grid cells (index size budget).
+    double max_cells = 1e6;
+    /// Candidate intervals per dimension in the search ladder.
+    int ladder_size = 12;
+    /// Fraction of history queries answered from pre-aggregated headers
+    /// (aggregation queries read only the boundary region).
+    double aggregation_fraction = 1.0;
+    /// Average serialized record size in bytes.
+    double record_bytes = 120;
+    /// Total records in the table.
+    double total_records = 1e6;
+    exec::ClusterConfig cluster;
+  };
+
+  struct Recommendation {
+    std::vector<DimensionPolicy> dims;
+    /// Expected simulated seconds per history query under the model.
+    double expected_query_cost = 0;
+    /// Expected number of GFUs the grid creates.
+    double expected_cells = 0;
+  };
+
+  PolicyAdvisor(std::vector<DimensionStats> stats, Options options)
+      : stats_(std::move(stats)), options_(options) {}
+
+  /// Recommends interval sizes given the query history. Queries not
+  /// constraining a dimension are treated as spanning its whole domain.
+  Result<Recommendation> Recommend(
+      const std::vector<query::Predicate>& history) const;
+
+  /// Expected cost of one query under a concrete interval assignment
+  /// (exposed for tests and the ablation bench).
+  double QueryCost(const std::vector<double>& intervals,
+                   const query::Predicate& pred) const;
+
+ private:
+  /// Width of `pred`'s range on dimension `d` (domain width if absent).
+  double RangeWidth(int d, const query::Predicate& pred) const;
+
+  std::vector<double> Ladder(int d) const;
+  double TotalCells(const std::vector<double>& intervals) const;
+
+  std::vector<DimensionStats> stats_;
+  Options options_;
+};
+
+}  // namespace dgf::core
+
+#endif  // DGF_DGF_POLICY_ADVISOR_H_

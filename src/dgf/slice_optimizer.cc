@@ -1,0 +1,125 @@
+#include "dgf/slice_optimizer.h"
+
+#include <set>
+#include <vector>
+
+#include "common/string_util.h"
+#include "dgf/dgf_input_format.h"
+#include "table/rc_format.h"
+#include "table/text_format.h"
+
+namespace dgf::core {
+
+namespace {
+constexpr const char* kMetaOptGenKey = "M:optgen";
+}  // namespace
+
+Result<SliceOptimizer::Stats> SliceOptimizer::Optimize(
+    DgfIndex* index, uint64_t target_file_bytes) {
+  const auto& dfs = index->dfs();
+  const auto& store = index->store();
+  Stats stats;
+
+  int generation = 0;
+  if (auto gen_text = store->Get(kMetaOptGenKey); gen_text.ok()) {
+    DGF_ASSIGN_OR_RETURN(int64_t parsed, ParseInt64(*gen_text));
+    generation = static_cast<int>(parsed);
+  }
+
+  // Snapshot the GFU entries in grid order (the iterator is already sorted
+  // by the order-preserving key encoding).
+  std::vector<std::pair<std::string, GfuValue>> entries;
+  std::set<std::string> old_files;
+  {
+    auto it = store->NewIterator();
+    const std::string prefix(1, kGfuKeyPrefix);
+    for (it->Seek(prefix); it->Valid(); it->Next()) {
+      if (it->key().empty() || it->key().front() != kGfuKeyPrefix) break;
+      DGF_ASSIGN_OR_RETURN(GfuValue value, GfuValue::Decode(it->value()));
+      stats.slices_before += value.slices.size();
+      for (const auto& slice : value.slices) old_files.insert(slice.file);
+      entries.emplace_back(std::string(it->key()), std::move(value));
+    }
+  }
+  stats.gfus = entries.size();
+  stats.files_before = old_files.size();
+  if (entries.empty()) return stats;
+
+  // Rewrite in key order, merging each GFU's slices into one. Either file
+  // format is supported: text Slices are line runs, RC Slices whole groups.
+  const table::FileFormat format = index->data_format();
+  std::vector<std::string> new_file_paths;
+  int file_index = 0;
+  std::unique_ptr<table::TextFileWriter> writer;
+  std::unique_ptr<table::RcFileWriter> rc_writer;
+  const auto current_offset = [&]() -> uint64_t {
+    return writer != nullptr ? writer->Offset()
+                             : (rc_writer != nullptr ? rc_writer->Offset() : 0);
+  };
+  const auto close_writer = [&]() -> Status {
+    if (writer != nullptr) DGF_RETURN_IF_ERROR(writer->Close());
+    if (rc_writer != nullptr) DGF_RETURN_IF_ERROR(rc_writer->Close());
+    writer.reset();
+    rc_writer.reset();
+    return Status::OK();
+  };
+  const auto open_writer = [&]() -> Status {
+    const std::string path =
+        index->data_dir() + "/" +
+        StringPrintf("part-opt%03d-%05d.%s", generation, file_index++,
+                     format == table::FileFormat::kText ? "txt" : "rc");
+    if (format == table::FileFormat::kText) {
+      DGF_ASSIGN_OR_RETURN(
+          writer, table::TextFileWriter::Create(dfs, path, index->schema()));
+    } else {
+      DGF_ASSIGN_OR_RETURN(
+          rc_writer, table::RcFileWriter::Create(dfs, path, index->schema()));
+    }
+    ++stats.files_after;
+    new_file_paths.push_back(path);
+    return Status::OK();
+  };
+  for (auto& [key, value] : entries) {
+    (void)key;
+    if ((writer == nullptr && rc_writer == nullptr) ||
+        current_offset() >= target_file_bytes) {
+      DGF_RETURN_IF_ERROR(close_writer());
+      DGF_RETURN_IF_ERROR(open_writer());
+    }
+    const uint64_t start = current_offset();
+    table::Row row;
+    for (const SliceLocation& slice : value.slices) {
+      DGF_ASSIGN_OR_RETURN(
+          auto reader, OpenSliceReader(dfs, slice, index->schema(), format));
+      for (;;) {
+        DGF_ASSIGN_OR_RETURN(bool more, reader->Next(&row));
+        if (!more) break;
+        if (writer != nullptr) {
+          DGF_RETURN_IF_ERROR(writer->Append(row));
+        } else {
+          DGF_RETURN_IF_ERROR(rc_writer->Append(row));
+        }
+      }
+    }
+    if (rc_writer != nullptr) DGF_RETURN_IF_ERROR(rc_writer->Flush());
+    const uint64_t end = current_offset();
+    stats.bytes_rewritten += end - start;
+    value.slices.clear();
+    value.slices.push_back(
+        SliceLocation{new_file_paths.back(), start, end});
+    ++stats.slices_after;
+  }
+  DGF_RETURN_IF_ERROR(close_writer());
+
+  // Publish the new layout, then drop the old files.
+  for (const auto& [key, value] : entries) {
+    DGF_RETURN_IF_ERROR(store->Put(key, value.Encode()));
+  }
+  DGF_RETURN_IF_ERROR(store->Put(kMetaOptGenKey, std::to_string(generation + 1)));
+  for (const std::string& file : old_files) {
+    DGF_RETURN_IF_ERROR(dfs->Delete(file));
+  }
+  return stats;
+}
+
+}  // namespace dgf::core

@@ -1,0 +1,141 @@
+#include "dgf/splitting_policy.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace dgf::core {
+
+using table::DataType;
+using table::Value;
+
+Result<SplittingPolicy> SplittingPolicy::Create(
+    std::vector<DimensionPolicy> dims, const table::Schema& schema) {
+  if (dims.empty()) {
+    return Status::InvalidArgument("policy needs at least one dimension");
+  }
+  for (auto& dim : dims) {
+    DGF_ASSIGN_OR_RETURN(int field, schema.FieldIndex(dim.column));
+    dim.type = schema.field(field).type;
+    if (dim.type == DataType::kString) {
+      return Status::NotSupported("string dimensions cannot be gridded: " +
+                                  dim.column);
+    }
+    if (!(dim.interval > 0)) {
+      return Status::InvalidArgument("interval must be positive for " +
+                                     dim.column);
+    }
+    if (dim.type != DataType::kDouble &&
+        dim.interval != std::floor(dim.interval)) {
+      return Status::InvalidArgument(
+          "interval must be integral for integer/date dimension " + dim.column);
+    }
+  }
+  // Reject duplicate columns.
+  for (size_t i = 0; i < dims.size(); ++i) {
+    for (size_t j = i + 1; j < dims.size(); ++j) {
+      if (dims[i].column == dims[j].column) {
+        return Status::InvalidArgument("duplicate dimension: " + dims[i].column);
+      }
+    }
+  }
+  return SplittingPolicy(std::move(dims));
+}
+
+Result<int> SplittingPolicy::DimIndex(const std::string& column) const {
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (table::ColumnNameEquals(dims_[i].column, column)) {
+      return static_cast<int>(i);
+    }
+  }
+  return Status::NotFound("column not in policy: " + column);
+}
+
+int64_t SplittingPolicy::CellOf(int dim, const Value& value) const {
+  const DimensionPolicy& p = dims_[static_cast<size_t>(dim)];
+  if (p.type == DataType::kDouble) {
+    return static_cast<int64_t>(std::floor((value.AsDouble() - p.min) /
+                                           p.interval));
+  }
+  // Integer / date path: exact arithmetic with floor division.
+  const int64_t v = value.int64();
+  const auto min = static_cast<int64_t>(p.min);
+  const auto interval = static_cast<int64_t>(p.interval);
+  const int64_t delta = v - min;
+  int64_t cell = delta / interval;
+  if (delta % interval != 0 && delta < 0) --cell;
+  return cell;
+}
+
+Value SplittingPolicy::CellLowerBound(int dim, int64_t cell) const {
+  const DimensionPolicy& p = dims_[static_cast<size_t>(dim)];
+  switch (p.type) {
+    case DataType::kDouble:
+      return Value::Double(p.min + static_cast<double>(cell) * p.interval);
+    case DataType::kDate:
+      return Value::Date(static_cast<int64_t>(p.min) +
+                         cell * static_cast<int64_t>(p.interval));
+    default:
+      return Value::Int64(static_cast<int64_t>(p.min) +
+                          cell * static_cast<int64_t>(p.interval));
+  }
+}
+
+Value SplittingPolicy::CellUpperBound(int dim, int64_t cell) const {
+  return CellLowerBound(dim, cell + 1);
+}
+
+std::string SplittingPolicy::Serialize() const {
+  // Text form: one "column,type,min,interval" per line.
+  std::string out;
+  for (const auto& dim : dims_) {
+    out += dim.column;
+    out += ',';
+    out += table::DataTypeName(dim.type);
+    out += ',';
+    out += StringPrintf("%.17g,%.17g\n", dim.min, dim.interval);
+  }
+  return out;
+}
+
+Result<SplittingPolicy> SplittingPolicy::Deserialize(std::string_view data) {
+  std::vector<DimensionPolicy> dims;
+  for (std::string_view line : SplitString(data, '\n')) {
+    if (TrimString(line).empty()) continue;
+    auto parts = SplitString(line, ',');
+    if (parts.size() != 4) {
+      return Status::Corruption("bad policy line: " + std::string(line));
+    }
+    DimensionPolicy dim;
+    dim.column = std::string(parts[0]);
+    const std::string_view type = parts[1];
+    if (type == "int64") {
+      dim.type = DataType::kInt64;
+    } else if (type == "double") {
+      dim.type = DataType::kDouble;
+    } else if (type == "date") {
+      dim.type = DataType::kDate;
+    } else {
+      return Status::Corruption("bad policy type: " + std::string(type));
+    }
+    DGF_ASSIGN_OR_RETURN(dim.min, ParseDouble(parts[2]));
+    DGF_ASSIGN_OR_RETURN(dim.interval, ParseDouble(parts[3]));
+    dims.push_back(std::move(dim));
+  }
+  if (dims.empty()) return Status::Corruption("empty policy");
+  return SplittingPolicy(std::move(dims));
+}
+
+std::string SplittingPolicy::ToString() const {
+  std::string out = "policy{";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += StringPrintf("%s:%s[min=%g,interval=%g]", dims_[i].column.c_str(),
+                        table::DataTypeName(dims_[i].type), dims_[i].min,
+                        dims_[i].interval);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace dgf::core

@@ -1,0 +1,75 @@
+#ifndef DGF_DGF_SPLITTING_POLICY_H_
+#define DGF_DGF_SPLITTING_POLICY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/schema.h"
+#include "table/value.h"
+
+namespace dgf::core {
+
+/// How one indexed dimension is cut into grid intervals.
+///
+/// The dimension's domain is divided into left-closed right-open intervals
+/// [min + k*interval, min + (k+1)*interval); `k` is the *cell ordinal* used in
+/// GFU keys. This is the paper's "standard" operation: standardizing a value
+/// means snapping it to the lower bound of its interval. For date dimensions
+/// the interval unit is days.
+struct DimensionPolicy {
+  std::string column;
+  table::DataType type = table::DataType::kInt64;
+  /// Lower bound of cell 0 (numeric; for dates, days since epoch).
+  double min = 0;
+  /// Interval width; must be > 0 (for int64/date dims, a whole number).
+  double interval = 1;
+};
+
+/// The grid that defines a DGFIndex: one DimensionPolicy per indexed column.
+///
+/// Mirrors the paper's IDXPROPERTIES ('A'='1_3', 'B'='11_2', ...): each
+/// dimension is declared as "<min>_<interval>".
+class SplittingPolicy {
+ public:
+  SplittingPolicy() = default;
+
+  /// Validates dimensions (known columns, positive intervals, integral
+  /// intervals for integral types).
+  static Result<SplittingPolicy> Create(std::vector<DimensionPolicy> dims,
+                                        const table::Schema& schema);
+
+  int num_dims() const { return static_cast<int>(dims_.size()); }
+  const DimensionPolicy& dim(int i) const { return dims_[static_cast<size_t>(i)]; }
+  const std::vector<DimensionPolicy>& dims() const { return dims_; }
+
+  /// Index of the policy dimension covering `column`, or NotFound.
+  Result<int> DimIndex(const std::string& column) const;
+
+  /// Cell ordinal containing `value` on dimension `dim` (the "standard"
+  /// operation). Values below `min` land in negative cells, which is legal.
+  int64_t CellOf(int dim, const table::Value& value) const;
+
+  /// Lower bound (inclusive) of `cell` on dimension `dim`.
+  table::Value CellLowerBound(int dim, int64_t cell) const;
+  /// Upper bound (exclusive) of `cell` on dimension `dim`.
+  table::Value CellUpperBound(int dim, int64_t cell) const;
+
+  /// Serialization for persisting the policy next to the index (so an index
+  /// can be reopened without the CREATE statement).
+  std::string Serialize() const;
+  static Result<SplittingPolicy> Deserialize(std::string_view data);
+
+  std::string ToString() const;
+
+ private:
+  explicit SplittingPolicy(std::vector<DimensionPolicy> dims)
+      : dims_(std::move(dims)) {}
+
+  std::vector<DimensionPolicy> dims_;
+};
+
+}  // namespace dgf::core
+
+#endif  // DGF_DGF_SPLITTING_POLICY_H_

@@ -1,0 +1,25 @@
+#include "exec/cluster.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace dgf::exec {
+
+double SimulateMakespan(const std::vector<double>& task_seconds, int slots) {
+  if (task_seconds.empty()) return 0.0;
+  slots = std::max(1, slots);
+  // Min-heap of slot free times.
+  std::priority_queue<double, std::vector<double>, std::greater<>> free_at;
+  for (int i = 0; i < slots; ++i) free_at.push(0.0);
+  double makespan = 0.0;
+  for (double cost : task_seconds) {
+    const double start = free_at.top();
+    free_at.pop();
+    const double end = start + std::max(0.0, cost);
+    free_at.push(end);
+    makespan = std::max(makespan, end);
+  }
+  return makespan;
+}
+
+}  // namespace dgf::exec

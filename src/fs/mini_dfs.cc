@@ -1,0 +1,331 @@
+#include "fs/mini_dfs.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace dgf::fs {
+namespace {
+
+// NameNode heap estimate per metadata object (directory, file, block); the
+// figure the paper cites from the Cloudera small-files article.
+constexpr uint64_t kMetadataObjectBytes = 150;
+
+std::string ErrnoMessage(const std::string& context) {
+  return context + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+/// Writer backed by a local file opened with O_APPEND.
+class LocalDfsWriter : public DfsWriter {
+ public:
+  LocalDfsWriter(MiniDfs* dfs, std::string path, int fd, uint64_t offset)
+      : dfs_(dfs), path_(std::move(path)), fd_(fd), offset_(offset) {}
+
+  ~LocalDfsWriter() override {
+    if (fd_ >= 0) Close();
+  }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) return Status::IOError("writer closed: " + path_);
+    size_t written = 0;
+    while (written < data.size()) {
+      const ssize_t n = ::write(fd_, data.data() + written, data.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(ErrnoMessage("write " + path_));
+      }
+      written += static_cast<size_t>(n);
+    }
+    offset_ += data.size();
+    dfs_->bytes_written_.fetch_add(data.size(), std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  uint64_t Offset() const override { return offset_; }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int rc = ::close(fd_);
+    fd_ = -1;
+    {
+      std::lock_guard<std::mutex> lock(dfs_->mu_);
+      dfs_->files_[path_] = offset_;
+    }
+    if (rc != 0) return Status::IOError(ErrnoMessage("close " + path_));
+    return Status::OK();
+  }
+
+ private:
+  MiniDfs* dfs_;
+  std::string path_;
+  int fd_;
+  uint64_t offset_;
+};
+
+/// Reader backed by pread on a local file descriptor.
+class LocalDfsReader : public DfsReader {
+ public:
+  LocalDfsReader(MiniDfs* dfs, std::string path, int fd, uint64_t length)
+      : dfs_(dfs), path_(std::move(path)), fd_(fd), length_(length) {}
+
+  ~LocalDfsReader() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Pread(uint64_t offset, uint64_t length, std::string* out) override {
+    out->clear();
+    if (offset >= length_) return Status::OK();
+    length = std::min(length, length_ - offset);
+    out->resize(length);
+    size_t done = 0;
+    while (done < length) {
+      const ssize_t n = ::pread(fd_, out->data() + done, length - done,
+                                static_cast<off_t>(offset + done));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(ErrnoMessage("pread " + path_));
+      }
+      if (n == 0) break;  // end of file
+      done += static_cast<size_t>(n);
+    }
+    out->resize(done);
+    dfs_->bytes_read_.fetch_add(done, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  uint64_t Length() const override { return length_; }
+
+ private:
+  MiniDfs* dfs_;
+  std::string path_;
+  int fd_;
+  uint64_t length_;
+};
+
+MiniDfs::MiniDfs(Options options) : options_(std::move(options)) {}
+
+MiniDfs::~MiniDfs() = default;
+
+Result<std::shared_ptr<MiniDfs>> MiniDfs::Open(const Options& options) {
+  if (options.root_dir.empty()) {
+    return Status::InvalidArgument("MiniDfs root_dir is empty");
+  }
+  if (options.block_size == 0) {
+    return Status::InvalidArgument("MiniDfs block_size must be > 0");
+  }
+  std::shared_ptr<MiniDfs> dfs(new MiniDfs(options));
+  DGF_RETURN_IF_ERROR(dfs->Init());
+  return dfs;
+}
+
+Status MiniDfs::Init() {
+  std::error_code ec;
+  std::filesystem::create_directories(options_.root_dir, ec);
+  if (ec) return Status::IOError("create_directories: " + ec.message());
+  // Recover the namespace from any files already present under the root.
+  for (const auto& entry : std::filesystem::recursive_directory_iterator(
+           options_.root_dir, ec)) {
+    if (ec) break;
+    if (!entry.is_regular_file()) continue;
+    std::string rel =
+        std::filesystem::relative(entry.path(), options_.root_dir, ec).string();
+    if (ec) return Status::IOError("relative: " + ec.message());
+    const std::string dfs_path = "/" + rel;
+    files_[dfs_path] = entry.file_size();
+    TrackDirectories(dfs_path);
+  }
+  return Status::OK();
+}
+
+std::string MiniDfs::LocalPath(const std::string& path) const {
+  // DFS paths are absolute ("/a/b"); strip the leading slash.
+  return options_.root_dir + "/" + path.substr(1);
+}
+
+Status MiniDfs::ValidatePath(const std::string& path) {
+  if (path.size() < 2 || path.front() != '/') {
+    return Status::InvalidArgument("DFS path must be absolute: '" + path + "'");
+  }
+  if (path.find("..") != std::string::npos) {
+    return Status::InvalidArgument("DFS path must not contain '..': " + path);
+  }
+  if (path.back() == '/') {
+    return Status::InvalidArgument("DFS file path must not end in '/': " + path);
+  }
+  return Status::OK();
+}
+
+void MiniDfs::TrackDirectories(const std::string& path) {
+  // Register every ancestor directory ("/a/b/c.txt" -> "/a", "/a/b").
+  for (size_t pos = path.find('/', 1); pos != std::string::npos;
+       pos = path.find('/', pos + 1)) {
+    directories_.insert(path.substr(0, pos));
+  }
+}
+
+Result<std::unique_ptr<DfsWriter>> MiniDfs::Create(const std::string& path) {
+  DGF_RETURN_IF_ERROR(ValidatePath(path));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (files_.count(path) > 0) {
+      return Status::AlreadyExists("file exists: " + path);
+    }
+    files_[path] = 0;
+    TrackDirectories(path);
+  }
+  const std::string local = LocalPath(path);
+  std::error_code ec;
+  std::filesystem::create_directories(
+      std::filesystem::path(local).parent_path(), ec);
+  if (ec) return Status::IOError("create parent dirs: " + ec.message());
+  const int fd = ::open(local.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IOError(ErrnoMessage("open " + local));
+  return std::unique_ptr<DfsWriter>(new LocalDfsWriter(this, path, fd, 0));
+}
+
+Result<std::unique_ptr<DfsWriter>> MiniDfs::Append(const std::string& path) {
+  DGF_RETURN_IF_ERROR(ValidatePath(path));
+  uint64_t length = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(path);
+    if (it == files_.end()) return Status::NotFound("no such file: " + path);
+    length = it->second;
+  }
+  const std::string local = LocalPath(path);
+  const int fd = ::open(local.c_str(), O_WRONLY | O_APPEND);
+  if (fd < 0) return Status::IOError(ErrnoMessage("open " + local));
+  return std::unique_ptr<DfsWriter>(new LocalDfsWriter(this, path, fd, length));
+}
+
+Result<std::unique_ptr<DfsReader>> MiniDfs::OpenForRead(
+    const std::string& path) {
+  DGF_RETURN_IF_ERROR(ValidatePath(path));
+  uint64_t length = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(path);
+    if (it == files_.end()) return Status::NotFound("no such file: " + path);
+    length = it->second;
+  }
+  const std::string local = LocalPath(path);
+  const int fd = ::open(local.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError(ErrnoMessage("open " + local));
+  return std::unique_ptr<DfsReader>(new LocalDfsReader(this, path, fd, length));
+}
+
+Result<FileStatus> MiniDfs::Stat(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  return FileStatus{path, it->second, options_.block_size};
+}
+
+bool MiniDfs::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) > 0;
+}
+
+Status MiniDfs::Delete(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (files_.erase(path) == 0) {
+      return Status::NotFound("no such file: " + path);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::remove(LocalPath(path), ec);
+  if (ec) return Status::IOError("remove: " + ec.message());
+  return Status::OK();
+}
+
+Status MiniDfs::Rename(const std::string& from, const std::string& to) {
+  DGF_RETURN_IF_ERROR(ValidatePath(to));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(from);
+    if (it == files_.end()) return Status::NotFound("no such file: " + from);
+    if (files_.count(to) > 0) return Status::AlreadyExists("exists: " + to);
+    files_[to] = it->second;
+    files_.erase(it);
+    TrackDirectories(to);
+  }
+  const std::string local_to = LocalPath(to);
+  std::error_code ec;
+  std::filesystem::create_directories(
+      std::filesystem::path(local_to).parent_path(), ec);
+  std::filesystem::rename(LocalPath(from), local_to, ec);
+  if (ec) return Status::IOError("rename: " + ec.message());
+  return Status::OK();
+}
+
+std::vector<FileStatus> MiniDfs::ListFiles(const std::string& prefix) const {
+  std::vector<FileStatus> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    if (!StartsWith(it->first, prefix)) break;
+    out.push_back(FileStatus{it->first, it->second, options_.block_size});
+  }
+  return out;
+}
+
+Result<std::vector<FileSplit>> MiniDfs::GetSplits(const std::string& path,
+                                                  uint64_t split_size) const {
+  DGF_ASSIGN_OR_RETURN(FileStatus status, Stat(path));
+  if (split_size == 0) split_size = options_.block_size;
+  std::vector<FileSplit> splits;
+  for (uint64_t offset = 0; offset < status.length; offset += split_size) {
+    splits.push_back(
+        FileSplit{path, offset, std::min(split_size, status.length - offset)});
+  }
+  return splits;
+}
+
+Result<std::vector<FileSplit>> MiniDfs::GetSplitsForPrefix(
+    const std::string& prefix, uint64_t split_size) const {
+  std::vector<FileSplit> all;
+  for (const FileStatus& file : ListFiles(prefix)) {
+    DGF_ASSIGN_OR_RETURN(std::vector<FileSplit> splits,
+                         GetSplits(file.path, split_size));
+    all.insert(all.end(), splits.begin(), splits.end());
+  }
+  return all;
+}
+
+uint64_t MiniDfs::MetadataMemoryBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t blocks = 0;
+  for (const auto& [path, length] : files_) {
+    (void)path;
+    blocks += (length + options_.block_size - 1) / options_.block_size;
+  }
+  return kMetadataObjectBytes * (files_.size() + directories_.size() + blocks);
+}
+
+uint64_t MiniDfs::NumFiles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.size();
+}
+
+uint64_t MiniDfs::NumDirectories() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return directories_.size();
+}
+
+void MiniDfs::ResetCounters() {
+  bytes_written_.store(0);
+  bytes_read_.store(0);
+}
+
+}  // namespace dgf::fs

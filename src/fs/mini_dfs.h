@@ -1,0 +1,150 @@
+#ifndef DGF_FS_MINI_DFS_H_
+#define DGF_FS_MINI_DFS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "fs/split.h"
+
+namespace dgf::fs {
+
+/// Metadata for one DFS file.
+struct FileStatus {
+  std::string path;
+  uint64_t length = 0;
+  uint64_t block_size = 0;
+};
+
+/// Append-only writer handle for a DFS file (HDFS files are write-once /
+/// append-only; this class enforces that discipline).
+class DfsWriter {
+ public:
+  virtual ~DfsWriter() = default;
+
+  /// Appends `data` at the end of the file.
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Current length of the file (== offset where the next Append lands).
+  virtual uint64_t Offset() const = 0;
+
+  /// Flushes and seals the file. Must be called before readers see the data
+  /// length reflected in metadata.
+  virtual Status Close() = 0;
+};
+
+/// Positional reader handle for a DFS file.
+class DfsReader {
+ public:
+  virtual ~DfsReader() = default;
+
+  /// Reads up to `length` bytes at `offset` into `*out` (replacing its
+  /// contents). Short reads happen only at end of file.
+  virtual Status Pread(uint64_t offset, uint64_t length, std::string* out) = 0;
+
+  virtual uint64_t Length() const = 0;
+};
+
+/// A single-process stand-in for HDFS.
+///
+/// Files are stored in a local directory; MiniDfs layers on top of it the
+/// HDFS concepts the paper's techniques depend on:
+///   * fixed block size and `GetSplits()` enumeration (inputs of map tasks),
+///   * append-only write semantics,
+///   * NameNode-style metadata accounting (`MetadataMemoryBytes()`), used to
+///     reproduce the paper's argument about multidimensional partitioning
+///     overloading the NameNode (Section 2.2),
+///   * byte counters for the write/read-throughput experiments (Figure 3).
+///
+/// Thread-safe: concurrent readers/writers of distinct files are unsynchronized
+/// fast paths; metadata operations take an internal mutex.
+class MiniDfs {
+ public:
+  struct Options {
+    /// Directory on the local filesystem that backs the DFS namespace.
+    std::string root_dir;
+    /// HDFS block size; also the default split size. Paper uses 64 MB; tests
+    /// and benches shrink it so multi-split behaviour shows at laptop scale.
+    uint64_t block_size = 64ULL << 20;
+  };
+
+  /// Creates (or reopens) a DFS rooted at `options.root_dir`.
+  static Result<std::shared_ptr<MiniDfs>> Open(const Options& options);
+
+  ~MiniDfs();
+
+  MiniDfs(const MiniDfs&) = delete;
+  MiniDfs& operator=(const MiniDfs&) = delete;
+
+  /// Creates a new file; fails with AlreadyExists if present.
+  Result<std::unique_ptr<DfsWriter>> Create(const std::string& path);
+
+  /// Reopens an existing file for appending at its current end.
+  Result<std::unique_ptr<DfsWriter>> Append(const std::string& path);
+
+  /// Opens a file for positional reads.
+  Result<std::unique_ptr<DfsReader>> OpenForRead(const std::string& path);
+
+  Result<FileStatus> Stat(const std::string& path) const;
+  bool Exists(const std::string& path) const;
+  Status Delete(const std::string& path);
+  Status Rename(const std::string& from, const std::string& to);
+
+  /// Lists files whose path starts with `prefix`, sorted by path.
+  std::vector<FileStatus> ListFiles(const std::string& prefix) const;
+
+  /// Enumerates the splits of `path`: consecutive ranges of `split_size`
+  /// bytes (0 = use the block size). The analogue of
+  /// FileInputFormat.getSplits for one file.
+  Result<std::vector<FileSplit>> GetSplits(const std::string& path,
+                                           uint64_t split_size = 0) const;
+
+  /// Splits for every file under `prefix` (a "table directory").
+  Result<std::vector<FileSplit>> GetSplitsForPrefix(
+      const std::string& prefix, uint64_t split_size = 0) const;
+
+  uint64_t block_size() const { return options_.block_size; }
+
+  /// Estimated NameNode heap usage: 150 bytes per directory, file, and block,
+  /// matching the rule of thumb the paper cites for HDFS metadata.
+  uint64_t MetadataMemoryBytes() const;
+  uint64_t NumFiles() const;
+  uint64_t NumDirectories() const;
+
+  /// Total bytes appended / read since construction (Figure 3 throughput).
+  uint64_t TotalBytesWritten() const { return bytes_written_.load(); }
+  uint64_t TotalBytesRead() const { return bytes_read_.load(); }
+  void ResetCounters();
+
+ private:
+  explicit MiniDfs(Options options);
+
+  Status Init();
+  std::string LocalPath(const std::string& path) const;
+  static Status ValidatePath(const std::string& path);
+  void TrackDirectories(const std::string& path);
+
+  friend class LocalDfsWriter;
+  friend class LocalDfsReader;
+
+  Options options_;
+  mutable std::mutex mu_;
+  // path -> current length. The authoritative namespace; the local directory
+  // is the backing store.
+  std::map<std::string, uint64_t> files_;
+  std::set<std::string> directories_;
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> bytes_read_{0};
+};
+
+}  // namespace dgf::fs
+
+#endif  // DGF_FS_MINI_DFS_H_

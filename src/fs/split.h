@@ -1,0 +1,31 @@
+#ifndef DGF_FS_SPLIT_H_
+#define DGF_FS_SPLIT_H_
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+
+namespace dgf::fs {
+
+/// A contiguous byte range of one DFS file, the unit of work handed to a map
+/// task — the analogue of Hadoop's FileSplit.
+struct FileSplit {
+  std::string path;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+
+  uint64_t end() const { return offset + length; }
+
+  friend bool operator==(const FileSplit& a, const FileSplit& b) {
+    return std::tie(a.path, a.offset, a.length) ==
+           std::tie(b.path, b.offset, b.length);
+  }
+  friend bool operator<(const FileSplit& a, const FileSplit& b) {
+    return std::tie(a.path, a.offset, a.length) <
+           std::tie(b.path, b.offset, b.length);
+  }
+};
+
+}  // namespace dgf::fs
+
+#endif  // DGF_FS_SPLIT_H_

@@ -1,0 +1,199 @@
+#include "hadoopdb/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dgf::hadoopdb {
+
+struct BTree::NodeBase {
+  bool is_leaf = false;
+  InnerNode* parent = nullptr;
+
+  explicit NodeBase(bool leaf) : is_leaf(leaf) {}
+  virtual ~NodeBase() = default;
+};
+
+struct BTree::InnerNode : NodeBase {
+  InnerNode() : NodeBase(false) {}
+  // children.size() == keys.size() + 1; child i holds keys < keys[i],
+  // child i+1 holds keys >= keys[i].
+  std::vector<std::string> keys;
+  std::vector<NodeBase*> children;
+
+  ~InnerNode() override {
+    for (NodeBase* child : children) delete child;
+  }
+
+  int ChildIndex(std::string_view key) const {
+    // First key > `key` determines the child to descend into (upper_bound
+    // keeps equal keys to the right, matching the split invariant).
+    auto it = std::upper_bound(keys.begin(), keys.end(), key,
+                               [](std::string_view k, const std::string& sep) {
+                                 return k < sep;
+                               });
+    return static_cast<int>(it - keys.begin());
+  }
+};
+
+struct BTree::LeafNode : NodeBase {
+  LeafNode() : NodeBase(true) {}
+  std::vector<std::string> keys;
+  std::vector<uint64_t> values;
+  LeafNode* next = nullptr;
+
+  int LowerBound(std::string_view key) const {
+    auto it = std::lower_bound(keys.begin(), keys.end(), key,
+                               [](const std::string& k, std::string_view t) {
+                                 return std::string_view(k) < t;
+                               });
+    return static_cast<int>(it - keys.begin());
+  }
+};
+
+BTree::BTree() { root_ = new LeafNode(); }
+
+BTree::~BTree() { delete root_; }
+
+BTree::LeafNode* BTree::FindLeaf(std::string_view key) const {
+  NodeBase* node = root_;
+  while (!node->is_leaf) {
+    auto* inner = static_cast<InnerNode*>(node);
+    node = inner->children[static_cast<size_t>(inner->ChildIndex(key))];
+  }
+  return static_cast<LeafNode*>(node);
+}
+
+namespace {
+
+// Stored keys get an 8-byte big-endian row-id suffix, making every key
+// unique: split separators then never fall inside a run of duplicates, which
+// keeps range scans exact. The suffix is stripped when keys are read back.
+std::string InternalKey(std::string_view key, uint64_t row_id) {
+  std::string out(key);
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<char>((row_id >> shift) & 0xFF));
+  }
+  return out;
+}
+
+}  // namespace
+
+void BTree::Insert(std::string_view key, uint64_t row_id) {
+  const std::string internal = InternalKey(key, row_id);
+  LeafNode* leaf = FindLeaf(internal);
+  auto it = std::upper_bound(leaf->keys.begin(), leaf->keys.end(), internal);
+  const auto pos = static_cast<size_t>(it - leaf->keys.begin());
+  leaf->keys.insert(leaf->keys.begin() + static_cast<long>(pos), internal);
+  leaf->values.insert(leaf->values.begin() + static_cast<long>(pos), row_id);
+  ++size_;
+  if (static_cast<int>(leaf->keys.size()) > kFanout) SplitLeaf(leaf);
+}
+
+void BTree::SplitLeaf(LeafNode* leaf) {
+  auto* sibling = new LeafNode();
+  const size_t mid = leaf->keys.size() / 2;
+  sibling->keys.assign(leaf->keys.begin() + static_cast<long>(mid),
+                       leaf->keys.end());
+  sibling->values.assign(leaf->values.begin() + static_cast<long>(mid),
+                         leaf->values.end());
+  leaf->keys.resize(mid);
+  leaf->values.resize(mid);
+  sibling->next = leaf->next;
+  leaf->next = sibling;
+  InsertIntoParent(leaf, sibling->keys.front(), sibling);
+}
+
+void BTree::SplitInner(InnerNode* inner) {
+  auto* sibling = new InnerNode();
+  const size_t mid = inner->keys.size() / 2;
+  std::string separator = inner->keys[mid];
+  sibling->keys.assign(inner->keys.begin() + static_cast<long>(mid) + 1,
+                       inner->keys.end());
+  sibling->children.assign(inner->children.begin() + static_cast<long>(mid) + 1,
+                           inner->children.end());
+  for (NodeBase* child : sibling->children) child->parent = sibling;
+  inner->keys.resize(mid);
+  inner->children.resize(mid + 1);
+  InsertIntoParent(inner, std::move(separator), sibling);
+}
+
+void BTree::InsertIntoParent(NodeBase* node, std::string separator,
+                             NodeBase* new_node) {
+  InnerNode* parent = node->parent;
+  if (parent == nullptr) {
+    auto* new_root = new InnerNode();
+    new_root->keys.push_back(std::move(separator));
+    new_root->children = {node, new_node};
+    node->parent = new_root;
+    new_node->parent = new_root;
+    root_ = new_root;
+    ++height_;
+    return;
+  }
+  // Insert separator + new child right after `node`.
+  const auto child_it =
+      std::find(parent->children.begin(), parent->children.end(), node);
+  assert(child_it != parent->children.end());
+  const auto idx = static_cast<size_t>(child_it - parent->children.begin());
+  parent->keys.insert(parent->keys.begin() + static_cast<long>(idx),
+                      std::move(separator));
+  parent->children.insert(parent->children.begin() + static_cast<long>(idx) + 1,
+                          new_node);
+  new_node->parent = parent;
+  if (static_cast<int>(parent->keys.size()) > kFanout) SplitInner(parent);
+}
+
+std::string_view BTree::RangeIterator::key() const {
+  std::string_view internal = leaf_->keys[static_cast<size_t>(pos_)];
+  internal.remove_suffix(8);  // strip the row-id uniquifier
+  return internal;
+}
+
+uint64_t BTree::RangeIterator::value() const {
+  return leaf_->values[static_cast<size_t>(pos_)];
+}
+
+void BTree::RangeIterator::Next() {
+  if (leaf_ == nullptr) return;
+  ++pos_;
+  if (pos_ >= static_cast<int>(leaf_->keys.size())) {
+    leaf_ = leaf_->next;
+    pos_ = 0;
+    // Skip any empty leaves (possible only for the initial empty root).
+    while (leaf_ != nullptr && leaf_->keys.empty()) leaf_ = leaf_->next;
+  }
+  if (leaf_ != nullptr && !upper_.empty() &&
+      std::string_view(leaf_->keys[static_cast<size_t>(pos_)]) >= upper_) {
+    leaf_ = nullptr;
+  }
+}
+
+BTree::RangeIterator BTree::Range(std::string_view lower,
+                                  std::string_view upper) const {
+  RangeIterator it;
+  it.upper_ = std::string(upper);
+  LeafNode* leaf = FindLeaf(lower);
+  int pos = leaf->LowerBound(lower);
+  if (pos >= static_cast<int>(leaf->keys.size())) {
+    leaf = leaf->next;
+    pos = 0;
+    while (leaf != nullptr && leaf->keys.empty()) leaf = leaf->next;
+  }
+  if (leaf == nullptr) return it;
+  if (!upper.empty() &&
+      std::string_view(leaf->keys[static_cast<size_t>(pos)]) >= upper) {
+    return it;
+  }
+  it.leaf_ = leaf;
+  it.pos_ = pos;
+  return it;
+}
+
+uint64_t BTree::CountRange(std::string_view lower,
+                           std::string_view upper) const {
+  uint64_t count = 0;
+  for (RangeIterator it = Range(lower, upper); it.Valid(); it.Next()) ++count;
+  return count;
+}
+
+}  // namespace dgf::hadoopdb

@@ -1,0 +1,81 @@
+#ifndef DGF_HADOOPDB_BTREE_H_
+#define DGF_HADOOPDB_BTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dgf::hadoopdb {
+
+/// In-memory B+ tree mapping byte-string keys to row ids.
+///
+/// The multi-column index of the per-node "PostgreSQL" in the HadoopDB
+/// baseline: composite (userId, regionId, time) keys are encoded
+/// order-preservingly and point at row ordinals in the chunk's row store.
+/// Duplicate keys are allowed (a user has many readings).
+///
+/// Not thread-safe for writes; concurrent reads are safe after loading.
+class BTree {
+ private:
+  struct NodeBase;
+  struct InnerNode;
+  struct LeafNode;
+
+ public:
+  static constexpr int kFanout = 64;
+
+  BTree();
+  ~BTree();
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  /// Inserts one (key, row id) pair. O(log n) with node splits — the real
+  /// index-maintenance cost that ruins DBMS-X's write throughput (Figure 3).
+  void Insert(std::string_view key, uint64_t row_id);
+
+  uint64_t size() const { return size_; }
+  int height() const { return height_; }
+
+  /// Forward cursor over entries with key in [lower, upper).
+  class RangeIterator {
+   public:
+    bool Valid() const { return leaf_ != nullptr; }
+    std::string_view key() const;
+    uint64_t value() const;
+    void Next();
+
+   private:
+    friend class BTree;
+    const LeafNode* leaf_ = nullptr;
+    int pos_ = 0;
+    std::string upper_;  // exclusive; empty = unbounded
+  };
+
+  /// Positions at the first entry with key >= lower; iteration stops at the
+  /// first key >= upper (upper empty = unbounded).
+  RangeIterator Range(std::string_view lower, std::string_view upper) const;
+
+  /// Total entries with key in [lower, upper) — walks the range.
+  uint64_t CountRange(std::string_view lower, std::string_view upper) const;
+
+ private:
+  /// Descends to the leaf that may contain `key`.
+  LeafNode* FindLeaf(std::string_view key) const;
+
+  /// Splits `leaf` (full) and updates parents; may grow the tree.
+  void SplitLeaf(LeafNode* leaf);
+  void SplitInner(InnerNode* inner);
+  void InsertIntoParent(NodeBase* node, std::string separator,
+                        NodeBase* new_node);
+
+  NodeBase* root_ = nullptr;
+  uint64_t size_ = 0;
+  int height_ = 1;
+};
+
+}  // namespace dgf::hadoopdb
+
+#endif  // DGF_HADOOPDB_BTREE_H_

@@ -1,0 +1,271 @@
+#include "hadoopdb/hadoopdb.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "dgf/aggregators.h"
+
+namespace dgf::hadoopdb {
+
+using core::AggregatorList;
+using core::AggSpec;
+using table::DataType;
+using table::Row;
+using table::Schema;
+using table::Value;
+
+namespace {
+
+uint64_t HashValue(const Value& value) {
+  uint64_t x = value.is_string()
+                   ? std::hash<std::string>{}(value.str())
+                   : static_cast<uint64_t>(value.is_double()
+                                               ? static_cast<int64_t>(value.dbl())
+                                               : value.int64());
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<HadoopDb>> HadoopDb::Load(
+    const std::shared_ptr<fs::MiniDfs>& dfs, const table::TableDesc& source,
+    const HadoopDbConfig& config) {
+  if (config.num_nodes <= 0 || config.chunks_per_node <= 0) {
+    return Status::InvalidArgument("nodes and chunks must be positive");
+  }
+  std::unique_ptr<HadoopDb> db(new HadoopDb(config));
+  db->schema_ = source.schema;
+  DGF_ASSIGN_OR_RETURN(db->partition_field_,
+                       source.schema.FieldIndex(config.index_columns[0]));
+  db->nodes_.resize(static_cast<size_t>(config.num_nodes));
+  for (auto& node : db->nodes_) {
+    for (int c = 0; c < config.chunks_per_node; ++c) {
+      DGF_ASSIGN_OR_RETURN(auto chunk,
+                           LocalDb::Create(source.schema, config.index_columns));
+      node.chunks.push_back(std::move(chunk));
+    }
+  }
+
+  // GlobalHasher + LocalHasher: stream the source, bulk-insert, index after.
+  DGF_ASSIGN_OR_RETURN(auto splits, table::GetTableSplits(dfs, source));
+  for (const auto& split : splits) {
+    DGF_ASSIGN_OR_RETURN(auto reader, table::OpenSplitReader(dfs, source, split));
+    Row row;
+    for (;;) {
+      DGF_ASSIGN_OR_RETURN(bool more, reader->Next(&row));
+      if (!more) break;
+      const uint64_t h =
+          HashValue(row[static_cast<size_t>(db->partition_field_)]);
+      auto& node = db->nodes_[h % static_cast<uint64_t>(config.num_nodes)];
+      auto& chunk =
+          node.chunks[(h / static_cast<uint64_t>(config.num_nodes)) %
+                      static_cast<uint64_t>(config.chunks_per_node)];
+      DGF_RETURN_IF_ERROR(chunk->Insert(row, /*maintain_index=*/false));
+      ++db->total_rows_;
+    }
+  }
+  for (auto& node : db->nodes_) {
+    for (auto& chunk : node.chunks) chunk->BuildIndex();
+  }
+  return db;
+}
+
+Status HadoopDb::ReplicateArchive(const std::shared_ptr<fs::MiniDfs>& dfs,
+                                  const table::TableDesc& archive) {
+  DGF_ASSIGN_OR_RETURN(auto splits, table::GetTableSplits(dfs, archive));
+  std::vector<Row> rows;
+  for (const auto& split : splits) {
+    DGF_ASSIGN_OR_RETURN(auto reader, table::OpenSplitReader(dfs, archive, split));
+    Row row;
+    for (;;) {
+      DGF_ASSIGN_OR_RETURN(bool more, reader->Next(&row));
+      if (!more) break;
+      rows.push_back(row);
+    }
+  }
+  for (auto& node : nodes_) {
+    DGF_ASSIGN_OR_RETURN(
+        node.archive,
+        LocalDb::Create(archive.schema, {archive.schema.field(0).name}));
+    for (const Row& row : rows) {
+      DGF_RETURN_IF_ERROR(node.archive->Insert(row));
+    }
+  }
+  archive_schema_valid_ = true;
+  archive_schema_ = archive.schema;
+  return Status::OK();
+}
+
+HadoopDb::QueryStats HadoopDb::Charge(
+    const std::vector<std::vector<LocalDb::ExecStats>>& per_node_stats) const {
+  QueryStats stats;
+  std::vector<double> node_times;
+  std::vector<double> task_costs;  // MR view: one map task per chunk
+  for (const auto& node_stats : per_node_stats) {
+    double node_io_bytes = 0;
+    double node_cpu = 0;
+    for (const LocalDb::ExecStats& chunk : node_stats) {
+      stats.rows_examined += chunk.rows_examined;
+      stats.rows_matched += chunk.rows_matched;
+      stats.bytes_scanned += chunk.bytes_scanned;
+      const double scale = config_.cluster.data_scale;
+      if (chunk.used_index) {
+        ++stats.chunks_using_index;
+        node_cpu += scale * static_cast<double>(chunk.rows_examined) *
+                    config_.index_row_fetch_s;
+      } else {
+        ++stats.chunks_seq_scanned;
+        node_io_bytes += scale * static_cast<double>(chunk.bytes_scanned);
+        node_cpu += scale * static_cast<double>(chunk.rows_examined) *
+                    config_.db_row_cpu_s;
+      }
+      task_costs.push_back(config_.cluster.task_launch_overhead_s);
+    }
+    // Disk contention: all chunk scans of this node share its DB bandwidth.
+    node_times.push_back(node_io_bytes / (1e6 * config_.db_scan_mb_per_s) +
+                         node_cpu);
+  }
+  stats.db_seconds =
+      *std::max_element(node_times.begin(), node_times.end());
+  stats.mr_seconds =
+      config_.cluster.job_overhead_s +
+      exec::SimulateMakespan(task_costs, config_.cluster.total_map_slots());
+  stats.total_seconds = stats.db_seconds + stats.mr_seconds;
+  return stats;
+}
+
+Result<HadoopDb::QueryOutput> HadoopDb::Execute(const query::Query& query) {
+  const std::vector<AggSpec> requested = query.Aggregations();
+  const bool is_group_by = query.group_by.has_value();
+  const bool is_join = query.join.has_value();
+  if (is_join && requested.empty() == false) {
+    return Status::NotSupported("join with aggregation not implemented");
+  }
+  std::optional<AggregatorList> aggs;
+  if (!requested.empty()) {
+    DGF_ASSIGN_OR_RETURN(auto list, AggregatorList::Create(requested, schema_));
+    aggs = std::move(list);
+  }
+  int group_field = -1;
+  if (is_group_by) {
+    DGF_ASSIGN_OR_RETURN(group_field, schema_.FieldIndex(*query.group_by));
+  }
+  int join_left_field = -1, join_right_field = -1;
+  std::vector<std::pair<bool, int>> join_project;  // (from_right, field)
+  if (is_join) {
+    if (!archive_schema_valid_) {
+      return Status::InvalidArgument("join requires ReplicateArchive first");
+    }
+    DGF_ASSIGN_OR_RETURN(join_left_field,
+                         schema_.FieldIndex(query.join->left_column));
+    DGF_ASSIGN_OR_RETURN(join_right_field,
+                         archive_schema_.FieldIndex(query.join->right_column));
+    for (const auto& item : query.select) {
+      auto left = schema_.FieldIndex(item.column);
+      if (left.ok()) {
+        join_project.emplace_back(false, *left);
+      } else {
+        DGF_ASSIGN_OR_RETURN(int right, archive_schema_.FieldIndex(item.column));
+        join_project.emplace_back(true, right);
+      }
+    }
+  }
+
+  QueryOutput output;
+  std::vector<std::vector<LocalDb::ExecStats>> per_node_stats(nodes_.size());
+  std::vector<double> global_acc;
+  if (aggs.has_value()) global_acc = aggs->Identity();
+  std::map<std::string, std::vector<double>> groups;
+
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    Node& node = nodes_[n];
+    // Archive hash table for the join, built once per node.
+    std::unordered_multimap<std::string, uint64_t> archive_index;
+    if (is_join) {
+      for (uint64_t id = 0; id < node.archive->num_rows(); ++id) {
+        archive_index.emplace(
+            node.archive->row(id)[static_cast<size_t>(join_right_field)].ToText(),
+            id);
+      }
+    }
+    for (auto& chunk : node.chunks) {
+      std::vector<uint64_t> matches;
+      DGF_ASSIGN_OR_RETURN(LocalDb::ExecStats chunk_stats,
+                           chunk->Execute(query.where, &matches));
+      per_node_stats[n].push_back(chunk_stats);
+      for (uint64_t id : matches) {
+        const Row& row = chunk->row(id);
+        if (is_group_by) {
+          const std::string key = row[static_cast<size_t>(group_field)].ToText();
+          auto [it, inserted] = groups.try_emplace(key);
+          if (inserted) it->second = aggs->Identity();
+          aggs->Update(&it->second, row);
+        } else if (aggs.has_value()) {
+          aggs->Update(&global_acc, row);
+        } else if (is_join) {
+          const std::string key =
+              row[static_cast<size_t>(join_left_field)].ToText();
+          auto it = archive_index.find(key);
+          if (it == archive_index.end()) continue;
+          const Row& right = node.archive->row(it->second);
+          Row out_row;
+          for (const auto& [from_right, field] : join_project) {
+            out_row.push_back(from_right ? right[static_cast<size_t>(field)]
+                                         : row[static_cast<size_t>(field)]);
+          }
+          output.rows.push_back(std::move(out_row));
+        } else {
+          output.rows.push_back(row);
+        }
+      }
+    }
+  }
+
+  // Assemble schema + aggregated rows.
+  if (is_group_by) {
+    const DataType group_type =
+        schema_.field(group_field).type;
+    std::vector<table::Field> fields = {{*query.group_by, group_type}};
+    for (const AggSpec& spec : requested) {
+      fields.push_back({spec.ToString(), DataType::kDouble});
+    }
+    output.schema = Schema(std::move(fields));
+    for (const auto& [key, header] : groups) {
+      DGF_ASSIGN_OR_RETURN(Value group_value,
+                           table::ParseValue(key, group_type));
+      Row row = {std::move(group_value)};
+      for (double v : header) row.push_back(Value::Double(v));
+      output.rows.push_back(std::move(row));
+    }
+  } else if (aggs.has_value()) {
+    std::vector<table::Field> fields;
+    Row row;
+    for (size_t i = 0; i < requested.size(); ++i) {
+      fields.push_back({requested[i].ToString(), DataType::kDouble});
+      row.push_back(Value::Double(global_acc[i]));
+    }
+    output.schema = Schema(std::move(fields));
+    output.rows.push_back(std::move(row));
+  } else if (is_join) {
+    std::vector<table::Field> fields;
+    for (size_t i = 0; i < query.select.size(); ++i) {
+      const auto& [from_right, field] = join_project[i];
+      fields.push_back(
+          {query.select[i].column,
+           from_right ? archive_schema_.field(field).type
+                      : schema_.field(field).type});
+    }
+    output.schema = Schema(std::move(fields));
+  } else {
+    output.schema = schema_;
+  }
+  output.stats = Charge(per_node_stats);
+  return output;
+}
+
+}  // namespace dgf::hadoopdb

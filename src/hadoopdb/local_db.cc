@@ -1,0 +1,140 @@
+#include "hadoopdb/local_db.h"
+
+#include <algorithm>
+
+#include "common/encoding.h"
+
+namespace dgf::hadoopdb {
+
+using table::DataType;
+using table::Row;
+using table::Schema;
+using table::Value;
+
+namespace {
+
+void EncodeValueOrdered(std::string* out, const Value& value) {
+  if (value.is_double()) {
+    PutOrderedDouble(out, value.dbl());
+  } else if (value.is_string()) {
+    out->append(value.str());
+    out->push_back('\0');
+  } else {
+    PutOrderedInt64(out, value.int64());
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<LocalDb>> LocalDb::Create(
+    Schema schema, std::vector<std::string> index_columns) {
+  if (index_columns.empty()) {
+    return Status::InvalidArgument("LocalDb needs at least one index column");
+  }
+  std::vector<int> fields;
+  for (const std::string& column : index_columns) {
+    DGF_ASSIGN_OR_RETURN(int field, schema.FieldIndex(column));
+    fields.push_back(field);
+  }
+  return std::unique_ptr<LocalDb>(new LocalDb(
+      std::move(schema), std::move(index_columns), std::move(fields)));
+}
+
+std::string LocalDb::EncodeKey(const Row& row) const {
+  std::string key;
+  for (int field : index_fields_) {
+    EncodeValueOrdered(&key, row[static_cast<size_t>(field)]);
+  }
+  return key;
+}
+
+Status LocalDb::Insert(const Row& row, bool maintain_index) {
+  if (static_cast<int>(row.size()) != schema_.num_fields()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  const auto row_id = static_cast<uint64_t>(rows_.size());
+  rows_.push_back(row);
+  heap_bytes_ += table::FormatRowText(row).size() + 1;
+  if (maintain_index) {
+    index_.Insert(EncodeKey(row), row_id);
+  }
+  return Status::OK();
+}
+
+void LocalDb::BuildIndex() {
+  for (uint64_t id = 0; id < rows_.size(); ++id) {
+    index_.Insert(EncodeKey(rows_[id]), id);
+  }
+}
+
+Result<LocalDb::ExecStats> LocalDb::Execute(const query::Predicate& pred,
+                                            std::vector<uint64_t>* out,
+                                            double seq_scan_threshold) const {
+  ExecStats stats;
+  DGF_ASSIGN_OR_RETURN(query::BoundPredicate bound, pred.Bind(schema_));
+  if (rows_.empty()) return stats;
+
+  // Planner: can the leading index column bound a key range?
+  const query::ColumnRange* leading = pred.FindColumn(index_columns_[0]);
+  bool try_index = leading != nullptr &&
+                   (leading->lower.has_value() || leading->upper.has_value());
+  std::string lower_key, upper_key;
+  if (try_index) {
+    // Key range on the leading column only; trailing columns are filtered.
+    if (leading->lower.has_value()) {
+      EncodeValueOrdered(&lower_key, leading->lower->value);
+      if (!leading->lower->inclusive && leading->lower->value.is_int64()) {
+        lower_key.clear();
+        EncodeValueOrdered(&lower_key,
+                           Value::Int64(leading->lower->value.int64() + 1));
+      }
+    }
+    if (leading->upper.has_value()) {
+      if (leading->upper->value.is_double()) {
+        EncodeValueOrdered(&upper_key, leading->upper->value);
+        if (leading->upper->inclusive) {
+          // Extend past all composite keys sharing this leading value.
+          upper_key.append(8, '\xff');
+        }
+      } else {
+        const int64_t hi = leading->upper->value.int64() +
+                           (leading->upper->inclusive ? 1 : 0);
+        EncodeValueOrdered(&upper_key, Value::Int64(hi));
+      }
+    }
+    // Cost-based choice: estimate the selected fraction from the key range.
+    const uint64_t in_range = index_.CountRange(lower_key, upper_key);
+    const double fraction =
+        static_cast<double>(in_range) / static_cast<double>(rows_.size());
+    if (fraction > seq_scan_threshold) try_index = false;
+  }
+
+  const double avg_row_bytes =
+      static_cast<double>(heap_bytes_) / static_cast<double>(rows_.size());
+  if (try_index) {
+    stats.used_index = true;
+    for (auto it = index_.Range(lower_key, upper_key); it.Valid(); it.Next()) {
+      ++stats.rows_examined;
+      const Row& row = rows_[it.value()];
+      if (bound.Matches(row)) {
+        ++stats.rows_matched;
+        out->push_back(it.value());
+      }
+    }
+    stats.bytes_scanned =
+        static_cast<uint64_t>(avg_row_bytes * stats.rows_examined);
+    return stats;
+  }
+
+  for (uint64_t id = 0; id < rows_.size(); ++id) {
+    ++stats.rows_examined;
+    if (bound.Matches(rows_[id])) {
+      ++stats.rows_matched;
+      out->push_back(id);
+    }
+  }
+  stats.bytes_scanned = heap_bytes_;
+  return stats;
+}
+
+}  // namespace dgf::hadoopdb

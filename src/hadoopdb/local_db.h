@@ -1,0 +1,82 @@
+#ifndef DGF_HADOOPDB_LOCAL_DB_H_
+#define DGF_HADOOPDB_LOCAL_DB_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "hadoopdb/btree.h"
+#include "query/predicate.h"
+#include "table/schema.h"
+
+namespace dgf::hadoopdb {
+
+/// One chunk database of the HadoopDB baseline — the stand-in for a
+/// PostgreSQL instance holding a ~1 GB hash partition of the meter table,
+/// with a multi-column B-tree index on the indexed columns.
+///
+/// Rows live in an in-memory heap; the index maps the encoded composite key
+/// (index_columns, in order) to row ordinals. `Execute` mimics the Postgres
+/// planner's choice between an index range scan on the leading column and a
+/// sequential scan, and reports the work done so the engine can charge the
+/// cluster cost model.
+class LocalDb {
+ public:
+  /// `index_columns`: the multi-column index (paper: userId, regionId, time).
+  static Result<std::unique_ptr<LocalDb>> Create(
+      table::Schema schema, std::vector<std::string> index_columns);
+
+  /// Inserts one row; when `maintain_index` is set the B-tree is updated
+  /// inline (the write path measured in Figure 3).
+  Status Insert(const table::Row& row, bool maintain_index = true);
+
+  /// Builds the index over all inserted rows (bulk load path).
+  void BuildIndex();
+
+  uint64_t num_rows() const { return rows_.size(); }
+  uint64_t heap_bytes() const { return heap_bytes_; }
+  const table::Schema& schema() const { return schema_; }
+
+  /// Work report of one chunk-local query.
+  struct ExecStats {
+    bool used_index = false;
+    /// Rows fetched (via index probes or the sequential scan).
+    uint64_t rows_examined = 0;
+    uint64_t rows_matched = 0;
+    /// Heap bytes touched (full heap for a seq scan, matched-row bytes for
+    /// an index scan).
+    uint64_t bytes_scanned = 0;
+  };
+
+  /// Evaluates `pred` and appends matching row ordinals to `*out`.
+  /// Planner rule: if the predicate constrains the leading index column and
+  /// the estimated selected fraction is below `seq_scan_threshold`, use an
+  /// index range scan; otherwise scan sequentially.
+  Result<ExecStats> Execute(const query::Predicate& pred,
+                            std::vector<uint64_t>* out,
+                            double seq_scan_threshold = 0.2) const;
+
+  const table::Row& row(uint64_t id) const { return rows_[id]; }
+
+ private:
+  LocalDb(table::Schema schema, std::vector<std::string> index_columns,
+          std::vector<int> index_fields)
+      : schema_(std::move(schema)),
+        index_columns_(std::move(index_columns)),
+        index_fields_(std::move(index_fields)) {}
+
+  std::string EncodeKey(const table::Row& row) const;
+
+  table::Schema schema_;
+  std::vector<std::string> index_columns_;
+  std::vector<int> index_fields_;
+  std::vector<table::Row> rows_;
+  uint64_t heap_bytes_ = 0;
+  BTree index_;
+};
+
+}  // namespace dgf::hadoopdb
+
+#endif  // DGF_HADOOPDB_LOCAL_DB_H_

@@ -1,0 +1,285 @@
+#include "index/bitmap_index.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace dgf::index {
+namespace {
+
+using table::DataType;
+using table::Row;
+using table::Schema;
+using table::TableDesc;
+using table::Value;
+
+constexpr char kKeySep = '\x01';
+
+class BitmapBuildMapper : public exec::Mapper {
+ public:
+  BitmapBuildMapper(std::shared_ptr<fs::MiniDfs> dfs, TableDesc base,
+                    std::vector<int> dim_fields)
+      : dfs_(std::move(dfs)),
+        base_(std::move(base)),
+        dim_fields_(std::move(dim_fields)) {}
+
+  Status Map(const fs::FileSplit& split, exec::MapContext* ctx) override {
+    DGF_ASSIGN_OR_RETURN(auto reader, table::OpenSplitReader(dfs_, base_, split));
+    Row row;
+    for (;;) {
+      DGF_ASSIGN_OR_RETURN(bool more, reader->Next(&row));
+      if (!more) break;
+      std::string key;
+      for (int field : dim_fields_) {
+        key += row[static_cast<size_t>(field)].ToText();
+        key.push_back(kKeySep);
+      }
+      key += split.path;
+      key.push_back(kKeySep);
+      key += std::to_string(reader->CurrentBlockOffset());
+      ctx->Emit(std::move(key), std::to_string(reader->CurrentRowInBlock()));
+      ctx->AddRecords(1);
+    }
+    ctx->AddBytesRead(reader->BytesRead());
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<fs::MiniDfs> dfs_;
+  TableDesc base_;
+  std::vector<int> dim_fields_;
+};
+
+class BitmapBuildReducer : public exec::Reducer {
+ public:
+  BitmapBuildReducer(std::shared_ptr<fs::MiniDfs> dfs, TableDesc index_table,
+                     int num_dims, int reducer_id)
+      : num_dims_(num_dims) {
+    table::TableWriter::Options options;
+    options.first_file_index = reducer_id;
+    options.max_file_bytes = ~0ULL;
+    auto writer = table::TableWriter::Create(std::move(dfs), index_table, options);
+    if (writer.ok()) {
+      writer_ = std::move(*writer);
+    } else {
+      init_error_ = writer.status();
+    }
+  }
+
+  Status Reduce(const std::string& key, const std::vector<std::string>& values,
+                exec::ReduceContext* ctx) override {
+    DGF_RETURN_IF_ERROR(init_error_);
+    auto parts = SplitString(key, kKeySep);
+    if (static_cast<int>(parts.size()) != num_dims_ + 2) {
+      return Status::Internal("bad bitmap build key");
+    }
+    std::set<int64_t> rows;
+    for (const std::string& v : values) {
+      DGF_ASSIGN_OR_RETURN(int64_t row_ord, ParseInt64(v));
+      rows.insert(row_ord);
+    }
+    std::vector<std::string> sorted;
+    sorted.reserve(rows.size());
+    for (int64_t r : rows) sorted.push_back(std::to_string(r));
+
+    Row out;
+    for (int d = 0; d < num_dims_; ++d) {
+      out.push_back(Value::String(std::string(parts[static_cast<size_t>(d)])));
+    }
+    out.push_back(Value::String(
+        std::string(parts[static_cast<size_t>(num_dims_)])));  // bucket
+    DGF_ASSIGN_OR_RETURN(int64_t offset,
+                         ParseInt64(parts[static_cast<size_t>(num_dims_) + 1]));
+    out.push_back(Value::Int64(offset));
+    out.push_back(Value::String(JoinStrings(sorted, ",")));
+    ctx->counters().Add("index.entries", 1);
+    return writer_->Append(out);
+  }
+
+  Status Finish(exec::ReduceContext*) override {
+    DGF_RETURN_IF_ERROR(init_error_);
+    return writer_->Close();
+  }
+
+ private:
+  int num_dims_;
+  std::unique_ptr<table::TableWriter> writer_;
+  Status init_error_;
+};
+
+Schema BitmapTableSchema(const std::vector<std::string>& dims) {
+  std::vector<table::Field> fields;
+  for (const std::string& dim : dims) fields.push_back({dim, DataType::kString});
+  fields.push_back({"_bucketname", DataType::kString});
+  fields.push_back({"_offset", DataType::kInt64});
+  fields.push_back({"_bitmaps", DataType::kString});
+  return Schema(std::move(fields));
+}
+
+class BitmapScanMapper : public exec::Mapper {
+ public:
+  BitmapScanMapper(std::shared_ptr<fs::MiniDfs> dfs, TableDesc index_table,
+                   std::vector<std::pair<int, query::ColumnRange>> conditions,
+                   std::vector<DataType> dim_types)
+      : dfs_(std::move(dfs)),
+        index_table_(std::move(index_table)),
+        conditions_(std::move(conditions)),
+        dim_types_(std::move(dim_types)) {}
+
+  Status Map(const fs::FileSplit& split, exec::MapContext* ctx) override {
+    DGF_ASSIGN_OR_RETURN(auto reader,
+                         table::OpenSplitReader(dfs_, index_table_, split));
+    Row row;
+    const size_t num_dims = dim_types_.size();
+    for (;;) {
+      DGF_ASSIGN_OR_RETURN(bool more, reader->Next(&row));
+      if (!more) break;
+      ctx->AddRecords(1);
+      bool match = true;
+      for (const auto& [dim, range] : conditions_) {
+        DGF_ASSIGN_OR_RETURN(
+            Value value,
+            table::ParseValue(row[static_cast<size_t>(dim)].str(),
+                              dim_types_[static_cast<size_t>(dim)]));
+        if (!range.Matches(value)) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      // key = bucket \x01 offset ; value = row list
+      std::string key = row[num_dims].str();
+      key.push_back(kKeySep);
+      key += row[num_dims + 1].ToText();
+      ctx->Emit(std::move(key), row[num_dims + 2].str());
+    }
+    ctx->AddBytesRead(reader->BytesRead());
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<fs::MiniDfs> dfs_;
+  TableDesc index_table_;
+  std::vector<std::pair<int, query::ColumnRange>> conditions_;
+  std::vector<DataType> dim_types_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<BitmapIndex>> BitmapIndex::Build(
+    std::shared_ptr<fs::MiniDfs> dfs, const table::TableDesc& base,
+    const BuildOptions& options, exec::JobResult* job_result) {
+  if (base.format != table::FileFormat::kRcFile) {
+    return Status::NotSupported(
+        "Bitmap Index only improves RCFile tables (every TextFile line is its "
+        "own block)");
+  }
+  if (options.dims.empty()) {
+    return Status::InvalidArgument("index needs at least one dimension");
+  }
+  std::vector<int> dim_fields;
+  for (const std::string& dim : options.dims) {
+    DGF_ASSIGN_OR_RETURN(int field, base.schema.FieldIndex(dim));
+    dim_fields.push_back(field);
+  }
+  TableDesc index_table;
+  index_table.name = base.name + "_bitmap_idx";
+  index_table.schema = BitmapTableSchema(options.dims);
+  index_table.format = table::FileFormat::kText;
+  index_table.dir = options.index_dir;
+
+  DGF_ASSIGN_OR_RETURN(auto splits,
+                       table::GetTableSplits(dfs, base, options.split_size));
+  exec::JobRunner::Options job = options.job;
+  if (job.num_reducers <= 0) job.num_reducers = 8;
+  exec::JobRunner runner(job);
+  DGF_ASSIGN_OR_RETURN(
+      exec::JobResult result,
+      runner.Run(
+          splits,
+          [&] {
+            return std::make_unique<BitmapBuildMapper>(dfs, base, dim_fields);
+          },
+          [&](int reducer_id) {
+            return std::make_unique<BitmapBuildReducer>(
+                dfs, index_table, static_cast<int>(options.dims.size()),
+                reducer_id);
+          }));
+  if (job_result != nullptr) *job_result = result;
+  return std::unique_ptr<BitmapIndex>(
+      new BitmapIndex(std::move(dfs), base, std::move(index_table),
+                      options.dims, job));
+}
+
+Result<BitmapIndex::LookupResult> BitmapIndex::Lookup(
+    const query::Predicate& pred, uint64_t base_split_size) {
+  std::vector<std::pair<int, query::ColumnRange>> conditions;
+  std::vector<DataType> dim_types;
+  for (size_t d = 0; d < dims_.size(); ++d) {
+    DGF_ASSIGN_OR_RETURN(int base_field, base_.schema.FieldIndex(dims_[d]));
+    dim_types.push_back(base_.schema.field(base_field).type);
+    const query::ColumnRange* range = pred.FindColumn(dims_[d]);
+    if (range != nullptr) conditions.emplace_back(static_cast<int>(d), *range);
+  }
+
+  DGF_ASSIGN_OR_RETURN(auto index_splits,
+                       table::GetTableSplits(dfs_, index_table_));
+  exec::JobRunner::Options scan_job = job_;
+  scan_job.num_reducers = 0;
+  exec::JobRunner runner(scan_job);
+  DGF_ASSIGN_OR_RETURN(
+      exec::JobResult scan,
+      runner.Run(index_splits, [&] {
+        return std::make_unique<BitmapScanMapper>(dfs_, index_table_,
+                                                  conditions, dim_types);
+      }));
+
+  LookupResult result;
+  // file -> block offset -> merged row set.
+  std::map<std::string, std::map<uint64_t, std::set<uint64_t>>> merged;
+  for (const auto& [key, rows_text] : scan.reduce_output) {
+    auto parts = SplitString(key, kKeySep);
+    if (parts.size() != 2) return Status::Internal("bad bitmap scan key");
+    DGF_ASSIGN_OR_RETURN(int64_t offset, ParseInt64(parts[1]));
+    auto& rows = merged[std::string(parts[0])][static_cast<uint64_t>(offset)];
+    for (std::string_view row_text : SplitString(rows_text, ',')) {
+      if (row_text.empty()) continue;
+      DGF_ASSIGN_OR_RETURN(int64_t row_ord, ParseInt64(row_text));
+      if (rows.insert(static_cast<uint64_t>(row_ord)).second) {
+        ++result.matching_rows;
+      }
+    }
+  }
+  result.index_scan = std::move(scan);
+
+  for (auto& [file, blocks] : merged) {
+    FileRowFilter filter;
+    filter.file = file;
+    std::vector<uint64_t> offsets;
+    for (auto& [offset, rows] : blocks) {
+      filter.blocks.emplace_back(
+          offset, std::vector<uint64_t>(rows.begin(), rows.end()));
+      offsets.push_back(offset);
+    }
+    result.row_filters.push_back(std::move(filter));
+    // Split filter: any block offset inside the split selects it.
+    DGF_ASSIGN_OR_RETURN(auto splits, dfs_->GetSplits(file, base_split_size));
+    size_t cursor = 0;
+    for (const fs::FileSplit& split : splits) {
+      while (cursor < offsets.size() && offsets[cursor] < split.offset) ++cursor;
+      if (cursor < offsets.size() && offsets[cursor] < split.end()) {
+        result.splits.push_back(split);
+      }
+      if (cursor >= offsets.size()) break;
+    }
+  }
+  return result;
+}
+
+Result<uint64_t> BitmapIndex::IndexSizeBytes() const {
+  return table::TableDataBytes(dfs_, index_table_);
+}
+
+}  // namespace dgf::index

@@ -1,0 +1,378 @@
+#include "index/compact_index.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+#include "table/schema.h"
+
+namespace dgf::index {
+namespace {
+
+using table::DataType;
+using table::Row;
+using table::Schema;
+using table::TableDesc;
+using table::Value;
+
+// Separator inside shuffle keys (never occurs in generated data).
+constexpr char kKeySep = '\x01';
+
+/// Map side of Listing 1: emit (dim values + file) -> block offset.
+class IndexBuildMapper : public exec::Mapper {
+ public:
+  IndexBuildMapper(std::shared_ptr<fs::MiniDfs> dfs, TableDesc base,
+                   std::vector<int> dim_fields)
+      : dfs_(std::move(dfs)),
+        base_(std::move(base)),
+        dim_fields_(std::move(dim_fields)) {}
+
+  Status Map(const fs::FileSplit& split, exec::MapContext* ctx) override {
+    DGF_ASSIGN_OR_RETURN(auto reader, table::OpenSplitReader(dfs_, base_, split));
+    Row row;
+    for (;;) {
+      DGF_ASSIGN_OR_RETURN(bool more, reader->Next(&row));
+      if (!more) break;
+      std::string key;
+      for (int field : dim_fields_) {
+        key += row[static_cast<size_t>(field)].ToText();
+        key.push_back(kKeySep);
+      }
+      key += split.path;
+      ctx->Emit(std::move(key),
+                std::to_string(reader->CurrentBlockOffset()));
+      ctx->AddRecords(1);
+    }
+    ctx->AddBytesRead(reader->BytesRead());
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<fs::MiniDfs> dfs_;
+  TableDesc base_;
+  std::vector<int> dim_fields_;
+};
+
+/// Reduce side: collect_set(offsets) -> one index-table row per key.
+class IndexBuildReducer : public exec::Reducer {
+ public:
+  IndexBuildReducer(std::shared_ptr<fs::MiniDfs> dfs, TableDesc index_table,
+                    int num_dims, bool with_count, int reducer_id)
+      : num_dims_(num_dims), with_count_(with_count) {
+    table::TableWriter::Options options;
+    options.first_file_index = reducer_id;
+    options.max_file_bytes = ~0ULL;  // one file per reducer
+    auto writer = table::TableWriter::Create(std::move(dfs), index_table, options);
+    if (writer.ok()) {
+      writer_ = std::move(*writer);
+    } else {
+      init_error_ = writer.status();
+    }
+  }
+
+  Status Reduce(const std::string& key, const std::vector<std::string>& values,
+                exec::ReduceContext* ctx) override {
+    DGF_RETURN_IF_ERROR(init_error_);
+    auto parts = SplitString(key, kKeySep);
+    if (static_cast<int>(parts.size()) != num_dims_ + 1) {
+      return Status::Internal("bad index build key");
+    }
+    std::set<std::string> offsets(values.begin(), values.end());
+    Row row;
+    for (int d = 0; d < num_dims_; ++d) {
+      row.push_back(Value::String(std::string(parts[static_cast<size_t>(d)])));
+    }
+    row.push_back(Value::String(std::string(parts.back())));  // bucketname
+    std::vector<std::string> sorted(offsets.begin(), offsets.end());
+    row.push_back(Value::String(JoinStrings(sorted, ",")));
+    if (with_count_) {
+      row.push_back(Value::Int64(static_cast<int64_t>(values.size())));
+    }
+    ctx->counters().Add("index.entries", 1);
+    return writer_->Append(row);
+  }
+
+  Status Finish(exec::ReduceContext*) override {
+    DGF_RETURN_IF_ERROR(init_error_);
+    return writer_->Close();
+  }
+
+ private:
+  int num_dims_;
+  bool with_count_;
+  std::unique_ptr<table::TableWriter> writer_;
+  Status init_error_;
+};
+
+/// Schema of the index table: dims are stored as text (the index scan
+/// re-parses them with the base types for range evaluation).
+Schema IndexTableSchema(const std::vector<std::string>& dims, bool with_count) {
+  std::vector<table::Field> fields;
+  for (const std::string& dim : dims) {
+    fields.push_back({dim, DataType::kString});
+  }
+  fields.push_back({"_bucketname", DataType::kString});
+  fields.push_back({"_offsets", DataType::kString});
+  if (with_count) fields.push_back({"_count", DataType::kInt64});
+  return Schema(std::move(fields));
+}
+
+/// Map-only job over the index table: evaluate the predicate on the (typed)
+/// dimension values, emit matching (bucket, offsets[, count]) entries.
+class IndexScanMapper : public exec::Mapper {
+ public:
+  IndexScanMapper(std::shared_ptr<fs::MiniDfs> dfs, TableDesc index_table,
+                  std::vector<std::pair<int, query::ColumnRange>> conditions,
+                  std::vector<DataType> dim_types, bool with_count)
+      : dfs_(std::move(dfs)),
+        index_table_(std::move(index_table)),
+        conditions_(std::move(conditions)),
+        dim_types_(std::move(dim_types)),
+        with_count_(with_count) {}
+
+  Status Map(const fs::FileSplit& split, exec::MapContext* ctx) override {
+    DGF_ASSIGN_OR_RETURN(auto reader,
+                         table::OpenSplitReader(dfs_, index_table_, split));
+    Row row;
+    const int num_dims = static_cast<int>(dim_types_.size());
+    for (;;) {
+      DGF_ASSIGN_OR_RETURN(bool more, reader->Next(&row));
+      if (!more) break;
+      ctx->AddRecords(1);
+      bool match = true;
+      for (const auto& [dim, range] : conditions_) {
+        DGF_ASSIGN_OR_RETURN(
+            Value value,
+            table::ParseValue(row[static_cast<size_t>(dim)].str(),
+                              dim_types_[static_cast<size_t>(dim)]));
+        if (!range.Matches(value)) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      const std::string& bucket = row[static_cast<size_t>(num_dims)].str();
+      const std::string& offsets = row[static_cast<size_t>(num_dims) + 1].str();
+      std::string payload = offsets;
+      if (with_count_) {
+        payload += ";";
+        payload += row[static_cast<size_t>(num_dims) + 2].ToText();
+      }
+      ctx->Emit(bucket, std::move(payload));
+    }
+    ctx->AddBytesRead(reader->BytesRead());
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<fs::MiniDfs> dfs_;
+  TableDesc index_table_;
+  std::vector<std::pair<int, query::ColumnRange>> conditions_;
+  std::vector<DataType> dim_types_;
+  bool with_count_;
+};
+
+}  // namespace
+
+Result<CompactIndex::Parts> CompactIndex::BuildInternal(
+    std::shared_ptr<fs::MiniDfs> dfs, const table::TableDesc& base,
+    const BuildOptions& options, bool with_count, exec::JobResult* job_result) {
+  if (options.dims.empty()) {
+    return Status::InvalidArgument("index needs at least one dimension");
+  }
+  if (options.index_dir.empty() || options.index_dir.front() != '/') {
+    return Status::InvalidArgument("index_dir must be absolute");
+  }
+  std::vector<int> dim_fields;
+  for (const std::string& dim : options.dims) {
+    DGF_ASSIGN_OR_RETURN(int field, base.schema.FieldIndex(dim));
+    dim_fields.push_back(field);
+  }
+  TableDesc index_table;
+  index_table.name = base.name + "_idx";
+  index_table.schema = IndexTableSchema(options.dims, with_count);
+  index_table.format = options.index_format;
+  index_table.dir = options.index_dir;
+
+  DGF_ASSIGN_OR_RETURN(auto splits,
+                       table::GetTableSplits(dfs, base, options.split_size));
+  exec::JobRunner::Options job = options.job;
+  if (job.num_reducers <= 0) job.num_reducers = 8;
+  exec::JobRunner runner(job);
+  DGF_ASSIGN_OR_RETURN(
+      exec::JobResult result,
+      runner.Run(
+          splits,
+          [&] {
+            return std::make_unique<IndexBuildMapper>(dfs, base, dim_fields);
+          },
+          [&](int reducer_id) {
+            return std::make_unique<IndexBuildReducer>(
+                dfs, index_table, static_cast<int>(options.dims.size()),
+                with_count, reducer_id);
+          }));
+  if (job_result != nullptr) *job_result = result;
+  return Parts{std::move(dfs),   base, std::move(index_table),
+               options.dims,     job,  with_count};
+}
+
+Result<std::unique_ptr<CompactIndex>> CompactIndex::Build(
+    std::shared_ptr<fs::MiniDfs> dfs, const table::TableDesc& base,
+    const BuildOptions& options, exec::JobResult* job_result) {
+  DGF_ASSIGN_OR_RETURN(Parts parts,
+                       BuildInternal(std::move(dfs), base, options,
+                                     /*with_count=*/false, job_result));
+  return std::make_unique<CompactIndex>(std::move(parts));
+}
+
+Result<CompactIndex::LookupResult> CompactIndex::Lookup(
+    const query::Predicate& pred, uint64_t base_split_size) {
+  // Conditions restricted to indexed dimensions (others are re-checked by the
+  // data scan, exactly as Hive does).
+  std::vector<std::pair<int, query::ColumnRange>> conditions;
+  std::vector<DataType> dim_types;
+  for (size_t d = 0; d < dims_.size(); ++d) {
+    DGF_ASSIGN_OR_RETURN(int base_field, base_.schema.FieldIndex(dims_[d]));
+    dim_types.push_back(base_.schema.field(base_field).type);
+    const query::ColumnRange* range = pred.FindColumn(dims_[d]);
+    if (range != nullptr) {
+      conditions.emplace_back(static_cast<int>(d), *range);
+    }
+  }
+
+  DGF_ASSIGN_OR_RETURN(auto index_splits,
+                       table::GetTableSplits(dfs_, index_table_));
+  exec::JobRunner::Options scan_job = job_;
+  scan_job.num_reducers = 0;
+  exec::JobRunner runner(scan_job);
+  DGF_ASSIGN_OR_RETURN(
+      exec::JobResult scan,
+      runner.Run(index_splits, [&] {
+        return std::make_unique<IndexScanMapper>(dfs_, index_table_, conditions,
+                                                 dim_types, with_count_);
+      }));
+
+  LookupResult result;
+  // bucket -> sorted offsets that matched.
+  std::map<std::string, std::vector<uint64_t>> by_file;
+  for (const auto& [bucket, payload] : scan.reduce_output) {
+    std::string_view offsets_text = payload;
+    if (with_count_) {
+      const size_t semi = payload.rfind(';');
+      offsets_text = std::string_view(payload).substr(0, semi);
+      DGF_ASSIGN_OR_RETURN(
+          int64_t count,
+          ParseInt64(std::string_view(payload).substr(semi + 1)));
+      result.precomputed_count += count;
+    }
+    auto& offsets = by_file[bucket];
+    for (std::string_view offset_text : SplitString(offsets_text, ',')) {
+      if (offset_text.empty()) continue;
+      DGF_ASSIGN_OR_RETURN(int64_t offset, ParseInt64(offset_text));
+      offsets.push_back(static_cast<uint64_t>(offset));
+      ++result.matching_offsets;
+    }
+  }
+  result.index_scan = std::move(scan);
+
+  // getSplits-style filter: keep base splits containing >= 1 matching offset.
+  for (auto& [file, offsets] : by_file) {
+    std::sort(offsets.begin(), offsets.end());
+    DGF_ASSIGN_OR_RETURN(auto splits, dfs_->GetSplits(file, base_split_size));
+    size_t cursor = 0;
+    for (const fs::FileSplit& split : splits) {
+      while (cursor < offsets.size() && offsets[cursor] < split.offset) ++cursor;
+      if (cursor < offsets.size() && offsets[cursor] < split.end()) {
+        result.splits.push_back(split);
+      }
+      if (cursor >= offsets.size()) break;
+    }
+  }
+  return result;
+}
+
+Result<uint64_t> CompactIndex::IndexSizeBytes() const {
+  return table::TableDataBytes(dfs_, index_table_);
+}
+
+Result<std::unique_ptr<AggregateIndex>> AggregateIndex::Build(
+    std::shared_ptr<fs::MiniDfs> dfs, const table::TableDesc& base,
+    const BuildOptions& options, exec::JobResult* job_result) {
+  DGF_ASSIGN_OR_RETURN(Parts parts,
+                       BuildInternal(std::move(dfs), base, options,
+                                     /*with_count=*/true, job_result));
+  return std::make_unique<AggregateIndex>(std::move(parts));
+}
+
+Result<std::vector<std::pair<std::string, int64_t>>>
+AggregateIndex::RewriteGroupByCount(const query::Predicate& pred,
+                                    const std::string& group_col,
+                                    exec::JobResult* index_scan) {
+  // Restrictions (Section 2.2): every referenced column must be an indexed
+  // dimension, and the only aggregation is count.
+  const auto in_dims = [&](const std::string& column) {
+    return std::any_of(dims_.begin(), dims_.end(),
+                       [&](const std::string& dim) {
+                         return table::ColumnNameEquals(dim, column);
+                       });
+  };
+  if (!in_dims(group_col)) {
+    return Status::NotSupported("group column not in index dimensions");
+  }
+  for (const auto& range : pred.ranges()) {
+    if (!in_dims(range.column)) {
+      return Status::NotSupported("predicate column not in index dimensions");
+    }
+  }
+
+  DGF_ASSIGN_OR_RETURN(LookupResult lookup, Lookup(pred));
+  if (index_scan != nullptr) *index_scan = lookup.index_scan;
+
+  // Second pass over the matching entries, grouped by the group column: redo
+  // the scan but emit (group value, count). We reuse the generic scan output:
+  // Lookup discarded group values, so run a dedicated pass here.
+  std::vector<std::pair<int, query::ColumnRange>> conditions;
+  std::vector<DataType> dim_types;
+  int group_dim = -1;
+  for (size_t d = 0; d < dims_.size(); ++d) {
+    DGF_ASSIGN_OR_RETURN(int base_field, base_.schema.FieldIndex(dims_[d]));
+    dim_types.push_back(base_.schema.field(base_field).type);
+    if (table::ColumnNameEquals(dims_[d], group_col)) {
+      group_dim = static_cast<int>(d);
+    }
+    const query::ColumnRange* range = pred.FindColumn(dims_[d]);
+    if (range != nullptr) conditions.emplace_back(static_cast<int>(d), *range);
+  }
+
+  DGF_ASSIGN_OR_RETURN(auto index_splits,
+                       table::GetTableSplits(dfs_, index_table_));
+  std::map<std::string, int64_t> groups;
+  for (const fs::FileSplit& split : index_splits) {
+    DGF_ASSIGN_OR_RETURN(auto reader,
+                         table::OpenSplitReader(dfs_, index_table_, split));
+    Row row;
+    for (;;) {
+      DGF_ASSIGN_OR_RETURN(bool more, reader->Next(&row));
+      if (!more) break;
+      bool match = true;
+      for (const auto& [dim, range] : conditions) {
+        DGF_ASSIGN_OR_RETURN(
+            Value value,
+            table::ParseValue(row[static_cast<size_t>(dim)].str(),
+                              dim_types[static_cast<size_t>(dim)]));
+        if (!range.Matches(value)) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      groups[row[static_cast<size_t>(group_dim)].str()] +=
+          row[dims_.size() + 2].int64();
+    }
+  }
+  return std::vector<std::pair<std::string, int64_t>>(groups.begin(),
+                                                      groups.end());
+}
+
+}  // namespace dgf::index

@@ -1,0 +1,136 @@
+#ifndef DGF_INDEX_COMPACT_INDEX_H_
+#define DGF_INDEX_COMPACT_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/mapreduce.h"
+#include "fs/mini_dfs.h"
+#include "fs/split.h"
+#include "query/predicate.h"
+#include "table/table.h"
+
+namespace dgf::index {
+
+/// Hive's Compact Index, reimplemented over MiniMR (the paper's baseline).
+///
+/// The index is itself a table: one row per combination of indexed dimension
+/// values and data file, holding the list of block offsets where records with
+/// those values occur (Listing 1's INSERT OVERWRITE ... GROUP BY). Because it
+/// stores *every value combination*, its size grows with the number of
+/// distinct value tuples — the weakness DGFIndex attacks (Table 2).
+///
+/// Query processing scans the index table with the query's predicate, then
+/// keeps only the base-table splits containing at least one matching offset.
+/// It cannot skip data *within* a split.
+class CompactIndex {
+ public:
+  struct BuildOptions {
+    /// Indexed dimension column names (in order).
+    std::vector<std::string> dims;
+    /// Directory of the index table.
+    std::string index_dir;
+    /// Store the index table as RCFile (smaller, what the paper uses for its
+    /// Compact baselines) or TextFile.
+    table::FileFormat index_format = table::FileFormat::kRcFile;
+    exec::JobRunner::Options job;
+    uint64_t split_size = 0;
+  };
+
+  /// Populates the index table from `base` via a MapReduce job.
+  static Result<std::unique_ptr<CompactIndex>> Build(
+      std::shared_ptr<fs::MiniDfs> dfs, const table::TableDesc& base,
+      const BuildOptions& options, exec::JobResult* job_result = nullptr);
+
+  /// Outcome of consulting the index for one predicate.
+  struct LookupResult {
+    /// Base-table splits that must be scanned.
+    std::vector<fs::FileSplit> splits;
+    /// Stats of the index-table scan job ("read index" time in the figures).
+    exec::JobResult index_scan;
+    /// Matching (file, offset) entries found.
+    uint64_t matching_offsets = 0;
+    /// Aggregate-index path: sum of per-entry counts (valid when the build
+    /// precomputed counts and the caller asked for them).
+    int64_t precomputed_count = 0;
+  };
+
+  /// Scans the index table with `pred` (conditions on non-indexed columns are
+  /// ignored) and returns the base-table splits to read.
+  Result<LookupResult> Lookup(const query::Predicate& pred,
+                              uint64_t base_split_size = 0);
+
+  /// Size of the index table's data files.
+  Result<uint64_t> IndexSizeBytes() const;
+
+  const table::TableDesc& index_table() const { return index_table_; }
+  const std::vector<std::string>& dims() const { return dims_; }
+
+  /// Constructor argument bundle produced by the shared build machinery;
+  /// public so both index flavours (and std::make_unique) can construct.
+  struct Parts {
+    std::shared_ptr<fs::MiniDfs> dfs;
+    table::TableDesc base;
+    table::TableDesc index_table;
+    std::vector<std::string> dims;
+    exec::JobRunner::Options job;
+    bool with_count = false;
+  };
+
+  explicit CompactIndex(Parts parts)
+      : CompactIndex(std::move(parts.dfs), std::move(parts.base),
+                     std::move(parts.index_table), std::move(parts.dims),
+                     parts.job, parts.with_count) {}
+
+ protected:
+  CompactIndex(std::shared_ptr<fs::MiniDfs> dfs, table::TableDesc base,
+               table::TableDesc index_table, std::vector<std::string> dims,
+               exec::JobRunner::Options job, bool with_count)
+      : dfs_(std::move(dfs)),
+        base_(std::move(base)),
+        index_table_(std::move(index_table)),
+        dims_(std::move(dims)),
+        job_(job),
+        with_count_(with_count) {}
+
+  /// Shared build machinery; `with_count` adds the Aggregate Index's
+  /// precomputed _count column.
+  static Result<Parts> BuildInternal(std::shared_ptr<fs::MiniDfs> dfs,
+                                     const table::TableDesc& base,
+                                     const BuildOptions& options,
+                                     bool with_count,
+                                     exec::JobResult* job_result);
+
+  std::shared_ptr<fs::MiniDfs> dfs_;
+  table::TableDesc base_;
+  table::TableDesc index_table_;
+  std::vector<std::string> dims_;
+  exec::JobRunner::Options job_;
+  bool with_count_;
+};
+
+/// Hive's Aggregate Index: a Compact Index whose rows carry a precomputed
+/// count, enabling the "index as data" rewrite for COUNT group-bys whose
+/// SELECT/WHERE/GROUP BY columns are all indexed dimensions.
+class AggregateIndex : public CompactIndex {
+ public:
+  static Result<std::unique_ptr<AggregateIndex>> Build(
+      std::shared_ptr<fs::MiniDfs> dfs, const table::TableDesc& base,
+      const BuildOptions& options, exec::JobResult* job_result = nullptr);
+
+  /// Answers SELECT <group_col>, count(*) ... GROUP BY <group_col> purely
+  /// from the index table when the restrictions hold. Returns rows of
+  /// (group value text, count); fails with NotSupported when the query shape
+  /// is outside the Aggregate Index's narrow applicability window.
+  Result<std::vector<std::pair<std::string, int64_t>>> RewriteGroupByCount(
+      const query::Predicate& pred, const std::string& group_col,
+      exec::JobResult* index_scan);
+
+  explicit AggregateIndex(Parts parts) : CompactIndex(std::move(parts)) {}
+};
+
+}  // namespace dgf::index
+
+#endif  // DGF_INDEX_COMPACT_INDEX_H_

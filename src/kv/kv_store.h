@@ -1,0 +1,62 @@
+#ifndef DGF_KV_KV_STORE_H_
+#define DGF_KV_KV_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dgf::kv {
+
+/// Forward cursor over an ordered key space.
+///
+/// Usage:
+///   auto it = store->NewIterator();
+///   for (it->Seek(start); it->Valid() && it->key() < end; it->Next()) ...
+class Iterator {
+ public:
+  virtual ~Iterator() = default;
+
+  /// Positions on the first key >= `target`.
+  virtual void Seek(std::string_view target) = 0;
+  /// Positions on the first key in the store.
+  virtual void SeekToFirst() = 0;
+  /// Advances to the next key. Requires Valid().
+  virtual void Next() = 0;
+  /// True while positioned on a live entry.
+  virtual bool Valid() const = 0;
+
+  /// Current key/value. Valid until the next mutation of the iterator.
+  virtual std::string_view key() const = 0;
+  virtual std::string_view value() const = 0;
+};
+
+/// Ordered key-value store interface — the stand-in for HBase in DGFIndex.
+///
+/// Keys sort in lexicographic byte order; GFU keys are encoded so that byte
+/// order matches grid order (see dgf::GfuKey). All methods are thread-safe.
+class KvStore {
+ public:
+  virtual ~KvStore() = default;
+
+  virtual Status Put(std::string_view key, std::string_view value) = 0;
+  /// Returns NotFound if absent or deleted.
+  virtual Result<std::string> Get(std::string_view key) = 0;
+  virtual Status Delete(std::string_view key) = 0;
+
+  /// Snapshot cursor over the live entries.
+  virtual std::unique_ptr<Iterator> NewIterator() = 0;
+
+  /// Number of live entries.
+  virtual Result<uint64_t> Count() = 0;
+
+  /// Approximate bytes occupied by the live data (index-size experiments).
+  virtual Result<uint64_t> ApproximateSizeBytes() = 0;
+};
+
+}  // namespace dgf::kv
+
+#endif  // DGF_KV_KV_STORE_H_

@@ -1,0 +1,395 @@
+#include "kv/lsm_kv.h"
+
+#include <algorithm>
+
+#include "common/encoding.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace dgf::kv {
+namespace {
+
+// WAL record: varint(key_len) key varint(value_len+1) value; 0 = tombstone.
+void EncodeWalRecord(std::string* out, std::string_view key,
+                     std::string_view value, bool tombstone) {
+  PutLengthPrefixed(out, key);
+  if (tombstone) {
+    PutVarint64(out, 0);
+  } else {
+    PutVarint64(out, value.size() + 1);
+    out->append(value);
+  }
+}
+
+/// Merging iterator over memtable snapshot + runs with newest-wins dedup.
+class LsmIterator : public Iterator {
+ public:
+  LsmIterator(std::vector<std::pair<std::string, std::optional<std::string>>>
+                  memtable_snapshot,
+              std::vector<std::shared_ptr<SstableReader>> runs)
+      : memtable_(std::move(memtable_snapshot)), runs_(std::move(runs)) {
+    // Source 0 is the memtable (newest); then runs newest to oldest.
+    for (auto it = runs_.rbegin(); it != runs_.rend(); ++it) {
+      run_iters_.push_back(std::make_unique<SstableIterator>(
+          std::shared_ptr<const SstableReader>(*it)));
+    }
+  }
+
+  void Seek(std::string_view target) override {
+    mem_pos_ = static_cast<size_t>(
+        std::lower_bound(memtable_.begin(), memtable_.end(), target,
+                         [](const auto& entry, std::string_view t) {
+                           return entry.first < t;
+                         }) -
+        memtable_.begin());
+    for (auto& it : run_iters_) it->Seek(target);
+    FindNextLive(/*skip_current=*/false);
+  }
+
+  void SeekToFirst() override {
+    mem_pos_ = 0;
+    for (auto& it : run_iters_) it->SeekToFirst();
+    FindNextLive(/*skip_current=*/false);
+  }
+
+  void Next() override { FindNextLive(/*skip_current=*/true); }
+
+  bool Valid() const override { return valid_; }
+  std::string_view key() const override { return key_; }
+  std::string_view value() const override { return value_; }
+
+ private:
+  // Advances every source past `key` (used after emitting or shadowing it).
+  void SkipKeyEverywhere(std::string_view key) {
+    if (mem_pos_ < memtable_.size() && memtable_[mem_pos_].first == key) {
+      ++mem_pos_;
+    }
+    for (auto& it : run_iters_) {
+      if (it->Valid() && it->key() == key) it->Next();
+    }
+  }
+
+  void FindNextLive(bool skip_current) {
+    if (skip_current && valid_) SkipKeyEverywhere(key_);
+    for (;;) {
+      // Pick the smallest key across sources; ties resolve to the newest
+      // source (memtable first, then newer runs).
+      int best = -1;  // -1 = none, 0 = memtable, i>0 = run_iters_[i-1]
+      std::string_view best_key;
+      if (mem_pos_ < memtable_.size()) {
+        best = 0;
+        best_key = memtable_[mem_pos_].first;
+      }
+      for (size_t i = 0; i < run_iters_.size(); ++i) {
+        if (!run_iters_[i]->Valid()) continue;
+        const std::string_view k = run_iters_[i]->key();
+        if (best == -1 || k < best_key) {
+          best = static_cast<int>(i) + 1;
+          best_key = k;
+        }
+      }
+      if (best == -1) {
+        valid_ = false;
+        return;
+      }
+      bool tombstone;
+      if (best == 0) {
+        tombstone = !memtable_[mem_pos_].second.has_value();
+        key_buf_.assign(best_key);
+        if (!tombstone) value_buf_ = *memtable_[mem_pos_].second;
+      } else {
+        auto& it = run_iters_[static_cast<size_t>(best) - 1];
+        tombstone = it->IsTombstone();
+        key_buf_.assign(best_key);
+        if (!tombstone) value_buf_.assign(it->value());
+      }
+      SkipKeyEverywhere(key_buf_);
+      if (!tombstone) {
+        key_ = key_buf_;
+        value_ = value_buf_;
+        valid_ = true;
+        return;
+      }
+      // Tombstone: the key is dead; continue with the next smallest key.
+    }
+  }
+
+  std::vector<std::pair<std::string, std::optional<std::string>>> memtable_;
+  std::vector<std::shared_ptr<SstableReader>> runs_;
+  std::vector<std::unique_ptr<SstableIterator>> run_iters_;
+  size_t mem_pos_ = 0;
+  bool valid_ = false;
+  std::string key_buf_;
+  std::string value_buf_;
+  std::string_view key_;
+  std::string_view value_;
+};
+
+}  // namespace
+
+LsmKv::LsmKv(Options options) : options_(std::move(options)) {}
+
+LsmKv::~LsmKv() {
+  if (wal_) {
+    Status st = wal_->Close();
+    if (!st.ok()) {
+      DGF_LOG(kWarn) << "WAL close failed: " << st.ToString();
+    }
+  }
+}
+
+Result<std::unique_ptr<LsmKv>> LsmKv::Open(Options options) {
+  if (options.dfs == nullptr) {
+    return Status::InvalidArgument("LsmKv requires a MiniDfs");
+  }
+  if (options.dir.empty() || options.dir.front() != '/') {
+    return Status::InvalidArgument("LsmKv dir must be absolute");
+  }
+  std::unique_ptr<LsmKv> store(new LsmKv(std::move(options)));
+  DGF_RETURN_IF_ERROR(store->Recover());
+  return store;
+}
+
+std::string LsmKv::RunPath(uint64_t id) const {
+  return options_.dir + "/" + StringPrintf("run-%06llu.sst",
+                                           static_cast<unsigned long long>(id));
+}
+
+Status LsmKv::Recover() {
+  auto& dfs = *options_.dfs;
+  const std::string manifest_path = options_.dir + "/MANIFEST";
+  if (dfs.Exists(manifest_path)) {
+    DGF_ASSIGN_OR_RETURN(auto reader, dfs.OpenForRead(manifest_path));
+    std::string contents;
+    DGF_RETURN_IF_ERROR(reader->Pread(0, reader->Length(), &contents));
+    for (std::string_view line : SplitString(contents, '\n')) {
+      line = TrimString(line);
+      if (line.empty()) continue;
+      DGF_ASSIGN_OR_RETURN(
+          auto run, SstableReader::Open(options_.dfs, std::string(line)));
+      runs_.push_back(std::move(run));
+      // Run files are named run-<id>.sst; keep next_run_id_ above all of them.
+      const size_t dash = line.rfind('-');
+      const size_t dot = line.rfind('.');
+      if (dash != std::string_view::npos && dot != std::string_view::npos) {
+        auto id = ParseInt64(line.substr(dash + 1, dot - dash - 1));
+        if (id.ok()) next_run_id_ = std::max<uint64_t>(next_run_id_, *id + 1);
+      }
+    }
+  }
+  wal_path_ = options_.dir + "/WAL";
+  if (dfs.Exists(wal_path_)) {
+    DGF_RETURN_IF_ERROR(ReplayWal(wal_path_));
+    DGF_ASSIGN_OR_RETURN(wal_, dfs.Append(wal_path_));
+  } else {
+    DGF_ASSIGN_OR_RETURN(wal_, dfs.Create(wal_path_));
+  }
+  return Status::OK();
+}
+
+Status LsmKv::ReplayWal(const std::string& path) {
+  DGF_ASSIGN_OR_RETURN(auto reader, options_.dfs->OpenForRead(path));
+  std::string contents;
+  DGF_RETURN_IF_ERROR(reader->Pread(0, reader->Length(), &contents));
+  std::string_view cursor(contents);
+  while (!cursor.empty()) {
+    auto key = GetLengthPrefixed(&cursor);
+    if (!key.ok()) break;  // torn tail write: stop replay, keep prefix
+    auto vlen = GetVarint64(&cursor);
+    if (!vlen.ok()) break;
+    if (*vlen == 0) {
+      memtable_[std::string(*key)] = std::nullopt;
+      memtable_bytes_ += key->size() + 1;
+      continue;
+    }
+    if (cursor.size() < *vlen - 1) break;
+    memtable_[std::string(*key)] = std::string(cursor.substr(0, *vlen - 1));
+    memtable_bytes_ += key->size() + *vlen;
+    cursor.remove_prefix(*vlen - 1);
+  }
+  return Status::OK();
+}
+
+Status LsmKv::WriteWal(std::string_view key, std::string_view value,
+                       bool tombstone) {
+  std::string record;
+  EncodeWalRecord(&record, key, value, tombstone);
+  return wal_->Append(record);
+}
+
+Status LsmKv::Put(std::string_view key, std::string_view value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DGF_RETURN_IF_ERROR(WriteWal(key, value, /*tombstone=*/false));
+  memtable_[std::string(key)] = std::string(value);
+  memtable_bytes_ += key.size() + value.size() + 1;
+  if (memtable_bytes_ >= options_.memtable_flush_bytes) {
+    return FlushLocked();
+  }
+  return Status::OK();
+}
+
+Status LsmKv::Delete(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DGF_RETURN_IF_ERROR(WriteWal(key, {}, /*tombstone=*/true));
+  memtable_[std::string(key)] = std::nullopt;
+  memtable_bytes_ += key.size() + 1;
+  if (memtable_bytes_ >= options_.memtable_flush_bytes) {
+    return FlushLocked();
+  }
+  return Status::OK();
+}
+
+Result<std::string> LsmKv::Get(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = memtable_.find(std::string(key));
+  if (it != memtable_.end()) {
+    if (!it->second.has_value()) return Status::NotFound("deleted");
+    return *it->second;
+  }
+  for (auto run = runs_.rbegin(); run != runs_.rend(); ++run) {
+    bool deleted = false;
+    auto value = (*run)->Get(key, &deleted);
+    if (value.ok()) {
+      if (deleted) return Status::NotFound("deleted");
+      return value;
+    }
+    if (!value.status().IsNotFound()) return value.status();
+  }
+  return Status::NotFound("key not found");
+}
+
+std::unique_ptr<Iterator> LsmKv::NewIterator() {
+  std::vector<std::pair<std::string, std::optional<std::string>>> snapshot;
+  std::vector<std::shared_ptr<SstableReader>> runs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.assign(memtable_.begin(), memtable_.end());
+    runs = runs_;
+  }
+  return std::make_unique<LsmIterator>(std::move(snapshot), std::move(runs));
+}
+
+Status LsmKv::FlushLocked() {
+  if (memtable_.empty()) return Status::OK();
+  const uint64_t run_id = next_run_id_++;
+  DGF_ASSIGN_OR_RETURN(auto writer,
+                       SstableWriter::Create(options_.dfs, RunPath(run_id)));
+  for (const auto& [key, value] : memtable_) {
+    DGF_RETURN_IF_ERROR(writer->Add(key, value.value_or(std::string()),
+                                    /*tombstone=*/!value.has_value()));
+  }
+  DGF_RETURN_IF_ERROR(writer->Finish());
+  DGF_ASSIGN_OR_RETURN(auto run,
+                       SstableReader::Open(options_.dfs, RunPath(run_id)));
+  runs_.push_back(std::move(run));
+  memtable_.clear();
+  memtable_bytes_ = 0;
+  DGF_RETURN_IF_ERROR(WriteManifest());
+  // Truncate the WAL: everything in it is now durable in a run.
+  DGF_RETURN_IF_ERROR(wal_->Close());
+  DGF_RETURN_IF_ERROR(options_.dfs->Delete(wal_path_));
+  DGF_ASSIGN_OR_RETURN(wal_, options_.dfs->Create(wal_path_));
+  if (static_cast<int>(runs_.size()) > options_.max_runs) {
+    // Compact inline; the store is small relative to the data it indexes.
+    std::vector<std::shared_ptr<SstableReader>> old_runs = runs_;
+    DGF_RETURN_IF_ERROR([&]() -> Status {
+      const uint64_t merged_id = next_run_id_++;
+      DGF_ASSIGN_OR_RETURN(
+          auto merged_writer,
+          SstableWriter::Create(options_.dfs, RunPath(merged_id)));
+      LsmIterator merge_it({}, runs_);
+      // Keep tombstones out: a full compaction covers the whole history.
+      for (merge_it.SeekToFirst(); merge_it.Valid(); merge_it.Next()) {
+        DGF_RETURN_IF_ERROR(merged_writer->Add(merge_it.key(), merge_it.value()));
+      }
+      DGF_RETURN_IF_ERROR(merged_writer->Finish());
+      DGF_ASSIGN_OR_RETURN(
+          auto merged, SstableReader::Open(options_.dfs, RunPath(merged_id)));
+      runs_.clear();
+      runs_.push_back(std::move(merged));
+      return WriteManifest();
+    }());
+    for (const auto& run : old_runs) {
+      Status st = options_.dfs->Delete(run->path());
+      if (!st.ok()) {
+        DGF_LOG(kWarn) << "stale run delete: " << st.ToString();
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status LsmKv::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushLocked();
+}
+
+Status LsmKv::Compact() {
+  std::lock_guard<std::mutex> lock(mu_);
+  DGF_RETURN_IF_ERROR(FlushLocked());
+  if (runs_.size() <= 1) return Status::OK();
+  const int saved_max = options_.max_runs;
+  options_.max_runs = 0;
+  // Trigger the compaction path through a flush of an empty memtable: do it
+  // directly instead.
+  options_.max_runs = saved_max;
+  std::vector<std::shared_ptr<SstableReader>> old_runs = runs_;
+  const uint64_t merged_id = next_run_id_++;
+  DGF_ASSIGN_OR_RETURN(auto writer,
+                       SstableWriter::Create(options_.dfs, RunPath(merged_id)));
+  LsmIterator merge_it({}, runs_);
+  for (merge_it.SeekToFirst(); merge_it.Valid(); merge_it.Next()) {
+    DGF_RETURN_IF_ERROR(writer->Add(merge_it.key(), merge_it.value()));
+  }
+  DGF_RETURN_IF_ERROR(writer->Finish());
+  DGF_ASSIGN_OR_RETURN(auto merged,
+                       SstableReader::Open(options_.dfs, RunPath(merged_id)));
+  runs_.clear();
+  runs_.push_back(std::move(merged));
+  DGF_RETURN_IF_ERROR(WriteManifest());
+  for (const auto& run : old_runs) {
+    Status st = options_.dfs->Delete(run->path());
+    if (!st.ok()) {
+      DGF_LOG(kWarn) << "stale run delete: " << st.ToString();
+    }
+  }
+  return Status::OK();
+}
+
+Status LsmKv::WriteManifest() {
+  const std::string tmp_path = options_.dir + "/MANIFEST.tmp";
+  const std::string manifest_path = options_.dir + "/MANIFEST";
+  if (options_.dfs->Exists(tmp_path)) {
+    DGF_RETURN_IF_ERROR(options_.dfs->Delete(tmp_path));
+  }
+  DGF_ASSIGN_OR_RETURN(auto writer, options_.dfs->Create(tmp_path));
+  for (const auto& run : runs_) {
+    DGF_RETURN_IF_ERROR(writer->Append(run->path() + "\n"));
+  }
+  DGF_RETURN_IF_ERROR(writer->Close());
+  if (options_.dfs->Exists(manifest_path)) {
+    DGF_RETURN_IF_ERROR(options_.dfs->Delete(manifest_path));
+  }
+  return options_.dfs->Rename(tmp_path, manifest_path);
+}
+
+Result<uint64_t> LsmKv::Count() {
+  uint64_t count = 0;
+  auto it = NewIterator();
+  for (it->SeekToFirst(); it->Valid(); it->Next()) ++count;
+  return count;
+}
+
+Result<uint64_t> LsmKv::ApproximateSizeBytes() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = memtable_bytes_;
+  for (const auto& run : runs_) total += run->file_size();
+  return total;
+}
+
+int LsmKv::NumRuns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(runs_.size());
+}
+
+}  // namespace dgf::kv

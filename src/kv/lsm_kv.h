@@ -1,0 +1,85 @@
+#ifndef DGF_KV_LSM_KV_H_
+#define DGF_KV_LSM_KV_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fs/mini_dfs.h"
+#include "kv/kv_store.h"
+#include "kv/sstable.h"
+
+namespace dgf::kv {
+
+/// Persistent ordered KV store: memtable + write-ahead log + sorted runs.
+///
+/// This is the production-shaped stand-in for HBase: DGFIndex keeps its
+/// GFUKey -> GFUValue pairs here. Writes go to a WAL and an in-memory
+/// memtable; when the memtable exceeds `memtable_flush_bytes` it is flushed
+/// to an immutable SSTable on the backing MiniDfs. When the number of runs
+/// exceeds `max_runs` they are merge-compacted into one. A manifest file
+/// records the live run set and is replaced atomically via rename.
+///
+/// Reads consult memtable first, then runs newest-to-oldest; range scans
+/// merge all sources with newest-wins semantics. Recovery replays the WAL
+/// over the runs listed in the manifest.
+class LsmKv : public KvStore {
+ public:
+  struct Options {
+    std::shared_ptr<fs::MiniDfs> dfs;
+    /// DFS directory holding WAL, manifest, and runs, e.g. "/index/meter".
+    std::string dir;
+    uint64_t memtable_flush_bytes = 4ULL << 20;
+    /// Compact when the run count exceeds this.
+    int max_runs = 6;
+  };
+
+  /// Opens (and recovers, if state exists) a store under `options.dir`.
+  static Result<std::unique_ptr<LsmKv>> Open(Options options);
+
+  ~LsmKv() override;
+
+  Status Put(std::string_view key, std::string_view value) override;
+  Result<std::string> Get(std::string_view key) override;
+  Status Delete(std::string_view key) override;
+  std::unique_ptr<Iterator> NewIterator() override;
+  Result<uint64_t> Count() override;
+  Result<uint64_t> ApproximateSizeBytes() override;
+
+  /// Flushes the memtable to a run (no-op when empty). Exposed for tests and
+  /// for sealing an index after a build.
+  Status Flush();
+
+  /// Merges all runs into one. Exposed for tests.
+  Status Compact();
+
+  int NumRuns() const;
+
+ private:
+  explicit LsmKv(Options options);
+
+  Status Recover();
+  Status ReplayWal(const std::string& path);
+  Status WriteWal(std::string_view key, std::string_view value, bool tombstone);
+  Status WriteManifest();  // callers hold mu_
+  Status FlushLocked();    // callers hold mu_
+  std::string RunPath(uint64_t id) const;
+
+  Options options_;
+  mutable std::mutex mu_;
+  // value == nullopt encodes a tombstone in the memtable.
+  std::map<std::string, std::optional<std::string>> memtable_;
+  uint64_t memtable_bytes_ = 0;
+  std::unique_ptr<fs::DfsWriter> wal_;
+  std::string wal_path_;
+  uint64_t next_run_id_ = 1;
+  // Newest run last.
+  std::vector<std::shared_ptr<SstableReader>> runs_;
+};
+
+}  // namespace dgf::kv
+
+#endif  // DGF_KV_LSM_KV_H_

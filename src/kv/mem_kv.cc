@@ -1,0 +1,77 @@
+#include "kv/mem_kv.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace dgf::kv {
+namespace {
+
+/// Snapshot-backed iterator: copies the entries once at creation.
+class MemKvIterator : public Iterator {
+ public:
+  explicit MemKvIterator(std::vector<std::pair<std::string, std::string>> data)
+      : data_(std::move(data)), pos_(data_.size()) {}
+
+  void Seek(std::string_view target) override {
+    pos_ = static_cast<size_t>(
+        std::lower_bound(data_.begin(), data_.end(), target,
+                         [](const auto& entry, std::string_view t) {
+                           return entry.first < t;
+                         }) -
+        data_.begin());
+  }
+
+  void SeekToFirst() override { pos_ = 0; }
+  void Next() override { ++pos_; }
+  bool Valid() const override { return pos_ < data_.size(); }
+  std::string_view key() const override { return data_[pos_].first; }
+  std::string_view value() const override { return data_[pos_].second; }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> data_;
+  size_t pos_;
+};
+
+}  // namespace
+
+Status MemKv::Put(std::string_view key, std::string_view value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  data_[std::string(key)] = std::string(value);
+  return Status::OK();
+}
+
+Result<std::string> MemKv::Get(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = data_.find(std::string(key));
+  if (it == data_.end()) return Status::NotFound("key not found");
+  return it->second;
+}
+
+Status MemKv::Delete(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  data_.erase(std::string(key));
+  return Status::OK();
+}
+
+std::unique_ptr<Iterator> MemKv::NewIterator() {
+  std::vector<std::pair<std::string, std::string>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.assign(data_.begin(), data_.end());
+  }
+  return std::make_unique<MemKvIterator>(std::move(snapshot));
+}
+
+Result<uint64_t> MemKv::Count() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<uint64_t>(data_.size());
+}
+
+Result<uint64_t> MemKv::ApproximateSizeBytes() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [key, value] : data_) total += key.size() + value.size();
+  return total;
+}
+
+}  // namespace dgf::kv

@@ -1,0 +1,35 @@
+#ifndef DGF_KV_MEM_KV_H_
+#define DGF_KV_MEM_KV_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "kv/kv_store.h"
+
+namespace dgf::kv {
+
+/// In-memory ordered KV store.
+///
+/// The default index store for unit tests and small benches; iterators take a
+/// point-in-time snapshot of the map, so scans are stable under concurrent
+/// writes (matching the read-committed behaviour DGFIndex expects of HBase).
+class MemKv : public KvStore {
+ public:
+  MemKv() = default;
+
+  Status Put(std::string_view key, std::string_view value) override;
+  Result<std::string> Get(std::string_view key) override;
+  Status Delete(std::string_view key) override;
+  std::unique_ptr<Iterator> NewIterator() override;
+  Result<uint64_t> Count() override;
+  Result<uint64_t> ApproximateSizeBytes() override;
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, std::string> data_;
+};
+
+}  // namespace dgf::kv
+
+#endif  // DGF_KV_MEM_KV_H_

@@ -1,0 +1,182 @@
+#include "kv/sstable.h"
+
+#include <algorithm>
+
+#include "common/encoding.h"
+
+namespace dgf::kv {
+namespace {
+
+constexpr uint64_t kMagic = 0xD6F1DE11D6F1DE11ULL;
+constexpr uint64_t kFooterSize = 24;
+constexpr int kIndexInterval = 16;
+
+}  // namespace
+
+SstableWriter::SstableWriter(std::unique_ptr<fs::DfsWriter> writer)
+    : writer_(std::move(writer)) {}
+
+Result<std::unique_ptr<SstableWriter>> SstableWriter::Create(
+    std::shared_ptr<fs::MiniDfs> dfs, const std::string& path) {
+  DGF_ASSIGN_OR_RETURN(auto writer, dfs->Create(path));
+  return std::unique_ptr<SstableWriter>(new SstableWriter(std::move(writer)));
+}
+
+Status SstableWriter::Add(std::string_view key, std::string_view value,
+                          bool tombstone) {
+  if (num_records_ > 0 && std::string_view(last_key_) >= key) {
+    return Status::InvalidArgument("sstable keys must be strictly increasing");
+  }
+  if (num_records_ % kIndexInterval == 0) {
+    PutLengthPrefixed(&index_, key);
+    PutFixed64(&index_, writer_->Offset());
+  }
+  std::string record;
+  PutLengthPrefixed(&record, key);
+  if (tombstone) {
+    PutVarint64(&record, 0);
+  } else {
+    PutVarint64(&record, value.size() + 1);
+    record.append(value);
+  }
+  DGF_RETURN_IF_ERROR(writer_->Append(record));
+  last_key_.assign(key);
+  ++num_records_;
+  return Status::OK();
+}
+
+Status SstableWriter::Finish() {
+  const uint64_t index_offset = writer_->Offset();
+  DGF_RETURN_IF_ERROR(writer_->Append(index_));
+  std::string footer;
+  PutFixed64(&footer, index_offset);
+  PutFixed64(&footer, num_records_);
+  PutFixed64(&footer, kMagic);
+  DGF_RETURN_IF_ERROR(writer_->Append(footer));
+  return writer_->Close();
+}
+
+Result<std::shared_ptr<SstableReader>> SstableReader::Open(
+    std::shared_ptr<fs::MiniDfs> dfs, const std::string& path) {
+  std::shared_ptr<SstableReader> reader(new SstableReader());
+  DGF_RETURN_IF_ERROR(reader->Load(std::move(dfs), path));
+  return reader;
+}
+
+Status SstableReader::Load(std::shared_ptr<fs::MiniDfs> dfs,
+                           const std::string& path) {
+  path_ = path;
+  DGF_ASSIGN_OR_RETURN(auto file, dfs->OpenForRead(path));
+  const uint64_t file_size = file->Length();
+  if (file_size < kFooterSize) return Status::Corruption("sstable too small");
+  DGF_RETURN_IF_ERROR(file->Pread(0, file_size, &data_));
+  if (data_.size() != file_size) return Status::Corruption("short read");
+
+  const char* footer = data_.data() + file_size - kFooterSize;
+  const uint64_t index_offset = DecodeFixed64(footer);
+  num_records_ = DecodeFixed64(footer + 8);
+  if (DecodeFixed64(footer + 16) != kMagic) {
+    return Status::Corruption("bad sstable magic: " + path);
+  }
+  if (index_offset > file_size - kFooterSize) {
+    return Status::Corruption("bad index offset: " + path);
+  }
+  data_end_ = index_offset;
+
+  std::string_view index_block(data_.data() + index_offset,
+                               file_size - kFooterSize - index_offset);
+  while (!index_block.empty()) {
+    DGF_ASSIGN_OR_RETURN(std::string_view key, GetLengthPrefixed(&index_block));
+    if (index_block.size() < 8) return Status::Corruption("truncated index");
+    const uint64_t offset = DecodeFixed64(index_block.data());
+    index_block.remove_prefix(8);
+    index_.emplace_back(std::string(key), offset);
+  }
+  return Status::OK();
+}
+
+uint64_t SstableReader::IndexLowerBound(std::string_view key) const {
+  // Find the last index entry with entry.key <= key; scanning starts there.
+  auto it = std::upper_bound(
+      index_.begin(), index_.end(), key,
+      [](std::string_view k, const auto& entry) { return k < entry.first; });
+  if (it == index_.begin()) return 0;
+  return std::prev(it)->second;
+}
+
+Result<std::string> SstableReader::Get(std::string_view key,
+                                       bool* deleted) const {
+  *deleted = false;
+  if (index_.empty()) return Status::NotFound("empty sstable");
+  std::string_view cursor(data_.data(), data_end_);
+  cursor.remove_prefix(IndexLowerBound(key));
+  while (!cursor.empty()) {
+    DGF_ASSIGN_OR_RETURN(std::string_view rec_key, GetLengthPrefixed(&cursor));
+    DGF_ASSIGN_OR_RETURN(uint64_t vlen, GetVarint64(&cursor));
+    std::string_view value;
+    if (vlen > 0) {
+      if (cursor.size() < vlen - 1) return Status::Corruption("truncated value");
+      value = cursor.substr(0, vlen - 1);
+      cursor.remove_prefix(vlen - 1);
+    }
+    if (rec_key == key) {
+      if (vlen == 0) {
+        *deleted = true;
+        return std::string();
+      }
+      return std::string(value);
+    }
+    if (rec_key > key) break;  // sorted: key is absent
+  }
+  return Status::NotFound("key not in sstable");
+}
+
+std::unique_ptr<Iterator> SstableReader::NewIterator() const {
+  // shared_from_this is avoided by requiring callers to hold the reader via
+  // shared_ptr; LsmKv does. For standalone use, re-open the table.
+  return std::make_unique<SstableIterator>(
+      std::shared_ptr<const SstableReader>(this, [](const SstableReader*) {}));
+}
+
+SstableIterator::SstableIterator(std::shared_ptr<const SstableReader> table)
+    : table_(std::move(table)) {}
+
+void SstableIterator::ParseAt(uint64_t offset) {
+  if (offset >= table_->data_end_) {
+    valid_ = false;
+    return;
+  }
+  std::string_view cursor(table_->data_.data() + offset,
+                          table_->data_end_ - offset);
+  auto key = GetLengthPrefixed(&cursor);
+  if (!key.ok()) {
+    valid_ = false;
+    return;
+  }
+  auto vlen = GetVarint64(&cursor);
+  if (!vlen.ok()) {
+    valid_ = false;
+    return;
+  }
+  key_ = *key;
+  tombstone_ = (*vlen == 0);
+  value_ = tombstone_ ? std::string_view() : cursor.substr(0, *vlen - 1);
+  offset_ = offset;
+  next_offset_ = static_cast<uint64_t>(
+      (tombstone_ ? cursor.data() : value_.data() + value_.size()) -
+      table_->data_.data());
+  valid_ = true;
+}
+
+void SstableIterator::Seek(std::string_view target) {
+  ParseAt(table_->IndexLowerBound(target));
+  while (valid_ && key_ < target) Next();
+}
+
+void SstableIterator::SeekToFirst() { ParseAt(0); }
+
+void SstableIterator::Next() { ParseAt(next_offset_); }
+
+bool SstableIterator::Valid() const { return valid_; }
+
+}  // namespace dgf::kv

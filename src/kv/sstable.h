@@ -1,0 +1,115 @@
+#ifndef DGF_KV_SSTABLE_H_
+#define DGF_KV_SSTABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "fs/mini_dfs.h"
+#include "kv/kv_store.h"
+
+namespace dgf::kv {
+
+/// Immutable sorted-run file ("SSTable") used by LsmKv.
+///
+/// Layout:
+///   [records]      varint(key_len) key varint(value_len+1) value
+///                  (value_len field 0 encodes a tombstone, no value bytes)
+///   [sparse index] every kIndexInterval-th record: varint(key_len) key
+///                  fixed64(file_offset)
+///   [footer]       fixed64(index_offset) fixed64(record_count)
+///                  fixed64(kMagic)
+///
+/// Keys must be appended in strictly increasing order.
+class SstableWriter {
+ public:
+  /// Creates `path` on `dfs` and returns a writer for it.
+  static Result<std::unique_ptr<SstableWriter>> Create(
+      std::shared_ptr<fs::MiniDfs> dfs, const std::string& path);
+
+  /// Appends one entry; `tombstone` marks a deletion marker.
+  Status Add(std::string_view key, std::string_view value,
+             bool tombstone = false);
+
+  /// Writes index + footer and seals the file.
+  Status Finish();
+
+  uint64_t num_records() const { return num_records_; }
+
+ private:
+  explicit SstableWriter(std::unique_ptr<fs::DfsWriter> writer);
+
+  std::unique_ptr<fs::DfsWriter> writer_;
+  std::string index_;
+  std::string last_key_;
+  uint64_t num_records_ = 0;
+};
+
+/// Read handle for one SSTable. Thread-safe for concurrent reads.
+class SstableReader {
+ public:
+  static Result<std::shared_ptr<SstableReader>> Open(
+      std::shared_ptr<fs::MiniDfs> dfs, const std::string& path);
+
+  /// Point lookup. A tombstone is reported as found with `*deleted = true`.
+  /// Returns NotFound when the key is absent from this run.
+  Result<std::string> Get(std::string_view key, bool* deleted) const;
+
+  /// Cursor over the run. Tombstones are surfaced (LsmKv's merge needs them);
+  /// `IsTombstone()` on the concrete type reports them.
+  std::unique_ptr<Iterator> NewIterator() const;
+
+  uint64_t num_records() const { return num_records_; }
+  uint64_t file_size() const { return data_end_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  friend class SstableIterator;
+
+  SstableReader() = default;
+
+  Status Load(std::shared_ptr<fs::MiniDfs> dfs, const std::string& path);
+
+  /// Largest indexed offset whose key is <= `key` (scan start for Seek/Get).
+  uint64_t IndexLowerBound(std::string_view key) const;
+
+  std::string path_;
+  // The whole run is mapped into memory on open: index files are small
+  // relative to data (the paper's point), and this keeps reads simple.
+  std::string data_;
+  uint64_t data_end_ = 0;  // offset where records end / index begins
+  uint64_t num_records_ = 0;
+  std::vector<std::pair<std::string, uint64_t>> index_;
+};
+
+/// Iterator over an SSTable that also exposes tombstones.
+class SstableIterator : public Iterator {
+ public:
+  explicit SstableIterator(std::shared_ptr<const SstableReader> table);
+
+  void Seek(std::string_view target) override;
+  void SeekToFirst() override;
+  void Next() override;
+  bool Valid() const override;
+  std::string_view key() const override { return key_; }
+  std::string_view value() const override { return value_; }
+
+  bool IsTombstone() const { return tombstone_; }
+
+ private:
+  void ParseAt(uint64_t offset);
+
+  std::shared_ptr<const SstableReader> table_;
+  uint64_t offset_ = 0;       // offset of the current record
+  uint64_t next_offset_ = 0;  // offset of the following record
+  bool valid_ = false;
+  std::string_view key_;
+  std::string_view value_;
+  bool tombstone_ = false;
+};
+
+}  // namespace dgf::kv
+
+#endif  // DGF_KV_SSTABLE_H_

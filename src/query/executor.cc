@@ -1,0 +1,709 @@
+#include "query/executor.h"
+
+#include <algorithm>
+#include <charconv>
+#include <unordered_map>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "dgf/dgf_input_format.h"
+#include "table/rc_format.h"
+
+namespace dgf::query {
+namespace {
+
+using core::AggregatorList;
+using core::AggSpec;
+using table::DataType;
+using table::Row;
+using table::Schema;
+using table::TableDesc;
+using table::Value;
+
+const char* kRowKey = "r";
+
+std::string EncodeHeader(const std::vector<double>& header) {
+  std::string out;
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    char buf[32];
+    auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), header[i]);
+    (void)ec;
+    out.append(buf, end);
+  }
+  return out;
+}
+
+Result<std::vector<double>> DecodeHeader(std::string_view text, size_t n) {
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::string_view part : SplitString(text, ',')) {
+    if (part.empty()) continue;
+    DGF_ASSIGN_OR_RETURN(double v, ParseDouble(part));
+    out.push_back(v);
+  }
+  if (out.size() != n) return Status::Corruption("partial header arity");
+  return out;
+}
+
+/// Broadcast hash table of the join's right side, shared by all map tasks
+/// (Hive's map-side join with a distributed-cache small table).
+struct BroadcastTable {
+  Schema schema;
+  std::unordered_multimap<std::string, Row> by_key;
+  uint64_t bytes = 0;
+};
+
+enum class ScanMode { kAggregate, kGroupBy, kProject };
+
+/// The shared data-scan mapper: reads its split (through a path-specific
+/// reader factory), filters with the predicate, and either folds aggregation
+/// partials, folds per-group partials, or emits projected/joined rows.
+class ScanMapper : public exec::Mapper {
+ public:
+  using ReaderFactory = std::function<Result<std::unique_ptr<table::RecordReader>>(
+      const fs::FileSplit&, exec::MapContext*)>;
+
+  ScanMapper(ReaderFactory factory, BoundPredicate predicate, ScanMode mode,
+             const AggregatorList* aggs, int group_field,
+             std::vector<int> left_project, int join_left_field,
+             std::shared_ptr<const BroadcastTable> broadcast,
+             std::vector<int> right_project)
+      : factory_(std::move(factory)),
+        predicate_(std::move(predicate)),
+        mode_(mode),
+        aggs_(aggs),
+        group_field_(group_field),
+        left_project_(std::move(left_project)),
+        join_left_field_(join_left_field),
+        broadcast_(std::move(broadcast)),
+        right_project_(std::move(right_project)) {}
+
+  Status Map(const fs::FileSplit& split, exec::MapContext* ctx) override {
+    DGF_ASSIGN_OR_RETURN(auto reader, factory_(split, ctx));
+    Row row;
+    std::vector<double> agg_partial;
+    if (aggs_ != nullptr) agg_partial = aggs_->Identity();
+    std::unordered_map<std::string, std::vector<double>> groups;
+    uint64_t matched = 0;
+
+    for (;;) {
+      DGF_ASSIGN_OR_RETURN(bool more, reader->Next(&row));
+      if (!more) break;
+      ctx->AddRecords(1);
+      if (!predicate_.Matches(row)) continue;
+      ++matched;
+      switch (mode_) {
+        case ScanMode::kAggregate:
+          aggs_->Update(&agg_partial, row);
+          break;
+        case ScanMode::kGroupBy: {
+          const std::string key =
+              row[static_cast<size_t>(group_field_)].ToText();
+          auto [it, inserted] = groups.try_emplace(key);
+          if (inserted) it->second = aggs_->Identity();
+          aggs_->Update(&it->second, row);
+          break;
+        }
+        case ScanMode::kProject: {
+          DGF_RETURN_IF_ERROR(EmitProjected(row, ctx));
+          break;
+        }
+      }
+    }
+    ctx->AddBytesRead(reader->BytesRead());
+    ctx->counters().Add("scan.matched", static_cast<int64_t>(matched));
+    if (mode_ == ScanMode::kAggregate && matched > 0) {
+      ctx->Emit("", EncodeHeader(agg_partial));
+    } else if (mode_ == ScanMode::kGroupBy) {
+      for (const auto& [key, partial] : groups) {
+        ctx->Emit(key, EncodeHeader(partial));
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status EmitProjected(const Row& row, exec::MapContext* ctx) {
+    Row out;
+    const Row* right_row = nullptr;
+    if (broadcast_ != nullptr) {
+      const std::string key =
+          row[static_cast<size_t>(join_left_field_)].ToText();
+      auto it = broadcast_->by_key.find(key);
+      if (it == broadcast_->by_key.end()) return Status::OK();  // inner join
+      right_row = &it->second;
+    }
+    for (size_t i = 0; i < left_project_.size(); ++i) {
+      if (left_project_[i] >= 0) {
+        out.push_back(row[static_cast<size_t>(left_project_[i])]);
+      } else {
+        out.push_back(
+            (*right_row)[static_cast<size_t>(right_project_[i])]);
+      }
+    }
+    ctx->Emit(kRowKey, table::FormatRowText(out));
+    return Status::OK();
+  }
+
+  ReaderFactory factory_;
+  BoundPredicate predicate_;
+  ScanMode mode_;
+  const AggregatorList* aggs_;
+  int group_field_;
+  /// Output projection: left_project_[i] >= 0 selects that left column;
+  /// -1 means take right_project_[i] from the joined right row.
+  std::vector<int> left_project_;
+  int join_left_field_;
+  std::shared_ptr<const BroadcastTable> broadcast_;
+  std::vector<int> right_project_;
+};
+
+/// Reducer merging per-group partial headers.
+class GroupMergeReducer : public exec::Reducer {
+ public:
+  explicit GroupMergeReducer(const AggregatorList* aggs) : aggs_(aggs) {}
+
+  Status Reduce(const std::string& key, const std::vector<std::string>& values,
+                exec::ReduceContext* ctx) override {
+    std::vector<double> acc = aggs_->Identity();
+    for (const std::string& value : values) {
+      DGF_ASSIGN_OR_RETURN(
+          std::vector<double> partial,
+          DecodeHeader(value, static_cast<size_t>(aggs_->size())));
+      aggs_->Merge(&acc, partial);
+    }
+    ctx->Collect(key, EncodeHeader(acc));
+    return Status::OK();
+  }
+
+ private:
+  const AggregatorList* aggs_;
+};
+
+Value AggResultValue(const AggSpec& spec, double value) {
+  if (spec.func == core::AggFunc::kCount) {
+    return Value::Int64(static_cast<int64_t>(value + (value >= 0 ? 0.5 : -0.5)));
+  }
+  return Value::Double(value);
+}
+
+/// Rewrites the requested aggregations into additive "physical" ones:
+/// avg(c) expands to sum(c) / count(*); duplicates are computed once.
+/// `outputs[i]` says how to produce the i-th requested value from the
+/// physical accumulator vector.
+struct AggPlan {
+  std::vector<AggSpec> physical;
+  struct Output {
+    bool is_avg = false;
+    size_t a = 0;  // physical slot (numerator for avg)
+    size_t b = 0;  // denominator slot for avg
+  };
+  std::vector<Output> outputs;
+
+  size_t AddPhysical(const AggSpec& spec) {
+    for (size_t i = 0; i < physical.size(); ++i) {
+      if (physical[i] == spec) return i;
+    }
+    physical.push_back(spec);
+    return physical.size() - 1;
+  }
+
+  static AggPlan Create(const std::vector<AggSpec>& requested) {
+    AggPlan plan;
+    for (const AggSpec& spec : requested) {
+      Output output;
+      if (spec.func == core::AggFunc::kAvg) {
+        output.is_avg = true;
+        AggSpec sum = spec;
+        sum.func = core::AggFunc::kSum;
+        output.a = plan.AddPhysical(sum);
+        output.b = plan.AddPhysical(AggSpec{core::AggFunc::kCount, "", ""});
+      } else {
+        output.a = plan.AddPhysical(spec);
+      }
+      plan.outputs.push_back(output);
+    }
+    return plan;
+  }
+
+  /// The i-th requested value from the physical accumulators.
+  Value OutputValue(size_t i, const std::vector<AggSpec>& requested,
+                    const std::vector<double>& acc) const {
+    const Output& output = outputs[i];
+    if (output.is_avg) {
+      const double count = acc[output.b];
+      return Value::Double(count > 0 ? acc[output.a] / count : 0.0);
+    }
+    return AggResultValue(requested[i], acc[output.a]);
+  }
+};
+
+}  // namespace
+
+const char* AccessPathName(AccessPath path) {
+  switch (path) {
+    case AccessPath::kFullScan:
+      return "FullScan";
+    case AccessPath::kCompactIndex:
+      return "CompactIndex";
+    case AccessPath::kBitmapIndex:
+      return "BitmapIndex";
+    case AccessPath::kDgfIndex:
+      return "DGFIndex";
+    case AccessPath::kAggregateRewrite:
+      return "AggregateRewrite";
+  }
+  return "?";
+}
+
+void QueryExecutor::RegisterTable(const TableDesc& desc) {
+  tables_[desc.name].desc = desc;
+}
+
+void QueryExecutor::RegisterDgfIndex(const std::string& table,
+                                     core::DgfIndex* index) {
+  tables_[table].dgf = index;
+}
+
+void QueryExecutor::RegisterCompactIndex(const std::string& table,
+                                         index::CompactIndex* index) {
+  tables_[table].compact = index;
+}
+
+void QueryExecutor::RegisterBitmapIndex(const std::string& table,
+                                        index::BitmapIndex* index) {
+  tables_[table].bitmap = index;
+}
+
+void QueryExecutor::RegisterAggregateIndex(const std::string& table,
+                                           index::AggregateIndex* index) {
+  tables_[table].aggregate = index;
+}
+
+Result<QueryExecutor::TableState*> QueryExecutor::GetState(
+    const std::string& table) {
+  auto it = tables_.find(table);
+  if (it == tables_.end() || it->second.desc.name.empty()) {
+    return Status::NotFound("table not registered: " + table);
+  }
+  return &it->second;
+}
+
+AccessPath QueryExecutor::ChoosePath(const TableState& state,
+                                     const Query& query) const {
+  (void)query;
+  if (state.dgf != nullptr) return AccessPath::kDgfIndex;
+  if (state.bitmap != nullptr) return AccessPath::kBitmapIndex;
+  if (state.compact != nullptr) return AccessPath::kCompactIndex;
+  return AccessPath::kFullScan;
+}
+
+// Inputs for the shared data-scan job, prepared by the access path.
+struct QueryExecutor::ScanInputs {
+  std::vector<fs::FileSplit> splits;
+  // DGF path: slices per split (keyed by the split); empty for others.
+  std::map<fs::FileSplit, std::vector<core::SliceLocation>> slices;
+  // Bitmap path: row filters per file.
+  std::map<std::string, std::vector<std::pair<uint64_t, std::vector<uint64_t>>>>
+      row_filters;
+  // DGF aggregation path: header merged from inner GFUs, in index agg order,
+  // plus the index's aggregator specs.
+  std::vector<double> dgf_inner_header;
+  const AggregatorList* dgf_aggs = nullptr;
+  uint64_t dgf_inner_records = 0;
+  // Which table descriptor the splits refer to (base table or DGF data dir).
+  TableDesc scan_desc;
+};
+
+Result<QueryResult> QueryExecutor::Execute(const Query& query,
+                                           std::optional<AccessPath> force) {
+  Stopwatch wall;
+  DGF_ASSIGN_OR_RETURN(TableState * state, GetState(query.table));
+  const AccessPath path = force.value_or(ChoosePath(*state, query));
+
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    switch (path) {
+      case AccessPath::kDgfIndex:
+        if (state->dgf == nullptr) {
+          return Status::InvalidArgument("no DGFIndex registered for " +
+                                         query.table);
+        }
+        return ExecuteDgf(state, query);
+      case AccessPath::kAggregateRewrite:
+        return ExecuteAggregateRewrite(state, query);
+      case AccessPath::kCompactIndex:
+        if (state->compact == nullptr && state->aggregate == nullptr) {
+          return Status::InvalidArgument("no Compact Index registered for " +
+                                         query.table);
+        }
+        return ExecuteSplitScan(state, query, path);
+      case AccessPath::kBitmapIndex:
+        if (state->bitmap == nullptr) {
+          return Status::InvalidArgument("no Bitmap Index registered for " +
+                                         query.table);
+        }
+        return ExecuteSplitScan(state, query, path);
+      case AccessPath::kFullScan:
+        return ExecuteSplitScan(state, query, path);
+    }
+    return Status::Internal("unreachable");
+  }();
+  if (result.ok()) {
+    result->stats.path = path;
+    result->stats.wall_seconds = wall.ElapsedSeconds();
+    result->stats.total_seconds =
+        result->stats.index_seconds + result->stats.data_seconds;
+  }
+  return result;
+}
+
+Result<QueryResult> QueryExecutor::ExecuteDgf(TableState* state,
+                                              const Query& query) {
+  core::DgfIndex* index = state->dgf;
+  const AggPlan plan = AggPlan::Create(query.Aggregations());
+  const bool agg_path =
+      query.IsPlainAggregation() && index->CoversAggregations(plan.physical);
+
+  DGF_ASSIGN_OR_RETURN(auto lookup, index->Lookup(query.where, agg_path));
+
+  ScanInputs inputs;
+  inputs.scan_desc = index->DataDesc();
+  DGF_ASSIGN_OR_RETURN(
+      auto planned,
+      core::PlanSlicedSplits(options_.dfs, lookup.slices, options_.split_size));
+  for (auto& sliced : planned) {
+    inputs.splits.push_back(sliced.split);
+    inputs.slices[sliced.split] = std::move(sliced.slices);
+  }
+  if (agg_path) {
+    inputs.dgf_inner_header = std::move(lookup.inner_header);
+    inputs.dgf_aggs = &index->aggregators();
+    inputs.dgf_inner_records = lookup.inner_records;
+  }
+
+  QueryStats stats;
+  stats.kv_gets = lookup.kv_gets + lookup.kv_scan_entries;
+  stats.index_seconds =
+      static_cast<double>(lookup.kv_gets) * options_.cluster.kv_get_s +
+      static_cast<double>(lookup.kv_scan_entries) *
+          options_.cluster.kv_scan_entry_s;
+  return RunDataJob(state, query, inputs, stats);
+}
+
+Result<QueryResult> QueryExecutor::ExecuteSplitScan(TableState* state,
+                                                    const Query& query,
+                                                    AccessPath path) {
+  ScanInputs inputs;
+  inputs.scan_desc = state->desc;
+  QueryStats stats;
+
+  if (path == AccessPath::kCompactIndex) {
+    index::CompactIndex* compact =
+        state->compact != nullptr
+            ? state->compact
+            : static_cast<index::CompactIndex*>(state->aggregate);
+    DGF_ASSIGN_OR_RETURN(auto lookup,
+                         compact->Lookup(query.where, options_.split_size));
+    inputs.splits = std::move(lookup.splits);
+    stats.index_seconds = lookup.index_scan.simulated_seconds;
+  } else if (path == AccessPath::kBitmapIndex) {
+    DGF_ASSIGN_OR_RETURN(auto lookup,
+                         state->bitmap->Lookup(query.where, options_.split_size));
+    inputs.splits = std::move(lookup.splits);
+    for (auto& filter : lookup.row_filters) {
+      inputs.row_filters[filter.file] = std::move(filter.blocks);
+    }
+    stats.index_seconds = lookup.index_scan.simulated_seconds;
+  } else {
+    DGF_ASSIGN_OR_RETURN(
+        inputs.splits,
+        table::GetTableSplits(options_.dfs, state->desc, options_.split_size));
+  }
+  return RunDataJob(state, query, inputs, stats);
+}
+
+Result<QueryResult> QueryExecutor::ExecuteAggregateRewrite(TableState* state,
+                                                           const Query& query) {
+  if (state->aggregate == nullptr) {
+    return Status::InvalidArgument("no Aggregate Index registered for " +
+                                   query.table);
+  }
+  if (!query.group_by.has_value() || query.select.size() != 2) {
+    return Status::NotSupported("rewrite requires SELECT <col>, count(*)");
+  }
+  const std::vector<AggSpec> aggs = query.Aggregations();
+  if (aggs.size() != 1 || aggs[0].func != core::AggFunc::kCount) {
+    return Status::NotSupported("rewrite only covers count(*)");
+  }
+  exec::JobResult index_scan;
+  DGF_ASSIGN_OR_RETURN(auto groups,
+                       state->aggregate->RewriteGroupByCount(
+                           query.where, *query.group_by, &index_scan));
+  QueryResult result;
+  DGF_ASSIGN_OR_RETURN(int group_field,
+                       state->desc.schema.FieldIndex(*query.group_by));
+  const DataType group_type = state->desc.schema.field(group_field).type;
+  result.schema = Schema({{*query.group_by, group_type},
+                          {"count(*)", DataType::kInt64}});
+  for (const auto& [text, count] : groups) {
+    DGF_ASSIGN_OR_RETURN(Value group_value, table::ParseValue(text, group_type));
+    result.rows.push_back({std::move(group_value), Value::Int64(count)});
+  }
+  result.stats.index_seconds = index_scan.simulated_seconds;
+  result.stats.records_read = 0;  // the whole point: no base-table read
+  return result;
+}
+
+Result<QueryResult> QueryExecutor::RunDataJob(TableState* state,
+                                              const Query& query,
+                                              const ScanInputs& inputs,
+                                              QueryStats stats) {
+  (void)state;  // access-path branches already resolved the table
+  const TableDesc& scan_desc = inputs.scan_desc;
+  DGF_ASSIGN_OR_RETURN(BoundPredicate predicate,
+                       query.where.Bind(scan_desc.schema));
+
+  // Resolve select list.
+  ScanMode mode;
+  std::optional<AggregatorList> aggs;
+  int group_field = -1;
+  std::vector<int> left_project;
+  std::vector<int> right_project;
+  int join_left_field = -1;
+  std::shared_ptr<BroadcastTable> broadcast;
+
+  const std::vector<AggSpec> requested = query.Aggregations();
+  const AggPlan plan = AggPlan::Create(requested);
+  if (query.group_by.has_value()) {
+    mode = ScanMode::kGroupBy;
+    if (requested.empty()) {
+      return Status::NotSupported("GROUP BY requires aggregations");
+    }
+    DGF_ASSIGN_OR_RETURN(group_field,
+                         scan_desc.schema.FieldIndex(*query.group_by));
+    DGF_ASSIGN_OR_RETURN(
+        auto list, AggregatorList::Create(plan.physical, scan_desc.schema));
+    aggs = std::move(list);
+  } else if (query.IsPlainAggregation()) {
+    mode = ScanMode::kAggregate;
+    DGF_ASSIGN_OR_RETURN(
+        auto list, AggregatorList::Create(plan.physical, scan_desc.schema));
+    aggs = std::move(list);
+  } else {
+    mode = ScanMode::kProject;
+    if (!requested.empty()) {
+      return Status::NotSupported(
+          "mixing plain columns and aggregations needs GROUP BY");
+    }
+    // Load the broadcast table if joining.
+    const Schema* right_schema = nullptr;
+    if (query.join.has_value()) {
+      DGF_ASSIGN_OR_RETURN(TableState * right_state,
+                           GetState(query.join->right_table));
+      broadcast = std::make_shared<BroadcastTable>();
+      broadcast->schema = right_state->desc.schema;
+      right_schema = &broadcast->schema;
+      DGF_ASSIGN_OR_RETURN(int right_key,
+                           right_schema->FieldIndex(query.join->right_column));
+      DGF_ASSIGN_OR_RETURN(
+          auto right_splits,
+          table::GetTableSplits(options_.dfs, right_state->desc,
+                                options_.split_size));
+      for (const auto& split : right_splits) {
+        DGF_ASSIGN_OR_RETURN(
+            auto reader,
+            table::OpenSplitReader(options_.dfs, right_state->desc, split));
+        Row row;
+        for (;;) {
+          DGF_ASSIGN_OR_RETURN(bool more, reader->Next(&row));
+          if (!more) break;
+          broadcast->by_key.emplace(
+              row[static_cast<size_t>(right_key)].ToText(), row);
+        }
+        broadcast->bytes += reader->BytesRead();
+      }
+      DGF_ASSIGN_OR_RETURN(join_left_field,
+                           scan_desc.schema.FieldIndex(query.join->left_column));
+      // Broadcasting the small table costs one read per map wave; charge one
+      // full read against the simulated index/other time.
+      stats.index_seconds +=
+          static_cast<double>(broadcast->bytes) /
+          (1e6 * options_.cluster.scan_mb_per_s);
+      stats.bytes_read += broadcast->bytes;
+    }
+    for (const SelectItem& item : query.select) {
+      auto left = scan_desc.schema.FieldIndex(item.column);
+      if (left.ok()) {
+        left_project.push_back(*left);
+        right_project.push_back(-1);
+        continue;
+      }
+      if (right_schema != nullptr) {
+        auto right = right_schema->FieldIndex(item.column);
+        if (right.ok()) {
+          left_project.push_back(-1);
+          right_project.push_back(*right);
+          continue;
+        }
+      }
+      return Status::NotFound("unknown select column: " + item.column);
+    }
+  }
+
+  // Reader factory per access path.
+  const auto& dfs = options_.dfs;
+  const auto* slices = &inputs.slices;
+  const auto* row_filters = &inputs.row_filters;
+  ScanMapper::ReaderFactory factory =
+      [dfs, scan_desc, slices, row_filters](
+          const fs::FileSplit& split,
+          exec::MapContext* ctx) -> Result<std::unique_ptr<table::RecordReader>> {
+    auto slice_it = slices->find(split);
+    if (slice_it != slices->end()) {
+      core::SlicedSplit sliced{split, slice_it->second};
+      DGF_ASSIGN_OR_RETURN(
+          auto reader, core::SliceRecordReader::Open(dfs, sliced,
+                                                     scan_desc.schema,
+                                                     scan_desc.format));
+      ctx->AddSeeks(slice_it->second.size());
+      return std::unique_ptr<table::RecordReader>(std::move(reader));
+    }
+    if (scan_desc.format == table::FileFormat::kRcFile) {
+      DGF_ASSIGN_OR_RETURN(
+          auto reader,
+          table::RcSplitReader::Open(dfs, split, scan_desc.schema));
+      auto filter_it = row_filters->find(split.path);
+      if (filter_it != row_filters->end()) {
+        // Restrict to the blocks inside this split.
+        std::vector<std::pair<uint64_t, std::vector<uint64_t>>> in_split;
+        for (const auto& [offset, rows] : filter_it->second) {
+          if (offset >= split.offset && offset < split.end()) {
+            in_split.emplace_back(offset, rows);
+          }
+        }
+        reader->SetRowFilter(std::move(in_split));
+      }
+      return std::unique_ptr<table::RecordReader>(std::move(reader));
+    }
+    return table::OpenSplitReader(dfs, scan_desc, split);
+  };
+
+  exec::JobRunner::Options job;
+  job.cluster = options_.cluster;
+  job.worker_threads = options_.worker_threads;
+  job.num_reducers = (mode == ScanMode::kGroupBy) ? options_.group_by_reducers : 0;
+  exec::JobRunner runner(job);
+  const AggregatorList* aggs_ptr = aggs.has_value() ? &*aggs : nullptr;
+  DGF_ASSIGN_OR_RETURN(
+      exec::JobResult data_job,
+      runner.Run(
+          inputs.splits,
+          [&] {
+            return std::make_unique<ScanMapper>(
+                factory, predicate, mode, aggs_ptr, group_field, left_project,
+                join_left_field, broadcast, right_project);
+          },
+          mode == ScanMode::kGroupBy
+              ? exec::ReducerFactory(
+                    [&](int) { return std::make_unique<GroupMergeReducer>(aggs_ptr); })
+              : exec::ReducerFactory(nullptr)));
+
+  stats.records_read +=
+      static_cast<uint64_t>(data_job.counters.Get(exec::kCounterMapInputRecords));
+  stats.records_matched +=
+      static_cast<uint64_t>(data_job.counters.Get("scan.matched")) +
+      inputs.dgf_inner_records;
+  stats.bytes_read +=
+      static_cast<uint64_t>(data_job.counters.Get(exec::kCounterMapInputBytes));
+  stats.splits_scanned = data_job.num_map_tasks;
+  stats.data_seconds = data_job.simulated_seconds;
+
+  // Assemble output rows.
+  QueryResult result;
+  result.stats = stats;
+  switch (mode) {
+    case ScanMode::kAggregate: {
+      std::vector<double> acc = aggs->Identity();
+      for (const auto& [key, partial] : data_job.reduce_output) {
+        (void)key;
+        DGF_ASSIGN_OR_RETURN(
+            std::vector<double> header,
+            DecodeHeader(partial, static_cast<size_t>(aggs->size())));
+        aggs->Merge(&acc, header);
+      }
+      // Fold in the DGF inner region (header slots matched by spec).
+      if (inputs.dgf_aggs != nullptr) {
+        for (size_t i = 0; i < plan.physical.size(); ++i) {
+          DGF_ASSIGN_OR_RETURN(int slot,
+                               inputs.dgf_aggs->IndexOf(plan.physical[i]));
+          std::vector<double> delta = aggs->Identity();
+          delta[i] = inputs.dgf_inner_header[static_cast<size_t>(slot)];
+          aggs->Merge(&acc, delta);
+        }
+      }
+      std::vector<table::Field> fields;
+      Row row;
+      for (size_t i = 0; i < requested.size(); ++i) {
+        fields.push_back({requested[i].ToString(),
+                          requested[i].func == core::AggFunc::kCount
+                              ? DataType::kInt64
+                              : DataType::kDouble});
+        row.push_back(plan.OutputValue(i, requested, acc));
+      }
+      result.schema = Schema(std::move(fields));
+      result.rows.push_back(std::move(row));
+      break;
+    }
+    case ScanMode::kGroupBy: {
+      DGF_ASSIGN_OR_RETURN(int base_group_field,
+                           scan_desc.schema.FieldIndex(*query.group_by));
+      const DataType group_type = scan_desc.schema.field(base_group_field).type;
+      std::vector<table::Field> fields = {{*query.group_by, group_type}};
+      for (const AggSpec& spec : requested) {
+        fields.push_back({spec.ToString(),
+                          spec.func == core::AggFunc::kCount ? DataType::kInt64
+                                                             : DataType::kDouble});
+      }
+      result.schema = Schema(std::move(fields));
+      std::vector<std::pair<std::string, std::string>> sorted =
+          data_job.reduce_output;
+      std::sort(sorted.begin(), sorted.end());
+      for (const auto& [key, partial] : sorted) {
+        DGF_ASSIGN_OR_RETURN(
+            std::vector<double> header,
+            DecodeHeader(partial, static_cast<size_t>(aggs->size())));
+        DGF_ASSIGN_OR_RETURN(Value group_value,
+                             table::ParseValue(key, group_type));
+        Row row = {std::move(group_value)};
+        for (size_t i = 0; i < requested.size(); ++i) {
+          row.push_back(plan.OutputValue(i, requested, header));
+        }
+        result.rows.push_back(std::move(row));
+      }
+      break;
+    }
+    case ScanMode::kProject: {
+      std::vector<table::Field> fields;
+      for (size_t i = 0; i < query.select.size(); ++i) {
+        DataType type;
+        if (left_project[i] >= 0) {
+          type = scan_desc.schema.field(left_project[i]).type;
+        } else {
+          type = broadcast->schema.field(right_project[i]).type;
+        }
+        fields.push_back({query.select[i].column, type});
+      }
+      result.schema = Schema(std::move(fields));
+      for (const auto& [key, text] : data_job.reduce_output) {
+        (void)key;
+        DGF_ASSIGN_OR_RETURN(Row row, table::ParseRowText(text, result.schema));
+        result.rows.push_back(std::move(row));
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace dgf::query

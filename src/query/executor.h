@@ -1,0 +1,125 @@
+#ifndef DGF_QUERY_EXECUTOR_H_
+#define DGF_QUERY_EXECUTOR_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dgf/dgf_index.h"
+#include "exec/mapreduce.h"
+#include "index/bitmap_index.h"
+#include "index/compact_index.h"
+#include "query/query.h"
+#include "table/table.h"
+
+namespace dgf::query {
+
+/// How a query's data access was (or should be) performed.
+enum class AccessPath {
+  kFullScan,
+  kCompactIndex,
+  kBitmapIndex,
+  kDgfIndex,
+  /// Aggregate Index "index as data" rewrite (COUNT group-bys only).
+  kAggregateRewrite,
+};
+
+const char* AccessPathName(AccessPath path);
+
+/// Work and cost accounting for one executed query, split the way the
+/// paper's stacked bars are: index consultation vs data scan.
+struct QueryStats {
+  AccessPath path = AccessPath::kFullScan;
+  /// Records deserialized by the data-scan job (Tables 3/4/6).
+  uint64_t records_read = 0;
+  /// Records satisfying the predicate.
+  uint64_t records_matched = 0;
+  uint64_t bytes_read = 0;
+  int splits_scanned = 0;
+  uint64_t kv_gets = 0;
+  /// Simulated cluster seconds: consulting the index ("read index and other",
+  /// includes per-job fixed overheads) and scanning data ("read data and
+  /// process").
+  double index_seconds = 0.0;
+  double data_seconds = 0.0;
+  double total_seconds = 0.0;
+  /// Real elapsed time on this machine.
+  double wall_seconds = 0.0;
+};
+
+/// One executed query: output rows plus accounting.
+struct QueryResult {
+  table::Schema schema;
+  std::vector<table::Row> rows;
+  QueryStats stats;
+};
+
+/// Runs the paper's query shapes over MiniMR with a pluggable access path.
+///
+/// Indexes are registered per table; `Execute` picks the best registered path
+/// (DGFIndex > Bitmap > Compact > scan) unless one is forced. All paths
+/// re-apply the full predicate during the data scan, so results are identical
+/// across paths — only the work differs. This invariant is what the
+/// cross-path property tests assert.
+class QueryExecutor {
+ public:
+  struct Options {
+    std::shared_ptr<fs::MiniDfs> dfs;
+    exec::ClusterConfig cluster;
+    int worker_threads = 4;
+    /// Split size for data scans (0 = DFS block size).
+    uint64_t split_size = 0;
+    int group_by_reducers = 8;
+  };
+
+  explicit QueryExecutor(Options options) : options_(std::move(options)) {}
+
+  /// Registers the table itself (required before querying it).
+  void RegisterTable(const table::TableDesc& desc);
+  /// Registers index structures (optional, per table).
+  void RegisterDgfIndex(const std::string& table, core::DgfIndex* index);
+  void RegisterCompactIndex(const std::string& table,
+                            index::CompactIndex* index);
+  void RegisterBitmapIndex(const std::string& table, index::BitmapIndex* index);
+  void RegisterAggregateIndex(const std::string& table,
+                              index::AggregateIndex* index);
+
+  /// Executes `query`, optionally forcing an access path (benchmarks compare
+  /// paths on identical queries). Forcing a path whose index is not
+  /// registered is an InvalidArgument error.
+  Result<QueryResult> Execute(const Query& query,
+                              std::optional<AccessPath> force = std::nullopt);
+
+ private:
+  struct TableState {
+    table::TableDesc desc;
+    core::DgfIndex* dgf = nullptr;
+    index::CompactIndex* compact = nullptr;
+    index::BitmapIndex* bitmap = nullptr;
+    index::AggregateIndex* aggregate = nullptr;
+  };
+
+  Result<TableState*> GetState(const std::string& table);
+  AccessPath ChoosePath(const TableState& state, const Query& query) const;
+
+  Result<QueryResult> ExecuteDgf(TableState* state, const Query& query);
+  Result<QueryResult> ExecuteSplitScan(TableState* state, const Query& query,
+                                       AccessPath path);
+  Result<QueryResult> ExecuteAggregateRewrite(TableState* state,
+                                              const Query& query);
+
+  /// Runs the data-scan job over prepared inputs and assembles the result.
+  struct ScanInputs;
+  Result<QueryResult> RunDataJob(TableState* state, const Query& query,
+                                 const ScanInputs& inputs, QueryStats stats);
+
+  Options options_;
+  std::map<std::string, TableState> tables_;
+};
+
+}  // namespace dgf::query
+
+#endif  // DGF_QUERY_EXECUTOR_H_

@@ -1,0 +1,343 @@
+#include "query/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace dgf::query {
+namespace {
+
+using table::DataType;
+using table::Schema;
+using table::Value;
+
+enum class TokenType { kIdent, kNumber, kString, kSymbol, kEnd };
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;  // identifiers lowercased; symbols verbatim
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view sql) : sql_(sql) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (pos_ < sql_.size()) {
+      const char c = sql_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = pos_;
+        while (pos_ < sql_.size() &&
+               (std::isalnum(static_cast<unsigned char>(sql_[pos_])) ||
+                sql_[pos_] == '_')) {
+          ++pos_;
+        }
+        std::string text(sql_.substr(start, pos_ - start));
+        std::transform(text.begin(), text.end(), text.begin(), [](unsigned char ch) {
+          return std::tolower(ch);
+        });
+        out.push_back({TokenType::kIdent, std::move(text)});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '-' && pos_ + 1 < sql_.size() &&
+           std::isdigit(static_cast<unsigned char>(sql_[pos_ + 1])))) {
+        size_t start = pos_;
+        ++pos_;
+        while (pos_ < sql_.size() &&
+               (std::isdigit(static_cast<unsigned char>(sql_[pos_])) ||
+                sql_[pos_] == '.' || sql_[pos_] == 'e' || sql_[pos_] == 'E' ||
+                (sql_[pos_] == '-' &&
+                 (sql_[pos_ - 1] == 'e' || sql_[pos_ - 1] == 'E')))) {
+          ++pos_;
+        }
+        out.push_back({TokenType::kNumber,
+                       std::string(sql_.substr(start, pos_ - start))});
+        continue;
+      }
+      if (c == '\'') {
+        size_t end = sql_.find('\'', pos_ + 1);
+        if (end == std::string_view::npos) {
+          return Status::InvalidArgument("unterminated string literal");
+        }
+        out.push_back({TokenType::kString,
+                       std::string(sql_.substr(pos_ + 1, end - pos_ - 1))});
+        pos_ = end + 1;
+        continue;
+      }
+      // Two-char operators first.
+      if ((c == '<' || c == '>') && pos_ + 1 < sql_.size() &&
+          sql_[pos_ + 1] == '=') {
+        out.push_back({TokenType::kSymbol, std::string(sql_.substr(pos_, 2))});
+        pos_ += 2;
+        continue;
+      }
+      if (std::string_view("(),.*=<>;").find(c) != std::string_view::npos) {
+        out.push_back({TokenType::kSymbol, std::string(1, c)});
+        ++pos_;
+        continue;
+      }
+      return Status::InvalidArgument(StringPrintf("bad character '%c'", c));
+    }
+    out.push_back({TokenType::kEnd, ""});
+    return out;
+  }
+
+ private:
+  std::string_view sql_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const Schema& left, const Schema* right)
+      : tokens_(std::move(tokens)), left_(left), right_(right) {}
+
+  Result<Query> Parse() {
+    Query query;
+    DGF_RETURN_IF_ERROR(ExpectKeyword("select"));
+    DGF_RETURN_IF_ERROR(ParseSelectList(&query));
+    DGF_RETURN_IF_ERROR(ExpectKeyword("from"));
+    DGF_ASSIGN_OR_RETURN(query.table, ExpectIdent());
+    MaybeAlias(&left_alias_);
+    if (AcceptKeyword("join")) {
+      JoinClause join;
+      DGF_ASSIGN_OR_RETURN(join.right_table, ExpectIdent());
+      MaybeAlias(&right_alias_);
+      DGF_RETURN_IF_ERROR(ExpectKeyword("on"));
+      DGF_ASSIGN_OR_RETURN(QualifiedColumn a, ParseColumnRef());
+      DGF_RETURN_IF_ERROR(ExpectSymbol("="));
+      DGF_ASSIGN_OR_RETURN(QualifiedColumn b, ParseColumnRef());
+      // Orient the equi-join: the side qualified with the right alias (or
+      // found only in the right schema) is the right column.
+      const bool a_is_right = RefersToRight(a);
+      join.left_column = a_is_right ? b.column : a.column;
+      join.right_column = a_is_right ? a.column : b.column;
+      query.join = std::move(join);
+    }
+    if (AcceptKeyword("where")) {
+      DGF_RETURN_IF_ERROR(ParseConjunction(&query));
+    }
+    if (AcceptKeyword("group")) {
+      DGF_RETURN_IF_ERROR(ExpectKeyword("by"));
+      DGF_ASSIGN_OR_RETURN(QualifiedColumn col, ParseColumnRef());
+      query.group_by = col.column;
+    }
+    AcceptSymbol(";");
+    if (!AtEnd()) {
+      return Status::InvalidArgument("unexpected trailing tokens near '" +
+                                     Peek().text + "'");
+    }
+    return query;
+  }
+
+ private:
+  struct QualifiedColumn {
+    std::string qualifier;  // table alias, may be empty
+    std::string column;
+  };
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+
+  bool AcceptKeyword(std::string_view kw) {
+    if (Peek().type == TokenType::kIdent && Peek().text == kw) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(std::string_view kw) {
+    if (!AcceptKeyword(kw)) {
+      return Status::InvalidArgument("expected '" + std::string(kw) +
+                                     "' near '" + Peek().text + "'");
+    }
+    return Status::OK();
+  }
+
+  bool AcceptSymbol(std::string_view sym) {
+    if (Peek().type == TokenType::kSymbol && Peek().text == sym) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectSymbol(std::string_view sym) {
+    if (!AcceptSymbol(sym)) {
+      return Status::InvalidArgument("expected '" + std::string(sym) +
+                                     "' near '" + Peek().text + "'");
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent() {
+    if (Peek().type != TokenType::kIdent) {
+      return Status::InvalidArgument("expected identifier near '" +
+                                     Peek().text + "'");
+    }
+    return tokens_[pos_++].text;
+  }
+
+  /// Consumes "alias" after a table name when present (and not a keyword).
+  void MaybeAlias(std::string* alias) {
+    static constexpr const char* kKeywords[] = {"join", "on", "where", "group"};
+    if (Peek().type != TokenType::kIdent) return;
+    for (const char* kw : kKeywords) {
+      if (Peek().text == kw) return;
+    }
+    *alias = tokens_[pos_++].text;
+  }
+
+  Result<QualifiedColumn> ParseColumnRef() {
+    QualifiedColumn col;
+    DGF_ASSIGN_OR_RETURN(std::string first, ExpectIdent());
+    if (AcceptSymbol(".")) {
+      col.qualifier = std::move(first);
+      DGF_ASSIGN_OR_RETURN(col.column, ExpectIdent());
+    } else {
+      col.column = std::move(first);
+    }
+    return col;
+  }
+
+  bool RefersToRight(const QualifiedColumn& col) const {
+    if (!col.qualifier.empty()) return col.qualifier == right_alias_;
+    return !left_.HasField(col.column) && right_ != nullptr &&
+           right_->HasField(col.column);
+  }
+
+  Status ParseSelectList(Query* query) {
+    do {
+      static constexpr const char* kAggNames[] = {"sum", "count", "min", "max",
+                                                  "avg"};
+      const bool is_agg =
+          Peek().type == TokenType::kIdent &&
+          pos_ + 1 < tokens_.size() &&
+          tokens_[pos_ + 1].type == TokenType::kSymbol &&
+          tokens_[pos_ + 1].text == "(" &&
+          std::any_of(std::begin(kAggNames), std::end(kAggNames),
+                      [&](const char* name) { return Peek().text == name; });
+      if (is_agg) {
+        DGF_ASSIGN_OR_RETURN(std::string func, ExpectIdent());
+        DGF_RETURN_IF_ERROR(ExpectSymbol("("));
+        std::string arg;
+        if (AcceptSymbol("*")) {
+          arg = "*";
+        } else {
+          DGF_ASSIGN_OR_RETURN(QualifiedColumn col, ParseColumnRef());
+          arg = col.column;
+          if (AcceptSymbol("*")) {
+            DGF_ASSIGN_OR_RETURN(QualifiedColumn col_b, ParseColumnRef());
+            arg += "*" + col_b.column;
+          }
+        }
+        DGF_RETURN_IF_ERROR(ExpectSymbol(")"));
+        DGF_ASSIGN_OR_RETURN(core::AggSpec spec,
+                             core::AggSpec::Parse(func + "(" + arg + ")"));
+        query->select.push_back(SelectItem::Aggregation(std::move(spec)));
+      } else {
+        DGF_ASSIGN_OR_RETURN(QualifiedColumn col, ParseColumnRef());
+        query->select.push_back(SelectItem::Column(col.column));
+      }
+    } while (AcceptSymbol(","));
+    return Status::OK();
+  }
+
+  /// Type of `column` looked up in the appropriate schema.
+  Result<DataType> ColumnType(const QualifiedColumn& col) const {
+    if (RefersToRight(col)) {
+      DGF_ASSIGN_OR_RETURN(int idx, right_->FieldIndex(col.column));
+      return right_->field(idx).type;
+    }
+    DGF_ASSIGN_OR_RETURN(int idx, left_.FieldIndex(col.column));
+    return left_.field(idx).type;
+  }
+
+  /// Parses one literal token typed against `col`'s schema type.
+  Result<Value> ParseTypedLiteral(const QualifiedColumn& col) {
+    const Token literal = Peek();
+    if (literal.type != TokenType::kNumber &&
+        literal.type != TokenType::kString) {
+      return Status::InvalidArgument("expected literal near '" + literal.text +
+                                     "'");
+    }
+    ++pos_;
+    DGF_ASSIGN_OR_RETURN(DataType type, ColumnType(col));
+    return table::ParseValue(literal.text, type);
+  }
+
+  Status ParseConjunction(Query* query) {
+    do {
+      DGF_ASSIGN_OR_RETURN(QualifiedColumn col, ParseColumnRef());
+      // col BETWEEN lo AND hi (both bounds inclusive, per SQL).
+      if (AcceptKeyword("between")) {
+        DGF_ASSIGN_OR_RETURN(Value lo, ParseTypedLiteral(col));
+        DGF_RETURN_IF_ERROR(ExpectKeyword("and"));
+        DGF_ASSIGN_OR_RETURN(Value hi, ParseTypedLiteral(col));
+        query->where.And(ColumnRange::Between(col.column, std::move(lo), true,
+                                              std::move(hi), true));
+        continue;
+      }
+      if (Peek().type != TokenType::kSymbol) {
+        return Status::InvalidArgument("expected comparison near '" +
+                                       Peek().text + "'");
+      }
+      const std::string op = tokens_[pos_++].text;
+      const Token literal = Peek();
+      if (literal.type != TokenType::kNumber &&
+          literal.type != TokenType::kString) {
+        return Status::InvalidArgument("expected literal after '" + op + "'");
+      }
+      ++pos_;
+      DGF_ASSIGN_OR_RETURN(DataType type, ColumnType(col));
+      DGF_ASSIGN_OR_RETURN(Value value, table::ParseValue(literal.text, type));
+
+      ColumnRange range;
+      range.column = col.column;
+      if (op == "=") {
+        range = ColumnRange::Equal(col.column, std::move(value));
+      } else if (op == "<") {
+        range.upper = Bound{std::move(value), false};
+      } else if (op == "<=") {
+        range.upper = Bound{std::move(value), true};
+      } else if (op == ">") {
+        range.lower = Bound{std::move(value), false};
+      } else if (op == ">=") {
+        range.lower = Bound{std::move(value), true};
+      } else {
+        return Status::InvalidArgument("unsupported operator '" + op + "'");
+      }
+      query->where.And(std::move(range));
+    } while (AcceptKeyword("and"));
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  const Schema& left_;
+  const Schema* right_;
+  std::string left_alias_;
+  std::string right_alias_;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view sql, const Schema& left,
+                         const Schema* right) {
+  Lexer lexer(sql);
+  DGF_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens), left, right);
+  return parser.Parse();
+}
+
+}  // namespace dgf::query

@@ -1,0 +1,33 @@
+#ifndef DGF_QUERY_PARSER_H_
+#define DGF_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "query/query.h"
+#include "table/schema.h"
+
+namespace dgf::query {
+
+/// Parses the HiveQL subset the paper's workloads use:
+///
+///   SELECT <item> [, <item>]*
+///   FROM <table> [<alias>]
+///   [JOIN <table> [<alias>] ON <col> = <col>]
+///   [WHERE <col> <op> <literal> [AND ...]*]
+///   [GROUP BY <col>]
+///
+/// where <item> is a column, `count(*)`, `sum|min|max(col)`, or `sum(a*b)`,
+/// and <op> is one of = < <= > >=. Table aliases may qualify columns
+/// (`t1.userId`); qualifiers are resolved and stripped. Literals are typed
+/// against the referenced column's schema type, so `time > '2013-01-01'`
+/// becomes a date comparison.
+///
+/// `left` is the FROM table's schema; `right` (nullable) is the JOIN
+/// table's. Keywords and identifiers are case-insensitive.
+Result<Query> ParseQuery(std::string_view sql, const table::Schema& left,
+                         const table::Schema* right = nullptr);
+
+}  // namespace dgf::query
+
+#endif  // DGF_QUERY_PARSER_H_

@@ -1,0 +1,90 @@
+#include "query/predicate.h"
+
+namespace dgf::query {
+
+bool ColumnRange::Matches(const table::Value& value) const {
+  if (lower.has_value()) {
+    const int cmp = value.Compare(lower->value);
+    if (cmp < 0 || (cmp == 0 && !lower->inclusive)) return false;
+  }
+  if (upper.has_value()) {
+    const int cmp = value.Compare(upper->value);
+    if (cmp > 0 || (cmp == 0 && !upper->inclusive)) return false;
+  }
+  return true;
+}
+
+std::string ColumnRange::ToString() const {
+  std::string out = column;
+  if (lower.has_value() && upper.has_value() &&
+      lower->value == upper->value && lower->inclusive && upper->inclusive) {
+    return out + " = " + lower->value.ToText();
+  }
+  if (lower.has_value()) {
+    out += lower->inclusive ? " >= " : " > ";
+    out += lower->value.ToText();
+  }
+  if (upper.has_value()) {
+    if (lower.has_value()) out += " AND " + column;
+    out += upper->inclusive ? " <= " : " < ";
+    out += upper->value.ToText();
+  }
+  return out;
+}
+
+void Predicate::And(ColumnRange range) {
+  for (auto& existing : ranges_) {
+    if (!table::ColumnNameEquals(existing.column, range.column)) continue;
+    // Intersect: keep the tighter bound on each side.
+    if (range.lower.has_value()) {
+      if (!existing.lower.has_value()) {
+        existing.lower = range.lower;
+      } else {
+        const int cmp = range.lower->value.Compare(existing.lower->value);
+        if (cmp > 0 || (cmp == 0 && !range.lower->inclusive)) {
+          existing.lower = range.lower;
+        }
+      }
+    }
+    if (range.upper.has_value()) {
+      if (!existing.upper.has_value()) {
+        existing.upper = range.upper;
+      } else {
+        const int cmp = range.upper->value.Compare(existing.upper->value);
+        if (cmp < 0 || (cmp == 0 && !range.upper->inclusive)) {
+          existing.upper = range.upper;
+        }
+      }
+    }
+    return;
+  }
+  ranges_.push_back(std::move(range));
+}
+
+const ColumnRange* Predicate::FindColumn(const std::string& column) const {
+  for (const auto& range : ranges_) {
+    if (table::ColumnNameEquals(range.column, column)) return &range;
+  }
+  return nullptr;
+}
+
+Result<BoundPredicate> Predicate::Bind(const table::Schema& schema) const {
+  BoundPredicate bound;
+  for (const auto& range : ranges_) {
+    DGF_ASSIGN_OR_RETURN(int idx, schema.FieldIndex(range.column));
+    bound.bound_.emplace_back(idx, range);
+  }
+  return bound;
+}
+
+std::string Predicate::ToString() const {
+  if (ranges_.empty()) return "true";
+  std::string out;
+  for (size_t i = 0; i < ranges_.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += ranges_[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace dgf::query

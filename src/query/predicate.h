@@ -1,0 +1,94 @@
+#ifndef DGF_QUERY_PREDICATE_H_
+#define DGF_QUERY_PREDICATE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/schema.h"
+#include "table/value.h"
+
+namespace dgf::query {
+
+/// One endpoint of a range condition.
+struct Bound {
+  table::Value value;
+  bool inclusive = true;
+};
+
+/// Conjunctive range condition on a single column:
+/// lower/upper may each be absent (half-open or unbounded ranges).
+/// Equality is both bounds inclusive at the same value.
+struct ColumnRange {
+  std::string column;
+  std::optional<Bound> lower;
+  std::optional<Bound> upper;
+
+  static ColumnRange Equal(std::string column, table::Value value) {
+    ColumnRange range;
+    range.column = std::move(column);
+    range.lower = Bound{value, true};
+    range.upper = Bound{std::move(value), true};
+    return range;
+  }
+  static ColumnRange Between(std::string column, table::Value lo, bool lo_inc,
+                             table::Value hi, bool hi_inc) {
+    ColumnRange range;
+    range.column = std::move(column);
+    range.lower = Bound{std::move(lo), lo_inc};
+    range.upper = Bound{std::move(hi), hi_inc};
+    return range;
+  }
+
+  /// True if `value` satisfies this range.
+  bool Matches(const table::Value& value) const;
+
+  std::string ToString() const;
+};
+
+/// A conjunction of per-column ranges — the multidimensional range predicate
+/// shape the paper targets (WHERE a>=.. AND a<.. AND b>=.. AND b<..).
+class Predicate {
+ public:
+  Predicate() = default;
+
+  /// Adds a condition, intersecting it with any existing range on the same
+  /// column.
+  void And(ColumnRange range);
+
+  const std::vector<ColumnRange>& ranges() const { return ranges_; }
+  bool empty() const { return ranges_.empty(); }
+
+  /// The range on `column` if the predicate constrains it.
+  const ColumnRange* FindColumn(const std::string& column) const;
+
+  /// Resolves column names against `schema` for fast row evaluation.
+  Result<class BoundPredicate> Bind(const table::Schema& schema) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnRange> ranges_;
+};
+
+/// A predicate resolved to column ordinals; row evaluation is allocation-free.
+class BoundPredicate {
+ public:
+  bool Matches(const table::Row& row) const {
+    for (const auto& [idx, range] : bound_) {
+      if (!range.Matches(row[static_cast<size_t>(idx)])) return false;
+    }
+    return true;
+  }
+
+  int num_conditions() const { return static_cast<int>(bound_.size()); }
+
+ private:
+  friend class Predicate;
+  std::vector<std::pair<int, ColumnRange>> bound_;
+};
+
+}  // namespace dgf::query
+
+#endif  // DGF_QUERY_PREDICATE_H_

@@ -1,0 +1,41 @@
+#include "query/query.h"
+
+namespace dgf::query {
+
+std::string SelectItem::ToString() const {
+  return is_aggregation() ? agg->ToString() : column;
+}
+
+std::vector<core::AggSpec> Query::Aggregations() const {
+  std::vector<core::AggSpec> out;
+  for (const SelectItem& item : select) {
+    if (item.is_aggregation()) out.push_back(*item.agg);
+  }
+  return out;
+}
+
+bool Query::IsPlainAggregation() const {
+  if (group_by.has_value() || join.has_value() || select.empty()) return false;
+  for (const SelectItem& item : select) {
+    if (!item.is_aggregation()) return false;
+  }
+  return true;
+}
+
+std::string Query::ToString() const {
+  std::string out = "SELECT ";
+  for (size_t i = 0; i < select.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += select[i].ToString();
+  }
+  out += " FROM " + table;
+  if (join.has_value()) {
+    out += " JOIN " + join->right_table + " ON " + join->left_column + " = " +
+           join->right_column;
+  }
+  if (!where.empty()) out += " WHERE " + where.ToString();
+  if (group_by.has_value()) out += " GROUP BY " + *group_by;
+  return out;
+}
+
+}  // namespace dgf::query

@@ -1,0 +1,68 @@
+#ifndef DGF_QUERY_QUERY_H_
+#define DGF_QUERY_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dgf/aggregators.h"
+#include "query/predicate.h"
+
+namespace dgf::query {
+
+/// One item of a SELECT list: either a plain column reference or an
+/// aggregation.
+struct SelectItem {
+  /// Column name (unqualified; table aliases are resolved at parse time).
+  /// Empty when `agg` is set.
+  std::string column;
+  std::optional<core::AggSpec> agg;
+
+  static SelectItem Column(std::string name) {
+    SelectItem item;
+    item.column = std::move(name);
+    return item;
+  }
+  static SelectItem Aggregation(core::AggSpec spec) {
+    SelectItem item;
+    item.agg = std::move(spec);
+    return item;
+  }
+
+  bool is_aggregation() const { return agg.has_value(); }
+
+  std::string ToString() const;
+};
+
+/// Equi-join against a (small) dimension table, the paper's
+/// `meterdata JOIN userInfo ON t1.userId = t2.userId` shape. The executor
+/// broadcasts the right table to every map task.
+struct JoinClause {
+  std::string right_table;
+  std::string left_column;
+  std::string right_column;
+};
+
+/// The query shapes the paper evaluates: multidimensional range predicates
+/// under an aggregation, a GROUP BY, a broadcast join, or a plain projection.
+struct Query {
+  std::string table;
+  std::vector<SelectItem> select;
+  Predicate where;
+  std::optional<std::string> group_by;
+  std::optional<JoinClause> join;
+
+  /// All aggregations in the select list.
+  std::vector<core::AggSpec> Aggregations() const;
+
+  /// True when the query is a pure aggregation over the base table (no group
+  /// by, no join, no plain columns) — the shape eligible for DGFIndex's
+  /// pre-computed-header path.
+  bool IsPlainAggregation() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace dgf::query
+
+#endif  // DGF_QUERY_QUERY_H_

@@ -1,0 +1,131 @@
+#include "table/partition.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace dgf::table {
+
+Result<std::unique_ptr<PartitionedTable>> PartitionedTable::Create(
+    std::shared_ptr<fs::MiniDfs> dfs, TableDesc desc,
+    std::vector<std::string> partition_columns) {
+  if (partition_columns.empty()) {
+    return Status::InvalidArgument("need at least one partition column");
+  }
+  std::vector<int> fields;
+  for (const std::string& column : partition_columns) {
+    DGF_ASSIGN_OR_RETURN(int field, desc.schema.FieldIndex(column));
+    fields.push_back(field);
+  }
+  return std::unique_ptr<PartitionedTable>(
+      new PartitionedTable(std::move(dfs), std::move(desc),
+                           std::move(partition_columns), std::move(fields)));
+}
+
+std::string PartitionedTable::PartitionDirName(const std::string& column,
+                                               const Value& value) {
+  return column + "=" + value.ToText();
+}
+
+std::string PartitionedTable::PartitionDir(const Row& row) const {
+  std::string dir = desc_.dir;
+  for (size_t i = 0; i < partition_fields_.size(); ++i) {
+    dir += "/";
+    dir += PartitionDirName(
+        partition_columns_[i],
+        row[static_cast<size_t>(partition_fields_[i])]);
+  }
+  return dir;
+}
+
+Status PartitionedTable::Append(const Row& row) {
+  if (static_cast<int>(row.size()) != desc_.schema.num_fields()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  const std::string dir = PartitionDir(row);
+  auto it = writers_.find(dir);
+  if (it == writers_.end()) {
+    TableDesc partition_desc = desc_;
+    partition_desc.dir = dir;
+    DGF_ASSIGN_OR_RETURN(auto writer,
+                         TableWriter::Create(dfs_, partition_desc));
+    it = writers_.emplace(dir, std::move(writer)).first;
+  }
+  return it->second->Append(row);
+}
+
+Status PartitionedTable::Close() {
+  for (auto& [dir, writer] : writers_) {
+    (void)dir;
+    DGF_RETURN_IF_ERROR(writer->Close());
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> PartitionedTable::PartitionDirs() const {
+  std::vector<std::string> dirs;
+  dirs.reserve(writers_.size());
+  for (const auto& [dir, writer] : writers_) {
+    (void)writer;
+    dirs.push_back(dir);
+  }
+  return dirs;
+}
+
+Result<std::vector<Value>> PartitionedTable::ParsePartitionPath(
+    const std::string& dir) const {
+  // dir = "<table dir>/col0=v0/col1=v1..."
+  if (!StartsWith(dir, desc_.dir + "/")) {
+    return Status::InvalidArgument("not a partition of this table: " + dir);
+  }
+  const std::string relative = dir.substr(desc_.dir.size() + 1);
+  auto fragments = SplitString(relative, '/');
+  if (fragments.size() != partition_columns_.size()) {
+    return Status::Corruption("partition depth mismatch: " + dir);
+  }
+  std::vector<Value> values;
+  for (size_t i = 0; i < fragments.size(); ++i) {
+    const std::string_view fragment = fragments[i];
+    const size_t eq = fragment.find('=');
+    if (eq == std::string_view::npos ||
+        !ColumnNameEquals(fragment.substr(0, eq), partition_columns_[i])) {
+      return Status::Corruption("bad partition fragment: " +
+                                std::string(fragment));
+    }
+    const int field = partition_fields_[i];
+    DGF_ASSIGN_OR_RETURN(
+        Value value,
+        ParseValue(fragment.substr(eq + 1), desc_.schema.field(field).type));
+    values.push_back(std::move(value));
+  }
+  return values;
+}
+
+Result<std::vector<fs::FileSplit>> PartitionedTable::PrunedSplits(
+    const query::Predicate& pred, uint64_t split_size,
+    int64_t* pruned_partitions) const {
+  if (pruned_partitions != nullptr) *pruned_partitions = 0;
+  std::vector<fs::FileSplit> out;
+  for (const auto& [dir, writer] : writers_) {
+    (void)writer;
+    DGF_ASSIGN_OR_RETURN(std::vector<Value> values, ParsePartitionPath(dir));
+    bool pruned = false;
+    for (size_t i = 0; i < values.size(); ++i) {
+      const query::ColumnRange* range = pred.FindColumn(partition_columns_[i]);
+      if (range != nullptr && !range->Matches(values[i])) {
+        pruned = true;
+        break;
+      }
+    }
+    if (pruned) {
+      if (pruned_partitions != nullptr) ++*pruned_partitions;
+      continue;
+    }
+    DGF_ASSIGN_OR_RETURN(auto splits,
+                         dfs_->GetSplitsForPrefix(dir + "/data-", split_size));
+    out.insert(out.end(), splits.begin(), splits.end());
+  }
+  return out;
+}
+
+}  // namespace dgf::table

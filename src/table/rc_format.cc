@@ -1,0 +1,287 @@
+#include "table/rc_format.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/encoding.h"
+
+namespace dgf::table {
+namespace {
+
+constexpr size_t kSyncLen = sizeof(kRcSyncMarker);
+constexpr size_t kReadChunk = 256 * 1024;
+
+Value DefaultValueFor(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return Value::Int64(0);
+    case DataType::kDouble:
+      return Value::Double(0.0);
+    case DataType::kString:
+      return Value::String("");
+    case DataType::kDate:
+      return Value::Date(0);
+  }
+  return Value::Int64(0);
+}
+
+}  // namespace
+
+RcFileWriter::RcFileWriter(std::unique_ptr<fs::DfsWriter> writer, Schema schema,
+                           Options options)
+    : writer_(std::move(writer)),
+      schema_(std::move(schema)),
+      options_(options),
+      columns_(static_cast<size_t>(schema_.num_fields())) {}
+
+Result<std::unique_ptr<RcFileWriter>> RcFileWriter::Create(
+    std::shared_ptr<fs::MiniDfs> dfs, const std::string& path, Schema schema,
+    Options options) {
+  if (options.rows_per_group <= 0) {
+    return Status::InvalidArgument("rows_per_group must be positive");
+  }
+  DGF_ASSIGN_OR_RETURN(auto writer, dfs->Create(path));
+  return std::unique_ptr<RcFileWriter>(
+      new RcFileWriter(std::move(writer), std::move(schema), options));
+}
+
+Status RcFileWriter::Append(const Row& row) {
+  if (static_cast<int>(row.size()) != schema_.num_fields()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  for (size_t c = 0; c < row.size(); ++c) {
+    PutLengthPrefixed(&columns_[c], row[c].ToText());
+  }
+  if (++pending_rows_ >= options_.rows_per_group) return FlushGroup();
+  return Status::OK();
+}
+
+Status RcFileWriter::FlushGroup() {
+  if (pending_rows_ == 0) return Status::OK();
+  std::string out;
+  out.append(kRcSyncMarker, kSyncLen);
+  PutVarint64(&out, static_cast<uint64_t>(pending_rows_));
+  PutVarint64(&out, static_cast<uint64_t>(columns_.size()));
+  for (auto& column : columns_) {
+    PutVarint64(&out, column.size());
+    out.append(column);
+    column.clear();
+  }
+  pending_rows_ = 0;
+  return writer_->Append(out);
+}
+
+Status RcFileWriter::Flush() { return FlushGroup(); }
+
+Status RcFileWriter::Close() {
+  DGF_RETURN_IF_ERROR(FlushGroup());
+  return writer_->Close();
+}
+
+RcSplitReader::RcSplitReader(std::unique_ptr<fs::DfsReader> reader,
+                             fs::FileSplit split, Schema schema,
+                             std::optional<std::vector<int>> projection)
+    : reader_(std::move(reader)),
+      split_(std::move(split)),
+      schema_(std::move(schema)),
+      projection_(std::move(projection)),
+      scan_pos_(split_.offset) {}
+
+Result<std::unique_ptr<RcSplitReader>> RcSplitReader::Open(
+    std::shared_ptr<fs::MiniDfs> dfs, const fs::FileSplit& split, Schema schema,
+    std::optional<std::vector<int>> projection) {
+  DGF_ASSIGN_OR_RETURN(auto reader, dfs->OpenForRead(split.path));
+  return std::unique_ptr<RcSplitReader>(new RcSplitReader(
+      std::move(reader), split, std::move(schema), std::move(projection)));
+}
+
+void RcSplitReader::SetRowFilter(
+    std::vector<std::pair<uint64_t, std::vector<uint64_t>>> groups_and_rows) {
+  std::sort(groups_and_rows.begin(), groups_and_rows.end());
+  row_filter_ = std::move(groups_and_rows);
+  filter_pos_ = 0;
+}
+
+Status RcSplitReader::EnsureBuffered(uint64_t file_offset, uint64_t length) {
+  // Drop bytes before file_offset; extend until [file_offset, +length) is in.
+  if (file_offset > buffer_start_) {
+    const uint64_t drop =
+        std::min<uint64_t>(file_offset - buffer_start_, buffer_.size());
+    buffer_.erase(0, drop);
+    buffer_start_ += drop;
+    // Empty buffer: jump straight to the requested offset instead of reading
+    // the gap (otherwise a split at offset X would fetch the whole prefix).
+    if (buffer_.empty()) buffer_start_ = file_offset;
+  }
+  while (buffer_start_ + buffer_.size() < file_offset + length) {
+    const uint64_t read_at = buffer_start_ + buffer_.size();
+    const uint64_t needed = file_offset + length - read_at;
+    // Read ahead up to the chunk size, but never past the split end unless a
+    // specific request (a straddling row group) demands it: DGFIndex Slices
+    // are exact group runs and must not be billed for neighbouring bytes.
+    uint64_t want = std::max<uint64_t>(needed, std::min<uint64_t>(
+        kReadChunk, split_.end() > read_at ? split_.end() - read_at : 0));
+    want = std::max<uint64_t>(want, needed);
+    std::string chunk;
+    DGF_RETURN_IF_ERROR(reader_->Pread(read_at, want, &chunk));
+    if (chunk.empty()) break;  // end of file
+    bytes_read_ += chunk.size();
+    buffer_ += chunk;
+  }
+  return Status::OK();
+}
+
+Result<int64_t> RcSplitReader::FindSync(uint64_t from_offset) {
+  uint64_t pos = from_offset;
+  // A group belongs to this split only if its sync STARTS before split.end(),
+  // so the search never needs bytes past end + marker length.
+  const uint64_t limit = split_.end() + kSyncLen;
+  for (;;) {
+    if (pos >= split_.end()) return -1;
+    DGF_RETURN_IF_ERROR(
+        EnsureBuffered(pos, std::min<uint64_t>(kReadChunk, limit - pos)));
+    const uint64_t available =
+        std::min<uint64_t>(buffer_start_ + buffer_.size(), limit);
+    if (pos + kSyncLen > available) return -1;  // EOF / split end, no sync
+    const char* base = buffer_.data() + (pos - buffer_start_);
+    const size_t searchable = static_cast<size_t>(available - pos);
+    const void* hit = memmem(base, searchable, kRcSyncMarker, kSyncLen);
+    if (hit != nullptr) {
+      const auto at = static_cast<uint64_t>(
+          pos + (static_cast<const char*>(hit) - base));
+      return at < split_.end() ? static_cast<int64_t>(at) : -1;
+    }
+    // No sync in the buffered window; keep the last kSyncLen-1 bytes in case
+    // a marker straddles the chunk boundary.
+    pos = available - (kSyncLen - 1);
+    if (buffer_start_ + buffer_.size() >= reader_->Length() ||
+        available >= limit) {
+      return -1;
+    }
+  }
+}
+
+Result<bool> RcSplitReader::LoadNextGroup() {
+  for (;;) {
+    if (done_) return false;
+    DGF_ASSIGN_OR_RETURN(int64_t sync_at, FindSync(scan_pos_));
+    if (sync_at < 0 || static_cast<uint64_t>(sync_at) >= split_.end()) {
+      done_ = true;
+      return false;
+    }
+    const uint64_t group_start = static_cast<uint64_t>(sync_at);
+    uint64_t cursor = group_start + kSyncLen;
+    // Parse the header; widths are small, so buffer a generous window first.
+    DGF_RETURN_IF_ERROR(EnsureBuffered(cursor, 64));
+    auto view = [&](uint64_t off) {
+      return std::string_view(buffer_.data() + (off - buffer_start_),
+                              buffer_.size() - (off - buffer_start_));
+    };
+    std::string_view header = view(cursor);
+    const char* header_begin = header.data();
+    auto num_rows = GetVarint64(&header);
+    if (!num_rows.ok()) return num_rows.status();
+    auto num_cols = GetVarint64(&header);
+    if (!num_cols.ok()) return num_cols.status();
+    cursor += static_cast<uint64_t>(header.data() - header_begin);
+    if (*num_cols != static_cast<uint64_t>(schema_.num_fields())) {
+      return Status::Corruption("RC group column count mismatch");
+    }
+
+    // Decode (or skip) each column.
+    std::vector<std::vector<std::string_view>> decoded(
+        static_cast<size_t>(schema_.num_fields()));
+    std::vector<std::string> column_buffers(
+        static_cast<size_t>(schema_.num_fields()));
+    std::vector<bool> wanted(static_cast<size_t>(schema_.num_fields()),
+                             !projection_.has_value());
+    if (projection_.has_value()) {
+      for (int c : *projection_) wanted[static_cast<size_t>(c)] = true;
+    }
+    for (int c = 0; c < schema_.num_fields(); ++c) {
+      DGF_RETURN_IF_ERROR(EnsureBuffered(cursor, 16));
+      std::string_view len_view = view(cursor);
+      const char* len_begin = len_view.data();
+      auto col_bytes = GetVarint64(&len_view);
+      if (!col_bytes.ok()) return col_bytes.status();
+      cursor += static_cast<uint64_t>(len_view.data() - len_begin);
+      if (wanted[static_cast<size_t>(c)]) {
+        DGF_RETURN_IF_ERROR(EnsureBuffered(cursor, *col_bytes));
+        if (buffer_start_ + buffer_.size() < cursor + *col_bytes) {
+          return Status::Corruption("truncated RC column");
+        }
+        // Copy out: later EnsureBuffered calls may shift the buffer.
+        column_buffers[static_cast<size_t>(c)].assign(
+            buffer_.data() + (cursor - buffer_start_), *col_bytes);
+      }
+      cursor += *col_bytes;
+    }
+
+    group_rows_.clear();
+    group_rows_.resize(*num_rows);
+    for (uint64_t r = 0; r < *num_rows; ++r) {
+      Row& row = group_rows_[r];
+      row.reserve(static_cast<size_t>(schema_.num_fields()));
+      for (int c = 0; c < schema_.num_fields(); ++c) {
+        row.push_back(DefaultValueFor(schema_.field(c).type));
+      }
+    }
+    for (int c = 0; c < schema_.num_fields(); ++c) {
+      if (!wanted[static_cast<size_t>(c)]) continue;
+      std::string_view data = column_buffers[static_cast<size_t>(c)];
+      for (uint64_t r = 0; r < *num_rows; ++r) {
+        DGF_ASSIGN_OR_RETURN(std::string_view cell, GetLengthPrefixed(&data));
+        DGF_ASSIGN_OR_RETURN(
+            Value value, ParseValue(cell, schema_.field(c).type));
+        group_rows_[r][static_cast<size_t>(c)] = std::move(value);
+      }
+    }
+    group_offset_ = group_start;
+    next_row_ = 0;
+    scan_pos_ = cursor;
+
+    if (row_filter_.has_value()) {
+      // Skip groups the bitmap filter does not mention.
+      while (filter_pos_ < row_filter_->size() &&
+             (*row_filter_)[filter_pos_].first < group_start) {
+        ++filter_pos_;
+      }
+      if (filter_pos_ >= row_filter_->size() ||
+          (*row_filter_)[filter_pos_].first != group_start) {
+        continue;  // group filtered out entirely
+      }
+      current_filter_rows_ = (*row_filter_)[filter_pos_].second;
+      filter_row_pos_ = 0;
+    }
+    return true;
+  }
+}
+
+Result<bool> RcSplitReader::Next(Row* row) {
+  for (;;) {
+    if (group_rows_.empty() || next_row_ >= group_rows_.size()) {
+      DGF_ASSIGN_OR_RETURN(bool more, LoadNextGroup());
+      if (!more) return false;
+    }
+    if (!row_filter_.has_value()) {
+      row_in_group_ = next_row_;
+      *row = group_rows_[next_row_++];
+      return true;
+    }
+    // Bitmap-filtered path: emit only listed row ordinals.
+    if (filter_row_pos_ >= current_filter_rows_.size()) {
+      next_row_ = group_rows_.size();  // exhaust group, load next
+      continue;
+    }
+    const uint64_t target = current_filter_rows_[filter_row_pos_++];
+    if (target >= group_rows_.size()) {
+      return Status::Corruption("bitmap row ordinal out of range");
+    }
+    row_in_group_ = target;
+    next_row_ = static_cast<size_t>(target) + 1;
+    *row = group_rows_[static_cast<size_t>(target)];
+    return true;
+  }
+}
+
+}  // namespace dgf::table

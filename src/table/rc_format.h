@@ -1,0 +1,135 @@
+#ifndef DGF_TABLE_RC_FORMAT_H_
+#define DGF_TABLE_RC_FORMAT_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fs/mini_dfs.h"
+#include "fs/split.h"
+#include "table/record_reader.h"
+#include "table/schema.h"
+
+namespace dgf::table {
+
+/// 16-byte marker preceding every row group; split readers scan for it to
+/// find the first group inside their byte range, as Hadoop's RCFile does.
+inline constexpr char kRcSyncMarker[16] = {
+    '\xd6', '\xf1', '\x0c', '\x51', '\x3a', '\x77', '\x19', '\xe4',
+    '\x42', '\x88', '\x5b', '\x0d', '\xc3', '\x6e', '\xa1', '\x97'};
+
+/// Columnar row-group file format modeled on Hive's RCFile.
+///
+/// Layout: repeated row groups, each
+///   sync[16] varint(num_rows) varint(num_cols)
+///   per column: varint(col_bytes) col_bytes bytes of
+///               length-prefixed per-row text-encoded values
+///
+/// Row groups are the "blocks" that Hive's Compact/Bitmap indexes address:
+/// `RcSplitReader::CurrentBlockOffset()` returns the group's sync offset and
+/// `CurrentRowInBlock()` the row ordinal, which the Bitmap index records.
+class RcFileWriter {
+ public:
+  struct Options {
+    /// Rows buffered per group before flushing.
+    int rows_per_group = 4096;
+  };
+
+  static Result<std::unique_ptr<RcFileWriter>> Create(
+      std::shared_ptr<fs::MiniDfs> dfs, const std::string& path, Schema schema,
+      Options options);
+  static Result<std::unique_ptr<RcFileWriter>> Create(
+      std::shared_ptr<fs::MiniDfs> dfs, const std::string& path,
+      Schema schema) {
+    return Create(std::move(dfs), path, std::move(schema), Options());
+  }
+
+  Status Append(const Row& row);
+
+  /// Forces a row-group boundary now (no-op when nothing is pending). The
+  /// DGFIndex builder calls this at each GFU boundary so Slices consist of
+  /// whole row groups.
+  Status Flush();
+
+  /// Flushes the pending group (if any) and seals the file.
+  Status Close();
+
+  uint64_t Offset() const { return writer_->Offset(); }
+
+ private:
+  RcFileWriter(std::unique_ptr<fs::DfsWriter> writer, Schema schema,
+               Options options);
+
+  Status FlushGroup();
+
+  std::unique_ptr<fs::DfsWriter> writer_;
+  Schema schema_;
+  Options options_;
+  // Pending group, column-major: columns_[c] holds encoded values.
+  std::vector<std::string> columns_;
+  int pending_rows_ = 0;
+};
+
+/// Reads the row groups of one split of an RCFile.
+///
+/// A group belongs to the split whose byte range contains its sync marker.
+/// An optional projection restricts decoding to the named columns; cells of
+/// unprojected columns are filled with type-default values (the columnar
+/// read saving that makes RCFile the preferred base for Compact indexes).
+class RcSplitReader : public RecordReader {
+ public:
+  static Result<std::unique_ptr<RcSplitReader>> Open(
+      std::shared_ptr<fs::MiniDfs> dfs, const fs::FileSplit& split,
+      Schema schema,
+      std::optional<std::vector<int>> projection = std::nullopt);
+
+  Result<bool> Next(Row* row) override;
+  uint64_t CurrentBlockOffset() const override { return group_offset_; }
+  uint64_t CurrentRowInBlock() const override { return row_in_group_; }
+  uint64_t BytesRead() const override { return bytes_read_; }
+
+  /// Restricts the reader to the given rows of the given groups: the Bitmap
+  /// index pushes its (block offset -> row bitmap) result here. Groups not
+  /// mentioned are skipped entirely.
+  void SetRowFilter(std::vector<std::pair<uint64_t, std::vector<uint64_t>>>
+                        groups_and_rows);
+
+ private:
+  RcSplitReader(std::unique_ptr<fs::DfsReader> reader, fs::FileSplit split,
+                Schema schema, std::optional<std::vector<int>> projection);
+
+  /// Loads the next group whose sync lies inside the split; false at end.
+  Result<bool> LoadNextGroup();
+  Status EnsureBuffered(uint64_t file_offset, uint64_t length);
+  Result<int64_t> FindSync(uint64_t from_offset);
+
+  std::unique_ptr<fs::DfsReader> reader_;
+  fs::FileSplit split_;
+  Schema schema_;
+  std::optional<std::vector<int>> projection_;
+
+  std::string buffer_;
+  uint64_t buffer_start_ = 0;  // file offset of buffer_[0]
+  uint64_t bytes_read_ = 0;
+
+  uint64_t scan_pos_ = 0;  // file offset where the next sync search begins
+  bool done_ = false;
+
+  // Decoded current group (row-major for simplicity after decode).
+  std::vector<Row> group_rows_;
+  uint64_t group_offset_ = 0;
+  uint64_t row_in_group_ = 0;
+  size_t next_row_ = 0;
+
+  // Optional bitmap row filter: group sync offset -> sorted row ordinals.
+  std::optional<std::vector<std::pair<uint64_t, std::vector<uint64_t>>>>
+      row_filter_;
+  size_t filter_pos_ = 0;
+  std::vector<uint64_t> current_filter_rows_;
+  size_t filter_row_pos_ = 0;
+};
+
+}  // namespace dgf::table
+
+#endif  // DGF_TABLE_RC_FORMAT_H_

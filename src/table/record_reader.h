@@ -1,0 +1,39 @@
+#ifndef DGF_TABLE_RECORD_READER_H_
+#define DGF_TABLE_RECORD_READER_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "table/schema.h"
+
+namespace dgf::table {
+
+/// Streaming reader of the rows inside one split.
+///
+/// Mirrors Hadoop's RecordReader contract for splittable files: a reader
+/// yields every record whose *start* lies inside its split, which may require
+/// reading past the split end for the final record; records starting before
+/// the split are skipped by the next-lower split's reader.
+class RecordReader {
+ public:
+  virtual ~RecordReader() = default;
+
+  /// Fetches the next row. Returns false at end of split, or an error status.
+  virtual Result<bool> Next(Row* row) = 0;
+
+  /// File offset of the storage block containing the current row — the
+  /// BLOCK_OFFSET_INSIDE_FILE virtual column that Hive index builders use.
+  /// For text files this is the line start; for RC files the row-group start.
+  virtual uint64_t CurrentBlockOffset() const = 0;
+
+  /// Ordinal of the current row within its block (always 0 for text files).
+  /// Bitmap indexes record this.
+  virtual uint64_t CurrentRowInBlock() const = 0;
+
+  /// Bytes pulled from the DFS so far (I/O accounting for the benches).
+  virtual uint64_t BytesRead() const = 0;
+};
+
+}  // namespace dgf::table
+
+#endif  // DGF_TABLE_RECORD_READER_H_

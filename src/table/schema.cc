@@ -1,0 +1,79 @@
+#include "table/schema.h"
+
+#include <cctype>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace dgf::table {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+bool ColumnNameEquals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<int> Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (ColumnNameEquals(fields_[i].name, name)) return static_cast<int>(i);
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+int Schema::FieldIndexOrDie(const std::string& name) const {
+  auto idx = FieldIndex(name);
+  DGF_CHECK(idx.ok()) << idx.status().ToString();
+  return *idx;
+}
+
+bool Schema::HasField(const std::string& name) const {
+  return FieldIndex(name).ok();
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += " ";
+    out += DataTypeName(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+std::string FormatRowText(const Row& row) {
+  std::string out;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out.push_back('|');
+    out += row[i].ToText();
+  }
+  return out;
+}
+
+Result<Row> ParseRowText(std::string_view line, const Schema& schema) {
+  auto parts = SplitString(line, '|');
+  if (static_cast<int>(parts.size()) != schema.num_fields()) {
+    return Status::Corruption(
+        StringPrintf("row has %zu fields, schema has %d: ", parts.size(),
+                     schema.num_fields()) +
+        std::string(line.substr(0, 80)));
+  }
+  Row row;
+  row.reserve(parts.size());
+  for (int i = 0; i < schema.num_fields(); ++i) {
+    DGF_ASSIGN_OR_RETURN(
+        Value v, ParseValue(parts[static_cast<size_t>(i)], schema.field(i).type));
+    row.push_back(std::move(v));
+  }
+  return row;
+}
+
+}  // namespace dgf::table

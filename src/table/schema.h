@@ -1,0 +1,58 @@
+#ifndef DGF_TABLE_SCHEMA_H_
+#define DGF_TABLE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/value.h"
+
+namespace dgf::table {
+
+/// Case-insensitive column-name equality (HiveQL identifier semantics).
+/// All column-name comparisons in the library must go through this.
+bool ColumnNameEquals(std::string_view a, std::string_view b);
+
+/// One column of a table schema.
+struct Field {
+  std::string name;
+  DataType type;
+};
+
+/// Ordered list of named, typed columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int i) const { return fields_[static_cast<size_t>(i)]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the column named `name`, or NotFound.
+  Result<int> FieldIndex(const std::string& name) const;
+
+  /// Like FieldIndex but aborts on missing columns; for trusted call sites.
+  int FieldIndexOrDie(const std::string& name) const;
+
+  bool HasField(const std::string& name) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+/// A row is a flat vector of values, positionally matching a Schema.
+using Row = std::vector<Value>;
+
+/// Serializes `row` as one text line (fields joined by '|', no newline).
+/// '|' follows the TPC-H convention and never occurs inside generated data.
+std::string FormatRowText(const Row& row);
+
+/// Parses a text line into a row following `schema`.
+Result<Row> ParseRowText(std::string_view line, const Schema& schema);
+
+}  // namespace dgf::table
+
+#endif  // DGF_TABLE_SCHEMA_H_

@@ -1,0 +1,82 @@
+#include "table/statistics.h"
+
+#include <limits>
+
+#include "common/hyperloglog.h"
+
+namespace dgf::table {
+
+Result<const ColumnStats*> TableStats::Column(const std::string& name) const {
+  for (const ColumnStats& column : columns) {
+    if (ColumnNameEquals(column.name, name)) return &column;
+  }
+  return Status::NotFound("no stats for column " + name);
+}
+
+Result<core::PolicyAdvisor::DimensionStats> TableStats::AdvisorDimension(
+    const std::string& column) const {
+  DGF_ASSIGN_OR_RETURN(const ColumnStats* stats, Column(column));
+  if (stats->type == DataType::kString) {
+    return Status::NotSupported("string columns cannot be grid dimensions: " +
+                                column);
+  }
+  core::PolicyAdvisor::DimensionStats out;
+  out.column = stats->name;
+  out.type = stats->type;
+  out.min = stats->min;
+  out.max = stats->max;
+  out.distinct = std::max(1.0, stats->distinct);
+  return out;
+}
+
+Result<TableStats> AnalyzeTable(const std::shared_ptr<fs::MiniDfs>& dfs,
+                                const TableDesc& desc) {
+  TableStats stats;
+  const int num_fields = desc.schema.num_fields();
+  std::vector<HyperLogLog> sketches(static_cast<size_t>(num_fields));
+  stats.columns.resize(static_cast<size_t>(num_fields));
+  for (int c = 0; c < num_fields; ++c) {
+    auto& column = stats.columns[static_cast<size_t>(c)];
+    column.name = desc.schema.field(c).name;
+    column.type = desc.schema.field(c).type;
+    column.min = std::numeric_limits<double>::infinity();
+    column.max = -std::numeric_limits<double>::infinity();
+  }
+
+  DGF_ASSIGN_OR_RETURN(auto splits, GetTableSplits(dfs, desc));
+  Row row;
+  for (const auto& split : splits) {
+    DGF_ASSIGN_OR_RETURN(auto reader, OpenSplitReader(dfs, desc, split));
+    for (;;) {
+      DGF_ASSIGN_OR_RETURN(bool more, reader->Next(&row));
+      if (!more) break;
+      ++stats.num_rows;
+      for (int c = 0; c < num_fields; ++c) {
+        auto& column = stats.columns[static_cast<size_t>(c)];
+        const Value& value = row[static_cast<size_t>(c)];
+        sketches[static_cast<size_t>(c)].Add(value.ToText());
+        if (!value.is_string()) {
+          const double v = value.AsDouble();
+          column.min = std::min(column.min, v);
+          column.max = std::max(column.max, v);
+        }
+      }
+    }
+    stats.data_bytes += reader->BytesRead();
+  }
+  for (int c = 0; c < num_fields; ++c) {
+    auto& column = stats.columns[static_cast<size_t>(c)];
+    column.distinct = sketches[static_cast<size_t>(c)].Estimate();
+    if (column.min > column.max) {  // empty table or string column
+      column.min = 0;
+      column.max = 0;
+    }
+  }
+  if (stats.num_rows > 0) {
+    stats.avg_row_bytes =
+        static_cast<double>(stats.data_bytes) / stats.num_rows;
+  }
+  return stats;
+}
+
+}  // namespace dgf::table

@@ -1,0 +1,52 @@
+#ifndef DGF_TABLE_STATISTICS_H_
+#define DGF_TABLE_STATISTICS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dgf/policy_advisor.h"
+#include "fs/mini_dfs.h"
+#include "table/table.h"
+
+namespace dgf::table {
+
+/// One column's statistics from an ANALYZE pass.
+struct ColumnStats {
+  std::string name;
+  DataType type = DataType::kInt64;
+  /// Numeric min/max (for string columns the lexicographic bounds are not
+  /// tracked; min/max stay 0).
+  double min = 0;
+  double max = 0;
+  /// HyperLogLog distinct-count estimate (~1.6% error).
+  double distinct = 0;
+  uint64_t null_or_invalid = 0;
+};
+
+/// Table-level statistics: the Hive ANALYZE TABLE analogue.
+struct TableStats {
+  uint64_t num_rows = 0;
+  uint64_t data_bytes = 0;
+  double avg_row_bytes = 0;
+  std::vector<ColumnStats> columns;
+
+  /// Stats for `column`, or NotFound.
+  Result<const ColumnStats*> Column(const std::string& name) const;
+
+  /// Converts one column's stats into the advisor's input. Fails for string
+  /// columns (not griddable).
+  Result<core::PolicyAdvisor::DimensionStats> AdvisorDimension(
+      const std::string& column) const;
+};
+
+/// Scans `desc` once and computes per-column min/max + distinct estimates —
+/// the "distribution of the meter data" input of the paper's future-work
+/// splitting-policy algorithm.
+Result<TableStats> AnalyzeTable(const std::shared_ptr<fs::MiniDfs>& dfs,
+                                const TableDesc& desc);
+
+}  // namespace dgf::table
+
+#endif  // DGF_TABLE_STATISTICS_H_

@@ -1,0 +1,164 @@
+#include "table/table.h"
+
+#include "common/string_util.h"
+#include "table/rc_format.h"
+#include "table/text_format.h"
+
+namespace dgf::table {
+
+const char* FileFormatName(FileFormat format) {
+  switch (format) {
+    case FileFormat::kText:
+      return "TextFile";
+    case FileFormat::kRcFile:
+      return "RCFile";
+  }
+  return "?";
+}
+
+std::string TableDesc::DataFilePath(int file_index) const {
+  const char* ext = format == FileFormat::kText ? "txt" : "rc";
+  return dir + "/" + StringPrintf("data-%05d.%s", file_index, ext);
+}
+
+Status Catalog::CreateTable(TableDesc desc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.count(desc.name) > 0) {
+    return Status::AlreadyExists("table exists: " + desc.name);
+  }
+  if (desc.dir.empty() || desc.dir.front() != '/') {
+    return Status::InvalidArgument("table dir must be absolute: " + desc.dir);
+  }
+  tables_[desc.name] = std::move(desc);
+  return Status::OK();
+}
+
+Result<TableDesc> Catalog::GetTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table named " + name);
+  return it->second;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  TableDesc desc;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tables_.find(name);
+    if (it == tables_.end()) return Status::NotFound("no table named " + name);
+    desc = it->second;
+    tables_.erase(it);
+  }
+  for (const auto& file : dfs_->ListFiles(desc.dir + "/")) {
+    DGF_RETURN_IF_ERROR(dfs_->Delete(file.path));
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::ListTables() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, desc] : tables_) {
+    (void)desc;
+    names.push_back(name);
+  }
+  return names;
+}
+
+TableWriter::TableWriter(std::shared_ptr<fs::MiniDfs> dfs, TableDesc desc,
+                         Options options)
+    : dfs_(std::move(dfs)),
+      desc_(std::move(desc)),
+      options_(options),
+      next_file_index_(options.first_file_index) {}
+
+TableWriter::~TableWriter() = default;
+
+Result<std::unique_ptr<TableWriter>> TableWriter::Create(
+    std::shared_ptr<fs::MiniDfs> dfs, const TableDesc& desc, Options options) {
+  return std::unique_ptr<TableWriter>(
+      new TableWriter(std::move(dfs), desc, options));
+}
+
+uint64_t TableWriter::CurrentOffset() const {
+  if (text_ != nullptr) return text_->Offset();
+  if (rc_ != nullptr) return rc_->Offset();
+  return 0;
+}
+
+Status TableWriter::EnsureOpen() {
+  if (text_ != nullptr || rc_ != nullptr) return Status::OK();
+  const std::string path = desc_.DataFilePath(next_file_index_++);
+  if (desc_.format == FileFormat::kText) {
+    DGF_ASSIGN_OR_RETURN(text_,
+                         TextFileWriter::Create(dfs_, path, desc_.schema));
+  } else {
+    RcFileWriter::Options rc_options;
+    rc_options.rows_per_group = options_.rc_rows_per_group;
+    DGF_ASSIGN_OR_RETURN(
+        rc_, RcFileWriter::Create(dfs_, path, desc_.schema, rc_options));
+  }
+  return Status::OK();
+}
+
+Status TableWriter::CloseCurrent() {
+  if (text_ != nullptr) {
+    DGF_RETURN_IF_ERROR(text_->Close());
+    text_.reset();
+  }
+  if (rc_ != nullptr) {
+    DGF_RETURN_IF_ERROR(rc_->Close());
+    rc_.reset();
+  }
+  return Status::OK();
+}
+
+Status TableWriter::RotateIfNeeded() {
+  if (CurrentOffset() >= options_.max_file_bytes) return CloseCurrent();
+  return Status::OK();
+}
+
+Status TableWriter::Append(const Row& row) {
+  DGF_RETURN_IF_ERROR(EnsureOpen());
+  if (text_ != nullptr) {
+    DGF_RETURN_IF_ERROR(text_->Append(row));
+  } else {
+    DGF_RETURN_IF_ERROR(rc_->Append(row));
+  }
+  ++rows_written_;
+  return RotateIfNeeded();
+}
+
+Status TableWriter::Close() { return CloseCurrent(); }
+
+Result<std::unique_ptr<RecordReader>> OpenSplitReader(
+    std::shared_ptr<fs::MiniDfs> dfs, const TableDesc& desc,
+    const fs::FileSplit& split, std::optional<std::vector<int>> projection) {
+  if (desc.format == FileFormat::kText) {
+    DGF_ASSIGN_OR_RETURN(
+        auto reader, TextSplitReader::Open(std::move(dfs), split, desc.schema));
+    return std::unique_ptr<RecordReader>(std::move(reader));
+  }
+  DGF_ASSIGN_OR_RETURN(auto reader,
+                       RcSplitReader::Open(std::move(dfs), split, desc.schema,
+                                           std::move(projection)));
+  return std::unique_ptr<RecordReader>(std::move(reader));
+}
+
+Result<std::vector<fs::FileSplit>> GetTableSplits(
+    const std::shared_ptr<fs::MiniDfs>& dfs, const TableDesc& desc,
+    uint64_t split_size) {
+  return dfs->GetSplitsForPrefix(desc.dir + "/data-", split_size);
+}
+
+Result<uint64_t> TableDataBytes(const std::shared_ptr<fs::MiniDfs>& dfs,
+                                const TableDesc& desc) {
+  uint64_t total = 0;
+  for (const auto& file : dfs->ListFiles(desc.dir + "/data-")) {
+    total += file.length;
+  }
+  return total;
+}
+
+}  // namespace dgf::table

@@ -1,0 +1,117 @@
+#ifndef DGF_TABLE_TABLE_H_
+#define DGF_TABLE_TABLE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fs/mini_dfs.h"
+#include "fs/split.h"
+#include "table/record_reader.h"
+#include "table/schema.h"
+
+namespace dgf::table {
+
+/// Storage format of a table's data files.
+enum class FileFormat { kText, kRcFile };
+
+const char* FileFormatName(FileFormat format);
+
+/// Descriptor of one table: schema plus the DFS directory holding its data
+/// files ("data-*" under `dir`).
+struct TableDesc {
+  std::string name;
+  Schema schema;
+  FileFormat format = FileFormat::kText;
+  std::string dir;
+
+  /// Path of the i-th data file.
+  std::string DataFilePath(int file_index) const;
+};
+
+/// Registry of tables, the analogue of the Hive metastore.
+class Catalog {
+ public:
+  explicit Catalog(std::shared_ptr<fs::MiniDfs> dfs) : dfs_(std::move(dfs)) {}
+
+  Status CreateTable(TableDesc desc);
+  Result<TableDesc> GetTable(const std::string& name) const;
+  Status DropTable(const std::string& name);
+  std::vector<std::string> ListTables() const;
+
+  const std::shared_ptr<fs::MiniDfs>& dfs() const { return dfs_; }
+
+ private:
+  std::shared_ptr<fs::MiniDfs> dfs_;
+  mutable std::mutex mu_;
+  std::map<std::string, TableDesc> tables_;
+};
+
+/// Appends rows to a table, rotating data files at `max_file_bytes` so tables
+/// span multiple files (and therefore multiple splits) like real warehouses.
+class TableWriter {
+ public:
+  struct Options {
+    uint64_t max_file_bytes = 512ULL << 20;
+    int rc_rows_per_group = 4096;
+    /// First data file index; appends after existing files use their count.
+    int first_file_index = 0;
+  };
+
+  static Result<std::unique_ptr<TableWriter>> Create(
+      std::shared_ptr<fs::MiniDfs> dfs, const TableDesc& desc, Options options);
+  static Result<std::unique_ptr<TableWriter>> Create(
+      std::shared_ptr<fs::MiniDfs> dfs, const TableDesc& desc) {
+    return Create(std::move(dfs), desc, Options());
+  }
+
+  /// Out-of-line: the writer members are forward-declared here.
+  ~TableWriter();
+
+  Status Append(const Row& row);
+  Status Close();
+
+  uint64_t rows_written() const { return rows_written_; }
+
+ private:
+  TableWriter(std::shared_ptr<fs::MiniDfs> dfs, TableDesc desc,
+              Options options);
+
+  Status EnsureOpen();
+  Status RotateIfNeeded();
+  Status CloseCurrent();
+  uint64_t CurrentOffset() const;
+
+  std::shared_ptr<fs::MiniDfs> dfs_;
+  TableDesc desc_;
+  Options options_;
+  int next_file_index_ = 0;
+  uint64_t rows_written_ = 0;
+  // Exactly one of these is open depending on desc_.format.
+  std::unique_ptr<class TextFileWriter> text_;
+  std::unique_ptr<class RcFileWriter> rc_;
+};
+
+/// Opens the right RecordReader for `split` given the table's format.
+/// `projection` (column indices) is honoured by the RCFile reader and ignored
+/// by the text reader, mirroring Hive.
+Result<std::unique_ptr<RecordReader>> OpenSplitReader(
+    std::shared_ptr<fs::MiniDfs> dfs, const TableDesc& desc,
+    const fs::FileSplit& split,
+    std::optional<std::vector<int>> projection = std::nullopt);
+
+/// Lists the data-file splits of a table.
+Result<std::vector<fs::FileSplit>> GetTableSplits(
+    const std::shared_ptr<fs::MiniDfs>& dfs, const TableDesc& desc,
+    uint64_t split_size = 0);
+
+/// Total bytes of a table's data files.
+Result<uint64_t> TableDataBytes(const std::shared_ptr<fs::MiniDfs>& dfs,
+                                const TableDesc& desc);
+
+}  // namespace dgf::table
+
+#endif  // DGF_TABLE_TABLE_H_

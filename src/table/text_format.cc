@@ -1,0 +1,135 @@
+#include "table/text_format.h"
+
+#include <algorithm>
+
+namespace dgf::table {
+namespace {
+
+constexpr size_t kReadChunk = 256 * 1024;
+
+}  // namespace
+
+Result<std::unique_ptr<TextFileWriter>> TextFileWriter::Create(
+    std::shared_ptr<fs::MiniDfs> dfs, const std::string& path, Schema schema) {
+  DGF_ASSIGN_OR_RETURN(auto writer, dfs->Create(path));
+  return std::unique_ptr<TextFileWriter>(
+      new TextFileWriter(std::move(writer), std::move(schema)));
+}
+
+Status TextFileWriter::Append(const Row& row) {
+  return AppendLine(FormatRowText(row));
+}
+
+Status TextFileWriter::AppendLine(std::string_view line) {
+  std::string buf;
+  buf.reserve(line.size() + 1);
+  buf.append(line);
+  buf.push_back('\n');
+  return writer_->Append(buf);
+}
+
+TextSplitReader::TextSplitReader(std::unique_ptr<fs::DfsReader> reader,
+                                 fs::FileSplit split, Schema schema)
+    : reader_(std::move(reader)),
+      split_(std::move(split)),
+      schema_(std::move(schema)),
+      file_pos_(split_.offset) {}
+
+Result<std::unique_ptr<TextSplitReader>> TextSplitReader::Open(
+    std::shared_ptr<fs::MiniDfs> dfs, const fs::FileSplit& split,
+    Schema schema) {
+  DGF_ASSIGN_OR_RETURN(auto reader, dfs->OpenForRead(split.path));
+  return std::unique_ptr<TextSplitReader>(
+      new TextSplitReader(std::move(reader), split, std::move(schema)));
+}
+
+Status TextSplitReader::FillBuffer() {
+  // Compact consumed bytes and pull the next chunk from the file.
+  if (buffer_pos_ > 0) {
+    buffer_.erase(0, buffer_pos_);
+    buffer_pos_ = 0;
+  }
+  const uint64_t read_at = file_pos_ + buffer_.size();
+  uint64_t want = kReadChunk;
+  if (exact_range_) {
+    // Slices end exactly at line boundaries: never read past the range.
+    if (read_at >= split_.end()) {
+      eof_ = true;
+      return Status::OK();
+    }
+    want = std::min<uint64_t>(want, split_.end() - read_at);
+  } else if (read_at >= split_.end()) {
+    // Only finishing the line that straddles the split end; read small.
+    want = 4096;
+  }
+  std::string chunk;
+  DGF_RETURN_IF_ERROR(reader_->Pread(read_at, want, &chunk));
+  if (chunk.empty()) {
+    eof_ = true;
+  } else {
+    bytes_read_ += chunk.size();
+    buffer_ += chunk;
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<TextSplitReader>> TextSplitReader::OpenExactRange(
+    std::shared_ptr<fs::MiniDfs> dfs, const fs::FileSplit& range,
+    Schema schema) {
+  DGF_ASSIGN_OR_RETURN(auto reader, Open(std::move(dfs), range, std::move(schema)));
+  reader->exact_range_ = true;
+  return reader;
+}
+
+Result<bool> TextSplitReader::NextLine(std::string* line) {
+  if (exact_range_) {
+    // Slice semantics: boundaries are line boundaries; no discard, and the
+    // range end is exclusive.
+    if (file_pos_ >= split_.end()) return false;
+  }
+  if (!initialized_) {
+    initialized_ = true;
+    if (!exact_range_ && split_.offset > 0) {
+      // Hadoop rule: a reader at offset > 0 discards the (possibly partial)
+      // line in progress; it belongs to the previous split.
+      std::string discard;
+      DGF_ASSIGN_OR_RETURN(bool have, NextLine(&discard));
+      if (!have) return false;
+    }
+  }
+  // Hadoop's ownership rule: a reader consumes lines starting at offsets in
+  // (split.offset, split.end] (plus offset 0 for the first split). The line
+  // starting exactly at split.end is ours because the next split's reader
+  // unconditionally discards its first line.
+  if (file_pos_ > split_.end()) return false;
+  for (;;) {
+    const size_t nl = buffer_.find('\n', buffer_pos_);
+    if (nl != std::string::npos) {
+      line_start_ = file_pos_;
+      line->assign(buffer_, buffer_pos_, nl - buffer_pos_);
+      file_pos_ += (nl - buffer_pos_) + 1;
+      buffer_pos_ = nl + 1;
+      return true;
+    }
+    if (eof_) {
+      if (buffer_pos_ >= buffer_.size()) return false;
+      // Final line without trailing newline.
+      line_start_ = file_pos_;
+      line->assign(buffer_, buffer_pos_, buffer_.size() - buffer_pos_);
+      file_pos_ += buffer_.size() - buffer_pos_;
+      buffer_pos_ = buffer_.size();
+      return true;
+    }
+    DGF_RETURN_IF_ERROR(FillBuffer());
+  }
+}
+
+Result<bool> TextSplitReader::Next(Row* row) {
+  std::string line;
+  DGF_ASSIGN_OR_RETURN(bool have, NextLine(&line));
+  if (!have) return false;
+  DGF_ASSIGN_OR_RETURN(*row, ParseRowText(line, schema_));
+  return true;
+}
+
+}  // namespace dgf::table

@@ -1,0 +1,86 @@
+#ifndef DGF_TABLE_TEXT_FORMAT_H_
+#define DGF_TABLE_TEXT_FORMAT_H_
+
+#include <memory>
+#include <string>
+
+#include "fs/mini_dfs.h"
+#include "fs/split.h"
+#include "table/record_reader.h"
+#include "table/schema.h"
+
+namespace dgf::table {
+
+/// Writes rows to a TextFile ('|'-separated fields, '\n' row terminator).
+class TextFileWriter {
+ public:
+  /// Creates `path` and returns a writer bound to `schema`.
+  static Result<std::unique_ptr<TextFileWriter>> Create(
+      std::shared_ptr<fs::MiniDfs> dfs, const std::string& path, Schema schema);
+
+  /// Appends one row.
+  Status Append(const Row& row);
+
+  /// Appends an already-serialized line (no trailing newline).
+  Status AppendLine(std::string_view line);
+
+  /// Offset where the next row will start.
+  uint64_t Offset() const { return writer_->Offset(); }
+
+  Status Close() { return writer_->Close(); }
+
+ private:
+  TextFileWriter(std::unique_ptr<fs::DfsWriter> writer, Schema schema)
+      : writer_(std::move(writer)), schema_(std::move(schema)) {}
+
+  std::unique_ptr<fs::DfsWriter> writer_;
+  Schema schema_;
+};
+
+/// Reads the rows of one split of a TextFile (Hadoop line-boundary rules:
+/// skip the partial first line unless at offset 0; finish the line straddling
+/// the split end).
+class TextSplitReader : public RecordReader {
+ public:
+  static Result<std::unique_ptr<TextSplitReader>> Open(
+      std::shared_ptr<fs::MiniDfs> dfs, const fs::FileSplit& split,
+      Schema schema);
+
+  /// Opens a reader over a byte range already known to start and end exactly
+  /// at line boundaries (a DGFIndex Slice). No first-line discard; reads
+  /// every line starting in [offset, end).
+  static Result<std::unique_ptr<TextSplitReader>> OpenExactRange(
+      std::shared_ptr<fs::MiniDfs> dfs, const fs::FileSplit& range,
+      Schema schema);
+
+  Result<bool> Next(Row* row) override;
+  uint64_t CurrentBlockOffset() const override { return line_start_; }
+  uint64_t CurrentRowInBlock() const override { return 0; }
+  uint64_t BytesRead() const override { return bytes_read_; }
+
+  /// Raw access used by index builders: like Next but exposes the line text.
+  /// Exactly one of NextLine/Next should be used on a reader.
+  Result<bool> NextLine(std::string* line);
+
+ private:
+  TextSplitReader(std::unique_ptr<fs::DfsReader> reader, fs::FileSplit split,
+                  Schema schema);
+
+  Status FillBuffer();
+
+  std::unique_ptr<fs::DfsReader> reader_;
+  fs::FileSplit split_;
+  Schema schema_;
+  std::string buffer_;
+  size_t buffer_pos_ = 0;
+  uint64_t file_pos_ = 0;    // file offset of buffer_[buffer_pos_]
+  uint64_t line_start_ = 0;  // file offset of the current record's line
+  uint64_t bytes_read_ = 0;
+  bool initialized_ = false;
+  bool eof_ = false;
+  bool exact_range_ = false;
+};
+
+}  // namespace dgf::table
+
+#endif  // DGF_TABLE_TEXT_FORMAT_H_

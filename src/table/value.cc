@@ -1,0 +1,141 @@
+#include "table/value.h"
+
+#include <cassert>
+#include <charconv>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace dgf::table {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+    case DataType::kDate:
+      return "date";
+  }
+  return "?";
+}
+
+Value Value::Date(int64_t days) {
+  Value v(days);
+  v.is_date_ = true;
+  return v;
+}
+
+double Value::AsDouble() const {
+  if (is_double()) return dbl();
+  return static_cast<double>(int64());
+}
+
+std::string Value::ToText() const {
+  if (is_string()) return str();
+  if (is_date()) return FormatDate(int64());
+  if (is_double()) {
+    // Shortest representation that round-trips exactly: slice headers are
+    // validated against re-parsed rows, so serialization must be lossless.
+    char buf[32];
+    auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), dbl());
+    (void)ec;
+    return std::string(buf, end);
+  }
+  return std::to_string(int64());
+}
+
+int Value::Compare(const Value& other) const {
+  if (is_string() || other.is_string()) {
+    assert(is_string() && other.is_string() &&
+           "cannot compare string with non-string");
+    const std::string& a = str();
+    const std::string& b = other.str();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  // Exact path for int-like vs int-like; double path otherwise.
+  if (!is_double() && !other.is_double()) {
+    const int64_t a = int64();
+    const int64_t b = other.int64();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  const double a = AsDouble();
+  const double b = other.AsDouble();
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+Result<Value> ParseValue(std::string_view text, DataType type) {
+  switch (type) {
+    case DataType::kInt64: {
+      DGF_ASSIGN_OR_RETURN(int64_t v, ParseInt64(text));
+      return Value::Int64(v);
+    }
+    case DataType::kDouble: {
+      DGF_ASSIGN_OR_RETURN(double v, ParseDouble(text));
+      return Value::Double(v);
+    }
+    case DataType::kString:
+      return Value::String(std::string(text));
+    case DataType::kDate: {
+      if (text.find('-') != std::string_view::npos) {
+        DGF_ASSIGN_OR_RETURN(int64_t days, ParseDate(text));
+        return Value::Date(days);
+      }
+      DGF_ASSIGN_OR_RETURN(int64_t days, ParseInt64(text));
+      return Value::Date(days);
+    }
+  }
+  return Status::InvalidArgument("unknown data type");
+}
+
+int64_t DaysFromCivil(int year, int month, int day) {
+  // Howard Hinnant's algorithm; valid across the proleptic Gregorian calendar.
+  year -= month <= 2;
+  const int era = (year >= 0 ? year : year - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(year - era * 400);
+  const unsigned doy =
+      (153u * static_cast<unsigned>(month + (month > 2 ? -3 : 9)) + 2) / 5 +
+      static_cast<unsigned>(day) - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return static_cast<int64_t>(era) * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+std::string FormatDate(int64_t days) {
+  // Inverse of DaysFromCivil.
+  int64_t z = days + 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  const int64_t year = y + (m <= 2);
+  return StringPrintf("%04lld-%02u-%02u", static_cast<long long>(year), m, d);
+}
+
+Result<int64_t> ParseDate(std::string_view text) {
+  auto parts = SplitString(text, '-');
+  if (parts.size() != 3) {
+    return Status::InvalidArgument("bad date: " + std::string(text));
+  }
+  DGF_ASSIGN_OR_RETURN(int64_t year, ParseInt64(parts[0]));
+  DGF_ASSIGN_OR_RETURN(int64_t month, ParseInt64(parts[1]));
+  DGF_ASSIGN_OR_RETURN(int64_t day, ParseInt64(parts[2]));
+  if (month < 1 || month > 12 || day < 1 || day > 31) {
+    return Status::InvalidArgument("bad date: " + std::string(text));
+  }
+  return DaysFromCivil(static_cast<int>(year), static_cast<int>(month),
+                       static_cast<int>(day));
+}
+
+}  // namespace dgf::table

@@ -1,0 +1,92 @@
+#ifndef DGF_TABLE_VALUE_H_
+#define DGF_TABLE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "common/result.h"
+
+namespace dgf::table {
+
+/// Column types supported by the mini warehouse.
+///
+/// kDate is stored as days since 1970-01-01 (the meter-data time stamp
+/// dimension); it parses from / formats to "YYYY-MM-DD".
+enum class DataType { kInt64, kDouble, kString, kDate };
+
+const char* DataTypeName(DataType type);
+
+/// A dynamically-typed cell value.
+///
+/// Values are ordered within one type; comparing across numeric types
+/// (int64/double/date) coerces to double. Comparison with kString across
+/// types is invalid and asserts.
+class Value {
+ public:
+  Value() : data_(int64_t{0}) {}
+  static Value Int64(int64_t v) { return Value(v); }
+  static Value Double(double v) { return Value(v); }
+  static Value String(std::string v) { return Value(std::move(v)); }
+  /// `days` since the epoch.
+  static Value Date(int64_t days);
+
+  bool is_int64() const { return std::holds_alternative<int64_t>(data_) && !is_date_; }
+  bool is_date() const { return is_date_; }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_numeric() const { return !is_string(); }
+
+  int64_t int64() const { return std::get<int64_t>(data_); }
+  double dbl() const { return std::get<double>(data_); }
+  const std::string& str() const { return std::get<std::string>(data_); }
+
+  /// Numeric view of an int64/double/date value.
+  double AsDouble() const;
+
+  /// Renders the value in the table text format (dates as YYYY-MM-DD).
+  std::string ToText() const;
+
+  /// Three-way comparison; see class comment for cross-type rules.
+  int Compare(const Value& other) const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.Compare(b) == 0;
+  }
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.Compare(b) < 0;
+  }
+  friend bool operator<=(const Value& a, const Value& b) {
+    return a.Compare(b) <= 0;
+  }
+  friend bool operator>(const Value& a, const Value& b) {
+    return a.Compare(b) > 0;
+  }
+  friend bool operator>=(const Value& a, const Value& b) {
+    return a.Compare(b) >= 0;
+  }
+
+ private:
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+
+  std::variant<int64_t, double, std::string> data_;
+  bool is_date_ = false;
+};
+
+/// Parses `text` as a value of `type`. Dates accept "YYYY-MM-DD" or a raw
+/// integer day count.
+Result<Value> ParseValue(std::string_view text, DataType type);
+
+/// Days since epoch -> "YYYY-MM-DD" (proleptic Gregorian).
+std::string FormatDate(int64_t days);
+/// "YYYY-MM-DD" -> days since epoch.
+Result<int64_t> ParseDate(std::string_view text);
+/// (year, month, day) -> days since epoch.
+int64_t DaysFromCivil(int year, int month, int day);
+
+}  // namespace dgf::table
+
+#endif  // DGF_TABLE_VALUE_H_

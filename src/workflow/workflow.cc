@@ -1,0 +1,142 @@
+#include "workflow/workflow.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace dgf::workflow {
+
+Result<Workflow> Workflow::Create(std::string name,
+                                  std::vector<Action> actions) {
+  if (actions.empty()) {
+    return Status::InvalidArgument("workflow needs at least one action");
+  }
+  std::map<std::string, int> by_name;
+  for (size_t i = 0; i < actions.size(); ++i) {
+    if (actions[i].name.empty()) {
+      return Status::InvalidArgument("action names must be non-empty");
+    }
+    if (!by_name.emplace(actions[i].name, static_cast<int>(i)).second) {
+      return Status::InvalidArgument("duplicate action: " + actions[i].name);
+    }
+  }
+  // Kahn's algorithm; also detects cycles and unknown dependencies.
+  std::vector<int> in_degree(actions.size(), 0);
+  std::vector<std::vector<int>> dependents(actions.size());
+  for (size_t i = 0; i < actions.size(); ++i) {
+    for (const std::string& dep : actions[i].depends_on) {
+      auto it = by_name.find(dep);
+      if (it == by_name.end()) {
+        return Status::InvalidArgument("action '" + actions[i].name +
+                                       "' depends on unknown '" + dep + "'");
+      }
+      dependents[static_cast<size_t>(it->second)].push_back(static_cast<int>(i));
+      ++in_degree[i];
+    }
+  }
+  std::deque<int> ready;
+  for (size_t i = 0; i < actions.size(); ++i) {
+    if (in_degree[i] == 0) ready.push_back(static_cast<int>(i));
+  }
+  std::vector<int> order;
+  while (!ready.empty()) {
+    const int current = ready.front();
+    ready.pop_front();
+    order.push_back(current);
+    for (int dependent : dependents[static_cast<size_t>(current)]) {
+      if (--in_degree[static_cast<size_t>(dependent)] == 0) {
+        ready.push_back(dependent);
+      }
+    }
+  }
+  if (order.size() != actions.size()) {
+    return Status::InvalidArgument("workflow '" + name + "' has a cycle");
+  }
+  return Workflow(std::move(name), std::move(actions), std::move(order));
+}
+
+Result<RunReport> Workflow::Run(query::QueryExecutor* executor) const {
+  if (executor == nullptr) {
+    return Status::InvalidArgument("workflow needs an executor");
+  }
+  RunReport report;
+  std::map<std::string, bool> succeeded;  // name -> ran successfully
+  std::vector<double> finish_time(actions_.size(), 0);
+
+  for (int idx : order_) {
+    const Action& action = actions_[static_cast<size_t>(idx)];
+    ActionResult outcome;
+    bool blocked = false;
+    double ready_at = 0;
+    for (const std::string& dep : action.depends_on) {
+      auto it = succeeded.find(dep);
+      if (it == succeeded.end() || !it->second) {
+        blocked = true;
+        break;
+      }
+      // Critical path: ready when the slowest dependency finishes.
+      for (size_t j = 0; j < actions_.size(); ++j) {
+        if (actions_[j].name == dep) {
+          ready_at = std::max(ready_at, finish_time[j]);
+        }
+      }
+    }
+    if (blocked) {
+      outcome.state = ActionResult::State::kSkipped;
+      succeeded[action.name] = false;
+      report.succeeded = false;
+      report.actions.emplace(action.name, std::move(outcome));
+      continue;
+    }
+    auto result = executor->Execute(action.query, action.path);
+    if (result.ok()) {
+      outcome.state = ActionResult::State::kSucceeded;
+      const double duration = result->stats.total_seconds;
+      report.sequential_seconds += duration;
+      finish_time[static_cast<size_t>(idx)] = ready_at + duration;
+      report.critical_path_seconds =
+          std::max(report.critical_path_seconds,
+                   finish_time[static_cast<size_t>(idx)]);
+      outcome.result = std::move(*result);
+      succeeded[action.name] = true;
+    } else {
+      outcome.state = ActionResult::State::kFailed;
+      outcome.error = result.status();
+      succeeded[action.name] = false;
+      report.succeeded = false;
+    }
+    report.actions.emplace(action.name, std::move(outcome));
+  }
+  return report;
+}
+
+void Coordinator::Schedule(Workflow workflow, double period_s,
+                           double first_fire_s) {
+  entries_.push_back(Entry{std::move(workflow), period_s, first_fire_s});
+}
+
+Result<std::vector<Coordinator::Firing>> Coordinator::RunUntil(double until_s) {
+  std::vector<Firing> firings;
+  for (;;) {
+    // Earliest due entry.
+    Entry* next = nullptr;
+    for (Entry& entry : entries_) {
+      if (entry.next_fire_s > until_s) continue;
+      if (next == nullptr || entry.next_fire_s < next->next_fire_s) {
+        next = &entry;
+      }
+    }
+    if (next == nullptr) break;
+    now_ = next->next_fire_s;
+    Firing firing;
+    firing.workflow = next->workflow.name();
+    firing.fire_time_s = now_;
+    DGF_ASSIGN_OR_RETURN(firing.report, next->workflow.Run(executor_));
+    firings.push_back(std::move(firing));
+    next->next_fire_s += next->period_s;
+  }
+  now_ = until_s;
+  return firings;
+}
+
+}  // namespace dgf::workflow

@@ -1,0 +1,114 @@
+#ifndef DGF_WORKFLOW_WORKFLOW_H_
+#define DGF_WORKFLOW_WORKFLOW_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/executor.h"
+#include "query/query.h"
+
+namespace dgf::workflow {
+
+/// One step of an analysis workflow: a query plus the names of steps that
+/// must complete first. The analogue of one HiveQL statement inside a
+/// translated stored procedure (Section 3.2: "The HiveQL statements in a
+/// stored procedure are organized as work flow in Oozie").
+struct Action {
+  std::string name;
+  query::Query query;
+  std::vector<std::string> depends_on;
+  /// Force an access path (default: executor's choice).
+  std::optional<query::AccessPath> path;
+};
+
+/// Outcome of one action in a run.
+struct ActionResult {
+  enum class State { kSucceeded, kFailed, kSkipped };
+  State state = State::kSkipped;
+  Status error;                    // set when kFailed
+  query::QueryResult result;       // set when kSucceeded
+};
+
+/// Report of one workflow execution.
+struct RunReport {
+  std::map<std::string, ActionResult> actions;
+  /// Sum of per-action simulated durations (the sequential schedule Oozie
+  /// uses for a linear stored procedure) and the DAG critical path (what a
+  /// parallelism-aware scheduler could achieve).
+  double sequential_seconds = 0;
+  double critical_path_seconds = 0;
+  bool succeeded = true;
+};
+
+/// A validated DAG of actions, executed in topological order.
+///
+/// Validation rejects duplicate names, unknown dependencies, and cycles. On
+/// execution, a failed action fails the run and transitively skips its
+/// dependents (Oozie's kill-on-error semantics); independent branches still
+/// run.
+class Workflow {
+ public:
+  static Result<Workflow> Create(std::string name, std::vector<Action> actions);
+
+  /// Runs all actions through `executor`.
+  Result<RunReport> Run(query::QueryExecutor* executor) const;
+
+  const std::string& name() const { return name_; }
+  int num_actions() const { return static_cast<int>(actions_.size()); }
+  /// Topological execution order (stable: declaration order among ready
+  /// actions).
+  const std::vector<int>& order() const { return order_; }
+
+ private:
+  Workflow(std::string name, std::vector<Action> actions,
+           std::vector<int> order)
+      : name_(std::move(name)),
+        actions_(std::move(actions)),
+        order_(std::move(order)) {}
+
+  std::string name_;
+  std::vector<Action> actions_;
+  std::vector<int> order_;
+};
+
+/// Oozie-style coordinator: fires workflows at fixed periods over a
+/// simulated clock (the "executed at fixed frequencies" stored procedures —
+/// data acquisition rate, power calculation, line loss analysis...).
+class Coordinator {
+ public:
+  explicit Coordinator(query::QueryExecutor* executor) : executor_(executor) {}
+
+  /// Schedules `workflow` every `period_s` simulated seconds starting at
+  /// `first_fire_s`.
+  void Schedule(Workflow workflow, double period_s, double first_fire_s = 0);
+
+  struct Firing {
+    std::string workflow;
+    double fire_time_s = 0;
+    RunReport report;
+  };
+
+  /// Advances the simulated clock to `until_s`, executing every due firing
+  /// in time order. Returns the firings (with reports) in execution order.
+  Result<std::vector<Firing>> RunUntil(double until_s);
+
+  double now() const { return now_; }
+
+ private:
+  struct Entry {
+    Workflow workflow;
+    double period_s;
+    double next_fire_s;
+  };
+
+  query::QueryExecutor* executor_;
+  std::vector<Entry> entries_;
+  double now_ = 0;
+};
+
+}  // namespace dgf::workflow
+
+#endif  // DGF_WORKFLOW_WORKFLOW_H_

@@ -1,0 +1,73 @@
+#ifndef DGF_WORKLOAD_METER_GEN_H_
+#define DGF_WORKLOAD_METER_GEN_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "fs/mini_dfs.h"
+#include "table/table.h"
+
+namespace dgf::workload {
+
+/// Configuration of the synthetic smart-meter dataset.
+///
+/// Models the paper's Zhejiang Grid table: userId (many distinct values),
+/// regionId (few), a collection date (few distinct days), powerConsumed, and
+/// `extra_metrics` further numeric columns (positive/reverse active total
+/// electricity at different rates, etc.) to reach the paper's 17-field rows.
+/// Records are generated in collection order — all records of one day are
+/// contiguous — because "in real world dataset, the records that have same
+/// time are stored together".
+struct MeterConfig {
+  int64_t num_users = 10000;
+  int64_t num_regions = 11;
+  int num_days = 30;
+  /// Day number of the first collection day (2012-12-01).
+  int64_t start_day = 15675;
+  /// Records per user per day (the paper's grid collects up to 96).
+  int readings_per_day = 1;
+  /// Additional numeric metric columns beyond the four core fields.
+  int extra_metrics = 13;
+  /// Zipf skew of user activity; 0 = uniform.
+  double user_skew = 0.0;
+  uint64_t seed = 42;
+
+  int64_t TotalRows() const {
+    return num_users * num_days * readings_per_day;
+  }
+};
+
+/// Schema of the meter table under `config`.
+table::Schema MeterSchema(const MeterConfig& config);
+
+/// Streams every row of the dataset, in collection order, into `sink`.
+/// Deterministic for a fixed config.
+Status ForEachMeterRow(const MeterConfig& config,
+                       const std::function<Status(const table::Row&)>& sink);
+
+/// Generates the meter table into `dir` on the DFS.
+Result<table::TableDesc> GenerateMeterTable(
+    const std::shared_ptr<fs::MiniDfs>& dfs, const std::string& dir,
+    const MeterConfig& config,
+    table::FileFormat format = table::FileFormat::kText,
+    uint64_t max_file_bytes = 512ULL << 20);
+
+/// Schema of the userInfo archive table (userId, userName, regionId,
+/// address) the paper joins meter data against.
+table::Schema UserInfoSchema();
+
+/// Generates the userInfo archive table (one row per user).
+Result<table::TableDesc> GenerateUserInfoTable(
+    const std::shared_ptr<fs::MiniDfs>& dfs, const std::string& dir,
+    const MeterConfig& config);
+
+/// Region of a user (stable hash); exposed so tests and query generators can
+/// reason about region selectivity.
+int64_t RegionOfUser(const MeterConfig& config, int64_t user_id);
+
+}  // namespace dgf::workload
+
+#endif  // DGF_WORKLOAD_METER_GEN_H_

@@ -1,0 +1,42 @@
+#ifndef DGF_WORKLOAD_QUERY_GEN_H_
+#define DGF_WORKLOAD_QUERY_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "query/query.h"
+#include "workload/meter_gen.h"
+
+namespace dgf::workload {
+
+/// Selectivity classes the paper evaluates (Figures 8-16).
+enum class Selectivity { kPoint, kFivePercent, kTwelvePercent };
+
+const char* SelectivityName(Selectivity sel);
+
+/// Target fraction of the table selected by each class (point ~ one user-day
+/// in one region).
+double SelectivityFraction(Selectivity sel);
+
+/// Shape of the paper's three query templates over the meter table.
+enum class MeterQueryKind {
+  /// Listing 4: SELECT sum(powerConsumed) WHERE <3-dim range>.
+  kAggregation,
+  /// Listing 5: SELECT time, sum(powerConsumed) ... GROUP BY time.
+  kGroupBy,
+  /// Listing 6: SELECT userName, powerConsumed FROM meterdata JOIN userInfo.
+  kJoin,
+  /// Listing 7: userId condition dropped (partial-specified query).
+  kPartial,
+};
+
+/// Builds a meter-data query of the given kind and selectivity. The 3-dim
+/// range predicate covers: all regions, a window of days, and the userId
+/// range sized so the overall selected fraction matches the class.
+/// `variant` perturbs the range placement deterministically.
+query::Query MakeMeterQuery(const MeterConfig& config, MeterQueryKind kind,
+                            Selectivity sel, uint64_t variant = 0);
+
+}  // namespace dgf::workload
+
+#endif  // DGF_WORKLOAD_QUERY_GEN_H_

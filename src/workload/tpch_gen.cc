@@ -1,0 +1,113 @@
+#include "workload/tpch_gen.h"
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace dgf::workload {
+
+using table::DataType;
+using table::Row;
+using table::Schema;
+using table::TableDesc;
+using table::Value;
+
+Schema LineitemSchema() {
+  return Schema({{"l_orderkey", DataType::kInt64},
+                 {"l_partkey", DataType::kInt64},
+                 {"l_suppkey", DataType::kInt64},
+                 {"l_linenumber", DataType::kInt64},
+                 {"l_quantity", DataType::kDouble},
+                 {"l_extendedprice", DataType::kDouble},
+                 {"l_discount", DataType::kDouble},
+                 {"l_tax", DataType::kDouble},
+                 {"l_returnflag", DataType::kString},
+                 {"l_linestatus", DataType::kString},
+                 {"l_shipdate", DataType::kDate},
+                 {"l_commitdate", DataType::kDate},
+                 {"l_receiptdate", DataType::kDate},
+                 {"l_shipinstruct", DataType::kString},
+                 {"l_shipmode", DataType::kString},
+                 {"l_comment", DataType::kString}});
+}
+
+Status ForEachLineitemRow(const LineitemConfig& config,
+                          const std::function<Status(const Row&)>& sink) {
+  if (config.num_rows <= 0) {
+    return Status::InvalidArgument("num_rows must be positive");
+  }
+  Random rng(config.seed);
+  static constexpr const char* kReturnFlags[] = {"R", "A", "N"};
+  static constexpr const char* kLineStatus[] = {"O", "F"};
+  static constexpr const char* kInstructs[] = {
+      "DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"};
+  static constexpr const char* kModes[] = {"REG AIR", "AIR",  "RAIL", "SHIP",
+                                           "TRUCK",   "MAIL", "FOB"};
+  const int64_t ship_lo = table::DaysFromCivil(1992, 1, 1);
+  const int64_t ship_hi = table::DaysFromCivil(1998, 12, 1);
+
+  Row row(16);
+  for (int64_t i = 0; i < config.num_rows; ++i) {
+    const int64_t quantity = rng.UniformRange(1, 50);
+    const double part_price = 900.0 + static_cast<double>(rng.Uniform(100000)) / 100.0;
+    const double discount = static_cast<double>(rng.UniformRange(0, 10)) / 100.0;
+    const int64_t shipdate = rng.UniformRange(ship_lo, ship_hi);
+    row[0] = Value::Int64(i / 4 + 1);                      // orderkey
+    row[1] = Value::Int64(rng.UniformRange(1, 200000));    // partkey
+    row[2] = Value::Int64(rng.UniformRange(1, 10000));     // suppkey
+    row[3] = Value::Int64(i % 4 + 1);                      // linenumber
+    row[4] = Value::Double(static_cast<double>(quantity));
+    row[5] = Value::Double(static_cast<double>(quantity) * part_price);
+    row[6] = Value::Double(discount);
+    row[7] = Value::Double(static_cast<double>(rng.UniformRange(0, 8)) / 100.0);
+    row[8] = Value::String(kReturnFlags[rng.Uniform(3)]);
+    row[9] = Value::String(kLineStatus[rng.Uniform(2)]);
+    row[10] = Value::Date(shipdate);
+    row[11] = Value::Date(shipdate + rng.UniformRange(-30, 30));
+    row[12] = Value::Date(shipdate + rng.UniformRange(1, 30));
+    row[13] = Value::String(kInstructs[rng.Uniform(4)]);
+    row[14] = Value::String(kModes[rng.Uniform(7)]);
+    row[15] = Value::String(StringPrintf("synthetic comment %llu",
+                                         static_cast<unsigned long long>(
+                                             rng.Uniform(1000000))));
+    DGF_RETURN_IF_ERROR(sink(row));
+  }
+  return Status::OK();
+}
+
+Result<TableDesc> GenerateLineitemTable(const std::shared_ptr<fs::MiniDfs>& dfs,
+                                        const std::string& dir,
+                                        const LineitemConfig& config,
+                                        table::FileFormat format,
+                                        uint64_t max_file_bytes) {
+  TableDesc desc{"lineitem", LineitemSchema(), format, dir};
+  table::TableWriter::Options options;
+  options.max_file_bytes = max_file_bytes;
+  DGF_ASSIGN_OR_RETURN(auto writer, table::TableWriter::Create(dfs, desc, options));
+  DGF_RETURN_IF_ERROR(ForEachLineitemRow(
+      config, [&](const Row& row) { return writer->Append(row); }));
+  DGF_RETURN_IF_ERROR(writer->Close());
+  return desc;
+}
+
+query::Query MakeQ6(int year, double discount, int64_t quantity) {
+  query::Query q;
+  q.table = "lineitem";
+  auto spec = core::AggSpec::Parse("sum(l_extendedprice*l_discount)");
+  DGF_CHECK(spec.ok());
+  q.select.push_back(query::SelectItem::Aggregation(*spec));
+  q.where.And(query::ColumnRange::Between(
+      "l_shipdate", Value::Date(table::DaysFromCivil(year, 1, 1)), true,
+      Value::Date(table::DaysFromCivil(year + 1, 1, 1)), false));
+  q.where.And(query::ColumnRange::Between(
+      "l_discount", Value::Double(discount - 0.01), true,
+      Value::Double(discount + 0.01), true));
+  query::ColumnRange quantity_range;
+  quantity_range.column = "l_quantity";
+  quantity_range.upper =
+      query::Bound{Value::Double(static_cast<double>(quantity)), false};
+  q.where.And(std::move(quantity_range));
+  return q;
+}
+
+}  // namespace dgf::workload

@@ -1,0 +1,50 @@
+#ifndef DGF_WORKLOAD_TPCH_GEN_H_
+#define DGF_WORKLOAD_TPCH_GEN_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "fs/mini_dfs.h"
+#include "query/query.h"
+#include "table/table.h"
+
+namespace dgf::workload {
+
+/// Configuration of the synthetic TPC-H lineitem table.
+///
+/// Column domains follow the TPC-H specification (quantity 1..50, discount
+/// 0.00..0.10, shipdate 1992..1998). Rows are emitted in random order — the
+/// property of dbgen output that makes every dimension value appear in every
+/// split, defeating the Compact Index (Table 6's "filters nothing" result).
+struct LineitemConfig {
+  int64_t num_rows = 100000;
+  uint64_t seed = 7;
+};
+
+/// Full 16-column lineitem schema.
+table::Schema LineitemSchema();
+
+/// Streams each lineitem row into `sink`.
+Status ForEachLineitemRow(const LineitemConfig& config,
+                          const std::function<Status(const table::Row&)>& sink);
+
+/// Generates the lineitem table into `dir`.
+Result<table::TableDesc> GenerateLineitemTable(
+    const std::shared_ptr<fs::MiniDfs>& dfs, const std::string& dir,
+    const LineitemConfig& config,
+    table::FileFormat format = table::FileFormat::kText,
+    uint64_t max_file_bytes = 512ULL << 20);
+
+/// TPC-H Q6 for a given year and parameters:
+///   SELECT sum(l_extendedprice*l_discount) FROM lineitem
+///   WHERE l_shipdate >= 'year-01-01' AND l_shipdate < 'year+1-01-01'
+///     AND l_discount >= d-0.01 AND l_discount <= d+0.01
+///     AND l_quantity < q;
+query::Query MakeQ6(int year, double discount, int64_t quantity);
+
+}  // namespace dgf::workload
+
+#endif  // DGF_WORKLOAD_TPCH_GEN_H_

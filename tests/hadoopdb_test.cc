@@ -1,0 +1,335 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/encoding.h"
+#include "common/random.h"
+#include "hadoopdb/btree.h"
+#include "hadoopdb/hadoopdb.h"
+#include "hadoopdb/local_db.h"
+#include "tests/test_util.h"
+#include "workload/meter_gen.h"
+#include "workload/query_gen.h"
+
+namespace dgf::hadoopdb {
+namespace {
+
+using ::dgf::testing::ScopedDfs;
+using table::DataType;
+using table::Row;
+using table::Schema;
+using table::Value;
+
+// ---------- BTree ----------
+
+std::string IntKey(int64_t v) {
+  std::string key;
+  PutOrderedInt64(&key, v);
+  return key;
+}
+
+TEST(BTreeTest, InsertAndRangeScan) {
+  BTree tree;
+  for (int64_t i = 999; i >= 0; --i) tree.Insert(IntKey(i), static_cast<uint64_t>(i));
+  EXPECT_EQ(tree.size(), 1000u);
+  EXPECT_GT(tree.height(), 1);
+
+  uint64_t count = 0;
+  int64_t prev = -1;
+  for (auto it = tree.Range(IntKey(100), IntKey(200)); it.Valid(); it.Next()) {
+    const auto v = static_cast<int64_t>(it.value());
+    EXPECT_GE(v, 100);
+    EXPECT_LT(v, 200);
+    EXPECT_GT(v, prev);  // sorted
+    prev = v;
+    ++count;
+  }
+  EXPECT_EQ(count, 100u);
+}
+
+TEST(BTreeTest, UnboundedUpper) {
+  BTree tree;
+  for (int64_t i = 0; i < 50; ++i) tree.Insert(IntKey(i), static_cast<uint64_t>(i));
+  EXPECT_EQ(tree.CountRange(IntKey(40), ""), 10u);
+  EXPECT_EQ(tree.CountRange("", ""), 50u);
+}
+
+TEST(BTreeTest, DuplicateKeysAllKept) {
+  BTree tree;
+  for (uint64_t i = 0; i < 500; ++i) tree.Insert(IntKey(7), i);
+  EXPECT_EQ(tree.CountRange(IntKey(7), IntKey(8)), 500u);
+  EXPECT_EQ(tree.CountRange(IntKey(6), IntKey(7)), 0u);
+  std::set<uint64_t> values;
+  for (auto it = tree.Range(IntKey(7), IntKey(8)); it.Valid(); it.Next()) {
+    values.insert(it.value());
+  }
+  EXPECT_EQ(values.size(), 500u);
+}
+
+TEST(BTreeTest, EmptyTreeRange) {
+  BTree tree;
+  auto it = tree.Range(IntKey(0), IntKey(10));
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(BTreeTest, RandomizedAgainstMultimap) {
+  BTree tree;
+  std::multimap<std::string, uint64_t> model;
+  Random rng(31);
+  for (uint64_t i = 0; i < 5000; ++i) {
+    const std::string key = IntKey(rng.UniformRange(0, 300));
+    tree.Insert(key, i);
+    model.emplace(key, i);
+  }
+  ASSERT_EQ(tree.size(), model.size());
+  for (int trial = 0; trial < 50; ++trial) {
+    const int64_t lo = rng.UniformRange(0, 300);
+    const int64_t hi = lo + rng.UniformRange(0, 100);
+    std::multiset<uint64_t> expected;
+    for (auto it = model.lower_bound(IntKey(lo)); it != model.end(); ++it) {
+      if (it->first >= IntKey(hi)) break;
+      expected.insert(it->second);
+    }
+    std::multiset<uint64_t> got;
+    for (auto it = tree.Range(IntKey(lo), IntKey(hi)); it.Valid(); it.Next()) {
+      EXPECT_EQ(it.key().size(), 8u);  // visible key without the uniquifier
+      got.insert(it.value());
+    }
+    EXPECT_EQ(got, expected) << "range [" << lo << "," << hi << ")";
+  }
+}
+
+// ---------- LocalDb ----------
+
+Schema MeterMini() {
+  return Schema({{"userId", DataType::kInt64},
+                 {"regionId", DataType::kInt64},
+                 {"time", DataType::kDate},
+                 {"powerConsumed", DataType::kDouble}});
+}
+
+std::vector<Row> MiniRows(int n, uint64_t seed) {
+  Random rng(seed);
+  std::vector<Row> rows;
+  for (int i = 0; i < n; ++i) {
+    rows.push_back({Value::Int64(rng.UniformRange(0, 99)),
+                    Value::Int64(rng.UniformRange(1, 3)),
+                    Value::Date(15000 + rng.UniformRange(0, 9)),
+                    Value::Double(rng.UniformDouble(0, 10))});
+  }
+  return rows;
+}
+
+TEST(LocalDbTest, IndexScanForSelectiveLeadingRange) {
+  ASSERT_OK_AND_ASSIGN(auto db,
+                       LocalDb::Create(MeterMini(), {"userId", "regionId", "time"}));
+  auto rows = MiniRows(2000, 41);
+  for (const auto& row : rows) ASSERT_OK(db->Insert(row));
+
+  query::Predicate pred;
+  pred.And(query::ColumnRange::Between("userId", Value::Int64(10), true,
+                                       Value::Int64(13), false));
+  std::vector<uint64_t> out;
+  ASSERT_OK_AND_ASSIGN(auto stats, db->Execute(pred, &out));
+  EXPECT_TRUE(stats.used_index);
+  // Verify against brute force.
+  auto bound = pred.Bind(MeterMini());
+  ASSERT_TRUE(bound.ok());
+  uint64_t expected = 0;
+  for (const auto& row : rows) {
+    if (bound->Matches(row)) ++expected;
+  }
+  EXPECT_EQ(stats.rows_matched, expected);
+  EXPECT_EQ(out.size(), expected);
+  EXPECT_LT(stats.rows_examined, rows.size() / 2);
+}
+
+TEST(LocalDbTest, SeqScanForWideRange) {
+  ASSERT_OK_AND_ASSIGN(auto db,
+                       LocalDb::Create(MeterMini(), {"userId", "regionId", "time"}));
+  for (const auto& row : MiniRows(1000, 42)) ASSERT_OK(db->Insert(row));
+  query::Predicate pred;
+  pred.And(query::ColumnRange::Between("userId", Value::Int64(0), true,
+                                       Value::Int64(100), false));
+  std::vector<uint64_t> out;
+  ASSERT_OK_AND_ASSIGN(auto stats, db->Execute(pred, &out));
+  EXPECT_FALSE(stats.used_index);
+  EXPECT_EQ(stats.rows_examined, 1000u);
+  EXPECT_EQ(stats.bytes_scanned, db->heap_bytes());
+}
+
+TEST(LocalDbTest, SeqScanWhenLeadingColumnUnconstrained) {
+  ASSERT_OK_AND_ASSIGN(auto db,
+                       LocalDb::Create(MeterMini(), {"userId", "regionId", "time"}));
+  for (const auto& row : MiniRows(500, 43)) ASSERT_OK(db->Insert(row));
+  query::Predicate pred;
+  pred.And(query::ColumnRange::Equal("regionId", Value::Int64(2)));
+  std::vector<uint64_t> out;
+  ASSERT_OK_AND_ASSIGN(auto stats, db->Execute(pred, &out));
+  EXPECT_FALSE(stats.used_index);
+}
+
+TEST(LocalDbTest, BulkLoadThenBuildIndex) {
+  ASSERT_OK_AND_ASSIGN(auto db, LocalDb::Create(MeterMini(), {"userId"}));
+  auto rows = MiniRows(800, 44);
+  for (const auto& row : rows) {
+    ASSERT_OK(db->Insert(row, /*maintain_index=*/false));
+  }
+  db->BuildIndex();
+  query::Predicate pred;
+  pred.And(query::ColumnRange::Equal("userId", Value::Int64(5)));
+  std::vector<uint64_t> out;
+  ASSERT_OK_AND_ASSIGN(auto stats, db->Execute(pred, &out));
+  EXPECT_TRUE(stats.used_index);
+  auto bound = pred.Bind(MeterMini());
+  ASSERT_TRUE(bound.ok());
+  uint64_t expected = 0;
+  for (const auto& row : rows) {
+    if (bound->Matches(row)) ++expected;
+  }
+  EXPECT_EQ(stats.rows_matched, expected);
+}
+
+// ---------- HadoopDb engine ----------
+
+struct HdbWorld {
+  std::unique_ptr<ScopedDfs> dfs;
+  workload::MeterConfig config;
+  table::TableDesc meter;
+  table::TableDesc users;
+  std::unique_ptr<HadoopDb> db;
+  std::vector<Row> rows;
+};
+
+HdbWorld MakeHdbWorld(const std::string& tag) {
+  HdbWorld world;
+  world.dfs = std::make_unique<ScopedDfs>("hdb_" + tag);
+  world.config.num_users = 300;
+  world.config.num_days = 6;
+  world.config.num_regions = 4;
+  world.config.extra_metrics = 0;
+  world.config.seed = 17;
+  auto meter = workload::GenerateMeterTable(world.dfs->get(), "/w/meter",
+                                            world.config);
+  EXPECT_TRUE(meter.ok());
+  world.meter = *meter;
+  auto users = workload::GenerateUserInfoTable(world.dfs->get(), "/w/users",
+                                               world.config);
+  EXPECT_TRUE(users.ok());
+  world.users = *users;
+  EXPECT_OK(workload::ForEachMeterRow(world.config, [&](const Row& row) {
+    world.rows.push_back(row);
+    return Status::OK();
+  }));
+
+  HadoopDbConfig config;
+  config.num_nodes = 4;
+  config.chunks_per_node = 3;
+  auto db = HadoopDb::Load(world.dfs->get(), world.meter, config);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  world.db = std::move(*db);
+  EXPECT_OK(world.db->ReplicateArchive(world.dfs->get(), world.users));
+  return world;
+}
+
+TEST(HadoopDbTest, LoadPartitionsEverything) {
+  HdbWorld world = MakeHdbWorld("load");
+  EXPECT_EQ(world.db->total_rows(),
+            static_cast<uint64_t>(world.config.TotalRows()));
+}
+
+TEST(HadoopDbTest, AggregationMatchesBruteForce) {
+  HdbWorld world = MakeHdbWorld("agg");
+  query::Query q = workload::MakeMeterQuery(
+      world.config, workload::MeterQueryKind::kAggregation,
+      workload::Selectivity::kFivePercent, 1);
+  ASSERT_OK_AND_ASSIGN(auto output, world.db->Execute(q));
+  auto bound = q.where.Bind(world.meter.schema);
+  ASSERT_TRUE(bound.ok());
+  double expected = 0;
+  for (const auto& row : world.rows) {
+    if (bound->Matches(row)) expected += row[3].AsDouble();
+  }
+  ASSERT_EQ(output.rows.size(), 1u);
+  EXPECT_NEAR(output.rows[0][0].dbl(), expected, 1e-6 * (1 + std::abs(expected)));
+  EXPECT_GT(output.stats.total_seconds, 0.0);
+}
+
+TEST(HadoopDbTest, GroupByMatchesBruteForce) {
+  HdbWorld world = MakeHdbWorld("gb");
+  query::Query q = workload::MakeMeterQuery(
+      world.config, workload::MeterQueryKind::kGroupBy,
+      workload::Selectivity::kTwelvePercent, 2);
+  ASSERT_OK_AND_ASSIGN(auto output, world.db->Execute(q));
+  auto bound = q.where.Bind(world.meter.schema);
+  ASSERT_TRUE(bound.ok());
+  std::map<int64_t, double> expected;
+  for (const auto& row : world.rows) {
+    if (bound->Matches(row)) expected[row[2].int64()] += row[3].AsDouble();
+  }
+  ASSERT_EQ(output.rows.size(), expected.size());
+  for (const auto& row : output.rows) {
+    const auto it = expected.find(row[0].int64());
+    ASSERT_NE(it, expected.end());
+    EXPECT_NEAR(row[1].dbl(), it->second, 1e-6 * (1 + std::abs(it->second)));
+  }
+}
+
+TEST(HadoopDbTest, JoinMatchesBruteForce) {
+  HdbWorld world = MakeHdbWorld("join");
+  query::Query q = workload::MakeMeterQuery(world.config,
+                                            workload::MeterQueryKind::kJoin,
+                                            workload::Selectivity::kPoint, 3);
+  ASSERT_OK_AND_ASSIGN(auto output, world.db->Execute(q));
+  auto bound = q.where.Bind(world.meter.schema);
+  ASSERT_TRUE(bound.ok());
+  uint64_t expected = 0;
+  for (const auto& row : world.rows) {
+    if (bound->Matches(row)) ++expected;
+  }
+  // Every meter row joins exactly one userInfo row.
+  EXPECT_EQ(output.rows.size(), expected);
+  if (!output.rows.empty()) {
+    EXPECT_TRUE(output.rows[0][0].is_string());  // userName
+  }
+}
+
+TEST(HadoopDbTest, PointQueryUsesIndexesHighSelectivityScans) {
+  HdbWorld world = MakeHdbWorld("planner");
+  query::Query point = workload::MakeMeterQuery(
+      world.config, workload::MeterQueryKind::kAggregation,
+      workload::Selectivity::kPoint, 4);
+  ASSERT_OK_AND_ASSIGN(auto point_out, world.db->Execute(point));
+  EXPECT_EQ(point_out.stats.chunks_seq_scanned, 0);
+  EXPECT_GT(point_out.stats.chunks_using_index, 0);
+
+  query::Query wide = workload::MakeMeterQuery(
+      world.config, workload::MeterQueryKind::kAggregation,
+      workload::Selectivity::kTwelvePercent, 5);
+  ASSERT_OK_AND_ASSIGN(auto wide_out, world.db->Execute(wide));
+  EXPECT_GT(wide_out.stats.chunks_seq_scanned, 0);
+  // Degradation shape: wide queries cost much more than point queries.
+  EXPECT_GT(wide_out.stats.total_seconds, point_out.stats.total_seconds);
+}
+
+TEST(HadoopDbTest, JoinWithoutArchiveFails) {
+  ScopedDfs dfs("hdb_noarch");
+  workload::MeterConfig config;
+  config.num_users = 50;
+  config.num_days = 2;
+  config.extra_metrics = 0;
+  ASSERT_OK_AND_ASSIGN(auto meter,
+                       workload::GenerateMeterTable(dfs.get(), "/w/m", config));
+  HadoopDbConfig hconfig;
+  hconfig.num_nodes = 2;
+  hconfig.chunks_per_node = 2;
+  ASSERT_OK_AND_ASSIGN(auto db, HadoopDb::Load(dfs.get(), meter, hconfig));
+  query::Query q = workload::MakeMeterQuery(
+      config, workload::MeterQueryKind::kJoin, workload::Selectivity::kPoint, 1);
+  EXPECT_FALSE(db->Execute(q).ok());
+}
+
+}  // namespace
+}  // namespace dgf::hadoopdb

@@ -1,0 +1,325 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "index/bitmap_index.h"
+#include "index/compact_index.h"
+#include "query/predicate.h"
+#include "table/rc_format.h"
+#include "table/table.h"
+#include "tests/test_util.h"
+
+namespace dgf::index {
+namespace {
+
+using ::dgf::testing::ScopedDfs;
+using table::DataType;
+using table::Schema;
+using table::TableDesc;
+using table::Value;
+
+Schema MeterSchema() {
+  return Schema({{"userId", DataType::kInt64},
+                 {"regionId", DataType::kInt64},
+                 {"time", DataType::kDate},
+                 {"powerConsumed", DataType::kDouble}});
+}
+
+struct Dataset {
+  TableDesc desc;
+  std::vector<table::Row> rows;
+};
+
+// Time-sorted meter data (the real-world layout), multiple files.
+Dataset WriteMeterTable(const ScopedDfs& dfs, int n, uint64_t seed,
+                        table::FileFormat format) {
+  Dataset data;
+  data.desc = TableDesc{"meter", MeterSchema(), format, "/warehouse/meter"};
+  Random rng(seed);
+  for (int day = 0; day < 5; ++day) {
+    for (int i = 0; i < n / 5; ++i) {
+      data.rows.push_back({Value::Int64(rng.UniformRange(0, 499)),
+                           Value::Int64(rng.UniformRange(1, 3)),
+                           Value::Date(15000 + day),
+                           Value::Double(rng.UniformDouble(0, 10))});
+    }
+  }
+  table::TableWriter::Options options;
+  options.max_file_bytes = 8192;
+  options.rc_rows_per_group = 64;
+  auto writer = table::TableWriter::Create(dfs.get(), data.desc, options);
+  EXPECT_TRUE(writer.ok());
+  for (const auto& row : data.rows) EXPECT_OK((*writer)->Append(row));
+  EXPECT_OK((*writer)->Close());
+  return data;
+}
+
+query::Predicate RegionTimePredicate(int64_t region, int64_t day) {
+  query::Predicate pred;
+  pred.And(query::ColumnRange::Equal("regionId", Value::Int64(region)));
+  pred.And(query::ColumnRange::Equal("time", Value::Date(day)));
+  return pred;
+}
+
+// Scans `splits` of `desc` and counts rows matching `pred`.
+uint64_t ScanAndCount(const ScopedDfs& dfs, const TableDesc& desc,
+                      const std::vector<fs::FileSplit>& splits,
+                      const query::Predicate& pred) {
+  auto bound = pred.Bind(desc.schema);
+  EXPECT_TRUE(bound.ok());
+  std::set<std::tuple<std::string, uint64_t, uint64_t>> seen;  // dedupe splits
+  uint64_t count = 0;
+  for (const auto& split : splits) {
+    if (!seen.insert({split.path, split.offset, split.length}).second) continue;
+    auto reader = table::OpenSplitReader(dfs.get(), desc, split);
+    EXPECT_TRUE(reader.ok());
+    table::Row row;
+    for (;;) {
+      auto more = (*reader)->Next(&row);
+      EXPECT_TRUE(more.ok());
+      if (!*more) break;
+      if (bound->Matches(row)) ++count;
+    }
+  }
+  return count;
+}
+
+uint64_t BruteCount(const Dataset& data, const query::Predicate& pred) {
+  auto bound = pred.Bind(data.desc.schema);
+  EXPECT_TRUE(bound.ok());
+  uint64_t count = 0;
+  for (const auto& row : data.rows) {
+    if (bound->Matches(row)) ++count;
+  }
+  return count;
+}
+
+// ---------- Compact index ----------
+
+class CompactIndexFormatTest
+    : public ::testing::TestWithParam<table::FileFormat> {};
+
+TEST_P(CompactIndexFormatTest, LookupFindsAllMatchingRows) {
+  ScopedDfs dfs("ci_lookup", /*block_size=*/4096);
+  Dataset data = WriteMeterTable(dfs, 2000, 21, GetParam());
+  CompactIndex::BuildOptions options;
+  options.dims = {"regionId", "time"};
+  options.index_dir = "/warehouse/meter_idx";
+  options.job.num_reducers = 4;
+  options.split_size = 4096;
+  ASSERT_OK_AND_ASSIGN(auto index,
+                       CompactIndex::Build(dfs.get(), data.desc, options));
+
+  for (int day = 0; day < 5; ++day) {
+    query::Predicate pred = RegionTimePredicate(2, 15000 + day);
+    ASSERT_OK_AND_ASSIGN(auto lookup, index->Lookup(pred, 4096));
+    // Chosen splits must contain every matching row.
+    EXPECT_EQ(ScanAndCount(dfs, data.desc, lookup.splits, pred),
+              BruteCount(data, pred));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, CompactIndexFormatTest,
+                         ::testing::Values(table::FileFormat::kText,
+                                           table::FileFormat::kRcFile),
+                         [](const auto& info) {
+                           return info.param == table::FileFormat::kText
+                                      ? "Text"
+                                      : "RcFile";
+                         });
+
+TEST(CompactIndexTest, TimeSortedDataFiltersSplits) {
+  ScopedDfs dfs("ci_filter", 4096);
+  Dataset data = WriteMeterTable(dfs, 3000, 22, table::FileFormat::kText);
+  CompactIndex::BuildOptions options;
+  options.dims = {"time"};
+  options.index_dir = "/warehouse/meter_idx";
+  options.split_size = 4096;
+  ASSERT_OK_AND_ASSIGN(auto index,
+                       CompactIndex::Build(dfs.get(), data.desc, options));
+
+  query::Predicate pred;
+  pred.And(query::ColumnRange::Equal("time", Value::Date(15000)));
+  ASSERT_OK_AND_ASSIGN(auto lookup, index->Lookup(pred, 4096));
+  ASSERT_OK_AND_ASSIGN(auto all_splits,
+                       table::GetTableSplits(dfs.get(), data.desc, 4096));
+  // Data is time-sorted: one of five days must need far fewer splits.
+  EXPECT_LT(lookup.splits.size(), all_splits.size());
+  EXPECT_GT(lookup.splits.size(), 0u);
+}
+
+TEST(CompactIndexTest, ScatteredValuesFilterNothing) {
+  // The paper's TPC-H observation: when every split holds every dimension
+  // value, the Compact Index chooses all splits.
+  ScopedDfs dfs("ci_scatter", 2048);
+  Dataset data;
+  data.desc = TableDesc{"t", MeterSchema(), table::FileFormat::kText, "/w/t"};
+  table::TableWriter::Options wopts;
+  wopts.max_file_bytes = 1ULL << 30;
+  ASSERT_OK_AND_ASSIGN(auto writer,
+                       table::TableWriter::Create(dfs.get(), data.desc, wopts));
+  Random rng(23);
+  for (int i = 0; i < 2000; ++i) {
+    table::Row row = {Value::Int64(i), Value::Int64(i % 3 + 1),
+                      Value::Date(15000 + i % 5),
+                      Value::Double(rng.UniformDouble(0, 1))};
+    data.rows.push_back(row);
+    ASSERT_OK(writer->Append(row));
+  }
+  ASSERT_OK(writer->Close());
+
+  CompactIndex::BuildOptions options;
+  options.dims = {"regionId"};
+  options.index_dir = "/w/t_idx";
+  options.split_size = 2048;
+  ASSERT_OK_AND_ASSIGN(auto index,
+                       CompactIndex::Build(dfs.get(), data.desc, options));
+  query::Predicate pred;
+  pred.And(query::ColumnRange::Equal("regionId", Value::Int64(2)));
+  ASSERT_OK_AND_ASSIGN(auto lookup, index->Lookup(pred, 2048));
+  ASSERT_OK_AND_ASSIGN(auto all_splits,
+                       table::GetTableSplits(dfs.get(), data.desc, 2048));
+  EXPECT_EQ(lookup.splits.size(), all_splits.size());
+}
+
+TEST(CompactIndexTest, IndexSizeGrowsWithDimensionality) {
+  // Table 2's phenomenon: more indexed dimensions with many distinct values
+  // => far larger index table.
+  ScopedDfs dfs("ci_size", 1 << 20);
+  Dataset data = WriteMeterTable(dfs, 3000, 24, table::FileFormat::kText);
+
+  CompactIndex::BuildOptions two_dims;
+  two_dims.dims = {"regionId", "time"};
+  two_dims.index_dir = "/w/idx2";
+  ASSERT_OK_AND_ASSIGN(auto index2,
+                       CompactIndex::Build(dfs.get(), data.desc, two_dims));
+
+  CompactIndex::BuildOptions three_dims;
+  three_dims.dims = {"userId", "regionId", "time"};
+  three_dims.index_dir = "/w/idx3";
+  ASSERT_OK_AND_ASSIGN(auto index3,
+                       CompactIndex::Build(dfs.get(), data.desc, three_dims));
+
+  ASSERT_OK_AND_ASSIGN(uint64_t size2, index2->IndexSizeBytes());
+  ASSERT_OK_AND_ASSIGN(uint64_t size3, index3->IndexSizeBytes());
+  EXPECT_GT(size3, 5 * size2);
+}
+
+TEST(CompactIndexTest, RejectsUnknownDimension) {
+  ScopedDfs dfs("ci_unknown");
+  Dataset data = WriteMeterTable(dfs, 100, 25, table::FileFormat::kText);
+  CompactIndex::BuildOptions options;
+  options.dims = {"nope"};
+  options.index_dir = "/w/idx";
+  EXPECT_FALSE(CompactIndex::Build(dfs.get(), data.desc, options).ok());
+}
+
+// ---------- Aggregate index ----------
+
+TEST(AggregateIndexTest, GroupByCountRewrite) {
+  ScopedDfs dfs("ai_rewrite", 4096);
+  Dataset data = WriteMeterTable(dfs, 2000, 26, table::FileFormat::kText);
+  CompactIndex::BuildOptions options;
+  options.dims = {"regionId", "time"};
+  options.index_dir = "/w/agg_idx";
+  options.split_size = 4096;
+  ASSERT_OK_AND_ASSIGN(auto index,
+                       AggregateIndex::Build(dfs.get(), data.desc, options));
+
+  query::Predicate pred;
+  pred.And(query::ColumnRange::Equal("time", Value::Date(15001)));
+  exec::JobResult scan;
+  ASSERT_OK_AND_ASSIGN(auto groups,
+                       index->RewriteGroupByCount(pred, "regionId", &scan));
+
+  // Verify against brute force per region.
+  for (const auto& [region_text, count] : groups) {
+    query::Predicate check = pred;
+    ASSERT_OK_AND_ASSIGN(int64_t region, dgf::ParseInt64(region_text));
+    check.And(query::ColumnRange::Equal("regionId", Value::Int64(region)));
+    EXPECT_EQ(static_cast<uint64_t>(count), BruteCount(data, check))
+        << "region " << region_text;
+  }
+  uint64_t total = 0;
+  for (const auto& [region_text, count] : groups) {
+    (void)region_text;
+    total += static_cast<uint64_t>(count);
+  }
+  EXPECT_EQ(total, BruteCount(data, pred));
+}
+
+TEST(AggregateIndexTest, RewriteRejectsNonIndexedColumns) {
+  ScopedDfs dfs("ai_reject", 4096);
+  Dataset data = WriteMeterTable(dfs, 500, 27, table::FileFormat::kText);
+  CompactIndex::BuildOptions options;
+  options.dims = {"regionId", "time"};
+  options.index_dir = "/w/agg_idx";
+  ASSERT_OK_AND_ASSIGN(auto index,
+                       AggregateIndex::Build(dfs.get(), data.desc, options));
+
+  query::Predicate pred;
+  pred.And(query::ColumnRange::Equal("userId", Value::Int64(5)));
+  exec::JobResult scan;
+  EXPECT_EQ(index->RewriteGroupByCount(pred, "regionId", &scan).status().code(),
+            StatusCode::kNotSupported);
+  query::Predicate ok_pred;
+  EXPECT_EQ(index->RewriteGroupByCount(ok_pred, "userId", &scan).status().code(),
+            StatusCode::kNotSupported);
+}
+
+// ---------- Bitmap index ----------
+
+TEST(BitmapIndexTest, RequiresRcFile) {
+  ScopedDfs dfs("bi_text");
+  Dataset data = WriteMeterTable(dfs, 200, 28, table::FileFormat::kText);
+  BitmapIndex::BuildOptions options;
+  options.dims = {"regionId"};
+  options.index_dir = "/w/bidx";
+  EXPECT_EQ(BitmapIndex::Build(dfs.get(), data.desc, options).status().code(),
+            StatusCode::kNotSupported);
+}
+
+TEST(BitmapIndexTest, RowFiltersSelectExactRows) {
+  ScopedDfs dfs("bi_rows", 4096);
+  Dataset data = WriteMeterTable(dfs, 1500, 29, table::FileFormat::kRcFile);
+  BitmapIndex::BuildOptions options;
+  options.dims = {"regionId", "time"};
+  options.index_dir = "/w/bidx";
+  options.job.num_reducers = 4;
+  options.split_size = 4096;
+  ASSERT_OK_AND_ASSIGN(auto index,
+                       BitmapIndex::Build(dfs.get(), data.desc, options));
+
+  query::Predicate pred = RegionTimePredicate(1, 15002);
+  ASSERT_OK_AND_ASSIGN(auto lookup, index->Lookup(pred, 4096));
+  EXPECT_EQ(lookup.matching_rows, BruteCount(data, pred));
+
+  // Read using the row filters: every returned row must match; total count
+  // must equal brute force even without re-applying the predicate.
+  uint64_t rows_emitted = 0;
+  auto bound = pred.Bind(data.desc.schema);
+  ASSERT_TRUE(bound.ok());
+  for (const auto& filter : lookup.row_filters) {
+    ASSERT_OK_AND_ASSIGN(auto stat, dfs->Stat(filter.file));
+    fs::FileSplit whole{filter.file, 0, stat.length};
+    ASSERT_OK_AND_ASSIGN(
+        auto reader,
+        table::RcSplitReader::Open(dfs.get(), whole, data.desc.schema));
+    reader->SetRowFilter(filter.blocks);
+    table::Row row;
+    for (;;) {
+      ASSERT_OK_AND_ASSIGN(bool more, reader->Next(&row));
+      if (!more) break;
+      EXPECT_TRUE(bound->Matches(row));
+      ++rows_emitted;
+    }
+  }
+  EXPECT_EQ(rows_emitted, BruteCount(data, pred));
+}
+
+}  // namespace
+}  // namespace dgf::index

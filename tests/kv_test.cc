@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "kv/lsm_kv.h"
+#include "kv/mem_kv.h"
+#include "kv/sstable.h"
+#include "tests/test_util.h"
+
+namespace dgf::kv {
+namespace {
+
+using ::dgf::testing::ScopedDfs;
+
+// ---------- Shared conformance suite over both KvStore implementations ----
+
+enum class StoreKind { kMem, kLsm };
+
+struct StoreFixture {
+  std::unique_ptr<ScopedDfs> dfs;
+  std::unique_ptr<KvStore> store;
+};
+
+StoreFixture MakeStore(StoreKind kind, const std::string& tag) {
+  StoreFixture fixture;
+  if (kind == StoreKind::kMem) {
+    fixture.store = std::make_unique<MemKv>();
+    return fixture;
+  }
+  fixture.dfs = std::make_unique<ScopedDfs>("kv_" + tag);
+  LsmKv::Options options;
+  options.dfs = fixture.dfs->get();
+  options.dir = "/kv";
+  options.memtable_flush_bytes = 256;  // tiny: force multi-run behaviour
+  options.max_runs = 3;
+  auto store = LsmKv::Open(options);
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  fixture.store = std::move(*store);
+  return fixture;
+}
+
+class KvConformanceTest : public ::testing::TestWithParam<StoreKind> {};
+
+TEST_P(KvConformanceTest, PutGetOverwrite) {
+  auto fixture = MakeStore(GetParam(), "pgo");
+  auto& store = *fixture.store;
+  ASSERT_OK(store.Put("a", "1"));
+  ASSERT_OK(store.Put("b", "2"));
+  ASSERT_OK(store.Put("a", "3"));
+  EXPECT_EQ(*store.Get("a"), "3");
+  EXPECT_EQ(*store.Get("b"), "2");
+  EXPECT_TRUE(store.Get("c").status().IsNotFound());
+}
+
+TEST_P(KvConformanceTest, DeleteHidesKey) {
+  auto fixture = MakeStore(GetParam(), "del");
+  auto& store = *fixture.store;
+  ASSERT_OK(store.Put("k", "v"));
+  ASSERT_OK(store.Delete("k"));
+  EXPECT_TRUE(store.Get("k").status().IsNotFound());
+  ASSERT_OK(store.Put("k", "v2"));
+  EXPECT_EQ(*store.Get("k"), "v2");
+}
+
+TEST_P(KvConformanceTest, IteratorScansInOrder) {
+  auto fixture = MakeStore(GetParam(), "scan");
+  auto& store = *fixture.store;
+  for (int i = 99; i >= 0; --i) {
+    ASSERT_OK(store.Put(StringPrintf("key%03d", i), std::to_string(i)));
+  }
+  auto it = store.NewIterator();
+  int count = 0;
+  std::string prev;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    EXPECT_GT(std::string(it->key()), prev);
+    prev = std::string(it->key());
+    ++count;
+  }
+  EXPECT_EQ(count, 100);
+}
+
+TEST_P(KvConformanceTest, SeekFindsLowerBound) {
+  auto fixture = MakeStore(GetParam(), "seek");
+  auto& store = *fixture.store;
+  ASSERT_OK(store.Put("b", "1"));
+  ASSERT_OK(store.Put("d", "2"));
+  ASSERT_OK(store.Put("f", "3"));
+  auto it = store.NewIterator();
+  it->Seek("c");
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key(), "d");
+  it->Seek("f");
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key(), "f");
+  it->Seek("g");
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST_P(KvConformanceTest, CountMatchesLiveKeys) {
+  auto fixture = MakeStore(GetParam(), "count");
+  auto& store = *fixture.store;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_OK(store.Put("k" + std::to_string(i), "v"));
+  }
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(store.Delete("k" + std::to_string(i)));
+  }
+  EXPECT_EQ(*store.Count(), 40u);
+}
+
+TEST_P(KvConformanceTest, RandomizedAgainstStdMap) {
+  auto fixture = MakeStore(GetParam(), "rand");
+  auto& store = *fixture.store;
+  std::map<std::string, std::string> model;
+  Random rng(2024);
+  for (int op = 0; op < 2000; ++op) {
+    const std::string key = "k" + std::to_string(rng.Uniform(200));
+    if (rng.Uniform(4) == 0) {
+      ASSERT_OK(store.Delete(key));
+      model.erase(key);
+    } else {
+      const std::string value = "v" + std::to_string(rng.Next() % 100000);
+      ASSERT_OK(store.Put(key, value));
+      model[key] = value;
+    }
+  }
+  // Point lookups agree.
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    auto got = store.Get(key);
+    auto want = model.find(key);
+    if (want == model.end()) {
+      EXPECT_TRUE(got.status().IsNotFound()) << key;
+    } else {
+      ASSERT_TRUE(got.ok()) << key << ": " << got.status().ToString();
+      EXPECT_EQ(*got, want->second) << key;
+    }
+  }
+  // Full scan agrees.
+  auto it = store.NewIterator();
+  auto want = model.begin();
+  for (it->SeekToFirst(); it->Valid(); it->Next(), ++want) {
+    ASSERT_NE(want, model.end());
+    EXPECT_EQ(it->key(), want->first);
+    EXPECT_EQ(it->value(), want->second);
+  }
+  EXPECT_EQ(want, model.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStores, KvConformanceTest,
+                         ::testing::Values(StoreKind::kMem, StoreKind::kLsm),
+                         [](const auto& info) {
+                           return info.param == StoreKind::kMem ? "MemKv"
+                                                                : "LsmKv";
+                         });
+
+// ---------- SSTable-specific tests ----------
+
+TEST(SstableTest, WriteReadRoundTrip) {
+  ScopedDfs dfs("sst_rt");
+  ASSERT_OK_AND_ASSIGN(auto writer, SstableWriter::Create(dfs.get(), "/t.sst"));
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK(writer->Add(StringPrintf("k%03d", i), "value" + std::to_string(i)));
+  }
+  ASSERT_OK(writer->Finish());
+
+  ASSERT_OK_AND_ASSIGN(auto reader, SstableReader::Open(dfs.get(), "/t.sst"));
+  EXPECT_EQ(reader->num_records(), 100u);
+  bool deleted = false;
+  EXPECT_EQ(*reader->Get("k042", &deleted), "value42");
+  EXPECT_FALSE(deleted);
+  EXPECT_TRUE(reader->Get("nope", &deleted).status().IsNotFound());
+  EXPECT_TRUE(reader->Get("k0425", &deleted).status().IsNotFound());
+}
+
+TEST(SstableTest, RejectsOutOfOrderKeys) {
+  ScopedDfs dfs("sst_order");
+  ASSERT_OK_AND_ASSIGN(auto writer, SstableWriter::Create(dfs.get(), "/t.sst"));
+  ASSERT_OK(writer->Add("b", "1"));
+  EXPECT_FALSE(writer->Add("a", "2").ok());
+  EXPECT_FALSE(writer->Add("b", "dup").ok());
+}
+
+TEST(SstableTest, TombstonesSurfaceInGet) {
+  ScopedDfs dfs("sst_tomb");
+  ASSERT_OK_AND_ASSIGN(auto writer, SstableWriter::Create(dfs.get(), "/t.sst"));
+  ASSERT_OK(writer->Add("dead", "", /*tombstone=*/true));
+  ASSERT_OK(writer->Add("live", "v"));
+  ASSERT_OK(writer->Finish());
+  ASSERT_OK_AND_ASSIGN(auto reader, SstableReader::Open(dfs.get(), "/t.sst"));
+  bool deleted = false;
+  ASSERT_OK(reader->Get("dead", &deleted).status());
+  EXPECT_TRUE(deleted);
+  EXPECT_EQ(*reader->Get("live", &deleted), "v");
+  EXPECT_FALSE(deleted);
+}
+
+TEST(SstableTest, CorruptMagicRejected) {
+  ScopedDfs dfs("sst_corrupt");
+  ASSERT_OK_AND_ASSIGN(auto writer, dfs->Create("/junk.sst"));
+  ASSERT_OK(writer->Append(std::string(64, 'q')));
+  ASSERT_OK(writer->Close());
+  EXPECT_TRUE(SstableReader::Open(dfs.get(), "/junk.sst").status().IsCorruption());
+}
+
+// ---------- LSM-specific tests ----------
+
+TEST(LsmKvTest, FlushCreatesRunsAndCompactionBoundsThem) {
+  ScopedDfs dfs("lsm_runs");
+  LsmKv::Options options;
+  options.dfs = dfs.get();
+  options.dir = "/kv";
+  options.memtable_flush_bytes = 128;
+  options.max_runs = 2;
+  ASSERT_OK_AND_ASSIGN(auto store, LsmKv::Open(options));
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_OK(store->Put(StringPrintf("key%04d", i), std::string(16, 'v')));
+  }
+  EXPECT_LE(store->NumRuns(), options.max_runs + 1);
+  EXPECT_EQ(*store->Count(), 500u);
+}
+
+TEST(LsmKvTest, RecoversFromWalAndRuns) {
+  ScopedDfs dfs("lsm_recover");
+  LsmKv::Options options;
+  options.dfs = dfs.get();
+  options.dir = "/kv";
+  options.memtable_flush_bytes = 200;
+  {
+    ASSERT_OK_AND_ASSIGN(auto store, LsmKv::Open(options));
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_OK(store->Put(StringPrintf("key%03d", i), std::to_string(i)));
+    }
+    ASSERT_OK(store->Delete("key050"));
+    // No explicit flush/close: destructor just closes the WAL handle.
+  }
+  ASSERT_OK_AND_ASSIGN(auto store, LsmKv::Open(options));
+  EXPECT_EQ(*store->Get("key099"), "99");
+  EXPECT_TRUE(store->Get("key050").status().IsNotFound());
+  EXPECT_EQ(*store->Count(), 99u);
+}
+
+TEST(LsmKvTest, CompactMergesToSingleRun) {
+  ScopedDfs dfs("lsm_compact");
+  LsmKv::Options options;
+  options.dfs = dfs.get();
+  options.dir = "/kv";
+  options.memtable_flush_bytes = 100;
+  options.max_runs = 100;  // no automatic compaction
+  ASSERT_OK_AND_ASSIGN(auto store, LsmKv::Open(options));
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_OK(store->Put(StringPrintf("key%04d", i % 50), std::to_string(i)));
+  }
+  ASSERT_OK(store->Delete("key0000"));
+  ASSERT_OK(store->Compact());
+  EXPECT_EQ(store->NumRuns(), 1);
+  EXPECT_EQ(*store->Count(), 49u);
+  EXPECT_TRUE(store->Get("key0000").status().IsNotFound());
+  // Newest value wins after merge: key0001 was last written at i=251.
+  EXPECT_EQ(*store->Get("key0001"), "251");
+}
+
+TEST(LsmKvTest, ApproximateSizeGrowsWithData) {
+  ScopedDfs dfs("lsm_size");
+  LsmKv::Options options;
+  options.dfs = dfs.get();
+  options.dir = "/kv";
+  ASSERT_OK_AND_ASSIGN(auto store, LsmKv::Open(options));
+  ASSERT_OK_AND_ASSIGN(uint64_t empty, store->ApproximateSizeBytes());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK(store->Put("key" + std::to_string(i), std::string(100, 'x')));
+  }
+  ASSERT_OK_AND_ASSIGN(uint64_t full, store->ApproximateSizeBytes());
+  EXPECT_GT(full, empty + 100 * 100);
+}
+
+}  // namespace
+}  // namespace dgf::kv

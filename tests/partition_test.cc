@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "table/partition.h"
+#include "tests/test_util.h"
+
+namespace dgf::table {
+namespace {
+
+using ::dgf::testing::ScopedDfs;
+
+Schema MeterSchema() {
+  return Schema({{"userId", DataType::kInt64},
+                 {"regionId", DataType::kInt64},
+                 {"time", DataType::kDate},
+                 {"powerConsumed", DataType::kDouble}});
+}
+
+Row MakeRow(int64_t user, int64_t region, int64_t day, double power) {
+  return {Value::Int64(user), Value::Int64(region), Value::Date(day),
+          Value::Double(power)};
+}
+
+TEST(PartitionTest, RoutesRowsToValueDirectories) {
+  ScopedDfs dfs("part_route");
+  TableDesc desc{"meter", MeterSchema(), FileFormat::kText, "/w/meter"};
+  ASSERT_OK_AND_ASSIGN(auto table,
+                       PartitionedTable::Create(dfs.get(), desc, {"time"}));
+  for (int day = 0; day < 3; ++day) {
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_OK(table->Append(MakeRow(i, 1, 15000 + day, 1.0)));
+    }
+  }
+  ASSERT_OK(table->Close());
+  EXPECT_EQ(table->NumPartitions(), 3);
+  auto dirs = table->PartitionDirs();
+  ASSERT_EQ(dirs.size(), 3u);
+  EXPECT_EQ(dirs[0], "/w/meter/time=2011-01-26");  // day 15000
+}
+
+TEST(PartitionTest, MultiLevelPartitioning) {
+  ScopedDfs dfs("part_multi");
+  TableDesc desc{"meter", MeterSchema(), FileFormat::kText, "/w/meter"};
+  ASSERT_OK_AND_ASSIGN(
+      auto table,
+      PartitionedTable::Create(dfs.get(), desc, {"time", "regionId"}));
+  for (int day = 0; day < 2; ++day) {
+    for (int region = 1; region <= 4; ++region) {
+      ASSERT_OK(table->Append(MakeRow(region, region, 15000 + day, 1.0)));
+    }
+  }
+  ASSERT_OK(table->Close());
+  EXPECT_EQ(table->NumPartitions(), 8);  // 2 days x 4 regions
+}
+
+TEST(PartitionTest, PruningSkipsNonMatchingPartitions) {
+  ScopedDfs dfs("part_prune");
+  TableDesc desc{"meter", MeterSchema(), FileFormat::kText, "/w/meter"};
+  ASSERT_OK_AND_ASSIGN(
+      auto table,
+      PartitionedTable::Create(dfs.get(), desc, {"time", "regionId"}));
+  Random rng(3);
+  int matching_rows = 0;
+  for (int day = 0; day < 5; ++day) {
+    for (int region = 1; region <= 3; ++region) {
+      for (int i = 0; i < 20; ++i) {
+        ASSERT_OK(table->Append(
+            MakeRow(rng.UniformRange(0, 99), region, 15000 + day, 1.0)));
+        if (day == 2 && region == 2) ++matching_rows;
+      }
+    }
+  }
+  ASSERT_OK(table->Close());
+
+  query::Predicate pred;
+  pred.And(query::ColumnRange::Equal("time", Value::Date(15002)));
+  pred.And(query::ColumnRange::Equal("regionId", Value::Int64(2)));
+  int64_t pruned = 0;
+  ASSERT_OK_AND_ASSIGN(auto splits, table->PrunedSplits(pred, 0, &pruned));
+  EXPECT_EQ(pruned, 14);  // 15 partitions, 1 survives
+
+  // Surviving splits hold exactly the matching rows.
+  int rows = 0;
+  for (const auto& split : splits) {
+    TableDesc part = desc;
+    ASSERT_OK_AND_ASSIGN(auto reader, OpenSplitReader(dfs.get(), part, split));
+    Row row;
+    for (;;) {
+      ASSERT_OK_AND_ASSIGN(bool more, reader->Next(&row));
+      if (!more) break;
+      EXPECT_EQ(row[1].int64(), 2);
+      EXPECT_EQ(row[2].int64(), 15002);
+      ++rows;
+    }
+  }
+  EXPECT_EQ(rows, matching_rows);
+}
+
+TEST(PartitionTest, RangePredicatePrunesPartially) {
+  ScopedDfs dfs("part_range");
+  TableDesc desc{"meter", MeterSchema(), FileFormat::kText, "/w/meter"};
+  ASSERT_OK_AND_ASSIGN(auto table,
+                       PartitionedTable::Create(dfs.get(), desc, {"time"}));
+  for (int day = 0; day < 10; ++day) {
+    ASSERT_OK(table->Append(MakeRow(day, 1, 15000 + day, 1.0)));
+  }
+  ASSERT_OK(table->Close());
+  query::Predicate pred;
+  pred.And(query::ColumnRange::Between("time", Value::Date(15003), true,
+                                       Value::Date(15006), false));
+  int64_t pruned = 0;
+  ASSERT_OK_AND_ASSIGN(auto splits, table->PrunedSplits(pred, 0, &pruned));
+  EXPECT_EQ(pruned, 7);
+  EXPECT_EQ(splits.size(), 3u);
+}
+
+TEST(PartitionTest, UnrelatedPredicateKeepsEverything) {
+  ScopedDfs dfs("part_unrelated");
+  TableDesc desc{"meter", MeterSchema(), FileFormat::kText, "/w/meter"};
+  ASSERT_OK_AND_ASSIGN(auto table,
+                       PartitionedTable::Create(dfs.get(), desc, {"time"}));
+  for (int day = 0; day < 4; ++day) {
+    ASSERT_OK(table->Append(MakeRow(day, 1, 15000 + day, 1.0)));
+  }
+  ASSERT_OK(table->Close());
+  query::Predicate pred;
+  pred.And(query::ColumnRange::Equal("userId", Value::Int64(1)));
+  int64_t pruned = 0;
+  ASSERT_OK_AND_ASSIGN(auto splits, table->PrunedSplits(pred, 0, &pruned));
+  EXPECT_EQ(pruned, 0);
+  EXPECT_EQ(splits.size(), 4u);
+}
+
+TEST(PartitionTest, NameNodeMetadataGrowsWithPartitions) {
+  // The paper's Section 2.2 argument: multidimensional partitioning creates
+  // directory counts that overwhelm the NameNode (150 bytes per object).
+  ScopedDfs dfs("part_namenode");
+  TableDesc desc{"meter", MeterSchema(), FileFormat::kText, "/w/meter"};
+  ASSERT_OK_AND_ASSIGN(
+      auto table,
+      PartitionedTable::Create(dfs.get(), desc, {"time", "regionId"}));
+  const uint64_t before = dfs->MetadataMemoryBytes();
+  const int kDays = 10, kRegions = 10;
+  for (int day = 0; day < kDays; ++day) {
+    for (int region = 1; region <= kRegions; ++region) {
+      ASSERT_OK(table->Append(MakeRow(0, region, 15000 + day, 1.0)));
+    }
+  }
+  ASSERT_OK(table->Close());
+  const uint64_t after = dfs->MetadataMemoryBytes();
+  // 100 leaf partitions, each >= 1 directory + 1 file + 1 block, plus the 10
+  // intermediate day directories.
+  EXPECT_GE(after - before, 150u * (3u * kDays * kRegions + kDays));
+}
+
+TEST(PartitionTest, RejectsUnknownPartitionColumn) {
+  ScopedDfs dfs("part_bad");
+  TableDesc desc{"meter", MeterSchema(), FileFormat::kText, "/w/meter"};
+  EXPECT_FALSE(PartitionedTable::Create(dfs.get(), desc, {"nope"}).ok());
+  EXPECT_FALSE(PartitionedTable::Create(dfs.get(), desc, {}).ok());
+}
+
+TEST(PartitionTest, ParsePartitionPathRoundTrip) {
+  ScopedDfs dfs("part_parse");
+  TableDesc desc{"meter", MeterSchema(), FileFormat::kText, "/w/meter"};
+  ASSERT_OK_AND_ASSIGN(
+      auto table,
+      PartitionedTable::Create(dfs.get(), desc, {"time", "regionId"}));
+  ASSERT_OK_AND_ASSIGN(
+      auto values,
+      table->ParsePartitionPath("/w/meter/time=2012-12-30/regionId=7"));
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0], Value::Date(15704));
+  EXPECT_EQ(values[1], Value::Int64(7));
+  EXPECT_FALSE(table->ParsePartitionPath("/elsewhere/time=1").ok());
+  EXPECT_FALSE(table->ParsePartitionPath("/w/meter/oops=1/regionId=2").ok());
+}
+
+}  // namespace
+}  // namespace dgf::table

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dgf/policy_advisor.h"
+#include "query/predicate.h"
+#include "tests/test_util.h"
+
+namespace dgf::core {
+namespace {
+
+using table::DataType;
+using table::Value;
+
+PolicyAdvisor::DimensionStats UserStats() {
+  return {"userId", DataType::kInt64, 0, 1e6, 1e6};
+}
+PolicyAdvisor::DimensionStats RegionStats() {
+  return {"regionId", DataType::kInt64, 1, 11, 11};
+}
+PolicyAdvisor::DimensionStats TimeStats() {
+  return {"time", DataType::kDate, 15675, 15705, 30};
+}
+
+query::Predicate RangeQuery(int64_t u_lo, int64_t u_hi, int64_t t_lo,
+                            int64_t t_hi) {
+  query::Predicate pred;
+  pred.And(query::ColumnRange::Between("userId", Value::Int64(u_lo), true,
+                                       Value::Int64(u_hi), false));
+  pred.And(query::ColumnRange::Between("time", Value::Date(t_lo), true,
+                                       Value::Date(t_hi), false));
+  return pred;
+}
+
+TEST(PolicyAdvisorTest, RequiresDimensionsAndHistory) {
+  PolicyAdvisor empty({}, {});
+  EXPECT_FALSE(empty.Recommend({RangeQuery(0, 1, 0, 1)}).ok());
+  PolicyAdvisor advisor({UserStats()}, {});
+  EXPECT_FALSE(advisor.Recommend({}).ok());
+}
+
+TEST(PolicyAdvisorTest, RespectsCellBudget) {
+  PolicyAdvisor::Options options;
+  options.max_cells = 5000;
+  PolicyAdvisor advisor({UserStats(), RegionStats(), TimeStats()}, options);
+  std::vector<query::Predicate> history = {RangeQuery(0, 50000, 15675, 15690)};
+  ASSERT_OK_AND_ASSIGN(auto rec, advisor.Recommend(history));
+  EXPECT_LE(rec.expected_cells, options.max_cells * 1.01);
+  ASSERT_EQ(rec.dims.size(), 3u);
+  for (const auto& dim : rec.dims) EXPECT_GT(dim.interval, 0);
+}
+
+TEST(PolicyAdvisorTest, NarrowQueriesGetFinerIntervals) {
+  PolicyAdvisor::Options options;
+  options.max_cells = 1e7;
+  PolicyAdvisor advisor({UserStats(), TimeStats()}, options);
+  // History A: tiny userId windows -> expect fine userId intervals.
+  std::vector<query::Predicate> narrow;
+  for (int i = 0; i < 5; ++i) {
+    narrow.push_back(RangeQuery(i * 1000, i * 1000 + 500, 15675, 15705));
+  }
+  ASSERT_OK_AND_ASSIGN(auto narrow_rec, advisor.Recommend(narrow));
+  // History B: near-full-domain windows -> coarse userId intervals suffice.
+  std::vector<query::Predicate> wide;
+  for (int i = 0; i < 5; ++i) {
+    wide.push_back(RangeQuery(0, 900000, 15675, 15705));
+  }
+  ASSERT_OK_AND_ASSIGN(auto wide_rec, advisor.Recommend(wide));
+  EXPECT_LT(narrow_rec.dims[0].interval, wide_rec.dims[0].interval);
+}
+
+TEST(PolicyAdvisorTest, RecommendationBeatsExtremes) {
+  PolicyAdvisor::Options options;
+  options.max_cells = 1e6;
+  PolicyAdvisor advisor({UserStats(), RegionStats(), TimeStats()}, options);
+  std::vector<query::Predicate> history;
+  for (int i = 0; i < 4; ++i) {
+    history.push_back(RangeQuery(i * 10000, i * 10000 + 50000, 15680, 15695));
+  }
+  ASSERT_OK_AND_ASSIGN(auto rec, advisor.Recommend(history));
+
+  auto avg_cost = [&](const std::vector<double>& intervals) {
+    double total = 0;
+    for (const auto& pred : history) total += advisor.QueryCost(intervals, pred);
+    return total / history.size();
+  };
+  std::vector<double> recommended;
+  for (const auto& dim : rec.dims) recommended.push_back(dim.interval);
+  // One giant cell per dimension (coarsest legal grid).
+  const double coarse = avg_cost({1e6, 11, 30});
+  EXPECT_LE(rec.expected_query_cost, coarse + 1e-12);
+  EXPECT_NEAR(rec.expected_query_cost, avg_cost(recommended), 1e-9);
+}
+
+TEST(PolicyAdvisorTest, IntegerDimensionsGetIntegralIntervals) {
+  PolicyAdvisor advisor({UserStats(), TimeStats()}, {});
+  ASSERT_OK_AND_ASSIGN(auto rec,
+                       advisor.Recommend({RangeQuery(0, 100, 15675, 15677)}));
+  for (const auto& dim : rec.dims) {
+    EXPECT_EQ(dim.interval, std::floor(dim.interval)) << dim.column;
+  }
+}
+
+TEST(PolicyAdvisorTest, CoordinateDescentHandlesManyDims) {
+  std::vector<PolicyAdvisor::DimensionStats> stats = {
+      UserStats(), RegionStats(), TimeStats(),
+      {"powerConsumed", DataType::kDouble, 0, 500, 1e5}};
+  PolicyAdvisor::Options options;
+  options.max_cells = 1e6;
+  PolicyAdvisor advisor(stats, options);
+  query::Predicate pred = RangeQuery(0, 1000, 15675, 15680);
+  pred.And(query::ColumnRange::Between("powerConsumed", Value::Double(10), true,
+                                       Value::Double(20), false));
+  ASSERT_OK_AND_ASSIGN(auto rec, advisor.Recommend({pred}));
+  EXPECT_EQ(rec.dims.size(), 4u);
+  EXPECT_LE(rec.expected_cells, options.max_cells * 1.01);
+}
+
+}  // namespace
+}  // namespace dgf::core

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "common/hyperloglog.h"
+#include "common/random.h"
+#include "table/statistics.h"
+#include "tests/test_util.h"
+#include "workload/meter_gen.h"
+
+namespace dgf {
+namespace {
+
+using ::dgf::testing::ScopedDfs;
+
+// ---------- HyperLogLog ----------
+
+TEST(HyperLogLogTest, EmptyEstimatesZero) {
+  HyperLogLog hll;
+  EXPECT_LT(hll.Estimate(), 1.0);
+}
+
+TEST(HyperLogLogTest, ExactlyDistinctSmallSets) {
+  HyperLogLog hll;
+  for (int i = 0; i < 100; ++i) hll.Add("item" + std::to_string(i));
+  // Small-range linear counting is near-exact here.
+  EXPECT_NEAR(hll.Estimate(), 100.0, 5.0);
+}
+
+TEST(HyperLogLogTest, DuplicatesDoNotInflate) {
+  HyperLogLog hll;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 200; ++i) hll.Add("key" + std::to_string(i));
+  }
+  EXPECT_NEAR(hll.Estimate(), 200.0, 10.0);
+}
+
+class HllCardinalitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HllCardinalitySweep, WithinFivePercent) {
+  const int n = GetParam();
+  HyperLogLog hll(12);
+  for (int i = 0; i < n; ++i) hll.Add("value_" + std::to_string(i));
+  const double estimate = hll.Estimate();
+  EXPECT_NEAR(estimate, n, 0.05 * n) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cardinalities, HllCardinalitySweep,
+                         ::testing::Values(1000, 10000, 100000, 500000));
+
+TEST(HyperLogLogTest, MergeEqualsUnion) {
+  HyperLogLog a(12), b(12), merged(12);
+  for (int i = 0; i < 20000; ++i) {
+    a.Add("a" + std::to_string(i));
+    merged.Add("a" + std::to_string(i));
+  }
+  for (int i = 0; i < 20000; ++i) {
+    b.Add("b" + std::to_string(i));
+    merged.Add("b" + std::to_string(i));
+  }
+  a.Merge(b);
+  EXPECT_NEAR(a.Estimate(), merged.Estimate(), 1e-9);
+  EXPECT_NEAR(a.Estimate(), 40000.0, 2000.0);
+}
+
+// ---------- AnalyzeTable ----------
+
+TEST(AnalyzeTableTest, ComputesColumnStats) {
+  ScopedDfs dfs("stats_basic", 16384);
+  workload::MeterConfig config;
+  config.num_users = 500;
+  config.num_days = 10;
+  config.num_regions = 7;
+  config.extra_metrics = 1;
+  ASSERT_OK_AND_ASSIGN(auto meter, workload::GenerateMeterTable(
+                                       dfs.get(), "/w/meter", config));
+  ASSERT_OK_AND_ASSIGN(auto stats, table::AnalyzeTable(dfs.get(), meter));
+
+  EXPECT_EQ(stats.num_rows, static_cast<uint64_t>(config.TotalRows()));
+  EXPECT_GT(stats.avg_row_bytes, 10.0);
+
+  ASSERT_OK_AND_ASSIGN(const auto* user, stats.Column("userId"));
+  EXPECT_DOUBLE_EQ(user->min, 0);
+  EXPECT_DOUBLE_EQ(user->max, 499);
+  EXPECT_NEAR(user->distinct, 500, 25);
+
+  ASSERT_OK_AND_ASSIGN(const auto* region, stats.Column("regionId"));
+  EXPECT_GE(region->min, 1);
+  EXPECT_LE(region->max, 7);
+  EXPECT_NEAR(region->distinct, 7, 1);
+
+  ASSERT_OK_AND_ASSIGN(const auto* time, stats.Column("time"));
+  EXPECT_NEAR(time->distinct, 10, 1);
+  EXPECT_DOUBLE_EQ(time->max - time->min, 9);
+}
+
+TEST(AnalyzeTableTest, FeedsPolicyAdvisor) {
+  // End-to-end future-work path: ANALYZE -> advisor -> valid policy.
+  ScopedDfs dfs("stats_advisor", 16384);
+  workload::MeterConfig config;
+  config.num_users = 400;
+  config.num_days = 8;
+  config.extra_metrics = 0;
+  ASSERT_OK_AND_ASSIGN(auto meter, workload::GenerateMeterTable(
+                                       dfs.get(), "/w/meter", config));
+  ASSERT_OK_AND_ASSIGN(auto stats, table::AnalyzeTable(dfs.get(), meter));
+
+  std::vector<core::PolicyAdvisor::DimensionStats> dims;
+  for (const char* column : {"userId", "regionId", "time"}) {
+    ASSERT_OK_AND_ASSIGN(auto dim, stats.AdvisorDimension(column));
+    dims.push_back(dim);
+  }
+  core::PolicyAdvisor::Options options;
+  options.total_records = static_cast<double>(stats.num_rows);
+  options.record_bytes = stats.avg_row_bytes;
+  core::PolicyAdvisor advisor(dims, options);
+
+  query::Predicate pred;
+  pred.And(query::ColumnRange::Between("userId", table::Value::Int64(10), true,
+                                       table::Value::Int64(50), false));
+  ASSERT_OK_AND_ASSIGN(auto rec, advisor.Recommend({pred}));
+  EXPECT_EQ(rec.dims.size(), 3u);
+  // The recommendation is a valid splitting policy for the schema.
+  ASSERT_OK(core::SplittingPolicy::Create(rec.dims, meter.schema).status());
+}
+
+TEST(AnalyzeTableTest, RejectsStringAdvisorDimension) {
+  ScopedDfs dfs("stats_str", 16384);
+  workload::MeterConfig config;
+  config.num_users = 20;
+  config.num_days = 1;
+  ASSERT_OK_AND_ASSIGN(auto users, workload::GenerateUserInfoTable(
+                                       dfs.get(), "/w/users", config));
+  ASSERT_OK_AND_ASSIGN(auto stats, table::AnalyzeTable(dfs.get(), users));
+  EXPECT_EQ(stats.AdvisorDimension("userName").status().code(),
+            StatusCode::kNotSupported);
+  EXPECT_TRUE(stats.Column("ghost").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace dgf

@@ -1,0 +1,354 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "table/rc_format.h"
+#include "table/schema.h"
+#include "table/table.h"
+#include "table/text_format.h"
+#include "table/value.h"
+#include "tests/test_util.h"
+
+namespace dgf::table {
+namespace {
+
+using ::dgf::testing::ScopedDfs;
+
+Schema TestSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"amount", DataType::kDouble},
+                 {"name", DataType::kString},
+                 {"day", DataType::kDate}});
+}
+
+Row MakeRow(int64_t id, double amount, const std::string& name, int64_t day) {
+  return {Value::Int64(id), Value::Double(amount), Value::String(name),
+          Value::Date(day)};
+}
+
+// ---------- Value / date tests ----------
+
+TEST(ValueTest, CompareWithinTypes) {
+  EXPECT_LT(Value::Int64(1), Value::Int64(2));
+  EXPECT_EQ(Value::Double(2.5), Value::Double(2.5));
+  EXPECT_GT(Value::String("b"), Value::String("a"));
+  EXPECT_LT(Value::Date(10), Value::Date(11));
+}
+
+TEST(ValueTest, CrossNumericCompare) {
+  EXPECT_LT(Value::Int64(1), Value::Double(1.5));
+  EXPECT_EQ(Value::Int64(2), Value::Double(2.0));
+  EXPECT_GT(Value::Date(3), Value::Int64(2));
+}
+
+TEST(ValueTest, TextRoundTrip) {
+  EXPECT_EQ(Value::Int64(-42).ToText(), "-42");
+  EXPECT_EQ(Value::String("hi").ToText(), "hi");
+  EXPECT_EQ(Value::Date(0).ToText(), "1970-01-01");
+  ASSERT_OK_AND_ASSIGN(Value v, ParseValue("3.5", DataType::kDouble));
+  EXPECT_DOUBLE_EQ(v.dbl(), 3.5);
+}
+
+TEST(DateTest, KnownDates) {
+  EXPECT_EQ(DaysFromCivil(1970, 1, 1), 0);
+  EXPECT_EQ(DaysFromCivil(1970, 1, 2), 1);
+  EXPECT_EQ(DaysFromCivil(2012, 12, 30), 15704);
+  EXPECT_EQ(FormatDate(15704), "2012-12-30");
+  EXPECT_EQ(*ParseDate("2013-01-01"), 15706);
+}
+
+TEST(DateTest, RoundTripSweep) {
+  for (int64_t day = -1000; day <= 40000; day += 137) {
+    ASSERT_OK_AND_ASSIGN(int64_t parsed, ParseDate(FormatDate(day)));
+    EXPECT_EQ(parsed, day);
+  }
+}
+
+TEST(DateTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseDate("2013-13-01").ok());
+  EXPECT_FALSE(ParseDate("2013-01").ok());
+  EXPECT_FALSE(ParseDate("yyyy-mm-dd").ok());
+}
+
+// ---------- Schema / row text ----------
+
+TEST(SchemaTest, FieldLookup) {
+  Schema schema = TestSchema();
+  EXPECT_EQ(*schema.FieldIndex("amount"), 1);
+  EXPECT_TRUE(schema.FieldIndex("nope").status().IsNotFound());
+  EXPECT_TRUE(schema.HasField("day"));
+}
+
+TEST(SchemaTest, RowTextRoundTrip) {
+  Schema schema = TestSchema();
+  Row row = MakeRow(7, 1.25, "alice", 15704);
+  const std::string line = FormatRowText(row);
+  EXPECT_EQ(line, "7|1.25|alice|2012-12-30");
+  ASSERT_OK_AND_ASSIGN(Row parsed, ParseRowText(line, schema));
+  EXPECT_EQ(parsed[0], row[0]);
+  EXPECT_EQ(parsed[1], row[1]);
+  EXPECT_EQ(parsed[2], row[2]);
+  EXPECT_EQ(parsed[3], row[3]);
+}
+
+TEST(SchemaTest, ParseRejectsWrongArity) {
+  EXPECT_FALSE(ParseRowText("1|2", TestSchema()).ok());
+}
+
+// ---------- Text format split semantics ----------
+
+TEST(TextFormatTest, SingleSplitReadsAll) {
+  ScopedDfs dfs("text_all");
+  Schema schema = TestSchema();
+  ASSERT_OK_AND_ASSIGN(auto writer,
+                       TextFileWriter::Create(dfs.get(), "/t.txt", schema));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(writer->Append(MakeRow(i, i * 0.5, "n" + std::to_string(i), i)));
+  }
+  ASSERT_OK(writer->Close());
+
+  ASSERT_OK_AND_ASSIGN(auto splits, dfs->GetSplits("/t.txt", 1 << 20));
+  ASSERT_EQ(splits.size(), 1u);
+  ASSERT_OK_AND_ASSIGN(auto reader,
+                       TextSplitReader::Open(dfs.get(), splits[0], schema));
+  Row row;
+  int count = 0;
+  for (;;) {
+    ASSERT_OK_AND_ASSIGN(bool more, reader->Next(&row));
+    if (!more) break;
+    EXPECT_EQ(row[0], Value::Int64(count));
+    ++count;
+  }
+  EXPECT_EQ(count, 10);
+}
+
+TEST(TextFormatTest, EveryRecordReadExactlyOnceAcrossSplits) {
+  // Property: for any split size, the union of all split readers yields each
+  // record exactly once — the Hadoop line-ownership invariant.
+  ScopedDfs dfs("text_splits");
+  Schema schema = TestSchema();
+  ASSERT_OK_AND_ASSIGN(auto writer,
+                       TextFileWriter::Create(dfs.get(), "/t.txt", schema));
+  const int kRows = 500;
+  for (int i = 0; i < kRows; ++i) {
+    ASSERT_OK(writer->Append(MakeRow(i, i * 1.5, "name" + std::to_string(i), i)));
+  }
+  ASSERT_OK(writer->Close());
+
+  for (uint64_t split_size : {64ULL, 100ULL, 377ULL, 1000ULL, 1ULL << 20}) {
+    ASSERT_OK_AND_ASSIGN(auto splits, dfs->GetSplits("/t.txt", split_size));
+    std::set<int64_t> seen;
+    for (const auto& split : splits) {
+      ASSERT_OK_AND_ASSIGN(auto reader,
+                           TextSplitReader::Open(dfs.get(), split, schema));
+      Row row;
+      for (;;) {
+        ASSERT_OK_AND_ASSIGN(bool more, reader->Next(&row));
+        if (!more) break;
+        EXPECT_TRUE(seen.insert(row[0].int64()).second)
+            << "duplicate id " << row[0].int64() << " split_size " << split_size;
+      }
+    }
+    EXPECT_EQ(seen.size(), static_cast<size_t>(kRows))
+        << "split_size " << split_size;
+  }
+}
+
+TEST(TextFormatTest, BlockOffsetIsLineStart) {
+  ScopedDfs dfs("text_offsets");
+  Schema schema({{"v", DataType::kString}});
+  ASSERT_OK_AND_ASSIGN(auto writer,
+                       TextFileWriter::Create(dfs.get(), "/t.txt", schema));
+  ASSERT_OK(writer->AppendLine("aa"));   // offset 0, 3 bytes with newline
+  ASSERT_OK(writer->AppendLine("bbb"));  // offset 3
+  ASSERT_OK(writer->AppendLine("c"));    // offset 7
+  ASSERT_OK(writer->Close());
+
+  fs::FileSplit split{"/t.txt", 0, 100};
+  ASSERT_OK_AND_ASSIGN(auto reader,
+                       TextSplitReader::Open(dfs.get(), split, schema));
+  std::string line;
+  ASSERT_OK_AND_ASSIGN(bool m1, reader->NextLine(&line));
+  ASSERT_TRUE(m1);
+  EXPECT_EQ(reader->CurrentBlockOffset(), 0u);
+  ASSERT_OK_AND_ASSIGN(bool m2, reader->NextLine(&line));
+  ASSERT_TRUE(m2);
+  EXPECT_EQ(reader->CurrentBlockOffset(), 3u);
+  ASSERT_OK_AND_ASSIGN(bool m3, reader->NextLine(&line));
+  ASSERT_TRUE(m3);
+  EXPECT_EQ(reader->CurrentBlockOffset(), 7u);
+}
+
+// ---------- RC format ----------
+
+class RcFormatSplitTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RcFormatSplitTest, EveryRecordReadExactlyOnce) {
+  ScopedDfs dfs("rc_splits");
+  Schema schema = TestSchema();
+  RcFileWriter::Options options;
+  options.rows_per_group = 16;
+  ASSERT_OK_AND_ASSIGN(
+      auto writer, RcFileWriter::Create(dfs.get(), "/t.rc", schema, options));
+  const int kRows = 400;
+  for (int i = 0; i < kRows; ++i) {
+    ASSERT_OK(writer->Append(MakeRow(i, i * 0.25, "n" + std::to_string(i), i)));
+  }
+  ASSERT_OK(writer->Close());
+
+  ASSERT_OK_AND_ASSIGN(auto splits, dfs->GetSplits("/t.rc", GetParam()));
+  std::set<int64_t> seen;
+  for (const auto& split : splits) {
+    ASSERT_OK_AND_ASSIGN(auto reader,
+                         RcSplitReader::Open(dfs.get(), split, schema));
+    Row row;
+    for (;;) {
+      ASSERT_OK_AND_ASSIGN(bool more, reader->Next(&row));
+      if (!more) break;
+      EXPECT_TRUE(seen.insert(row[0].int64()).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kRows));
+}
+
+INSTANTIATE_TEST_SUITE_P(SplitSizes, RcFormatSplitTest,
+                         ::testing::Values(200, 512, 1000, 4096, 1 << 20));
+
+TEST(RcFormatTest, ProjectionDecodesOnlyWantedColumns) {
+  ScopedDfs dfs("rc_proj");
+  Schema schema = TestSchema();
+  ASSERT_OK_AND_ASSIGN(auto writer,
+                       RcFileWriter::Create(dfs.get(), "/t.rc", schema));
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_OK(writer->Append(MakeRow(i, i * 2.0, "secret", i)));
+  }
+  ASSERT_OK(writer->Close());
+
+  fs::FileSplit split{"/t.rc", 0, 1 << 20};
+  ASSERT_OK_AND_ASSIGN(
+      auto reader,
+      RcSplitReader::Open(dfs.get(), split, schema, std::vector<int>{0, 1}));
+  Row row;
+  ASSERT_OK_AND_ASSIGN(bool more, reader->Next(&row));
+  ASSERT_TRUE(more);
+  EXPECT_EQ(row[0], Value::Int64(0));
+  EXPECT_DOUBLE_EQ(row[1].dbl(), 0.0);
+  EXPECT_EQ(row[2].str(), "");  // unprojected -> type default
+}
+
+TEST(RcFormatTest, RowInBlockOrdinals) {
+  ScopedDfs dfs("rc_ordinals");
+  Schema schema({{"v", DataType::kInt64}});
+  RcFileWriter::Options options;
+  options.rows_per_group = 4;
+  ASSERT_OK_AND_ASSIGN(
+      auto writer, RcFileWriter::Create(dfs.get(), "/t.rc", schema, options));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(writer->Append({Value::Int64(i)}));
+  }
+  ASSERT_OK(writer->Close());
+
+  fs::FileSplit split{"/t.rc", 0, 1 << 20};
+  ASSERT_OK_AND_ASSIGN(auto reader, RcSplitReader::Open(dfs.get(), split, schema));
+  Row row;
+  std::vector<uint64_t> ordinals;
+  std::set<uint64_t> group_offsets;
+  for (;;) {
+    ASSERT_OK_AND_ASSIGN(bool more, reader->Next(&row));
+    if (!more) break;
+    ordinals.push_back(reader->CurrentRowInBlock());
+    group_offsets.insert(reader->CurrentBlockOffset());
+  }
+  EXPECT_EQ(ordinals,
+            (std::vector<uint64_t>{0, 1, 2, 3, 0, 1, 2, 3, 0, 1}));
+  EXPECT_EQ(group_offsets.size(), 3u);  // 4+4+2 rows
+}
+
+TEST(RcFormatTest, RowFilterSelectsSpecificRows) {
+  ScopedDfs dfs("rc_filter");
+  Schema schema({{"v", DataType::kInt64}});
+  RcFileWriter::Options options;
+  options.rows_per_group = 5;
+  ASSERT_OK_AND_ASSIGN(
+      auto writer, RcFileWriter::Create(dfs.get(), "/t.rc", schema, options));
+  for (int i = 0; i < 15; ++i) {
+    ASSERT_OK(writer->Append({Value::Int64(i)}));
+  }
+  ASSERT_OK(writer->Close());
+
+  // Find the group offsets first.
+  fs::FileSplit split{"/t.rc", 0, 1 << 20};
+  std::vector<uint64_t> offsets;
+  {
+    ASSERT_OK_AND_ASSIGN(auto reader,
+                         RcSplitReader::Open(dfs.get(), split, schema));
+    Row row;
+    for (;;) {
+      ASSERT_OK_AND_ASSIGN(bool more, reader->Next(&row));
+      if (!more) break;
+      if (offsets.empty() || offsets.back() != reader->CurrentBlockOffset()) {
+        offsets.push_back(reader->CurrentBlockOffset());
+      }
+    }
+  }
+  ASSERT_EQ(offsets.size(), 3u);
+
+  // Select rows {1,3} of group 0 and row {2} of group 2; skip group 1.
+  ASSERT_OK_AND_ASSIGN(auto reader, RcSplitReader::Open(dfs.get(), split, schema));
+  reader->SetRowFilter({{offsets[0], {1, 3}}, {offsets[2], {2}}});
+  Row row;
+  std::vector<int64_t> got;
+  for (;;) {
+    ASSERT_OK_AND_ASSIGN(bool more, reader->Next(&row));
+    if (!more) break;
+    got.push_back(row[0].int64());
+  }
+  EXPECT_EQ(got, (std::vector<int64_t>{1, 3, 12}));
+}
+
+// ---------- Table / catalog ----------
+
+TEST(CatalogTest, CreateGetDrop) {
+  ScopedDfs dfs("catalog");
+  Catalog catalog(dfs.get());
+  TableDesc desc{"t", TestSchema(), FileFormat::kText, "/warehouse/t"};
+  ASSERT_OK(catalog.CreateTable(desc));
+  EXPECT_TRUE(catalog.CreateTable(desc).code() == StatusCode::kAlreadyExists);
+  ASSERT_OK_AND_ASSIGN(TableDesc got, catalog.GetTable("t"));
+  EXPECT_EQ(got.dir, "/warehouse/t");
+  ASSERT_OK(catalog.DropTable("t"));
+  EXPECT_TRUE(catalog.GetTable("t").status().IsNotFound());
+}
+
+TEST(TableWriterTest, RotatesFiles) {
+  ScopedDfs dfs("tw_rotate");
+  TableDesc desc{"t", TestSchema(), FileFormat::kText, "/warehouse/t"};
+  TableWriter::Options options;
+  options.max_file_bytes = 200;
+  ASSERT_OK_AND_ASSIGN(auto writer, TableWriter::Create(dfs.get(), desc, options));
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_OK(writer->Append(MakeRow(i, 1.0, "x", 0)));
+  }
+  ASSERT_OK(writer->Close());
+  EXPECT_GT(dfs->ListFiles("/warehouse/t/data-").size(), 1u);
+
+  // All rows come back through GetTableSplits + OpenSplitReader.
+  ASSERT_OK_AND_ASSIGN(auto splits, GetTableSplits(dfs.get(), desc));
+  std::set<int64_t> seen;
+  for (const auto& split : splits) {
+    ASSERT_OK_AND_ASSIGN(auto reader, OpenSplitReader(dfs.get(), desc, split));
+    Row row;
+    for (;;) {
+      ASSERT_OK_AND_ASSIGN(bool more, reader->Next(&row));
+      if (!more) break;
+      seen.insert(row[0].int64());
+    }
+  }
+  EXPECT_EQ(seen.size(), 50u);
+}
+
+}  // namespace
+}  // namespace dgf::table

@@ -1,0 +1,10 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  // Tests exercise error paths on purpose; keep routine logs quiet.
+  dgf::SetLogLevel(dgf::LogLevel::kWarn);
+  return RUN_ALL_TESTS();
+}

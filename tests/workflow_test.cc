@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "query/parser.h"
+#include "tests/test_util.h"
+#include "workflow/workflow.h"
+#include "workload/meter_gen.h"
+
+namespace dgf::workflow {
+namespace {
+
+using ::dgf::testing::ScopedDfs;
+
+struct ExecWorld {
+  std::unique_ptr<ScopedDfs> dfs;
+  table::TableDesc meter;
+  std::unique_ptr<query::QueryExecutor> executor;
+};
+
+ExecWorld MakeWorld(const std::string& tag) {
+  ExecWorld world;
+  world.dfs = std::make_unique<ScopedDfs>("wf_" + tag, 16384);
+  workload::MeterConfig config;
+  config.num_users = 100;
+  config.num_days = 4;
+  config.extra_metrics = 0;
+  auto meter = workload::GenerateMeterTable(world.dfs->get(), "/w/meter",
+                                            config);
+  EXPECT_TRUE(meter.ok());
+  world.meter = *meter;
+  query::QueryExecutor::Options options;
+  options.dfs = world.dfs->get();
+  options.split_size = 16384;
+  world.executor = std::make_unique<query::QueryExecutor>(options);
+  world.executor->RegisterTable(world.meter);
+  return world;
+}
+
+Action MakeAction(const ExecWorld& world, const std::string& name,
+                  const std::string& sql,
+                  std::vector<std::string> deps = {}) {
+  Action action;
+  action.name = name;
+  auto q = query::ParseQuery(sql, world.meter.schema);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  action.query = *q;
+  action.depends_on = std::move(deps);
+  return action;
+}
+
+Action BrokenAction(const std::string& name,
+                    std::vector<std::string> deps = {}) {
+  Action action;
+  action.name = name;
+  action.query.table = "no_such_table";
+  action.query.select.push_back(query::SelectItem::Aggregation(
+      *core::AggSpec::Parse("count(*)")));
+  action.depends_on = std::move(deps);
+  return action;
+}
+
+TEST(WorkflowTest, ValidatesDag) {
+  ExecWorld world = MakeWorld("validate");
+  const std::string sql = "SELECT count(*) FROM meterdata";
+  EXPECT_FALSE(Workflow::Create("empty", {}).ok());
+  EXPECT_FALSE(Workflow::Create("dup", {MakeAction(world, "a", sql),
+                                        MakeAction(world, "a", sql)})
+                   .ok());
+  EXPECT_FALSE(Workflow::Create("unknown", {MakeAction(world, "a", sql,
+                                                       {"ghost"})})
+                   .ok());
+  EXPECT_FALSE(Workflow::Create("cycle", {MakeAction(world, "a", sql, {"b"}),
+                                          MakeAction(world, "b", sql, {"a"})})
+                   .ok());
+}
+
+TEST(WorkflowTest, ExecutesInDependencyOrder) {
+  ExecWorld world = MakeWorld("order");
+  const std::string sql = "SELECT count(*) FROM meterdata";
+  ASSERT_OK_AND_ASSIGN(
+      auto workflow,
+      Workflow::Create("proc", {MakeAction(world, "load_check", sql),
+                                MakeAction(world, "daily_stats", sql,
+                                           {"load_check"}),
+                                MakeAction(world, "report", sql,
+                                           {"daily_stats", "load_check"})}));
+  ASSERT_OK_AND_ASSIGN(auto report, workflow.Run(world.executor.get()));
+  EXPECT_TRUE(report.succeeded);
+  ASSERT_EQ(report.actions.size(), 3u);
+  for (const auto& [name, outcome] : report.actions) {
+    EXPECT_EQ(outcome.state, ActionResult::State::kSucceeded) << name;
+    EXPECT_EQ(outcome.result.rows.size(), 1u);
+  }
+  EXPECT_GT(report.sequential_seconds, 0);
+  EXPECT_GT(report.critical_path_seconds, 0);
+  EXPECT_LE(report.critical_path_seconds, report.sequential_seconds + 1e-9);
+}
+
+TEST(WorkflowTest, FailurePropagatesToDependents) {
+  ExecWorld world = MakeWorld("fail");
+  const std::string sql = "SELECT count(*) FROM meterdata";
+  ASSERT_OK_AND_ASSIGN(
+      auto workflow,
+      Workflow::Create("proc", {BrokenAction("bad"),
+                                MakeAction(world, "downstream", sql, {"bad"}),
+                                MakeAction(world, "independent", sql)}));
+  ASSERT_OK_AND_ASSIGN(auto report, workflow.Run(world.executor.get()));
+  EXPECT_FALSE(report.succeeded);
+  EXPECT_EQ(report.actions.at("bad").state, ActionResult::State::kFailed);
+  EXPECT_FALSE(report.actions.at("bad").error.ok());
+  EXPECT_EQ(report.actions.at("downstream").state,
+            ActionResult::State::kSkipped);
+  EXPECT_EQ(report.actions.at("independent").state,
+            ActionResult::State::kSucceeded);
+}
+
+TEST(CoordinatorTest, FiresOnSchedule) {
+  ExecWorld world = MakeWorld("coord");
+  const std::string sql = "SELECT count(*) FROM meterdata";
+  ASSERT_OK_AND_ASSIGN(auto hourly,
+                       Workflow::Create("hourly", {MakeAction(world, "a", sql)}));
+  ASSERT_OK_AND_ASSIGN(auto daily,
+                       Workflow::Create("daily", {MakeAction(world, "b", sql)}));
+  Coordinator coordinator(world.executor.get());
+  coordinator.Schedule(std::move(hourly), /*period_s=*/3600);
+  coordinator.Schedule(std::move(daily), /*period_s=*/86400, /*first=*/100);
+
+  ASSERT_OK_AND_ASSIGN(auto firings, coordinator.RunUntil(4 * 3600.0));
+  // hourly at 0, 3600, 7200, 10800, 14400; daily at 100.
+  int hourly_count = 0, daily_count = 0;
+  double last_time = -1;
+  for (const auto& firing : firings) {
+    EXPECT_GE(firing.fire_time_s, last_time);  // time-ordered
+    last_time = firing.fire_time_s;
+    EXPECT_TRUE(firing.report.succeeded);
+    if (firing.workflow == "hourly") ++hourly_count;
+    if (firing.workflow == "daily") ++daily_count;
+  }
+  EXPECT_EQ(hourly_count, 5);
+  EXPECT_EQ(daily_count, 1);
+  EXPECT_DOUBLE_EQ(coordinator.now(), 4 * 3600.0);
+}
+
+TEST(CoordinatorTest, NothingDueReturnsEmpty) {
+  ExecWorld world = MakeWorld("idle");
+  const std::string sql = "SELECT count(*) FROM meterdata";
+  ASSERT_OK_AND_ASSIGN(auto wf,
+                       Workflow::Create("w", {MakeAction(world, "a", sql)}));
+  Coordinator coordinator(world.executor.get());
+  coordinator.Schedule(std::move(wf), 100, /*first=*/500);
+  ASSERT_OK_AND_ASSIGN(auto firings, coordinator.RunUntil(400));
+  EXPECT_TRUE(firings.empty());
+}
+
+}  // namespace
+}  // namespace dgf::workflow

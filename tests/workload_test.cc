@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "table/table.h"
+#include "tests/test_util.h"
+#include "workload/meter_gen.h"
+#include "workload/query_gen.h"
+#include "workload/tpch_gen.h"
+
+namespace dgf::workload {
+namespace {
+
+using ::dgf::testing::ScopedDfs;
+using table::Row;
+using table::Value;
+
+TEST(MeterGenTest, RowCountAndShape) {
+  MeterConfig config;
+  config.num_users = 50;
+  config.num_days = 4;
+  config.extra_metrics = 13;
+  int64_t count = 0;
+  ASSERT_OK(ForEachMeterRow(config, [&](const Row& row) {
+    EXPECT_EQ(static_cast<int>(row.size()), 17);  // the paper's 17 fields
+    ++count;
+    return Status::OK();
+  }));
+  EXPECT_EQ(count, config.TotalRows());
+}
+
+TEST(MeterGenTest, DeterministicForSeed) {
+  MeterConfig config;
+  config.num_users = 20;
+  config.num_days = 2;
+  std::vector<std::string> first, second;
+  ASSERT_OK(ForEachMeterRow(config, [&](const Row& row) {
+    first.push_back(table::FormatRowText(row));
+    return Status::OK();
+  }));
+  ASSERT_OK(ForEachMeterRow(config, [&](const Row& row) {
+    second.push_back(table::FormatRowText(row));
+    return Status::OK();
+  }));
+  EXPECT_EQ(first, second);
+}
+
+TEST(MeterGenTest, TimeSortedAndEachUserOncePerDay) {
+  MeterConfig config;
+  config.num_users = 100;
+  config.num_days = 3;
+  int64_t last_day = -1;
+  std::map<int64_t, std::set<int64_t>> users_per_day;
+  ASSERT_OK(ForEachMeterRow(config, [&](const Row& row) {
+    const int64_t day = row[2].int64();
+    EXPECT_GE(day, last_day);  // collection order: day-clustered
+    last_day = day;
+    EXPECT_TRUE(users_per_day[day].insert(row[0].int64()).second)
+        << "duplicate user " << row[0].int64() << " on day " << day;
+    return Status::OK();
+  }));
+  for (const auto& [day, users] : users_per_day) {
+    (void)day;
+    EXPECT_EQ(users.size(), 100u);
+  }
+}
+
+TEST(MeterGenTest, RegionsAreStableAndInRange) {
+  MeterConfig config;
+  config.num_regions = 11;
+  for (int64_t user = 0; user < 100; ++user) {
+    const int64_t region = RegionOfUser(config, user);
+    EXPECT_GE(region, 1);
+    EXPECT_LE(region, 11);
+    EXPECT_EQ(region, RegionOfUser(config, user));
+  }
+}
+
+TEST(MeterGenTest, GeneratesTableOnDfs) {
+  ScopedDfs dfs("mgen_table");
+  MeterConfig config;
+  config.num_users = 30;
+  config.num_days = 2;
+  ASSERT_OK_AND_ASSIGN(auto desc, GenerateMeterTable(dfs.get(), "/w/meter",
+                                                     config));
+  ASSERT_OK_AND_ASSIGN(uint64_t bytes, table::TableDataBytes(dfs.get(), desc));
+  EXPECT_GT(bytes, 0u);
+  ASSERT_OK_AND_ASSIGN(auto splits, table::GetTableSplits(dfs.get(), desc));
+  uint64_t rows = 0;
+  for (const auto& split : splits) {
+    ASSERT_OK_AND_ASSIGN(auto reader, table::OpenSplitReader(dfs.get(), desc, split));
+    Row row;
+    for (;;) {
+      ASSERT_OK_AND_ASSIGN(bool more, reader->Next(&row));
+      if (!more) break;
+      ++rows;
+    }
+  }
+  EXPECT_EQ(rows, static_cast<uint64_t>(config.TotalRows()));
+}
+
+TEST(MeterGenTest, UserInfoOneRowPerUser) {
+  ScopedDfs dfs("mgen_users");
+  MeterConfig config;
+  config.num_users = 25;
+  ASSERT_OK_AND_ASSIGN(auto desc,
+                       GenerateUserInfoTable(dfs.get(), "/w/users", config));
+  ASSERT_OK_AND_ASSIGN(auto splits, table::GetTableSplits(dfs.get(), desc));
+  std::set<int64_t> users;
+  for (const auto& split : splits) {
+    ASSERT_OK_AND_ASSIGN(auto reader, table::OpenSplitReader(dfs.get(), desc, split));
+    Row row;
+    for (;;) {
+      ASSERT_OK_AND_ASSIGN(bool more, reader->Next(&row));
+      if (!more) break;
+      EXPECT_TRUE(users.insert(row[0].int64()).second);
+      EXPECT_EQ(row[2].int64(), RegionOfUser(config, row[0].int64()));
+    }
+  }
+  EXPECT_EQ(users.size(), 25u);
+}
+
+TEST(MeterGenTest, RejectsBadConfig) {
+  MeterConfig config;
+  config.num_users = 0;
+  EXPECT_FALSE(
+      ForEachMeterRow(config, [](const Row&) { return Status::OK(); }).ok());
+}
+
+// ---------- TPC-H ----------
+
+TEST(TpchGenTest, DomainsFollowSpec) {
+  LineitemConfig config;
+  config.num_rows = 2000;
+  const int64_t lo = table::DaysFromCivil(1992, 1, 1);
+  const int64_t hi = table::DaysFromCivil(1998, 12, 2);
+  ASSERT_OK(ForEachLineitemRow(config, [&](const Row& row) {
+    EXPECT_EQ(row.size(), 16u);
+    const double quantity = row[4].dbl();
+    EXPECT_GE(quantity, 1.0);
+    EXPECT_LE(quantity, 50.0);
+    const double discount = row[6].dbl();
+    EXPECT_GE(discount, 0.0);
+    EXPECT_LE(discount, 0.10 + 1e-9);
+    EXPECT_GE(row[10].int64(), lo);
+    EXPECT_LE(row[10].int64(), hi);
+    return Status::OK();
+  }));
+}
+
+TEST(TpchGenTest, ShipdatesAreScatteredAcrossFileOrder) {
+  // The property that defeats the Compact Index: consecutive rows span the
+  // whole shipdate domain rather than being sorted.
+  LineitemConfig config;
+  config.num_rows = 1000;
+  int64_t prev = -1;
+  int64_t inversions = 0, total = 0;
+  ASSERT_OK(ForEachLineitemRow(config, [&](const Row& row) {
+    if (prev >= 0) {
+      ++total;
+      if (row[10].int64() < prev) ++inversions;
+    }
+    prev = row[10].int64();
+    return Status::OK();
+  }));
+  // Random order: about half the adjacent pairs are inverted.
+  EXPECT_GT(inversions, total / 4);
+}
+
+TEST(TpchGenTest, Q6PredicateShape) {
+  query::Query q6 = MakeQ6(1994, 0.06, 24);
+  EXPECT_TRUE(q6.IsPlainAggregation());
+  ASSERT_EQ(q6.select.size(), 1u);
+  EXPECT_EQ(q6.select[0].agg->ToString(), "sum(l_extendedprice*l_discount)");
+  const auto* ship = q6.where.FindColumn("l_shipdate");
+  ASSERT_NE(ship, nullptr);
+  EXPECT_EQ(ship->lower->value.int64(), table::DaysFromCivil(1994, 1, 1));
+  const auto* quantity = q6.where.FindColumn("l_quantity");
+  ASSERT_NE(quantity, nullptr);
+  EXPECT_FALSE(quantity->lower.has_value());
+}
+
+// ---------- Query generator ----------
+
+TEST(QueryGenTest, SelectivityApproximatelyMet) {
+  MeterConfig config;
+  config.num_users = 1000;
+  config.num_days = 10;
+  config.seed = 5;
+  for (Selectivity sel :
+       {Selectivity::kFivePercent, Selectivity::kTwelvePercent}) {
+    query::Query q =
+        MakeMeterQuery(config, MeterQueryKind::kAggregation, sel, 1);
+    // Count matching rows.
+    auto bound = q.where.Bind(MeterSchema(config));
+    ASSERT_TRUE(bound.ok());
+    int64_t matched = 0;
+    ASSERT_OK(ForEachMeterRow(config, [&](const Row& row) {
+      if (bound->Matches(row)) ++matched;
+      return Status::OK();
+    }));
+    const double fraction =
+        static_cast<double>(matched) / static_cast<double>(config.TotalRows());
+    EXPECT_NEAR(fraction, SelectivityFraction(sel),
+                0.4 * SelectivityFraction(sel))
+        << SelectivityName(sel);
+  }
+}
+
+TEST(QueryGenTest, PointQuerySelectsOneUserDay) {
+  MeterConfig config;
+  config.num_users = 500;
+  config.num_days = 10;
+  query::Query q = MakeMeterQuery(config, MeterQueryKind::kAggregation,
+                                  Selectivity::kPoint, 2);
+  auto bound = q.where.Bind(MeterSchema(config));
+  ASSERT_TRUE(bound.ok());
+  int64_t matched = 0;
+  ASSERT_OK(ForEachMeterRow(config, [&](const Row& row) {
+    if (bound->Matches(row)) ++matched;
+    return Status::OK();
+  }));
+  EXPECT_EQ(matched, config.readings_per_day);
+}
+
+TEST(QueryGenTest, PartialDropsUserCondition) {
+  MeterConfig config;
+  query::Query q = MakeMeterQuery(config, MeterQueryKind::kPartial,
+                                  Selectivity::kPoint, 3);
+  EXPECT_EQ(q.where.FindColumn("userId"), nullptr);
+  EXPECT_NE(q.where.FindColumn("regionId"), nullptr);
+  EXPECT_NE(q.where.FindColumn("time"), nullptr);
+}
+
+TEST(QueryGenTest, VariantsDiffer) {
+  MeterConfig config;
+  query::Query a = MakeMeterQuery(config, MeterQueryKind::kAggregation,
+                                  Selectivity::kFivePercent, 1);
+  query::Query b = MakeMeterQuery(config, MeterQueryKind::kAggregation,
+                                  Selectivity::kFivePercent, 2);
+  EXPECT_NE(a.where.ToString(), b.where.ToString());
+}
+
+}  // namespace
+}  // namespace dgf::workload
