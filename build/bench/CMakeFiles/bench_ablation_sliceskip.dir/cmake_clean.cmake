@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sliceskip.dir/bench_ablation_sliceskip.cc.o"
+  "CMakeFiles/bench_ablation_sliceskip.dir/bench_ablation_sliceskip.cc.o.d"
+  "bench_ablation_sliceskip"
+  "bench_ablation_sliceskip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sliceskip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

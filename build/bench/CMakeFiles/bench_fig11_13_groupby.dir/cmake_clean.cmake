@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_13_groupby.dir/bench_fig11_13_groupby.cc.o"
+  "CMakeFiles/bench_fig11_13_groupby.dir/bench_fig11_13_groupby.cc.o.d"
+  "bench_fig11_13_groupby"
+  "bench_fig11_13_groupby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_13_groupby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

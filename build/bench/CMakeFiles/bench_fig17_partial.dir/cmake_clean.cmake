@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_partial.dir/bench_fig17_partial.cc.o"
+  "CMakeFiles/bench_fig17_partial.dir/bench_fig17_partial.cc.o.d"
+  "bench_fig17_partial"
+  "bench_fig17_partial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_partial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

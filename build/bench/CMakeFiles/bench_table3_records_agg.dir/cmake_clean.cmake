@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_records_agg.dir/bench_table3_records_agg.cc.o"
+  "CMakeFiles/bench_table3_records_agg.dir/bench_table3_records_agg.cc.o.d"
+  "bench_table3_records_agg"
+  "bench_table3_records_agg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_records_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

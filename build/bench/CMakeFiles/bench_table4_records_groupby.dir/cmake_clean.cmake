@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_records_groupby.dir/bench_table4_records_groupby.cc.o"
+  "CMakeFiles/bench_table4_records_groupby.dir/bench_table4_records_groupby.cc.o.d"
+  "bench_table4_records_groupby"
+  "bench_table4_records_groupby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_records_groupby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

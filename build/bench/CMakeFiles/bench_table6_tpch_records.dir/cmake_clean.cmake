@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_tpch_records.dir/bench_table6_tpch_records.cc.o"
+  "CMakeFiles/bench_table6_tpch_records.dir/bench_table6_tpch_records.cc.o.d"
+  "bench_table6_tpch_records"
+  "bench_table6_tpch_records.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_tpch_records.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgf_bench_common.dir/harness.cc.o"
+  "CMakeFiles/dgf_bench_common.dir/harness.cc.o.d"
+  "libdgf_bench_common.a"
+  "libdgf_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgf_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdgf_bench_common.a"
+)

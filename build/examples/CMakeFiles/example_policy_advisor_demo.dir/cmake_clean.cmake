@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_policy_advisor_demo.dir/policy_advisor_demo.cpp.o"
+  "CMakeFiles/example_policy_advisor_demo.dir/policy_advisor_demo.cpp.o.d"
+  "example_policy_advisor_demo"
+  "example_policy_advisor_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_policy_advisor_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_policy_advisor_demo.
+# This may be replaced when dependencies are built.

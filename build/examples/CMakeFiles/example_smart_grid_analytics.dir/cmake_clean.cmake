@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_smart_grid_analytics.dir/smart_grid_analytics.cpp.o"
+  "CMakeFiles/example_smart_grid_analytics.dir/smart_grid_analytics.cpp.o.d"
+  "example_smart_grid_analytics"
+  "example_smart_grid_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_smart_grid_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

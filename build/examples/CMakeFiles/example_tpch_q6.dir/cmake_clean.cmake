@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tpch_q6.dir/tpch_q6.cpp.o"
+  "CMakeFiles/example_tpch_q6.dir/tpch_q6.cpp.o.d"
+  "example_tpch_q6"
+  "example_tpch_q6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tpch_q6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

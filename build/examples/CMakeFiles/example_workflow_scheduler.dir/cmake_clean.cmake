@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_workflow_scheduler.dir/workflow_scheduler.cpp.o"
+  "CMakeFiles/example_workflow_scheduler.dir/workflow_scheduler.cpp.o.d"
+  "example_workflow_scheduler"
+  "example_workflow_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_workflow_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

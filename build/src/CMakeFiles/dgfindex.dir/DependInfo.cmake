@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/encoding.cc" "src/CMakeFiles/dgfindex.dir/common/encoding.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/common/encoding.cc.o.d"
+  "/root/repo/src/common/hyperloglog.cc" "src/CMakeFiles/dgfindex.dir/common/hyperloglog.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/common/hyperloglog.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/dgfindex.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/dgfindex.dir/common/random.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/dgfindex.dir/common/status.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/dgfindex.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/dgfindex.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/dgf/aggregators.cc" "src/CMakeFiles/dgfindex.dir/dgf/aggregators.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/dgf/aggregators.cc.o.d"
+  "/root/repo/src/dgf/dgf_builder.cc" "src/CMakeFiles/dgfindex.dir/dgf/dgf_builder.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/dgf/dgf_builder.cc.o.d"
+  "/root/repo/src/dgf/dgf_index.cc" "src/CMakeFiles/dgfindex.dir/dgf/dgf_index.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/dgf/dgf_index.cc.o.d"
+  "/root/repo/src/dgf/dgf_input_format.cc" "src/CMakeFiles/dgfindex.dir/dgf/dgf_input_format.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/dgf/dgf_input_format.cc.o.d"
+  "/root/repo/src/dgf/gfu.cc" "src/CMakeFiles/dgfindex.dir/dgf/gfu.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/dgf/gfu.cc.o.d"
+  "/root/repo/src/dgf/partitioned_dgf.cc" "src/CMakeFiles/dgfindex.dir/dgf/partitioned_dgf.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/dgf/partitioned_dgf.cc.o.d"
+  "/root/repo/src/dgf/policy_advisor.cc" "src/CMakeFiles/dgfindex.dir/dgf/policy_advisor.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/dgf/policy_advisor.cc.o.d"
+  "/root/repo/src/dgf/slice_optimizer.cc" "src/CMakeFiles/dgfindex.dir/dgf/slice_optimizer.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/dgf/slice_optimizer.cc.o.d"
+  "/root/repo/src/dgf/splitting_policy.cc" "src/CMakeFiles/dgfindex.dir/dgf/splitting_policy.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/dgf/splitting_policy.cc.o.d"
+  "/root/repo/src/exec/cluster.cc" "src/CMakeFiles/dgfindex.dir/exec/cluster.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/exec/cluster.cc.o.d"
+  "/root/repo/src/exec/mapreduce.cc" "src/CMakeFiles/dgfindex.dir/exec/mapreduce.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/exec/mapreduce.cc.o.d"
+  "/root/repo/src/fs/mini_dfs.cc" "src/CMakeFiles/dgfindex.dir/fs/mini_dfs.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/fs/mini_dfs.cc.o.d"
+  "/root/repo/src/hadoopdb/btree.cc" "src/CMakeFiles/dgfindex.dir/hadoopdb/btree.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/hadoopdb/btree.cc.o.d"
+  "/root/repo/src/hadoopdb/hadoopdb.cc" "src/CMakeFiles/dgfindex.dir/hadoopdb/hadoopdb.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/hadoopdb/hadoopdb.cc.o.d"
+  "/root/repo/src/hadoopdb/local_db.cc" "src/CMakeFiles/dgfindex.dir/hadoopdb/local_db.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/hadoopdb/local_db.cc.o.d"
+  "/root/repo/src/index/bitmap_index.cc" "src/CMakeFiles/dgfindex.dir/index/bitmap_index.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/index/bitmap_index.cc.o.d"
+  "/root/repo/src/index/compact_index.cc" "src/CMakeFiles/dgfindex.dir/index/compact_index.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/index/compact_index.cc.o.d"
+  "/root/repo/src/kv/lsm_kv.cc" "src/CMakeFiles/dgfindex.dir/kv/lsm_kv.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/kv/lsm_kv.cc.o.d"
+  "/root/repo/src/kv/mem_kv.cc" "src/CMakeFiles/dgfindex.dir/kv/mem_kv.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/kv/mem_kv.cc.o.d"
+  "/root/repo/src/kv/sstable.cc" "src/CMakeFiles/dgfindex.dir/kv/sstable.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/kv/sstable.cc.o.d"
+  "/root/repo/src/query/executor.cc" "src/CMakeFiles/dgfindex.dir/query/executor.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/query/executor.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/dgfindex.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/query/parser.cc.o.d"
+  "/root/repo/src/query/predicate.cc" "src/CMakeFiles/dgfindex.dir/query/predicate.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/query/predicate.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/CMakeFiles/dgfindex.dir/query/query.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/query/query.cc.o.d"
+  "/root/repo/src/table/partition.cc" "src/CMakeFiles/dgfindex.dir/table/partition.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/table/partition.cc.o.d"
+  "/root/repo/src/table/rc_format.cc" "src/CMakeFiles/dgfindex.dir/table/rc_format.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/table/rc_format.cc.o.d"
+  "/root/repo/src/table/schema.cc" "src/CMakeFiles/dgfindex.dir/table/schema.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/table/schema.cc.o.d"
+  "/root/repo/src/table/statistics.cc" "src/CMakeFiles/dgfindex.dir/table/statistics.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/table/statistics.cc.o.d"
+  "/root/repo/src/table/table.cc" "src/CMakeFiles/dgfindex.dir/table/table.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/table/table.cc.o.d"
+  "/root/repo/src/table/text_format.cc" "src/CMakeFiles/dgfindex.dir/table/text_format.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/table/text_format.cc.o.d"
+  "/root/repo/src/table/value.cc" "src/CMakeFiles/dgfindex.dir/table/value.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/table/value.cc.o.d"
+  "/root/repo/src/workflow/workflow.cc" "src/CMakeFiles/dgfindex.dir/workflow/workflow.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/workflow/workflow.cc.o.d"
+  "/root/repo/src/workload/meter_gen.cc" "src/CMakeFiles/dgfindex.dir/workload/meter_gen.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/workload/meter_gen.cc.o.d"
+  "/root/repo/src/workload/query_gen.cc" "src/CMakeFiles/dgfindex.dir/workload/query_gen.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/workload/query_gen.cc.o.d"
+  "/root/repo/src/workload/tpch_gen.cc" "src/CMakeFiles/dgfindex.dir/workload/tpch_gen.cc.o" "gcc" "src/CMakeFiles/dgfindex.dir/workload/tpch_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/dgf_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/dgf_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/dgf_core_test.cc" "tests/CMakeFiles/dgf_tests.dir/dgf_core_test.cc.o" "gcc" "tests/CMakeFiles/dgf_tests.dir/dgf_core_test.cc.o.d"
+  "/root/repo/tests/dgf_index_test.cc" "tests/CMakeFiles/dgf_tests.dir/dgf_index_test.cc.o" "gcc" "tests/CMakeFiles/dgf_tests.dir/dgf_index_test.cc.o.d"
+  "/root/repo/tests/dgf_rcfile_test.cc" "tests/CMakeFiles/dgf_tests.dir/dgf_rcfile_test.cc.o" "gcc" "tests/CMakeFiles/dgf_tests.dir/dgf_rcfile_test.cc.o.d"
+  "/root/repo/tests/exec_test.cc" "tests/CMakeFiles/dgf_tests.dir/exec_test.cc.o" "gcc" "tests/CMakeFiles/dgf_tests.dir/exec_test.cc.o.d"
+  "/root/repo/tests/failure_injection_test.cc" "tests/CMakeFiles/dgf_tests.dir/failure_injection_test.cc.o" "gcc" "tests/CMakeFiles/dgf_tests.dir/failure_injection_test.cc.o.d"
+  "/root/repo/tests/fs_test.cc" "tests/CMakeFiles/dgf_tests.dir/fs_test.cc.o" "gcc" "tests/CMakeFiles/dgf_tests.dir/fs_test.cc.o.d"
+  "/root/repo/tests/hadoopdb_test.cc" "tests/CMakeFiles/dgf_tests.dir/hadoopdb_test.cc.o" "gcc" "tests/CMakeFiles/dgf_tests.dir/hadoopdb_test.cc.o.d"
+  "/root/repo/tests/index_test.cc" "tests/CMakeFiles/dgf_tests.dir/index_test.cc.o" "gcc" "tests/CMakeFiles/dgf_tests.dir/index_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/dgf_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/dgf_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/kv_test.cc" "tests/CMakeFiles/dgf_tests.dir/kv_test.cc.o" "gcc" "tests/CMakeFiles/dgf_tests.dir/kv_test.cc.o.d"
+  "/root/repo/tests/partition_test.cc" "tests/CMakeFiles/dgf_tests.dir/partition_test.cc.o" "gcc" "tests/CMakeFiles/dgf_tests.dir/partition_test.cc.o.d"
+  "/root/repo/tests/partitioned_dgf_test.cc" "tests/CMakeFiles/dgf_tests.dir/partitioned_dgf_test.cc.o" "gcc" "tests/CMakeFiles/dgf_tests.dir/partitioned_dgf_test.cc.o.d"
+  "/root/repo/tests/policy_advisor_test.cc" "tests/CMakeFiles/dgf_tests.dir/policy_advisor_test.cc.o" "gcc" "tests/CMakeFiles/dgf_tests.dir/policy_advisor_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/dgf_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/dgf_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/query_test.cc" "tests/CMakeFiles/dgf_tests.dir/query_test.cc.o" "gcc" "tests/CMakeFiles/dgf_tests.dir/query_test.cc.o.d"
+  "/root/repo/tests/slice_optimizer_test.cc" "tests/CMakeFiles/dgf_tests.dir/slice_optimizer_test.cc.o" "gcc" "tests/CMakeFiles/dgf_tests.dir/slice_optimizer_test.cc.o.d"
+  "/root/repo/tests/statistics_test.cc" "tests/CMakeFiles/dgf_tests.dir/statistics_test.cc.o" "gcc" "tests/CMakeFiles/dgf_tests.dir/statistics_test.cc.o.d"
+  "/root/repo/tests/table_test.cc" "tests/CMakeFiles/dgf_tests.dir/table_test.cc.o" "gcc" "tests/CMakeFiles/dgf_tests.dir/table_test.cc.o.d"
+  "/root/repo/tests/test_main.cc" "tests/CMakeFiles/dgf_tests.dir/test_main.cc.o" "gcc" "tests/CMakeFiles/dgf_tests.dir/test_main.cc.o.d"
+  "/root/repo/tests/workflow_test.cc" "tests/CMakeFiles/dgf_tests.dir/workflow_test.cc.o" "gcc" "tests/CMakeFiles/dgf_tests.dir/workflow_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/dgf_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/dgf_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dgfindex.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
