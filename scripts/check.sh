@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a sanitizer pass over the kv/dgf tests.
+#
+#   scripts/check.sh            # full check (regular build + ctest, then ASan/UBSan)
+#   scripts/check.sh --fast     # regular build + ctest only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build -j "$JOBS" --output-on-failure
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "== OK (fast mode, sanitizer pass skipped) =="
+  exit 0
+fi
+
+echo "== sanitizer: ASan+UBSan build of kv/dgf tests =="
+cmake -B build-asan -S . -DDGF_SANITIZE=ON >/dev/null
+cmake --build build-asan -j "$JOBS" --target dgf_tests
+ctest --test-dir build-asan -j "$JOBS" --output-on-failure \
+  -R 'Kv|Sstable|Lsm|Dgf|Slice'
+
+echo "== OK =="

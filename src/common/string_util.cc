@@ -11,14 +11,21 @@ namespace dgf {
 
 std::vector<std::string_view> SplitString(std::string_view input, char delim) {
   std::vector<std::string_view> out;
+  SplitStringInto(input, delim, &out);
+  return out;
+}
+
+void SplitStringInto(std::string_view input, char delim,
+                     std::vector<std::string_view>* out) {
+  out->clear();
   size_t start = 0;
   while (true) {
     size_t pos = input.find(delim, start);
     if (pos == std::string_view::npos) {
-      out.push_back(input.substr(start));
-      return out;
+      out->push_back(input.substr(start));
+      return;
     }
-    out.push_back(input.substr(start, pos - start));
+    out->push_back(input.substr(start, pos - start));
     start = pos + 1;
   }
 }

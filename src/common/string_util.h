@@ -13,6 +13,11 @@ namespace dgf {
 /// Splits `input` on `delim`, keeping empty fields. Never fails.
 std::vector<std::string_view> SplitString(std::string_view input, char delim);
 
+/// Like SplitString but reuses `*out` (cleared first) — the hot-loop variant
+/// that avoids one vector allocation per call.
+void SplitStringInto(std::string_view input, char delim,
+                     std::vector<std::string_view>* out);
+
 /// Joins `parts` with `delim`.
 std::string JoinStrings(const std::vector<std::string>& parts,
                         std::string_view delim);

@@ -273,6 +273,9 @@ Result<exec::JobResult> DgfBuilder::Append(DgfIndex* index,
                         index->data_dir(), index->data_format(), batch_id, job,
                         split_size));
   DGF_RETURN_IF_ERROR(store->Put(kMetaBatchKey, std::to_string(batch_id + 1)));
+  // The reorganization rewrote GFU values (and possibly dimension bounds);
+  // drop any decoded values the index has cached.
+  index->InvalidateCache();
   return result;
 }
 

@@ -1,10 +1,17 @@
 #include "dgf/dgf_index.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <condition_variable>
 #include <limits>
+#include <mutex>
+#include <span>
+#include <thread>
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "dgf/dgf_input_format.h"
 #include "table/text_format.h"
 
@@ -19,6 +26,23 @@ using table::Value;
 // pattern (the paper's policy-choice discussion) and we fail loudly instead
 // of grinding.
 constexpr uint64_t kMaxLookupCells = 8ULL << 20;
+
+// One MultiGet round trip resolves up to this many cache-missed cells.
+constexpr size_t kMultiGetBatch = 256;
+
+// Large-box scanner: entries buffered per wave, and the miss count below
+// which a wave is decoded serially (fan-out overhead beats the win).
+constexpr size_t kScanWaveSize = 8192;
+constexpr size_t kParallelDecodeThreshold = 256;
+
+/// Lazily started pool shared by every index's large-box decode. Waves use a
+/// local completion latch rather than WaitIdle() so concurrent lookups can
+/// share the workers without barriering each other.
+ThreadPool& DecodePool() {
+  static ThreadPool pool(static_cast<int>(
+      std::clamp(std::thread::hardware_concurrency(), 2u, 8u)));
+  return pool;
+}
 
 }  // namespace
 
@@ -67,10 +91,24 @@ Result<GfuValue> DgfIndex::GetGfu(const GfuKey& key) const {
   return GfuValue::Decode(encoded);
 }
 
-Result<int64_t> DgfIndex::MetaCell(const std::string& prefix, int dim) const {
-  DGF_ASSIGN_OR_RETURN(std::string text,
-                       store_->Get(prefix + std::to_string(dim)));
-  return ParseInt64(text);
+Result<int64_t> DgfIndex::MetaCell(const std::string& prefix, int dim,
+                                   LookupResult* counters) const {
+  const std::string key = prefix + std::to_string(dim);
+  if (auto cached = meta_cache_.Get(key)) {
+    ++counters->cache_hits;
+    return *cached;
+  }
+  ++counters->cache_misses;
+  ++counters->kv_gets;
+  DGF_ASSIGN_OR_RETURN(std::string text, store_->Get(key));
+  DGF_ASSIGN_OR_RETURN(int64_t cell, ParseInt64(text));
+  meta_cache_.Put(key, cell);
+  return cell;
+}
+
+void DgfIndex::InvalidateCache() {
+  gfu_cache_.Clear();
+  meta_cache_.Clear();
 }
 
 bool DgfIndex::CoversAggregations(const std::vector<AggSpec>& requested) const {
@@ -81,17 +119,18 @@ bool DgfIndex::CoversAggregations(const std::vector<AggSpec>& requested) const {
 }
 
 Result<DgfIndex::CellRange> DgfIndex::DimCellRange(
-    int dim, const query::Predicate& pred, uint64_t* kv_gets) const {
+    int dim, const query::Predicate& pred, LookupResult* counters) const {
   const DimensionPolicy& dp = policy_.dim(dim);
   const query::ColumnRange* range = pred.FindColumn(dp.column);
 
   CellRange out;
   // Stored domain of this dimension (cells observed at build time). Also the
   // completion for missing predicate dimensions — the paper's partial query
-  // handling fetches these from the KV store.
-  DGF_ASSIGN_OR_RETURN(const int64_t min_cell, MetaCell(kMetaDimMinPrefix, dim));
-  DGF_ASSIGN_OR_RETURN(const int64_t max_cell, MetaCell(kMetaDimMaxPrefix, dim));
-  *kv_gets += 2;
+  // handling fetches these from the KV store (cached after the first query).
+  DGF_ASSIGN_OR_RETURN(const int64_t min_cell,
+                       MetaCell(kMetaDimMinPrefix, dim, counters));
+  DGF_ASSIGN_OR_RETURN(const int64_t max_cell,
+                       MetaCell(kMetaDimMaxPrefix, dim, counters));
 
   if (range == nullptr ||
       (!range->lower.has_value() && !range->upper.has_value())) {
@@ -191,7 +230,7 @@ Result<DgfIndex::LookupResult> DgfIndex::Lookup(const query::Predicate& pred,
   uint64_t total_cells = 1;
   for (int d = 0; d < num_dims; ++d) {
     DGF_ASSIGN_OR_RETURN(ranges[static_cast<size_t>(d)],
-                         DimCellRange(d, pred, &result.kv_gets));
+                         DimCellRange(d, pred, &result));
     const CellRange& r = ranges[static_cast<size_t>(d)];
     if (r.empty()) return result;  // provably no matching data
     total_cells *= static_cast<uint64_t>(r.hi - r.lo + 1);
@@ -201,18 +240,18 @@ Result<DgfIndex::LookupResult> DgfIndex::Lookup(const query::Predicate& pred,
     }
   }
 
-  // Folds one present GFU cell into the result.
-  const auto absorb = [&](const GfuKey& cell_key,
-                          const GfuValue& value) -> void {
-    bool inner = true;
+  // Whether the cell at `cells` lies fully inside the query box.
+  const auto cell_is_inner = [&](const std::vector<int64_t>& cells) -> bool {
     for (int d = 0; d < num_dims; ++d) {
       const CellRange& r = ranges[static_cast<size_t>(d)];
-      const int64_t c = cell_key.cells[static_cast<size_t>(d)];
-      if (c < r.inner_lo || c > r.inner_hi) {
-        inner = false;
-        break;
-      }
+      const int64_t c = cells[static_cast<size_t>(d)];
+      if (c < r.inner_lo || c > r.inner_hi) return false;
     }
+    return true;
+  };
+
+  // Folds one present GFU cell into the result.
+  const auto absorb = [&](bool inner, const GfuValue& value) -> void {
     if (inner && aggregation) {
       aggs_.Merge(&result.inner_header, value.header);
       result.inner_records += value.record_count;
@@ -228,26 +267,42 @@ Result<DgfIndex::LookupResult> DgfIndex::Lookup(const query::Predicate& pred,
     }
   };
 
-  // Strategy: small boxes use per-cell point gets; large boxes open one
+  // Strategy: small boxes use batched point gets; large boxes open one
   // HBase-style scanner over the box's encoded key range (row-major order)
   // and filter streamed entries against the box.
   constexpr uint64_t kScanThresholdCells = 512;
   if (total_cells <= kScanThresholdCells) {
+    // Enumerate the box row-major, resolving each cell cache-first. Cache
+    // misses are collected and served by O(1) MultiGet round trips instead
+    // of one Get per cell; kv_gets counts the round trips. The hot loop is
+    // allocation-free on hits: keys encode into a reused scratch buffer and
+    // only the inner/boundary bit is kept per cell.
+    std::vector<std::shared_ptr<const GfuValue>> values;
+    std::vector<uint8_t> inner_flags;
+    values.reserve(total_cells);
+    inner_flags.reserve(total_cells);
+    std::vector<size_t> miss_slots;
+    std::vector<std::string> miss_keys;
+
     GfuKey key;
+    std::string encoded_key;
     std::vector<int64_t> cursor(static_cast<size_t>(num_dims));
     for (int d = 0; d < num_dims; ++d) {
       cursor[static_cast<size_t>(d)] = ranges[static_cast<size_t>(d)].lo;
     }
     for (;;) {
       key.cells.assign(cursor.begin(), cursor.end());
-      ++result.kv_gets;
-      auto encoded = store_->Get(key.Encode());
-      if (encoded.ok()) {
-        DGF_ASSIGN_OR_RETURN(GfuValue value, GfuValue::Decode(*encoded));
-        absorb(key, value);
-      } else if (!encoded.status().IsNotFound()) {
-        return encoded.status();
+      key.EncodeInto(&encoded_key);
+      if (auto cached = gfu_cache_.Get(encoded_key)) {
+        ++result.cache_hits;
+        values.push_back(std::move(*cached));
+      } else {
+        ++result.cache_misses;
+        values.push_back(nullptr);
+        miss_slots.push_back(values.size() - 1);
+        miss_keys.push_back(encoded_key);
       }
+      inner_flags.push_back(cell_is_inner(cursor) ? 1 : 0);
       int d = num_dims - 1;
       for (; d >= 0; --d) {
         const CellRange& r = ranges[static_cast<size_t>(d)];
@@ -255,6 +310,30 @@ Result<DgfIndex::LookupResult> DgfIndex::Lookup(const query::Predicate& pred,
         cursor[static_cast<size_t>(d)] = r.lo;
       }
       if (d < 0) break;
+    }
+
+    for (size_t start = 0; start < miss_keys.size(); start += kMultiGetBatch) {
+      const size_t count = std::min(kMultiGetBatch, miss_keys.size() - start);
+      ++result.kv_gets;  // one batched round trip
+      auto batch = store_->MultiGet(
+          std::span<const std::string>(miss_keys).subspan(start, count));
+      for (size_t j = 0; j < count; ++j) {
+        const Result<std::string>& got = batch[j];
+        if (!got.ok()) {
+          if (got.status().IsNotFound()) continue;  // empty cell
+          return got.status();
+        }
+        DGF_ASSIGN_OR_RETURN(GfuValue value, GfuValue::Decode(*got));
+        auto shared = std::make_shared<const GfuValue>(std::move(value));
+        gfu_cache_.Put(miss_keys[start + j], shared);
+        values[miss_slots[start + j]] = std::move(shared);
+      }
+    }
+
+    // Absorb in enumeration (row-major) order so results — including the
+    // FP-sum merge order of aggregation headers — match the serial path.
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (values[i] != nullptr) absorb(inner_flags[i] != 0, *values[i]);
     }
     return result;
   }
@@ -266,6 +345,70 @@ Result<DgfIndex::LookupResult> DgfIndex::Lookup(const query::Predicate& pred,
   }
   const std::string lower = lower_key.Encode();
   const std::string upper = upper_key.Encode();
+
+  // Streamed entries are buffered into waves; each wave's cache-missed
+  // values are decoded in parallel, then absorbed serially in stream order
+  // (so FP-sensitive header merges stay deterministic).
+  struct ScanEntry {
+    GfuKey key;
+    std::string encoded_key;
+    std::string raw_value;  // set only when the cache missed
+    std::shared_ptr<const GfuValue> value;
+    bool cached = false;
+  };
+  std::vector<ScanEntry> wave;
+  wave.reserve(kScanWaveSize);
+
+  const auto flush_wave = [&]() -> Status {
+    if (wave.empty()) return Status::OK();
+    std::vector<size_t> miss;
+    for (size_t i = 0; i < wave.size(); ++i) {
+      if (!wave[i].cached) miss.push_back(i);
+    }
+    if (miss.size() >= kParallelDecodeThreshold) {
+      ThreadPool& pool = DecodePool();
+      const int num_tasks = pool.num_threads();
+      std::atomic<size_t> next{0};
+      std::vector<Status> statuses(static_cast<size_t>(num_tasks));
+      std::mutex done_mu;
+      std::condition_variable done_cv;
+      int active = num_tasks;
+      for (int t = 0; t < num_tasks; ++t) {
+        pool.Submit([&, t] {
+          for (size_t i = next.fetch_add(1); i < miss.size();
+               i = next.fetch_add(1)) {
+            ScanEntry& entry = wave[miss[i]];
+            auto decoded = GfuValue::Decode(entry.raw_value);
+            if (!decoded.ok()) {
+              statuses[static_cast<size_t>(t)] = decoded.status();
+              break;
+            }
+            entry.value =
+                std::make_shared<const GfuValue>(std::move(*decoded));
+          }
+          std::lock_guard<std::mutex> lock(done_mu);
+          if (--active == 0) done_cv.notify_all();
+        });
+      }
+      std::unique_lock<std::mutex> lock(done_mu);
+      done_cv.wait(lock, [&] { return active == 0; });
+      for (const Status& st : statuses) DGF_RETURN_IF_ERROR(st);
+    } else {
+      for (size_t i : miss) {
+        ScanEntry& entry = wave[i];
+        DGF_ASSIGN_OR_RETURN(GfuValue decoded,
+                             GfuValue::Decode(entry.raw_value));
+        entry.value = std::make_shared<const GfuValue>(std::move(decoded));
+      }
+    }
+    for (ScanEntry& entry : wave) {
+      if (!entry.cached) gfu_cache_.Put(entry.encoded_key, entry.value);
+      absorb(cell_is_inner(entry.key.cells), *entry.value);
+    }
+    wave.clear();
+    return Status::OK();
+  };
+
   auto it = store_->NewIterator();
   ++result.kv_gets;  // scanner open
   for (it->Seek(lower); it->Valid() && it->key() <= upper; it->Next()) {
@@ -279,9 +422,21 @@ Result<DgfIndex::LookupResult> DgfIndex::Lookup(const query::Predicate& pred,
       in_box = (c >= r.lo && c <= r.hi);
     }
     if (!in_box) continue;
-    DGF_ASSIGN_OR_RETURN(GfuValue value, GfuValue::Decode(it->value()));
-    absorb(key, value);
+    ScanEntry entry;
+    entry.key = std::move(key);
+    entry.encoded_key.assign(it->key());
+    if (auto cached = gfu_cache_.Get(entry.encoded_key)) {
+      ++result.cache_hits;
+      entry.value = std::move(*cached);
+      entry.cached = true;
+    } else {
+      ++result.cache_misses;
+      entry.raw_value.assign(it->value());
+    }
+    wave.push_back(std::move(entry));
+    if (wave.size() >= kScanWaveSize) DGF_RETURN_IF_ERROR(flush_wave());
   }
+  DGF_RETURN_IF_ERROR(flush_wave());
   return result;
 }
 
@@ -324,6 +479,8 @@ Status DgfIndex::AddAggregation(const AggSpec& spec) {
   }
   DGF_RETURN_IF_ERROR(store_->Put(kMetaAggsKey, new_aggs.Serialize()));
   aggs_ = std::move(new_aggs);
+  // Every GFU header changed shape; cached decodes are stale.
+  InvalidateCache();
   return Status::OK();
 }
 

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lru_cache.h"
 #include "common/result.h"
 #include "dgf/aggregators.h"
 #include "dgf/gfu.h"
@@ -59,6 +60,10 @@ class DgfIndex {
     /// from per-cell gets to one HBase-style scanner over the box's key
     /// range); benches charge kv_scan_entry_s per entry.
     uint64_t kv_scan_entries = 0;
+    /// Decoded-GFU / meta cache outcomes for this lookup. A hit skips both
+    /// the KV round trip and the value decode.
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
   };
 
   /// Consults the index. If `aggregation` is true the caller intends to
@@ -76,6 +81,11 @@ class DgfIndex {
   /// GFU's slices once and rewriting headers — the paper's "users can still
   /// add more UDFs dynamically to DGFIndex on demand".
   Status AddAggregation(const AggSpec& spec);
+
+  /// Drops every cached decoded GFU and meta cell. Must be called after any
+  /// mutation of the underlying store (AddAggregation does it itself;
+  /// DgfBuilder::Append and SliceOptimizer rebuilds call it on their index).
+  void InvalidateCache();
 
   const SplittingPolicy& policy() const { return policy_; }
   const AggregatorList& aggregators() const { return aggs_; }
@@ -124,9 +134,11 @@ class DgfIndex {
     bool has_inner() const { return inner_lo <= inner_hi; }
   };
   Result<CellRange> DimCellRange(int dim, const query::Predicate& pred,
-                                 uint64_t* kv_gets) const;
+                                 LookupResult* counters) const;
 
-  Result<int64_t> MetaCell(const std::string& prefix, int dim) const;
+  /// Cached metadata fetch; charges `counters` with a kv_get only on miss.
+  Result<int64_t> MetaCell(const std::string& prefix, int dim,
+                           LookupResult* counters) const;
 
   std::shared_ptr<fs::MiniDfs> dfs_;
   std::shared_ptr<kv::KvStore> store_;
@@ -135,6 +147,10 @@ class DgfIndex {
   AggregatorList aggs_;
   std::string data_dir_;
   table::FileFormat data_format_ = table::FileFormat::kText;
+  // Decoded-value caches keyed by encoded KV key. GfuValues are cached behind
+  // shared_ptr so a hit costs a pointer copy, not a slices-vector copy.
+  mutable ShardedLruCache<std::shared_ptr<const GfuValue>> gfu_cache_;
+  mutable ShardedLruCache<int64_t> meta_cache_{/*capacity=*/1024};
 };
 
 }  // namespace dgf::core

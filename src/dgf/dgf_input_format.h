@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -26,9 +27,18 @@ struct SlicedSplit {
   std::vector<SliceLocation> slices;
 };
 
+/// Sorts `slices` per file by start offset and merges adjacent/overlapping
+/// ranges into single read ranges, dropping zero-length entries. After
+/// placement optimization the slices of a query box are contiguous, so a
+/// boundary region collapses to a handful of long reads — one Pread instead
+/// of one per GFU slice. Record alignment is preserved: merged ranges still
+/// start and end at record boundaries.
+std::vector<SliceLocation> CoalesceSlices(std::vector<SliceLocation> slices);
+
 /// Split filter (Algorithm 4): enumerates the splits of the reorganized data
 /// files, keeps only those containing the start of at least one query-related
-/// Slice, and attaches each split's ordered Slice list.
+/// Slice, and attaches each split's ordered Slice list. Slices are coalesced
+/// (CoalesceSlices) before assignment.
 Result<std::vector<SlicedSplit>> PlanSlicedSplits(
     const std::shared_ptr<fs::MiniDfs>& dfs,
     const std::vector<SliceLocation>& slices, uint64_t split_size = 0);
@@ -41,9 +51,64 @@ Result<std::unique_ptr<table::RecordReader>> OpenSliceReader(
     const table::Schema& schema,
     table::FileFormat format = table::FileFormat::kText);
 
+/// Text reader over several record-aligned byte ranges ("parts") of one file,
+/// served by a single buffered stream instead of one reader (and one Pread
+/// sequence) per part. Small gaps between parts are read through in the same
+/// chunk — cheaper than reopening at the next offset — while large gaps drop
+/// the buffer and jump. Lines are parsed zero-copy out of the buffer.
+///
+/// Parts must be sorted by start offset and non-overlapping (the
+/// CoalesceSlices postcondition), each starting and ending on a line
+/// boundary.
+class MergedSliceTextReader : public table::RecordReader {
+ public:
+  static Result<std::unique_ptr<MergedSliceTextReader>> Open(
+      const std::shared_ptr<fs::MiniDfs>& dfs, const std::string& file,
+      std::vector<SliceLocation> parts, table::Schema schema);
+
+  Result<bool> Next(table::Row* row) override;
+  uint64_t CurrentBlockOffset() const override { return line_start_; }
+  uint64_t CurrentRowInBlock() const override { return 0; }
+  uint64_t BytesRead() const override { return bytes_read_; }
+
+  /// Positional jumps performed: one per part entered.
+  uint64_t SeekCount() const { return seeks_; }
+
+ private:
+  MergedSliceTextReader(std::unique_ptr<fs::DfsReader> reader,
+                        std::vector<SliceLocation> parts,
+                        std::vector<uint64_t> run_end, table::Schema schema);
+
+  /// Positions the stream at the start of the next part; false when no parts
+  /// remain.
+  bool AdvancePart();
+  Status FillBuffer();
+  Result<bool> NextLineView(std::string_view* line);
+
+  std::unique_ptr<fs::DfsReader> reader_;
+  std::vector<SliceLocation> parts_;
+  /// run_end_[i]: furthest offset worth reading contiguously when inside
+  /// parts_[i] (extends across gaps small enough to read through).
+  std::vector<uint64_t> run_end_;
+  table::Schema schema_;
+  size_t next_part_ = 0;   // first part not yet entered
+  uint64_t part_end_ = 0;  // exclusive end of the current part
+  uint64_t fill_cap_ = 0;  // run_end_ of the current part
+  std::string buffer_;
+  size_t buffer_pos_ = 0;
+  uint64_t file_pos_ = 0;  // file offset of buffer_[buffer_pos_]
+  uint64_t line_start_ = 0;
+  uint64_t bytes_read_ = 0;
+  uint64_t seeks_ = 0;
+  bool fill_exhausted_ = false;
+  std::vector<std::string_view> fields_scratch_;
+};
+
 /// RecordReader that yields only the records inside its split's Slices,
 /// skipping the margins between adjacent Slices (step 3 of the query path).
 /// `SeekCount()` reports the number of positional jumps for cost accounting.
+/// Text-format splits are served by one MergedSliceTextReader over all the
+/// split's Slices; RCFile splits open one group reader per Slice.
 class SliceRecordReader : public table::RecordReader {
  public:
   static Result<std::unique_ptr<SliceRecordReader>> Open(
@@ -56,7 +121,7 @@ class SliceRecordReader : public table::RecordReader {
   uint64_t CurrentRowInBlock() const override { return 0; }
   uint64_t BytesRead() const override;
 
-  uint64_t SeekCount() const { return seeks_; }
+  uint64_t SeekCount() const;
 
  private:
   SliceRecordReader(std::shared_ptr<fs::MiniDfs> dfs, SlicedSplit sliced,
@@ -74,6 +139,8 @@ class SliceRecordReader : public table::RecordReader {
   table::FileFormat format_ = table::FileFormat::kText;
   size_t next_slice_ = 0;
   std::unique_ptr<table::RecordReader> current_;
+  /// Set when current_ is a MergedSliceTextReader spanning every slice.
+  MergedSliceTextReader* merged_ = nullptr;
   uint64_t finished_bytes_ = 0;
   uint64_t seeks_ = 0;
 };

@@ -7,9 +7,14 @@ namespace dgf::core {
 
 std::string GfuKey::Encode() const {
   std::string out;
-  out.push_back(kGfuKeyPrefix);
-  for (int64_t cell : cells) PutOrderedInt64(&out, cell);
+  EncodeInto(&out);
   return out;
+}
+
+void GfuKey::EncodeInto(std::string* out) const {
+  out->clear();
+  out->push_back(kGfuKeyPrefix);
+  for (int64_t cell : cells) PutOrderedInt64(out, cell);
 }
 
 Result<GfuKey> GfuKey::Decode(std::string_view encoded, int num_dims) {

@@ -19,6 +19,9 @@ struct GfuKey {
   std::vector<int64_t> cells;
 
   std::string Encode() const;
+  /// Allocation-free Encode into a reused buffer (cleared first) for hot
+  /// loops that encode one key per enumerated cell.
+  void EncodeInto(std::string* out) const;
   static Result<GfuKey> Decode(std::string_view encoded, int num_dims);
 
   /// Human-readable "7_13" form used in logs and the paper's figures.

@@ -77,6 +77,8 @@ Result<PartitionedDgfIndex::LookupResult> PartitionedDgfIndex::Lookup(
     out.merged.boundary_gfus += piece.boundary_gfus;
     out.merged.kv_gets += piece.kv_gets;
     out.merged.kv_scan_entries += piece.kv_scan_entries;
+    out.merged.cache_hits += piece.cache_hits;
+    out.merged.cache_misses += piece.cache_misses;
     out.merged.slices.insert(out.merged.slices.end(), piece.slices.begin(),
                              piece.slices.end());
   }

@@ -119,6 +119,8 @@ Result<SliceOptimizer::Stats> SliceOptimizer::Optimize(
   for (const std::string& file : old_files) {
     DGF_RETURN_IF_ERROR(dfs->Delete(file));
   }
+  // Every slice list changed; cached GfuValues now point at deleted files.
+  index->InvalidateCache();
   return stats;
 }
 

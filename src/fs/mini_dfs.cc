@@ -101,6 +101,7 @@ class LocalDfsReader : public DfsReader {
     }
     out->resize(done);
     dfs_->bytes_read_.fetch_add(done, std::memory_order_relaxed);
+    dfs_->pread_calls_.fetch_add(1, std::memory_order_relaxed);
     return Status::OK();
   }
 
@@ -326,6 +327,7 @@ uint64_t MiniDfs::NumDirectories() const {
 void MiniDfs::ResetCounters() {
   bytes_written_.store(0);
   bytes_read_.store(0);
+  pread_calls_.store(0);
 }
 
 }  // namespace dgf::fs

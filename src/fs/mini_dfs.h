@@ -122,6 +122,9 @@ class MiniDfs {
   /// Total bytes appended / read since construction (Figure 3 throughput).
   uint64_t TotalBytesWritten() const { return bytes_written_.load(); }
   uint64_t TotalBytesRead() const { return bytes_read_.load(); }
+  /// Number of Pread calls served (slice-coalescing experiments: merged read
+  /// ranges show up here as fewer, larger reads for the same bytes).
+  uint64_t TotalPreadCalls() const { return pread_calls_.load(); }
   void ResetCounters();
 
  private:
@@ -143,6 +146,7 @@ class MiniDfs {
   std::set<std::string> directories_;
   std::atomic<uint64_t> bytes_written_{0};
   std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> pread_calls_{0};
 };
 
 }  // namespace dgf::fs

@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -46,6 +48,19 @@ class KvStore {
   /// Returns NotFound if absent or deleted.
   virtual Result<std::string> Get(std::string_view key) = 0;
   virtual Status Delete(std::string_view key) = 0;
+
+  /// Batched lookup: one result per key, in key order (NotFound for absent or
+  /// deleted keys). The HBase multi-get analogue — one round trip amortizes
+  /// locking and block reads across the whole batch, which is what makes the
+  /// point-get strategy of DgfIndex::Lookup cheap. The base implementation
+  /// just loops over Get; stores override it with a genuinely batched probe.
+  virtual std::vector<Result<std::string>> MultiGet(
+      std::span<const std::string> keys) {
+    std::vector<Result<std::string>> results;
+    results.reserve(keys.size());
+    for (const std::string& key : keys) results.push_back(Get(key));
+    return results;
+  }
 
   /// Snapshot cursor over the live entries.
   virtual std::unique_ptr<Iterator> NewIterator() = 0;

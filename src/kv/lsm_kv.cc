@@ -258,6 +258,68 @@ Result<std::string> LsmKv::Get(std::string_view key) {
   return Status::NotFound("key not found");
 }
 
+std::vector<Result<std::string>> LsmKv::MultiGet(
+    std::span<const std::string> keys) {
+  std::vector<Result<std::string>> results;
+  results.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    results.push_back(Status::NotFound("key not found"));
+  }
+
+  // One lock acquisition resolves every memtable hit and snapshots the run
+  // set; the (immutable) runs are then probed outside the lock.
+  std::vector<size_t> pending;
+  std::vector<std::shared_ptr<SstableReader>> runs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      auto it = memtable_.find(keys[i]);
+      if (it == memtable_.end()) {
+        pending.push_back(i);
+      } else if (it->second.has_value()) {
+        results[i] = *it->second;
+      } else {
+        results[i] = Status::NotFound("deleted");
+      }
+    }
+    runs = runs_;
+  }
+  if (pending.empty()) return results;
+
+  // Sorted probe order lets each run serve the batch in one forward
+  // merge-join pass; the order is preserved as keys resolve.
+  std::sort(pending.begin(), pending.end(),
+            [&](size_t a, size_t b) { return keys[a] < keys[b]; });
+  for (auto run = runs.rbegin(); run != runs.rend() && !pending.empty();
+       ++run) {
+    std::vector<std::string_view> sorted_keys;
+    sorted_keys.reserve(pending.size());
+    for (size_t idx : pending) sorted_keys.push_back(keys[idx]);
+    auto probes = (*run)->MultiGet(sorted_keys);
+    if (!probes.ok()) {
+      for (size_t idx : pending) results[idx] = probes.status();
+      return results;
+    }
+    std::vector<size_t> still_pending;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      SstableReader::ProbeResult& probe = (*probes)[i];
+      switch (probe.state) {
+        case SstableReader::ProbeResult::kFound:
+          results[pending[i]] = std::move(probe.value);
+          break;
+        case SstableReader::ProbeResult::kTombstone:
+          results[pending[i]] = Status::NotFound("deleted");
+          break;
+        case SstableReader::ProbeResult::kAbsent:
+          still_pending.push_back(pending[i]);
+          break;
+      }
+    }
+    pending = std::move(still_pending);
+  }
+  return results;
+}
+
 std::unique_ptr<Iterator> LsmKv::NewIterator() {
   std::vector<std::pair<std::string, std::optional<std::string>>> snapshot;
   std::vector<std::shared_ptr<SstableReader>> runs;

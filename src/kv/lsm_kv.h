@@ -45,6 +45,8 @@ class LsmKv : public KvStore {
   Status Put(std::string_view key, std::string_view value) override;
   Result<std::string> Get(std::string_view key) override;
   Status Delete(std::string_view key) override;
+  std::vector<Result<std::string>> MultiGet(
+      std::span<const std::string> keys) override;
   std::unique_ptr<Iterator> NewIterator() override;
   Result<uint64_t> Count() override;
   Result<uint64_t> ApproximateSizeBytes() override;

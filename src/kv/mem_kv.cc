@@ -47,6 +47,22 @@ Result<std::string> MemKv::Get(std::string_view key) {
   return it->second;
 }
 
+std::vector<Result<std::string>> MemKv::MultiGet(
+    std::span<const std::string> keys) {
+  std::vector<Result<std::string>> results;
+  results.reserve(keys.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::string& key : keys) {
+    auto it = data_.find(key);
+    if (it == data_.end()) {
+      results.push_back(Status::NotFound("key not found"));
+    } else {
+      results.push_back(it->second);
+    }
+  }
+  return results;
+}
+
 Status MemKv::Delete(std::string_view key) {
   std::lock_guard<std::mutex> lock(mu_);
   data_.erase(std::string(key));

@@ -131,6 +131,48 @@ Result<std::string> SstableReader::Get(std::string_view key,
   return Status::NotFound("key not in sstable");
 }
 
+Result<std::vector<SstableReader::ProbeResult>> SstableReader::MultiGet(
+    std::span<const std::string_view> sorted_keys) const {
+  std::vector<ProbeResult> results(sorted_keys.size());
+  if (index_.empty()) return results;
+  // `cur` is the offset of the next record worth parsing; it only advances,
+  // so the batch costs one forward pass regardless of how many keys land in
+  // the same index stretch.
+  uint64_t cur = 0;
+  for (size_t i = 0; i < sorted_keys.size(); ++i) {
+    const std::string_view key = sorted_keys[i];
+    const uint64_t lb = IndexLowerBound(key);
+    if (lb > cur) cur = lb;
+    while (cur < data_end_) {
+      std::string_view cursor(data_.data() + cur, data_end_ - cur);
+      DGF_ASSIGN_OR_RETURN(std::string_view rec_key,
+                           GetLengthPrefixed(&cursor));
+      DGF_ASSIGN_OR_RETURN(uint64_t vlen, GetVarint64(&cursor));
+      std::string_view value;
+      if (vlen > 0) {
+        if (cursor.size() < vlen - 1) {
+          return Status::Corruption("truncated value");
+        }
+        value = cursor.substr(0, vlen - 1);
+        cursor.remove_prefix(vlen - 1);
+      }
+      if (rec_key < key) {
+        cur = static_cast<uint64_t>(cursor.data() - data_.data());
+        continue;
+      }
+      if (rec_key == key) {
+        results[i].state =
+            (vlen == 0) ? ProbeResult::kTombstone : ProbeResult::kFound;
+        if (vlen > 0) results[i].value.assign(value);
+      }
+      // Stop without consuming this record: a duplicate key (or the next
+      // sorted key, if it equals rec_key) must see it again.
+      break;
+    }
+  }
+  return results;
+}
+
 std::unique_ptr<Iterator> SstableReader::NewIterator() const {
   // shared_from_this is avoided by requiring callers to hold the reader via
   // shared_ptr; LsmKv does. For standalone use, re-open the table.

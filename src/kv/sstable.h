@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -56,6 +58,21 @@ class SstableReader {
   /// Point lookup. A tombstone is reported as found with `*deleted = true`.
   /// Returns NotFound when the key is absent from this run.
   Result<std::string> Get(std::string_view key, bool* deleted) const;
+
+  /// Outcome of one key in a MultiGet batch.
+  struct ProbeResult {
+    enum State { kAbsent, kFound, kTombstone };
+    State state = kAbsent;
+    std::string value;  // set only for kFound
+  };
+
+  /// Batched point lookup. `sorted_keys` must be ascending (duplicates
+  /// allowed). A single merge-join pass over the record stream serves the
+  /// whole batch: the read cursor only moves forward, so index probes and
+  /// record parses are shared between nearby keys instead of restarting from
+  /// an index block per key the way repeated Get calls do.
+  Result<std::vector<ProbeResult>> MultiGet(
+      std::span<const std::string_view> sorted_keys) const;
 
   /// Cursor over the run. Tombstones are surfaced (LsmKv's merge needs them);
   /// `IsTombstone()` on the concrete type reports them.

@@ -369,6 +369,10 @@ Result<QueryResult> QueryExecutor::ExecuteDgf(TableState* state,
 
   ScanInputs inputs;
   inputs.scan_desc = index->DataDesc();
+  // Coalesce before planning so split assignment, per-split slice lists, and
+  // the seek accounting all see merged read ranges rather than per-GFU
+  // fragments.
+  lookup.slices = core::CoalesceSlices(std::move(lookup.slices));
   DGF_ASSIGN_OR_RETURN(
       auto planned,
       core::PlanSlicedSplits(options_.dfs, lookup.slices, options_.split_size));
@@ -384,6 +388,8 @@ Result<QueryResult> QueryExecutor::ExecuteDgf(TableState* state,
 
   QueryStats stats;
   stats.kv_gets = lookup.kv_gets + lookup.kv_scan_entries;
+  stats.cache_hits = lookup.cache_hits;
+  stats.cache_misses = lookup.cache_misses;
   stats.index_seconds =
       static_cast<double>(lookup.kv_gets) * options_.cluster.kv_get_s +
       static_cast<double>(lookup.kv_scan_entries) *

@@ -40,6 +40,9 @@ struct QueryStats {
   uint64_t bytes_read = 0;
   int splits_scanned = 0;
   uint64_t kv_gets = 0;
+  /// Decoded-GFU cache outcomes during index consultation (DGF path only).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
   /// Simulated cluster seconds: consulting the index ("read index and other",
   /// includes per-job fixed overheads) and scanning data ("read data and
   /// process").

@@ -59,21 +59,30 @@ std::string FormatRowText(const Row& row) {
 }
 
 Result<Row> ParseRowText(std::string_view line, const Schema& schema) {
-  auto parts = SplitString(line, '|');
-  if (static_cast<int>(parts.size()) != schema.num_fields()) {
+  Row row;
+  std::vector<std::string_view> scratch;
+  DGF_RETURN_IF_ERROR(ParseRowTextInto(line, schema, &row, &scratch));
+  return row;
+}
+
+Status ParseRowTextInto(std::string_view line, const Schema& schema, Row* row,
+                        std::vector<std::string_view>* scratch) {
+  SplitStringInto(line, '|', scratch);
+  if (static_cast<int>(scratch->size()) != schema.num_fields()) {
     return Status::Corruption(
-        StringPrintf("row has %zu fields, schema has %d: ", parts.size(),
+        StringPrintf("row has %zu fields, schema has %d: ", scratch->size(),
                      schema.num_fields()) +
         std::string(line.substr(0, 80)));
   }
-  Row row;
-  row.reserve(parts.size());
+  row->clear();
+  row->reserve(scratch->size());
   for (int i = 0; i < schema.num_fields(); ++i) {
     DGF_ASSIGN_OR_RETURN(
-        Value v, ParseValue(parts[static_cast<size_t>(i)], schema.field(i).type));
-    row.push_back(std::move(v));
+        Value v,
+        ParseValue((*scratch)[static_cast<size_t>(i)], schema.field(i).type));
+    row->push_back(std::move(v));
   }
-  return row;
+  return Status::OK();
 }
 
 }  // namespace dgf::table

@@ -53,6 +53,12 @@ std::string FormatRowText(const Row& row);
 /// Parses a text line into a row following `schema`.
 Result<Row> ParseRowText(std::string_view line, const Schema& schema);
 
+/// Hot-loop variant of ParseRowText: parses into `*row` in place, reusing its
+/// capacity and the caller-owned `*scratch` field vector, so a scan allocates
+/// per distinct string value rather than per row.
+Status ParseRowTextInto(std::string_view line, const Schema& schema, Row* row,
+                        std::vector<std::string_view>* scratch);
+
 }  // namespace dgf::table
 
 #endif  // DGF_TABLE_SCHEMA_H_

@@ -21,11 +21,11 @@ Status TextFileWriter::Append(const Row& row) {
 }
 
 Status TextFileWriter::AppendLine(std::string_view line) {
-  std::string buf;
-  buf.reserve(line.size() + 1);
-  buf.append(line);
-  buf.push_back('\n');
-  return writer_->Append(buf);
+  write_buf_.clear();
+  write_buf_.reserve(line.size() + 1);
+  write_buf_.append(line);
+  write_buf_.push_back('\n');
+  return writer_->Append(write_buf_);
 }
 
 TextSplitReader::TextSplitReader(std::unique_ptr<fs::DfsReader> reader,
@@ -81,7 +81,7 @@ Result<std::unique_ptr<TextSplitReader>> TextSplitReader::OpenExactRange(
   return reader;
 }
 
-Result<bool> TextSplitReader::NextLine(std::string* line) {
+Result<bool> TextSplitReader::NextLineView(std::string_view* line) {
   if (exact_range_) {
     // Slice semantics: boundaries are line boundaries; no discard, and the
     // range end is exclusive.
@@ -92,8 +92,8 @@ Result<bool> TextSplitReader::NextLine(std::string* line) {
     if (!exact_range_ && split_.offset > 0) {
       // Hadoop rule: a reader at offset > 0 discards the (possibly partial)
       // line in progress; it belongs to the previous split.
-      std::string discard;
-      DGF_ASSIGN_OR_RETURN(bool have, NextLine(&discard));
+      std::string_view discard;
+      DGF_ASSIGN_OR_RETURN(bool have, NextLineView(&discard));
       if (!have) return false;
     }
   }
@@ -106,7 +106,7 @@ Result<bool> TextSplitReader::NextLine(std::string* line) {
     const size_t nl = buffer_.find('\n', buffer_pos_);
     if (nl != std::string::npos) {
       line_start_ = file_pos_;
-      line->assign(buffer_, buffer_pos_, nl - buffer_pos_);
+      *line = std::string_view(buffer_).substr(buffer_pos_, nl - buffer_pos_);
       file_pos_ += (nl - buffer_pos_) + 1;
       buffer_pos_ = nl + 1;
       return true;
@@ -115,7 +115,7 @@ Result<bool> TextSplitReader::NextLine(std::string* line) {
       if (buffer_pos_ >= buffer_.size()) return false;
       // Final line without trailing newline.
       line_start_ = file_pos_;
-      line->assign(buffer_, buffer_pos_, buffer_.size() - buffer_pos_);
+      *line = std::string_view(buffer_).substr(buffer_pos_);
       file_pos_ += buffer_.size() - buffer_pos_;
       buffer_pos_ = buffer_.size();
       return true;
@@ -124,11 +124,19 @@ Result<bool> TextSplitReader::NextLine(std::string* line) {
   }
 }
 
-Result<bool> TextSplitReader::Next(Row* row) {
-  std::string line;
-  DGF_ASSIGN_OR_RETURN(bool have, NextLine(&line));
+Result<bool> TextSplitReader::NextLine(std::string* line) {
+  std::string_view view;
+  DGF_ASSIGN_OR_RETURN(bool have, NextLineView(&view));
   if (!have) return false;
-  DGF_ASSIGN_OR_RETURN(*row, ParseRowText(line, schema_));
+  line->assign(view);
+  return true;
+}
+
+Result<bool> TextSplitReader::Next(Row* row) {
+  std::string_view line;
+  DGF_ASSIGN_OR_RETURN(bool have, NextLineView(&line));
+  if (!have) return false;
+  DGF_RETURN_IF_ERROR(ParseRowTextInto(line, schema_, row, &fields_scratch_));
   return true;
 }
 

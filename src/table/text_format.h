@@ -3,6 +3,8 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "fs/mini_dfs.h"
 #include "fs/split.h"
@@ -35,6 +37,9 @@ class TextFileWriter {
 
   std::unique_ptr<fs::DfsWriter> writer_;
   Schema schema_;
+  // Reused line staging buffer: AppendLine runs once per row on every write
+  // path, so it must not allocate per call.
+  std::string write_buf_;
 };
 
 /// Reads the rows of one split of a TextFile (Hadoop line-boundary rules:
@@ -59,8 +64,12 @@ class TextSplitReader : public RecordReader {
   uint64_t BytesRead() const override { return bytes_read_; }
 
   /// Raw access used by index builders: like Next but exposes the line text.
-  /// Exactly one of NextLine/Next should be used on a reader.
+  /// Exactly one of NextLine/NextLineView/Next should be used on a reader.
   Result<bool> NextLine(std::string* line);
+
+  /// Zero-copy variant: `*line` points into the reader's internal buffer and
+  /// is valid only until the next call on this reader.
+  Result<bool> NextLineView(std::string_view* line);
 
  private:
   TextSplitReader(std::unique_ptr<fs::DfsReader> reader, fs::FileSplit split,
@@ -79,6 +88,8 @@ class TextSplitReader : public RecordReader {
   bool initialized_ = false;
   bool eof_ = false;
   bool exact_range_ = false;
+  // Reused by Next() for zero-copy field splitting.
+  std::vector<std::string_view> fields_scratch_;
 };
 
 }  // namespace dgf::table

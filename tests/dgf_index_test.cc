@@ -449,6 +449,86 @@ TEST(DgfAddAggregationTest, AddsUdfAndUsesIt) {
   EXPECT_NEAR(lookup.inner_header[1], expected_max, 1e-9);
 }
 
+// ---------- Decoded-GFU cache ----------
+
+TEST(DgfCacheTest, RepeatedLookupHitsCache) {
+  ScopedDfs dfs("dgf_cache_warm");
+  auto built = BuildTestIndex(dfs, 1500, 21);
+  query::Predicate pred = MeterPredicate(0, 1000, 1, 6, 15000, 15010);
+
+  ASSERT_OK_AND_ASSIGN(auto cold, built.index->Lookup(pred, true));
+  EXPECT_GT(cold.cache_misses, 0u);
+  ASSERT_OK_AND_ASSIGN(auto warm, built.index->Lookup(pred, true));
+  EXPECT_GT(warm.cache_hits, 0u);
+  EXPECT_LT(warm.cache_misses, cold.cache_misses);
+
+  // Cached answers are the same answers.
+  ASSERT_EQ(warm.inner_header.size(), cold.inner_header.size());
+  for (size_t i = 0; i < cold.inner_header.size(); ++i) {
+    EXPECT_EQ(warm.inner_header[i], cold.inner_header[i]);
+  }
+  EXPECT_EQ(warm.inner_records, cold.inner_records);
+  EXPECT_EQ(warm.slices.size(), cold.slices.size());
+}
+
+TEST(DgfCacheTest, AddAggregationInvalidatesCache) {
+  ScopedDfs dfs("dgf_cache_addagg");
+  auto built = BuildTestIndex(dfs, 1200, 22, {"count(*)"});
+  query::Predicate pred = MeterPredicate(0, 1000, 1, 6, 15000, 15010);
+  // Warm the cache with the single-aggregate headers.
+  ASSERT_OK_AND_ASSIGN(auto before, built.index->Lookup(pred, true));
+  ASSERT_EQ(before.inner_header.size(), 1u);
+
+  ASSERT_OK_AND_ASSIGN(AggSpec max_spec, AggSpec::Parse("max(powerConsumed)"));
+  ASSERT_OK(built.index->AddAggregation(max_spec));
+
+  // Stale cached GfuValues would still carry one header slot.
+  ASSERT_OK_AND_ASSIGN(auto after, built.index->Lookup(pred, true));
+  ASSERT_EQ(after.inner_header.size(), 2u);
+  double expected_max = -1;
+  for (const auto& row : built.rows) {
+    expected_max = std::max(expected_max, row[3].AsDouble());
+  }
+  EXPECT_NEAR(after.inner_header[1], expected_max, 1e-9);
+}
+
+TEST(DgfCacheTest, AppendInvalidatesCache) {
+  ScopedDfs dfs("dgf_cache_append");
+  auto built = BuildTestIndex(dfs, 1000, 23);
+  query::Predicate pred = MeterPredicate(0, 1000, 1, 6, 15000, 15010);
+  // Warm the cache before appending rows into the same cells.
+  ASSERT_OK_AND_ASSIGN(auto before, built.index->Lookup(pred, true));
+
+  TableDesc batch{"meter_new", MeterSchema(), table::FileFormat::kText,
+                  "/staging/meter_new"};
+  auto rows = MakeRows(600, 24);
+  ASSERT_OK_AND_ASSIGN(auto writer, table::TableWriter::Create(dfs.get(), batch));
+  for (const auto& row : rows) ASSERT_OK(writer->Append(row));
+  ASSERT_OK(writer->Close());
+  ASSERT_OK(DgfBuilder::Append(built.index.get(), batch).status());
+
+  std::vector<table::Row> all_rows = built.rows;
+  all_rows.insert(all_rows.end(), rows.begin(), rows.end());
+  ASSERT_OK_AND_ASSIGN(auto after, built.index->Lookup(pred, true));
+  double sum = after.inner_header[0];
+  uint64_t count = after.inner_records;
+  auto bound = pred.Bind(MeterSchema());
+  ASSERT_TRUE(bound.ok());
+  for (const auto& row : ReadSlices(dfs, after.slices, MeterSchema())) {
+    if (bound->Matches(row)) {
+      sum += row[3].AsDouble();
+      ++count;
+    }
+  }
+  uint64_t expected_count = 0;
+  const double expected =
+      BruteForceSum(all_rows, pred, MeterSchema(), &expected_count);
+  EXPECT_NEAR(sum, expected, 1e-6);
+  EXPECT_EQ(count, expected_count);
+  // Stale cached records would undercount versus the pre-append lookup.
+  EXPECT_GT(count, before.inner_records);
+}
+
 // ---------- Sliced input format ----------
 
 TEST(SlicedSplitTest, FiltersUnrelatedSplits) {

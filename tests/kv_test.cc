@@ -3,6 +3,8 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/random.h"
 #include "common/string_util.h"
@@ -151,6 +153,62 @@ TEST_P(KvConformanceTest, RandomizedAgainstStdMap) {
   EXPECT_EQ(want, model.end());
 }
 
+TEST_P(KvConformanceTest, MultiGetMixedKeys) {
+  auto fixture = MakeStore(GetParam(), "mget");
+  auto& store = *fixture.store;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK(store.Put(StringPrintf("key%03d", i), "v" + std::to_string(i)));
+  }
+  ASSERT_OK(store.Delete("key042"));
+
+  const std::vector<std::string> keys = {"key000", "key042", "missing",
+                                         "key099", "key007", "key007"};
+  auto results = store.MultiGet(keys);
+  ASSERT_EQ(results.size(), keys.size());
+  EXPECT_EQ(*results[0], "v0");
+  EXPECT_TRUE(results[1].status().IsNotFound());  // deleted
+  EXPECT_TRUE(results[2].status().IsNotFound());  // never written
+  EXPECT_EQ(*results[3], "v99");
+  EXPECT_EQ(*results[4], "v7");  // duplicates each get an answer
+  EXPECT_EQ(*results[5], "v7");
+}
+
+TEST_P(KvConformanceTest, MultiGetEmptyBatch) {
+  auto fixture = MakeStore(GetParam(), "mget0");
+  EXPECT_TRUE(fixture.store->MultiGet({}).empty());
+}
+
+TEST_P(KvConformanceTest, MultiGetMatchesGetRandomized) {
+  auto fixture = MakeStore(GetParam(), "mgetr");
+  auto& store = *fixture.store;
+  std::map<std::string, std::string> model;
+  Random rng(77);
+  for (int op = 0; op < 1500; ++op) {
+    const std::string key = "k" + std::to_string(rng.Uniform(300));
+    if (rng.Uniform(5) == 0) {
+      ASSERT_OK(store.Delete(key));
+      model.erase(key);
+    } else {
+      const std::string value = "v" + std::to_string(rng.Next() % 100000);
+      ASSERT_OK(store.Put(key, value));
+      model[key] = value;
+    }
+  }
+  std::vector<std::string> keys;
+  for (int i = 0; i < 300; ++i) keys.push_back("k" + std::to_string(i));
+  auto results = store.MultiGet(keys);
+  ASSERT_EQ(results.size(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto want = model.find(keys[i]);
+    if (want == model.end()) {
+      EXPECT_TRUE(results[i].status().IsNotFound()) << keys[i];
+    } else {
+      ASSERT_TRUE(results[i].ok()) << keys[i];
+      EXPECT_EQ(*results[i], want->second) << keys[i];
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllStores, KvConformanceTest,
                          ::testing::Values(StoreKind::kMem, StoreKind::kLsm),
                          [](const auto& info) {
@@ -197,6 +255,40 @@ TEST(SstableTest, TombstonesSurfaceInGet) {
   EXPECT_TRUE(deleted);
   EXPECT_EQ(*reader->Get("live", &deleted), "v");
   EXPECT_FALSE(deleted);
+}
+
+TEST(SstableTest, MultiGetMergeJoinOverRun) {
+  ScopedDfs dfs("sst_mget");
+  ASSERT_OK_AND_ASSIGN(auto writer, SstableWriter::Create(dfs.get(), "/t.sst"));
+  for (int i = 0; i < 200; ++i) {
+    if (i == 150) {
+      ASSERT_OK(writer->Add(StringPrintf("k%03d", i), "", /*tombstone=*/true));
+    } else {
+      ASSERT_OK(writer->Add(StringPrintf("k%03d", i), "v" + std::to_string(i)));
+    }
+  }
+  ASSERT_OK(writer->Finish());
+  ASSERT_OK_AND_ASSIGN(auto reader, SstableReader::Open(dfs.get(), "/t.sst"));
+
+  // Sorted batch spanning found / tombstone / absent keys plus a duplicate.
+  const std::vector<std::string_view> keys = {"aaa",  "k000", "k000", "k017",
+                                              "k150", "k199", "zzz"};
+  ASSERT_OK_AND_ASSIGN(auto probes, reader->MultiGet(keys));
+  ASSERT_EQ(probes.size(), keys.size());
+  using State = SstableReader::ProbeResult;
+  EXPECT_EQ(probes[0].state, State::kAbsent);
+  EXPECT_EQ(probes[1].state, State::kFound);
+  EXPECT_EQ(probes[1].value, "v0");
+  EXPECT_EQ(probes[2].state, State::kFound);  // duplicate key re-resolved
+  EXPECT_EQ(probes[2].value, "v0");
+  EXPECT_EQ(probes[3].state, State::kFound);
+  EXPECT_EQ(probes[3].value, "v17");
+  EXPECT_EQ(probes[4].state, State::kTombstone);
+  EXPECT_EQ(probes[5].state, State::kFound);
+  EXPECT_EQ(probes[5].value, "v199");
+  EXPECT_EQ(probes[6].state, State::kAbsent);
+
+  EXPECT_TRUE(reader->MultiGet({})->empty());
 }
 
 TEST(SstableTest, CorruptMagicRejected) {
