@@ -1,27 +1,45 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a sanitizer pass over the kv/dgf tests.
+# Repo-wide verification with one line of PASS/FAIL per stage:
+# tier-1 build + ctest, the differential oracle smoke suite, and an
+# ASan/UBSan pass that re-runs both the unit tests and the harness.
 #
-#   scripts/check.sh            # full check (regular build + ctest, then ASan/UBSan)
-#   scripts/check.sh --fast     # regular build + ctest only
-set -euo pipefail
+#   scripts/check.sh            # all stages
+#   scripts/check.sh --fast     # skip the sanitizer stages
+set -u
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
+FAILED=0
 
-echo "== tier-1: configure + build + ctest =="
-cmake -B build -S . >/dev/null
-cmake --build build -j "$JOBS"
-ctest --test-dir build -j "$JOBS" --output-on-failure
+stage() {
+  local name="$1"
+  shift
+  local log
+  log="$(mktemp /tmp/dgf_check_XXXXXX.log)"
+  if "$@" >"$log" 2>&1; then
+    echo "[PASS] $name"
+    rm -f "$log"
+  else
+    echo "[FAIL] $name (log: $log)"
+    tail -20 "$log" | sed 's/^/       /'
+    FAILED=1
+  fi
+}
+
+stage "configure"        cmake -B build -S .
+stage "build"            cmake --build build -j "$JOBS"
+stage "unit tests"       ctest --test-dir build -j "$JOBS" --output-on-failure
+stage "difftest tier1"   ./build/src/dgf_difftest --seeds=tier1
 
 if [[ "${1:-}" == "--fast" ]]; then
-  echo "== OK (fast mode, sanitizer pass skipped) =="
-  exit 0
+  echo "== done (fast mode, sanitizer stages skipped) =="
+  exit "$FAILED"
 fi
 
-echo "== sanitizer: ASan+UBSan build of kv/dgf tests =="
-cmake -B build-asan -S . -DDGF_SANITIZE=ON >/dev/null
-cmake --build build-asan -j "$JOBS" --target dgf_tests
-ctest --test-dir build-asan -j "$JOBS" --output-on-failure \
-  -R 'Kv|Sstable|Lsm|Dgf|Slice'
+stage "asan configure"   cmake -B build-asan -S . -DDGF_SANITIZE=ON
+stage "asan build"       cmake --build build-asan -j "$JOBS"
+stage "asan kv/dgf tests" ctest --test-dir build-asan -j "$JOBS" \
+  --output-on-failure -R 'Kv|Sstable|Lsm|Dgf|Slice|Difftest'
+stage "asan difftest"    ./build-asan/src/dgf_difftest --seed=1 --queries=40
 
-echo "== OK =="
+exit "$FAILED"

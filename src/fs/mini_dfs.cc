@@ -88,9 +88,37 @@ class LocalDfsReader : public DfsReader {
     if (offset >= length_) return Status::OK();
     length = std::min(length, length_ - offset);
     out->resize(length);
+    std::shared_ptr<ReadFaultInjector> injector;
+    {
+      std::lock_guard<std::mutex> lock(dfs_->mu_);
+      injector = dfs_->fault_injector_;
+    }
+    // Transient failures are retried like a DFS client failing over to
+    // another replica; past the budget the error surfaces structured.
+    int transient_failures = 0;
+    constexpr int kMaxTransientRetries = 2;
     size_t done = 0;
     while (done < length) {
-      const ssize_t n = ::pread(fd_, out->data() + done, length - done,
+      size_t attempt = length - done;
+      if (injector != nullptr) {
+        const ReadFault fault =
+            injector->NextFault(path_, offset + done, attempt);
+        switch (fault.kind) {
+          case ReadFault::Kind::kNone:
+            break;
+          case ReadFault::Kind::kTransientError:
+            if (++transient_failures > kMaxTransientRetries) {
+              return Status::IOError("injected transient read error: " +
+                                     path_);
+            }
+            continue;  // retry the same attempt
+          case ReadFault::Kind::kShortRead:
+            attempt = std::min<size_t>(attempt,
+                                       std::max<uint64_t>(1, fault.max_bytes));
+            break;
+        }
+      }
+      const ssize_t n = ::pread(fd_, out->data() + done, attempt,
                                 static_cast<off_t>(offset + done));
       if (n < 0) {
         if (errno == EINTR) continue;
@@ -328,6 +356,11 @@ void MiniDfs::ResetCounters() {
   bytes_written_.store(0);
   bytes_read_.store(0);
   pread_calls_.store(0);
+}
+
+void MiniDfs::SetReadFaultInjector(std::shared_ptr<ReadFaultInjector> injector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault_injector_ = std::move(injector);
 }
 
 }  // namespace dgf::fs

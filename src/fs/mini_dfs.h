@@ -53,6 +53,37 @@ class DfsReader {
   virtual uint64_t Length() const = 0;
 };
 
+/// One injected fault decision for a single low-level read.
+struct ReadFault {
+  enum class Kind {
+    kNone,
+    /// The read attempt fails; the reader retries it a bounded number of
+    /// times (the DFS client's behaviour on a flaky DataNode) before
+    /// surfacing a structured IOError.
+    kTransientError,
+    /// The read attempt returns fewer bytes than asked (capped at
+    /// `max_bytes`); the reader's loop must absorb it without truncating
+    /// data. Never produces wrong data by construction — only exposes
+    /// callers that mishandle partial reads.
+    kShortRead,
+  };
+  Kind kind = Kind::kNone;
+  uint64_t max_bytes = 0;
+};
+
+/// Fault source consulted once per low-level read attempt. Implementations
+/// live in src/testing/ (seeded, replayable schedules); production runs have
+/// none installed and pay only a null check.
+class ReadFaultInjector {
+ public:
+  virtual ~ReadFaultInjector() = default;
+
+  /// Decides the fate of one read attempt of `length` bytes at `offset` of
+  /// `path`.
+  virtual ReadFault NextFault(const std::string& path, uint64_t offset,
+                              uint64_t length) = 0;
+};
+
 /// A single-process stand-in for HDFS.
 ///
 /// Files are stored in a local directory; MiniDfs layers on top of it the
@@ -127,6 +158,10 @@ class MiniDfs {
   uint64_t TotalPreadCalls() const { return pread_calls_.load(); }
   void ResetCounters();
 
+  /// Installs (or, with nullptr, removes) a read-fault injector. Applies to
+  /// readers opened after the call as well as already-open ones.
+  void SetReadFaultInjector(std::shared_ptr<ReadFaultInjector> injector);
+
  private:
   explicit MiniDfs(Options options);
 
@@ -147,6 +182,8 @@ class MiniDfs {
   std::atomic<uint64_t> bytes_written_{0};
   std::atomic<uint64_t> bytes_read_{0};
   std::atomic<uint64_t> pread_calls_{0};
+  // Guarded by mu_; readers copy the shared_ptr once per Pread call.
+  std::shared_ptr<ReadFaultInjector> fault_injector_;
 };
 
 }  // namespace dgf::fs

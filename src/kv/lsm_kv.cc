@@ -1,10 +1,12 @@
 #include "kv/lsm_kv.h"
 
 #include <algorithm>
+#include <set>
 
 #include "common/encoding.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "testing/crash_point.h"
 
 namespace dgf::kv {
 namespace {
@@ -158,6 +160,20 @@ std::string LsmKv::RunPath(uint64_t id) const {
 Status LsmKv::Recover() {
   auto& dfs = *options_.dfs;
   const std::string manifest_path = options_.dir + "/MANIFEST";
+  const std::string tmp_path = options_.dir + "/MANIFEST.tmp";
+  // Roll forward a crash that landed between deleting the old MANIFEST and
+  // renaming the new one into place: MANIFEST.tmp is written and closed
+  // before the old manifest is touched, so when only the tmp exists it is
+  // complete and authoritative. Without this, such a crash would silently
+  // drop every run — the WAL only covers records since the last flush.
+  if (!dfs.Exists(manifest_path) && dfs.Exists(tmp_path)) {
+    DGF_RETURN_IF_ERROR(dfs.Rename(tmp_path, manifest_path));
+  } else if (dfs.Exists(tmp_path)) {
+    // A tmp next to a live manifest is a crash leftover; it may reference
+    // runs the orphan cleanup below deletes, so drop it.
+    DGF_RETURN_IF_ERROR(dfs.Delete(tmp_path));
+  }
+  std::set<std::string> live_runs;
   if (dfs.Exists(manifest_path)) {
     DGF_ASSIGN_OR_RETURN(auto reader, dfs.OpenForRead(manifest_path));
     std::string contents;
@@ -168,12 +184,26 @@ Status LsmKv::Recover() {
       DGF_ASSIGN_OR_RETURN(
           auto run, SstableReader::Open(options_.dfs, std::string(line)));
       runs_.push_back(std::move(run));
-      // Run files are named run-<id>.sst; keep next_run_id_ above all of them.
-      const size_t dash = line.rfind('-');
-      const size_t dot = line.rfind('.');
-      if (dash != std::string_view::npos && dot != std::string_view::npos) {
-        auto id = ParseInt64(line.substr(dash + 1, dot - dash - 1));
-        if (id.ok()) next_run_id_ = std::max<uint64_t>(next_run_id_, *id + 1);
+      live_runs.insert(std::string(line));
+    }
+  }
+  // Scan the directory for run files. Every id ever used — including orphans
+  // a crash sealed but never adopted into the manifest — must stay retired,
+  // or the next flush would collide with AlreadyExists. Orphans themselves
+  // are deleted: nothing references them and their records are still in the
+  // WAL.
+  for (const fs::FileStatus& file : dfs.ListFiles(options_.dir + "/run-")) {
+    const size_t dash = file.path.rfind('-');
+    const size_t dot = file.path.rfind('.');
+    if (dash != std::string::npos && dot != std::string::npos && dash < dot) {
+      auto id = ParseInt64(
+          std::string_view(file.path).substr(dash + 1, dot - dash - 1));
+      if (id.ok()) next_run_id_ = std::max<uint64_t>(next_run_id_, *id + 1);
+    }
+    if (live_runs.count(file.path) == 0) {
+      Status st = dfs.Delete(file.path);
+      if (!st.ok()) {
+        DGF_LOG(kWarn) << "orphan run delete: " << st.ToString();
       }
     }
   }
@@ -333,6 +363,7 @@ std::unique_ptr<Iterator> LsmKv::NewIterator() {
 
 Status LsmKv::FlushLocked() {
   if (memtable_.empty()) return Status::OK();
+  DGF_CRASH_POINT("lsm.flush.before_sstable");
   const uint64_t run_id = next_run_id_++;
   DGF_ASSIGN_OR_RETURN(auto writer,
                        SstableWriter::Create(options_.dfs, RunPath(run_id)));
@@ -341,20 +372,33 @@ Status LsmKv::FlushLocked() {
                                     /*tombstone=*/!value.has_value()));
   }
   DGF_RETURN_IF_ERROR(writer->Finish());
+  DGF_CRASH_POINT("lsm.flush.after_sstable");
   DGF_ASSIGN_OR_RETURN(auto run,
                        SstableReader::Open(options_.dfs, RunPath(run_id)));
   runs_.push_back(std::move(run));
+  DGF_CRASH_POINT("lsm.flush.before_manifest");
+  if (Status st = WriteManifest(); !st.ok()) {
+    // The run never became visible on disk; drop it from the in-memory view
+    // too so a caller that survives the error keeps a consistent store (the
+    // WAL still holds every memtable record).
+    runs_.pop_back();
+    return st;
+  }
+  // Only forget the memtable once the manifest has adopted the run; an error
+  // in between must not make acknowledged records unreadable in memory.
   memtable_.clear();
   memtable_bytes_ = 0;
-  DGF_RETURN_IF_ERROR(WriteManifest());
+  DGF_CRASH_POINT("lsm.flush.before_wal_truncate");
   // Truncate the WAL: everything in it is now durable in a run.
   DGF_RETURN_IF_ERROR(wal_->Close());
   DGF_RETURN_IF_ERROR(options_.dfs->Delete(wal_path_));
+  DGF_CRASH_POINT("lsm.flush.after_wal_delete");
   DGF_ASSIGN_OR_RETURN(wal_, options_.dfs->Create(wal_path_));
   if (static_cast<int>(runs_.size()) > options_.max_runs) {
     // Compact inline; the store is small relative to the data it indexes.
     std::vector<std::shared_ptr<SstableReader>> old_runs = runs_;
     DGF_RETURN_IF_ERROR([&]() -> Status {
+      DGF_CRASH_POINT("lsm.compact.before_merge");
       const uint64_t merged_id = next_run_id_++;
       DGF_ASSIGN_OR_RETURN(
           auto merged_writer,
@@ -365,11 +409,17 @@ Status LsmKv::FlushLocked() {
         DGF_RETURN_IF_ERROR(merged_writer->Add(merge_it.key(), merge_it.value()));
       }
       DGF_RETURN_IF_ERROR(merged_writer->Finish());
+      DGF_CRASH_POINT("lsm.compact.after_merge");
       DGF_ASSIGN_OR_RETURN(
           auto merged, SstableReader::Open(options_.dfs, RunPath(merged_id)));
       runs_.clear();
       runs_.push_back(std::move(merged));
-      return WriteManifest();
+      if (Status st = WriteManifest(); !st.ok()) {
+        runs_ = old_runs;  // the manifest still lists the pre-merge runs
+        return st;
+      }
+      DGF_CRASH_POINT("lsm.compact.before_delete_stale");
+      return Status::OK();
     }());
     for (const auto& run : old_runs) {
       Status st = options_.dfs->Delete(run->path());
@@ -390,12 +440,8 @@ Status LsmKv::Compact() {
   std::lock_guard<std::mutex> lock(mu_);
   DGF_RETURN_IF_ERROR(FlushLocked());
   if (runs_.size() <= 1) return Status::OK();
-  const int saved_max = options_.max_runs;
-  options_.max_runs = 0;
-  // Trigger the compaction path through a flush of an empty memtable: do it
-  // directly instead.
-  options_.max_runs = saved_max;
   std::vector<std::shared_ptr<SstableReader>> old_runs = runs_;
+  DGF_CRASH_POINT("lsm.compact.before_merge");
   const uint64_t merged_id = next_run_id_++;
   DGF_ASSIGN_OR_RETURN(auto writer,
                        SstableWriter::Create(options_.dfs, RunPath(merged_id)));
@@ -404,11 +450,16 @@ Status LsmKv::Compact() {
     DGF_RETURN_IF_ERROR(writer->Add(merge_it.key(), merge_it.value()));
   }
   DGF_RETURN_IF_ERROR(writer->Finish());
+  DGF_CRASH_POINT("lsm.compact.after_merge");
   DGF_ASSIGN_OR_RETURN(auto merged,
                        SstableReader::Open(options_.dfs, RunPath(merged_id)));
   runs_.clear();
   runs_.push_back(std::move(merged));
-  DGF_RETURN_IF_ERROR(WriteManifest());
+  if (Status st = WriteManifest(); !st.ok()) {
+    runs_ = std::move(old_runs);  // the manifest still lists the old runs
+    return st;
+  }
+  DGF_CRASH_POINT("lsm.compact.before_delete_stale");
   for (const auto& run : old_runs) {
     Status st = options_.dfs->Delete(run->path());
     if (!st.ok()) {
@@ -421,6 +472,7 @@ Status LsmKv::Compact() {
 Status LsmKv::WriteManifest() {
   const std::string tmp_path = options_.dir + "/MANIFEST.tmp";
   const std::string manifest_path = options_.dir + "/MANIFEST";
+  DGF_CRASH_POINT("lsm.manifest.before_tmp");
   if (options_.dfs->Exists(tmp_path)) {
     DGF_RETURN_IF_ERROR(options_.dfs->Delete(tmp_path));
   }
@@ -429,9 +481,11 @@ Status LsmKv::WriteManifest() {
     DGF_RETURN_IF_ERROR(writer->Append(run->path() + "\n"));
   }
   DGF_RETURN_IF_ERROR(writer->Close());
+  DGF_CRASH_POINT("lsm.manifest.after_tmp");
   if (options_.dfs->Exists(manifest_path)) {
     DGF_RETURN_IF_ERROR(options_.dfs->Delete(manifest_path));
   }
+  DGF_CRASH_POINT("lsm.manifest.before_rename");
   return options_.dfs->Rename(tmp_path, manifest_path);
 }
 

@@ -25,7 +25,15 @@ namespace dgf::kv {
 ///
 /// Reads consult memtable first, then runs newest-to-oldest; range scans
 /// merge all sources with newest-wins semantics. Recovery replays the WAL
-/// over the runs listed in the manifest.
+/// over the runs listed in the manifest, rolls a completed MANIFEST.tmp
+/// forward when a crash landed between the old manifest's deletion and the
+/// rename, and deletes orphan run files a crash left unadopted (their
+/// records are still covered by the WAL).
+///
+/// The flush/compaction/manifest paths are instrumented with
+/// DGF_CRASH_POINT markers; the crash-consistency sweep in src/testing/
+/// kills-and-reopens the store at every such boundary and checks the
+/// recovered state against a shadow oracle.
 class LsmKv : public KvStore {
  public:
   struct Options {

@@ -362,8 +362,20 @@ Result<QueryResult> QueryExecutor::ExecuteDgf(TableState* state,
                                               const Query& query) {
   core::DgfIndex* index = state->dgf;
   const AggPlan plan = AggPlan::Create(query.Aggregations());
-  const bool agg_path =
-      query.IsPlainAggregation() && index->CoversAggregations(plan.physical);
+  // Precomputed inner-GFU headers are only valid when every predicate
+  // condition is on an indexed dimension: Lookup ignores non-dimension
+  // conditions and only boundary slices are re-filtered by the scan. A
+  // predicate on a non-indexed column forces the slice-scan path, which
+  // re-applies the whole predicate row by row.
+  bool pred_covered = true;
+  for (const auto& range : query.where.ranges()) {
+    if (!index->policy().DimIndex(range.column).ok()) {
+      pred_covered = false;
+      break;
+    }
+  }
+  const bool agg_path = query.IsPlainAggregation() && pred_covered &&
+                        index->CoversAggregations(plan.physical);
 
   DGF_ASSIGN_OR_RETURN(auto lookup, index->Lookup(query.where, agg_path));
 

@@ -1,0 +1,36 @@
+#include "testing/corruption.h"
+
+namespace dgf::testing {
+namespace {
+
+Status RewriteFile(const std::shared_ptr<fs::MiniDfs>& dfs,
+                   const std::string& path, const std::string& contents) {
+  DGF_RETURN_IF_ERROR(dfs->Delete(path));
+  DGF_ASSIGN_OR_RETURN(auto writer, dfs->Create(path));
+  DGF_RETURN_IF_ERROR(writer->Append(contents));
+  return writer->Close();
+}
+
+}  // namespace
+
+Status FlipByte(const std::shared_ptr<fs::MiniDfs>& dfs,
+                const std::string& path, uint64_t at) {
+  DGF_ASSIGN_OR_RETURN(auto reader, dfs->OpenForRead(path));
+  std::string contents;
+  DGF_RETURN_IF_ERROR(reader->Pread(0, reader->Length(), &contents));
+  if (at >= contents.size()) {
+    return Status::InvalidArgument("FlipByte offset past end of " + path);
+  }
+  contents[at] = static_cast<char>(~contents[at]);
+  return RewriteFile(dfs, path, contents);
+}
+
+Status TruncateFile(const std::shared_ptr<fs::MiniDfs>& dfs,
+                    const std::string& path, uint64_t keep) {
+  DGF_ASSIGN_OR_RETURN(auto reader, dfs->OpenForRead(path));
+  std::string contents;
+  DGF_RETURN_IF_ERROR(reader->Pread(0, keep, &contents));
+  return RewriteFile(dfs, path, contents);
+}
+
+}  // namespace dgf::testing

@@ -1,0 +1,28 @@
+#ifndef DGF_TESTING_CORRUPTION_H_
+#define DGF_TESTING_CORRUPTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "fs/mini_dfs.h"
+
+namespace dgf::testing {
+
+/// Targeted on-disk corruption helpers shared by the failure-injection tests
+/// and the differential harness. MiniDfs files are write-once, so both
+/// helpers re-create the file with the mutated contents (which is also what
+/// an external corruptor racing HDFS would effectively produce).
+
+/// Rewrites `path` with byte `at` bit-flipped.
+Status FlipByte(const std::shared_ptr<fs::MiniDfs>& dfs,
+                const std::string& path, uint64_t at);
+
+/// Rewrites `path` keeping only its first `keep` bytes.
+Status TruncateFile(const std::shared_ptr<fs::MiniDfs>& dfs,
+                    const std::string& path, uint64_t keep);
+
+}  // namespace dgf::testing
+
+#endif  // DGF_TESTING_CORRUPTION_H_

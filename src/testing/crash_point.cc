@@ -1,0 +1,84 @@
+#include "testing/crash_point.h"
+
+#include <algorithm>
+#include <map>
+
+namespace dgf::testing {
+namespace {
+
+constexpr const char* kCrashMessagePrefix = "injected crash at ";
+
+enum class Mode { kOff, kRecording, kArmed };
+
+struct State {
+  Mode mode = Mode::kOff;
+  std::string armed_point;
+  int armed_occurrence = 0;
+  bool fired = false;
+  std::map<std::string, int> hits;
+};
+
+State& GetState() {
+  static State state;
+  return state;
+}
+
+}  // namespace
+
+std::atomic<bool> CrashPoints::active_{false};
+
+void CrashPoints::Arm(std::string point, int occurrence) {
+  State& s = GetState();
+  s.mode = Mode::kArmed;
+  s.armed_point = std::move(point);
+  s.armed_occurrence = occurrence;
+  s.fired = false;
+  s.hits.clear();
+  active_.store(true, std::memory_order_relaxed);
+}
+
+void CrashPoints::Disarm() {
+  State& s = GetState();
+  s.mode = Mode::kOff;
+  s.armed_point.clear();
+  s.armed_occurrence = 0;
+  s.hits.clear();
+  active_.store(false, std::memory_order_relaxed);
+}
+
+void CrashPoints::StartRecording() {
+  State& s = GetState();
+  s.mode = Mode::kRecording;
+  s.fired = false;
+  s.hits.clear();
+  active_.store(true, std::memory_order_relaxed);
+}
+
+std::vector<std::pair<std::string, int>> CrashPoints::StopRecording() {
+  State& s = GetState();
+  std::vector<std::pair<std::string, int>> out(s.hits.begin(), s.hits.end());
+  Disarm();
+  return out;
+}
+
+bool CrashPoints::Fired() { return GetState().fired; }
+
+Status CrashPoints::Check(const char* point) {
+  State& s = GetState();
+  if (s.mode == Mode::kOff) return Status::OK();
+  const int hit = ++s.hits[point];
+  if (s.mode == Mode::kArmed && !s.fired && s.armed_point == point &&
+      hit == s.armed_occurrence) {
+    s.fired = true;
+    return Status::IOError(kCrashMessagePrefix + s.armed_point + "#" +
+                           std::to_string(hit));
+  }
+  return Status::OK();
+}
+
+bool CrashPoints::IsInjectedCrash(const Status& status) {
+  return status.IsIOError() &&
+         status.message().rfind(kCrashMessagePrefix, 0) == 0;
+}
+
+}  // namespace dgf::testing

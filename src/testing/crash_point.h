@@ -1,0 +1,78 @@
+#ifndef DGF_TESTING_CRASH_POINT_H_
+#define DGF_TESTING_CRASH_POINT_H_
+
+#include <atomic>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dgf::testing {
+
+/// Process-wide registry of named crash points.
+///
+/// Production code marks the boundaries of its multi-step durable updates
+/// with `DGF_CRASH_POINT("lsm.flush.after_sstable")`. In normal operation the
+/// macro is a single relaxed atomic load. The crash-consistency sweep drives
+/// it in two modes:
+///
+///   * recording: every hit is counted per point, nothing fails. The sweep
+///     uses the recorded (point, hit-count) map to enumerate every syscall
+///     boundary a real crash could land on.
+///   * armed: the k-th hit of one chosen point returns an injected IOError,
+///     simulating the process dying at exactly that boundary. The caller
+///     then discards all in-memory state and re-opens from disk, which is
+///     what a real restart would see (writes before the point are on disk,
+///     writes after it never happened).
+///
+/// Not thread-safe by design: crash sweeps run their workload single
+/// threaded so the boundary enumeration is deterministic and replayable
+/// from a seed.
+class CrashPoints {
+ public:
+  /// Arms `point`: its `occurrence`-th hit (1-based) fails with IOError.
+  static void Arm(std::string point, int occurrence);
+
+  /// Leaves armed/recording mode; hit counters are reset.
+  static void Disarm();
+
+  /// Starts counting hits without failing any.
+  static void StartRecording();
+
+  /// Stops recording and returns (point, hits) sorted by point name.
+  static std::vector<std::pair<std::string, int>> StopRecording();
+
+  /// True once the armed crash has fired (the sweep uses this to tell an
+  /// injected crash from an ordinary workload error).
+  static bool Fired();
+
+  /// Fast-path guard: false whenever no sweep is active.
+  static bool Active() {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+  /// Called by instrumented code via DGF_CRASH_POINT. Returns the injected
+  /// error when this hit is the armed one.
+  static Status Check(const char* point);
+
+  /// True if `status` is an error injected by an armed crash point.
+  static bool IsInjectedCrash(const Status& status);
+
+ private:
+  static std::atomic<bool> active_;
+};
+
+}  // namespace dgf::testing
+
+/// Marks one crash boundary inside a function returning Status (or, via
+/// DGF_RETURN_IF_ERROR at the call site, Result<T>). Free when no sweep is
+/// active.
+#define DGF_CRASH_POINT(point)                                          \
+  do {                                                                  \
+    if (::dgf::testing::CrashPoints::Active()) {                        \
+      DGF_RETURN_IF_ERROR(::dgf::testing::CrashPoints::Check(point));   \
+    }                                                                   \
+  } while (0)
+
+#endif  // DGF_TESTING_CRASH_POINT_H_

@@ -1,0 +1,88 @@
+#ifndef DGF_TESTING_DIFFERENTIAL_H_
+#define DGF_TESTING_DIFFERENTIAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dgf::testing {
+
+/// One confirmed disagreement between two access paths (or an unexpected
+/// execution error). `repro` is a standalone command line that replays
+/// exactly this case.
+struct Divergence {
+  uint64_t seed = 0;
+  int case_id = 0;
+  /// Textual form of the (possibly shrunk) query that diverged.
+  std::string query;
+  /// The two access paths that disagreed (path_a is the oracle).
+  std::string path_a;
+  std::string path_b;
+  /// First mismatching cell / row-count mismatch / error status.
+  std::string detail;
+  std::string repro;
+
+  std::string ToString() const;
+};
+
+/// Cross-engine differential run: every generated query is executed through
+/// brute-force scan (the oracle), Compact Index, Bitmap Index, DGFIndex over
+/// TextFile slices, DGFIndex over RCFile slices, and — when the query shape
+/// qualifies — the Aggregate Index count rewrite. All paths re-apply the full
+/// predicate during their data scan, so any difference in results is a bug.
+struct DiffOptions {
+  uint64_t seed = 1;
+  int num_queries = 100;
+  /// >= 0: generate and run only this case id (seed replay of one failure).
+  int only_case = -1;
+  /// Bisect a diverging query down to a smaller one before reporting.
+  bool shrink = true;
+  bool verbose = false;
+};
+
+struct DiffReport {
+  int queries_run = 0;
+  /// Path executions compared against the oracle (>= queries_run * 4).
+  int comparisons = 0;
+  std::vector<Divergence> divergences;
+
+  bool ok() const { return divergences.empty(); }
+};
+
+/// Builds a seeded random world (schema variation, dataset, grid policy, all
+/// five access paths) and differentially checks `num_queries` generated
+/// queries. Deterministic for a fixed (seed, case) pair.
+Result<DiffReport> RunDifferential(const DiffOptions& options);
+
+/// Fault sweep: the same differential worlds queried while a seed-replayable
+/// SeededFaultSchedule injects transient read errors and short reads into
+/// every MiniDfs read. Queries must either succeed with exactly the oracle's
+/// rows or fail with the injected structured IOError — never return wrong
+/// data.
+struct FaultSweepOptions {
+  uint64_t seed = 1;
+  int num_queries = 40;
+  bool verbose = false;
+};
+
+struct FaultReport {
+  int queries_run = 0;
+  /// Path executions attempted under injection.
+  int executions = 0;
+  /// Executions that failed with the injected structured error (retried
+  /// transient bursts longer than the reader's budget).
+  int structured_errors = 0;
+  uint64_t faults_injected = 0;
+  uint64_t short_reads = 0;
+  std::vector<Divergence> divergences;
+
+  bool ok() const { return divergences.empty(); }
+};
+
+Result<FaultReport> RunFaultSweep(const FaultSweepOptions& options);
+
+}  // namespace dgf::testing
+
+#endif  // DGF_TESTING_DIFFERENTIAL_H_

@@ -1,0 +1,273 @@
+// dgf_difftest: differential oracle harness for the mini warehouse.
+//
+// Every generated query is executed through brute-force scan, Compact Index,
+// Bitmap Index, DGFIndex over TextFile slices, DGFIndex over RCFile slices
+// (and the Aggregate Index rewrite when eligible) and the results must be
+// identical. On top of the query differential it sweeps LsmKv crash
+// consistency (kill-and-reopen at every flush/compaction/manifest boundary)
+// and replays seeded read-fault schedules against live queries.
+//
+// Modes:
+//   dgf_difftest --seeds=tier1           fixed smoke suite (the ctest entry)
+//   dgf_difftest --seed=N [--queries=Q]  one differential world
+//   dgf_difftest --seed=N --case=K       replay one failing case
+//   dgf_difftest --crash-sweep --seed=N  LSM crash-consistency sweep only
+//   dgf_difftest --fault-sweep --seed=N  read-fault schedule sweep only
+//   dgf_difftest --parser-fuzz --seed=N [--case=K]  parser fuzz only
+//   dgf_difftest --duration=SECONDS      open-ended soak over rolling seeds
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "testing/differential.h"
+#include "testing/lsm_crash_sweep.h"
+#include "testing/parser_fuzz.h"
+
+namespace {
+
+using dgf::testing::CrashSweepOptions;
+using dgf::testing::CrashSweepReport;
+using dgf::testing::DiffOptions;
+using dgf::testing::DiffReport;
+using dgf::testing::FaultReport;
+using dgf::testing::FaultSweepOptions;
+using dgf::testing::ParserFuzzOptions;
+using dgf::testing::ParserFuzzReport;
+
+struct Flags {
+  bool tier1 = false;
+  uint64_t seed = 1;
+  int queries = 100;
+  int only_case = -1;
+  double duration = 0;
+  bool crash_sweep = false;
+  bool fault_sweep = false;
+  bool parser_fuzz = false;
+  bool no_shrink = false;
+  bool verbose = false;
+};
+
+bool ParseFlag(const char* arg, const char* name, const char** value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '\0') {
+    *value = nullptr;
+    return true;
+  }
+  if (arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seeds=tier1] [--seed=N] [--queries=N] "
+               "[--case=K] [--duration=SECONDS] [--crash-sweep] "
+               "[--fault-sweep] [--parser-fuzz] [--no-shrink] [--verbose]\n",
+               argv0);
+  return 2;
+}
+
+// One-line stage summary; failures print in full underneath.
+int failures_total = 0;
+
+void Stage(const char* name, bool ok, const std::string& summary) {
+  std::printf("[%s] %-14s %s\n", ok ? "PASS" : "FAIL", name, summary.c_str());
+  std::fflush(stdout);
+  if (!ok) ++failures_total;
+}
+
+bool RunDiff(const DiffOptions& options) {
+  auto report = dgf::testing::RunDifferential(options);
+  if (!report.ok()) {
+    Stage("differential", false,
+          "seed=" + std::to_string(options.seed) +
+              " harness error: " + report.status().ToString());
+    return false;
+  }
+  Stage("differential", report->ok(),
+        "seed=" + std::to_string(options.seed) + " queries=" +
+            std::to_string(report->queries_run) + " comparisons=" +
+            std::to_string(report->comparisons) + " divergences=" +
+            std::to_string(report->divergences.size()));
+  for (const auto& divergence : report->divergences) {
+    std::printf("%s\n", divergence.ToString().c_str());
+  }
+  return report->ok();
+}
+
+bool RunCrash(const CrashSweepOptions& options) {
+  auto report = dgf::testing::RunLsmCrashSweep(options);
+  if (!report.ok()) {
+    Stage("crash-sweep", false,
+          "seed=" + std::to_string(options.seed) +
+              " harness error: " + report.status().ToString());
+    return false;
+  }
+  Stage("crash-sweep", report->ok(),
+        "seed=" + std::to_string(options.seed) + " points=" +
+            std::to_string(report->points_covered) + " schedules=" +
+            std::to_string(report->schedules_run) + " failures=" +
+            std::to_string(report->failures.size()));
+  for (const auto& failure : report->failures) {
+    std::printf("CRASH-SWEEP FAILURE: %s\n", failure.c_str());
+  }
+  return report->ok();
+}
+
+bool RunFaults(const FaultSweepOptions& options) {
+  auto report = dgf::testing::RunFaultSweep(options);
+  if (!report.ok()) {
+    Stage("fault-sweep", false,
+          "seed=" + std::to_string(options.seed) +
+              " harness error: " + report.status().ToString());
+    return false;
+  }
+  Stage("fault-sweep", report->ok(),
+        "seed=" + std::to_string(options.seed) + " queries=" +
+            std::to_string(report->queries_run) + " executions=" +
+            std::to_string(report->executions) + " faults=" +
+            std::to_string(report->faults_injected) + " short_reads=" +
+            std::to_string(report->short_reads) + " structured_errors=" +
+            std::to_string(report->structured_errors) + " divergences=" +
+            std::to_string(report->divergences.size()));
+  for (const auto& divergence : report->divergences) {
+    std::printf("%s\n", divergence.ToString().c_str());
+  }
+  return report->ok();
+}
+
+bool RunFuzz(const ParserFuzzOptions& options) {
+  auto report = dgf::testing::RunParserFuzz(options);
+  if (!report.ok()) {
+    Stage("parser-fuzz", false,
+          "seed=" + std::to_string(options.seed) +
+              " harness error: " + report.status().ToString());
+    return false;
+  }
+  Stage("parser-fuzz", report->ok(),
+        "seed=" + std::to_string(options.seed) + " cases=" +
+            std::to_string(report->cases_run) + " ok=" +
+            std::to_string(report->parse_ok) + " rejected=" +
+            std::to_string(report->parse_error) + " failures=" +
+            std::to_string(report->failures.size()));
+  for (const auto& failure : report->failures) {
+    std::printf("PARSER-FUZZ FAILURE: %s\n", failure.c_str());
+  }
+  return report->ok();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const char* value = nullptr;
+    if (ParseFlag(argv[i], "--seeds", &value)) {
+      if (value == nullptr || std::strcmp(value, "tier1") != 0) {
+        return Usage(argv[0]);
+      }
+      flags.tier1 = true;
+    } else if (ParseFlag(argv[i], "--seed", &value) && value != nullptr) {
+      flags.seed = std::strtoull(value, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--queries", &value) && value != nullptr) {
+      flags.queries = std::atoi(value);
+    } else if (ParseFlag(argv[i], "--case", &value) && value != nullptr) {
+      flags.only_case = std::atoi(value);
+    } else if (ParseFlag(argv[i], "--duration", &value) && value != nullptr) {
+      flags.duration = std::atof(value);
+    } else if (ParseFlag(argv[i], "--crash-sweep", &value)) {
+      flags.crash_sweep = true;
+    } else if (ParseFlag(argv[i], "--fault-sweep", &value)) {
+      flags.fault_sweep = true;
+    } else if (ParseFlag(argv[i], "--parser-fuzz", &value)) {
+      flags.parser_fuzz = true;
+    } else if (ParseFlag(argv[i], "--no-shrink", &value)) {
+      flags.no_shrink = true;
+    } else if (ParseFlag(argv[i], "--verbose", &value)) {
+      flags.verbose = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  if (flags.tier1) {
+    // Fixed-seed smoke suite: 5 differential worlds x 100 queries (>= 500
+    // randomized queries across all access paths), one full crash sweep,
+    // one fault sweep, and a parser fuzz pass.
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+      DiffOptions options;
+      options.seed = seed;
+      options.num_queries = 100;
+      options.verbose = flags.verbose;
+      RunDiff(options);
+    }
+    RunCrash(CrashSweepOptions{.seed = 7, .verbose = flags.verbose});
+    RunFaults(FaultSweepOptions{
+        .seed = 11, .num_queries = 30, .verbose = flags.verbose});
+    RunFuzz(ParserFuzzOptions{
+        .seed = 13, .num_cases = 400, .verbose = flags.verbose});
+    return failures_total == 0 ? 0 : 1;
+  }
+
+  if (flags.duration > 0) {
+    // Soak: rolling seeds, every component, until the clock runs out.
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(flags.duration));
+    uint64_t seed = flags.seed;
+    while (std::chrono::steady_clock::now() < deadline) {
+      DiffOptions options;
+      options.seed = seed;
+      options.num_queries = flags.queries;
+      options.shrink = !flags.no_shrink;
+      options.verbose = flags.verbose;
+      RunDiff(options);
+      RunCrash(CrashSweepOptions{.seed = seed, .verbose = flags.verbose});
+      RunFaults(FaultSweepOptions{
+          .seed = seed, .num_queries = 30, .verbose = flags.verbose});
+      RunFuzz(ParserFuzzOptions{
+          .seed = seed, .num_cases = 400, .verbose = flags.verbose});
+      ++seed;
+    }
+    std::printf("soak finished: seeds %llu..%llu, failures=%d\n",
+                static_cast<unsigned long long>(flags.seed),
+                static_cast<unsigned long long>(seed - 1), failures_total);
+    return failures_total == 0 ? 0 : 1;
+  }
+
+  const bool any_component =
+      flags.crash_sweep || flags.fault_sweep || flags.parser_fuzz;
+  if (flags.crash_sweep) {
+    RunCrash(CrashSweepOptions{.seed = flags.seed, .verbose = flags.verbose});
+  }
+  if (flags.fault_sweep) {
+    RunFaults(FaultSweepOptions{
+        .seed = flags.seed, .num_queries = flags.queries,
+        .verbose = flags.verbose});
+  }
+  if (flags.parser_fuzz) {
+    ParserFuzzOptions options;
+    options.seed = flags.seed;
+    options.only_case = flags.only_case;
+    options.verbose = flags.verbose;
+    RunFuzz(options);
+  }
+  if (!any_component) {
+    DiffOptions options;
+    options.seed = flags.seed;
+    options.num_queries = flags.queries;
+    options.only_case = flags.only_case;
+    options.shrink = !flags.no_shrink;
+    options.verbose = flags.verbose;
+    RunDiff(options);
+  }
+  return failures_total == 0 ? 0 : 1;
+}

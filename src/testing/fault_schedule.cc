@@ -1,0 +1,33 @@
+#include "testing/fault_schedule.h"
+
+#include <algorithm>
+
+namespace dgf::testing {
+
+fs::ReadFault SeededFaultSchedule::NextFault(const std::string& path,
+                                             uint64_t offset, uint64_t length) {
+  (void)path;
+  (void)offset;
+  std::lock_guard<std::mutex> lock(mu_);
+  decisions_.fetch_add(1, std::memory_order_relaxed);
+  fs::ReadFault fault;
+  const double roll = rng_.NextDouble();
+  const double transient_threshold =
+      in_burst_ ? options_.burst_continue : options_.transient_rate;
+  if (roll < transient_threshold) {
+    in_burst_ = true;
+    transient_faults_.fetch_add(1, std::memory_order_relaxed);
+    fault.kind = fs::ReadFault::Kind::kTransientError;
+    return fault;
+  }
+  in_burst_ = false;
+  if (roll < transient_threshold + options_.short_read_rate && length > 1) {
+    short_reads_.fetch_add(1, std::memory_order_relaxed);
+    fault.kind = fs::ReadFault::Kind::kShortRead;
+    // Truncate to a random strictly-smaller prefix.
+    fault.max_bytes = 1 + rng_.Uniform(std::max<uint64_t>(1, length - 1));
+  }
+  return fault;
+}
+
+}  // namespace dgf::testing

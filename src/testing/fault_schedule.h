@@ -1,0 +1,58 @@
+#ifndef DGF_TESTING_FAULT_SCHEDULE_H_
+#define DGF_TESTING_FAULT_SCHEDULE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/random.h"
+#include "fs/mini_dfs.h"
+
+namespace dgf::testing {
+
+/// Seed-replayable read-fault schedule for MiniDfs.
+///
+/// Every decision is a pure function of (seed, decision ordinal), so running
+/// the same single-threaded workload twice against the same schedule injects
+/// byte-identical faults — a failing run is reproduced by its seed alone.
+/// The schedule mixes transient errors (retried by the reader up to its
+/// budget; bursts longer than the budget surface as structured IOErrors) and
+/// short reads (absorbed by the reader's loop; wrong data is impossible by
+/// construction, the point is to prove callers never bypass the loop).
+class SeededFaultSchedule : public fs::ReadFaultInjector {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    /// Probability that one read attempt fails transiently.
+    double transient_rate = 0.05;
+    /// Probability that one read attempt is truncated.
+    double short_read_rate = 0.10;
+    /// Once a transient fault fires, the chance the *next* attempt fails
+    /// too — bursts are what exhaust the reader's retry budget.
+    double burst_continue = 0.5;
+  };
+
+  explicit SeededFaultSchedule(Options options)
+      : options_(options), rng_(options.seed ^ 0xFA57F417ULL) {}
+
+  fs::ReadFault NextFault(const std::string& path, uint64_t offset,
+                          uint64_t length) override;
+
+  uint64_t decisions() const { return decisions_.load(); }
+  uint64_t transient_faults() const { return transient_faults_.load(); }
+  uint64_t short_reads() const { return short_reads_.load(); }
+
+ private:
+  Options options_;
+  std::mutex mu_;
+  Random rng_;
+  bool in_burst_ = false;
+  std::atomic<uint64_t> decisions_{0};
+  std::atomic<uint64_t> transient_faults_{0};
+  std::atomic<uint64_t> short_reads_{0};
+};
+
+}  // namespace dgf::testing
+
+#endif  // DGF_TESTING_FAULT_SCHEDULE_H_

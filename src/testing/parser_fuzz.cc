@@ -1,0 +1,160 @@
+#include "testing/parser_fuzz.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iterator>
+#include <string>
+
+#include "common/random.h"
+#include "query/parser.h"
+#include "workload/meter_gen.h"
+
+namespace dgf::testing {
+namespace {
+
+constexpr const char* kCorpus[] = {
+    "SELECT sum(powerConsumed) FROM meterdata WHERE userId >= 100 AND "
+    "userId < 200 AND regionId = 3 AND time >= '2012-12-01' AND time < "
+    "'2012-12-11'",
+    "SELECT time, sum(powerConsumed) FROM meterdata WHERE regionId = 5 "
+    "GROUP BY time",
+    "SELECT t2.userName, t1.powerConsumed FROM meterdata t1 JOIN userInfo "
+    "t2 ON t1.userId = t2.userId WHERE t1.time = '2012-12-03'",
+    "SELECT count(*) FROM meterdata WHERE powerConsumed > 10.5",
+    "SELECT userId, time, powerConsumed FROM meterdata WHERE userId = 7",
+    "SELECT min(powerConsumed), max(powerConsumed), avg(powerConsumed) FROM "
+    "meterdata",
+    "SELECT sum(powerConsumed*powerConsumed) FROM meterdata WHERE time <= "
+    "'2012-12-28'",
+    "SELECT regionId, count(*) FROM meterdata WHERE time = '2012-12-02' "
+    "GROUP BY regionId",
+};
+
+constexpr const char* kKeywords[] = {
+    "SELECT", "FROM",  "WHERE", "AND",   "GROUP", "BY",
+    "JOIN",   "ON",    "sum",   "count", "*",     "=",
+    "<",      "<=",    ">",     ">=",
+};
+
+// Printable troublemakers plus raw high/control bytes.
+constexpr char kNoise[] = "'\"()=<>*.,|%$ \t\n\0\x01\x7f\x80\xff";
+
+void Mutate(std::string* sql, Random* rng) {
+  if (sql->empty()) {
+    sql->push_back(static_cast<char>(rng->Uniform(256)));
+    return;
+  }
+  switch (rng->Uniform(7)) {
+    case 0:  // truncate
+      sql->resize(rng->Uniform(sql->size() + 1));
+      break;
+    case 1: {  // delete a span
+      const size_t at = rng->Uniform(sql->size());
+      const size_t len = 1 + rng->Uniform(8);
+      sql->erase(at, len);
+      break;
+    }
+    case 2: {  // duplicate a span
+      const size_t at = rng->Uniform(sql->size());
+      const size_t len =
+          std::min<size_t>(1 + rng->Uniform(12), sql->size() - at);
+      sql->insert(at, sql->substr(at, len));
+      break;
+    }
+    case 3: {  // splice noise bytes
+      const size_t at = rng->Uniform(sql->size() + 1);
+      const size_t count = 1 + rng->Uniform(4);
+      std::string noise;
+      for (size_t i = 0; i < count; ++i) {
+        noise.push_back(kNoise[rng->Uniform(sizeof(kNoise) - 1)]);
+      }
+      sql->insert(at, noise);
+      break;
+    }
+    case 4: {  // swap two bytes
+      const size_t a = rng->Uniform(sql->size());
+      const size_t b = rng->Uniform(sql->size());
+      std::swap((*sql)[a], (*sql)[b]);
+      break;
+    }
+    case 5: {  // splice a keyword somewhere it doesn't belong
+      const size_t at = rng->Uniform(sql->size() + 1);
+      sql->insert(at, kKeywords[rng->Uniform(std::size(kKeywords))]);
+      break;
+    }
+    default: {  // replace a literal-ish region with an enormous number
+      const size_t at = rng->Uniform(sql->size());
+      sql->insert(at, "99999999999999999999999999999999999");
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string GenerateFuzzQuery(uint64_t seed, int case_id) {
+  Random rng(seed + 0x9E3779B97F4A7C15ULL *
+                        (static_cast<uint64_t>(case_id) + 1));
+  std::string sql = kCorpus[rng.Uniform(std::size(kCorpus))];
+  const int mutations = 1 + static_cast<int>(rng.Uniform(4));
+  for (int i = 0; i < mutations; ++i) Mutate(&sql, &rng);
+  return sql;
+}
+
+Result<ParserFuzzReport> RunParserFuzz(const ParserFuzzOptions& options) {
+  ParserFuzzReport report;
+  workload::MeterConfig config;
+  config.extra_metrics = 2;
+  const table::Schema meter = workload::MeterSchema(config);
+  const table::Schema user_info = workload::UserInfoSchema();
+  const std::string repro_prefix =
+      "dgf_difftest --parser-fuzz --seed=" + std::to_string(options.seed) +
+      " --case=";
+
+  const int begin = options.only_case >= 0 ? options.only_case : 0;
+  const int end =
+      options.only_case >= 0 ? options.only_case + 1 : options.num_cases;
+  for (int case_id = begin; case_id < end; ++case_id) {
+    const std::string sql = GenerateFuzzQuery(options.seed, case_id);
+    if (options.verbose) {
+      std::fprintf(stderr, "[parser-fuzz] case %d: %s\n", case_id,
+                   sql.c_str());
+    }
+    ++report.cases_run;
+    // A crash/abort here takes down the whole binary — that *is* the
+    // detection; the repro is the case id.
+    auto parsed = query::ParseQuery(sql, meter, &user_info);
+    if (!parsed.ok()) {
+      ++report.parse_error;
+      if (parsed.status().message().empty()) {
+        report.failures.push_back("empty error message for input [" + sql +
+                                  "] repro: " + repro_prefix +
+                                  std::to_string(case_id));
+      }
+      continue;
+    }
+    ++report.parse_ok;
+    // An accepted query must be fully usable downstream.
+    const std::string round_trip = parsed->ToString();
+    if (round_trip.empty()) {
+      report.failures.push_back("accepted query prints empty for input [" +
+                                sql + "] repro: " + repro_prefix +
+                                std::to_string(case_id));
+      continue;
+    }
+    if (!parsed->join.has_value()) {
+      // Join-free queries bind their WHERE against the base schema; an
+      // accepted predicate that cannot bind would blow up at execution.
+      auto bound = parsed->where.Bind(meter);
+      if (!bound.ok()) {
+        report.failures.push_back(
+            "accepted query fails to bind (" + bound.status().ToString() +
+            ") for input [" + sql + "] repro: " + repro_prefix +
+            std::to_string(case_id));
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace dgf::testing

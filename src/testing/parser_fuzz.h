@@ -1,0 +1,45 @@
+#ifndef DGF_TESTING_PARSER_FUZZ_H_
+#define DGF_TESTING_PARSER_FUZZ_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dgf::testing {
+
+/// Seeded mutation fuzzer for the HiveQL-subset parser. Each case takes a
+/// valid query from a small corpus and applies 1-4 random mutations
+/// (truncation, byte splices, keyword swaps, quote imbalance, huge literals,
+/// raw high bytes). The invariant: ParseQuery either succeeds — and then the
+/// query binds against the schema and prints without crashing — or returns a
+/// structured non-empty error. It must never crash or abort.
+struct ParserFuzzOptions {
+  uint64_t seed = 1;
+  int num_cases = 500;
+  /// >= 0: run only this case (seed replay of one input).
+  int only_case = -1;
+  bool verbose = false;
+};
+
+struct ParserFuzzReport {
+  int cases_run = 0;
+  int parse_ok = 0;
+  int parse_error = 0;
+  /// Inputs whose outcome broke the invariant (empty error message, or a
+  /// parsed query that fails to bind/print), each with a repro line.
+  std::vector<std::string> failures;
+
+  bool ok() const { return failures.empty(); }
+};
+
+/// The exact fuzz input for (seed, case_id); the repro path for a crash
+/// observed in RunParserFuzz.
+std::string GenerateFuzzQuery(uint64_t seed, int case_id);
+
+Result<ParserFuzzReport> RunParserFuzz(const ParserFuzzOptions& options);
+
+}  // namespace dgf::testing
+
+#endif  // DGF_TESTING_PARSER_FUZZ_H_

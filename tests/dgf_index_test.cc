@@ -529,6 +529,69 @@ TEST(DgfCacheTest, AppendInvalidatesCache) {
   EXPECT_GT(count, before.inner_records);
 }
 
+TEST(DgfCacheTest, InterleavedAppendsKeepWarmAndColdAnswersEqual) {
+  // Coherence under an append/query interleaving: after EVERY append, the
+  // answer served through the warmed cache must equal the answer from a
+  // freshly invalidated (cold) cache — and both must equal brute force.
+  ScopedDfs dfs("dgf_cache_interleave");
+  auto built = BuildTestIndex(dfs, 800, 25);
+  std::vector<table::Row> all_rows = built.rows;
+  const std::vector<query::Predicate> queries = {
+      MeterPredicate(0, 1000, 1, 6, 15000, 15020),
+      MeterPredicate(100, 700, 2, 4, 15002, 15012),
+      MeterPredicate(0, 300, 1, 3, 15000, 15006)};
+
+  for (int round = 0; round < 4; ++round) {
+    // Warm the cache on every query shape before this round's append.
+    for (const auto& pred : queries) {
+      ASSERT_OK(built.index->Lookup(pred, true).status());
+    }
+    TableDesc batch{"meter_new", MeterSchema(), table::FileFormat::kText,
+                    "/staging/meter_batch_" + std::to_string(round)};
+    auto rows = MakeRows(300, 26 + static_cast<uint64_t>(round));
+    ASSERT_OK_AND_ASSIGN(auto writer,
+                         table::TableWriter::Create(dfs.get(), batch));
+    for (const auto& row : rows) ASSERT_OK(writer->Append(row));
+    ASSERT_OK(writer->Close());
+    ASSERT_OK(DgfBuilder::Append(built.index.get(), batch).status());
+    all_rows.insert(all_rows.end(), rows.begin(), rows.end());
+
+    for (const auto& pred : queries) {
+      // Warm: whatever survives in the cache after Append's invalidation
+      // plus this round's lookups.
+      ASSERT_OK_AND_ASSIGN(auto warm, built.index->Lookup(pred, true));
+      // Cold: everything re-read from the store.
+      built.index->InvalidateCache();
+      ASSERT_OK_AND_ASSIGN(auto cold, built.index->Lookup(pred, true));
+
+      ASSERT_EQ(warm.inner_header.size(), cold.inner_header.size());
+      for (size_t i = 0; i < cold.inner_header.size(); ++i) {
+        EXPECT_EQ(warm.inner_header[i], cold.inner_header[i])
+            << "round " << round << " header " << i;
+      }
+      EXPECT_EQ(warm.inner_records, cold.inner_records) << "round " << round;
+      EXPECT_EQ(warm.slices.size(), cold.slices.size()) << "round " << round;
+
+      double sum = cold.inner_header[0];
+      uint64_t count = cold.inner_records;
+      auto bound = pred.Bind(MeterSchema());
+      ASSERT_TRUE(bound.ok());
+      for (const auto& row : ReadSlices(dfs, cold.slices, MeterSchema())) {
+        if (bound->Matches(row)) {
+          sum += row[3].AsDouble();
+          ++count;
+        }
+      }
+      uint64_t expected_count = 0;
+      const double expected =
+          BruteForceSum(all_rows, pred, MeterSchema(), &expected_count);
+      EXPECT_NEAR(sum, expected, 1e-6 * (1 + std::abs(expected)))
+          << "round " << round;
+      EXPECT_EQ(count, expected_count) << "round " << round;
+    }
+  }
+}
+
 // ---------- Sliced input format ----------
 
 TEST(SlicedSplitTest, FiltersUnrelatedSplits) {

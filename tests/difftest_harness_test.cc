@@ -1,0 +1,80 @@
+// Small fixed-seed runs of the differential oracle harness, so the core
+// cross-engine invariants are exercised inside the unit-test binary too (the
+// full sweep lives in the dgf_difftest ctest entry).
+
+#include <gtest/gtest.h>
+
+#include "testing/differential.h"
+#include "testing/lsm_crash_sweep.h"
+#include "testing/parser_fuzz.h"
+#include "tests/test_util.h"
+
+namespace dgf::testing {
+namespace {
+
+TEST(DifftestHarnessTest, DifferentialSeedsAgreeAcrossAllPaths) {
+  DiffOptions options;
+  options.seed = 17;
+  options.num_queries = 25;
+  ASSERT_OK_AND_ASSIGN(DiffReport report, RunDifferential(options));
+  EXPECT_EQ(report.queries_run, 25);
+  EXPECT_GE(report.comparisons, 4 * report.queries_run);
+  for (const auto& divergence : report.divergences) {
+    ADD_FAILURE() << divergence.ToString();
+  }
+}
+
+TEST(DifftestHarnessTest, CaseReplayRunsExactlyOneCase) {
+  DiffOptions options;
+  options.seed = 17;
+  options.num_queries = 25;
+  options.only_case = 3;
+  ASSERT_OK_AND_ASSIGN(DiffReport report, RunDifferential(options));
+  EXPECT_EQ(report.queries_run, 1);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(DifftestHarnessTest, CrashSweepCoversEveryPointAndRecovers) {
+  CrashSweepOptions options;
+  options.seed = 19;
+  // Keep the gtest run light; the tier-1 smoke runs the full occurrence set.
+  options.max_occurrences_per_point = 3;
+  ASSERT_OK_AND_ASSIGN(CrashSweepReport report, RunLsmCrashSweep(options));
+  EXPECT_EQ(report.points_covered, 11);
+  EXPECT_GT(report.schedules_run, 0);
+  for (const auto& failure : report.failures) {
+    ADD_FAILURE() << failure;
+  }
+}
+
+TEST(DifftestHarnessTest, FaultSweepNeverReturnsWrongData) {
+  FaultSweepOptions options;
+  options.seed = 23;
+  options.num_queries = 15;
+  ASSERT_OK_AND_ASSIGN(FaultReport report, RunFaultSweep(options));
+  EXPECT_EQ(report.queries_run, 15);
+  EXPECT_GT(report.faults_injected, 0u);
+  for (const auto& divergence : report.divergences) {
+    ADD_FAILURE() << divergence.ToString();
+  }
+}
+
+TEST(DifftestHarnessTest, ParserFuzzNeverCrashesOrLosesErrors) {
+  ParserFuzzOptions options;
+  options.seed = 29;
+  options.num_cases = 150;
+  ASSERT_OK_AND_ASSIGN(ParserFuzzReport report, RunParserFuzz(options));
+  EXPECT_EQ(report.cases_run, 150);
+  EXPECT_GT(report.parse_error, 0);
+  for (const auto& failure : report.failures) {
+    ADD_FAILURE() << failure;
+  }
+}
+
+TEST(DifftestHarnessTest, FuzzInputsAreSeedReplayable) {
+  EXPECT_EQ(GenerateFuzzQuery(29, 7), GenerateFuzzQuery(29, 7));
+  EXPECT_NE(GenerateFuzzQuery(29, 7), GenerateFuzzQuery(29, 8));
+}
+
+}  // namespace
+}  // namespace dgf::testing

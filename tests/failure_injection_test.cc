@@ -19,34 +19,9 @@
 namespace dgf {
 namespace {
 
+using ::dgf::testing::AssertFlipByte;
+using ::dgf::testing::AssertTruncateFile;
 using ::dgf::testing::ScopedDfs;
-
-// Overwrites `path` with its current content, with byte `at` flipped.
-void FlipByte(const ScopedDfs& dfs, const std::string& path, uint64_t at) {
-  auto reader = dfs->OpenForRead(path);
-  ASSERT_TRUE(reader.ok());
-  std::string contents;
-  ASSERT_OK((*reader)->Pread(0, (*reader)->Length(), &contents));
-  ASSERT_LT(at, contents.size());
-  contents[at] = static_cast<char>(~contents[at]);
-  ASSERT_OK(dfs->Delete(path));
-  auto writer = dfs->Create(path);
-  ASSERT_TRUE(writer.ok());
-  ASSERT_OK((*writer)->Append(contents));
-  ASSERT_OK((*writer)->Close());
-}
-
-void Truncate(const ScopedDfs& dfs, const std::string& path, uint64_t keep) {
-  auto reader = dfs->OpenForRead(path);
-  ASSERT_TRUE(reader.ok());
-  std::string contents;
-  ASSERT_OK((*reader)->Pread(0, keep, &contents));
-  ASSERT_OK(dfs->Delete(path));
-  auto writer = dfs->Create(path);
-  ASSERT_TRUE(writer.ok());
-  ASSERT_OK((*writer)->Append(contents));
-  ASSERT_OK((*writer)->Close());
-}
 
 TEST(FailureInjectionTest, SstableTruncatedFooterIsCorruption) {
   ScopedDfs dfs("fi_sst_footer");
@@ -59,7 +34,7 @@ TEST(FailureInjectionTest, SstableTruncatedFooterIsCorruption) {
     ASSERT_OK((*writer)->Finish());
   }
   ASSERT_OK_AND_ASSIGN(auto stat, dfs->Stat("/t.sst"));
-  Truncate(dfs, "/t.sst", stat.length - 10);
+  AssertTruncateFile(dfs, "/t.sst", stat.length - 10);
   auto reopened = kv::SstableReader::Open(dfs.get(), "/t.sst");
   EXPECT_FALSE(reopened.ok());
   EXPECT_TRUE(reopened.status().IsCorruption());
@@ -80,7 +55,7 @@ TEST(FailureInjectionTest, LsmTornWalTailIsDropped) {
     }
   }
   ASSERT_OK_AND_ASSIGN(auto stat, dfs->Stat("/kv/WAL"));
-  Truncate(dfs, "/kv/WAL", stat.length - 3);  // tear the last record
+  AssertTruncateFile(dfs, "/kv/WAL", stat.length - 3);  // tear the last record
   ASSERT_OK_AND_ASSIGN(auto store, kv::LsmKv::Open(options));
   ASSERT_OK_AND_ASSIGN(uint64_t count, store->Count());
   EXPECT_EQ(count, 19u);  // all but the torn tail
@@ -102,7 +77,7 @@ TEST(FailureInjectionTest, RcColumnCorruptionSurfacesAsError) {
     ASSERT_OK((*writer)->Close());
   }
   // Flip a byte inside the first group's column data (past sync + header).
-  FlipByte(dfs, "/t.rc", 24);
+  AssertFlipByte(dfs, "/t.rc", 24);
   fs::FileSplit split{"/t.rc", 0, 1 << 20};
   ASSERT_OK_AND_ASSIGN(auto reader,
                        table::RcSplitReader::Open(dfs.get(), split, schema));

@@ -118,6 +118,99 @@ TEST_P(PolicySweepTest, AggregationEqualsBruteForceUnderAnyPolicy) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Invariant 1b: partial-specified queries (the paper's Section 4.3 case —
+// dimensions absent from the predicate are completed with the stored
+// min/max) also equal brute force, for every subset of specified dimensions
+// and every splitting policy in the grid above.
+// ---------------------------------------------------------------------------
+
+TEST_P(PolicySweepTest, PartialQueriesCompleteUnspecifiedDimensions) {
+  const auto [user_interval, region_interval, time_interval] = GetParam();
+  ScopedDfs dfs("prop_partial", 16384);
+  const Schema schema = MeterSchema();
+
+  Random rng(701);
+  std::vector<table::Row> rows;
+  table::TableDesc meter{"meter", schema, table::FileFormat::kText, "/w/m"};
+  {
+    ASSERT_OK_AND_ASSIGN(auto writer, table::TableWriter::Create(dfs.get(), meter));
+    for (int i = 0; i < 1200; ++i) {
+      table::Row row = {Value::Int64(rng.UniformRange(0, 299)),
+                        Value::Int64(rng.UniformRange(1, 6)),
+                        Value::Date(15000 + rng.UniformRange(0, 11)),
+                        Value::Double(rng.UniformDouble(0, 100))};
+      rows.push_back(row);
+      ASSERT_OK(writer->Append(row));
+    }
+    ASSERT_OK(writer->Close());
+  }
+
+  auto store = std::make_shared<kv::MemKv>();
+  DgfBuilder::Options options;
+  options.dims = {
+      {"userId", DataType::kInt64, 0, static_cast<double>(user_interval)},
+      {"regionId", DataType::kInt64, 0, static_cast<double>(region_interval)},
+      {"time", DataType::kDate, 15000, static_cast<double>(time_interval)}};
+  options.precompute = {"sum(powerConsumed)", "count(*)"};
+  options.data_dir = "/w/m_dgf";
+  options.split_size = 16384;
+  ASSERT_OK_AND_ASSIGN(auto index,
+                       DgfBuilder::Build(dfs.get(), store, meter, options));
+
+  // Every subset of specified dimensions, from fully-specified (mask 7) down
+  // to the completely unspecified query (mask 0, the whole table).
+  for (int mask = 0; mask < 8; ++mask) {
+    query::Predicate pred;
+    if (mask & 1) {
+      pred.And(query::ColumnRange::Between("userId", Value::Int64(40), true,
+                                           Value::Int64(220), false));
+    }
+    if (mask & 2) {
+      pred.And(query::ColumnRange::Between("regionId", Value::Int64(2), true,
+                                           Value::Int64(5), true));
+    }
+    if (mask & 4) {
+      pred.And(query::ColumnRange::Between("time", Value::Date(15002), true,
+                                           Value::Date(15008), false));
+    }
+
+    ASSERT_OK_AND_ASSIGN(auto lookup, index->Lookup(pred, true));
+    double sum = lookup.inner_header[0];
+    uint64_t count = lookup.inner_records;
+    ASSERT_OK_AND_ASSIGN(auto planned,
+                         PlanSlicedSplits(dfs.get(), lookup.slices, 16384));
+    auto bound = pred.Bind(schema);
+    ASSERT_TRUE(bound.ok());
+    for (const auto& sliced : planned) {
+      ASSERT_OK_AND_ASSIGN(auto reader,
+                           SliceRecordReader::Open(dfs.get(), sliced, schema));
+      table::Row row;
+      for (;;) {
+        ASSERT_OK_AND_ASSIGN(bool more, reader->Next(&row));
+        if (!more) break;
+        if (bound->Matches(row)) {
+          sum += row[3].AsDouble();
+          ++count;
+        }
+      }
+    }
+    double expected_sum = 0;
+    uint64_t expected_count = 0;
+    for (const auto& row : rows) {
+      if (bound->Matches(row)) {
+        expected_sum += row[3].AsDouble();
+        ++expected_count;
+      }
+    }
+    EXPECT_NEAR(sum, expected_sum, 1e-6 * (1 + std::abs(expected_sum)))
+        << "policy(" << user_interval << "," << region_interval << ","
+        << time_interval << ") mask " << mask << " " << pred.ToString();
+    EXPECT_EQ(count, expected_count) << "mask " << mask << " "
+                                     << pred.ToString();
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Policies, PolicySweepTest,
     ::testing::Values(std::make_tuple(1, 1, 1),       // finest: 1 value/cell

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "fs/mini_dfs.h"
+#include "testing/corruption.h"
 
 #define ASSERT_OK(expr)                                   \
   do {                                                    \
@@ -63,6 +64,18 @@ class ScopedDfs {
   std::filesystem::path dir_;
   std::shared_ptr<fs::MiniDfs> dfs_;
 };
+
+/// ASSERT-style wrappers over the shared corruption helpers
+/// (src/testing/corruption.h) for use inside TEST bodies.
+inline void AssertFlipByte(const ScopedDfs& dfs, const std::string& path,
+                           uint64_t at) {
+  ASSERT_OK(FlipByte(dfs.get(), path, at));
+}
+
+inline void AssertTruncateFile(const ScopedDfs& dfs, const std::string& path,
+                               uint64_t keep) {
+  ASSERT_OK(TruncateFile(dfs.get(), path, keep));
+}
 
 }  // namespace dgf::testing
 
