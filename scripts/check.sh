@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Repo-wide verification with one line of PASS/FAIL per stage:
-# tier-1 build + ctest, the differential oracle smoke suite, and an
-# ASan/UBSan pass that re-runs both the unit tests and the harness.
+# tier-1 build + ctest, the differential oracle smoke suite, an ASan/UBSan
+# pass that re-runs both the unit tests and the harness, and a TSan pass
+# that runs the concurrency stress tests plus the threaded differential
+# (contract: every stage prints exactly one [PASS]/[FAIL] line; any [FAIL]
+# makes the script exit non-zero).
 #
 #   scripts/check.sh            # all stages
 #   scripts/check.sh --fast     # skip the sanitizer stages
@@ -41,5 +44,15 @@ stage "asan build"       cmake --build build-asan -j "$JOBS"
 stage "asan kv/dgf tests" ctest --test-dir build-asan -j "$JOBS" \
   --output-on-failure -R 'Kv|Sstable|Lsm|Dgf|Slice|Difftest'
 stage "asan difftest"    ./build-asan/src/dgf_difftest --seed=1 --queries=40
+
+# ThreadSanitizer: concurrent readers vs appender/optimizer (the stress
+# tests) and the threaded differential against its sequential oracle. A
+# reported race fails the binary (TSan exits non-zero), which fails the
+# stage.
+stage "tsan configure"   cmake -B build-tsan -S . -DDGF_SANITIZE=TSAN
+stage "tsan build"       cmake --build build-tsan -j "$JOBS"
+stage "tsan stress tests" ctest --test-dir build-tsan -j "$JOBS" \
+  --output-on-failure -R 'ConcurrencyStress'
+stage "tsan difftest"    ./build-tsan/src/dgf_difftest --threads=4 --seeds=tier1
 
 exit "$FAILED"

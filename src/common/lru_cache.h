@@ -20,9 +20,18 @@ namespace dgf {
 /// re-decode entirely.
 ///
 /// Sharding bounds lock contention under concurrent lookups (each shard has
-/// its own mutex and LRU list); hit/miss counters are process-wide atomics.
-/// Values are returned by copy — cache shared_ptr<const T> when copies are
-/// expensive.
+/// its own mutex and LRU list); hit/miss counters are process-wide atomics
+/// read with relaxed loads. Values are returned by copy — cache
+/// shared_ptr<const T> when copies are expensive.
+///
+/// Entries carry a monotonically increasing epoch (the store version they
+/// were decoded at), which replaces blanket Clear() invalidation under
+/// concurrency: a reader pinned at epoch E ignores entries newer than E
+/// without evicting them (a newer reader still wants those), and evicts
+/// entries older than E on contact (the store is past them forever, so they
+/// can never be valid again). Writers never publish over a newer entry.
+/// Epoch-less Get/Put overloads treat everything as epoch 0 for callers that
+/// still rely on Clear().
 template <typename V>
 class ShardedLruCache {
  public:
@@ -34,12 +43,23 @@ class ShardedLruCache {
     for (auto& shard : shards_) shard.capacity = per_shard > 0 ? per_shard : 1;
   }
 
-  /// Returns a copy of the cached value and promotes the entry, or nullopt.
-  std::optional<V> Get(std::string_view key) {
+  /// Returns a copy of the value cached for `key` at exactly `epoch` and
+  /// promotes the entry, or nullopt. An entry tagged older than `epoch` is
+  /// erased (epochs only grow, so it is permanently stale); an entry tagged
+  /// newer is left alone for readers pinned at that later epoch.
+  std::optional<V> Get(std::string_view key, uint64_t epoch) {
     Shard& shard = ShardFor(key);
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.map.find(key);
     if (it == shard.map.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    if (it->second->epoch != epoch) {
+      if (it->second->epoch < epoch) {
+        shard.lru.erase(it->second);
+        shard.map.erase(it);
+      }
       misses_.fetch_add(1, std::memory_order_relaxed);
       return std::nullopt;
     }
@@ -48,18 +68,25 @@ class ShardedLruCache {
     return it->second->value;
   }
 
-  /// Inserts or overwrites `key`, evicting the least-recently-used entries of
-  /// the shard beyond its capacity.
-  void Put(std::string_view key, V value) {
+  /// Epoch-less lookup (legacy callers): equivalent to Get(key, 0).
+  std::optional<V> Get(std::string_view key) { return Get(key, 0); }
+
+  /// Inserts or overwrites `key` with a value decoded at `epoch`, evicting
+  /// the least-recently-used entries of the shard beyond its capacity. A
+  /// publish against an entry already tagged with a newer epoch is dropped:
+  /// a slow reader must never roll the cache backwards for everyone else.
+  void Put(std::string_view key, uint64_t epoch, V value) {
     Shard& shard = ShardFor(key);
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
+      if (it->second->epoch > epoch) return;
       it->second->value = std::move(value);
+      it->second->epoch = epoch;
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       return;
     }
-    shard.lru.push_front(Entry{std::string(key), std::move(value)});
+    shard.lru.push_front(Entry{std::string(key), std::move(value), epoch});
     shard.map.emplace(std::string_view(shard.lru.front().key),
                       shard.lru.begin());
     while (shard.lru.size() > shard.capacity) {
@@ -67,6 +94,9 @@ class ShardedLruCache {
       shard.lru.pop_back();
     }
   }
+
+  /// Epoch-less insert (legacy callers): equivalent to Put(key, 0, value).
+  void Put(std::string_view key, V value) { Put(key, 0, std::move(value)); }
 
   void Erase(std::string_view key) {
     Shard& shard = ShardFor(key);
@@ -77,7 +107,9 @@ class ShardedLruCache {
     shard.map.erase(it);
   }
 
-  /// Drops every entry (the invalidation hook for index mutations).
+  /// Drops every entry. With epoch tags this is only a memory-hygiene hook
+  /// (stale epochs age out on contact); epoch-less callers still use it as
+  /// their invalidation barrier.
   void Clear() {
     for (Shard& shard : shards_) {
       std::lock_guard<std::mutex> lock(shard.mu);
@@ -102,6 +134,7 @@ class ShardedLruCache {
   struct Entry {
     std::string key;
     V value;
+    uint64_t epoch = 0;
   };
   struct Shard {
     mutable std::mutex mu;

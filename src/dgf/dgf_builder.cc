@@ -50,19 +50,25 @@ class ReorganizeMapper : public exec::Mapper {
 };
 
 /// Reduce side of Algorithm 2: write each key's records contiguously as a
-/// Slice, pre-compute its header, and put <GFUKey, GFUValue> into the store.
+/// Slice, pre-compute its header, and stage <GFUKey, GFUValue> into the
+/// job-wide WriteBatch (published atomically by the caller). Each key is
+/// reduced by exactly one reducer, so the shared batch sees no conflicting
+/// entries; the mutex only orders the appends.
 class ReorganizeReducer : public exec::Reducer {
  public:
   ReorganizeReducer(std::shared_ptr<fs::MiniDfs> dfs,
                     std::shared_ptr<kv::KvStore> store, table::Schema schema,
                     const AggregatorList* aggs, std::string output_path,
-                    table::FileFormat format)
+                    table::FileFormat format, kv::WriteBatch* out_batch,
+                    std::mutex* out_mu)
       : dfs_(std::move(dfs)),
         store_(std::move(store)),
         schema_(std::move(schema)),
         aggs_(aggs),
         output_path_(std::move(output_path)),
-        format_(format) {}
+        format_(format),
+        out_batch_(out_batch),
+        out_mu_(out_mu) {}
 
   Status Reduce(const std::string& key, const std::vector<std::string>& lines,
                 exec::ReduceContext* ctx) override {
@@ -96,7 +102,9 @@ class ReorganizeReducer : public exec::Reducer {
     value.record_count = lines.size();
     value.slices.push_back(SliceLocation{output_path_, start, end});
 
-    // Merge with a pre-existing entry (incremental Append batches).
+    // Merge with a pre-existing committed entry (incremental Append
+    // batches). The caller's mutation lock keeps the committed state stable
+    // for the whole job, so reading it outside the publish is safe.
     auto existing = store_->Get(key);
     if (existing.ok()) {
       DGF_ASSIGN_OR_RETURN(GfuValue old_value, GfuValue::Decode(*existing));
@@ -107,7 +115,10 @@ class ReorganizeReducer : public exec::Reducer {
     } else if (!existing.status().IsNotFound()) {
       return existing.status();
     }
-    DGF_RETURN_IF_ERROR(store_->Put(key, value.Encode()));
+    {
+      std::lock_guard<std::mutex> lock(*out_mu_);
+      out_batch_->Put(key, value.Encode());
+    }
     ctx->counters().Add("dgf.gfus.written", 1);
     ctx->counters().Add("dgf.slice.bytes",
                         static_cast<int64_t>(end - start));
@@ -132,6 +143,8 @@ class ReorganizeReducer : public exec::Reducer {
   const AggregatorList* aggs_;
   std::string output_path_;
   table::FileFormat format_;
+  kv::WriteBatch* out_batch_;
+  std::mutex* out_mu_;
   std::unique_ptr<table::TextFileWriter> writer_;
   std::unique_ptr<table::RcFileWriter> rc_writer_;
 };
@@ -146,7 +159,7 @@ Result<exec::JobResult> DgfBuilder::RunReorganization(
     const table::Schema& schema, const SplittingPolicy& policy,
     const AggregatorList& aggs, const std::string& data_dir,
     table::FileFormat data_format, int batch_id, exec::JobRunner::Options job,
-    uint64_t split_size) {
+    uint64_t split_size, kv::WriteBatch* out_batch) {
   std::vector<int> dim_fields;
   for (const DimensionPolicy& dim : policy.dims()) {
     DGF_ASSIGN_OR_RETURN(int field, schema.FieldIndex(dim.column));
@@ -157,6 +170,7 @@ Result<exec::JobResult> DgfBuilder::RunReorganization(
   if (job.num_reducers <= 0) job.num_reducers = 8;
 
   exec::JobRunner runner(job);
+  std::mutex out_mu;
   DGF_ASSIGN_OR_RETURN(
       exec::JobResult result,
       runner.Run(
@@ -173,9 +187,11 @@ Result<exec::JobResult> DgfBuilder::RunReorganization(
                                                                      : "rc");
             return std::make_unique<ReorganizeReducer>(dfs, store, schema,
                                                        &aggs, path,
-                                                       data_format);
+                                                       data_format, out_batch,
+                                                       &out_mu);
           }));
-  DGF_RETURN_IF_ERROR(RefreshDimensionBounds(store, policy.num_dims()));
+  DGF_RETURN_IF_ERROR(
+      RefreshDimensionBounds(store, policy.num_dims(), out_batch));
   // Charge the key-value store round trips (one put per GFU touched); at
   // fine splitting policies this is a visible share of construction time.
   result.simulated_seconds +=
@@ -185,17 +201,15 @@ Result<exec::JobResult> DgfBuilder::RunReorganization(
 }
 
 Status DgfBuilder::RefreshDimensionBounds(
-    const std::shared_ptr<kv::KvStore>& store, int num_dims) {
+    const std::shared_ptr<kv::KvStore>& store, int num_dims,
+    kv::WriteBatch* out_batch) {
   std::vector<int64_t> min_cell(static_cast<size_t>(num_dims),
                                 std::numeric_limits<int64_t>::max());
   std::vector<int64_t> max_cell(static_cast<size_t>(num_dims),
                                 std::numeric_limits<int64_t>::min());
-  auto it = store->NewIterator();
-  const std::string prefix(1, kGfuKeyPrefix);
   bool any = false;
-  for (it->Seek(prefix); it->Valid(); it->Next()) {
-    if (it->key().empty() || it->key().front() != kGfuKeyPrefix) break;
-    DGF_ASSIGN_OR_RETURN(GfuKey key, GfuKey::Decode(it->key(), num_dims));
+  const auto fold = [&](std::string_view encoded) -> Status {
+    DGF_ASSIGN_OR_RETURN(GfuKey key, GfuKey::Decode(encoded, num_dims));
     any = true;
     for (int d = 0; d < num_dims; ++d) {
       min_cell[static_cast<size_t>(d)] =
@@ -203,15 +217,29 @@ Status DgfBuilder::RefreshDimensionBounds(
       max_cell[static_cast<size_t>(d)] =
           std::max(max_cell[static_cast<size_t>(d)], key.cells[static_cast<size_t>(d)]);
     }
+    return Status::OK();
+  };
+  // Committed entries first, then the staged-but-unpublished ones: bounds
+  // must describe the state the batch will publish.
+  auto it = store->NewIterator();
+  const std::string prefix(1, kGfuKeyPrefix);
+  for (it->Seek(prefix); it->Valid(); it->Next()) {
+    if (it->key().empty() || it->key().front() != kGfuKeyPrefix) break;
+    DGF_RETURN_IF_ERROR(fold(it->key()));
+  }
+  for (const kv::WriteBatch::Entry& entry : out_batch->entries()) {
+    if (entry.is_delete || entry.key.empty() ||
+        entry.key.front() != kGfuKeyPrefix) {
+      continue;
+    }
+    DGF_RETURN_IF_ERROR(fold(entry.key));
   }
   if (!any) return Status::InvalidArgument("index is empty after build");
   for (int d = 0; d < num_dims; ++d) {
-    DGF_RETURN_IF_ERROR(
-        store->Put(kMetaDimMinPrefix + std::to_string(d),
-                   std::to_string(min_cell[static_cast<size_t>(d)])));
-    DGF_RETURN_IF_ERROR(
-        store->Put(kMetaDimMaxPrefix + std::to_string(d),
-                   std::to_string(max_cell[static_cast<size_t>(d)])));
+    out_batch->Put(kMetaDimMinPrefix + std::to_string(d),
+                   std::to_string(min_cell[static_cast<size_t>(d)]));
+    out_batch->Put(kMetaDimMaxPrefix + std::to_string(d),
+                   std::to_string(max_cell[static_cast<size_t>(d)]));
   }
   return Status::OK();
 }
@@ -237,20 +265,24 @@ Result<std::unique_ptr<DgfIndex>> DgfBuilder::Build(
   DGF_ASSIGN_OR_RETURN(AggregatorList aggs,
                        AggregatorList::Create(std::move(specs), base.schema));
 
+  kv::WriteBatch batch;
   DGF_ASSIGN_OR_RETURN(
       exec::JobResult result,
       RunReorganization(dfs, store, base, base.schema, policy, aggs,
                         options.data_dir, options.data_format, /*batch_id=*/0,
-                        options.job, options.split_size));
+                        options.job, options.split_size, &batch));
   if (job_result != nullptr) *job_result = result;
 
-  DGF_RETURN_IF_ERROR(store->Put(kMetaPolicyKey, policy.Serialize()));
-  DGF_RETURN_IF_ERROR(store->Put(kMetaAggsKey, aggs.Serialize()));
-  DGF_RETURN_IF_ERROR(store->Put(kMetaDataDirKey, options.data_dir));
-  DGF_RETURN_IF_ERROR(store->Put(
-      kMetaDataFormatKey,
-      options.data_format == table::FileFormat::kText ? "text" : "rcfile"));
-  DGF_RETURN_IF_ERROR(store->Put(kMetaBatchKey, "1"));
+  batch.Put(kMetaPolicyKey, policy.Serialize());
+  batch.Put(kMetaAggsKey, aggs.Serialize());
+  batch.Put(kMetaDataDirKey, options.data_dir);
+  batch.Put(kMetaDataFormatKey,
+            options.data_format == table::FileFormat::kText ? "text"
+                                                            : "rcfile");
+  batch.Put(kMetaBatchKey, "1");
+  // One atomic publish: a reader of the store either sees no index at all or
+  // the complete one (GFUs, bounds, and meta).
+  DGF_RETURN_IF_ERROR(store->ApplyBatch(batch));
   return std::unique_ptr<DgfIndex>(new DgfIndex(
       std::move(dfs), std::move(store), base.schema, std::move(policy),
       std::move(aggs), options.data_dir, options.data_format));
@@ -260,22 +292,29 @@ Result<exec::JobResult> DgfBuilder::Append(DgfIndex* index,
                                            const table::TableDesc& batch,
                                            exec::JobRunner::Options job,
                                            uint64_t split_size) {
+  // Serialize with other mutators (optimize, AddAggregation, other Appends):
+  // the reducers' read-merge-stage cycle relies on the committed GFU state
+  // holding still until our publish.
+  std::unique_lock<std::mutex> mutation = index->AcquireMutationLock();
+
   const auto& store = index->store();
   int batch_id = 1;
   if (auto text = store->Get(kMetaBatchKey); text.ok()) {
     DGF_ASSIGN_OR_RETURN(int64_t parsed, ParseInt64(*text));
     batch_id = static_cast<int>(parsed);
   }
+  kv::WriteBatch staged;
+  std::shared_ptr<const AggregatorList> aggs = index->aggregators();
   DGF_ASSIGN_OR_RETURN(
       exec::JobResult result,
       RunReorganization(index->dfs(), store, batch, index->schema(),
-                        index->policy(), index->aggregators(),
-                        index->data_dir(), index->data_format(), batch_id, job,
-                        split_size));
-  DGF_RETURN_IF_ERROR(store->Put(kMetaBatchKey, std::to_string(batch_id + 1)));
-  // The reorganization rewrote GFU values (and possibly dimension bounds);
-  // drop any decoded values the index has cached.
-  index->InvalidateCache();
+                        index->policy(), *aggs, index->data_dir(),
+                        index->data_format(), batch_id, job, split_size,
+                        &staged));
+  staged.Put(kMetaBatchKey, std::to_string(batch_id + 1));
+  // Atomic publish: a concurrent query pinned before this line sees none of
+  // the batch, one pinned after sees all of it.
+  DGF_RETURN_IF_ERROR(store->ApplyBatch(staged));
   return result;
 }
 

@@ -25,6 +25,12 @@ namespace dgf::core {
 /// verified temporary files of Section 4.2), writing fresh Slice files and
 /// merging GFU entries — the index never needs a rebuild, so load throughput
 /// is unaffected by its existence.
+///
+/// Both paths stage every KV change (GFU entries, dimension bounds, meta
+/// keys) in one WriteBatch and publish it with a single KvStore::ApplyBatch,
+/// so a query running concurrently with Append sees the whole batch or none
+/// of it — never a partially ingested batch. Append serializes on the
+/// index's mutation lock.
 class DgfBuilder {
  public:
   struct Options {
@@ -65,17 +71,23 @@ class DgfBuilder {
 
  private:
   /// Shared by Build and Append: run the reorganization job for `batch_id`.
+  /// Slice files are written to the DFS immediately (they are unreferenced
+  /// until the batch publishes), while every KV change is staged into
+  /// `out_batch`; the store is only read (for GFU merges with committed
+  /// entries).
   static Result<exec::JobResult> RunReorganization(
       const std::shared_ptr<fs::MiniDfs>& dfs,
       const std::shared_ptr<kv::KvStore>& store, const table::TableDesc& input,
       const table::Schema& schema, const SplittingPolicy& policy,
       const AggregatorList& aggs, const std::string& data_dir,
       table::FileFormat data_format, int batch_id, exec::JobRunner::Options job,
-      uint64_t split_size);
+      uint64_t split_size, kv::WriteBatch* out_batch);
 
-  /// Recomputes per-dimension min/max cell metadata from the stored keys.
+  /// Recomputes per-dimension min/max cell metadata from the stored keys
+  /// plus the staged-but-unpublished GFU entries of `out_batch`, appending
+  /// the refreshed bounds to `out_batch`.
   static Status RefreshDimensionBounds(const std::shared_ptr<kv::KvStore>& store,
-                                       int num_dims);
+                                       int num_dims, kv::WriteBatch* out_batch);
 };
 
 }  // namespace dgf::core

@@ -46,6 +46,63 @@ ThreadPool& DecodePool() {
 
 }  // namespace
 
+/// Deferred-deletion anchor for data files replaced by the slice optimizer.
+///
+/// Every Snapshot pins the guard that was current at pin time. When the
+/// optimizer retires files it closes the current guard — attaching the
+/// retired paths and a reference to the fresh successor guard — and swaps
+/// the successor in for future pins. The closed guard's destructor deletes
+/// the attached files, and it runs only once every pin of this guard AND of
+/// every older guard is gone (older guards hold their successor alive
+/// through `next_`): exactly the set of snapshots whose KV state could still
+/// reference the retired files.
+class RetireGuard {
+ public:
+  explicit RetireGuard(std::shared_ptr<fs::MiniDfs> dfs)
+      : dfs_(std::move(dfs)) {}
+
+  RetireGuard(const RetireGuard&) = delete;
+  RetireGuard& operator=(const RetireGuard&) = delete;
+
+  ~RetireGuard() {
+    for (const std::string& path : files_) {
+      Status st = dfs_->Delete(path);
+      if (!st.ok() && !st.IsNotFound()) {
+        DGF_LOG(kWarn) << "retired file delete: " << st.ToString();
+      }
+    }
+  }
+
+  /// Seals this guard: `files` await deletion, `next` (the successor guard)
+  /// stays alive at least as long as this one. Called once, under the
+  /// index's guard_mu_; the destructor's reads are ordered after all Close
+  /// calls by the shared_ptr refcount release.
+  void Close(std::vector<std::string> files, std::shared_ptr<RetireGuard> next) {
+    files_ = std::move(files);
+    next_ = std::move(next);
+  }
+
+ private:
+  std::shared_ptr<fs::MiniDfs> dfs_;
+  std::vector<std::string> files_;
+  std::shared_ptr<RetireGuard> next_;
+};
+
+DgfIndex::DgfIndex(std::shared_ptr<fs::MiniDfs> dfs,
+                   std::shared_ptr<kv::KvStore> store, table::Schema schema,
+                   SplittingPolicy policy, AggregatorList aggs,
+                   std::string data_dir, table::FileFormat data_format)
+    : dfs_(std::move(dfs)),
+      store_(std::move(store)),
+      schema_(std::move(schema)),
+      policy_(std::move(policy)),
+      data_dir_(std::move(data_dir)),
+      data_format_(data_format) {
+  aggs_serialized_ = aggs.Serialize();
+  aggs_ = std::make_shared<const AggregatorList>(std::move(aggs));
+  retire_guard_ = std::make_shared<RetireGuard>(dfs_);
+}
+
 Result<std::unique_ptr<DgfIndex>> DgfIndex::Open(
     std::shared_ptr<fs::MiniDfs> dfs, std::shared_ptr<kv::KvStore> store,
     table::Schema schema) {
@@ -64,6 +121,56 @@ Result<std::unique_ptr<DgfIndex>> DgfIndex::Open(
   return std::unique_ptr<DgfIndex>(new DgfIndex(
       std::move(dfs), std::move(store), std::move(schema), std::move(policy),
       std::move(aggs), std::move(data_dir), format));
+}
+
+Result<DgfIndex::Snapshot> DgfIndex::Pin() const {
+  Snapshot snap;
+  // Guard before KV snapshot: the publisher applies its batch first and
+  // swaps the guard second, so any KV state we can observe is covered by the
+  // guard we already hold (or a newer state that references no retired
+  // files).
+  {
+    std::lock_guard<std::mutex> lock(guard_mu_);
+    snap.guard = retire_guard_;
+  }
+  snap.kv = store_->GetSnapshot();
+  snap.epoch = snap.kv->version();
+  // The aggregator list must match the pinned KV state, not the latest
+  // publish: compare the snapshot's serialized list against the cached one
+  // and fall back to deserializing from the snapshot when a concurrent
+  // AddAggregation slipped between our KV snapshot and this read.
+  auto aggs_text = snap.kv->Get(kMetaAggsKey);
+  {
+    std::lock_guard<std::mutex> lock(aggs_mu_);
+    if (!aggs_text.ok() || *aggs_text == aggs_serialized_) {
+      snap.aggs = aggs_;
+      return snap;
+    }
+  }
+  DGF_ASSIGN_OR_RETURN(AggregatorList aggs,
+                       AggregatorList::Deserialize(*aggs_text, schema_));
+  snap.aggs = std::make_shared<const AggregatorList>(std::move(aggs));
+  return snap;
+}
+
+std::shared_ptr<const AggregatorList> DgfIndex::aggregators() const {
+  std::lock_guard<std::mutex> lock(aggs_mu_);
+  return aggs_;
+}
+
+void DgfIndex::SetAggs(std::shared_ptr<const AggregatorList> aggs,
+                       std::string serialized) {
+  std::lock_guard<std::mutex> lock(aggs_mu_);
+  aggs_ = std::move(aggs);
+  aggs_serialized_ = std::move(serialized);
+}
+
+void DgfIndex::RetireDataFiles(std::vector<std::string> files) {
+  if (files.empty()) return;
+  std::lock_guard<std::mutex> lock(guard_mu_);
+  auto next = std::make_shared<RetireGuard>(dfs_);
+  retire_guard_->Close(std::move(files), next);
+  retire_guard_ = std::move(next);
 }
 
 table::TableDesc DgfIndex::DataDesc() const {
@@ -91,18 +198,19 @@ Result<GfuValue> DgfIndex::GetGfu(const GfuKey& key) const {
   return GfuValue::Decode(encoded);
 }
 
-Result<int64_t> DgfIndex::MetaCell(const std::string& prefix, int dim,
+Result<int64_t> DgfIndex::MetaCell(const Snapshot& snap,
+                                   const std::string& prefix, int dim,
                                    LookupResult* counters) const {
   const std::string key = prefix + std::to_string(dim);
-  if (auto cached = meta_cache_.Get(key)) {
+  if (auto cached = meta_cache_.Get(key, snap.epoch)) {
     ++counters->cache_hits;
     return *cached;
   }
   ++counters->cache_misses;
   ++counters->kv_gets;
-  DGF_ASSIGN_OR_RETURN(std::string text, store_->Get(key));
+  DGF_ASSIGN_OR_RETURN(std::string text, snap.kv->Get(key));
   DGF_ASSIGN_OR_RETURN(int64_t cell, ParseInt64(text));
-  meta_cache_.Put(key, cell);
+  meta_cache_.Put(key, snap.epoch, cell);
   return cell;
 }
 
@@ -111,15 +219,21 @@ void DgfIndex::InvalidateCache() {
   meta_cache_.Clear();
 }
 
-bool DgfIndex::CoversAggregations(const std::vector<AggSpec>& requested) const {
+bool DgfIndex::CoversAggregations(const AggregatorList& aggs,
+                                  const std::vector<AggSpec>& requested) {
   for (const AggSpec& spec : requested) {
-    if (!aggs_.IndexOf(spec).ok()) return false;
+    if (!aggs.IndexOf(spec).ok()) return false;
   }
   return !requested.empty();
 }
 
+bool DgfIndex::CoversAggregations(const std::vector<AggSpec>& requested) const {
+  return CoversAggregations(*aggregators(), requested);
+}
+
 Result<DgfIndex::CellRange> DgfIndex::DimCellRange(
-    int dim, const query::Predicate& pred, LookupResult* counters) const {
+    const Snapshot& snap, int dim, const query::Predicate& pred,
+    LookupResult* counters) const {
   const DimensionPolicy& dp = policy_.dim(dim);
   const query::ColumnRange* range = pred.FindColumn(dp.column);
 
@@ -128,9 +242,9 @@ Result<DgfIndex::CellRange> DgfIndex::DimCellRange(
   // completion for missing predicate dimensions — the paper's partial query
   // handling fetches these from the KV store (cached after the first query).
   DGF_ASSIGN_OR_RETURN(const int64_t min_cell,
-                       MetaCell(kMetaDimMinPrefix, dim, counters));
+                       MetaCell(snap, kMetaDimMinPrefix, dim, counters));
   DGF_ASSIGN_OR_RETURN(const int64_t max_cell,
-                       MetaCell(kMetaDimMaxPrefix, dim, counters));
+                       MetaCell(snap, kMetaDimMaxPrefix, dim, counters));
 
   if (range == nullptr ||
       (!range->lower.has_value() && !range->upper.has_value())) {
@@ -221,16 +335,24 @@ Result<DgfIndex::CellRange> DgfIndex::DimCellRange(
 
 Result<DgfIndex::LookupResult> DgfIndex::Lookup(const query::Predicate& pred,
                                                 bool aggregation) {
+  DGF_ASSIGN_OR_RETURN(Snapshot snap, Pin());
+  return Lookup(snap, pred, aggregation);
+}
+
+Result<DgfIndex::LookupResult> DgfIndex::Lookup(const Snapshot& snap,
+                                                const query::Predicate& pred,
+                                                bool aggregation) const {
+  const AggregatorList& aggs = *snap.aggs;
   LookupResult result;
   result.aggregation_path = aggregation;
-  result.inner_header = aggs_.Identity();
+  result.inner_header = aggs.Identity();
 
   const int num_dims = policy_.num_dims();
   std::vector<CellRange> ranges(static_cast<size_t>(num_dims));
   uint64_t total_cells = 1;
   for (int d = 0; d < num_dims; ++d) {
     DGF_ASSIGN_OR_RETURN(ranges[static_cast<size_t>(d)],
-                         DimCellRange(d, pred, &result));
+                         DimCellRange(snap, d, pred, &result));
     const CellRange& r = ranges[static_cast<size_t>(d)];
     if (r.empty()) return result;  // provably no matching data
     total_cells *= static_cast<uint64_t>(r.hi - r.lo + 1);
@@ -253,7 +375,7 @@ Result<DgfIndex::LookupResult> DgfIndex::Lookup(const query::Predicate& pred,
   // Folds one present GFU cell into the result.
   const auto absorb = [&](bool inner, const GfuValue& value) -> void {
     if (inner && aggregation) {
-      aggs_.Merge(&result.inner_header, value.header);
+      aggs.Merge(&result.inner_header, value.header);
       result.inner_records += value.record_count;
       ++result.inner_gfus;
     } else {
@@ -266,6 +388,19 @@ Result<DgfIndex::LookupResult> DgfIndex::Lookup(const query::Predicate& pred,
       }
     }
   };
+
+  // Accumulate the per-lookup cache counters into the process-wide atomics
+  // on every exit path.
+  struct CacheTotalsFlush {
+    const DgfIndex* index;
+    const LookupResult* result;
+    ~CacheTotalsFlush() {
+      index->cumulative_cache_hits_.fetch_add(result->cache_hits,
+                                              std::memory_order_relaxed);
+      index->cumulative_cache_misses_.fetch_add(result->cache_misses,
+                                                std::memory_order_relaxed);
+    }
+  } totals_flush{this, &result};
 
   // Strategy: small boxes use batched point gets; large boxes open one
   // HBase-style scanner over the box's encoded key range (row-major order)
@@ -293,7 +428,7 @@ Result<DgfIndex::LookupResult> DgfIndex::Lookup(const query::Predicate& pred,
     for (;;) {
       key.cells.assign(cursor.begin(), cursor.end());
       key.EncodeInto(&encoded_key);
-      if (auto cached = gfu_cache_.Get(encoded_key)) {
+      if (auto cached = gfu_cache_.Get(encoded_key, snap.epoch)) {
         ++result.cache_hits;
         values.push_back(std::move(*cached));
       } else {
@@ -315,7 +450,7 @@ Result<DgfIndex::LookupResult> DgfIndex::Lookup(const query::Predicate& pred,
     for (size_t start = 0; start < miss_keys.size(); start += kMultiGetBatch) {
       const size_t count = std::min(kMultiGetBatch, miss_keys.size() - start);
       ++result.kv_gets;  // one batched round trip
-      auto batch = store_->MultiGet(
+      auto batch = snap.kv->MultiGet(
           std::span<const std::string>(miss_keys).subspan(start, count));
       for (size_t j = 0; j < count; ++j) {
         const Result<std::string>& got = batch[j];
@@ -325,7 +460,7 @@ Result<DgfIndex::LookupResult> DgfIndex::Lookup(const query::Predicate& pred,
         }
         DGF_ASSIGN_OR_RETURN(GfuValue value, GfuValue::Decode(*got));
         auto shared = std::make_shared<const GfuValue>(std::move(value));
-        gfu_cache_.Put(miss_keys[start + j], shared);
+        gfu_cache_.Put(miss_keys[start + j], snap.epoch, shared);
         values[miss_slots[start + j]] = std::move(shared);
       }
     }
@@ -402,14 +537,16 @@ Result<DgfIndex::LookupResult> DgfIndex::Lookup(const query::Predicate& pred,
       }
     }
     for (ScanEntry& entry : wave) {
-      if (!entry.cached) gfu_cache_.Put(entry.encoded_key, entry.value);
+      if (!entry.cached) {
+        gfu_cache_.Put(entry.encoded_key, snap.epoch, entry.value);
+      }
       absorb(cell_is_inner(entry.key.cells), *entry.value);
     }
     wave.clear();
     return Status::OK();
   };
 
-  auto it = store_->NewIterator();
+  auto it = snap.kv->NewIterator();
   ++result.kv_gets;  // scanner open
   for (it->Seek(lower); it->Valid() && it->key() <= upper; it->Next()) {
     ++result.kv_scan_entries;
@@ -425,7 +562,7 @@ Result<DgfIndex::LookupResult> DgfIndex::Lookup(const query::Predicate& pred,
     ScanEntry entry;
     entry.key = std::move(key);
     entry.encoded_key.assign(it->key());
-    if (auto cached = gfu_cache_.Get(entry.encoded_key)) {
+    if (auto cached = gfu_cache_.Get(entry.encoded_key, snap.epoch)) {
       ++result.cache_hits;
       entry.value = std::move(*cached);
       entry.cached = true;
@@ -441,11 +578,16 @@ Result<DgfIndex::LookupResult> DgfIndex::Lookup(const query::Predicate& pred,
 }
 
 Status DgfIndex::AddAggregation(const AggSpec& spec) {
-  if (aggs_.IndexOf(spec).ok()) {
+  // Serialize with other mutators; readers keep going against their pinned
+  // snapshots throughout.
+  std::unique_lock<std::mutex> mutation = AcquireMutationLock();
+
+  std::shared_ptr<const AggregatorList> current = aggregators();
+  if (current->IndexOf(spec).ok()) {
     return Status::AlreadyExists("aggregation already precomputed: " +
                                  spec.ToString());
   }
-  std::vector<AggSpec> extended = aggs_.specs();
+  std::vector<AggSpec> extended = current->specs();
   extended.push_back(spec);
   DGF_ASSIGN_OR_RETURN(AggregatorList new_aggs,
                        AggregatorList::Create(extended, schema_));
@@ -454,9 +596,12 @@ Status DgfIndex::AddAggregation(const AggSpec& spec) {
                        AggregatorList::Create({spec}, schema_));
 
   // Rewrite every GFU: scan its slices, compute the new accumulator, append.
-  auto it = store_->NewIterator();
+  // The scan runs against a pinned snapshot; the mutation lock guarantees
+  // nothing publishes between it and our ApplyBatch below.
+  DGF_ASSIGN_OR_RETURN(Snapshot snap, Pin());
+  auto it = snap.kv->NewIterator();
   const std::string prefix(1, kGfuKeyPrefix);
-  std::vector<std::pair<std::string, std::string>> rewrites;
+  kv::WriteBatch batch;
   for (it->Seek(prefix); it->Valid(); it->Next()) {
     if (it->key().empty() || it->key().front() != kGfuKeyPrefix) break;
     DGF_ASSIGN_OR_RETURN(GfuValue value, GfuValue::Decode(it->value()));
@@ -472,14 +617,17 @@ Status DgfIndex::AddAggregation(const AggSpec& spec) {
       }
     }
     value.header.push_back(acc[0]);
-    rewrites.emplace_back(std::string(it->key()), value.Encode());
+    batch.Put(it->key(), value.Encode());
   }
-  for (const auto& [key, encoded] : rewrites) {
-    DGF_RETURN_IF_ERROR(store_->Put(key, encoded));
-  }
-  DGF_RETURN_IF_ERROR(store_->Put(kMetaAggsKey, new_aggs.Serialize()));
-  aggs_ = std::move(new_aggs);
-  // Every GFU header changed shape; cached decodes are stale.
+  std::string serialized = new_aggs.Serialize();
+  batch.Put(kMetaAggsKey, serialized);
+  // Single atomic publish: every header grows its new slot and the list
+  // under kMetaAggsKey changes in the same epoch bump.
+  DGF_RETURN_IF_ERROR(store_->ApplyBatch(batch));
+  SetAggs(std::make_shared<const AggregatorList>(std::move(new_aggs)),
+          std::move(serialized));
+  // Memory hygiene only: epoch tags already keep stale decodes from being
+  // served to post-publish readers.
   InvalidateCache();
   return Status::OK();
 }

@@ -1,8 +1,10 @@
 #ifndef DGF_DGF_DGF_INDEX_H_
 #define DGF_DGF_DGF_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -19,6 +21,8 @@
 
 namespace dgf::core {
 
+class RetireGuard;
+
 /// The Distributed Grid File Index.
 ///
 /// An open handle over (a) the key-value store holding GFUKey -> GFUValue
@@ -30,6 +34,23 @@ namespace dgf::core {
 /// Query-side entry point is `Lookup`, which implements the paper's
 /// Algorithm 3: decompose the query box into inner GFUs (answered from
 /// pre-computed headers) and boundary GFUs (whose Slices must be scanned).
+///
+/// Concurrency model — pinned snapshot + atomic publish:
+///   * Readers call `Pin()` to capture an immutable Snapshot (KV snapshot +
+///     epoch + aggregator list + retired-file guard) and run `Lookup` and the
+///     subsequent slice scans entirely against it. A mutator publishing
+///     mid-query can never produce a torn result: the query sees entirely
+///     pre-publish or entirely post-publish state.
+///   * Mutators (DgfBuilder::Append, SliceOptimizer, AddAggregation)
+///     serialize on the mutation lock, stage every KV change in a WriteBatch,
+///     and publish with one KvStore::ApplyBatch, which bumps the store
+///     version (the epoch) atomically.
+///   * The decoded-GFU/meta caches tag entries with the epoch they were read
+///     at, so readers pinned at different epochs share one cache without
+///     blanket invalidation.
+///   * Files replaced by the slice optimizer are handed to RetireDataFiles,
+///     which defers deletion until every snapshot that could reference them
+///     is released.
 class DgfIndex {
  public:
   /// Reopens an index whose metadata lives in `store` for a base table with
@@ -37,6 +58,23 @@ class DgfIndex {
   static Result<std::unique_ptr<DgfIndex>> Open(
       std::shared_ptr<fs::MiniDfs> dfs, std::shared_ptr<kv::KvStore> store,
       table::Schema schema);
+
+  /// Immutable view of the index pinned at one epoch. Copyable and cheap to
+  /// hold; keeps the KV state, the aggregator list, and any data files that
+  /// were live at pin time alive until released. Safe to use from the
+  /// pinning thread or any worker it hands the snapshot to.
+  struct Snapshot {
+    std::shared_ptr<const kv::KvSnapshot> kv;
+    std::shared_ptr<const AggregatorList> aggs;
+    std::shared_ptr<RetireGuard> guard;
+    uint64_t epoch = 0;
+  };
+
+  /// Pins the current index state. The order of capture (retire guard first,
+  /// then KV snapshot) pairs with the publish order (ApplyBatch first, then
+  /// guard swap) so a snapshot can never reference a data file whose guard
+  /// it does not hold.
+  Result<Snapshot> Pin() const;
 
   /// Result of consulting the index for one predicate.
   struct LookupResult {
@@ -61,34 +99,61 @@ class DgfIndex {
     /// range); benches charge kv_scan_entry_s per entry.
     uint64_t kv_scan_entries = 0;
     /// Decoded-GFU / meta cache outcomes for this lookup. A hit skips both
-    /// the KV round trip and the value decode.
+    /// the KV round trip and the value decode. These are per-lookup locals
+    /// (each Lookup call owns its LookupResult); the process-wide totals are
+    /// the atomic counters reported by cumulative_cache_hits()/misses().
     uint64_t cache_hits = 0;
     uint64_t cache_misses = 0;
   };
 
-  /// Consults the index. If `aggregation` is true the caller intends to
-  /// compute only aggregations that are all precomputed in this index
-  /// (verify with `CoversAggregations`); inner GFUs then contribute headers.
-  /// Dimensions absent from `pred` are completed with the stored min/max
-  /// (the paper's partial-specified query handling). Predicate conditions on
-  /// non-indexed columns are ignored here (the scan re-applies them).
+  /// Consults the index against a pinned snapshot. If `aggregation` is true
+  /// the caller intends to compute only aggregations that are all
+  /// precomputed in this index (verify with `CoversAggregations` on
+  /// `snap.aggs`); inner GFUs then contribute headers. Dimensions absent
+  /// from `pred` are completed with the stored min/max (the paper's
+  /// partial-specified query handling). Predicate conditions on non-indexed
+  /// columns are ignored here (the scan re-applies them).
+  Result<LookupResult> Lookup(const Snapshot& snap,
+                              const query::Predicate& pred,
+                              bool aggregation) const;
+
+  /// Convenience overload: pins a fresh snapshot for the single call.
   Result<LookupResult> Lookup(const query::Predicate& pred, bool aggregation);
 
-  /// True if every requested aggregation is precomputed.
+  /// True if every requested aggregation is precomputed in `aggs`.
+  static bool CoversAggregations(const AggregatorList& aggs,
+                                 const std::vector<AggSpec>& requested);
+  /// Same against the current (latest published) aggregator list.
   bool CoversAggregations(const std::vector<AggSpec>& requested) const;
 
   /// Extends the index with a newly precomputed aggregation by scanning each
   /// GFU's slices once and rewriting headers — the paper's "users can still
-  /// add more UDFs dynamically to DGFIndex on demand".
+  /// add more UDFs dynamically to DGFIndex on demand". Serializes on the
+  /// mutation lock and publishes all rewrites atomically.
   Status AddAggregation(const AggSpec& spec);
 
-  /// Drops every cached decoded GFU and meta cell. Must be called after any
-  /// mutation of the underlying store (AddAggregation does it itself;
-  /// DgfBuilder::Append and SliceOptimizer rebuilds call it on their index).
+  /// Drops every cached decoded GFU and meta cell. With epoch-tagged cache
+  /// entries this is a memory-hygiene hook, not a correctness requirement:
+  /// stale entries age out when a newer-epoch reader touches them.
   void InvalidateCache();
 
+  /// Serializes index mutations (Append / optimize / AddAggregation). Held
+  /// for the full stage-and-publish span of a mutation; readers never take
+  /// it.
+  std::unique_lock<std::mutex> AcquireMutationLock() const {
+    return std::unique_lock<std::mutex>(mutation_mu_);
+  }
+
+  /// Defers deletion of replaced data files until every snapshot pinned
+  /// before this call is released. Called by the slice optimizer after it
+  /// publishes GFU entries that no longer reference `files`.
+  void RetireDataFiles(std::vector<std::string> files);
+
   const SplittingPolicy& policy() const { return policy_; }
-  const AggregatorList& aggregators() const { return aggs_; }
+  /// Latest published aggregator list. Concurrent readers should use the
+  /// list captured in their Snapshot instead, which is consistent with the
+  /// pinned KV state.
+  std::shared_ptr<const AggregatorList> aggregators() const;
   const std::string& data_dir() const { return data_dir_; }
   /// Storage format of the reorganized Slice files (TextFile by default;
   /// the builder can also lay Slices out as whole RCFile row groups).
@@ -108,19 +173,22 @@ class DgfIndex {
   /// Point fetch of one GFU (tests / tooling).
   Result<GfuValue> GetGfu(const GfuKey& key) const;
 
+  /// Process-wide decoded-GFU/meta cache totals across all lookups on this
+  /// index. Maintained with relaxed atomic increments from concurrent
+  /// readers and read with relaxed loads — reporting-only counters.
+  uint64_t cumulative_cache_hits() const {
+    return cumulative_cache_hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t cumulative_cache_misses() const {
+    return cumulative_cache_misses_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class DgfBuilder;
 
   DgfIndex(std::shared_ptr<fs::MiniDfs> dfs, std::shared_ptr<kv::KvStore> store,
            table::Schema schema, SplittingPolicy policy, AggregatorList aggs,
-           std::string data_dir, table::FileFormat data_format)
-      : dfs_(std::move(dfs)),
-        store_(std::move(store)),
-        schema_(std::move(schema)),
-        policy_(std::move(policy)),
-        aggs_(std::move(aggs)),
-        data_dir_(std::move(data_dir)),
-        data_format_(data_format) {}
+           std::string data_dir, table::FileFormat data_format);
 
   /// Effective closed cell range of `dim` under `pred`, falling back to the
   /// stored min/max cells; `kv_gets` is incremented for metadata fetches.
@@ -133,24 +201,51 @@ class DgfIndex {
     bool empty() const { return lo > hi; }
     bool has_inner() const { return inner_lo <= inner_hi; }
   };
-  Result<CellRange> DimCellRange(int dim, const query::Predicate& pred,
+  Result<CellRange> DimCellRange(const Snapshot& snap, int dim,
+                                 const query::Predicate& pred,
                                  LookupResult* counters) const;
 
   /// Cached metadata fetch; charges `counters` with a kv_get only on miss.
-  Result<int64_t> MetaCell(const std::string& prefix, int dim,
-                           LookupResult* counters) const;
+  Result<int64_t> MetaCell(const Snapshot& snap, const std::string& prefix,
+                           int dim, LookupResult* counters) const;
+
+  /// Swaps in a freshly published aggregator list (callers hold the mutation
+  /// lock and have already published `serialized` under kMetaAggsKey).
+  void SetAggs(std::shared_ptr<const AggregatorList> aggs,
+               std::string serialized);
 
   std::shared_ptr<fs::MiniDfs> dfs_;
   std::shared_ptr<kv::KvStore> store_;
   table::Schema schema_;
   SplittingPolicy policy_;
-  AggregatorList aggs_;
   std::string data_dir_;
   table::FileFormat data_format_ = table::FileFormat::kText;
-  // Decoded-value caches keyed by encoded KV key. GfuValues are cached behind
-  // shared_ptr so a hit costs a pointer copy, not a slices-vector copy.
+
+  /// Serializes mutators; see AcquireMutationLock.
+  mutable std::mutex mutation_mu_;
+
+  /// Latest published aggregator list plus its serialized form. Pin compares
+  /// the pinned snapshot's kMetaAggsKey against `aggs_serialized_` to decide
+  /// whether the cached list matches the snapshot (it deserializes from the
+  /// snapshot when a publish raced in between). Guarded by aggs_mu_.
+  mutable std::mutex aggs_mu_;
+  std::shared_ptr<const AggregatorList> aggs_;
+  std::string aggs_serialized_;
+
+  /// Chain head for deferred data-file deletion; see RetireDataFiles.
+  /// Guarded by guard_mu_.
+  mutable std::mutex guard_mu_;
+  mutable std::shared_ptr<RetireGuard> retire_guard_;
+
+  // Decoded-value caches keyed by encoded KV key and tagged with the epoch
+  // the value was read at. GfuValues are cached behind shared_ptr so a hit
+  // costs a pointer copy, not a slices-vector copy.
   mutable ShardedLruCache<std::shared_ptr<const GfuValue>> gfu_cache_;
   mutable ShardedLruCache<int64_t> meta_cache_{/*capacity=*/1024};
+
+  // Process-wide cache totals (reporting only; relaxed ordering).
+  mutable std::atomic<uint64_t> cumulative_cache_hits_{0};
+  mutable std::atomic<uint64_t> cumulative_cache_misses_{0};
 };
 
 }  // namespace dgf::core

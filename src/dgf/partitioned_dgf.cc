@@ -51,7 +51,9 @@ bool PartitionedDgfIndex::CoversAggregations(
 Result<PartitionedDgfIndex::LookupResult> PartitionedDgfIndex::Lookup(
     const query::Predicate& pred, bool aggregation) {
   LookupResult out;
-  const AggregatorList& aggs = partitions_.front().index->aggregators();
+  const std::shared_ptr<const AggregatorList> aggs_holder =
+      partitions_.front().index->aggregators();
+  const AggregatorList& aggs = *aggs_holder;
   out.merged.aggregation_path = aggregation;
   out.merged.inner_header = aggs.Identity();
   for (Partition& partition : partitions_) {

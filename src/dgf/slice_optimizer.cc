@@ -16,6 +16,11 @@ constexpr const char* kMetaOptGenKey = "M:optgen";
 
 Result<SliceOptimizer::Stats> SliceOptimizer::Optimize(
     DgfIndex* index, uint64_t target_file_bytes) {
+  // Serialize with Append/AddAggregation/other optimize runs: the rewrite
+  // reads every committed GFU entry and must publish against that same
+  // state. Readers keep querying their pinned snapshots throughout.
+  std::unique_lock<std::mutex> mutation = index->AcquireMutationLock();
+
   const auto& dfs = index->dfs();
   const auto& store = index->store();
   Stats stats;
@@ -111,15 +116,22 @@ Result<SliceOptimizer::Stats> SliceOptimizer::Optimize(
   }
   DGF_RETURN_IF_ERROR(close_writer());
 
-  // Publish the new layout, then drop the old files.
+  // Atomic publish: every GFU entry flips to the new layout in one epoch
+  // bump, so no query can see a mix of old and new slice lists.
+  kv::WriteBatch batch;
   for (const auto& [key, value] : entries) {
-    DGF_RETURN_IF_ERROR(store->Put(key, value.Encode()));
+    batch.Put(key, value.Encode());
   }
-  DGF_RETURN_IF_ERROR(store->Put(kMetaOptGenKey, std::to_string(generation + 1)));
-  for (const std::string& file : old_files) {
-    DGF_RETURN_IF_ERROR(dfs->Delete(file));
-  }
-  // Every slice list changed; cached GfuValues now point at deleted files.
+  batch.Put(kMetaOptGenKey, std::to_string(generation + 1));
+  DGF_RETURN_IF_ERROR(store->ApplyBatch(batch));
+  // Old files are retired, not deleted: snapshots pinned before the publish
+  // may still scan them. The retire guard deletes each file once the last
+  // such snapshot is released.
+  index->RetireDataFiles(
+      std::vector<std::string>(old_files.begin(), old_files.end()));
+  // Memory hygiene: cached GfuValues for older epochs will never be served
+  // to post-publish readers (epoch tags), but dropping them frees the slices
+  // vectors early.
   index->InvalidateCache();
   return stats;
 }

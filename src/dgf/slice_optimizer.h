@@ -19,9 +19,11 @@ namespace dgf::core {
 ///   * Slices of adjacent cubes become physically contiguous, so a query
 ///     box's reads coalesce into a few long sequential ranges (the sliced
 ///     input format merges adjacent Slices);
-///   * stale batch files are deleted.
-/// The KV store is updated in place; the index remains queryable throughout
-/// (old files are removed only after every GFU points at the new layout).
+///   * stale batch files are retired — deleted once every query snapshot
+///     pinned before the rewrite published has been released.
+/// The KV entries flip to the new layout in one atomic batch; the index
+/// remains queryable throughout (concurrent queries keep scanning the old
+/// files their snapshot references until they finish).
 class SliceOptimizer {
  public:
   struct Stats {

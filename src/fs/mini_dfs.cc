@@ -240,13 +240,18 @@ Result<std::unique_ptr<DfsWriter>> MiniDfs::Append(const std::string& path) {
 
 Result<std::unique_ptr<DfsReader>> MiniDfs::OpenForRead(
     const std::string& path) {
+  return OpenForRead(path, UINT64_MAX);
+}
+
+Result<std::unique_ptr<DfsReader>> MiniDfs::OpenForRead(
+    const std::string& path, uint64_t length_limit) {
   DGF_RETURN_IF_ERROR(ValidatePath(path));
   uint64_t length = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = files_.find(path);
     if (it == files_.end()) return Status::NotFound("no such file: " + path);
-    length = it->second;
+    length = std::min(it->second, length_limit);
   }
   const std::string local = LocalPath(path);
   const int fd = ::open(local.c_str(), O_RDONLY);

@@ -121,8 +121,18 @@ class MiniDfs {
   /// Reopens an existing file for appending at its current end.
   Result<std::unique_ptr<DfsWriter>> Append(const std::string& path);
 
-  /// Opens a file for positional reads.
+  /// Opens a file for positional reads. The reader is bounded by the file's
+  /// published length at open time: bytes appended (and sealed) afterwards
+  /// are never returned by this reader, so a handle opened while a query's
+  /// snapshot is pinned behaves as an immutable view of the file.
   Result<std::unique_ptr<DfsReader>> OpenForRead(const std::string& path);
+
+  /// Opens a file for positional reads bounded by `length_limit` (clamped to
+  /// the published length if smaller). Snapshot readers use this to pin the
+  /// exact byte range their index epoch references, even if the namespace
+  /// already reflects a newer append.
+  Result<std::unique_ptr<DfsReader>> OpenForRead(const std::string& path,
+                                                 uint64_t length_limit);
 
   Result<FileStatus> Stat(const std::string& path) const;
   bool Exists(const std::string& path) const;

@@ -36,6 +36,58 @@ class Iterator {
   virtual std::string_view value() const = 0;
 };
 
+/// An ordered set of writes applied atomically by KvStore::ApplyBatch.
+///
+/// Readers either see none of the batch or all of it: the batch is the unit
+/// of publication for index mutations (Build/Append/optimize), which is what
+/// makes snapshot isolation possible above the store.
+class WriteBatch {
+ public:
+  struct Entry {
+    std::string key;
+    std::string value;  // ignored when is_delete
+    bool is_delete = false;
+  };
+
+  void Put(std::string_view key, std::string_view value) {
+    entries_.push_back({std::string(key), std::string(value), false});
+  }
+  void Delete(std::string_view key) {
+    entries_.push_back({std::string(key), std::string(), true});
+  }
+  const std::vector<Entry>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+  void Clear() { entries_.clear(); }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// Immutable point-in-time view of a store.
+///
+/// A snapshot is safe to read from any thread without synchronization and
+/// keeps every resource it references (LSM runs, materialized memtables)
+/// alive for its own lifetime, even if the store mutates, flushes, or
+/// compacts after the snapshot was taken.
+class KvSnapshot {
+ public:
+  virtual ~KvSnapshot() = default;
+
+  /// Returns NotFound if absent or deleted as of the snapshot.
+  virtual Result<std::string> Get(std::string_view key) const = 0;
+
+  /// Batched lookup against the snapshot; same contract as KvStore::MultiGet.
+  virtual std::vector<Result<std::string>> MultiGet(
+      std::span<const std::string> keys) const = 0;
+
+  /// Cursor over the snapshot's live entries.
+  virtual std::unique_ptr<Iterator> NewIterator() const = 0;
+
+  /// The store version (mutation epoch) this snapshot was taken at.
+  virtual uint64_t version() const = 0;
+};
+
 /// Ordered key-value store interface — the stand-in for HBase in DGFIndex.
 ///
 /// Keys sort in lexicographic byte order; GFU keys are encoded so that byte
@@ -48,6 +100,19 @@ class KvStore {
   /// Returns NotFound if absent or deleted.
   virtual Result<std::string> Get(std::string_view key) = 0;
   virtual Status Delete(std::string_view key) = 0;
+
+  /// Applies every entry of `batch` atomically: a concurrent GetSnapshot
+  /// observes either none of the batch or all of it. Bumps version() once.
+  virtual Status ApplyBatch(const WriteBatch& batch) = 0;
+
+  /// Pins an immutable point-in-time view. Cheap (shares internal state with
+  /// the store); the snapshot stays valid after arbitrary later mutations.
+  virtual std::shared_ptr<const KvSnapshot> GetSnapshot() = 0;
+
+  /// Monotonic mutation counter: bumped by Put/Delete/ApplyBatch (once per
+  /// call), never by internal reorganization (flush/compaction). Used as the
+  /// index epoch for cache tagging and snapshot identity.
+  virtual uint64_t version() = 0;
 
   /// Batched lookup: one result per key, in key order (NotFound for absent or
   /// deleted keys). The HBase multi-get analogue — one round trip amortizes

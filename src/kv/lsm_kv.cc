@@ -11,6 +11,8 @@
 namespace dgf::kv {
 namespace {
 
+using MemVec = std::vector<std::pair<std::string, std::optional<std::string>>>;
+
 // WAL record: varint(key_len) key varint(value_len+1) value; 0 = tombstone.
 void EncodeWalRecord(std::string* out, std::string_view key,
                      std::string_view value, bool tombstone) {
@@ -24,12 +26,15 @@ void EncodeWalRecord(std::string* out, std::string_view key,
 }
 
 /// Merging iterator over memtable snapshot + runs with newest-wins dedup.
+/// Holds its sources by shared_ptr so it stays valid after the store moves
+/// on (flush, compaction, or further writes).
 class LsmIterator : public Iterator {
  public:
-  LsmIterator(std::vector<std::pair<std::string, std::optional<std::string>>>
-                  memtable_snapshot,
+  LsmIterator(std::shared_ptr<const MemVec> memtable_snapshot,
               std::vector<std::shared_ptr<SstableReader>> runs)
-      : memtable_(std::move(memtable_snapshot)), runs_(std::move(runs)) {
+      : memtable_holder_(std::move(memtable_snapshot)),
+        memtable_(*memtable_holder_),
+        runs_(std::move(runs)) {
     // Source 0 is the memtable (newest); then runs newest to oldest.
     for (auto it = runs_.rbegin(); it != runs_.rend(); ++it) {
       run_iters_.push_back(std::make_unique<SstableIterator>(
@@ -116,7 +121,8 @@ class LsmIterator : public Iterator {
     }
   }
 
-  std::vector<std::pair<std::string, std::optional<std::string>>> memtable_;
+  std::shared_ptr<const MemVec> memtable_holder_;
+  const MemVec& memtable_;
   std::vector<std::shared_ptr<SstableReader>> runs_;
   std::vector<std::unique_ptr<SstableIterator>> run_iters_;
   size_t mem_pos_ = 0;
@@ -125,6 +131,121 @@ class LsmIterator : public Iterator {
   std::string value_buf_;
   std::string_view key_;
   std::string_view value_;
+};
+
+// Binary search over a sorted memtable copy; returns nullptr when the key is
+// not present (a present tombstone returns a pointer to the nullopt).
+const std::optional<std::string>* FindInMemVec(const MemVec& mem,
+                                               std::string_view key) {
+  auto it = std::lower_bound(mem.begin(), mem.end(), key,
+                             [](const auto& entry, std::string_view t) {
+                               return entry.first < t;
+                             });
+  if (it == mem.end() || it->first != key) return nullptr;
+  return &it->second;
+}
+
+// Resolves the keys at `pending` indices against `runs` (newest last): each
+// run serves the batch in one forward merge-join pass over sorted keys.
+// Results for keys a run resolves are written into `results`; keys no run
+// knows keep their initial NotFound.
+void ProbeRunsSorted(std::span<const std::string> keys,
+                     std::vector<size_t> pending,
+                     const std::vector<std::shared_ptr<SstableReader>>& runs,
+                     std::vector<Result<std::string>>* results) {
+  if (pending.empty()) return;
+  std::sort(pending.begin(), pending.end(),
+            [&](size_t a, size_t b) { return keys[a] < keys[b]; });
+  for (auto run = runs.rbegin(); run != runs.rend() && !pending.empty();
+       ++run) {
+    std::vector<std::string_view> sorted_keys;
+    sorted_keys.reserve(pending.size());
+    for (size_t idx : pending) sorted_keys.push_back(keys[idx]);
+    auto probes = (*run)->MultiGet(sorted_keys);
+    if (!probes.ok()) {
+      for (size_t idx : pending) (*results)[idx] = probes.status();
+      return;
+    }
+    std::vector<size_t> still_pending;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      SstableReader::ProbeResult& probe = (*probes)[i];
+      switch (probe.state) {
+        case SstableReader::ProbeResult::kFound:
+          (*results)[pending[i]] = std::move(probe.value);
+          break;
+        case SstableReader::ProbeResult::kTombstone:
+          (*results)[pending[i]] = Status::NotFound("deleted");
+          break;
+        case SstableReader::ProbeResult::kAbsent:
+          still_pending.push_back(pending[i]);
+          break;
+      }
+    }
+    pending = std::move(still_pending);
+  }
+}
+
+/// Immutable view of the store: a shared memtable copy plus the run set that
+/// was live when the snapshot was taken. The shared_ptrs keep both alive —
+/// SstableReader maps the whole run into memory at open, so even a run whose
+/// file compaction has since deleted stays fully readable.
+class LsmSnapshot : public KvSnapshot {
+ public:
+  LsmSnapshot(std::shared_ptr<const MemVec> mem,
+              std::vector<std::shared_ptr<SstableReader>> runs,
+              uint64_t version)
+      : mem_(std::move(mem)), runs_(std::move(runs)), version_(version) {}
+
+  Result<std::string> Get(std::string_view key) const override {
+    if (const auto* slot = FindInMemVec(*mem_, key)) {
+      if (!slot->has_value()) return Status::NotFound("deleted");
+      return **slot;
+    }
+    for (auto run = runs_.rbegin(); run != runs_.rend(); ++run) {
+      bool deleted = false;
+      auto value = (*run)->Get(key, &deleted);
+      if (value.ok()) {
+        if (deleted) return Status::NotFound("deleted");
+        return value;
+      }
+      if (!value.status().IsNotFound()) return value.status();
+    }
+    return Status::NotFound("key not found");
+  }
+
+  std::vector<Result<std::string>> MultiGet(
+      std::span<const std::string> keys) const override {
+    std::vector<Result<std::string>> results;
+    results.reserve(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      results.push_back(Status::NotFound("key not found"));
+    }
+    std::vector<size_t> pending;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (const auto* slot = FindInMemVec(*mem_, keys[i])) {
+        if (slot->has_value()) {
+          results[i] = **slot;
+        } else {
+          results[i] = Status::NotFound("deleted");
+        }
+      } else {
+        pending.push_back(i);
+      }
+    }
+    ProbeRunsSorted(keys, std::move(pending), runs_, &results);
+    return results;
+  }
+
+  std::unique_ptr<Iterator> NewIterator() const override {
+    return std::make_unique<LsmIterator>(mem_, runs_);
+  }
+
+  uint64_t version() const override { return version_; }
+
+ private:
+  std::shared_ptr<const MemVec> mem_;
+  std::vector<std::shared_ptr<SstableReader>> runs_;
+  uint64_t version_;
 };
 
 }  // namespace
@@ -181,6 +302,17 @@ Status LsmKv::Recover() {
     for (std::string_view line : SplitString(contents, '\n')) {
       line = TrimString(line);
       if (line.empty()) continue;
+      if (line.front() == '#') {
+        // Header line. `#epoch N` restores the mutation epoch recorded at the
+        // last manifest write; unknown headers are ignored for forward
+        // compatibility. Manifests from before epochs existed simply have no
+        // header and recover with epoch 0.
+        if (line.substr(0, 7) == "#epoch ") {
+          auto epoch = ParseInt64(TrimString(line.substr(7)));
+          if (epoch.ok()) version_ = static_cast<uint64_t>(*epoch);
+        }
+        continue;
+      }
       DGF_ASSIGN_OR_RETURN(
           auto run, SstableReader::Open(options_.dfs, std::string(line)));
       runs_.push_back(std::move(run));
@@ -230,11 +362,13 @@ Status LsmKv::ReplayWal(const std::string& path) {
     if (*vlen == 0) {
       memtable_[std::string(*key)] = std::nullopt;
       memtable_bytes_ += key->size() + 1;
+      ++version_;  // keep the epoch monotonic across restarts
       continue;
     }
     if (cursor.size() < *vlen - 1) break;
     memtable_[std::string(*key)] = std::string(cursor.substr(0, *vlen - 1));
     memtable_bytes_ += key->size() + *vlen;
+    ++version_;
     cursor.remove_prefix(*vlen - 1);
   }
   return Status::OK();
@@ -252,6 +386,8 @@ Status LsmKv::Put(std::string_view key, std::string_view value) {
   DGF_RETURN_IF_ERROR(WriteWal(key, value, /*tombstone=*/false));
   memtable_[std::string(key)] = std::string(value);
   memtable_bytes_ += key.size() + value.size() + 1;
+  ++version_;
+  mem_snapshot_.reset();
   if (memtable_bytes_ >= options_.memtable_flush_bytes) {
     return FlushLocked();
   }
@@ -263,10 +399,58 @@ Status LsmKv::Delete(std::string_view key) {
   DGF_RETURN_IF_ERROR(WriteWal(key, {}, /*tombstone=*/true));
   memtable_[std::string(key)] = std::nullopt;
   memtable_bytes_ += key.size() + 1;
+  ++version_;
+  mem_snapshot_.reset();
   if (memtable_bytes_ >= options_.memtable_flush_bytes) {
     return FlushLocked();
   }
   return Status::OK();
+}
+
+Status LsmKv::ApplyBatch(const WriteBatch& batch) {
+  if (batch.empty()) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  // One concatenated WAL append makes the batch a single durability unit:
+  // a torn tail during replay drops a suffix of records, never interleaves
+  // a later writer's records inside ours.
+  std::string records;
+  for (const WriteBatch::Entry& entry : batch.entries()) {
+    EncodeWalRecord(&records, entry.key, entry.value, entry.is_delete);
+  }
+  DGF_RETURN_IF_ERROR(wal_->Append(records));
+  for (const WriteBatch::Entry& entry : batch.entries()) {
+    if (entry.is_delete) {
+      memtable_[entry.key] = std::nullopt;
+      memtable_bytes_ += entry.key.size() + 1;
+    } else {
+      memtable_[entry.key] = entry.value;
+      memtable_bytes_ += entry.key.size() + entry.value.size() + 1;
+    }
+  }
+  ++version_;  // one bump: the batch is one logical mutation
+  mem_snapshot_.reset();
+  if (memtable_bytes_ >= options_.memtable_flush_bytes) {
+    return FlushLocked();
+  }
+  return Status::OK();
+}
+
+std::shared_ptr<const LsmKv::MemVec> LsmKv::MemSnapshotLocked() {
+  if (!mem_snapshot_) {
+    mem_snapshot_ =
+        std::make_shared<const MemVec>(memtable_.begin(), memtable_.end());
+  }
+  return mem_snapshot_;
+}
+
+std::shared_ptr<const KvSnapshot> LsmKv::GetSnapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::make_shared<LsmSnapshot>(MemSnapshotLocked(), runs_, version_);
+}
+
+uint64_t LsmKv::version() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return version_;
 }
 
 Result<std::string> LsmKv::Get(std::string_view key) {
@@ -314,48 +498,16 @@ std::vector<Result<std::string>> LsmKv::MultiGet(
     }
     runs = runs_;
   }
-  if (pending.empty()) return results;
-
-  // Sorted probe order lets each run serve the batch in one forward
-  // merge-join pass; the order is preserved as keys resolve.
-  std::sort(pending.begin(), pending.end(),
-            [&](size_t a, size_t b) { return keys[a] < keys[b]; });
-  for (auto run = runs.rbegin(); run != runs.rend() && !pending.empty();
-       ++run) {
-    std::vector<std::string_view> sorted_keys;
-    sorted_keys.reserve(pending.size());
-    for (size_t idx : pending) sorted_keys.push_back(keys[idx]);
-    auto probes = (*run)->MultiGet(sorted_keys);
-    if (!probes.ok()) {
-      for (size_t idx : pending) results[idx] = probes.status();
-      return results;
-    }
-    std::vector<size_t> still_pending;
-    for (size_t i = 0; i < pending.size(); ++i) {
-      SstableReader::ProbeResult& probe = (*probes)[i];
-      switch (probe.state) {
-        case SstableReader::ProbeResult::kFound:
-          results[pending[i]] = std::move(probe.value);
-          break;
-        case SstableReader::ProbeResult::kTombstone:
-          results[pending[i]] = Status::NotFound("deleted");
-          break;
-        case SstableReader::ProbeResult::kAbsent:
-          still_pending.push_back(pending[i]);
-          break;
-      }
-    }
-    pending = std::move(still_pending);
-  }
+  ProbeRunsSorted(keys, std::move(pending), runs, &results);
   return results;
 }
 
 std::unique_ptr<Iterator> LsmKv::NewIterator() {
-  std::vector<std::pair<std::string, std::optional<std::string>>> snapshot;
+  std::shared_ptr<const MemVec> snapshot;
   std::vector<std::shared_ptr<SstableReader>> runs;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    snapshot.assign(memtable_.begin(), memtable_.end());
+    snapshot = MemSnapshotLocked();
     runs = runs_;
   }
   return std::make_unique<LsmIterator>(std::move(snapshot), std::move(runs));
@@ -388,6 +540,7 @@ Status LsmKv::FlushLocked() {
   // in between must not make acknowledged records unreadable in memory.
   memtable_.clear();
   memtable_bytes_ = 0;
+  mem_snapshot_.reset();
   DGF_CRASH_POINT("lsm.flush.before_wal_truncate");
   // Truncate the WAL: everything in it is now durable in a run.
   DGF_RETURN_IF_ERROR(wal_->Close());
@@ -403,7 +556,7 @@ Status LsmKv::FlushLocked() {
       DGF_ASSIGN_OR_RETURN(
           auto merged_writer,
           SstableWriter::Create(options_.dfs, RunPath(merged_id)));
-      LsmIterator merge_it({}, runs_);
+      LsmIterator merge_it(std::make_shared<const MemVec>(), runs_);
       // Keep tombstones out: a full compaction covers the whole history.
       for (merge_it.SeekToFirst(); merge_it.Valid(); merge_it.Next()) {
         DGF_RETURN_IF_ERROR(merged_writer->Add(merge_it.key(), merge_it.value()));
@@ -445,7 +598,7 @@ Status LsmKv::Compact() {
   const uint64_t merged_id = next_run_id_++;
   DGF_ASSIGN_OR_RETURN(auto writer,
                        SstableWriter::Create(options_.dfs, RunPath(merged_id)));
-  LsmIterator merge_it({}, runs_);
+  LsmIterator merge_it(std::make_shared<const MemVec>(), runs_);
   for (merge_it.SeekToFirst(); merge_it.Valid(); merge_it.Next()) {
     DGF_RETURN_IF_ERROR(writer->Add(merge_it.key(), merge_it.value()));
   }
@@ -477,6 +630,10 @@ Status LsmKv::WriteManifest() {
     DGF_RETURN_IF_ERROR(options_.dfs->Delete(tmp_path));
   }
   DGF_ASSIGN_OR_RETURN(auto writer, options_.dfs->Create(tmp_path));
+  // Header first, then one run path per line. Recover treats '#' lines as
+  // headers, so pre-epoch manifests (no header) stay readable.
+  DGF_RETURN_IF_ERROR(writer->Append(
+      StringPrintf("#epoch %llu\n", static_cast<unsigned long long>(version_))));
   for (const auto& run : runs_) {
     DGF_RETURN_IF_ERROR(writer->Append(run->path() + "\n"));
   }

@@ -30,6 +30,15 @@ namespace dgf::kv {
 /// rename, and deletes orphan run files a crash left unadopted (their
 /// records are still covered by the WAL).
 ///
+/// Concurrency: GetSnapshot pins an immutable view (materialized memtable
+/// copy + ref-counted run set + version). Runs are mapped fully into memory
+/// by SstableReader, so a snapshot's shared_ptr keeps a run readable even
+/// after compaction deletes its file. version() counts mutations (Put /
+/// Delete / ApplyBatch) and is persisted in the manifest as a `#epoch N`
+/// header line so epochs stay monotonic across restarts; flush and
+/// compaction reorganize storage without changing the logical contents and
+/// do not bump it.
+///
 /// The flush/compaction/manifest paths are instrumented with
 /// DGF_CRASH_POINT markers; the crash-consistency sweep in src/testing/
 /// kills-and-reopens the store at every such boundary and checks the
@@ -55,6 +64,9 @@ class LsmKv : public KvStore {
   Status Delete(std::string_view key) override;
   std::vector<Result<std::string>> MultiGet(
       std::span<const std::string> keys) override;
+  Status ApplyBatch(const WriteBatch& batch) override;
+  std::shared_ptr<const KvSnapshot> GetSnapshot() override;
+  uint64_t version() override;
   std::unique_ptr<Iterator> NewIterator() override;
   Result<uint64_t> Count() override;
   Result<uint64_t> ApproximateSizeBytes() override;
@@ -71,12 +83,19 @@ class LsmKv : public KvStore {
  private:
   explicit LsmKv(Options options);
 
+  // Sorted materialized copy of the memtable, shared between snapshots and
+  // iterators taken while the memtable is unchanged.
+  using MemVec = std::vector<std::pair<std::string, std::optional<std::string>>>;
+
   Status Recover();
   Status ReplayWal(const std::string& path);
   Status WriteWal(std::string_view key, std::string_view value, bool tombstone);
   Status WriteManifest();  // callers hold mu_
   Status FlushLocked();    // callers hold mu_
   std::string RunPath(uint64_t id) const;
+  // Returns the cached memtable copy, rebuilding it after a mutation
+  // invalidated it. Caller must hold mu_.
+  std::shared_ptr<const MemVec> MemSnapshotLocked();
 
   Options options_;
   mutable std::mutex mu_;
@@ -88,6 +107,10 @@ class LsmKv : public KvStore {
   uint64_t next_run_id_ = 1;
   // Newest run last.
   std::vector<std::shared_ptr<SstableReader>> runs_;
+  // Mutation epoch; see the class comment. Guarded by mu_.
+  uint64_t version_ = 0;
+  // Cached memtable copy; null after any memtable change. Guarded by mu_.
+  std::shared_ptr<const MemVec> mem_snapshot_;
 };
 
 }  // namespace dgf::kv

@@ -6,37 +6,91 @@
 namespace dgf::kv {
 namespace {
 
-/// Snapshot-backed iterator: copies the entries once at creation.
-class MemKvIterator : public Iterator {
+using Materialized = std::vector<std::pair<std::string, std::string>>;
+
+// Binary search over a sorted entry vector; returns nullptr if absent.
+const std::string* FindIn(const Materialized& data, std::string_view key) {
+  auto it = std::lower_bound(data.begin(), data.end(), key,
+                             [](const auto& entry, std::string_view t) {
+                               return entry.first < t;
+                             });
+  if (it == data.end() || it->first != key) return nullptr;
+  return &it->second;
+}
+
+/// Iterator over a shared immutable entry vector. Holding the shared_ptr
+/// keeps the snapshot alive for the iterator's lifetime.
+class SharedVecIterator : public Iterator {
  public:
-  explicit MemKvIterator(std::vector<std::pair<std::string, std::string>> data)
-      : data_(std::move(data)), pos_(data_.size()) {}
+  explicit SharedVecIterator(std::shared_ptr<const Materialized> data)
+      : data_(std::move(data)), pos_(data_->size()) {}
 
   void Seek(std::string_view target) override {
     pos_ = static_cast<size_t>(
-        std::lower_bound(data_.begin(), data_.end(), target,
+        std::lower_bound(data_->begin(), data_->end(), target,
                          [](const auto& entry, std::string_view t) {
                            return entry.first < t;
                          }) -
-        data_.begin());
+        data_->begin());
   }
 
   void SeekToFirst() override { pos_ = 0; }
   void Next() override { ++pos_; }
-  bool Valid() const override { return pos_ < data_.size(); }
-  std::string_view key() const override { return data_[pos_].first; }
-  std::string_view value() const override { return data_[pos_].second; }
+  bool Valid() const override { return pos_ < data_->size(); }
+  std::string_view key() const override { return (*data_)[pos_].first; }
+  std::string_view value() const override { return (*data_)[pos_].second; }
 
  private:
-  std::vector<std::pair<std::string, std::string>> data_;
+  std::shared_ptr<const Materialized> data_;
   size_t pos_;
+};
+
+/// Immutable view: a shared sorted vector plus the version it was taken at.
+class MemKvSnapshot : public KvSnapshot {
+ public:
+  MemKvSnapshot(std::shared_ptr<const Materialized> data, uint64_t version)
+      : data_(std::move(data)), version_(version) {}
+
+  Result<std::string> Get(std::string_view key) const override {
+    const std::string* value = FindIn(*data_, key);
+    if (value == nullptr) return Status::NotFound("key not found");
+    return *value;
+  }
+
+  std::vector<Result<std::string>> MultiGet(
+      std::span<const std::string> keys) const override {
+    std::vector<Result<std::string>> results;
+    results.reserve(keys.size());
+    for (const std::string& key : keys) results.push_back(Get(key));
+    return results;
+  }
+
+  std::unique_ptr<Iterator> NewIterator() const override {
+    return std::make_unique<SharedVecIterator>(data_);
+  }
+
+  uint64_t version() const override { return version_; }
+
+ private:
+  std::shared_ptr<const Materialized> data_;
+  uint64_t version_;
 };
 
 }  // namespace
 
+std::shared_ptr<const Materialized> MemKv::MaterializedLocked() {
+  if (!materialized_) {
+    materialized_ = std::make_shared<const Materialized>(data_.begin(),
+                                                         data_.end());
+  }
+  return materialized_;
+}
+
 Status MemKv::Put(std::string_view key, std::string_view value) {
   std::lock_guard<std::mutex> lock(mu_);
   data_[std::string(key)] = std::string(value);
+  ++version_;
+  materialized_.reset();
   return Status::OK();
 }
 
@@ -66,16 +120,42 @@ std::vector<Result<std::string>> MemKv::MultiGet(
 Status MemKv::Delete(std::string_view key) {
   std::lock_guard<std::mutex> lock(mu_);
   data_.erase(std::string(key));
+  ++version_;
+  materialized_.reset();
   return Status::OK();
 }
 
+Status MemKv::ApplyBatch(const WriteBatch& batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const WriteBatch::Entry& entry : batch.entries()) {
+    if (entry.is_delete) {
+      data_.erase(entry.key);
+    } else {
+      data_[entry.key] = entry.value;
+    }
+  }
+  ++version_;
+  materialized_.reset();
+  return Status::OK();
+}
+
+std::shared_ptr<const KvSnapshot> MemKv::GetSnapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::make_shared<MemKvSnapshot>(MaterializedLocked(), version_);
+}
+
+uint64_t MemKv::version() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return version_;
+}
+
 std::unique_ptr<Iterator> MemKv::NewIterator() {
-  std::vector<std::pair<std::string, std::string>> snapshot;
+  std::shared_ptr<const Materialized> snapshot;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    snapshot.assign(data_.begin(), data_.end());
+    snapshot = MaterializedLocked();
   }
-  return std::make_unique<MemKvIterator>(std::move(snapshot));
+  return std::make_unique<SharedVecIterator>(snapshot);
 }
 
 Result<uint64_t> MemKv::Count() {

@@ -2,8 +2,11 @@
 #define DGF_KV_MEM_KV_H_
 
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "kv/kv_store.h"
 
@@ -11,9 +14,12 @@ namespace dgf::kv {
 
 /// In-memory ordered KV store.
 ///
-/// The default index store for unit tests and small benches; iterators take a
-/// point-in-time snapshot of the map, so scans are stable under concurrent
-/// writes (matching the read-committed behaviour DGFIndex expects of HBase).
+/// The default index store for unit tests and small benches; iterators and
+/// snapshots take a point-in-time copy of the map, so reads are stable under
+/// concurrent writes (matching the snapshot behaviour DGFIndex expects).
+/// The materialized copy is cached behind a shared_ptr and invalidated on
+/// mutation, so repeated GetSnapshot/NewIterator calls between writes share
+/// one immutable vector instead of copying the map each time.
 class MemKv : public KvStore {
  public:
   MemKv() = default;
@@ -23,13 +29,24 @@ class MemKv : public KvStore {
   Status Delete(std::string_view key) override;
   std::vector<Result<std::string>> MultiGet(
       std::span<const std::string> keys) override;
+  Status ApplyBatch(const WriteBatch& batch) override;
+  std::shared_ptr<const KvSnapshot> GetSnapshot() override;
+  uint64_t version() override;
   std::unique_ptr<Iterator> NewIterator() override;
   Result<uint64_t> Count() override;
   Result<uint64_t> ApproximateSizeBytes() override;
 
  private:
+  using Materialized = std::vector<std::pair<std::string, std::string>>;
+
+  // Returns the cached sorted copy of data_, rebuilding it if a mutation
+  // invalidated it. Caller must hold mu_.
+  std::shared_ptr<const Materialized> MaterializedLocked();
+
   std::mutex mu_;
   std::map<std::string, std::string> data_;
+  uint64_t version_ = 0;
+  std::shared_ptr<const Materialized> materialized_;  // null after a mutation
 };
 
 }  // namespace dgf::kv

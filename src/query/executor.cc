@@ -361,6 +361,13 @@ Result<QueryResult> QueryExecutor::Execute(const Query& query,
 Result<QueryResult> QueryExecutor::ExecuteDgf(TableState* state,
                                               const Query& query) {
   core::DgfIndex* index = state->dgf;
+  // Pin one immutable snapshot for the whole query: the lookup, the slice
+  // scan below, and the aggregator list all come from the same epoch, so a
+  // concurrent Append/optimize/AddAggregation publish cannot tear the
+  // result. The snapshot (held to the end of this scope) also keeps any
+  // since-retired data files alive until the scan finishes.
+  DGF_ASSIGN_OR_RETURN(core::DgfIndex::Snapshot snap, index->Pin());
+
   const AggPlan plan = AggPlan::Create(query.Aggregations());
   // Precomputed inner-GFU headers are only valid when every predicate
   // condition is on an indexed dimension: Lookup ignores non-dimension
@@ -374,10 +381,11 @@ Result<QueryResult> QueryExecutor::ExecuteDgf(TableState* state,
       break;
     }
   }
-  const bool agg_path = query.IsPlainAggregation() && pred_covered &&
-                        index->CoversAggregations(plan.physical);
+  const bool agg_path =
+      query.IsPlainAggregation() && pred_covered &&
+      core::DgfIndex::CoversAggregations(*snap.aggs, plan.physical);
 
-  DGF_ASSIGN_OR_RETURN(auto lookup, index->Lookup(query.where, agg_path));
+  DGF_ASSIGN_OR_RETURN(auto lookup, index->Lookup(snap, query.where, agg_path));
 
   ScanInputs inputs;
   inputs.scan_desc = index->DataDesc();
@@ -394,7 +402,7 @@ Result<QueryResult> QueryExecutor::ExecuteDgf(TableState* state,
   }
   if (agg_path) {
     inputs.dgf_inner_header = std::move(lookup.inner_header);
-    inputs.dgf_aggs = &index->aggregators();
+    inputs.dgf_aggs = snap.aggs.get();
     inputs.dgf_inner_records = lookup.inner_records;
   }
 

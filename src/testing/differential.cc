@@ -8,7 +8,9 @@
 #include <cstdio>
 #include <filesystem>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <thread>
 #include <utility>
 
 #include "common/random.h"
@@ -483,6 +485,108 @@ std::string ReproLine(uint64_t seed, int case_id) {
          " --case=" + std::to_string(case_id);
 }
 
+/// Threaded differential: oracle results are computed sequentially first (the
+/// reference is single-threaded by definition), then `options.threads` reader
+/// threads share the world's executors — and through them one DGF index and
+/// one decoded-GFU cache per format — and re-run every path concurrently.
+/// Any divergence from the sequential oracle is either a real query bug or a
+/// concurrency bug in the snapshot machinery; shrinking happens after the
+/// threads join so it cannot perturb the concurrent phase.
+Result<DiffReport> RunDifferentialThreaded(const DiffOptions& options,
+                                           World& world) {
+  DiffReport report;
+  const int n = options.num_queries;
+  std::vector<query::Query> queries;
+  queries.reserve(static_cast<size_t>(n));
+  for (int case_id = 0; case_id < n; ++case_id) {
+    queries.push_back(GenerateCase(world, options.seed, case_id));
+  }
+
+  std::vector<std::optional<query::QueryResult>> oracles(
+      static_cast<size_t>(n));
+  for (int case_id = 0; case_id < n; ++case_id) {
+    ++report.queries_run;
+    auto oracle =
+        world.base_exec->Execute(queries[static_cast<size_t>(case_id)],
+                                 AccessPath::kFullScan);
+    if (oracle.ok()) {
+      oracles[static_cast<size_t>(case_id)] = std::move(*oracle);
+      continue;
+    }
+    Divergence d;
+    d.seed = options.seed;
+    d.case_id = case_id;
+    d.query = queries[static_cast<size_t>(case_id)].ToString();
+    d.path_a = "FullScan";
+    d.path_b = "FullScan";
+    d.detail = "oracle failed: " + oracle.status().ToString();
+    d.repro = ReproLine(options.seed, case_id);
+    report.divergences.push_back(std::move(d));
+  }
+
+  struct PendingDivergence {
+    int case_id;
+    std::string path_name;
+    std::string detail;
+  };
+  std::mutex mu;
+  std::vector<PendingDivergence> pending;
+  std::atomic<int> comparisons{0};
+  const int num_threads = std::max(1, std::min(options.threads, n));
+  std::vector<std::thread> readers;
+  readers.reserve(static_cast<size_t>(num_threads));
+  for (int tid = 0; tid < num_threads; ++tid) {
+    readers.emplace_back([&, tid] {
+      for (int i = tid; i < n; i += num_threads) {
+        const auto idx = static_cast<size_t>(i);
+        if (!oracles[idx].has_value()) continue;
+        for (const PathRun& path : PathsFor(world, queries[idx])) {
+          comparisons.fetch_add(1, std::memory_order_relaxed);
+          auto other = path.exec->Execute(queries[idx], path.path);
+          std::string detail =
+              other.ok() ? DescribeMismatch(*oracles[idx], *other)
+                         : "error: " + other.status().ToString();
+          if (detail.empty()) continue;
+          std::lock_guard<std::mutex> lock(mu);
+          pending.push_back(PendingDivergence{i, path.name, std::move(detail)});
+        }
+      }
+    });
+  }
+  for (std::thread& reader : readers) reader.join();
+  report.comparisons = comparisons.load(std::memory_order_relaxed);
+
+  std::sort(pending.begin(), pending.end(),
+            [](const PendingDivergence& a, const PendingDivergence& b) {
+              if (a.case_id != b.case_id) return a.case_id < b.case_id;
+              return a.path_name < b.path_name;
+            });
+  for (PendingDivergence& p : pending) {
+    const query::Query& q = queries[static_cast<size_t>(p.case_id)];
+    const PathRun* run = nullptr;
+    std::vector<PathRun> paths = PathsFor(world, q);
+    for (const PathRun& candidate : paths) {
+      if (p.path_name == candidate.name) run = &candidate;
+    }
+    const query::Query shrunk =
+        (options.shrink && run != nullptr) ? Shrink(world, q, *run) : q;
+    Divergence d;
+    d.seed = options.seed;
+    d.case_id = p.case_id;
+    d.query = shrunk.ToString();
+    d.path_a = "FullScan";
+    d.path_b = std::move(p.path_name);
+    d.detail = std::move(p.detail);
+    // Sequential replay first; if the case only fails concurrently, the
+    // full threaded run is the repro.
+    d.repro = ReproLine(options.seed, p.case_id) + " (threaded run: --seed=" +
+              std::to_string(options.seed) +
+              " --threads=" + std::to_string(options.threads) + ")";
+    report.divergences.push_back(std::move(d));
+  }
+  return report;
+}
+
 }  // namespace
 
 std::string Divergence::ToString() const {
@@ -496,6 +600,9 @@ Result<DiffReport> RunDifferential(const DiffOptions& options) {
   DiffReport report;
   DGF_ASSIGN_OR_RETURN(std::unique_ptr<World> world,
                        BuildWorld(options.seed, /*worker_threads=*/4));
+  if (options.threads > 1 && options.only_case < 0) {
+    return RunDifferentialThreaded(options, *world);
+  }
   const int begin = options.only_case >= 0 ? options.only_case : 0;
   const int end =
       options.only_case >= 0 ? options.only_case + 1 : options.num_queries;

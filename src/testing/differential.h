@@ -40,6 +40,12 @@ struct DiffOptions {
   /// Bisect a diverging query down to a smaller one before reporting.
   bool shrink = true;
   bool verbose = false;
+  /// > 1: run the case set concurrently on this many reader threads, each
+  /// case diffed against an oracle result computed sequentially up front.
+  /// Exercises the snapshot-isolated read path (shared executors, shared
+  /// decoded-GFU cache) under real thread interleavings; results must be
+  /// byte-identical to a sequential run. Ignored when only_case is set.
+  int threads = 1;
 };
 
 struct DiffReport {

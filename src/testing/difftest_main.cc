@@ -11,6 +11,8 @@
 //   dgf_difftest --seeds=tier1           fixed smoke suite (the ctest entry)
 //   dgf_difftest --seed=N [--queries=Q]  one differential world
 //   dgf_difftest --seed=N --case=K       replay one failing case
+//   dgf_difftest --threads=K ...         run each world's cases on K reader
+//                                        threads against a sequential oracle
 //   dgf_difftest --crash-sweep --seed=N  LSM crash-consistency sweep only
 //   dgf_difftest --fault-sweep --seed=N  read-fault schedule sweep only
 //   dgf_difftest --parser-fuzz --seed=N [--case=K]  parser fuzz only
@@ -43,6 +45,7 @@ struct Flags {
   uint64_t seed = 1;
   int queries = 100;
   int only_case = -1;
+  int threads = 1;
   double duration = 0;
   bool crash_sweep = false;
   bool fault_sweep = false;
@@ -68,7 +71,7 @@ bool ParseFlag(const char* arg, const char* name, const char** value) {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seeds=tier1] [--seed=N] [--queries=N] "
-               "[--case=K] [--duration=SECONDS] [--crash-sweep] "
+               "[--case=K] [--threads=K] [--duration=SECONDS] [--crash-sweep] "
                "[--fault-sweep] [--parser-fuzz] [--no-shrink] [--verbose]\n",
                argv0);
   return 2;
@@ -92,10 +95,13 @@ bool RunDiff(const DiffOptions& options) {
     return false;
   }
   Stage("differential", report->ok(),
-        "seed=" + std::to_string(options.seed) + " queries=" +
-            std::to_string(report->queries_run) + " comparisons=" +
-            std::to_string(report->comparisons) + " divergences=" +
-            std::to_string(report->divergences.size()));
+        "seed=" + std::to_string(options.seed) +
+            (options.threads > 1
+                 ? " threads=" + std::to_string(options.threads)
+                 : std::string()) +
+            " queries=" + std::to_string(report->queries_run) +
+            " comparisons=" + std::to_string(report->comparisons) +
+            " divergences=" + std::to_string(report->divergences.size()));
   for (const auto& divergence : report->divergences) {
     std::printf("%s\n", divergence.ToString().c_str());
   }
@@ -180,6 +186,8 @@ int main(int argc, char** argv) {
       flags.queries = std::atoi(value);
     } else if (ParseFlag(argv[i], "--case", &value) && value != nullptr) {
       flags.only_case = std::atoi(value);
+    } else if (ParseFlag(argv[i], "--threads", &value) && value != nullptr) {
+      flags.threads = std::atoi(value);
     } else if (ParseFlag(argv[i], "--duration", &value) && value != nullptr) {
       flags.duration = std::atof(value);
     } else if (ParseFlag(argv[i], "--crash-sweep", &value)) {
@@ -205,6 +213,7 @@ int main(int argc, char** argv) {
       DiffOptions options;
       options.seed = seed;
       options.num_queries = 100;
+      options.threads = flags.threads;
       options.verbose = flags.verbose;
       RunDiff(options);
     }
@@ -228,6 +237,7 @@ int main(int argc, char** argv) {
       options.seed = seed;
       options.num_queries = flags.queries;
       options.shrink = !flags.no_shrink;
+      options.threads = flags.threads;
       options.verbose = flags.verbose;
       RunDiff(options);
       RunCrash(CrashSweepOptions{.seed = seed, .verbose = flags.verbose});
@@ -266,6 +276,7 @@ int main(int argc, char** argv) {
     options.num_queries = flags.queries;
     options.only_case = flags.only_case;
     options.shrink = !flags.no_shrink;
+    options.threads = flags.threads;
     options.verbose = flags.verbose;
     RunDiff(options);
   }

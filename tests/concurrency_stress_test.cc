@@ -1,0 +1,388 @@
+// Concurrency hardening tests: snapshot-isolated reads under a concurrent
+// appender and a concurrent slice optimizer.
+//
+// The stress test replays the paper's query templates (aggregation with a
+// precomputed header, aggregation falling back to slices, plain slice scans)
+// from N reader threads while one thread appends pre-generated meter batches
+// and another loops SliceOptimizer::Optimize. Every reader result must equal
+// the brute-force oracle answer of ONE published batch prefix — a torn
+// result (rows of batch k mixed with GFU headers of batch k+1, or a slice
+// file deleted mid-scan) matches no single prefix and fails the run.
+//
+// Built with -DDGF_SANITIZE=tsan this is the race detector's main workload;
+// see scripts/check.sh.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "dgf/dgf_builder.h"
+#include "dgf/dgf_index.h"
+#include "dgf/dgf_input_format.h"
+#include "dgf/slice_optimizer.h"
+#include "kv/lsm_kv.h"
+#include "query/predicate.h"
+#include "table/table.h"
+#include "tests/test_util.h"
+
+namespace dgf::core {
+namespace {
+
+using ::dgf::testing::ScopedDfs;
+using table::DataType;
+using table::Schema;
+using table::TableDesc;
+using table::Value;
+
+Schema MeterSchema() {
+  return Schema({{"userId", DataType::kInt64},
+                 {"regionId", DataType::kInt64},
+                 {"time", DataType::kDate},
+                 {"powerConsumed", DataType::kDouble}});
+}
+
+std::vector<table::Row> MakeRows(int n, uint64_t seed) {
+  Random rng(seed);
+  std::vector<table::Row> rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    rows.push_back({Value::Int64(rng.UniformRange(0, 999)),
+                    Value::Int64(rng.UniformRange(1, 5)),
+                    Value::Date(15000 + rng.UniformRange(0, 9)),
+                    Value::Double(rng.UniformDouble(0.0, 50.0))});
+  }
+  return rows;
+}
+
+Status WriteBatchTable(const ScopedDfs& dfs, const TableDesc& desc,
+                       const std::vector<table::Row>& rows) {
+  DGF_ASSIGN_OR_RETURN(auto writer, table::TableWriter::Create(dfs.get(), desc));
+  for (const auto& row : rows) DGF_RETURN_IF_ERROR(writer->Append(row));
+  return writer->Close();
+}
+
+query::Predicate MeterPredicate(int64_t u_lo, int64_t u_hi, int64_t r_lo,
+                                int64_t r_hi, int64_t t_lo, int64_t t_hi) {
+  query::Predicate pred;
+  pred.And(query::ColumnRange::Between("userId", Value::Int64(u_lo), true,
+                                       Value::Int64(u_hi), false));
+  pred.And(query::ColumnRange::Between("regionId", Value::Int64(r_lo), true,
+                                       Value::Int64(r_hi), false));
+  pred.And(query::ColumnRange::Between("time", Value::Date(t_lo), true,
+                                       Value::Date(t_hi), false));
+  return pred;
+}
+
+struct Answer {
+  uint64_t count = 0;
+  double sum = 0.0;
+};
+
+bool AnswersMatch(const Answer& got, const Answer& want) {
+  if (got.count != want.count) return false;
+  const double tol = 1e-9 * std::max({1.0, std::fabs(got.sum),
+                                      std::fabs(want.sum)});
+  return std::fabs(got.sum - want.sum) <= tol;
+}
+
+Answer BruteForce(const std::vector<table::Row>& rows,
+                  const query::Predicate& pred, const Schema& schema) {
+  auto bound = pred.Bind(schema);
+  EXPECT_TRUE(bound.ok());
+  Answer answer;
+  for (const auto& row : rows) {
+    if (bound->Matches(row)) {
+      answer.sum += row[3].AsDouble();
+      ++answer.count;
+    }
+  }
+  return answer;
+}
+
+/// Evaluates one query template against a pinned snapshot: aggregation-path
+/// lookups take sum/count from the precomputed inner headers and scan only
+/// boundary slices; scan-path lookups read every slice. The snapshot must
+/// stay pinned until the slices are fully read — that pin is exactly what
+/// keeps retired files alive.
+Result<Answer> EvaluatePinned(const DgfIndex& index,
+                              const DgfIndex::Snapshot& snap,
+                              const query::Predicate& pred, bool aggregation,
+                              const Schema& schema) {
+  DGF_ASSIGN_OR_RETURN(DgfIndex::LookupResult lookup,
+                       index.Lookup(snap, pred, aggregation));
+  Answer answer;
+  if (aggregation) {
+    answer.sum = lookup.inner_header.empty() ? 0.0 : lookup.inner_header[0];
+    answer.count = lookup.inner_records;
+  }
+  DGF_ASSIGN_OR_RETURN(auto bound, pred.Bind(schema));
+  DGF_ASSIGN_OR_RETURN(auto planned,
+                       PlanSlicedSplits(index.dfs(), lookup.slices, 4096));
+  table::Row row;
+  for (const auto& sliced : planned) {
+    DGF_ASSIGN_OR_RETURN(auto reader,
+                         SliceRecordReader::Open(index.dfs(), sliced, schema));
+    for (;;) {
+      DGF_ASSIGN_OR_RETURN(bool more, reader->Next(&row));
+      if (!more) break;
+      if (bound.Matches(row)) {
+        answer.sum += row[3].AsDouble();
+        ++answer.count;
+      }
+    }
+  }
+  return answer;
+}
+
+struct StressWorld {
+  static constexpr int kBatches = 5;
+  static constexpr int kRowsPerBatch = 150;
+
+  std::shared_ptr<kv::KvStore> store;
+  std::unique_ptr<DgfIndex> index;
+  /// Batch tables 1..kBatches-1, pre-written to the DFS before any thread
+  /// starts (the appender only publishes, it does not generate).
+  std::vector<TableDesc> pending_batches;
+  /// prefix_rows[k] = all rows visible once k batches are published (k >= 1).
+  std::vector<std::vector<table::Row>> prefix_rows;
+};
+
+Result<StressWorld> BuildStressWorld(const ScopedDfs& dfs) {
+  StressWorld world;
+  world.prefix_rows.resize(StressWorld::kBatches + 1);
+
+  std::vector<table::Row> base_rows =
+      MakeRows(StressWorld::kRowsPerBatch, /*seed=*/101);
+  TableDesc base{"meter", MeterSchema(), table::FileFormat::kText,
+                 "/warehouse/meter"};
+  DGF_RETURN_IF_ERROR(WriteBatchTable(dfs, base, base_rows));
+  world.prefix_rows[1] = base_rows;
+
+  for (int k = 1; k < StressWorld::kBatches; ++k) {
+    TableDesc batch{"meter_b" + std::to_string(k), MeterSchema(),
+                    table::FileFormat::kText,
+                    "/staging/meter_b" + std::to_string(k)};
+    std::vector<table::Row> rows =
+        MakeRows(StressWorld::kRowsPerBatch, /*seed=*/101 + k);
+    DGF_RETURN_IF_ERROR(WriteBatchTable(dfs, batch, rows));
+    world.pending_batches.push_back(batch);
+    world.prefix_rows[k + 1] = world.prefix_rows[k];
+    world.prefix_rows[k + 1].insert(world.prefix_rows[k + 1].end(),
+                                    rows.begin(), rows.end());
+  }
+
+  // Tiny memtable and low run limit: the stress run crosses WAL appends,
+  // flushes, and compactions while readers hold LSM snapshots.
+  kv::LsmKv::Options kv_options;
+  kv_options.dfs = dfs.get();
+  kv_options.dir = "/kv/meter";
+  kv_options.memtable_flush_bytes = 4096;
+  kv_options.max_runs = 3;
+  DGF_ASSIGN_OR_RETURN(auto lsm, kv::LsmKv::Open(std::move(kv_options)));
+  world.store = std::move(lsm);
+
+  DgfBuilder::Options options;
+  options.dims = {{"userId", DataType::kInt64, 0, 100},
+                  {"regionId", DataType::kInt64, 0, 1},
+                  {"time", DataType::kDate, 15000, 1}};
+  options.precompute = {"sum(powerConsumed)", "count(*)"};
+  options.data_dir = "/warehouse/meter_dgf";
+  options.job.num_reducers = 2;
+  options.split_size = 4096;
+  DGF_ASSIGN_OR_RETURN(world.index, DgfBuilder::Build(dfs.get(), world.store,
+                                                      base, options));
+  return world;
+}
+
+/// The paper's template shapes at three selectivities; each runs through the
+/// precomputed-aggregation path and the slice-scan path.
+std::vector<query::Predicate> StressTemplates() {
+  std::vector<query::Predicate> templates;
+  templates.push_back(MeterPredicate(0, 1000, 1, 6, 15000, 15010));  // all
+  templates.push_back(MeterPredicate(0, 700, 1, 4, 15001, 15008));   // medium
+  templates.push_back(MeterPredicate(100, 400, 2, 4, 15002, 15006)); // narrow
+  return templates;
+}
+
+TEST(DgfConcurrencyStressTest, SnapshotReadsNeverTornUnderAppendAndOptimize) {
+  ScopedDfs dfs("dgf_stress");
+  auto built = BuildStressWorld(dfs);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  StressWorld& world = *built;
+  const Schema schema = MeterSchema();
+  const std::vector<query::Predicate> templates = StressTemplates();
+
+  // Oracle: the legal answers, one per (published batch count, template).
+  std::vector<std::vector<Answer>> expected(StressWorld::kBatches + 1);
+  for (int k = 1; k <= StressWorld::kBatches; ++k) {
+    for (const query::Predicate& pred : templates) {
+      expected[static_cast<size_t>(k)].push_back(
+          BruteForce(world.prefix_rows[static_cast<size_t>(k)], pred, schema));
+    }
+  }
+  // Every batch contributes rows to the widest template, so distinct batch
+  // prefixes are distinguishable by count alone — a torn read cannot hide.
+  for (int k = 1; k < StressWorld::kBatches; ++k) {
+    ASSERT_LT(expected[static_cast<size_t>(k)][0].count,
+              expected[static_cast<size_t>(k) + 1][0].count);
+  }
+
+  // `published` counts batches whose Append has RETURNED. The publish itself
+  // (ApplyBatch) happens just before the counter bump, so a reader that
+  // pinned between the two may already see one more batch than it read from
+  // the counter: the legal window for a query bracketed by [e0, e1] is
+  // [e0, min(e1 + 1, kBatches)].
+  std::atomic<int> published{1};
+  std::atomic<bool> writers_done{false};
+  std::mutex failures_mu;
+  std::vector<std::string> failures;
+  const auto record_failure = [&](std::string message) {
+    std::lock_guard<std::mutex> lock(failures_mu);
+    failures.push_back(std::move(message));
+  };
+
+  constexpr int kReaders = 3;
+  constexpr int kIterationsPerReader = 14;
+  std::vector<std::thread> threads;
+
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      for (int iter = 0; iter < kIterationsPerReader; ++iter) {
+        const size_t t = static_cast<size_t>(r + iter) % templates.size();
+        const bool aggregation = ((r + iter) / templates.size()) % 2 == 0;
+        const int e0 = published.load(std::memory_order_acquire);
+        auto snap = world.index->Pin();
+        if (!snap.ok()) {
+          record_failure("Pin failed: " + snap.status().ToString());
+          return;
+        }
+        auto got = EvaluatePinned(*world.index, *snap, templates[t],
+                                  aggregation, schema);
+        const int e1 = published.load(std::memory_order_acquire);
+        if (!got.ok()) {
+          record_failure("query failed (template " + std::to_string(t) +
+                         "): " + got.status().ToString());
+          continue;
+        }
+        const int lo = e0;
+        const int hi = std::min(e1 + 1, StressWorld::kBatches);
+        bool legal = false;
+        for (int k = lo; k <= hi && !legal; ++k) {
+          legal = AnswersMatch(*got, expected[static_cast<size_t>(k)][t]);
+        }
+        if (!legal) {
+          record_failure(
+              "torn result: template " + std::to_string(t) +
+              (aggregation ? " (agg)" : " (scan)") + " count=" +
+              std::to_string(got->count) + " sum=" + std::to_string(got->sum) +
+              " legal window [" + std::to_string(lo) + ", " +
+              std::to_string(hi) + "]");
+        }
+      }
+    });
+  }
+
+  threads.emplace_back([&] {
+    for (const TableDesc& batch : world.pending_batches) {
+      exec::JobRunner::Options job;
+      job.num_reducers = 2;
+      auto appended = DgfBuilder::Append(world.index.get(), batch, job, 4096);
+      if (!appended.ok()) {
+        record_failure("Append failed: " + appended.status().ToString());
+        break;
+      }
+      published.fetch_add(1, std::memory_order_release);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    writers_done.store(true, std::memory_order_release);
+  });
+
+  threads.emplace_back([&] {
+    int optimize_runs = 0;
+    while (!writers_done.load(std::memory_order_acquire) ||
+           optimize_runs == 0) {
+      auto stats = SliceOptimizer::Optimize(world.index.get(),
+                                            /*target_file_bytes=*/1 << 20);
+      if (!stats.ok()) {
+        record_failure("Optimize failed: " + stats.status().ToString());
+        break;
+      }
+      ++optimize_runs;
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    }
+  });
+
+  for (std::thread& thread : threads) thread.join();
+  for (const std::string& failure : failures) ADD_FAILURE() << failure;
+
+  // Quiesced final state: every template answers exactly the full oracle,
+  // through both paths.
+  ASSERT_OK_AND_ASSIGN(DgfIndex::Snapshot snap, world.index->Pin());
+  for (size_t t = 0; t < templates.size(); ++t) {
+    for (const bool aggregation : {true, false}) {
+      auto got =
+          EvaluatePinned(*world.index, snap, templates[t], aggregation, schema);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_TRUE(AnswersMatch(
+          *got, expected[StressWorld::kBatches][t]))
+          << "template " << t << " agg=" << aggregation << " count="
+          << got->count << " want="
+          << expected[StressWorld::kBatches][t].count;
+    }
+  }
+}
+
+// Deterministic single-threaded proof of the acceptance criterion: a query
+// snapshot pinned before an Append (and a subsequent optimize) keeps
+// answering with exactly the pre-append state, while a fresh pin sees the
+// post-append state.
+TEST(DgfConcurrencyStressTest, PinnedSnapshotImmuneToMidQueryAppend) {
+  ScopedDfs dfs("dgf_pin_immune");
+  auto built = BuildStressWorld(dfs);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  StressWorld& world = *built;
+  const Schema schema = MeterSchema();
+  const query::Predicate pred = MeterPredicate(0, 1000, 1, 6, 15000, 15010);
+  const Answer before = BruteForce(world.prefix_rows[1], pred, schema);
+  const Answer after = BruteForce(world.prefix_rows[2], pred, schema);
+  ASSERT_LT(before.count, after.count);
+
+  ASSERT_OK_AND_ASSIGN(DgfIndex::Snapshot pinned, world.index->Pin());
+  const uint64_t pinned_epoch = pinned.epoch;
+
+  // "Mid-query": the snapshot is pinned, the append and a full slice rewrite
+  // land, and only then does the query read its slices.
+  ASSERT_OK(DgfBuilder::Append(world.index.get(), world.pending_batches[0], {},
+                               4096)
+                .status());
+  ASSERT_OK(SliceOptimizer::Optimize(world.index.get()).status());
+
+  for (const bool aggregation : {true, false}) {
+    auto got = EvaluatePinned(*world.index, pinned, pred, aggregation, schema);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_TRUE(AnswersMatch(*got, before))
+        << "agg=" << aggregation << " count=" << got->count
+        << " want=" << before.count;
+  }
+
+  ASSERT_OK_AND_ASSIGN(DgfIndex::Snapshot fresh, world.index->Pin());
+  EXPECT_GT(fresh.epoch, pinned_epoch);
+  for (const bool aggregation : {true, false}) {
+    auto got = EvaluatePinned(*world.index, fresh, pred, aggregation, schema);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_TRUE(AnswersMatch(*got, after))
+        << "agg=" << aggregation << " count=" << got->count
+        << " want=" << after.count;
+  }
+}
+
+}  // namespace
+}  // namespace dgf::core

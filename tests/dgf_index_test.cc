@@ -199,7 +199,7 @@ TEST(DgfBuildTest, OpenFromPersistedMetadata) {
                        DgfIndex::Open(dfs.get(), built.store, MeterSchema()));
   EXPECT_EQ(reopened->policy().num_dims(), 3);
   EXPECT_EQ(reopened->data_dir(), "/warehouse/meter_dgf");
-  EXPECT_EQ(reopened->aggregators().size(), 2);
+  EXPECT_EQ(reopened->aggregators()->size(), 2);
 }
 
 // ---------- Lookup correctness (property test) ----------
