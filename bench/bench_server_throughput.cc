@@ -1,0 +1,315 @@
+// Client load harness for the query service: N client threads replay the
+// paper's meter-query templates (Listings 4-7 at the evaluated
+// selectivities) against an in-process dgf_serverd-style world over real
+// sockets, optionally while an appender lands new day batches. Emits one
+// JSON report with throughput and per-percentile latency.
+//
+//   bench_server_throughput [--threads=8] [--queries=40] [--appender]
+//                           [--users=200] [--days=5] [--regions=5]
+//                           [--max-concurrent=4] [--max-pending=32]
+//
+// Exits non-zero if any query fails with an error other than the structured
+// admission rejection (Unavailable counts as backpressure, not failure).
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "dgf/dgf_builder.h"
+#include "kv/mem_kv.h"
+#include "server/client.h"
+#include "server/query_service.h"
+#include "server/server.h"
+#include "table/schema.h"
+#include "workload/meter_gen.h"
+#include "workload/query_gen.h"
+
+namespace dgf::server {
+namespace {
+
+struct Flags {
+  int threads = 8;
+  int queries_per_thread = 40;
+  bool appender = false;
+  int64_t users = 200;
+  int days = 5;
+  int64_t regions = 5;
+  int max_concurrent = 4;
+  int max_pending = 32;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *value = arg + n + 1;
+  return true;
+}
+
+struct BenchWorld {
+  std::filesystem::path dir;
+  std::shared_ptr<fs::MiniDfs> dfs;
+  workload::MeterConfig config;
+  table::TableDesc meter;
+  table::TableDesc user_info;
+  std::shared_ptr<kv::KvStore> store;
+  std::unique_ptr<core::DgfIndex> dgf;
+
+  ~BenchWorld() {
+    if (dir.empty()) return;
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+};
+
+Result<std::unique_ptr<BenchWorld>> BuildBenchWorld(const Flags& flags) {
+  auto world = std::make_unique<BenchWorld>();
+  world->dir = std::filesystem::temp_directory_path() /
+               ("dgf_bench_server_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(world->dir);
+
+  fs::MiniDfs::Options dfs_options;
+  dfs_options.root_dir = world->dir.string();
+  dfs_options.block_size = 256 * 1024;
+  DGF_ASSIGN_OR_RETURN(world->dfs, fs::MiniDfs::Open(dfs_options));
+
+  world->config.num_users = flags.users;
+  world->config.num_days = flags.days;
+  world->config.num_regions = flags.regions;
+  world->config.extra_metrics = 2;
+  DGF_ASSIGN_OR_RETURN(
+      world->meter, workload::GenerateMeterTable(world->dfs, "/warehouse/meter",
+                                                 world->config));
+  DGF_ASSIGN_OR_RETURN(world->user_info,
+                       workload::GenerateUserInfoTable(
+                           world->dfs, "/warehouse/userinfo", world->config));
+
+  core::DgfBuilder::Options build;
+  build.dims = {
+      {"userId", table::DataType::kInt64, 0, 50},
+      {"regionId", table::DataType::kInt64, 0, 1},
+      {"time", table::DataType::kDate,
+       static_cast<double>(world->config.start_day), 1},
+  };
+  build.precompute = {"sum(powerConsumed)", "count(*)"};
+  build.data_dir = "/warehouse/dgf";
+  world->store = std::make_shared<kv::MemKv>();
+  DGF_ASSIGN_OR_RETURN(world->dgf,
+                       core::DgfBuilder::Build(world->dfs, world->store,
+                                               world->meter, build));
+  return world;
+}
+
+double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (std::strcmp(argv[i], "--appender") == 0) {
+      flags.appender = true;
+    } else if (ParseFlag(argv[i], "--threads", &value)) {
+      flags.threads = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--queries", &value)) {
+      flags.queries_per_thread = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--users", &value)) {
+      flags.users = std::atoll(value.c_str());
+    } else if (ParseFlag(argv[i], "--days", &value)) {
+      flags.days = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--regions", &value)) {
+      flags.regions = std::atoll(value.c_str());
+    } else if (ParseFlag(argv[i], "--max-concurrent", &value)) {
+      flags.max_concurrent = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--max-pending", &value)) {
+      flags.max_pending = std::atoi(value.c_str());
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  auto world = BuildBenchWorld(flags);
+  if (!world.ok()) {
+    std::fprintf(stderr, "world: %s\n", world.status().ToString().c_str());
+    return 1;
+  }
+  QueryService::Options service_options;
+  service_options.dfs = (*world)->dfs;
+  service_options.max_concurrent = flags.max_concurrent;
+  service_options.max_pending = flags.max_pending;
+  QueryService service(service_options);
+  service.RegisterTable((*world)->meter);
+  service.RegisterTable((*world)->user_info);
+  service.RegisterDgfIndex((*world)->meter.name, (*world)->dgf.get());
+
+  Server::Options server_options;
+  server_options.service = &service;
+  server_options.port = 0;
+  auto server = Server::Start(server_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "start: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  const int port = (*server)->port();
+
+  // The paper's template mix: aggregation, group-by, join, and
+  // partial-specified, at the three evaluated selectivities.
+  constexpr workload::MeterQueryKind kKinds[] = {
+      workload::MeterQueryKind::kAggregation,
+      workload::MeterQueryKind::kGroupBy, workload::MeterQueryKind::kJoin,
+      workload::MeterQueryKind::kPartial};
+  constexpr workload::Selectivity kSels[] = {
+      workload::Selectivity::kPoint, workload::Selectivity::kFivePercent,
+      workload::Selectivity::kTwelvePercent};
+
+  std::atomic<bool> stop_appender{false};
+  std::atomic<uint64_t> append_batches{0};
+  std::thread appender;
+  if (flags.appender) {
+    appender = std::thread([&] {
+      auto client = ServerClient::ConnectTcp("127.0.0.1", port);
+      if (!client.ok()) return;
+      const workload::MeterConfig& config = (*world)->config;
+      const int64_t first_day = config.start_day + config.num_days;
+      for (int batch = 0; !stop_appender.load(); ++batch) {
+        std::vector<std::string> rows;
+        for (int i = 0; i < 50; ++i) {
+          table::Row row = {
+              table::Value::Int64(i % config.num_users),
+              table::Value::Int64(1 + i % config.num_regions),
+              table::Value::Date(first_day + batch),
+              table::Value::Double(1.0 + 0.125 * i)};
+          for (int extra = 0; extra < config.extra_metrics; ++extra) {
+            row.push_back(table::Value::Double(0.25 * extra));
+          }
+          rows.push_back(table::FormatRowText(row));
+        }
+        auto response = (*client)->Append((*world)->meter.name, rows);
+        if (!response.ok() || !response->ok()) return;
+        append_batches.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    });
+  }
+
+  std::mutex mu;
+  std::vector<double> latencies_ms;
+  uint64_t ok_count = 0;
+  uint64_t rejected_count = 0;
+  uint64_t error_count = 0;
+  std::string first_error;
+
+  Stopwatch wall;
+  std::vector<std::thread> clients;
+  for (int t = 0; t < flags.threads; ++t) {
+    clients.emplace_back([&, t] {
+      auto client = ServerClient::ConnectTcp("127.0.0.1", port);
+      if (!client.ok()) {
+        std::lock_guard<std::mutex> lock(mu);
+        ++error_count;
+        if (first_error.empty()) first_error = client.status().ToString();
+        return;
+      }
+      std::vector<double> local_ms;
+      uint64_t local_ok = 0, local_rejected = 0, local_errors = 0;
+      std::string local_first_error;
+      for (int i = 0; i < flags.queries_per_thread; ++i) {
+        const uint64_t variant =
+            static_cast<uint64_t>(t) * 1000003ULL + static_cast<uint64_t>(i);
+        const query::Query q = workload::MakeMeterQuery(
+            (*world)->config, kKinds[variant % 4], kSels[(variant / 4) % 3],
+            variant);
+        const auto start = std::chrono::steady_clock::now();
+        auto response = (*client)->Query(q.ToSql());
+        const double ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        if (!response.ok()) {
+          ++local_errors;
+          if (local_first_error.empty()) {
+            local_first_error = response.status().ToString();
+          }
+          continue;
+        }
+        if (!response->ok()) {
+          const Status status = ResponseStatus(*response);
+          if (status.IsUnavailable()) {
+            ++local_rejected;  // structured backpressure, retryable
+          } else {
+            ++local_errors;
+            if (local_first_error.empty()) {
+              local_first_error = q.ToSql() + ": " + status.ToString();
+            }
+          }
+          continue;
+        }
+        ++local_ok;
+        local_ms.push_back(ms);
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      latencies_ms.insert(latencies_ms.end(), local_ms.begin(),
+                          local_ms.end());
+      ok_count += local_ok;
+      rejected_count += local_rejected;
+      error_count += local_errors;
+      if (first_error.empty()) first_error = local_first_error;
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  const double elapsed = wall.ElapsedSeconds();
+
+  stop_appender.store(true);
+  if (appender.joinable()) appender.join();
+  {
+    auto client = ServerClient::ConnectTcp("127.0.0.1", port);
+    if (client.ok()) (void)(*client)->Shutdown();
+  }
+  (*server)->Shutdown();
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const double qps =
+      elapsed > 0 ? static_cast<double>(ok_count) / elapsed : 0;
+  std::printf(
+      "{\"threads\": %d, \"queries_per_thread\": %d, \"ok\": %llu, "
+      "\"rejected\": %llu, \"errors\": %llu, \"wall_seconds\": %.3f, "
+      "\"qps\": %.1f, \"latency_ms\": {\"p50\": %.2f, \"p90\": %.2f, "
+      "\"p95\": %.2f, \"p99\": %.2f, \"max\": %.2f}, "
+      "\"append_batches\": %llu}\n",
+      flags.threads, flags.queries_per_thread,
+      static_cast<unsigned long long>(ok_count),
+      static_cast<unsigned long long>(rejected_count),
+      static_cast<unsigned long long>(error_count), elapsed, qps,
+      Percentile(latencies_ms, 0.50), Percentile(latencies_ms, 0.90),
+      Percentile(latencies_ms, 0.95), Percentile(latencies_ms, 0.99),
+      latencies_ms.empty() ? 0 : latencies_ms.back(),
+      static_cast<unsigned long long>(append_batches.load()));
+  if (error_count > 0) {
+    std::fprintf(stderr, "first error: %s\n", first_error.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dgf::server
+
+int main(int argc, char** argv) { return dgf::server::Main(argc, argv); }

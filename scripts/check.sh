@@ -2,7 +2,8 @@
 # Repo-wide verification with one line of PASS/FAIL per stage:
 # tier-1 build + ctest, the differential oracle smoke suite, an ASan/UBSan
 # pass that re-runs both the unit tests and the harness, and a TSan pass
-# that runs the concurrency stress tests plus the threaded differential
+# that runs the concurrency stress tests plus the threaded differential.
+# Both sanitizer passes also run the query-server suite (dgf_server_tests)
 # (contract: every stage prints exactly one [PASS]/[FAIL] line; any [FAIL]
 # makes the script exit non-zero).
 #
@@ -44,6 +45,7 @@ stage "asan build"       cmake --build build-asan -j "$JOBS"
 stage "asan kv/dgf tests" ctest --test-dir build-asan -j "$JOBS" \
   --output-on-failure -R 'Kv|Sstable|Lsm|Dgf|Slice|Difftest'
 stage "asan difftest"    ./build-asan/src/dgf_difftest --seed=1 --queries=40
+stage "asan server tests" ./build-asan/tests/dgf_server_tests
 
 # ThreadSanitizer: concurrent readers vs appender/optimizer (the stress
 # tests) and the threaded differential against its sequential oracle. A
@@ -54,5 +56,6 @@ stage "tsan build"       cmake --build build-tsan -j "$JOBS"
 stage "tsan stress tests" ctest --test-dir build-tsan -j "$JOBS" \
   --output-on-failure -R 'ConcurrencyStress'
 stage "tsan difftest"    ./build-tsan/src/dgf_difftest --threads=4 --seeds=tier1
+stage "tsan server tests" ./build-tsan/tests/dgf_server_tests
 
 exit "$FAILED"

@@ -1,0 +1,85 @@
+#ifndef DGF_COMMON_CANCEL_H_
+#define DGF_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+
+namespace dgf {
+
+/// Cooperative cancellation token with an optional deadline.
+///
+/// One token is attached to one unit of cancellable work (a query). The
+/// worker polls `Check()` inside its hot loops (amortized — see
+/// `CheckEvery`); any thread may call `Cancel()` at any time. Tokens are
+/// shared between the requesting side and the worker via shared_ptr, so a
+/// CANCEL arriving after the query finished is a harmless no-op on a dying
+/// token.
+///
+/// The deadline is a steady-clock point set once before the work starts;
+/// `Check()` reports `DeadlineExceeded` the first time it is polled past it.
+/// Cancellation wins over the deadline when both apply (the client asked
+/// first; the distinction matters to wire error codes).
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation; visible to the next `Check()` on any thread.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  /// Arms the deadline `budget_seconds` from now (<= 0 disarms).
+  void SetDeadlineAfter(double budget_seconds) {
+    if (budget_seconds <= 0) {
+      deadline_ns_.store(0, std::memory_order_release);
+      return;
+    }
+    const int64_t now = NowNanos();
+    deadline_ns_.store(
+        now + static_cast<int64_t>(budget_seconds * 1e9),
+        std::memory_order_release);
+  }
+
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+
+  /// OK while the work may continue; `Cancelled` after `Cancel()`;
+  /// `DeadlineExceeded` past the armed deadline.
+  Status Check() const {
+    if (cancelled()) return Status::Cancelled("query cancelled");
+    const int64_t deadline = deadline_ns_.load(std::memory_order_acquire);
+    if (deadline != 0 && NowNanos() >= deadline) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+  /// Amortized poll for hot loops: consults `Check()` (and its clock read)
+  /// only every `period` calls, tracked in caller-owned `*counter`. A null
+  /// token is free.
+  static Status CheckEvery(const CancelToken* token, uint64_t* counter,
+                           uint64_t period = 128) {
+    if (token == nullptr) return Status::OK();
+    if ((++*counter % period) != 0) return Status::OK();
+    return token->Check();
+  }
+
+ private:
+  static int64_t NowNanos() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  std::atomic<bool> cancelled_{false};
+  /// Steady-clock nanos; 0 = no deadline.
+  std::atomic<int64_t> deadline_ns_{0};
+};
+
+}  // namespace dgf
+
+#endif  // DGF_COMMON_CANCEL_H_

@@ -22,8 +22,74 @@ const char* StatusCodeName(StatusCode code) {
       return "OutOfRange";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
+}
+
+WireErrorCode StatusCodeToWire(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return WireErrorCode::kOk;
+    case StatusCode::kInvalidArgument:
+      return WireErrorCode::kInvalidArgument;
+    case StatusCode::kNotFound:
+      return WireErrorCode::kNotFound;
+    case StatusCode::kAlreadyExists:
+      return WireErrorCode::kAlreadyExists;
+    case StatusCode::kIOError:
+      return WireErrorCode::kIOError;
+    case StatusCode::kCorruption:
+      return WireErrorCode::kCorruption;
+    case StatusCode::kNotSupported:
+      return WireErrorCode::kNotSupported;
+    case StatusCode::kOutOfRange:
+      return WireErrorCode::kOutOfRange;
+    case StatusCode::kInternal:
+      return WireErrorCode::kInternal;
+    case StatusCode::kCancelled:
+      return WireErrorCode::kCancelled;
+    case StatusCode::kDeadlineExceeded:
+      return WireErrorCode::kDeadlineExceeded;
+    case StatusCode::kUnavailable:
+      return WireErrorCode::kUnavailable;
+  }
+  return WireErrorCode::kInternal;
+}
+
+StatusCode StatusCodeFromWire(uint16_t wire) {
+  switch (static_cast<WireErrorCode>(wire)) {
+    case WireErrorCode::kOk:
+      return StatusCode::kOk;
+    case WireErrorCode::kInvalidArgument:
+      return StatusCode::kInvalidArgument;
+    case WireErrorCode::kNotFound:
+      return StatusCode::kNotFound;
+    case WireErrorCode::kAlreadyExists:
+      return StatusCode::kAlreadyExists;
+    case WireErrorCode::kIOError:
+      return StatusCode::kIOError;
+    case WireErrorCode::kCorruption:
+      return StatusCode::kCorruption;
+    case WireErrorCode::kNotSupported:
+      return StatusCode::kNotSupported;
+    case WireErrorCode::kOutOfRange:
+      return StatusCode::kOutOfRange;
+    case WireErrorCode::kInternal:
+      return StatusCode::kInternal;
+    case WireErrorCode::kCancelled:
+      return StatusCode::kCancelled;
+    case WireErrorCode::kDeadlineExceeded:
+      return StatusCode::kDeadlineExceeded;
+    case WireErrorCode::kUnavailable:
+      return StatusCode::kUnavailable;
+  }
+  return StatusCode::kInternal;
 }
 
 std::string Status::ToString() const {

@@ -1,6 +1,7 @@
 #ifndef DGF_COMMON_STATUS_H_
 #define DGF_COMMON_STATUS_H_
 
+#include <cstdint>
 #include <string>
 #include <utility>
 
@@ -18,6 +19,14 @@ enum class StatusCode {
   kNotSupported,
   kOutOfRange,
   kInternal,
+  /// The operation was cancelled by an explicit request (client CANCEL or a
+  /// local CancelToken).
+  kCancelled,
+  /// The operation ran past its deadline and was aborted.
+  kDeadlineExceeded,
+  /// Structured backpressure: the service refused to admit the operation
+  /// (queue full, draining for shutdown). The caller may retry later.
+  kUnavailable,
 };
 
 /// Outcome of an operation: either OK or an error code plus message.
@@ -54,12 +63,32 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// Rebuilds a status from a decoded (code, message) pair — the receiving
+  /// end of the wire protocol.
+  static Status FromCode(StatusCode code, std::string msg) {
+    if (code == StatusCode::kOk) return Status();
+    return Status(code, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
@@ -77,6 +106,33 @@ class Status {
 
 /// Returns a short name for `code`, e.g. "NotFound".
 const char* StatusCodeName(StatusCode code);
+
+/// Stable wire error codes for the query service protocol. This is the ONE
+/// table mapping StatusCode to on-the-wire numbers; values are part of the
+/// protocol contract and must never be renumbered — append only. Clients use
+/// them to distinguish admission rejection (kUnavailable, retryable) from
+/// cancellation (kCancelled / kDeadlineExceeded) from execution errors.
+/// ServerTest.StatusWireCodesRoundTrip asserts round-trip fidelity.
+enum class WireErrorCode : uint16_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kIOError = 4,
+  kCorruption = 5,
+  kNotSupported = 6,
+  kOutOfRange = 7,
+  kInternal = 8,
+  kCancelled = 9,
+  kDeadlineExceeded = 10,
+  kUnavailable = 11,
+};
+
+/// StatusCode -> wire code (total function).
+WireErrorCode StatusCodeToWire(StatusCode code);
+/// Wire code -> StatusCode; unknown numbers (a newer peer) map to kInternal
+/// rather than failing, so old clients degrade gracefully.
+StatusCode StatusCodeFromWire(uint16_t wire);
 
 }  // namespace dgf
 

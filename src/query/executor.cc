@@ -68,7 +68,7 @@ class ScanMapper : public exec::Mapper {
              const AggregatorList* aggs, int group_field,
              std::vector<int> left_project, int join_left_field,
              std::shared_ptr<const BroadcastTable> broadcast,
-             std::vector<int> right_project)
+             std::vector<int> right_project, const CancelToken* cancel)
       : factory_(std::move(factory)),
         predicate_(std::move(predicate)),
         mode_(mode),
@@ -77,7 +77,8 @@ class ScanMapper : public exec::Mapper {
         left_project_(std::move(left_project)),
         join_left_field_(join_left_field),
         broadcast_(std::move(broadcast)),
-        right_project_(std::move(right_project)) {}
+        right_project_(std::move(right_project)),
+        cancel_(cancel) {}
 
   Status Map(const fs::FileSplit& split, exec::MapContext* ctx) override {
     DGF_ASSIGN_OR_RETURN(auto reader, factory_(split, ctx));
@@ -86,8 +87,10 @@ class ScanMapper : public exec::Mapper {
     if (aggs_ != nullptr) agg_partial = aggs_->Identity();
     std::unordered_map<std::string, std::vector<double>> groups;
     uint64_t matched = 0;
+    uint64_t cancel_poll = 0;
 
     for (;;) {
+      DGF_RETURN_IF_ERROR(CancelToken::CheckEvery(cancel_, &cancel_poll));
       DGF_ASSIGN_OR_RETURN(bool more, reader->Next(&row));
       if (!more) break;
       ctx->AddRecords(1);
@@ -157,17 +160,20 @@ class ScanMapper : public exec::Mapper {
   int join_left_field_;
   std::shared_ptr<const BroadcastTable> broadcast_;
   std::vector<int> right_project_;
+  const CancelToken* cancel_;
 };
 
 /// Reducer merging per-group partial headers.
 class GroupMergeReducer : public exec::Reducer {
  public:
-  explicit GroupMergeReducer(const AggregatorList* aggs) : aggs_(aggs) {}
+  GroupMergeReducer(const AggregatorList* aggs, const CancelToken* cancel)
+      : aggs_(aggs), cancel_(cancel) {}
 
   Status Reduce(const std::string& key, const std::vector<std::string>& values,
                 exec::ReduceContext* ctx) override {
     std::vector<double> acc = aggs_->Identity();
     for (const std::string& value : values) {
+      DGF_RETURN_IF_ERROR(CancelToken::CheckEvery(cancel_, &cancel_poll_));
       DGF_ASSIGN_OR_RETURN(
           std::vector<double> partial,
           DecodeHeader(value, static_cast<size_t>(aggs_->size())));
@@ -179,6 +185,8 @@ class GroupMergeReducer : public exec::Reducer {
 
  private:
   const AggregatorList* aggs_;
+  const CancelToken* cancel_;
+  uint64_t cancel_poll_ = 0;
 };
 
 Value AggResultValue(const AggSpec& spec, double value) {
@@ -317,8 +325,10 @@ struct QueryExecutor::ScanInputs {
 };
 
 Result<QueryResult> QueryExecutor::Execute(const Query& query,
-                                           std::optional<AccessPath> force) {
+                                           std::optional<AccessPath> force,
+                                           const CancelToken* cancel) {
   Stopwatch wall;
+  if (cancel != nullptr) DGF_RETURN_IF_ERROR(cancel->Check());
   DGF_ASSIGN_OR_RETURN(TableState * state, GetState(query.table));
   const AccessPath path = force.value_or(ChoosePath(*state, query));
 
@@ -329,7 +339,7 @@ Result<QueryResult> QueryExecutor::Execute(const Query& query,
           return Status::InvalidArgument("no DGFIndex registered for " +
                                          query.table);
         }
-        return ExecuteDgf(state, query);
+        return ExecuteDgf(state, query, cancel);
       case AccessPath::kAggregateRewrite:
         return ExecuteAggregateRewrite(state, query);
       case AccessPath::kCompactIndex:
@@ -337,15 +347,15 @@ Result<QueryResult> QueryExecutor::Execute(const Query& query,
           return Status::InvalidArgument("no Compact Index registered for " +
                                          query.table);
         }
-        return ExecuteSplitScan(state, query, path);
+        return ExecuteSplitScan(state, query, path, cancel);
       case AccessPath::kBitmapIndex:
         if (state->bitmap == nullptr) {
           return Status::InvalidArgument("no Bitmap Index registered for " +
                                          query.table);
         }
-        return ExecuteSplitScan(state, query, path);
+        return ExecuteSplitScan(state, query, path, cancel);
       case AccessPath::kFullScan:
-        return ExecuteSplitScan(state, query, path);
+        return ExecuteSplitScan(state, query, path, cancel);
     }
     return Status::Internal("unreachable");
   }();
@@ -359,7 +369,8 @@ Result<QueryResult> QueryExecutor::Execute(const Query& query,
 }
 
 Result<QueryResult> QueryExecutor::ExecuteDgf(TableState* state,
-                                              const Query& query) {
+                                              const Query& query,
+                                              const CancelToken* cancel) {
   core::DgfIndex* index = state->dgf;
   // Pin one immutable snapshot for the whole query: the lookup, the slice
   // scan below, and the aggregator list all come from the same epoch, so a
@@ -414,12 +425,13 @@ Result<QueryResult> QueryExecutor::ExecuteDgf(TableState* state,
       static_cast<double>(lookup.kv_gets) * options_.cluster.kv_get_s +
       static_cast<double>(lookup.kv_scan_entries) *
           options_.cluster.kv_scan_entry_s;
-  return RunDataJob(state, query, inputs, stats);
+  return RunDataJob(state, query, inputs, stats, cancel);
 }
 
 Result<QueryResult> QueryExecutor::ExecuteSplitScan(TableState* state,
                                                     const Query& query,
-                                                    AccessPath path) {
+                                                    AccessPath path,
+                                                    const CancelToken* cancel) {
   ScanInputs inputs;
   inputs.scan_desc = state->desc;
   QueryStats stats;
@@ -446,7 +458,7 @@ Result<QueryResult> QueryExecutor::ExecuteSplitScan(TableState* state,
         inputs.splits,
         table::GetTableSplits(options_.dfs, state->desc, options_.split_size));
   }
-  return RunDataJob(state, query, inputs, stats);
+  return RunDataJob(state, query, inputs, stats, cancel);
 }
 
 Result<QueryResult> QueryExecutor::ExecuteAggregateRewrite(TableState* state,
@@ -484,7 +496,8 @@ Result<QueryResult> QueryExecutor::ExecuteAggregateRewrite(TableState* state,
 Result<QueryResult> QueryExecutor::RunDataJob(TableState* state,
                                               const Query& query,
                                               const ScanInputs& inputs,
-                                              QueryStats stats) {
+                                              QueryStats stats,
+                                              const CancelToken* cancel) {
   (void)state;  // access-path branches already resolved the table
   const TableDesc& scan_desc = inputs.scan_desc;
   DGF_ASSIGN_OR_RETURN(BoundPredicate predicate,
@@ -628,11 +641,12 @@ Result<QueryResult> QueryExecutor::RunDataJob(TableState* state,
           [&] {
             return std::make_unique<ScanMapper>(
                 factory, predicate, mode, aggs_ptr, group_field, left_project,
-                join_left_field, broadcast, right_project);
+                join_left_field, broadcast, right_project, cancel);
           },
           mode == ScanMode::kGroupBy
-              ? exec::ReducerFactory(
-                    [&](int) { return std::make_unique<GroupMergeReducer>(aggs_ptr); })
+              ? exec::ReducerFactory([&](int) {
+                  return std::make_unique<GroupMergeReducer>(aggs_ptr, cancel);
+                })
               : exec::ReducerFactory(nullptr)));
 
   stats.records_read +=
@@ -644,6 +658,8 @@ Result<QueryResult> QueryExecutor::RunDataJob(TableState* state,
       static_cast<uint64_t>(data_job.counters.Get(exec::kCounterMapInputBytes));
   stats.splits_scanned = data_job.num_map_tasks;
   stats.data_seconds = data_job.simulated_seconds;
+
+  if (cancel != nullptr) DGF_RETURN_IF_ERROR(cancel->Check());
 
   // Assemble output rows.
   QueryResult result;

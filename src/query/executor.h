@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/result.h"
 #include "dgf/dgf_index.h"
 #include "exec/mapreduce.h"
@@ -93,8 +94,13 @@ class QueryExecutor {
   /// Executes `query`, optionally forcing an access path (benchmarks compare
   /// paths on identical queries). Forcing a path whose index is not
   /// registered is an InvalidArgument error.
+  ///
+  /// `cancel` (optional, borrowed for the call) is polled cooperatively in
+  /// the scan and merge loops; a tripped token aborts the query with
+  /// Cancelled or DeadlineExceeded. The query server arms one per request.
   Result<QueryResult> Execute(const Query& query,
-                              std::optional<AccessPath> force = std::nullopt);
+                              std::optional<AccessPath> force = std::nullopt,
+                              const CancelToken* cancel = nullptr);
 
  private:
   struct TableState {
@@ -108,16 +114,19 @@ class QueryExecutor {
   Result<TableState*> GetState(const std::string& table);
   AccessPath ChoosePath(const TableState& state, const Query& query) const;
 
-  Result<QueryResult> ExecuteDgf(TableState* state, const Query& query);
+  Result<QueryResult> ExecuteDgf(TableState* state, const Query& query,
+                                 const CancelToken* cancel);
   Result<QueryResult> ExecuteSplitScan(TableState* state, const Query& query,
-                                       AccessPath path);
+                                       AccessPath path,
+                                       const CancelToken* cancel);
   Result<QueryResult> ExecuteAggregateRewrite(TableState* state,
                                               const Query& query);
 
   /// Runs the data-scan job over prepared inputs and assembles the result.
   struct ScanInputs;
   Result<QueryResult> RunDataJob(TableState* state, const Query& query,
-                                 const ScanInputs& inputs, QueryStats stats);
+                                 const ScanInputs& inputs, QueryStats stats,
+                                 const CancelToken* cancel);
 
   Options options_;
   std::map<std::string, TableState> tables_;

@@ -14,23 +14,42 @@ bool ColumnRange::Matches(const table::Value& value) const {
   return true;
 }
 
-std::string ColumnRange::ToString() const {
-  std::string out = column;
-  if (lower.has_value() && upper.has_value() &&
-      lower->value == upper->value && lower->inclusive && upper->inclusive) {
-    return out + " = " + lower->value.ToText();
+namespace {
+
+/// `sql` quotes date/string literals so the rendering re-parses (the parser
+/// cannot tokenize a bare 2012-12-01); `!sql` keeps the terser diagnostic
+/// form ToString always printed.
+std::string LiteralText(const table::Value& value, bool sql) {
+  if (sql && (value.is_string() || value.is_date())) {
+    return "'" + value.ToText() + "'";
   }
-  if (lower.has_value()) {
-    out += lower->inclusive ? " >= " : " > ";
-    out += lower->value.ToText();
+  return value.ToText();
+}
+
+std::string RangeText(const ColumnRange& range, bool sql) {
+  std::string out = range.column;
+  if (range.lower.has_value() && range.upper.has_value() &&
+      range.lower->value == range.upper->value && range.lower->inclusive &&
+      range.upper->inclusive) {
+    return out + " = " + LiteralText(range.lower->value, sql);
   }
-  if (upper.has_value()) {
-    if (lower.has_value()) out += " AND " + column;
-    out += upper->inclusive ? " <= " : " < ";
-    out += upper->value.ToText();
+  if (range.lower.has_value()) {
+    out += range.lower->inclusive ? " >= " : " > ";
+    out += LiteralText(range.lower->value, sql);
+  }
+  if (range.upper.has_value()) {
+    if (range.lower.has_value()) out += " AND " + range.column;
+    out += range.upper->inclusive ? " <= " : " < ";
+    out += LiteralText(range.upper->value, sql);
   }
   return out;
 }
+
+}  // namespace
+
+std::string ColumnRange::ToString() const { return RangeText(*this, false); }
+
+std::string ColumnRange::ToSql() const { return RangeText(*this, true); }
 
 void Predicate::And(ColumnRange range) {
   for (auto& existing : ranges_) {
@@ -83,6 +102,15 @@ std::string Predicate::ToString() const {
   for (size_t i = 0; i < ranges_.size(); ++i) {
     if (i > 0) out += " AND ";
     out += ranges_[i].ToString();
+  }
+  return out;
+}
+
+std::string Predicate::ToSql() const {
+  std::string out;
+  for (size_t i = 0; i < ranges_.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += ranges_[i].ToSql();
   }
   return out;
 }

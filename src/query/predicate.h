@@ -45,6 +45,11 @@ struct ColumnRange {
   bool Matches(const table::Value& value) const;
 
   std::string ToString() const;
+  /// Like ToString but renders date/string literals quoted so the output
+  /// re-parses through ParseQuery (ToString's bare `2012-12-01` does not
+  /// tokenize as one literal). The wire clients serialize predicates with
+  /// this form.
+  std::string ToSql() const;
 };
 
 /// A conjunction of per-column ranges — the multidimensional range predicate
@@ -67,6 +72,8 @@ class Predicate {
   Result<class BoundPredicate> Bind(const table::Schema& schema) const;
 
   std::string ToString() const;
+  /// ParseQuery-compatible rendering (quoted date/string literals).
+  std::string ToSql() const;
 
  private:
   std::vector<ColumnRange> ranges_;

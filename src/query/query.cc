@@ -38,4 +38,20 @@ std::string Query::ToString() const {
   return out;
 }
 
+std::string Query::ToSql() const {
+  std::string out = "SELECT ";
+  for (size_t i = 0; i < select.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += select[i].ToString();
+  }
+  out += " FROM " + table;
+  if (join.has_value()) {
+    out += " JOIN " + join->right_table + " ON " + join->left_column + " = " +
+           join->right_column;
+  }
+  if (!where.empty()) out += " WHERE " + where.ToSql();
+  if (group_by.has_value()) out += " GROUP BY " + *group_by;
+  return out;
+}
+
 }  // namespace dgf::query

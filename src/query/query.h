@@ -61,6 +61,11 @@ struct Query {
   bool IsPlainAggregation() const;
 
   std::string ToString() const;
+
+  /// Renders the query as SQL that round-trips through ParseQuery: identical
+  /// to ToString except date and string literals are single-quoted. This is
+  /// what ServerClient sends over the wire.
+  std::string ToSql() const;
 };
 
 }  // namespace dgf::query

@@ -1,0 +1,158 @@
+// dgf_cli: command-line client for dgf_serverd.
+//
+//   dgf_cli [--port=N | --unix=PATH] query "SELECT ..." [--deadline=SECONDS]
+//   dgf_cli [--port=N | --unix=PATH] append TABLE        # rows on stdin
+//   dgf_cli [--port=N | --unix=PATH] stats
+//   dgf_cli [--port=N | --unix=PATH] ping
+//   dgf_cli [--port=N | --unix=PATH] shutdown
+//
+// Query output: schema header line, then one pipe-separated line per row,
+// then a `-- stats` trailer with the per-query accounting. `stats` prints
+// the server counters as name=value lines.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "query/executor.h"
+#include "server/client.h"
+
+namespace dgf::server {
+namespace {
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *value = arg + n + 1;
+  return true;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "dgf_cli: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int PrintResponse(const Result<Response>& response) {
+  if (!response.ok()) return Fail(response.status());
+  if (!response->ok()) return Fail(ResponseStatus(*response));
+  return 0;
+}
+
+int RunQuery(ServerClient& client, const std::string& sql, double deadline) {
+  auto response = client.Query(sql, deadline);
+  if (!response.ok()) return Fail(response.status());
+  if (!response->ok()) return Fail(ResponseStatus(*response));
+  const QueryResultPayload& result = response->result;
+  std::string header;
+  for (const table::Field& field : result.schema.fields()) {
+    if (!header.empty()) header += "|";
+    header += field.name;
+  }
+  std::printf("%s\n", header.c_str());
+  for (const std::string& row : result.rows) std::printf("%s\n", row.c_str());
+  const query::QueryStats& stats = result.stats;
+  std::printf(
+      "-- stats: path=%s rows=%zu records_read=%llu matched=%llu "
+      "splits=%d kv_gets=%llu cache_hits=%llu cache_misses=%llu "
+      "wall_ms=%.2f\n",
+      query::AccessPathName(stats.path), result.rows.size(),
+      static_cast<unsigned long long>(stats.records_read),
+      static_cast<unsigned long long>(stats.records_matched),
+      stats.splits_scanned, static_cast<unsigned long long>(stats.kv_gets),
+      static_cast<unsigned long long>(stats.cache_hits),
+      static_cast<unsigned long long>(stats.cache_misses),
+      stats.wall_seconds * 1e3);
+  return 0;
+}
+
+int RunStats(ServerClient& client) {
+  auto response = client.Stats();
+  if (!response.ok()) return Fail(response.status());
+  if (!response->ok()) return Fail(ResponseStatus(*response));
+  for (const auto& [name, value] : response->stats) {
+    std::printf("%s=%g\n", name.c_str(), value);
+  }
+  return 0;
+}
+
+int RunAppend(ServerClient& client, const std::string& table) {
+  std::vector<std::string> rows;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (!line.empty()) rows.push_back(line);
+  }
+  auto response = client.Append(table, rows);
+  if (!response.ok()) return Fail(response.status());
+  if (!response->ok()) return Fail(ResponseStatus(*response));
+  std::printf("appended %llu rows to %s\n",
+              static_cast<unsigned long long>(response->rows_appended),
+              table.c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  int port = 4641;
+  std::string unix_path;
+  std::string command;
+  std::vector<std::string> args;
+  double deadline = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--port", &value)) {
+      port = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--unix", &value)) {
+      unix_path = value;
+    } else if (ParseFlag(argv[i], "--deadline", &value)) {
+      deadline = std::atof(value.c_str());
+    } else if (command.empty()) {
+      command = argv[i];
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+  if (command.empty()) {
+    std::fprintf(stderr,
+                 "usage: dgf_cli [--port=N|--unix=PATH] "
+                 "query|append|stats|ping|shutdown ...\n");
+    return 2;
+  }
+  auto client = unix_path.empty() ? ServerClient::ConnectTcp("127.0.0.1", port)
+                                  : ServerClient::ConnectUnix(unix_path);
+  if (!client.ok()) return Fail(client.status());
+
+  if (command == "query") {
+    if (args.size() != 1) {
+      std::fprintf(stderr, "usage: dgf_cli query \"SELECT ...\"\n");
+      return 2;
+    }
+    return RunQuery(**client, args[0], deadline);
+  }
+  if (command == "append") {
+    if (args.size() != 1) {
+      std::fprintf(stderr, "usage: dgf_cli append TABLE < rows.txt\n");
+      return 2;
+    }
+    return RunAppend(**client, args[0]);
+  }
+  if (command == "stats") return RunStats(**client);
+  if (command == "ping") {
+    const int rc = PrintResponse((*client)->Ping());
+    if (rc == 0) std::printf("pong\n");
+    return rc;
+  }
+  if (command == "shutdown") {
+    const int rc = PrintResponse((*client)->Shutdown());
+    if (rc == 0) std::printf("server drained and stopped\n");
+    return rc;
+  }
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  return 2;
+}
+
+}  // namespace
+}  // namespace dgf::server
+
+int main(int argc, char** argv) { return dgf::server::Main(argc, argv); }

@@ -1,0 +1,144 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dgf::server {
+
+Result<std::unique_ptr<ServerClient>> ServerClient::ConnectTcp(
+    const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError("connect " + host + ":" + std::to_string(port) +
+                           ": " + std::strerror(err));
+  }
+  return std::unique_ptr<ServerClient>(new ServerClient(fd));
+}
+
+Result<std::unique_ptr<ServerClient>> ServerClient::ConnectUnix(
+    const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path too long: " + path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError("connect " + path + ": " + std::strerror(err));
+  }
+  return std::unique_ptr<ServerClient>(new ServerClient(fd));
+}
+
+ServerClient::~ServerClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<uint64_t> ServerClient::Send(Request request) {
+  request.request_id = next_request_id_++;
+  DGF_RETURN_IF_ERROR(WriteFrame(fd_, EncodeRequest(request)));
+  return request.request_id;
+}
+
+Result<Response> ServerClient::Await(uint64_t request_id) {
+  auto it = buffered_.find(request_id);
+  if (it != buffered_.end()) {
+    Response response = std::move(it->second);
+    buffered_.erase(it);
+    return response;
+  }
+  std::string body;
+  for (;;) {
+    DGF_ASSIGN_OR_RETURN(bool more, ReadFrame(fd_, &body));
+    if (!more) {
+      return Status::IOError("connection closed awaiting response " +
+                             std::to_string(request_id));
+    }
+    DGF_ASSIGN_OR_RETURN(Response response, DecodeResponse(body));
+    if (response.request_id == request_id) return response;
+    buffered_[response.request_id] = std::move(response);
+  }
+}
+
+Result<Response> ServerClient::Call(Request request) {
+  DGF_ASSIGN_OR_RETURN(uint64_t id, Send(std::move(request)));
+  return Await(id);
+}
+
+Result<Response> ServerClient::Query(const std::string& sql,
+                                     double deadline_seconds) {
+  Request request;
+  request.opcode = Opcode::kQuery;
+  request.query.sql = sql;
+  request.query.deadline_seconds = deadline_seconds;
+  return Call(std::move(request));
+}
+
+Result<uint64_t> ServerClient::StartQuery(const std::string& sql,
+                                          double deadline_seconds) {
+  Request request;
+  request.opcode = Opcode::kQuery;
+  request.query.sql = sql;
+  request.query.deadline_seconds = deadline_seconds;
+  return Send(std::move(request));
+}
+
+Result<uint64_t> ServerClient::StartCancel(uint64_t target_request_id) {
+  Request request;
+  request.opcode = Opcode::kCancel;
+  request.cancel_target = target_request_id;
+  return Send(std::move(request));
+}
+
+Result<Response> ServerClient::Append(const std::string& table,
+                                      const std::vector<std::string>& rows) {
+  Request request;
+  request.opcode = Opcode::kAppend;
+  request.append.table = table;
+  request.append.rows = rows;
+  return Call(std::move(request));
+}
+
+Result<Response> ServerClient::Stats() {
+  Request request;
+  request.opcode = Opcode::kStats;
+  return Call(std::move(request));
+}
+
+Result<Response> ServerClient::Ping() {
+  Request request;
+  request.opcode = Opcode::kPing;
+  return Call(std::move(request));
+}
+
+Result<Response> ServerClient::Shutdown() {
+  Request request;
+  request.opcode = Opcode::kShutdown;
+  return Call(std::move(request));
+}
+
+}  // namespace dgf::server

@@ -1,0 +1,67 @@
+#ifndef DGF_SERVER_CLIENT_H_
+#define DGF_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "server/wire.h"
+
+namespace dgf::server {
+
+/// Client side of the wire protocol. Synchronous calls (Query/Append/...)
+/// send one request and block for its response; the Start*/Await pair splits
+/// that so a CANCEL can be sent while a query is still running on the same
+/// connection. Responses may arrive out of order; `Await` buffers responses
+/// for other request ids until their own Await asks for them.
+///
+/// A client is NOT thread-safe — use one per thread (the load harness does).
+class ServerClient {
+ public:
+  static Result<std::unique_ptr<ServerClient>> ConnectTcp(
+      const std::string& host, int port);
+  static Result<std::unique_ptr<ServerClient>> ConnectUnix(
+      const std::string& path);
+  ~ServerClient();
+
+  ServerClient(const ServerClient&) = delete;
+  ServerClient& operator=(const ServerClient&) = delete;
+
+  /// Runs one SQL query; `deadline_seconds` <= 0 means no deadline. The
+  /// returned response carries the wire code (check `ok()` /
+  /// ResponseStatus) plus schema, rows and stats on success.
+  Result<Response> Query(const std::string& sql, double deadline_seconds = 0);
+
+  /// Sends a QUERY without waiting; returns its request id for Await/Cancel.
+  Result<uint64_t> StartQuery(const std::string& sql,
+                              double deadline_seconds = 0);
+  /// Sends a CANCEL for `target_request_id`; returns the cancel's own id.
+  Result<uint64_t> StartCancel(uint64_t target_request_id);
+  /// Blocks until the response for `request_id` arrives.
+  Result<Response> Await(uint64_t request_id);
+
+  Result<Response> Append(const std::string& table,
+                          const std::vector<std::string>& rows);
+  Result<Response> Stats();
+  Result<Response> Ping();
+  /// Asks the server to drain and stop; the response arrives after every
+  /// in-flight query has completed.
+  Result<Response> Shutdown();
+
+ private:
+  explicit ServerClient(int fd) : fd_(fd) {}
+
+  Result<uint64_t> Send(Request request);
+  Result<Response> Call(Request request);
+
+  int fd_;
+  uint64_t next_request_id_ = 1;
+  std::map<uint64_t, Response> buffered_;
+};
+
+}  // namespace dgf::server
+
+#endif  // DGF_SERVER_CLIENT_H_

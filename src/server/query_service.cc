@@ -1,0 +1,270 @@
+#include "server/query_service.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/stopwatch.h"
+#include "dgf/dgf_builder.h"
+#include "query/parser.h"
+#include "table/table.h"
+
+namespace dgf::server {
+namespace {
+
+/// Finds the identifier following keyword `kw` ("from"/"join") in `sql`,
+/// case-insensitively. The parser proper needs the table schema up front to
+/// type literals, so the service peeks at the table names first.
+std::string TableAfterKeyword(std::string_view sql, std::string_view kw) {
+  auto lower = [](char c) {
+    return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  };
+  for (size_t i = 0; i + kw.size() < sql.size(); ++i) {
+    bool match = (i == 0 || std::isspace(static_cast<unsigned char>(sql[i - 1])));
+    for (size_t j = 0; match && j < kw.size(); ++j) {
+      match = lower(sql[i + j]) == kw[j];
+    }
+    if (!match) continue;
+    size_t p = i + kw.size();
+    if (p >= sql.size() || !std::isspace(static_cast<unsigned char>(sql[p]))) {
+      continue;
+    }
+    while (p < sql.size() && std::isspace(static_cast<unsigned char>(sql[p]))) {
+      ++p;
+    }
+    size_t end = p;
+    while (end < sql.size() &&
+           (std::isalnum(static_cast<unsigned char>(sql[end])) ||
+            sql[end] == '_')) {
+      ++end;
+    }
+    if (end > p) return std::string(sql.substr(p, end - p));
+  }
+  return std::string();
+}
+
+double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+QueryService::QueryService(Options options)
+    : options_(std::move(options)),
+      pool_(std::max(1, options_.max_concurrent)) {
+  query::QueryExecutor::Options exec_options;
+  exec_options.dfs = options_.dfs;
+  exec_options.split_size = options_.split_size;
+  exec_options.worker_threads = std::max(1, options_.query_worker_threads);
+  executor_ = std::make_unique<query::QueryExecutor>(exec_options);
+}
+
+QueryService::~QueryService() {
+  BeginDrain();
+  Drain();
+}
+
+void QueryService::RegisterTable(const table::TableDesc& desc) {
+  catalog_[desc.name].desc = desc;
+  executor_->RegisterTable(desc);
+}
+
+void QueryService::RegisterDgfIndex(const std::string& table,
+                                    core::DgfIndex* index) {
+  catalog_[table].dgf = index;
+  executor_->RegisterDgfIndex(table, index);
+}
+
+Result<query::Query> QueryService::Parse(const std::string& sql) const {
+  const std::string from = TableAfterKeyword(sql, "from");
+  if (from.empty()) return Status::InvalidArgument("no FROM table in: " + sql);
+  auto it = catalog_.find(from);
+  if (it == catalog_.end()) {
+    return Status::NotFound("table not registered: " + from);
+  }
+  const table::Schema* right = nullptr;
+  const std::string join = TableAfterKeyword(sql, "join");
+  if (!join.empty()) {
+    auto jt = catalog_.find(join);
+    if (jt == catalog_.end()) {
+      return Status::NotFound("join table not registered: " + join);
+    }
+    right = &jt->second.desc.schema;
+  }
+  return query::ParseQuery(sql, it->second.desc.schema, right);
+}
+
+Status QueryService::SubmitQuery(uint64_t request_id, std::string sql,
+                                 double deadline_seconds, QueryDone done) {
+  auto token = std::make_shared<CancelToken>();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      ++rejected_;
+      return Status::Unavailable("server is draining");
+    }
+    if (in_flight_ >= options_.max_concurrent + options_.max_pending) {
+      ++rejected_;
+      return Status::Unavailable(
+          "admission queue full (" + std::to_string(in_flight_) +
+          " in flight)");
+    }
+    if (!tokens_.emplace(request_id, token).second) {
+      ++rejected_;
+      return Status::InvalidArgument("duplicate in-flight request id");
+    }
+    ++in_flight_;
+    ++admitted_;
+  }
+  if (deadline_seconds > 0) token->SetDeadlineAfter(deadline_seconds);
+  pool_.Submit([this, request_id, sql = std::move(sql), token,
+                done = std::move(done)]() mutable {
+    RunQuery(request_id, std::move(sql), std::move(token), std::move(done));
+  });
+  return Status::OK();
+}
+
+void QueryService::RunQuery(uint64_t request_id, std::string sql,
+                            std::shared_ptr<CancelToken> token,
+                            QueryDone done) {
+  Stopwatch wall;
+  Result<query::QueryResult> result = [&]() -> Result<query::QueryResult> {
+    DGF_ASSIGN_OR_RETURN(query::Query q, Parse(sql));
+    return executor_->Execute(q, std::nullopt, token.get());
+  }();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tokens_.erase(request_id);
+    --in_flight_;
+    if (result.ok()) {
+      ++served_;
+      cache_hits_ += result->stats.cache_hits;
+      cache_misses_ += result->stats.cache_misses;
+      records_read_ += result->stats.records_read;
+    } else if (result.status().IsCancelled()) {
+      ++cancelled_;
+    } else if (result.status().IsDeadlineExceeded()) {
+      ++deadline_exceeded_;
+    } else {
+      ++failed_;
+    }
+    const double seconds = wall.ElapsedSeconds();
+    if (latencies_.size() < kLatencyWindow) {
+      latencies_.push_back(seconds);
+    } else {
+      latencies_[latency_next_] = seconds;
+      latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+    }
+    ++latency_total_;
+    if (in_flight_ == 0) drained_.notify_all();
+  }
+  done(std::move(result));
+}
+
+bool QueryService::CancelQuery(uint64_t request_id) {
+  std::shared_ptr<CancelToken> token;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tokens_.find(request_id);
+    if (it == tokens_.end()) return false;
+    token = it->second;
+  }
+  token->Cancel();
+  return true;
+}
+
+Result<uint64_t> QueryService::Append(const std::string& table,
+                                      const std::vector<std::string>& rows) {
+  auto it = catalog_.find(table);
+  if (it == catalog_.end()) {
+    return Status::NotFound("table not registered: " + table);
+  }
+  TableEntry& entry = it->second;
+  if (entry.dgf == nullptr) {
+    return Status::NotSupported("APPEND requires a DGF index on " + table);
+  }
+  {
+    // Appends are admitted even while draining (they are the background
+    // load the drain is waiting out queries against), but still count.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++appends_;
+    rows_appended_ += rows.size();
+  }
+  // Stage the batch as its own table (the paper's "verified temporary
+  // files"), then reorganize it into the index. Batch directories are
+  // per-table sequential; concurrent appends to one table serialize on the
+  // index mutation lock inside DgfBuilder::Append, and the entry counter is
+  // only read here, so guard it with the same service mutex.
+  int batch_id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_id = entry.append_batches++;
+  }
+  table::TableDesc batch{
+      table + "_append" + std::to_string(batch_id), entry.desc.schema,
+      table::FileFormat::kText,
+      entry.desc.dir + "_append" + std::to_string(batch_id)};
+  DGF_ASSIGN_OR_RETURN(auto writer,
+                       table::TableWriter::Create(options_.dfs, batch));
+  for (const std::string& line : rows) {
+    DGF_ASSIGN_OR_RETURN(table::Row row,
+                         table::ParseRowText(line, batch.schema));
+    DGF_RETURN_IF_ERROR(writer->Append(row));
+  }
+  DGF_RETURN_IF_ERROR(writer->Close());
+  exec::JobRunner::Options job;
+  job.worker_threads = std::max(1, options_.query_worker_threads);
+  DGF_RETURN_IF_ERROR(
+      core::DgfBuilder::Append(entry.dgf, batch, job, options_.split_size)
+          .status());
+  return static_cast<uint64_t>(rows.size());
+}
+
+std::vector<std::pair<std::string, double>> QueryService::StatsSnapshot()
+    const {
+  std::vector<std::pair<std::string, double>> out;
+  std::vector<double> window;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.emplace_back("queries.admitted", static_cast<double>(admitted_));
+    out.emplace_back("queries.served", static_cast<double>(served_));
+    out.emplace_back("queries.rejected", static_cast<double>(rejected_));
+    out.emplace_back("queries.cancelled", static_cast<double>(cancelled_));
+    out.emplace_back("queries.deadline_exceeded",
+                     static_cast<double>(deadline_exceeded_));
+    out.emplace_back("queries.failed", static_cast<double>(failed_));
+    out.emplace_back("queries.in_flight", static_cast<double>(in_flight_));
+    out.emplace_back("appends.batches", static_cast<double>(appends_));
+    out.emplace_back("appends.rows", static_cast<double>(rows_appended_));
+    out.emplace_back("cache.hits", static_cast<double>(cache_hits_));
+    out.emplace_back("cache.misses", static_cast<double>(cache_misses_));
+    const double lookups = static_cast<double>(cache_hits_ + cache_misses_);
+    out.emplace_back("cache.hit_rate",
+                     lookups > 0 ? static_cast<double>(cache_hits_) / lookups
+                                 : 0.0);
+    out.emplace_back("scan.records_read", static_cast<double>(records_read_));
+    out.emplace_back("latency.samples", static_cast<double>(latency_total_));
+    window = latencies_;
+  }
+  std::sort(window.begin(), window.end());
+  out.emplace_back("latency.p50_ms", Percentile(window, 0.50) * 1e3);
+  out.emplace_back("latency.p95_ms", Percentile(window, 0.95) * 1e3);
+  out.emplace_back("latency.p99_ms", Percentile(window, 0.99) * 1e3);
+  return out;
+}
+
+void QueryService::BeginDrain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  draining_ = true;
+}
+
+void QueryService::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+}  // namespace dgf::server

@@ -1,0 +1,136 @@
+#ifndef DGF_SERVER_QUERY_SERVICE_H_
+#define DGF_SERVER_QUERY_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "dgf/dgf_index.h"
+#include "fs/mini_dfs.h"
+#include "query/executor.h"
+
+namespace dgf::server {
+
+/// The server-side query engine: a catalog of tables and indexes, a worker
+/// pool bounding query concurrency, admission control bounding the pending
+/// queue, and per-query cancellation tokens.
+///
+/// Concurrency model: the catalog is frozen before serving (registration is
+/// not thread-safe against queries); query execution shares one
+/// QueryExecutor, whose read path is snapshot-isolated (each DGF query pins
+/// one index epoch), so concurrent queries and appends never tear a result.
+/// Appends serialize on the target index's mutation lock inside
+/// DgfBuilder::Append.
+class QueryService {
+ public:
+  struct Options {
+    std::shared_ptr<fs::MiniDfs> dfs;
+    /// Queries executing at once (worker pool size).
+    int max_concurrent = 4;
+    /// Admitted-but-not-running queries beyond that; one more is
+    /// Unavailable (the structured backpressure signal).
+    int max_pending = 16;
+    /// Threads inside each query's scan job.
+    int query_worker_threads = 2;
+    uint64_t split_size = 0;
+  };
+
+  explicit QueryService(Options options);
+  /// Drains in-flight queries (equivalent to BeginDrain + Drain).
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Catalog registration; call before serving traffic.
+  void RegisterTable(const table::TableDesc& desc);
+  void RegisterDgfIndex(const std::string& table, core::DgfIndex* index);
+
+  using QueryDone = std::function<void(Result<query::QueryResult>)>;
+
+  /// Admits and asynchronously executes one SQL query. On admission returns
+  /// OK and later invokes `done` exactly once on a worker thread; on
+  /// rejection (queue full, or draining) returns Unavailable without ever
+  /// calling `done`. `request_id` keys cancellation and must be unique among
+  /// in-flight queries of this service.
+  Status SubmitQuery(uint64_t request_id, std::string sql,
+                     double deadline_seconds, QueryDone done);
+
+  /// Trips the cancel token of an in-flight query. False when no query with
+  /// that id is in flight (already finished, or never admitted).
+  bool CancelQuery(uint64_t request_id);
+
+  /// Appends text rows to `table`'s DGF index (the paper's incremental batch
+  /// load): rows are staged as a batch table on the DFS, then reorganized
+  /// into new Slices and merged GFU entries in one atomic publish.
+  Result<uint64_t> Append(const std::string& table,
+                          const std::vector<std::string>& rows);
+
+  /// Counter snapshot for the STATS opcode: admission/outcome counters,
+  /// latency percentiles over a sliding window, and cumulative cache and
+  /// scan-volume totals.
+  std::vector<std::pair<std::string, double>> StatsSnapshot() const;
+
+  /// Stops admitting queries (new submissions get Unavailable).
+  void BeginDrain();
+  /// Blocks until every admitted query has completed.
+  void Drain();
+
+  query::QueryExecutor* executor() { return executor_.get(); }
+
+ private:
+  struct TableEntry {
+    table::TableDesc desc;
+    core::DgfIndex* dgf = nullptr;
+    /// Staged append batches so far (names batch staging directories).
+    int append_batches = 0;
+  };
+
+  void RunQuery(uint64_t request_id, std::string sql,
+                std::shared_ptr<CancelToken> token, QueryDone done);
+  Result<query::Query> Parse(const std::string& sql) const;
+
+  Options options_;
+  std::unique_ptr<query::QueryExecutor> executor_;
+  std::map<std::string, TableEntry> catalog_;
+  ThreadPool pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable drained_;
+  bool draining_ = false;
+  /// Admitted queries not yet completed (queued + running).
+  int in_flight_ = 0;
+  std::map<uint64_t, std::shared_ptr<CancelToken>> tokens_;
+
+  // Outcome counters (guarded by mu_; query rates are far below lock cost).
+  uint64_t admitted_ = 0;
+  uint64_t served_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t cancelled_ = 0;
+  uint64_t deadline_exceeded_ = 0;
+  uint64_t failed_ = 0;
+  uint64_t appends_ = 0;
+  uint64_t rows_appended_ = 0;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
+  uint64_t records_read_ = 0;
+
+  /// Sliding latency window feeding the STATS percentiles.
+  static constexpr size_t kLatencyWindow = 4096;
+  std::vector<double> latencies_;
+  size_t latency_next_ = 0;
+  uint64_t latency_total_ = 0;
+};
+
+}  // namespace dgf::server
+
+#endif  // DGF_SERVER_QUERY_SERVICE_H_

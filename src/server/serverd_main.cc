@@ -1,0 +1,247 @@
+// dgf_serverd: standalone query-service daemon over a generated demo world.
+//
+// Builds the paper's smart-meter dataset in a temporary MiniDfs, reorganizes
+// it under a DGFIndex (sum/count precomputed), registers the userInfo join
+// table, and serves the wire protocol until a SHUTDOWN request.
+//
+//   dgf_serverd --port=4641              # TCP on 127.0.0.1
+//   dgf_serverd --unix=/tmp/dgf.sock     # Unix socket
+//   dgf_serverd --smoke                  # self-test: serve, query, shut down
+//
+// World shape flags: --users, --days, --regions. Service flags:
+// --max-concurrent, --max-pending.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "dgf/dgf_builder.h"
+#include "kv/mem_kv.h"
+#include "server/client.h"
+#include "server/query_service.h"
+#include "server/server.h"
+#include "workload/meter_gen.h"
+
+namespace dgf::server {
+namespace {
+
+struct Flags {
+  int port = 4641;
+  std::string unix_path;
+  bool smoke = false;
+  int64_t users = 200;
+  int days = 5;
+  int64_t regions = 5;
+  int max_concurrent = 4;
+  int max_pending = 16;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *value = arg + n + 1;
+  return true;
+}
+
+/// The served world; owns the DFS directory and index for the process
+/// lifetime.
+struct DemoWorld {
+  std::filesystem::path dir;
+  std::shared_ptr<fs::MiniDfs> dfs;
+  workload::MeterConfig config;
+  table::TableDesc meter;
+  table::TableDesc user_info;
+  std::shared_ptr<kv::KvStore> store;
+  std::unique_ptr<core::DgfIndex> dgf;
+
+  ~DemoWorld() {
+    if (dir.empty()) return;
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+};
+
+Result<std::unique_ptr<DemoWorld>> BuildDemoWorld(const Flags& flags) {
+  auto world = std::make_unique<DemoWorld>();
+  world->dir = std::filesystem::temp_directory_path() /
+               ("dgf_serverd_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(world->dir);
+
+  fs::MiniDfs::Options dfs_options;
+  dfs_options.root_dir = world->dir.string();
+  dfs_options.block_size = 256 * 1024;
+  DGF_ASSIGN_OR_RETURN(world->dfs, fs::MiniDfs::Open(dfs_options));
+
+  world->config.num_users = flags.users;
+  world->config.num_days = flags.days;
+  world->config.num_regions = flags.regions;
+  world->config.extra_metrics = 2;
+  DGF_ASSIGN_OR_RETURN(
+      world->meter,
+      workload::GenerateMeterTable(world->dfs, "/warehouse/meter",
+                                   world->config));
+  DGF_ASSIGN_OR_RETURN(world->user_info,
+                       workload::GenerateUserInfoTable(
+                           world->dfs, "/warehouse/userinfo", world->config));
+
+  core::DgfBuilder::Options build;
+  build.dims = {
+      {"userId", table::DataType::kInt64, 0, 50},
+      {"regionId", table::DataType::kInt64, 0, 1},
+      {"time", table::DataType::kDate,
+       static_cast<double>(world->config.start_day), 1},
+  };
+  build.precompute = {"sum(powerConsumed)", "count(*)"};
+  build.data_dir = "/warehouse/dgf";
+  world->store = std::make_shared<kv::MemKv>();
+  DGF_ASSIGN_OR_RETURN(world->dgf,
+                       core::DgfBuilder::Build(world->dfs, world->store,
+                                               world->meter, build));
+  return world;
+}
+
+int RunSmoke() {
+  Flags flags;
+  flags.users = 60;
+  flags.days = 3;
+  auto world = BuildDemoWorld(flags);
+  if (!world.ok()) {
+    std::fprintf(stderr, "SMOKE FAIL: world: %s\n",
+                 world.status().ToString().c_str());
+    return 1;
+  }
+  QueryService::Options service_options;
+  service_options.dfs = (*world)->dfs;
+  QueryService service(service_options);
+  service.RegisterTable((*world)->meter);
+  service.RegisterTable((*world)->user_info);
+  service.RegisterDgfIndex((*world)->meter.name, (*world)->dgf.get());
+
+  Server::Options server_options;
+  server_options.service = &service;
+  server_options.port = 0;
+  auto server = Server::Start(server_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "SMOKE FAIL: start: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  auto client = ServerClient::ConnectTcp("127.0.0.1", (*server)->port());
+  if (!client.ok()) {
+    std::fprintf(stderr, "SMOKE FAIL: connect: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+  auto check = [](const char* what, const Result<Response>& r) {
+    if (r.ok() && r->ok()) return true;
+    std::fprintf(stderr, "SMOKE FAIL: %s: %s\n", what,
+                 r.ok() ? ResponseStatus(*r).ToString().c_str()
+                        : r.status().ToString().c_str());
+    return false;
+  };
+  if (!check("ping", (*client)->Ping())) return 1;
+  auto query = (*client)->Query(
+      "SELECT count(*), sum(powerConsumed) FROM meterdata WHERE regionId >= 0");
+  if (!check("query", query)) return 1;
+  const auto expected = static_cast<double>(flags.users * flags.days);
+  if (query->result.rows.size() != 1) {
+    std::fprintf(stderr, "SMOKE FAIL: expected 1 row, got %zu\n",
+                 query->result.rows.size());
+    return 1;
+  }
+  const double count = std::strtod(query->result.rows[0].c_str(), nullptr);
+  if (count != expected) {
+    std::fprintf(stderr, "SMOKE FAIL: count(*) = %f, want %f\n", count,
+                 expected);
+    return 1;
+  }
+  auto stats = (*client)->Stats();
+  if (!check("stats", stats)) return 1;
+  if (!check("shutdown", (*client)->Shutdown())) return 1;
+  (*server)->WaitShutdown();
+  (*server)->Shutdown();
+  std::printf("SMOKE PASS (1 query, %d rows scanned check ok)\n", 1);
+  return 0;
+}
+
+int RunServer(const Flags& flags) {
+  auto world = BuildDemoWorld(flags);
+  if (!world.ok()) {
+    std::fprintf(stderr, "dgf_serverd: %s\n",
+                 world.status().ToString().c_str());
+    return 1;
+  }
+  QueryService::Options service_options;
+  service_options.dfs = (*world)->dfs;
+  service_options.max_concurrent = flags.max_concurrent;
+  service_options.max_pending = flags.max_pending;
+  QueryService service(service_options);
+  service.RegisterTable((*world)->meter);
+  service.RegisterTable((*world)->user_info);
+  service.RegisterDgfIndex((*world)->meter.name, (*world)->dgf.get());
+
+  Server::Options server_options;
+  server_options.service = &service;
+  server_options.unix_path = flags.unix_path;
+  server_options.port = flags.port;
+  auto server = Server::Start(server_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "dgf_serverd: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  if (flags.unix_path.empty()) {
+    std::printf("dgf_serverd: serving %s (%lld rows) on 127.0.0.1:%d\n",
+                (*world)->meter.name.c_str(),
+                static_cast<long long>((*world)->config.TotalRows()),
+                (*server)->port());
+  } else {
+    std::printf("dgf_serverd: serving %s (%lld rows) on %s\n",
+                (*world)->meter.name.c_str(),
+                static_cast<long long>((*world)->config.TotalRows()),
+                flags.unix_path.c_str());
+  }
+  std::fflush(stdout);
+  (*server)->WaitShutdown();
+  (*server)->Shutdown();
+  std::printf("dgf_serverd: drained, bye\n");
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      flags.smoke = true;
+    } else if (ParseFlag(argv[i], "--port", &value)) {
+      flags.port = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--unix", &value)) {
+      flags.unix_path = value;
+    } else if (ParseFlag(argv[i], "--users", &value)) {
+      flags.users = std::atoll(value.c_str());
+    } else if (ParseFlag(argv[i], "--days", &value)) {
+      flags.days = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--regions", &value)) {
+      flags.regions = std::atoll(value.c_str());
+    } else if (ParseFlag(argv[i], "--max-concurrent", &value)) {
+      flags.max_concurrent = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--max-pending", &value)) {
+      flags.max_pending = std::atoi(value.c_str());
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  return flags.smoke ? RunSmoke() : RunServer(flags);
+}
+
+}  // namespace
+}  // namespace dgf::server
+
+int main(int argc, char** argv) { return dgf::server::Main(argc, argv); }

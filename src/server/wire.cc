@@ -1,0 +1,359 @@
+#include "server/wire.h"
+
+#include <sys/socket.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+
+#include "common/encoding.h"
+
+namespace dgf::server {
+namespace {
+
+void PutDouble(std::string* dst, double value) {
+  PutFixed64(dst, std::bit_cast<uint64_t>(value));
+}
+
+Result<double> GetDouble(std::string_view* input) {
+  if (input->size() < 8) return Status::Corruption("truncated double");
+  const double value = std::bit_cast<double>(DecodeFixed64(input->data()));
+  input->remove_prefix(8);
+  return value;
+}
+
+Result<uint64_t> GetFixed64(std::string_view* input) {
+  if (input->size() < 8) return Status::Corruption("truncated fixed64");
+  const uint64_t value = DecodeFixed64(input->data());
+  input->remove_prefix(8);
+  return value;
+}
+
+Result<uint32_t> GetFixed32(std::string_view* input) {
+  if (input->size() < 4) return Status::Corruption("truncated fixed32");
+  const uint32_t value = DecodeFixed32(input->data());
+  input->remove_prefix(4);
+  return value;
+}
+
+Result<uint8_t> GetByte(std::string_view* input) {
+  if (input->empty()) return Status::Corruption("truncated byte");
+  const auto value = static_cast<uint8_t>(input->front());
+  input->remove_prefix(1);
+  return value;
+}
+
+void EncodeQueryStats(std::string* dst, const query::QueryStats& stats) {
+  dst->push_back(static_cast<char>(stats.path));
+  PutFixed64(dst, stats.records_read);
+  PutFixed64(dst, stats.records_matched);
+  PutFixed64(dst, stats.bytes_read);
+  PutFixed32(dst, static_cast<uint32_t>(stats.splits_scanned));
+  PutFixed64(dst, stats.kv_gets);
+  PutFixed64(dst, stats.cache_hits);
+  PutFixed64(dst, stats.cache_misses);
+  PutDouble(dst, stats.index_seconds);
+  PutDouble(dst, stats.data_seconds);
+  PutDouble(dst, stats.total_seconds);
+  PutDouble(dst, stats.wall_seconds);
+}
+
+Result<query::QueryStats> DecodeQueryStats(std::string_view* input) {
+  query::QueryStats stats;
+  DGF_ASSIGN_OR_RETURN(uint8_t path, GetByte(input));
+  if (path > static_cast<uint8_t>(query::AccessPath::kAggregateRewrite)) {
+    return Status::Corruption("bad access path byte");
+  }
+  stats.path = static_cast<query::AccessPath>(path);
+  DGF_ASSIGN_OR_RETURN(stats.records_read, GetFixed64(input));
+  DGF_ASSIGN_OR_RETURN(stats.records_matched, GetFixed64(input));
+  DGF_ASSIGN_OR_RETURN(stats.bytes_read, GetFixed64(input));
+  DGF_ASSIGN_OR_RETURN(uint32_t splits, GetFixed32(input));
+  stats.splits_scanned = static_cast<int>(splits);
+  DGF_ASSIGN_OR_RETURN(stats.kv_gets, GetFixed64(input));
+  DGF_ASSIGN_OR_RETURN(stats.cache_hits, GetFixed64(input));
+  DGF_ASSIGN_OR_RETURN(stats.cache_misses, GetFixed64(input));
+  DGF_ASSIGN_OR_RETURN(stats.index_seconds, GetDouble(input));
+  DGF_ASSIGN_OR_RETURN(stats.data_seconds, GetDouble(input));
+  DGF_ASSIGN_OR_RETURN(stats.total_seconds, GetDouble(input));
+  DGF_ASSIGN_OR_RETURN(stats.wall_seconds, GetDouble(input));
+  return stats;
+}
+
+void EncodeSchema(std::string* dst, const table::Schema& schema) {
+  PutVarint64(dst, static_cast<uint64_t>(schema.num_fields()));
+  for (const table::Field& field : schema.fields()) {
+    PutLengthPrefixed(dst, field.name);
+    dst->push_back(static_cast<char>(field.type));
+  }
+}
+
+Result<table::Schema> DecodeSchema(std::string_view* input) {
+  DGF_ASSIGN_OR_RETURN(uint64_t n, GetVarint64(input));
+  if (n > 4096) return Status::Corruption("absurd schema arity");
+  std::vector<table::Field> fields;
+  fields.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    DGF_ASSIGN_OR_RETURN(std::string_view name, GetLengthPrefixed(input));
+    DGF_ASSIGN_OR_RETURN(uint8_t type, GetByte(input));
+    if (type > static_cast<uint8_t>(table::DataType::kDate)) {
+      return Status::Corruption("bad data type byte");
+    }
+    fields.push_back(
+        {std::string(name), static_cast<table::DataType>(type)});
+  }
+  return table::Schema(std::move(fields));
+}
+
+}  // namespace
+
+bool ValidOpcode(uint8_t raw) {
+  return raw >= static_cast<uint8_t>(Opcode::kQuery) &&
+         raw <= static_cast<uint8_t>(Opcode::kShutdown);
+}
+
+const char* OpcodeName(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kQuery:
+      return "QUERY";
+    case Opcode::kAppend:
+      return "APPEND";
+    case Opcode::kStats:
+      return "STATS";
+    case Opcode::kCancel:
+      return "CANCEL";
+    case Opcode::kPing:
+      return "PING";
+    case Opcode::kShutdown:
+      return "SHUTDOWN";
+  }
+  return "?";
+}
+
+std::string EncodeRequest(const Request& request) {
+  std::string body;
+  body.push_back(static_cast<char>(request.opcode));
+  PutFixed64(&body, request.request_id);
+  switch (request.opcode) {
+    case Opcode::kQuery:
+      PutLengthPrefixed(&body, request.query.sql);
+      PutDouble(&body, request.query.deadline_seconds);
+      break;
+    case Opcode::kAppend:
+      PutLengthPrefixed(&body, request.append.table);
+      PutVarint64(&body, request.append.rows.size());
+      for (const std::string& row : request.append.rows) {
+        PutLengthPrefixed(&body, row);
+      }
+      break;
+    case Opcode::kCancel:
+      PutFixed64(&body, request.cancel_target);
+      break;
+    case Opcode::kStats:
+    case Opcode::kPing:
+    case Opcode::kShutdown:
+      break;
+  }
+  return body;
+}
+
+Result<Request> DecodeRequest(std::string_view body) {
+  Request request;
+  DGF_ASSIGN_OR_RETURN(uint8_t opcode, GetByte(&body));
+  if (!ValidOpcode(opcode)) return Status::Corruption("unknown opcode");
+  request.opcode = static_cast<Opcode>(opcode);
+  DGF_ASSIGN_OR_RETURN(request.request_id, GetFixed64(&body));
+  switch (request.opcode) {
+    case Opcode::kQuery: {
+      DGF_ASSIGN_OR_RETURN(std::string_view sql, GetLengthPrefixed(&body));
+      request.query.sql = std::string(sql);
+      DGF_ASSIGN_OR_RETURN(request.query.deadline_seconds, GetDouble(&body));
+      break;
+    }
+    case Opcode::kAppend: {
+      DGF_ASSIGN_OR_RETURN(std::string_view table, GetLengthPrefixed(&body));
+      request.append.table = std::string(table);
+      DGF_ASSIGN_OR_RETURN(uint64_t n, GetVarint64(&body));
+      if (n > kMaxFrameBytes) return Status::Corruption("absurd row count");
+      request.append.rows.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        DGF_ASSIGN_OR_RETURN(std::string_view row, GetLengthPrefixed(&body));
+        request.append.rows.emplace_back(row);
+      }
+      break;
+    }
+    case Opcode::kCancel: {
+      DGF_ASSIGN_OR_RETURN(request.cancel_target, GetFixed64(&body));
+      break;
+    }
+    case Opcode::kStats:
+    case Opcode::kPing:
+    case Opcode::kShutdown:
+      break;
+  }
+  if (!body.empty()) return Status::Corruption("trailing request bytes");
+  return request;
+}
+
+std::string EncodeResponse(const Response& response) {
+  std::string body;
+  body.push_back(static_cast<char>(response.opcode));
+  PutFixed64(&body, response.request_id);
+  body.push_back(static_cast<char>(response.code >> 8));
+  body.push_back(static_cast<char>(response.code & 0xFF));
+  PutLengthPrefixed(&body, response.message);
+  if (!response.ok()) return body;
+  switch (response.opcode) {
+    case Opcode::kQuery:
+      EncodeSchema(&body, response.result.schema);
+      PutVarint64(&body, response.result.rows.size());
+      for (const std::string& row : response.result.rows) {
+        PutLengthPrefixed(&body, row);
+      }
+      EncodeQueryStats(&body, response.result.stats);
+      break;
+    case Opcode::kAppend:
+      PutVarint64(&body, response.rows_appended);
+      break;
+    case Opcode::kStats:
+      PutVarint64(&body, response.stats.size());
+      for (const auto& [name, value] : response.stats) {
+        PutLengthPrefixed(&body, name);
+        PutDouble(&body, value);
+      }
+      break;
+    case Opcode::kCancel:
+    case Opcode::kPing:
+    case Opcode::kShutdown:
+      break;
+  }
+  return body;
+}
+
+Result<Response> DecodeResponse(std::string_view body) {
+  Response response;
+  DGF_ASSIGN_OR_RETURN(uint8_t opcode, GetByte(&body));
+  if (!ValidOpcode(opcode)) return Status::Corruption("unknown opcode");
+  response.opcode = static_cast<Opcode>(opcode);
+  DGF_ASSIGN_OR_RETURN(response.request_id, GetFixed64(&body));
+  DGF_ASSIGN_OR_RETURN(uint8_t hi, GetByte(&body));
+  DGF_ASSIGN_OR_RETURN(uint8_t lo, GetByte(&body));
+  response.code = static_cast<uint16_t>((hi << 8) | lo);
+  DGF_ASSIGN_OR_RETURN(std::string_view message, GetLengthPrefixed(&body));
+  response.message = std::string(message);
+  if (!response.ok()) {
+    if (!body.empty()) return Status::Corruption("trailing response bytes");
+    return response;
+  }
+  switch (response.opcode) {
+    case Opcode::kQuery: {
+      DGF_ASSIGN_OR_RETURN(response.result.schema, DecodeSchema(&body));
+      DGF_ASSIGN_OR_RETURN(uint64_t n, GetVarint64(&body));
+      if (n > kMaxFrameBytes) return Status::Corruption("absurd row count");
+      response.result.rows.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        DGF_ASSIGN_OR_RETURN(std::string_view row, GetLengthPrefixed(&body));
+        response.result.rows.emplace_back(row);
+      }
+      DGF_ASSIGN_OR_RETURN(response.result.stats, DecodeQueryStats(&body));
+      break;
+    }
+    case Opcode::kAppend: {
+      DGF_ASSIGN_OR_RETURN(response.rows_appended, GetVarint64(&body));
+      break;
+    }
+    case Opcode::kStats: {
+      DGF_ASSIGN_OR_RETURN(uint64_t n, GetVarint64(&body));
+      if (n > 1 << 20) return Status::Corruption("absurd stats arity");
+      response.stats.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        DGF_ASSIGN_OR_RETURN(std::string_view name, GetLengthPrefixed(&body));
+        DGF_ASSIGN_OR_RETURN(double value, GetDouble(&body));
+        response.stats.emplace_back(std::string(name), value);
+      }
+      break;
+    }
+    case Opcode::kCancel:
+    case Opcode::kPing:
+    case Opcode::kShutdown:
+      break;
+  }
+  if (!body.empty()) return Status::Corruption("trailing response bytes");
+  return response;
+}
+
+Status ResponseStatus(const Response& response) {
+  if (response.ok()) return Status::OK();
+  return Status::FromCode(StatusCodeFromWire(response.code), response.message);
+}
+
+Response MakeErrorResponse(Opcode opcode, uint64_t request_id,
+                           const Status& status) {
+  Response response;
+  response.opcode = opcode;
+  response.request_id = request_id;
+  response.code = static_cast<uint16_t>(StatusCodeToWire(status.code()));
+  response.message = status.message();
+  return response;
+}
+
+Status WriteFrame(int fd, std::string_view body) {
+  if (body.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame too large");
+  }
+  std::string header;
+  PutFixed32(&header, static_cast<uint32_t>(body.size()));
+  for (std::string_view chunk : {std::string_view(header), body}) {
+    size_t sent = 0;
+    while (sent < chunk.size()) {
+      // MSG_NOSIGNAL: a peer that hung up yields EPIPE, not SIGPIPE.
+      const ssize_t n = ::send(fd, chunk.data() + sent, chunk.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(std::string("send: ") + std::strerror(errno));
+      }
+      sent += static_cast<size_t>(n);
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Reads exactly `length` bytes; false on EOF before the first byte when
+/// `eof_ok`, Corruption on EOF mid-buffer.
+Result<bool> ReadFull(int fd, char* dst, size_t length, bool eof_ok) {
+  size_t got = 0;
+  while (got < length) {
+    const ssize_t n = ::recv(fd, dst + got, length - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      if (got == 0 && eof_ok) return false;
+      return Status::Corruption("connection closed mid-frame");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<bool> ReadFrame(int fd, std::string* body) {
+  char header[4];
+  DGF_ASSIGN_OR_RETURN(bool more,
+                       ReadFull(fd, header, sizeof(header), /*eof_ok=*/true));
+  if (!more) return false;
+  const uint32_t length = DecodeFixed32(header);
+  if (length > kMaxFrameBytes) return Status::Corruption("oversized frame");
+  body->resize(length);
+  DGF_ASSIGN_OR_RETURN(bool got, ReadFull(fd, body->data(), length,
+                                          /*eof_ok=*/false));
+  (void)got;
+  return true;
+}
+
+}  // namespace dgf::server

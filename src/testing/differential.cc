@@ -25,7 +25,6 @@
 #include "workload/query_gen.h"
 
 namespace dgf::testing {
-namespace {
 
 using query::AccessPath;
 
@@ -61,6 +60,8 @@ struct World {
   std::unique_ptr<query::QueryExecutor> dgf_text_exec;
   std::unique_ptr<query::QueryExecutor> dgf_rc_exec;
 };
+
+namespace {
 
 core::AggSpec Agg(const char* text) {
   auto spec = core::AggSpec::Parse(text);
@@ -709,6 +710,44 @@ Result<FaultReport> RunFaultSweep(const FaultSweepOptions& options) {
   report.faults_injected = schedule->transient_faults();
   report.short_reads = schedule->short_reads();
   return report;
+}
+
+SeededWorld::SeededWorld(std::unique_ptr<World> world)
+    : world_(std::move(world)) {}
+SeededWorld::SeededWorld(SeededWorld&&) noexcept = default;
+SeededWorld& SeededWorld::operator=(SeededWorld&&) noexcept = default;
+SeededWorld::~SeededWorld() = default;
+
+Result<SeededWorld> SeededWorld::Build(uint64_t seed, int worker_threads) {
+  DGF_ASSIGN_OR_RETURN(auto world, BuildWorld(seed, worker_threads));
+  return SeededWorld(std::move(world));
+}
+
+const std::shared_ptr<fs::MiniDfs>& SeededWorld::dfs() const {
+  return world_->dfs;
+}
+
+const table::TableDesc& SeededWorld::meter() const { return world_->meter; }
+
+const workload::MeterConfig& SeededWorld::config() const {
+  return world_->config;
+}
+
+core::DgfIndex* SeededWorld::dgf_text() const {
+  return world_->dgf_text.get();
+}
+
+Result<query::QueryResult> SeededWorld::Oracle(const query::Query& q) const {
+  return world_->base_exec->Execute(q, AccessPath::kFullScan);
+}
+
+query::Query SeededWorld::GenerateQuery(uint64_t seed, int case_id) const {
+  return GenerateCase(*world_, seed, case_id);
+}
+
+std::string DescribeResultMismatch(const query::QueryResult& oracle,
+                                   const query::QueryResult& other) {
+  return DescribeMismatch(oracle, other);
 }
 
 }  // namespace dgf::testing

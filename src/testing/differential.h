@@ -2,12 +2,56 @@
 #define DGF_TESTING_DIFFERENTIAL_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "query/executor.h"
+#include "workload/meter_gen.h"
 
 namespace dgf::testing {
+
+struct World;
+
+/// Handle over one seeded differential world — the schema-varied meter
+/// dataset with every access path built over it that `RunDifferential`
+/// checks. Re-exported so the query-server tests and load harness can serve
+/// the exact worlds the differential oracle validates: the server's answers
+/// are diffed against `Oracle()` (a sequential full scan) with the same
+/// mismatch report the differential run uses.
+class SeededWorld {
+ public:
+  /// Deterministic for a fixed seed (same dataset, grid, and indexes the
+  /// differential harness would build).
+  static Result<SeededWorld> Build(uint64_t seed, int worker_threads = 2);
+
+  SeededWorld(SeededWorld&&) noexcept;
+  SeededWorld& operator=(SeededWorld&&) noexcept;
+  ~SeededWorld();
+
+  const std::shared_ptr<fs::MiniDfs>& dfs() const;
+  const table::TableDesc& meter() const;
+  const workload::MeterConfig& config() const;
+  /// The DGFIndex over TextFile slices (what a server registers).
+  core::DgfIndex* dgf_text() const;
+
+  /// Sequential full-scan oracle answer for `q`.
+  Result<query::QueryResult> Oracle(const query::Query& q) const;
+
+  /// Case `case_id` of seed `seed`'s generated workload (paper templates
+  /// mixed with randomized multidimensional ranges).
+  query::Query GenerateQuery(uint64_t seed, int case_id) const;
+
+ private:
+  explicit SeededWorld(std::unique_ptr<World> world);
+  std::unique_ptr<World> world_;
+};
+
+/// Empty string when the two results agree (row order ignored, tight
+/// tolerance on doubles); else a description of the first difference.
+std::string DescribeResultMismatch(const query::QueryResult& oracle,
+                                   const query::QueryResult& other);
 
 /// One confirmed disagreement between two access paths (or an unexpected
 /// execution error). `repro` is a standalone command line that replays
