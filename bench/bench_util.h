@@ -36,6 +36,17 @@ T CheckOk(Result<T> result, const char* context) {
 /// smoke-test to paper-shaped sizes without recompiling.
 int64_t EnvInt(const char* name, int64_t fallback);
 
+/// Reads a comma-separated integer list from the environment (e.g.
+/// DGF_BENCH_BUILD_THREADS="1,2,4,8"); `fallback` uses the same syntax.
+std::vector<int> EnvIntList(const char* name, const char* fallback);
+
+/// Appends one JSON object (as a line) to the trajectory file named by env
+/// var `env_name` (default `fallback_path`, relative to the working
+/// directory). Benches use this to leave machine-readable results — one JSON
+/// record per measurement — next to the human-readable tables.
+void AppendBenchJson(const char* env_name, const char* fallback_path,
+                     const std::string& json_object);
+
 /// The paper's three interval-size classes for the userId dimension
 /// (Section 5.3.1): large = 100 intervals, medium = 1000, small = 10000.
 enum class IntervalClass { kLarge, kMedium, kSmall };

@@ -24,6 +24,35 @@ int64_t EnvInt(const char* name, int64_t fallback) {
   return std::strtoll(value, nullptr, 10);
 }
 
+std::vector<int> EnvIntList(const char* name, const char* fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') value = fallback;
+  std::vector<int> out;
+  const char* p = value;
+  while (*p != '\0') {
+    char* end = nullptr;
+    const long parsed = std::strtol(p, &end, 10);
+    if (end == p) break;
+    if (parsed > 0) out.push_back(static_cast<int>(parsed));
+    p = (*end == ',') ? end + 1 : end;
+  }
+  if (out.empty()) out.push_back(1);
+  return out;
+}
+
+void AppendBenchJson(const char* env_name, const char* fallback_path,
+                     const std::string& json_object) {
+  const char* path = std::getenv(env_name);
+  if (path == nullptr || *path == '\0') path = fallback_path;
+  std::FILE* file = std::fopen(path, "a");
+  if (file == nullptr) {
+    std::fprintf(stderr, "warning: cannot append bench json to %s\n", path);
+    return;
+  }
+  std::fprintf(file, "%s\n", json_object.c_str());
+  std::fclose(file);
+}
+
 const char* IntervalClassName(IntervalClass c) {
   switch (c) {
     case IntervalClass::kLarge:

@@ -1,155 +1,159 @@
 #include "dgf/dgf_builder.h"
 
+#include <algorithm>
+#include <cmath>
 #include <limits>
+#include <map>
 #include <mutex>
+#include <span>
+#include <utility>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "table/rc_format.h"
 #include "table/text_format.h"
+#include "testing/crash_point.h"
 
 namespace dgf::core {
 namespace {
 
-/// Map side of Algorithm 1: standardize index dimensions -> GFUKey, emit the
-/// record keyed by it.
-class ReorganizeMapper : public exec::Mapper {
- public:
-  ReorganizeMapper(std::shared_ptr<fs::MiniDfs> dfs, table::TableDesc input,
-                   const SplittingPolicy* policy, std::vector<int> dim_fields)
-      : dfs_(std::move(dfs)),
-        input_(std::move(input)),
-        policy_(policy),
-        dim_fields_(std::move(dim_fields)) {}
-
-  Status Map(const fs::FileSplit& split, exec::MapContext* ctx) override {
-    DGF_ASSIGN_OR_RETURN(auto reader,
-                         table::OpenSplitReader(dfs_, input_, split));
-    table::Row row;
-    GfuKey key;
-    key.cells.resize(dim_fields_.size());
-    for (;;) {
-      DGF_ASSIGN_OR_RETURN(bool more, reader->Next(&row));
-      if (!more) break;
-      for (size_t d = 0; d < dim_fields_.size(); ++d) {
-        key.cells[d] = policy_->CellOf(
-            static_cast<int>(d), row[static_cast<size_t>(dim_fields_[d])]);
-      }
-      ctx->Emit(key.Encode(), table::FormatRowText(row));
-      ctx->AddRecords(1);
-    }
-    ctx->AddBytesRead(reader->BytesRead());
-    return Status::OK();
-  }
-
- private:
-  std::shared_ptr<fs::MiniDfs> dfs_;
-  table::TableDesc input_;
-  const SplittingPolicy* policy_;
-  std::vector<int> dim_fields_;
+/// Per-GFU partial state one shard task accumulates over one input split:
+/// the records (text form, input order) plus a thread-local partial header.
+struct GfuShard {
+  std::vector<double> header;
+  uint64_t records = 0;
+  uint64_t line_bytes = 0;
+  std::vector<std::string> lines;
 };
 
-/// Reduce side of Algorithm 2: write each key's records contiguously as a
-/// Slice, pre-compute its header, and stage <GFUKey, GFUValue> into the
-/// job-wide WriteBatch (published atomically by the caller). Each key is
-/// reduced by exactly one reducer, so the shared batch sees no conflicting
-/// entries; the mutex only orders the appends.
-class ReorganizeReducer : public exec::Reducer {
- public:
-  ReorganizeReducer(std::shared_ptr<fs::MiniDfs> dfs,
-                    std::shared_ptr<kv::KvStore> store, table::Schema schema,
-                    const AggregatorList* aggs, std::string output_path,
-                    table::FileFormat format, kv::WriteBatch* out_batch,
-                    std::mutex* out_mu)
-      : dfs_(std::move(dfs)),
-        store_(std::move(store)),
-        schema_(std::move(schema)),
-        aggs_(aggs),
-        output_path_(std::move(output_path)),
-        format_(format),
-        out_batch_(out_batch),
-        out_mu_(out_mu) {}
+/// Everything one shard task extracts from its split. Shards are keyed by
+/// split index, so the pipeline's output depends only on the split list —
+/// never on how many threads ran the tasks or in what order they finished.
+struct SplitShard {
+  std::map<std::string, GfuShard> groups;  // encoded GfuKey -> partial
+  uint64_t bytes_read = 0;
+  uint64_t records = 0;
+  uint64_t emitted_bytes = 0;  // key+line bytes, the shuffle-cost analogue
+};
 
-  Status Reduce(const std::string& key, const std::vector<std::string>& lines,
-                exec::ReduceContext* ctx) override {
-    if (writer_ == nullptr && rc_writer_ == nullptr) {
-      if (format_ == table::FileFormat::kText) {
-        DGF_ASSIGN_OR_RETURN(writer_, table::TextFileWriter::Create(
-                                          dfs_, output_path_, schema_));
-      } else {
-        DGF_ASSIGN_OR_RETURN(rc_writer_, table::RcFileWriter::Create(
-                                             dfs_, output_path_, schema_));
-      }
+/// Map side of Algorithm 1 as a shard task: standardize index dimensions ->
+/// GFUKey and group the split's records per key with a partial header.
+Status ShardSplit(const std::shared_ptr<fs::MiniDfs>& dfs,
+                  const table::TableDesc& input, const fs::FileSplit& split,
+                  const SplittingPolicy& policy,
+                  const std::vector<int>& dim_fields,
+                  const AggregatorList& aggs, SplitShard* shard) {
+  DGF_ASSIGN_OR_RETURN(auto reader, table::OpenSplitReader(dfs, input, split));
+  table::Row row;
+  GfuKey key;
+  key.cells.resize(dim_fields.size());
+  std::string encoded;
+  for (;;) {
+    DGF_ASSIGN_OR_RETURN(bool more, reader->Next(&row));
+    if (!more) break;
+    for (size_t d = 0; d < dim_fields.size(); ++d) {
+      key.cells[d] = policy.CellOf(static_cast<int>(d),
+                                   row[static_cast<size_t>(dim_fields[d])]);
     }
-    const uint64_t start = Offset();
-    std::vector<double> header = aggs_->Identity();
-    for (const std::string& line : lines) {
-      DGF_ASSIGN_OR_RETURN(table::Row row, table::ParseRowText(line, schema_));
-      aggs_->Update(&header, row);
-      if (writer_ != nullptr) {
-        DGF_RETURN_IF_ERROR(writer_->AppendLine(line));
-      } else {
-        DGF_RETURN_IF_ERROR(rc_writer_->Append(row));
+    key.EncodeInto(&encoded);
+    auto [it, inserted] = shard->groups.try_emplace(encoded);
+    GfuShard& group = it->second;
+    if (inserted) group.header = aggs.Identity();
+    aggs.Update(&group.header, row);
+    std::string line = table::FormatRowText(row);
+    shard->emitted_bytes += encoded.size() + line.size();
+    group.line_bytes += line.size();
+    group.lines.push_back(std::move(line));
+    ++group.records;
+    ++shard->records;
+  }
+  shard->bytes_read = reader->BytesRead();
+  return Status::OK();
+}
+
+/// Staged output of one slice-writer task, concatenated by the coordinator
+/// in writer order so the final batch is identical for every thread count.
+struct WriterOutput {
+  kv::WriteBatch batch;
+  uint64_t bytes_written = 0;
+  int64_t gfus = 0;
+};
+
+/// Reduce side of Algorithm 2 as a writer task: write each key of the
+/// partition [begin, end) contiguously as a Slice, merge the per-split
+/// partial headers in split order, and stage <GFUKey, GFUValue>.
+Status WriteSlicePartition(const std::shared_ptr<fs::MiniDfs>& dfs,
+                           const table::Schema& schema,
+                           const AggregatorList& aggs,
+                           const std::string& path, table::FileFormat format,
+                           const std::vector<std::string>& keys, size_t begin,
+                           size_t end,
+                           const std::vector<Result<std::string>>& existing,
+                           const std::vector<SplitShard>& shards,
+                           WriterOutput* out) {
+  std::unique_ptr<table::TextFileWriter> writer;
+  std::unique_ptr<table::RcFileWriter> rc_writer;
+  if (format == table::FileFormat::kText) {
+    DGF_ASSIGN_OR_RETURN(writer, table::TextFileWriter::Create(dfs, path, schema));
+  } else {
+    DGF_ASSIGN_OR_RETURN(rc_writer, table::RcFileWriter::Create(dfs, path, schema));
+  }
+  const auto offset = [&] {
+    return writer != nullptr ? writer->Offset() : rc_writer->Offset();
+  };
+  out->batch.Reserve(end - begin);
+  for (size_t k = begin; k < end; ++k) {
+    const std::string& key = keys[k];
+    const uint64_t start = offset();
+    GfuValue value;
+    value.header = aggs.Identity();
+    // Concatenate the key's records and fold the partial headers in split
+    // order: the result is the same bytes and the same floating-point header
+    // no matter how many threads sharded the input.
+    for (const SplitShard& shard : shards) {
+      auto it = shard.groups.find(key);
+      if (it == shard.groups.end()) continue;
+      aggs.Merge(&value.header, it->second.header);
+      value.record_count += it->second.records;
+      for (const std::string& line : it->second.lines) {
+        if (writer != nullptr) {
+          DGF_RETURN_IF_ERROR(writer->AppendLine(line));
+        } else {
+          DGF_ASSIGN_OR_RETURN(table::Row row,
+                               table::ParseRowText(line, schema));
+          DGF_RETURN_IF_ERROR(rc_writer->Append(row));
+        }
       }
     }
     // RCFile: end the row group exactly at the GFU boundary, so the Slice is
     // a run of whole groups.
-    if (rc_writer_ != nullptr) DGF_RETURN_IF_ERROR(rc_writer_->Flush());
-    const uint64_t end = Offset();
-
-    GfuValue value;
-    value.header = std::move(header);
-    value.record_count = lines.size();
-    value.slices.push_back(SliceLocation{output_path_, start, end});
+    if (rc_writer != nullptr) DGF_RETURN_IF_ERROR(rc_writer->Flush());
+    const uint64_t slice_end = offset();
+    value.slices.push_back(SliceLocation{path, start, slice_end});
 
     // Merge with a pre-existing committed entry (incremental Append
     // batches). The caller's mutation lock keeps the committed state stable
-    // for the whole job, so reading it outside the publish is safe.
-    auto existing = store_->Get(key);
-    if (existing.ok()) {
-      DGF_ASSIGN_OR_RETURN(GfuValue old_value, GfuValue::Decode(*existing));
-      aggs_->Merge(&value.header, old_value.header);
+    // for the whole pipeline, so the coordinator's pre-fetched reads are
+    // consistent with the publish.
+    const Result<std::string>& prior = existing[k];
+    if (prior.ok()) {
+      DGF_ASSIGN_OR_RETURN(GfuValue old_value, GfuValue::Decode(*prior));
+      aggs.Merge(&value.header, old_value.header);
       value.record_count += old_value.record_count;
       value.slices.insert(value.slices.end(), old_value.slices.begin(),
                           old_value.slices.end());
-    } else if (!existing.status().IsNotFound()) {
-      return existing.status();
+    } else if (!prior.status().IsNotFound()) {
+      return prior.status();
     }
-    {
-      std::lock_guard<std::mutex> lock(*out_mu_);
-      out_batch_->Put(key, value.Encode());
-    }
-    ctx->counters().Add("dgf.gfus.written", 1);
-    ctx->counters().Add("dgf.slice.bytes",
-                        static_cast<int64_t>(end - start));
-    ctx->AddBytesWritten(end - start);
-    return Status::OK();
+    out->batch.Put(key, value.Encode());
+    ++out->gfus;
+    out->bytes_written += slice_end - start;
   }
-
-  Status Finish(exec::ReduceContext*) override {
-    if (writer_ != nullptr) return writer_->Close();
-    if (rc_writer_ != nullptr) return rc_writer_->Close();
-    return Status::OK();
-  }
-
- private:
-  uint64_t Offset() const {
-    return writer_ != nullptr ? writer_->Offset() : rc_writer_->Offset();
-  }
-
-  std::shared_ptr<fs::MiniDfs> dfs_;
-  std::shared_ptr<kv::KvStore> store_;
-  table::Schema schema_;
-  const AggregatorList* aggs_;
-  std::string output_path_;
-  table::FileFormat format_;
-  kv::WriteBatch* out_batch_;
-  std::mutex* out_mu_;
-  std::unique_ptr<table::TextFileWriter> writer_;
-  std::unique_ptr<table::RcFileWriter> rc_writer_;
-};
-
-constexpr const char* kMetaBatchKey = "M:batch";
+  if (writer != nullptr) return writer->Close();
+  return rc_writer->Close();
+}
 
 }  // namespace
 
@@ -159,7 +163,7 @@ Result<exec::JobResult> DgfBuilder::RunReorganization(
     const table::Schema& schema, const SplittingPolicy& policy,
     const AggregatorList& aggs, const std::string& data_dir,
     table::FileFormat data_format, int batch_id, exec::JobRunner::Options job,
-    uint64_t split_size, kv::WriteBatch* out_batch) {
+    uint64_t split_size, int build_threads, kv::WriteBatch* out_batch) {
   std::vector<int> dim_fields;
   for (const DimensionPolicy& dim : policy.dims()) {
     DGF_ASSIGN_OR_RETURN(int field, schema.FieldIndex(dim.column));
@@ -168,35 +172,208 @@ Result<exec::JobResult> DgfBuilder::RunReorganization(
   DGF_ASSIGN_OR_RETURN(auto splits,
                        table::GetTableSplits(dfs, input, split_size));
   if (job.num_reducers <= 0) job.num_reducers = 8;
+  const int num_writers = job.num_reducers;
+  int threads = build_threads > 0 ? build_threads : job.worker_threads;
+  if (threads <= 0) threads = 1;
 
-  exec::JobRunner runner(job);
-  std::mutex out_mu;
-  DGF_ASSIGN_OR_RETURN(
-      exec::JobResult result,
-      runner.Run(
-          splits,
-          [&] {
-            return std::make_unique<ReorganizeMapper>(dfs, input, &policy,
-                                                      dim_fields);
-          },
-          [&](int reducer_id) {
-            const std::string path =
-                data_dir + "/" +
-                StringPrintf("part-b%03d-r%05d.%s", batch_id, reducer_id,
-                             data_format == table::FileFormat::kText ? "txt"
-                                                                     : "rc");
-            return std::make_unique<ReorganizeReducer>(dfs, store, schema,
-                                                       &aggs, path,
-                                                       data_format, out_batch,
-                                                       &out_mu);
-          }));
+  Stopwatch wall;
+  exec::JobResult result;
+  result.num_map_tasks = static_cast<int>(splits.size());
+  result.num_reduce_tasks = num_writers;
+
+  // ---- Shard phase: one task per split, no shared mutable state. ----
+  std::vector<SplitShard> shards(splits.size());
+  std::vector<double> shard_seconds(splits.size(), 0.0);
+  std::mutex error_mu;
+  Status first_error;
+  {
+    ThreadPool pool(threads);
+    for (size_t i = 0; i < splits.size(); ++i) {
+      pool.Submit([&, i] {
+        Stopwatch task_watch;
+        Status st = ShardSplit(dfs, input, splits[i], policy, dim_fields, aggs,
+                               &shards[i]);
+        shard_seconds[i] = task_watch.ElapsedSeconds();
+        if (!st.ok()) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error.ok()) first_error = st;
+        }
+      });
+    }
+    pool.WaitIdle();
+  }
+  DGF_RETURN_IF_ERROR(first_error);
+  DGF_CRASH_POINT("dgf.reorg.after_shard");
+  result.local_task_seconds = shard_seconds;
+
+  const exec::ClusterConfig& cluster = job.cluster;
+  std::vector<double> map_costs;
+  map_costs.reserve(shards.size());
+  for (const SplitShard& shard : shards) {
+    result.counters.Add(exec::kCounterMapInputBytes,
+                        static_cast<int64_t>(shard.bytes_read));
+    result.counters.Add(exec::kCounterMapInputRecords,
+                        static_cast<int64_t>(shard.records));
+    result.counters.Add(exec::kCounterMapOutputRecords,
+                        static_cast<int64_t>(shard.records));
+    // Under data_scale, one local task stands for the many 64 MB map tasks
+    // the full-size deployment would have run over the same data.
+    const double scaled_bytes =
+        cluster.data_scale * static_cast<double>(shard.bytes_read);
+    const double scaled_records =
+        cluster.data_scale * static_cast<double>(shard.records);
+    const auto virtual_tasks = static_cast<int64_t>(std::clamp(
+        std::ceil(scaled_bytes / cluster.virtual_split_bytes), 1.0, 1.0e6));
+    const double per_task =
+        cluster.task_launch_overhead_s +
+        scaled_bytes / virtual_tasks / (1e6 * cluster.scan_mb_per_s) +
+        scaled_records / virtual_tasks * cluster.record_cpu_s;
+    for (int64_t v = 0; v < virtual_tasks; ++v) map_costs.push_back(per_task);
+  }
+  result.simulated_map_seconds =
+      exec::SimulateMakespan(map_costs, cluster.total_map_slots());
+
+  // ---- Merge phase: sorted key union -> contiguous writer partitions. ----
+  // Partitions are cut from the sorted key union balanced by record count, so
+  // both the file a key lands in and the order within the file are functions
+  // of the data alone ("byte-stable" across thread counts and vs. serial).
+  struct KeyTotals {
+    uint64_t records = 0;
+    uint64_t bytes = 0;
+  };
+  std::map<std::string, KeyTotals> key_union;
+  uint64_t total_records = 0;
+  for (const SplitShard& shard : shards) {
+    for (const auto& [key, group] : shard.groups) {
+      KeyTotals& t = key_union[key];
+      t.records += group.records;
+      t.bytes += key.size() * group.records + group.line_bytes;
+      total_records += group.records;
+    }
+  }
+  std::vector<std::string> keys;
+  std::vector<KeyTotals> totals;
+  keys.reserve(key_union.size());
+  totals.reserve(key_union.size());
+  for (auto& [key, t] : key_union) {
+    keys.push_back(key);
+    totals.push_back(t);
+  }
+
+  // A crashed earlier attempt of this batch may have left slice files behind
+  // (written, never published — slices only become reachable through the
+  // batch's KV publish). DFS files are write-once, so a retry must reclaim
+  // the names; the files are unreferenced by every published epoch.
+  {
+    const std::string orphan_prefix = StringPrintf("part-b%03d-", batch_id);
+    for (const fs::FileStatus& file : dfs->ListFiles(data_dir + "/")) {
+      const size_t slash = file.path.find_last_of('/');
+      const std::string name = file.path.substr(slash + 1);
+      if (name.rfind(orphan_prefix, 0) == 0) {
+        DGF_RETURN_IF_ERROR(dfs->Delete(file.path));
+      }
+    }
+  }
+
+  std::vector<double> writer_seconds(static_cast<size_t>(num_writers), 0.0);
+  std::vector<uint64_t> partition_bytes(static_cast<size_t>(num_writers), 0);
+  std::vector<WriterOutput> outputs(static_cast<size_t>(num_writers));
+  if (!keys.empty()) {
+    // One batched probe fetches every committed entry the writers will merge
+    // with (the HBase multi-get analogue of the old per-key reducer Get).
+    const std::vector<Result<std::string>> existing = store->MultiGet(keys);
+
+    std::vector<size_t> bounds(static_cast<size_t>(num_writers) + 1, 0);
+    {
+      uint64_t cum = 0;
+      size_t k = 0;
+      for (int w = 0; w < num_writers; ++w) {
+        bounds[static_cast<size_t>(w)] = k;
+        const uint64_t target =
+            total_records * static_cast<uint64_t>(w + 1) /
+            static_cast<uint64_t>(num_writers);
+        while (k < keys.size() && cum < target) {
+          cum += totals[k].records;
+          ++k;
+        }
+      }
+      bounds[static_cast<size_t>(num_writers)] = keys.size();
+    }
+    ThreadPool pool(threads);
+    for (int w = 0; w < num_writers; ++w) {
+      const size_t begin = bounds[static_cast<size_t>(w)];
+      const size_t end = bounds[static_cast<size_t>(w) + 1];
+      if (begin == end) continue;  // no file for an empty partition
+      for (size_t k = begin; k < end; ++k) {
+        partition_bytes[static_cast<size_t>(w)] += totals[k].bytes;
+      }
+      const std::string path =
+          data_dir + "/" +
+          StringPrintf("part-b%03d-r%05d.%s", batch_id, w,
+                       data_format == table::FileFormat::kText ? "txt" : "rc");
+      pool.Submit([&, w, begin, end, path] {
+        Stopwatch task_watch;
+        Status st =
+            WriteSlicePartition(dfs, schema, aggs, path, data_format, keys,
+                                begin, end, existing, shards,
+                                &outputs[static_cast<size_t>(w)]);
+        writer_seconds[static_cast<size_t>(w)] = task_watch.ElapsedSeconds();
+        if (!st.ok()) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error.ok()) first_error = st;
+        }
+      });
+    }
+    pool.WaitIdle();
+    DGF_RETURN_IF_ERROR(first_error);
+  }
+  DGF_CRASH_POINT("dgf.reorg.after_slices");
+
+  // Concatenate the per-writer staged batches in writer order: one
+  // deterministic batch regardless of task scheduling.
+  std::vector<double> reduce_costs;
+  reduce_costs.reserve(static_cast<size_t>(num_writers));
+  for (int w = 0; w < num_writers; ++w) {
+    WriterOutput& out = outputs[static_cast<size_t>(w)];
+    out_batch->Append(out.batch);
+    result.counters.Add("dgf.gfus.written", out.gfus);
+    result.counters.Add("dgf.slice.bytes",
+                        static_cast<int64_t>(out.bytes_written));
+    result.counters.Add("dgf.batch.bytes",
+                        static_cast<int64_t>(out.batch.ApproximateBytes()));
+    // Like map tasks, a scaled-up writer stands for the many reducers the
+    // full-size job would have configured.
+    const double scaled_shuffle =
+        cluster.data_scale *
+        static_cast<double>(partition_bytes[static_cast<size_t>(w)]);
+    const double scaled_written =
+        cluster.data_scale * static_cast<double>(out.bytes_written);
+    const auto virtual_tasks = static_cast<int64_t>(std::clamp(
+        std::ceil((scaled_shuffle + scaled_written) /
+                  cluster.virtual_split_bytes),
+        1.0, 1.0e6));
+    const double per_task =
+        cluster.task_launch_overhead_s +
+        scaled_shuffle / virtual_tasks / (1e6 * cluster.shuffle_mb_per_s) +
+        scaled_written / virtual_tasks / (1e6 * cluster.scan_mb_per_s);
+    for (int64_t v = 0; v < virtual_tasks; ++v) reduce_costs.push_back(per_task);
+  }
+  result.simulated_shuffle_reduce_seconds =
+      exec::SimulateMakespan(reduce_costs, cluster.total_reduce_slots());
+  result.local_task_seconds.insert(result.local_task_seconds.end(),
+                                   writer_seconds.begin(),
+                                   writer_seconds.end());
+
   DGF_RETURN_IF_ERROR(
       RefreshDimensionBounds(store, policy.num_dims(), out_batch));
   // Charge the key-value store round trips (one put per GFU touched); at
   // fine splitting policies this is a visible share of construction time.
-  result.simulated_seconds +=
+  result.simulated_seconds =
+      cluster.job_overhead_s + result.simulated_map_seconds +
+      result.simulated_shuffle_reduce_seconds +
       static_cast<double>(result.counters.Get("dgf.gfus.written")) *
-      job.cluster.kv_get_s / job.cluster.total_reduce_slots();
+          cluster.kv_get_s / cluster.total_reduce_slots();
+  result.wall_seconds = wall.ElapsedSeconds();
   return result;
 }
 
@@ -270,7 +447,8 @@ Result<std::unique_ptr<DgfIndex>> DgfBuilder::Build(
       exec::JobResult result,
       RunReorganization(dfs, store, base, base.schema, policy, aggs,
                         options.data_dir, options.data_format, /*batch_id=*/0,
-                        options.job, options.split_size, &batch));
+                        options.job, options.split_size, options.build_threads,
+                        &batch));
   if (job_result != nullptr) *job_result = result;
 
   batch.Put(kMetaPolicyKey, policy.Serialize());
@@ -280,6 +458,7 @@ Result<std::unique_ptr<DgfIndex>> DgfBuilder::Build(
             options.data_format == table::FileFormat::kText ? "text"
                                                             : "rcfile");
   batch.Put(kMetaBatchKey, "1");
+  DGF_CRASH_POINT("dgf.build.before_publish");
   // One atomic publish: a reader of the store either sees no index at all or
   // the complete one (GFUs, bounds, and meta).
   DGF_RETURN_IF_ERROR(store->ApplyBatch(batch));
@@ -288,14 +467,27 @@ Result<std::unique_ptr<DgfIndex>> DgfBuilder::Build(
       std::move(aggs), options.data_dir, options.data_format));
 }
 
+Result<exec::JobResult> DgfBuilder::AppendStaged(
+    DgfIndex* index, const table::TableDesc& batch, int batch_id,
+    exec::JobRunner::Options job, uint64_t split_size, int build_threads,
+    kv::WriteBatch* out_batch) {
+  std::shared_ptr<const AggregatorList> aggs = index->aggregators();
+  return RunReorganization(index->dfs(), index->store(), batch,
+                           index->schema(), index->policy(), *aggs,
+                           index->data_dir(), index->data_format(), batch_id,
+                           job, split_size, build_threads, out_batch);
+}
+
 Result<exec::JobResult> DgfBuilder::Append(DgfIndex* index,
                                            const table::TableDesc& batch,
                                            exec::JobRunner::Options job,
-                                           uint64_t split_size) {
+                                           uint64_t split_size,
+                                           int build_threads) {
   // Serialize with other mutators (optimize, AddAggregation, other Appends):
-  // the reducers' read-merge-stage cycle relies on the committed GFU state
+  // the writers' read-merge-stage cycle relies on the committed GFU state
   // holding still until our publish.
   std::unique_lock<std::mutex> mutation = index->AcquireMutationLock();
+  DGF_CRASH_POINT("dgf.append.before_job");
 
   const auto& store = index->store();
   int batch_id = 1;
@@ -304,14 +496,11 @@ Result<exec::JobResult> DgfBuilder::Append(DgfIndex* index,
     batch_id = static_cast<int>(parsed);
   }
   kv::WriteBatch staged;
-  std::shared_ptr<const AggregatorList> aggs = index->aggregators();
-  DGF_ASSIGN_OR_RETURN(
-      exec::JobResult result,
-      RunReorganization(index->dfs(), store, batch, index->schema(),
-                        index->policy(), *aggs, index->data_dir(),
-                        index->data_format(), batch_id, job, split_size,
-                        &staged));
+  DGF_ASSIGN_OR_RETURN(exec::JobResult result,
+                       AppendStaged(index, batch, batch_id, job, split_size,
+                                    build_threads, &staged));
   staged.Put(kMetaBatchKey, std::to_string(batch_id + 1));
+  DGF_CRASH_POINT("dgf.append.before_publish");
   // Atomic publish: a concurrent query pinned before this line sees none of
   // the batch, one pinned after sees all of it.
   DGF_RETURN_IF_ERROR(store->ApplyBatch(staged));

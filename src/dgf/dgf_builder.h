@@ -14,12 +14,16 @@ namespace dgf::core {
 
 /// Builds and incrementally extends a DGFIndex.
 ///
-/// `Build` is the paper's Algorithms 1+2 as a MiniMR job: mappers standardize
-/// every record to its GFUKey and emit <GFUKey, line>; reducers write each
-/// key's records contiguously as a Slice into a reorganized data file,
-/// pre-compute the aggregate header, and put <GFUKey, GFUValue> into the
-/// key-value store. Per-dimension min/max cells are stored as metadata for
-/// partial-specified queries.
+/// `Build` is the paper's Algorithms 1+2 as a two-phase parallel pipeline:
+/// shard tasks (one per input split) standardize every record to its GFUKey
+/// and group the split's records per key with a thread-local partial header;
+/// writer tasks then take contiguous ranges of the sorted key union, write
+/// each key's records contiguously as a Slice into a reorganized data file
+/// (merging partial headers in split order), and stage <GFUKey, GFUValue>
+/// into the key-value store. Per-dimension min/max cells are stored as
+/// metadata for partial-specified queries. The pipeline's output — slice
+/// bytes, headers, and KV batch — is identical for every build_threads
+/// value, including 1 (see Options::build_threads).
 ///
 /// `Append` runs the same job over a batch of newly arrived data (the
 /// verified temporary files of Section 4.2), writing fresh Slice files and
@@ -46,10 +50,17 @@ class DgfBuilder {
     /// support other file formats" claim: each Slice is a run of whole
     /// RCFile row groups (the reducer forces a group boundary per GFU).
     table::FileFormat data_format = table::FileFormat::kText;
-    /// MiniMR settings; num_reducers defaults to 8 when left at 0.
+    /// MiniMR settings; num_reducers defaults to 8 when left at 0 and sets
+    /// the number of slice files (writer partitions) per batch.
     exec::JobRunner::Options job;
     /// Split size for reading the base table (0 = DFS block size).
     uint64_t split_size = 0;
+    /// Local worker threads for the build pipeline (shard + slice-writer
+    /// tasks). 0 = job.worker_threads. The output is result- and
+    /// byte-equivalent for every value: sharding is per input split, writer
+    /// partitions are cut from the sorted key union by record count, and all
+    /// merges run in split order — none of which depends on scheduling.
+    int build_threads = 0;
   };
 
   /// Reorganizes `base` into `options.data_dir` and fills `store` with the
@@ -67,13 +78,27 @@ class DgfBuilder {
   static Result<exec::JobResult> Append(DgfIndex* index,
                                         const table::TableDesc& batch,
                                         exec::JobRunner::Options job = {},
-                                        uint64_t split_size = 0);
+                                        uint64_t split_size = 0,
+                                        int build_threads = 0);
+
+  /// Like Append, but stages every KV change into `out_batch` instead of
+  /// publishing: slice files land on the DFS (unreferenced until publish)
+  /// and the caller applies the batch itself. The group-commit append
+  /// pipeline uses this to fold several logical batches into one publish.
+  /// Caller must hold the index's mutation lock.
+  static Result<exec::JobResult> AppendStaged(DgfIndex* index,
+                                              const table::TableDesc& batch,
+                                              int batch_id,
+                                              exec::JobRunner::Options job,
+                                              uint64_t split_size,
+                                              int build_threads,
+                                              kv::WriteBatch* out_batch);
 
  private:
-  /// Shared by Build and Append: run the reorganization job for `batch_id`.
-  /// Slice files are written to the DFS immediately (they are unreferenced
-  /// until the batch publishes), while every KV change is staged into
-  /// `out_batch`; the store is only read (for GFU merges with committed
+  /// Shared by Build and Append: run the reorganization pipeline for
+  /// `batch_id`. Slice files are written to the DFS immediately (they are
+  /// unreferenced until the batch publishes), while every KV change is staged
+  /// into `out_batch`; the store is only read (for GFU merges with committed
   /// entries).
   static Result<exec::JobResult> RunReorganization(
       const std::shared_ptr<fs::MiniDfs>& dfs,
@@ -81,7 +106,7 @@ class DgfBuilder {
       const table::Schema& schema, const SplittingPolicy& policy,
       const AggregatorList& aggs, const std::string& data_dir,
       table::FileFormat data_format, int batch_id, exec::JobRunner::Options job,
-      uint64_t split_size, kv::WriteBatch* out_batch);
+      uint64_t split_size, int build_threads, kv::WriteBatch* out_batch);
 
   /// Recomputes per-dimension min/max cell metadata from the stored keys
   /// plus the staged-but-unpublished GFU entries of `out_batch`, appending

@@ -75,6 +75,10 @@ inline constexpr const char* kMetaDimMaxPrefix = "M:dim_max:";
 inline constexpr const char* kMetaDataDirKey = "M:data_dir";
 inline constexpr const char* kMetaDataFormatKey = "M:data_format";
 inline constexpr const char* kMetaNumFilesKey = "M:num_files";
+/// Next append batch id. Published with the batch it names, so after a crash
+/// the recovered value counts exactly the batches whose publish landed — the
+/// builder crash sweep reads it to pick the legal row-prefix oracle.
+inline constexpr const char* kMetaBatchKey = "M:batch";
 
 }  // namespace dgf::core
 

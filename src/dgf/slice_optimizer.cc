@@ -1,9 +1,11 @@
 #include "dgf/slice_optimizer.h"
 
+#include <mutex>
 #include <set>
 #include <vector>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "dgf/dgf_input_format.h"
 #include "table/rc_format.h"
 #include "table/text_format.h"
@@ -11,11 +13,67 @@
 namespace dgf::core {
 
 namespace {
+
 constexpr const char* kMetaOptGenKey = "M:optgen";
+
+/// One output file's share of the rewrite: the contiguous entry range
+/// [begin, end) lands in `path`, in key order.
+struct RewriteTask {
+  size_t begin = 0;
+  size_t end = 0;
+  std::string path;
+  uint64_t bytes_rewritten = 0;
+};
+
+/// Rewrites one output file. Each task owns a disjoint entry range, so
+/// updating the entries' slice lists in place needs no synchronization.
+Status RewriteFile(const std::shared_ptr<fs::MiniDfs>& dfs,
+                   const table::Schema& schema, table::FileFormat format,
+                   std::vector<std::pair<std::string, GfuValue>>* entries,
+                   RewriteTask* task) {
+  std::unique_ptr<table::TextFileWriter> writer;
+  std::unique_ptr<table::RcFileWriter> rc_writer;
+  if (format == table::FileFormat::kText) {
+    DGF_ASSIGN_OR_RETURN(writer,
+                         table::TextFileWriter::Create(dfs, task->path, schema));
+  } else {
+    DGF_ASSIGN_OR_RETURN(
+        rc_writer, table::RcFileWriter::Create(dfs, task->path, schema));
+  }
+  const auto offset = [&] {
+    return writer != nullptr ? writer->Offset() : rc_writer->Offset();
+  };
+  table::Row row;
+  for (size_t i = task->begin; i < task->end; ++i) {
+    GfuValue& value = (*entries)[i].second;
+    const uint64_t start = offset();
+    for (const SliceLocation& slice : value.slices) {
+      DGF_ASSIGN_OR_RETURN(auto reader,
+                           OpenSliceReader(dfs, slice, schema, format));
+      for (;;) {
+        DGF_ASSIGN_OR_RETURN(bool more, reader->Next(&row));
+        if (!more) break;
+        if (writer != nullptr) {
+          DGF_RETURN_IF_ERROR(writer->Append(row));
+        } else {
+          DGF_RETURN_IF_ERROR(rc_writer->Append(row));
+        }
+      }
+    }
+    if (rc_writer != nullptr) DGF_RETURN_IF_ERROR(rc_writer->Flush());
+    const uint64_t end = offset();
+    task->bytes_rewritten += end - start;
+    value.slices.clear();
+    value.slices.push_back(SliceLocation{task->path, start, end});
+  }
+  if (writer != nullptr) return writer->Close();
+  return rc_writer->Close();
+}
+
 }  // namespace
 
 Result<SliceOptimizer::Stats> SliceOptimizer::Optimize(
-    DgfIndex* index, uint64_t target_file_bytes) {
+    DgfIndex* index, uint64_t target_file_bytes, int threads) {
   // Serialize with Append/AddAggregation/other optimize runs: the rewrite
   // reads every committed GFU entry and must publish against that same
   // state. Readers keep querying their pinned snapshots throughout.
@@ -52,69 +110,58 @@ Result<SliceOptimizer::Stats> SliceOptimizer::Optimize(
 
   // Rewrite in key order, merging each GFU's slices into one. Either file
   // format is supported: text Slices are line runs, RC Slices whole groups.
+  //
+  // The entry->file assignment is cut up front from the key-ordered entry
+  // list, rotating when the accumulated pre-rewrite slice bytes reach
+  // `target_file_bytes`. That estimate stands in for the old "rotate once
+  // the writer's offset crosses the target" rule and makes the assignment a
+  // function of the committed state alone — which is what lets the files be
+  // rewritten by independent parallel tasks with identical output.
   const table::FileFormat format = index->data_format();
-  std::vector<std::string> new_file_paths;
-  int file_index = 0;
-  std::unique_ptr<table::TextFileWriter> writer;
-  std::unique_ptr<table::RcFileWriter> rc_writer;
-  const auto current_offset = [&]() -> uint64_t {
-    return writer != nullptr ? writer->Offset()
-                             : (rc_writer != nullptr ? rc_writer->Offset() : 0);
-  };
-  const auto close_writer = [&]() -> Status {
-    if (writer != nullptr) DGF_RETURN_IF_ERROR(writer->Close());
-    if (rc_writer != nullptr) DGF_RETURN_IF_ERROR(rc_writer->Close());
-    writer.reset();
-    rc_writer.reset();
-    return Status::OK();
-  };
-  const auto open_writer = [&]() -> Status {
-    const std::string path =
-        index->data_dir() + "/" +
-        StringPrintf("part-opt%03d-%05d.%s", generation, file_index++,
-                     format == table::FileFormat::kText ? "txt" : "rc");
-    if (format == table::FileFormat::kText) {
-      DGF_ASSIGN_OR_RETURN(
-          writer, table::TextFileWriter::Create(dfs, path, index->schema()));
-    } else {
-      DGF_ASSIGN_OR_RETURN(
-          rc_writer, table::RcFileWriter::Create(dfs, path, index->schema()));
-    }
-    ++stats.files_after;
-    new_file_paths.push_back(path);
-    return Status::OK();
-  };
-  for (auto& [key, value] : entries) {
-    (void)key;
-    if ((writer == nullptr && rc_writer == nullptr) ||
-        current_offset() >= target_file_bytes) {
-      DGF_RETURN_IF_ERROR(close_writer());
-      DGF_RETURN_IF_ERROR(open_writer());
-    }
-    const uint64_t start = current_offset();
-    table::Row row;
-    for (const SliceLocation& slice : value.slices) {
-      DGF_ASSIGN_OR_RETURN(
-          auto reader, OpenSliceReader(dfs, slice, index->schema(), format));
-      for (;;) {
-        DGF_ASSIGN_OR_RETURN(bool more, reader->Next(&row));
-        if (!more) break;
-        if (writer != nullptr) {
-          DGF_RETURN_IF_ERROR(writer->Append(row));
-        } else {
-          DGF_RETURN_IF_ERROR(rc_writer->Append(row));
-        }
+  std::vector<RewriteTask> tasks;
+  {
+    uint64_t acc = 0;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (i == 0 || acc >= target_file_bytes) {
+        if (!tasks.empty()) tasks.back().end = i;
+        RewriteTask task;
+        task.begin = i;
+        task.path =
+            index->data_dir() + "/" +
+            StringPrintf("part-opt%03d-%05d.%s", generation,
+                         static_cast<int>(tasks.size()),
+                         format == table::FileFormat::kText ? "txt" : "rc");
+        tasks.push_back(std::move(task));
+        acc = 0;
+      }
+      for (const SliceLocation& slice : entries[i].second.slices) {
+        acc += slice.length();
       }
     }
-    if (rc_writer != nullptr) DGF_RETURN_IF_ERROR(rc_writer->Flush());
-    const uint64_t end = current_offset();
-    stats.bytes_rewritten += end - start;
-    value.slices.clear();
-    value.slices.push_back(
-        SliceLocation{new_file_paths.back(), start, end});
-    ++stats.slices_after;
+    tasks.back().end = entries.size();
   }
-  DGF_RETURN_IF_ERROR(close_writer());
+  {
+    ThreadPool pool(threads > 0 ? threads : 1);
+    std::mutex error_mu;
+    Status first_error;
+    for (size_t t = 0; t < tasks.size(); ++t) {
+      pool.Submit([&, t] {
+        Status st =
+            RewriteFile(dfs, index->schema(), format, &entries, &tasks[t]);
+        if (!st.ok()) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error.ok()) first_error = st;
+        }
+      });
+    }
+    pool.WaitIdle();
+    DGF_RETURN_IF_ERROR(first_error);
+  }
+  for (const RewriteTask& task : tasks) {
+    stats.bytes_rewritten += task.bytes_rewritten;
+  }
+  stats.files_after = tasks.size();
+  stats.slices_after = entries.size();
 
   // Atomic publish: every GFU entry flips to the new layout in one epoch
   // bump, so no query can see a mix of old and new slice lists.

@@ -36,9 +36,13 @@ class SliceOptimizer {
   };
 
   /// Rewrites `index`'s data files; output files rotate at
-  /// `target_file_bytes`.
+  /// `target_file_bytes`. With `threads` > 1 the output files are rewritten
+  /// by a worker pool, one task per file: the entry->file assignment is cut
+  /// deterministically from the key-ordered entry list before any writing
+  /// starts, so the rewritten layout is identical for every thread count.
   static Result<Stats> Optimize(DgfIndex* index,
-                                uint64_t target_file_bytes = 256ULL << 20);
+                                uint64_t target_file_bytes = 256ULL << 20,
+                                int threads = 1);
 };
 
 }  // namespace dgf::core

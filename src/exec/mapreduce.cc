@@ -70,13 +70,16 @@ Result<JobResult> JobRunner::Run(const std::vector<fs::FileSplit>& splits,
   }
   std::mutex error_mu;
   Status first_error;
+  std::vector<double> map_task_seconds(splits.size(), 0.0);
   {
     ThreadPool pool(options_.worker_threads);
     for (size_t i = 0; i < splits.size(); ++i) {
       MapContext* ctx = contexts[i].get();
-      pool.Submit([&, ctx] {
+      pool.Submit([&, ctx, i] {
+        Stopwatch task_watch;
         auto mapper = mapper_factory();
         Status st = mapper->Map(ctx->split(), ctx);
+        map_task_seconds[i] = task_watch.ElapsedSeconds();
         if (!st.ok()) {
           std::lock_guard<std::mutex> lock(error_mu);
           if (first_error.ok()) first_error = st;
@@ -86,6 +89,7 @@ Result<JobResult> JobRunner::Run(const std::vector<fs::FileSplit>& splits,
     pool.WaitIdle();
   }
   DGF_RETURN_IF_ERROR(first_error);
+  result.local_task_seconds = std::move(map_task_seconds);
 
   // Aggregate per-task accounting into counters and the cost model.
   const ClusterConfig& cluster = options_.cluster;
@@ -125,16 +129,46 @@ Result<JobResult> JobRunner::Run(const std::vector<fs::FileSplit>& splits,
   // ---- Shuffle + reduce phase ----
   if (options_.num_reducers > 0) {
     const int num_reducers = options_.num_reducers;
-    std::vector<std::map<std::string, std::vector<std::string>>> partitions(
-        static_cast<size_t>(num_reducers));
-    for (auto& ctx : contexts) {
-      for (auto& [key, value] : ctx->emitted_) {
-        const auto part =
-            static_cast<size_t>(HashKey(key) % static_cast<uint64_t>(num_reducers));
-        partitions[part][std::move(key)].push_back(std::move(value));
+    // Parallel shuffle, in two deterministic steps. Step 1 partitions each
+    // map task's emissions locally (one task per map context, no shared
+    // state). Step 2 merges the per-context partitions per reducer, always
+    // iterating contexts in split order — so a reducer's key groups hold
+    // their values in exactly the order a sequential shuffle would produce,
+    // regardless of worker count or scheduling.
+    using Partition = std::map<std::string, std::vector<std::string>>;
+    std::vector<std::vector<Partition>> local(contexts.size());
+    std::vector<Partition> partitions(static_cast<size_t>(num_reducers));
+    {
+      ThreadPool pool(options_.worker_threads);
+      for (size_t i = 0; i < contexts.size(); ++i) {
+        pool.Submit([&, i] {
+          MapContext* ctx = contexts[i].get();
+          local[i].resize(static_cast<size_t>(num_reducers));
+          for (auto& [key, value] : ctx->emitted_) {
+            const auto part = static_cast<size_t>(
+                HashKey(key) % static_cast<uint64_t>(num_reducers));
+            local[i][part][std::move(key)].push_back(std::move(value));
+          }
+          ctx->emitted_.clear();
+        });
       }
-      ctx->emitted_.clear();
+      pool.WaitIdle();
+      for (int r = 0; r < num_reducers; ++r) {
+        pool.Submit([&, r] {
+          Partition& merged = partitions[static_cast<size_t>(r)];
+          for (size_t i = 0; i < local.size(); ++i) {
+            for (auto& [key, values] : local[i][static_cast<size_t>(r)]) {
+              auto& dst = merged[key];
+              dst.insert(dst.end(), std::make_move_iterator(values.begin()),
+                         std::make_move_iterator(values.end()));
+            }
+            local[i][static_cast<size_t>(r)].clear();
+          }
+        });
+      }
+      pool.WaitIdle();
     }
+    local.clear();
 
     std::vector<std::unique_ptr<ReduceContext>> reduce_contexts;
     std::vector<uint64_t> partition_bytes(static_cast<size_t>(num_reducers), 0);
@@ -146,10 +180,13 @@ Result<JobResult> JobRunner::Run(const std::vector<fs::FileSplit>& splits,
         partition_bytes[static_cast<size_t>(r)] += bytes;
       }
     }
+    std::vector<double> reduce_task_seconds(static_cast<size_t>(num_reducers),
+                                            0.0);
     {
       ThreadPool pool(options_.worker_threads);
       for (int r = 0; r < num_reducers; ++r) {
         pool.Submit([&, r] {
+          Stopwatch task_watch;
           auto reducer = reducer_factory(r);
           ReduceContext* ctx = reduce_contexts[static_cast<size_t>(r)].get();
           Status st = reducer->Start(ctx);
@@ -161,6 +198,8 @@ Result<JobResult> JobRunner::Run(const std::vector<fs::FileSplit>& splits,
             }
           }
           if (st.ok()) st = reducer->Finish(ctx);
+          reduce_task_seconds[static_cast<size_t>(r)] =
+              task_watch.ElapsedSeconds();
           if (!st.ok()) {
             std::lock_guard<std::mutex> lock(error_mu);
             if (first_error.ok()) first_error = st;
@@ -170,6 +209,9 @@ Result<JobResult> JobRunner::Run(const std::vector<fs::FileSplit>& splits,
       pool.WaitIdle();
     }
     DGF_RETURN_IF_ERROR(first_error);
+    result.local_task_seconds.insert(result.local_task_seconds.end(),
+                                     reduce_task_seconds.begin(),
+                                     reduce_task_seconds.end());
 
     std::vector<double> reduce_costs;
     reduce_costs.reserve(static_cast<size_t>(num_reducers));

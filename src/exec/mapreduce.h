@@ -142,6 +142,13 @@ struct JobResult {
   double simulated_seconds = 0.0;
   double simulated_map_seconds = 0.0;
   double simulated_shuffle_reduce_seconds = 0.0;
+  /// Measured wall seconds of every parallel task of the job (map tasks then
+  /// reduce/writer tasks, in task order). Replaying these through
+  /// SimulateMakespan(tasks, N) projects the local wall time the same work
+  /// would take with N worker slots — the build benches report that
+  /// projection next to the measured wall time, which on a single-core host
+  /// cannot show the parallel speedup directly.
+  std::vector<double> local_task_seconds;
 };
 
 /// Deterministic multi-threaded MapReduce engine over MiniDfs splits.

@@ -50,18 +50,46 @@ class WriteBatch {
   };
 
   void Put(std::string_view key, std::string_view value) {
+    approximate_bytes_ += key.size() + value.size() + kEntryOverheadBytes;
     entries_.push_back({std::string(key), std::string(value), false});
   }
   void Delete(std::string_view key) {
+    approximate_bytes_ += key.size() + kEntryOverheadBytes;
     entries_.push_back({std::string(key), std::string(), true});
   }
   const std::vector<Entry>& entries() const { return entries_; }
   bool empty() const { return entries_.empty(); }
   size_t size() const { return entries_.size(); }
-  void Clear() { entries_.clear(); }
+  void Clear() {
+    entries_.clear();
+    approximate_bytes_ = 0;
+  }
+
+  /// Pre-sizes the entry vector: batch producers that know their key count
+  /// up front (the parallel index build stages one Put per GFU) avoid
+  /// reallocation churn while staging tens of thousands of entries.
+  void Reserve(size_t entries) { entries_.reserve(entries); }
+
+  /// Approximate staged payload (keys + values + per-entry bookkeeping).
+  /// Used for batch-size accounting in build/append counters and by callers
+  /// sizing group-commit flushes.
+  uint64_t ApproximateBytes() const { return approximate_bytes_; }
+
+  /// Appends every entry of `other` (in order) after this batch's entries.
+  /// The group-commit and parallel-build paths stage per-worker batches and
+  /// concatenate them in a deterministic order before the atomic publish.
+  void Append(const WriteBatch& other) {
+    entries_.reserve(entries_.size() + other.entries_.size());
+    entries_.insert(entries_.end(), other.entries_.begin(),
+                    other.entries_.end());
+    approximate_bytes_ += other.approximate_bytes_;
+  }
 
  private:
+  static constexpr uint64_t kEntryOverheadBytes = 16;
+
   std::vector<Entry> entries_;
+  uint64_t approximate_bytes_ = 0;
 };
 
 /// Immutable point-in-time view of a store.

@@ -7,6 +7,7 @@
 #include "dgf/dgf_builder.h"
 #include "query/parser.h"
 #include "table/table.h"
+#include "testing/crash_point.h"
 
 namespace dgf::server {
 namespace {
@@ -187,26 +188,62 @@ Result<uint64_t> QueryService::Append(const std::string& table,
   if (entry.dgf == nullptr) {
     return Status::NotSupported("APPEND requires a DGF index on " + table);
   }
+
+  // Group commit. Join the open group, then either ride a leader's flush
+  // (our group publishes while we wait) or become the leader ourselves once
+  // the in-progress flush finishes. While a leader is flushing, every
+  // arriving Append accumulates into the open group, so K concurrent calls
+  // cost one staging table, one slice-file extension, and one atomic
+  // WriteBatch publish per flush — not per call.
+  std::shared_ptr<AppendGroup> group;
+  int batch_id;
   {
     // Appends are admitted even while draining (they are the background
     // load the drain is waiting out queries against), but still count.
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     ++appends_;
     rows_appended_ += rows.size();
-  }
-  // Stage the batch as its own table (the paper's "verified temporary
-  // files"), then reorganize it into the index. Batch directories are
-  // per-table sequential; concurrent appends to one table serialize on the
-  // index mutation lock inside DgfBuilder::Append, and the entry counter is
-  // only read here, so guard it with the same service mutex.
-  int batch_id;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
+    if (entry.open_group == nullptr) {
+      entry.open_group = std::make_shared<AppendGroup>();
+    }
+    group = entry.open_group;
+    group->rows.insert(group->rows.end(), rows.begin(), rows.end());
+    append_cv_.wait(lock, [&] { return group->done || !entry.flushing; });
+    if (group->done) {
+      // A leader flushed our group for us; its publish covered our rows.
+      DGF_RETURN_IF_ERROR(group->status);
+      return static_cast<uint64_t>(rows.size());
+    }
+    // No flush in progress and our group not yet taken: lead it. Closing the
+    // group here (before dropping mu_) means rows arriving during our flush
+    // start the next group instead of mutating the one being written.
+    entry.open_group = nullptr;
+    entry.flushing = true;
     batch_id = entry.append_batches++;
   }
+  Status flushed = FlushAppendGroup(entry, batch_id, group->rows);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    group->done = true;
+    group->status = flushed;
+    entry.flushing = false;
+    ++append_flushes_;
+  }
+  append_cv_.notify_all();
+  DGF_RETURN_IF_ERROR(flushed);
+  return static_cast<uint64_t>(rows.size());
+}
+
+Status QueryService::FlushAppendGroup(TableEntry& entry, int batch_id,
+                                      const std::vector<std::string>& rows) {
+  DGF_CRASH_POINT("dgf.append.group.before_flush");
+  // Stage the group as its own table (the paper's "verified temporary
+  // files"), then reorganize it into the index. Batch directories are
+  // per-table sequential (batch_id was claimed under mu_); the reorganize
+  // serializes on the index mutation lock inside DgfBuilder::Append.
   table::TableDesc batch{
-      table + "_append" + std::to_string(batch_id), entry.desc.schema,
-      table::FileFormat::kText,
+      entry.desc.name + "_append" + std::to_string(batch_id),
+      entry.desc.schema, table::FileFormat::kText,
       entry.desc.dir + "_append" + std::to_string(batch_id)};
   DGF_ASSIGN_OR_RETURN(auto writer,
                        table::TableWriter::Create(options_.dfs, batch));
@@ -218,10 +255,11 @@ Result<uint64_t> QueryService::Append(const std::string& table,
   DGF_RETURN_IF_ERROR(writer->Close());
   exec::JobRunner::Options job;
   job.worker_threads = std::max(1, options_.query_worker_threads);
-  DGF_RETURN_IF_ERROR(
-      core::DgfBuilder::Append(entry.dgf, batch, job, options_.split_size)
-          .status());
-  return static_cast<uint64_t>(rows.size());
+  // One slice file per flush: the whole group extends the index by a single
+  // data-file write, whatever the group's size.
+  job.num_reducers = 1;
+  return core::DgfBuilder::Append(entry.dgf, batch, job, options_.split_size)
+      .status();
 }
 
 std::vector<std::pair<std::string, double>> QueryService::StatsSnapshot()
@@ -240,6 +278,7 @@ std::vector<std::pair<std::string, double>> QueryService::StatsSnapshot()
     out.emplace_back("queries.in_flight", static_cast<double>(in_flight_));
     out.emplace_back("appends.batches", static_cast<double>(appends_));
     out.emplace_back("appends.rows", static_cast<double>(rows_appended_));
+    out.emplace_back("appends.flushes", static_cast<double>(append_flushes_));
     out.emplace_back("cache.hits", static_cast<double>(cache_hits_));
     out.emplace_back("cache.misses", static_cast<double>(cache_misses_));
     const double lookups = static_cast<double>(cache_hits_ + cache_misses_);

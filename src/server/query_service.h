@@ -70,8 +70,14 @@ class QueryService {
   bool CancelQuery(uint64_t request_id);
 
   /// Appends text rows to `table`'s DGF index (the paper's incremental batch
-  /// load): rows are staged as a batch table on the DFS, then reorganized
-  /// into new Slices and merged GFU entries in one atomic publish.
+  /// load) through a group-commit pipeline: concurrent Append calls to one
+  /// table accumulate into an open group while a flush is in progress; when
+  /// the flush finishes, one caller becomes leader of the accumulated group
+  /// and stages all of its rows as a single batch table, reorganized with one
+  /// slice-file extension and published with one atomic KvStore::WriteBatch.
+  /// Readers therefore see whole groups or nothing (PR 3's epoch semantics),
+  /// and K concurrent appenders cost one publish per flush, not per call.
+  /// Returns this call's row count once the group holding it has published.
   Result<uint64_t> Append(const std::string& table,
                           const std::vector<std::string>& rows);
 
@@ -88,16 +94,34 @@ class QueryService {
   query::QueryExecutor* executor() { return executor_.get(); }
 
  private:
+  /// One group-commit unit: the concatenated rows of every Append call that
+  /// joined it, plus the shared flush outcome. Guarded by mu_.
+  struct AppendGroup {
+    std::vector<std::string> rows;
+    bool done = false;
+    Status status;
+  };
+
   struct TableEntry {
     table::TableDesc desc;
     core::DgfIndex* dgf = nullptr;
-    /// Staged append batches so far (names batch staging directories).
+    /// Staged append batches (= flushes) so far; names staging directories.
     int append_batches = 0;
+    /// Group accepting new Append calls; null until the first joiner.
+    /// Invariant: while !flushing, a non-done group equals open_group.
+    std::shared_ptr<AppendGroup> open_group;
+    /// True while a leader is staging + publishing the previous group.
+    bool flushing = false;
   };
 
   void RunQuery(uint64_t request_id, std::string sql,
                 std::shared_ptr<CancelToken> token, QueryDone done);
   Result<query::Query> Parse(const std::string& sql) const;
+  /// Leader side of one group commit: stages `rows` as batch table
+  /// `batch_id`, reorganizes it into the index (one slice file), publishes
+  /// one WriteBatch. Runs outside mu_.
+  Status FlushAppendGroup(TableEntry& entry, int batch_id,
+                          const std::vector<std::string>& rows);
 
   Options options_;
   std::unique_ptr<query::QueryExecutor> executor_;
@@ -106,6 +130,9 @@ class QueryService {
 
   mutable std::mutex mu_;
   std::condition_variable drained_;
+  /// Wakes append waiters when a flush completes (their group published) or
+  /// leadership of the open group becomes available.
+  std::condition_variable append_cv_;
   bool draining_ = false;
   /// Admitted queries not yet completed (queued + running).
   int in_flight_ = 0;
@@ -120,6 +147,8 @@ class QueryService {
   uint64_t failed_ = 0;
   uint64_t appends_ = 0;
   uint64_t rows_appended_ = 0;
+  /// Group-commit flushes (<= appends_; the gap is the batching win).
+  uint64_t append_flushes_ = 0;
   uint64_t cache_hits_ = 0;
   uint64_t cache_misses_ = 0;
   uint64_t records_read_ = 0;

@@ -1,0 +1,486 @@
+#include "testing/builder_crash_sweep.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "dgf/dgf_builder.h"
+#include "dgf/dgf_index.h"
+#include "dgf/dgf_input_format.h"
+#include "kv/lsm_kv.h"
+#include "server/query_service.h"
+#include "table/table.h"
+#include "testing/corruption.h"
+#include "testing/crash_point.h"
+#include "workload/meter_gen.h"
+
+namespace dgf::testing {
+namespace {
+
+/// Crash points the sweep must reach, or the instrumentation has rotted.
+constexpr const char* kRequiredPoints[] = {
+    "dgf.reorg.after_shard",      "dgf.reorg.after_slices",
+    "dgf.build.before_publish",   "dgf.append.before_job",
+    "dgf.append.before_publish",  "dgf.append.group.before_flush",
+};
+
+constexpr const char* kKvDir = "/kv";
+constexpr const char* kDataDir = "/dgf/data";
+
+/// Move-only: ownership of the directory travels with the world object.
+struct DirRemover {
+  std::filesystem::path path;
+  DirRemover() = default;
+  DirRemover(DirRemover&& other) noexcept : path(std::move(other.path)) {
+    other.path.clear();
+  }
+  DirRemover& operator=(DirRemover&& other) noexcept {
+    std::swap(path, other.path);
+    return *this;
+  }
+  DirRemover(const DirRemover&) = delete;
+  DirRemover& operator=(const DirRemover&) = delete;
+  ~DirRemover() {
+    if (path.empty()) return;
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+/// One seeded world: base table, two direct append batches, one
+/// group-commit batch (as text lines), and a post-recovery batch.
+struct CrashWorld {
+  DirRemover remover;
+  std::shared_ptr<fs::MiniDfs> dfs;
+  std::shared_ptr<kv::KvStore> store;
+  workload::MeterConfig base_config;
+  table::TableDesc base;
+  std::vector<table::TableDesc> batches;              // direct appends
+  std::vector<workload::MeterConfig> batch_configs;
+  std::vector<std::string> service_lines;             // group-commit append
+  table::TableDesc recover;
+  workload::MeterConfig recover_config;
+  std::vector<core::DimensionPolicy> dims;
+};
+
+Status CollectLines(const workload::MeterConfig& config,
+                    std::vector<std::string>* out) {
+  return workload::ForEachMeterRow(config, [&](const table::Row& row) {
+    out->push_back(table::FormatRowText(row));
+    return Status::OK();
+  });
+}
+
+Result<std::shared_ptr<kv::KvStore>> OpenStore(
+    const std::shared_ptr<fs::MiniDfs>& dfs) {
+  kv::LsmKv::Options options;
+  options.dfs = dfs;
+  options.dir = kKvDir;
+  options.memtable_flush_bytes = 4096;
+  options.max_runs = 3;
+  DGF_ASSIGN_OR_RETURN(auto store, kv::LsmKv::Open(std::move(options)));
+  return std::shared_ptr<kv::KvStore>(std::move(store));
+}
+
+Result<CrashWorld> MakeWorld(uint64_t seed) {
+  CrashWorld world;
+  Random rng(seed * 0x9E3779B97F4A7C15ULL + 0xB01D);
+
+  workload::MeterConfig& config = world.base_config;
+  config.num_users = 10 + static_cast<int64_t>(rng.Uniform(8));
+  config.num_regions = 2;
+  config.num_days = 2;
+  config.readings_per_day = 1;
+  config.extra_metrics = 0;
+  config.seed = seed ^ 0x5EEDULL;
+
+  static std::atomic<int> counter{0};
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("dgf_buildcrash_" + std::to_string(::getpid()) + "_" +
+       std::to_string(seed) + "_" + std::to_string(counter++));
+  std::filesystem::remove_all(dir);
+  world.remover.path = dir;
+
+  fs::MiniDfs::Options dfs_options;
+  dfs_options.root_dir = dir.string();
+  dfs_options.block_size = 8192;
+  DGF_ASSIGN_OR_RETURN(world.dfs, fs::MiniDfs::Open(dfs_options));
+  DGF_ASSIGN_OR_RETURN(world.store, OpenStore(world.dfs));
+
+  DGF_ASSIGN_OR_RETURN(
+      world.base, workload::GenerateMeterTable(world.dfs, "/w/meter", config,
+                                               table::FileFormat::kText,
+                                               /*max_file_bytes=*/2048));
+  // Every batch extends the time dimension past everything before it.
+  int64_t next_day = config.start_day + config.num_days;
+  for (int b = 0; b < 2; ++b) {
+    workload::MeterConfig batch_config = config;
+    batch_config.start_day = next_day;
+    batch_config.num_days = 1;
+    batch_config.seed = seed ^ (0x10ULL + static_cast<uint64_t>(b));
+    next_day += 1;
+    DGF_ASSIGN_OR_RETURN(
+        table::TableDesc desc,
+        workload::GenerateMeterTable(world.dfs,
+                                     "/w/batch" + std::to_string(b),
+                                     batch_config, table::FileFormat::kText,
+                                     /*max_file_bytes=*/2048));
+    world.batches.push_back(std::move(desc));
+    world.batch_configs.push_back(batch_config);
+  }
+  workload::MeterConfig service_config = config;
+  service_config.start_day = next_day;
+  service_config.num_days = 1;
+  service_config.seed = seed ^ 0x5E21ULL;
+  next_day += 1;
+  DGF_RETURN_IF_ERROR(CollectLines(service_config, &world.service_lines));
+
+  world.recover_config = config;
+  world.recover_config.start_day = next_day;
+  world.recover_config.num_days = 1;
+  world.recover_config.seed = seed ^ 0x4ECULL;
+  DGF_ASSIGN_OR_RETURN(
+      world.recover,
+      workload::GenerateMeterTable(world.dfs, "/w/recover",
+                                   world.recover_config,
+                                   table::FileFormat::kText,
+                                   /*max_file_bytes=*/2048));
+
+  world.dims = {
+      {"userId", table::DataType::kInt64, 0, 4},
+      {"regionId", table::DataType::kInt64, 0, 1},
+      {"time", table::DataType::kDate,
+       static_cast<double>(config.start_day), 1},
+  };
+  return world;
+}
+
+core::DgfBuilder::Options BuildOptions(const CrashWorld& world) {
+  core::DgfBuilder::Options options;
+  options.dims = world.dims;
+  options.precompute = {"sum(powerConsumed)", "count(*)"};
+  options.data_dir = kDataDir;
+  options.job.num_reducers = 2;
+  options.job.worker_threads = 1;
+  options.split_size = 4096;
+  options.build_threads = 1;  // crash points are single-threaded by design
+  return options;
+}
+
+exec::JobRunner::Options AppendJob() {
+  exec::JobRunner::Options job;
+  job.num_reducers = 2;
+  job.worker_threads = 1;
+  return job;
+}
+
+struct WorkloadOutcome {
+  bool built = false;
+  int appends_acked = 0;
+  bool service_acked = false;
+  /// The armed boundary fired (the op that died saw the injected error).
+  bool crashed = false;
+  /// A non-injected failure (a real bug surfacing as an error return).
+  Status error;
+};
+
+/// The seeded workload: Build, two direct Appends, one QueryService
+/// group-commit append. Stops at the first error; the index handle is
+/// dropped on return (the sweep then discards the store too — "the process
+/// died").
+WorkloadOutcome RunBuildWorkload(CrashWorld& world) {
+  WorkloadOutcome out;
+  auto classify = [&](const Status& status) {
+    if (CrashPoints::IsInjectedCrash(status)) {
+      out.crashed = true;
+    } else {
+      out.error = status;
+    }
+  };
+  auto built =
+      core::DgfBuilder::Build(world.dfs, world.store, world.base,
+                              BuildOptions(world));
+  if (!built.ok()) {
+    classify(built.status());
+    return out;
+  }
+  out.built = true;
+  std::unique_ptr<core::DgfIndex> index = std::move(*built);
+  for (const table::TableDesc& batch : world.batches) {
+    auto appended = core::DgfBuilder::Append(index.get(), batch, AppendJob(),
+                                             /*split_size=*/4096,
+                                             /*build_threads=*/1);
+    if (!appended.ok()) {
+      classify(appended.status());
+      return out;
+    }
+    ++out.appends_acked;
+  }
+  {
+    server::QueryService::Options service_options;
+    service_options.dfs = world.dfs;
+    service_options.max_concurrent = 1;
+    service_options.query_worker_threads = 1;
+    service_options.split_size = 4096;
+    server::QueryService service(std::move(service_options));
+    service.RegisterTable(world.base);
+    service.RegisterDgfIndex(world.base.name, index.get());
+    auto appended = service.Append(world.base.name, world.service_lines);
+    if (!appended.ok()) {
+      classify(appended.status());
+      return out;
+    }
+    out.service_acked = true;
+  }
+  return out;
+}
+
+Result<std::map<std::string, std::string>> DumpStore(kv::KvStore* store) {
+  std::map<std::string, std::string> out;
+  auto it = store->NewIterator();
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    out.emplace(std::string(it->key()), std::string(it->value()));
+  }
+  return out;
+}
+
+/// Every row reachable from the published index, via full slice scans.
+Result<std::vector<std::string>> ScanIndexRows(
+    const std::shared_ptr<fs::MiniDfs>& dfs, kv::KvStore* store,
+    const table::Schema& schema, uint64_t* record_total) {
+  *record_total = 0;
+  std::vector<std::string> rows;
+  DGF_ASSIGN_OR_RETURN(auto dump, DumpStore(store));
+  for (const auto& [key, value] : dump) {
+    if (key.empty() || key.front() != core::kGfuKeyPrefix) continue;
+    DGF_ASSIGN_OR_RETURN(core::GfuValue gfu, core::GfuValue::Decode(value));
+    *record_total += gfu.record_count;
+    for (const core::SliceLocation& slice : gfu.slices) {
+      DGF_ASSIGN_OR_RETURN(auto reader,
+                           core::OpenSliceReader(dfs, slice, schema));
+      table::Row row;
+      for (;;) {
+        DGF_ASSIGN_OR_RETURN(bool more, reader->Next(&row));
+        if (!more) break;
+        rows.push_back(table::FormatRowText(row));
+      }
+    }
+  }
+  return rows;
+}
+
+Status CompareRows(std::vector<std::string> got,
+                   std::vector<std::string> want, const std::string& what) {
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  if (got == want) return Status::OK();
+  if (got.size() != want.size()) {
+    return Status::Corruption(what + ": " + std::to_string(got.size()) +
+                              " rows recovered, oracle has " +
+                              std::to_string(want.size()));
+  }
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (got[i] != want[i]) {
+      return Status::Corruption(what + ": row differs: '" + got[i] +
+                                "' vs oracle '" + want[i] + "'");
+    }
+  }
+  return Status::Corruption(what + ": rows differ");
+}
+
+/// The acknowledged-prefix oracle: what a re-opened store must contain.
+Status VerifyRecovered(CrashWorld& world, const WorkloadOutcome& outcome) {
+  // Simulate the process dying: drop every in-memory handle, then recover
+  // from disk alone.
+  world.store.reset();
+  DGF_ASSIGN_OR_RETURN(world.store, OpenStore(world.dfs));
+
+  std::vector<std::string> expected;
+  DGF_RETURN_IF_ERROR(CollectLines(world.base_config, &expected));
+
+  if (!outcome.built) {
+    // An interrupted build must publish nothing at all.
+    DGF_ASSIGN_OR_RETURN(auto dump, DumpStore(world.store.get()));
+    if (!dump.empty()) {
+      return Status::Corruption("unpublished build left " +
+                                std::to_string(dump.size()) +
+                                " keys in the store");
+    }
+    // Recovery liveness: a retry over the crashed state (same store, same
+    // data_dir holding the dead attempt's orphan slice files) must succeed.
+    DGF_ASSIGN_OR_RETURN(auto index,
+                         core::DgfBuilder::Build(world.dfs, world.store,
+                                                 world.base,
+                                                 BuildOptions(world)));
+    uint64_t record_total = 0;
+    DGF_ASSIGN_OR_RETURN(auto rows,
+                         ScanIndexRows(world.dfs, world.store.get(),
+                                       world.base.schema, &record_total));
+    DGF_RETURN_IF_ERROR(CompareRows(rows, expected, "rebuilt index"));
+    if (record_total != expected.size()) {
+      return Status::Corruption("rebuilt record_count mismatch");
+    }
+    return Status::OK();
+  }
+
+  for (int b = 0; b < outcome.appends_acked; ++b) {
+    DGF_RETURN_IF_ERROR(
+        CollectLines(world.batch_configs[static_cast<size_t>(b)], &expected));
+  }
+  if (outcome.service_acked) {
+    expected.insert(expected.end(), world.service_lines.begin(),
+                    world.service_lines.end());
+  }
+
+  uint64_t record_total = 0;
+  DGF_ASSIGN_OR_RETURN(auto rows,
+                       ScanIndexRows(world.dfs, world.store.get(),
+                                     world.base.schema, &record_total));
+  DGF_RETURN_IF_ERROR(CompareRows(rows, expected, "recovered index"));
+  if (record_total != expected.size()) {
+    return Status::Corruption("recovered record_count " +
+                              std::to_string(record_total) + " != oracle " +
+                              std::to_string(expected.size()));
+  }
+  // The batch counter must reflect exactly the acknowledged publishes:
+  // Build publishes "1", every acknowledged append bumps it by one, and the
+  // crashed append must not have.
+  const int publishes =
+      outcome.appends_acked + (outcome.service_acked ? 1 : 0);
+  auto batch_key = world.store->Get(core::kMetaBatchKey);
+  if (!batch_key.ok() || *batch_key != std::to_string(1 + publishes)) {
+    return Status::Corruption(
+        "batch counter " + (batch_key.ok() ? *batch_key : "absent") +
+        " != expected " + std::to_string(1 + publishes));
+  }
+
+  // Recovery liveness: a fresh append over the crashed state (reclaiming any
+  // orphan slice files of the dead attempt) must succeed and be exact.
+  DGF_ASSIGN_OR_RETURN(auto index,
+                       core::DgfIndex::Open(world.dfs, world.store,
+                                            world.base.schema));
+  DGF_RETURN_IF_ERROR(core::DgfBuilder::Append(index.get(), world.recover,
+                                               AppendJob(), /*split_size=*/4096,
+                                               /*build_threads=*/1)
+                          .status());
+  DGF_RETURN_IF_ERROR(CollectLines(world.recover_config, &expected));
+  DGF_ASSIGN_OR_RETURN(rows, ScanIndexRows(world.dfs, world.store.get(),
+                                           world.base.schema, &record_total));
+  DGF_RETURN_IF_ERROR(CompareRows(rows, expected, "post-recovery append"));
+  return Status::OK();
+}
+
+/// Post-crash truncation: shorten an orphan slice file of the dead build
+/// attempt and require that (a) nothing was published and (b) the retry
+/// still succeeds — a truncated in-progress build never publishes.
+Status RunTruncationSchedule(uint64_t seed) {
+  DGF_ASSIGN_OR_RETURN(CrashWorld world, MakeWorld(seed));
+  CrashPoints::Arm("dgf.build.before_publish", 1);
+  WorkloadOutcome outcome = RunBuildWorkload(world);
+  const bool fired = CrashPoints::Fired();
+  CrashPoints::Disarm();
+  if (!outcome.error.ok()) return outcome.error;
+  if (!fired || outcome.built) {
+    return Status::Corruption("dgf.build.before_publish did not fire");
+  }
+  // The dead attempt's slice files are on the DFS; mangle one.
+  const auto orphans = world.dfs->ListFiles(std::string(kDataDir) + "/");
+  if (orphans.empty()) {
+    return Status::Corruption("crashed build left no slice files to truncate");
+  }
+  const fs::FileStatus& victim = orphans.front();
+  DGF_RETURN_IF_ERROR(
+      TruncateFile(world.dfs, victim.path, victim.length / 2));
+  return VerifyRecovered(world, outcome);
+}
+
+}  // namespace
+
+Result<BuilderCrashSweepReport> RunBuilderCrashSweep(
+    const BuilderCrashSweepOptions& options) {
+  BuilderCrashSweepReport report;
+
+  // Recording pass: enumerate every dgf.* boundary the workload crosses.
+  std::vector<std::pair<std::string, int>> recorded;
+  {
+    DGF_ASSIGN_OR_RETURN(CrashWorld world, MakeWorld(options.seed));
+    CrashPoints::StartRecording();
+    WorkloadOutcome outcome = RunBuildWorkload(world);
+    recorded = CrashPoints::StopRecording();
+    if (!outcome.error.ok()) return outcome.error;
+    if (outcome.crashed) {
+      return Status::Corruption("recording pass saw an injected crash");
+    }
+  }
+  std::vector<std::pair<std::string, int>> points;
+  for (auto& [point, hits] : recorded) {
+    if (point.rfind("dgf.", 0) == 0) points.emplace_back(point, hits);
+  }
+  report.points_covered = static_cast<int>(points.size());
+  for (const char* required : kRequiredPoints) {
+    bool found = false;
+    for (const auto& [point, hits] : points) found |= point == required;
+    if (!found) {
+      report.failures.push_back(
+          "seed=" + std::to_string(options.seed) +
+          ": workload never reached required crash point " + required);
+    }
+  }
+
+  for (const auto& [point, hits] : points) {
+    const int occurrences =
+        std::min(hits, options.max_occurrences_per_point);
+    for (int occurrence = 1; occurrence <= occurrences; ++occurrence) {
+      DGF_ASSIGN_OR_RETURN(CrashWorld world, MakeWorld(options.seed));
+      CrashPoints::Arm(point, occurrence);
+      WorkloadOutcome outcome = RunBuildWorkload(world);
+      const bool fired = CrashPoints::Fired();
+      CrashPoints::Disarm();
+      ++report.schedules_run;
+      const std::string context = "seed=" + std::to_string(options.seed) +
+                                  " point=" + point + " occurrence=" +
+                                  std::to_string(occurrence);
+      if (!outcome.error.ok()) {
+        report.failures.push_back(context + ": workload error: " +
+                                  outcome.error.ToString());
+        continue;
+      }
+      if (!fired || !outcome.crashed) {
+        report.failures.push_back(context + ": armed point did not fire");
+        continue;
+      }
+      if (options.verbose) {
+        std::fprintf(stderr, "[builder-crash] %s built=%d appends=%d\n",
+                     context.c_str(), outcome.built ? 1 : 0,
+                     outcome.appends_acked);
+      }
+      Status verified = VerifyRecovered(world, outcome);
+      if (!verified.ok()) {
+        report.failures.push_back(context + ": " + verified.ToString());
+      }
+    }
+  }
+
+  {
+    Status truncation = RunTruncationSchedule(options.seed);
+    ++report.schedules_run;
+    if (!truncation.ok()) {
+      report.failures.push_back("seed=" + std::to_string(options.seed) +
+                                " truncation schedule: " +
+                                truncation.ToString());
+    }
+  }
+  return report;
+}
+
+}  // namespace dgf::testing

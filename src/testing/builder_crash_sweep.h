@@ -1,0 +1,62 @@
+#ifndef DGF_TESTING_BUILDER_CRASH_SWEEP_H_
+#define DGF_TESTING_BUILDER_CRASH_SWEEP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dgf::testing {
+
+/// Crash-consistency sweep over the DGFIndex build & append pipeline.
+///
+/// A recording pass runs a seeded workload once — Build, two direct
+/// DgfBuilder::Appends, one QueryService group-commit append — and
+/// enumerates every `dgf.*` crash boundary it crosses (shard merge, slice
+/// writing, the publish points, the group-commit flush). The sweep then
+/// replays the workload once per (point, occurrence) with that boundary
+/// armed: the op dies there, all in-memory state (index handle, KV store)
+/// is discarded, and the store is re-opened from disk. The recovered index
+/// must be exactly the acknowledged prefix:
+///
+///   * an interrupted Build publishes nothing — the store re-opens empty
+///     (slice files already on the DFS are unreferenced orphans);
+///   * an interrupted Append leaves the index at the acknowledged batch
+///     prefix — full slice scans return exactly the rows of the base table
+///     plus every acknowledged batch, never a torn batch;
+///   * the batch counter matches the acknowledged publishes;
+///   * recovery is live: a retry (re-Build, or a fresh Append) over the
+///     crashed state succeeds — orphan slice files of the dead attempt are
+///     reclaimed — and yields the correct rows.
+///
+/// One extra schedule truncates an orphan slice file (testing/corruption.h)
+/// after a pre-publish build crash, asserting a truncated in-progress build
+/// never publishes and does not poison the retry.
+///
+/// Single-threaded by design (crash points are not thread-safe); the
+/// parallel pipeline's determinism is covered by RunBuildEquivalenceSweep.
+struct BuilderCrashSweepOptions {
+  uint64_t seed = 1;
+  /// Cap per crash point so pathological schedules stay bounded.
+  int max_occurrences_per_point = 8;
+  bool verbose = false;
+};
+
+struct BuilderCrashSweepReport {
+  /// Distinct dgf.* crash points the recording pass reached.
+  int points_covered = 0;
+  /// (point, occurrence) schedules replayed (plus the truncation schedule).
+  int schedules_run = 0;
+  /// Human-readable failures, each with a seed repro.
+  std::vector<std::string> failures;
+
+  bool ok() const { return failures.empty(); }
+};
+
+Result<BuilderCrashSweepReport> RunBuilderCrashSweep(
+    const BuilderCrashSweepOptions& options);
+
+}  // namespace dgf::testing
+
+#endif  // DGF_TESTING_BUILDER_CRASH_SWEEP_H_

@@ -16,6 +16,11 @@
 //   dgf_difftest --crash-sweep --seed=N  LSM crash-consistency sweep only
 //   dgf_difftest --fault-sweep --seed=N  read-fault schedule sweep only
 //   dgf_difftest --parser-fuzz --seed=N [--case=K]  parser fuzz only
+//   dgf_difftest --build-sweep --seed=N [--count=K]  build-equivalence sweep:
+//                                        serial vs 2/4/8-thread builds must
+//                                        be byte-identical and match the data
+//   dgf_difftest --builder-crash-sweep --seed=N  kill-and-reopen sweep over
+//                                        the build/append/group-commit path
 //   dgf_difftest --duration=SECONDS      open-ended soak over rolling seeds
 
 #include <chrono>
@@ -25,12 +30,18 @@
 #include <string>
 #include <vector>
 
+#include "testing/build_equivalence.h"
+#include "testing/builder_crash_sweep.h"
 #include "testing/differential.h"
 #include "testing/lsm_crash_sweep.h"
 #include "testing/parser_fuzz.h"
 
 namespace {
 
+using dgf::testing::BuilderCrashSweepOptions;
+using dgf::testing::BuilderCrashSweepReport;
+using dgf::testing::BuildSweepOptions;
+using dgf::testing::BuildSweepReport;
 using dgf::testing::CrashSweepOptions;
 using dgf::testing::CrashSweepReport;
 using dgf::testing::DiffOptions;
@@ -50,6 +61,9 @@ struct Flags {
   bool crash_sweep = false;
   bool fault_sweep = false;
   bool parser_fuzz = false;
+  bool build_sweep = false;
+  bool builder_crash_sweep = false;
+  int count = 20;
   bool no_shrink = false;
   bool verbose = false;
 };
@@ -72,7 +86,9 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seeds=tier1] [--seed=N] [--queries=N] "
                "[--case=K] [--threads=K] [--duration=SECONDS] [--crash-sweep] "
-               "[--fault-sweep] [--parser-fuzz] [--no-shrink] [--verbose]\n",
+               "[--fault-sweep] [--parser-fuzz] [--build-sweep] "
+               "[--builder-crash-sweep] [--count=N] [--no-shrink] "
+               "[--verbose]\n",
                argv0);
   return 2;
 }
@@ -149,6 +165,45 @@ bool RunFaults(const FaultSweepOptions& options) {
   return report->ok();
 }
 
+bool RunBuildSweep(const BuildSweepOptions& options) {
+  auto report = dgf::testing::RunBuildEquivalenceSweep(options);
+  if (!report.ok()) {
+    Stage("build-sweep", false,
+          "seed=" + std::to_string(options.seed) +
+              " harness error: " + report.status().ToString());
+    return false;
+  }
+  Stage("build-sweep", report->ok(),
+        "seed=" + std::to_string(options.seed) + " seeds=" +
+            std::to_string(report->seeds_run) + " builds=" +
+            std::to_string(report->builds) + " comparisons=" +
+            std::to_string(report->comparisons) + " failures=" +
+            std::to_string(report->failures.size()));
+  for (const auto& failure : report->failures) {
+    std::printf("BUILD-SWEEP FAILURE: %s\n", failure.c_str());
+  }
+  return report->ok();
+}
+
+bool RunBuilderCrash(const BuilderCrashSweepOptions& options) {
+  auto report = dgf::testing::RunBuilderCrashSweep(options);
+  if (!report.ok()) {
+    Stage("builder-crash", false,
+          "seed=" + std::to_string(options.seed) +
+              " harness error: " + report.status().ToString());
+    return false;
+  }
+  Stage("builder-crash", report->ok(),
+        "seed=" + std::to_string(options.seed) + " points=" +
+            std::to_string(report->points_covered) + " schedules=" +
+            std::to_string(report->schedules_run) + " failures=" +
+            std::to_string(report->failures.size()));
+  for (const auto& failure : report->failures) {
+    std::printf("BUILDER-CRASH FAILURE: %s\n", failure.c_str());
+  }
+  return report->ok();
+}
+
 bool RunFuzz(const ParserFuzzOptions& options) {
   auto report = dgf::testing::RunParserFuzz(options);
   if (!report.ok()) {
@@ -190,8 +245,14 @@ int main(int argc, char** argv) {
       flags.threads = std::atoi(value);
     } else if (ParseFlag(argv[i], "--duration", &value) && value != nullptr) {
       flags.duration = std::atof(value);
+    } else if (ParseFlag(argv[i], "--count", &value) && value != nullptr) {
+      flags.count = std::atoi(value);
     } else if (ParseFlag(argv[i], "--crash-sweep", &value)) {
       flags.crash_sweep = true;
+    } else if (ParseFlag(argv[i], "--build-sweep", &value)) {
+      flags.build_sweep = true;
+    } else if (ParseFlag(argv[i], "--builder-crash-sweep", &value)) {
+      flags.builder_crash_sweep = true;
     } else if (ParseFlag(argv[i], "--fault-sweep", &value)) {
       flags.fault_sweep = true;
     } else if (ParseFlag(argv[i], "--parser-fuzz", &value)) {
@@ -222,6 +283,10 @@ int main(int argc, char** argv) {
         .seed = 11, .num_queries = 30, .verbose = flags.verbose});
     RunFuzz(ParserFuzzOptions{
         .seed = 13, .num_cases = 400, .verbose = flags.verbose});
+    RunBuildSweep(
+        BuildSweepOptions{.seed = 17, .count = 2, .verbose = flags.verbose});
+    RunBuilderCrash(
+        BuilderCrashSweepOptions{.seed = 19, .verbose = flags.verbose});
     return failures_total == 0 ? 0 : 1;
   }
 
@@ -245,6 +310,10 @@ int main(int argc, char** argv) {
           .seed = seed, .num_queries = 30, .verbose = flags.verbose});
       RunFuzz(ParserFuzzOptions{
           .seed = seed, .num_cases = 400, .verbose = flags.verbose});
+      RunBuildSweep(
+          BuildSweepOptions{.seed = seed, .count = 1, .verbose = flags.verbose});
+      RunBuilderCrash(
+          BuilderCrashSweepOptions{.seed = seed, .verbose = flags.verbose});
       ++seed;
     }
     std::printf("soak finished: seeds %llu..%llu, failures=%d\n",
@@ -253,10 +322,20 @@ int main(int argc, char** argv) {
     return failures_total == 0 ? 0 : 1;
   }
 
-  const bool any_component =
-      flags.crash_sweep || flags.fault_sweep || flags.parser_fuzz;
+  const bool any_component = flags.crash_sweep || flags.fault_sweep ||
+                             flags.parser_fuzz || flags.build_sweep ||
+                             flags.builder_crash_sweep;
   if (flags.crash_sweep) {
     RunCrash(CrashSweepOptions{.seed = flags.seed, .verbose = flags.verbose});
+  }
+  if (flags.build_sweep) {
+    RunBuildSweep(BuildSweepOptions{.seed = flags.seed,
+                                    .count = flags.count,
+                                    .verbose = flags.verbose});
+  }
+  if (flags.builder_crash_sweep) {
+    RunBuilderCrash(BuilderCrashSweepOptions{.seed = flags.seed,
+                                             .verbose = flags.verbose});
   }
   if (flags.fault_sweep) {
     RunFaults(FaultSweepOptions{

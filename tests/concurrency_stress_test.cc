@@ -17,6 +17,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -30,6 +31,7 @@
 #include "dgf/slice_optimizer.h"
 #include "kv/lsm_kv.h"
 #include "query/predicate.h"
+#include "server/query_service.h"
 #include "table/table.h"
 #include "tests/test_util.h"
 
@@ -382,6 +384,172 @@ TEST(DgfConcurrencyStressTest, PinnedSnapshotImmuneToMidQueryAppend) {
         << "agg=" << aggregation << " count=" << got->count
         << " want=" << after.count;
   }
+}
+
+// Group-commit append pipeline under contention: K threads append through
+// QueryService::Append while readers pin snapshots mid-flight. Every append
+// call tags its rows with a unique `time` value, so atomicity is directly
+// observable: a pinned read must see each call's rows either completely or
+// not at all (a torn group shows up as a partial tag count), and the final
+// state must hold every call exactly once on top of an intact base table.
+TEST(DgfConcurrencyStressTest, GroupCommitAppendsAtomicUnderConcurrency) {
+  constexpr int kAppenders = 4;
+  constexpr int kCallsPerAppender = 4;
+  constexpr int kCalls = kAppenders * kCallsPerAppender;
+  constexpr int64_t kTagBase = 15100;  // outside the base table's time range
+
+  ScopedDfs dfs("dgf_group_commit");
+  auto built = BuildStressWorld(dfs);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  StressWorld& world = *built;
+  const Schema schema = MeterSchema();
+
+  server::QueryService::Options service_options;
+  service_options.dfs = dfs.get();
+  service_options.max_concurrent = 2;
+  service_options.query_worker_threads = 1;
+  service_options.split_size = 4096;
+  server::QueryService service(std::move(service_options));
+  TableDesc base{"meter", schema, table::FileFormat::kText,
+                 "/warehouse/meter"};
+  service.RegisterTable(base);
+  service.RegisterDgfIndex("meter", world.index.get());
+
+  // Call c appends kRowsPerCall[c] rows, all tagged time = kTagBase + c.
+  std::vector<std::vector<std::string>> call_lines(kCalls);
+  std::vector<uint64_t> call_rows(kCalls);
+  {
+    Random rng(4242);
+    for (int c = 0; c < kCalls; ++c) {
+      const int n = 4 + static_cast<int>(rng.Uniform(5));
+      call_rows[static_cast<size_t>(c)] = static_cast<uint64_t>(n);
+      for (int i = 0; i < n; ++i) {
+        table::Row row = {Value::Int64(rng.UniformRange(0, 999)),
+                          Value::Int64(rng.UniformRange(1, 5)),
+                          Value::Date(kTagBase + c),
+                          Value::Double(rng.UniformDouble(0.0, 50.0))};
+        call_lines[static_cast<size_t>(c)].push_back(
+            table::FormatRowText(row));
+      }
+    }
+  }
+
+  // Scans every appended tag's rows out of one pinned snapshot.
+  const auto scan_tags = [&](const DgfIndex::Snapshot& snap)
+      -> Result<std::map<int64_t, uint64_t>> {
+    const query::Predicate pred =
+        MeterPredicate(0, 1000, 1, 6, kTagBase, kTagBase + kCalls);
+    DGF_ASSIGN_OR_RETURN(DgfIndex::LookupResult lookup,
+                         world.index->Lookup(snap, pred, false));
+    DGF_ASSIGN_OR_RETURN(auto bound, pred.Bind(schema));
+    DGF_ASSIGN_OR_RETURN(
+        auto planned, PlanSlicedSplits(world.index->dfs(), lookup.slices, 4096));
+    std::map<int64_t, uint64_t> counts;
+    table::Row row;
+    for (const auto& sliced : planned) {
+      DGF_ASSIGN_OR_RETURN(
+          auto reader, SliceRecordReader::Open(world.index->dfs(), sliced,
+                                               schema));
+      for (;;) {
+        DGF_ASSIGN_OR_RETURN(bool more, reader->Next(&row));
+        if (!more) break;
+        if (bound.Matches(row)) ++counts[row[2].int64()];
+      }
+    }
+    return counts;
+  };
+
+  std::atomic<bool> writers_done{false};
+  std::mutex failures_mu;
+  std::vector<std::string> failures;
+  const auto record_failure = [&](std::string message) {
+    std::lock_guard<std::mutex> lock(failures_mu);
+    failures.push_back(std::move(message));
+  };
+
+  std::vector<std::thread> threads;
+  for (int a = 0; a < kAppenders; ++a) {
+    threads.emplace_back([&, a] {
+      for (int i = 0; i < kCallsPerAppender; ++i) {
+        const int c = a * kCallsPerAppender + i;
+        auto appended =
+            service.Append("meter", call_lines[static_cast<size_t>(c)]);
+        if (!appended.ok()) {
+          record_failure("Append call " + std::to_string(c) +
+                         " failed: " + appended.status().ToString());
+          return;
+        }
+        if (*appended != call_rows[static_cast<size_t>(c)]) {
+          record_failure("Append call " + std::to_string(c) +
+                         " acked wrong row count");
+        }
+      }
+    });
+  }
+  constexpr int kReaders = 2;
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&] {
+      while (!writers_done.load(std::memory_order_acquire)) {
+        auto snap = world.index->Pin();
+        if (!snap.ok()) {
+          record_failure("Pin failed: " + snap.status().ToString());
+          return;
+        }
+        auto tags = scan_tags(*snap);
+        if (!tags.ok()) {
+          record_failure("tag scan failed: " + tags.status().ToString());
+          return;
+        }
+        for (const auto& [tag, count] : *tags) {
+          const auto c = static_cast<size_t>(tag - kTagBase);
+          if (c >= call_rows.size() || count != call_rows[c]) {
+            record_failure("torn group: tag " + std::to_string(tag) +
+                           " shows " + std::to_string(count) + " of " +
+                           std::to_string(c < call_rows.size() ? call_rows[c]
+                                                               : 0) +
+                           " rows");
+          }
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+  for (size_t a = 0; a < static_cast<size_t>(kAppenders); ++a) {
+    threads[a].join();
+  }
+  writers_done.store(true, std::memory_order_release);
+  for (size_t t = kAppenders; t < threads.size(); ++t) threads[t].join();
+  for (const std::string& failure : failures) ADD_FAILURE() << failure;
+
+  // Final state: every call's rows exactly once...
+  ASSERT_OK_AND_ASSIGN(DgfIndex::Snapshot snap, world.index->Pin());
+  ASSERT_OK_AND_ASSIGN(auto tags, scan_tags(snap));
+  ASSERT_EQ(tags.size(), static_cast<size_t>(kCalls));
+  for (int c = 0; c < kCalls; ++c) {
+    EXPECT_EQ(tags[kTagBase + c], call_rows[static_cast<size_t>(c)])
+        << "call " << c;
+  }
+  // ...on top of an intact base table, through both query paths.
+  const query::Predicate base_pred =
+      MeterPredicate(0, 1000, 1, 6, 15000, 15010);
+  const Answer base_answer = BruteForce(world.prefix_rows[1], base_pred,
+                                        schema);
+  for (const bool aggregation : {true, false}) {
+    auto got =
+        EvaluatePinned(*world.index, snap, base_pred, aggregation, schema);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_TRUE(AnswersMatch(*got, base_answer)) << "agg=" << aggregation;
+  }
+  // The pipeline actually grouped: all calls published, in no more flushes
+  // than calls (fewer whenever concurrent callers rode one leader's flush).
+  uint64_t flushes = 0, batches = 0;
+  for (const auto& [name, value] : service.StatsSnapshot()) {
+    if (name == "appends.flushes") flushes = static_cast<uint64_t>(value);
+    if (name == "appends.batches") batches = static_cast<uint64_t>(value);
+  }
+  EXPECT_EQ(batches, static_cast<uint64_t>(kCalls));
+  EXPECT_GE(flushes, 1u);
+  EXPECT_LE(flushes, batches);
 }
 
 }  // namespace
