@@ -122,9 +122,11 @@ void RunGroupCommitAppend(const MeterBench::Options& world_options) {
   service.RegisterTable(bench.meter());
   service.RegisterDgfIndex(bench.meter().name, index);
 
+  const unsigned host_cpus = std::max(1u, std::thread::hardware_concurrency());
   TablePrinter table(
       "Figure 3b: indexed ingest, group-commit append pipeline",
-      {"clients", "rows", "seconds", "rows/s", "MB/s", "calls", "flushes"});
+      {"clients", "rows", "seconds", "rows/s", "MB/s", "calls", "flushes",
+       "coalesce", "staging s", "reorg s"});
 
   // Each axis step ingests one fresh day of readings (distinct time range,
   // same volume) split into per-client call batches.
@@ -133,6 +135,7 @@ void RunGroupCommitAppend(const MeterBench::Options& world_options) {
   append_config.start_day =
       bench.config().start_day + bench.config().num_days;
   uint64_t last_flushes = 0, last_calls = 0;
+  double last_staging_s = 0, last_reorg_s = 0;
   for (const int clients : client_axis) {
     std::vector<std::string> lines;
     CheckOk(workload::ForEachMeterRow(append_config,
@@ -176,28 +179,46 @@ void RunGroupCommitAppend(const MeterBench::Options& world_options) {
                           : Status::OK(),
             "group-commit append");
     uint64_t flushes = 0, total_calls = 0;
+    double staging_s = 0, reorg_s = 0;
     for (const auto& [name, value] : service.StatsSnapshot()) {
       if (name == "appends.flushes") flushes = static_cast<uint64_t>(value);
       if (name == "appends.batches") total_calls = static_cast<uint64_t>(value);
+      if (name == "appends.staging_s") staging_s = value;
+      if (name == "appends.reorg_s") reorg_s = value;
     }
+    const uint64_t step_calls = total_calls - last_calls;
+    const uint64_t step_flushes = flushes - last_flushes;
+    const double step_staging = staging_s - last_staging_s;
+    const double step_reorg = reorg_s - last_reorg_s;
+    // Calls absorbed per flush: 1.0 means no batching; K clients ideally
+    // approach K as every in-flight call coalesces into the open group.
+    const double coalesce =
+        static_cast<double>(step_calls) /
+        static_cast<double>(std::max<uint64_t>(1, step_flushes));
     const double rows_per_s = static_cast<double>(lines.size()) / seconds;
     table.AddRow({StringPrintf("%d", clients), Count(lines.size()),
                   Seconds(seconds), Count(static_cast<uint64_t>(rows_per_s)),
                   Seconds(static_cast<double>(payload) / 1e6 / seconds),
-                  Count(total_calls - last_calls),
-                  Count(flushes - last_flushes)});
+                  Count(step_calls), Count(step_flushes),
+                  StringPrintf("%.2fx", coalesce), Seconds(step_staging),
+                  Seconds(step_reorg)});
     AppendBenchJson(
         "DGF_BENCH_BUILD_JSON", "BENCH_build.json",
         StringPrintf("{\"bench\": \"fig03_group_commit_append\", "
                      "\"clients\": %d, \"rows\": %zu, \"wall_s\": %.6f, "
                      "\"rows_per_s\": %.0f, \"mb_per_s\": %.3f, "
-                     "\"calls\": %llu, \"flushes\": %llu}",
+                     "\"calls\": %llu, \"flushes\": %llu, "
+                     "\"coalesce\": %.3f, \"host_cpus\": %u, \"stages\": "
+                     "{\"staging\": %.6f, \"reorg\": %.6f}}",
                      clients, lines.size(), seconds, rows_per_s,
                      static_cast<double>(payload) / 1e6 / seconds,
-                     static_cast<unsigned long long>(total_calls - last_calls),
-                     static_cast<unsigned long long>(flushes - last_flushes)));
+                     static_cast<unsigned long long>(step_calls),
+                     static_cast<unsigned long long>(step_flushes), coalesce,
+                     host_cpus, step_staging, step_reorg));
     last_flushes = flushes;
     last_calls = total_calls;
+    last_staging_s = staging_s;
+    last_reorg_s = reorg_s;
   }
   table.Print();
   std::printf(

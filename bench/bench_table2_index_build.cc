@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <thread>
 
 #include "bench/bench_util.h"
 #include "common/stopwatch.h"
@@ -76,16 +77,20 @@ void Run() {
 /// "wall s" is the measured end-to-end build on this machine; "projected s"
 /// replays the serial run's per-task seconds through the makespan simulator
 /// with N slots — the honest multi-core projection when the host has fewer
-/// cores than the thread axis. Results also land in BENCH_build.json
-/// (DGF_BENCH_BUILD_JSON) for trajectory tracking.
+/// cores than the thread axis. Each run also reports the per-stage wall
+/// breakdown (shard / merge / slice_write / bounds / publish) so the serial
+/// fraction bounding the speedup is visible. Results also land in
+/// BENCH_build.json (DGF_BENCH_BUILD_JSON) for trajectory tracking.
 void RunParallelBuild(MeterBench& bench) {
   const std::vector<int> thread_axis =
       EnvIntList("DGF_BENCH_BUILD_THREADS", "1,2,4,8");
   const auto rows = static_cast<double>(bench.config().TotalRows());
+  const unsigned host_cpus = std::max(1u, std::thread::hardware_concurrency());
 
   TablePrinter table("Table 2b: parallel DGF-Large build (--build-threads)",
                      {"build threads", "wall s", "rows/s", "wall speedup",
                       "projected s", "projected speedup"});
+  std::vector<std::string> stage_lines;
   std::vector<double> serial_tasks;
   double serial_wall = 0, serial_projected = 0;
   int variant = 0;
@@ -128,16 +133,28 @@ void RunParallelBuild(MeterBench& bench) {
                   StringPrintf("%.2fx", serial_wall / wall),
                   Seconds(projected),
                   StringPrintf("%.2fx", serial_projected / projected)});
+    std::string stage_line = StringPrintf("  threads=%d:", threads);
+    for (const auto& [stage, seconds] : result.stage_seconds.Sorted()) {
+      stage_line += StringPrintf(" %s=%.3fs", stage.c_str(), seconds);
+    }
+    stage_lines.push_back(stage_line);
     AppendBenchJson(
         "DGF_BENCH_BUILD_JSON", "BENCH_build.json",
         StringPrintf("{\"bench\": \"table2_index_build\", \"threads\": %d, "
                      "\"rows\": %.0f, \"wall_s\": %.6f, \"rows_per_s\": %.0f, "
                      "\"wall_speedup\": %.3f, \"projected_s\": %.6f, "
-                     "\"projected_speedup\": %.3f}",
+                     "\"projected_speedup\": %.3f, \"host_cpus\": %u, "
+                     "\"stages\": %s}",
                      threads, rows, wall, rows / wall, serial_wall / wall,
-                     projected, serial_projected / projected));
+                     projected, serial_projected / projected, host_cpus,
+                     result.stage_seconds.ToJson().c_str()));
   }
   table.Print();
+  std::printf("\nPer-stage wall breakdown (host has %u CPU%s):\n", host_cpus,
+              host_cpus == 1 ? "" : "s");
+  for (const std::string& line : stage_lines) {
+    std::printf("%s\n", line.c_str());
+  }
   std::printf(
       "\nParallel builds are byte-identical to the serial one (see\n"
       "dgf_difftest --build-sweep); the projected column replays measured\n"

@@ -34,6 +34,9 @@ stage "configure"        cmake -B build -S .
 stage "build"            cmake --build build -j "$JOBS"
 stage "unit tests"       ctest --test-dir build -j "$JOBS" --output-on-failure
 stage "difftest tier1"   ./build/src/dgf_difftest --seeds=tier1
+# Parallel-build speedup gate (1.5x floor at 4 threads); self-skips (exit 0)
+# on hosts with < 4 CPUs, where the comparison measures nothing.
+stage "perf smoke"       ./build/bench/bench_perf_smoke
 
 if [[ "${1:-}" == "--fast" ]]; then
   echo "== done (fast mode, sanitizer stages skipped) =="

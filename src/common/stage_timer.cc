@@ -1,0 +1,59 @@
+#include "common/stage_timer.h"
+
+#include "common/string_util.h"
+
+namespace dgf {
+
+StageTimes::StageTimes(const StageTimes& other) { Merge(other); }
+
+StageTimes& StageTimes::operator=(const StageTimes& other) {
+  if (this == &other) return *this;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    seconds_.clear();
+  }
+  Merge(other);
+  return *this;
+}
+
+void StageTimes::Add(std::string_view stage, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = seconds_.find(stage);
+  if (it == seconds_.end()) {
+    seconds_.emplace(std::string(stage), seconds);
+  } else {
+    it->second += seconds;
+  }
+}
+
+void StageTimes::Merge(const StageTimes& other) {
+  for (const auto& [stage, seconds] : other.Sorted()) Add(stage, seconds);
+}
+
+double StageTimes::Seconds(std::string_view stage) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = seconds_.find(stage);
+  return it == seconds_.end() ? 0.0 : it->second;
+}
+
+std::vector<std::pair<std::string, double>> StageTimes::Sorted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {seconds_.begin(), seconds_.end()};
+}
+
+std::string StageTimes::ToJson() const {
+  std::string out = "{";
+  for (const auto& [stage, seconds] : Sorted()) {
+    if (out.size() > 1) out += ", ";
+    out += StringPrintf("\"%s\": %.6f", stage.c_str(), seconds);
+  }
+  out += "}";
+  return out;
+}
+
+bool StageTimes::Empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seconds_.empty();
+}
+
+}  // namespace dgf

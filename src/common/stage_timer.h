@@ -1,0 +1,87 @@
+#ifndef DGF_COMMON_STAGE_TIMER_H_
+#define DGF_COMMON_STAGE_TIMER_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace dgf {
+
+/// Accumulated wall-clock seconds per named pipeline stage.
+///
+/// The write path (index build, append reorganization, group-commit flush)
+/// is a sequence of stages — shard, merge, slice write, publish — whose
+/// relative weights decide whether adding threads can help at all: a stage
+/// that runs serially bounds the whole pipeline's speedup (Amdahl). Each
+/// pipeline accumulates its per-stage seconds here and surfaces them through
+/// JobResult / service stats so benches can emit a breakdown next to the
+/// end-to-end wall time.
+///
+/// Thread-safe: concurrent Add calls from parallel tasks accumulate under an
+/// internal mutex (stage boundaries are orders of magnitude rarer than the
+/// work inside them, so the lock never shows up in a profile).
+class StageTimes {
+ public:
+  StageTimes() = default;
+  StageTimes(const StageTimes& other);
+  StageTimes& operator=(const StageTimes& other);
+
+  /// Adds `seconds` to `stage`'s accumulated total.
+  void Add(std::string_view stage, double seconds);
+
+  /// Accumulates every stage of `other` into this.
+  void Merge(const StageTimes& other);
+
+  /// Accumulated seconds of `stage` (0 when never recorded).
+  double Seconds(std::string_view stage) const;
+
+  /// Every (stage, seconds) pair, sorted by stage name.
+  std::vector<std::pair<std::string, double>> Sorted() const;
+
+  /// Renders `{"shard": 0.123456, ...}` — the fragment benches embed in
+  /// their JSON records. Empty StageTimes render as `{}`.
+  std::string ToJson() const;
+
+  bool Empty() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, double, std::less<>> seconds_;
+};
+
+/// RAII scope that charges its lifetime to one stage of a StageTimes.
+/// With a null target the scope is free aside from reading the clock.
+class ScopedStage {
+ public:
+  ScopedStage(StageTimes* times, std::string_view stage)
+      : times_(times), stage_(stage) {}
+
+  ScopedStage(const ScopedStage&) = delete;
+  ScopedStage& operator=(const ScopedStage&) = delete;
+
+  ~ScopedStage() { Stop(); }
+
+  /// Ends the scope early; returns the elapsed seconds charged. Subsequent
+  /// calls (and the destructor) are no-ops.
+  double Stop() {
+    if (times_ == nullptr) return 0.0;
+    const double seconds = watch_.ElapsedSeconds();
+    times_->Add(stage_, seconds);
+    times_ = nullptr;
+    return seconds;
+  }
+
+ private:
+  StageTimes* times_;
+  std::string stage_;
+  Stopwatch watch_;
+};
+
+}  // namespace dgf
+
+#endif  // DGF_COMMON_STAGE_TIMER_H_

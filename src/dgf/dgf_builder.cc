@@ -6,9 +6,11 @@
 #include <map>
 #include <mutex>
 #include <span>
+#include <unordered_map>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/stage_timer.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
@@ -32,7 +34,12 @@ struct GfuShard {
 /// split index, so the pipeline's output depends only on the split list —
 /// never on how many threads ran the tasks or in what order they finished.
 struct SplitShard {
-  std::map<std::string, GfuShard> groups;  // encoded GfuKey -> partial
+  std::unordered_map<std::string, GfuShard> groups;  // encoded GfuKey -> partial
+  /// `groups` entries sorted by key (pointers into the node-stable map),
+  /// produced once at the end of the shard task. The merge phase and the
+  /// slice writers consume every shard as a sorted run, so downstream work
+  /// is linear merging instead of per-key map lookups.
+  std::vector<const std::pair<const std::string, GfuShard>*> ordered;
   uint64_t bytes_read = 0;
   uint64_t records = 0;
   uint64_t emitted_bytes = 0;  // key+line bytes, the shuffle-cost analogue
@@ -70,6 +77,10 @@ Status ShardSplit(const std::shared_ptr<fs::MiniDfs>& dfs,
     ++shard->records;
   }
   shard->bytes_read = reader->BytesRead();
+  shard->ordered.reserve(shard->groups.size());
+  for (const auto& entry : shard->groups) shard->ordered.push_back(&entry);
+  std::sort(shard->ordered.begin(), shard->ordered.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
   return Status::OK();
 }
 
@@ -104,6 +115,19 @@ Status WriteSlicePartition(const std::shared_ptr<fs::MiniDfs>& dfs,
     return writer != nullptr ? writer->Offset() : rc_writer->Offset();
   };
   out->batch.Reserve(end - begin);
+  // One monotone cursor per shard: the partition's keys arrive in ascending
+  // order, so locating every key in every shard is one linear merge over the
+  // sorted runs instead of (keys x shards) map lookups.
+  std::vector<size_t> cursor(shards.size(), 0);
+  for (size_t s = 0; s < shards.size(); ++s) {
+    const auto& run = shards[s].ordered;
+    cursor[s] = static_cast<size_t>(
+        std::lower_bound(run.begin(), run.end(), keys[begin],
+                         [](const auto* e, const std::string& k) {
+                           return e->first < k;
+                         }) -
+        run.begin());
+  }
   for (size_t k = begin; k < end; ++k) {
     const std::string& key = keys[k];
     const uint64_t start = offset();
@@ -112,12 +136,15 @@ Status WriteSlicePartition(const std::shared_ptr<fs::MiniDfs>& dfs,
     // Concatenate the key's records and fold the partial headers in split
     // order: the result is the same bytes and the same floating-point header
     // no matter how many threads sharded the input.
-    for (const SplitShard& shard : shards) {
-      auto it = shard.groups.find(key);
-      if (it == shard.groups.end()) continue;
-      aggs.Merge(&value.header, it->second.header);
-      value.record_count += it->second.records;
-      for (const std::string& line : it->second.lines) {
+    for (size_t s = 0; s < shards.size(); ++s) {
+      const auto& run = shards[s].ordered;
+      size_t& at = cursor[s];
+      while (at < run.size() && run[at]->first < key) ++at;
+      if (at == run.size() || run[at]->first != key) continue;
+      const GfuShard& group = run[at]->second;
+      aggs.Merge(&value.header, group.header);
+      value.record_count += group.records;
+      for (const std::string& line : group.lines) {
         if (writer != nullptr) {
           DGF_RETURN_IF_ERROR(writer->AppendLine(line));
         } else {
@@ -180,6 +207,12 @@ Result<exec::JobResult> DgfBuilder::RunReorganization(
   exec::JobResult result;
   result.num_map_tasks = static_cast<int>(splits.size());
   result.num_reduce_tasks = num_writers;
+  StageTimes& stages = result.stage_seconds;
+
+  // One pool serves every phase of the reorganization (shard, merge, slice
+  // write); WaitIdle() is the phase barrier. Reusing it keeps thread spawns
+  // off the per-flush cost of small append batches.
+  ThreadPool pool(threads);
 
   // ---- Shard phase: one task per split, no shared mutable state. ----
   std::vector<SplitShard> shards(splits.size());
@@ -187,7 +220,7 @@ Result<exec::JobResult> DgfBuilder::RunReorganization(
   std::mutex error_mu;
   Status first_error;
   {
-    ThreadPool pool(threads);
+    ScopedStage stage(&stages, "shard");
     for (size_t i = 0; i < splits.size(); ++i) {
       pool.Submit([&, i] {
         Stopwatch task_watch;
@@ -206,6 +239,7 @@ Result<exec::JobResult> DgfBuilder::RunReorganization(
   DGF_CRASH_POINT("dgf.reorg.after_shard");
   result.local_task_seconds = shard_seconds;
 
+  ScopedStage sim_stage(&stages, "sim_model");
   const exec::ClusterConfig& cluster = job.cluster;
   std::vector<double> map_costs;
   map_costs.reserve(shards.size());
@@ -232,32 +266,116 @@ Result<exec::JobResult> DgfBuilder::RunReorganization(
   }
   result.simulated_map_seconds =
       exec::SimulateMakespan(map_costs, cluster.total_map_slots());
+  sim_stage.Stop();
 
   // ---- Merge phase: sorted key union -> contiguous writer partitions. ----
   // Partitions are cut from the sorted key union balanced by record count, so
   // both the file a key lands in and the order within the file are functions
   // of the data alone ("byte-stable" across thread counts and vs. serial).
+  //
+  // The union itself is a range-partitioned parallel multiway merge over the
+  // shards' sorted runs: pivot keys (sampled from the largest run) cut every
+  // run into aligned ranges, each range merges on its own task, and the
+  // per-range outputs concatenate in pivot order. The result — the sorted
+  // union with per-key sums — is a function of the data alone, whatever the
+  // pivots or the task schedule.
   struct KeyTotals {
     uint64_t records = 0;
     uint64_t bytes = 0;
   };
-  std::map<std::string, KeyTotals> key_union;
-  uint64_t total_records = 0;
-  for (const SplitShard& shard : shards) {
-    for (const auto& [key, group] : shard.groups) {
-      KeyTotals& t = key_union[key];
-      t.records += group.records;
-      t.bytes += key.size() * group.records + group.line_bytes;
-      total_records += group.records;
-    }
-  }
   std::vector<std::string> keys;
   std::vector<KeyTotals> totals;
-  keys.reserve(key_union.size());
-  totals.reserve(key_union.size());
-  for (auto& [key, t] : key_union) {
-    keys.push_back(key);
-    totals.push_back(t);
+  uint64_t total_records = 0;
+  {
+    ScopedStage stage(&stages, "merge");
+    const auto key_at = [&](size_t s, size_t i) -> const std::string& {
+      return shards[s].ordered[i]->first;
+    };
+    // Merges the aligned ranges [lo[s], hi[s]) of every shard into the
+    // ascending key union with summed totals (linear min-scan; the shard
+    // count is the split count, small by construction).
+    const auto merge_ranges = [&](const std::vector<size_t>& lo,
+                                  const std::vector<size_t>& hi) {
+      std::vector<std::pair<std::string, KeyTotals>> out;
+      std::vector<size_t> cur = lo;
+      for (;;) {
+        const std::string* min_key = nullptr;
+        for (size_t s = 0; s < shards.size(); ++s) {
+          if (cur[s] >= hi[s]) continue;
+          const std::string& k = key_at(s, cur[s]);
+          if (min_key == nullptr || k < *min_key) min_key = &k;
+        }
+        if (min_key == nullptr) break;
+        KeyTotals t;
+        for (size_t s = 0; s < shards.size(); ++s) {
+          if (cur[s] >= hi[s] || key_at(s, cur[s]) != *min_key) continue;
+          const GfuShard& group = shards[s].ordered[cur[s]]->second;
+          t.records += group.records;
+          t.bytes += min_key->size() * group.records + group.line_bytes;
+          ++cur[s];
+        }
+        out.emplace_back(*min_key, t);
+      }
+      return out;
+    };
+
+    // Interior pivots from the largest run; fewer tasks than threads when
+    // the data has fewer distinct keys.
+    std::vector<std::string> pivots;
+    if (threads > 1 && !shards.empty()) {
+      size_t largest = 0;
+      for (size_t s = 1; s < shards.size(); ++s) {
+        if (shards[s].ordered.size() > shards[largest].ordered.size()) {
+          largest = s;
+        }
+      }
+      const auto& run = shards[largest].ordered;
+      for (int t = 1; t < threads && !run.empty(); ++t) {
+        const std::string& k =
+            run[run.size() * static_cast<size_t>(t) /
+                static_cast<size_t>(threads)]
+                ->first;
+        if (pivots.empty() || pivots.back() < k) pivots.push_back(k);
+      }
+    }
+    const size_t ranges = pivots.size() + 1;
+    // cuts[p][s]: start of range p in shard s; range p spans
+    // [cuts[p][s], cuts[p+1][s]).
+    std::vector<std::vector<size_t>> cuts(
+        ranges + 1, std::vector<size_t>(shards.size(), 0));
+    for (size_t s = 0; s < shards.size(); ++s) {
+      const auto& run = shards[s].ordered;
+      cuts[ranges][s] = run.size();
+      for (size_t p = 1; p < ranges; ++p) {
+        cuts[p][s] = static_cast<size_t>(
+            std::lower_bound(run.begin(), run.end(), pivots[p - 1],
+                             [](const auto* e, const std::string& k) {
+                               return e->first < k;
+                             }) -
+            run.begin());
+      }
+    }
+    std::vector<std::vector<std::pair<std::string, KeyTotals>>> merged(ranges);
+    if (ranges == 1) {
+      merged[0] = merge_ranges(cuts[0], cuts[1]);
+    } else {
+      for (size_t p = 0; p < ranges; ++p) {
+        pool.Submit(
+            [&, p] { merged[p] = merge_ranges(cuts[p], cuts[p + 1]); });
+      }
+      pool.WaitIdle();
+    }
+    size_t union_size = 0;
+    for (const auto& part : merged) union_size += part.size();
+    keys.reserve(union_size);
+    totals.reserve(union_size);
+    for (auto& part : merged) {
+      for (auto& [key, t] : part) {
+        keys.push_back(std::move(key));
+        totals.push_back(t);
+        total_records += t.records;
+      }
+    }
   }
 
   // A crashed earlier attempt of this batch may have left slice files behind
@@ -265,6 +383,7 @@ Result<exec::JobResult> DgfBuilder::RunReorganization(
   // batch's KV publish). DFS files are write-once, so a retry must reclaim
   // the names; the files are unreferenced by every published epoch.
   {
+    ScopedStage stage(&stages, "orphan_scan");
     const std::string orphan_prefix = StringPrintf("part-b%03d-", batch_id);
     for (const fs::FileStatus& file : dfs->ListFiles(data_dir + "/")) {
       const size_t slash = file.path.find_last_of('/');
@@ -281,8 +400,11 @@ Result<exec::JobResult> DgfBuilder::RunReorganization(
   if (!keys.empty()) {
     // One batched probe fetches every committed entry the writers will merge
     // with (the HBase multi-get analogue of the old per-key reducer Get).
+    ScopedStage probe_stage(&stages, "kv_probe");
     const std::vector<Result<std::string>> existing = store->MultiGet(keys);
+    probe_stage.Stop();
 
+    ScopedStage write_stage(&stages, "slice_write");
     std::vector<size_t> bounds(static_cast<size_t>(num_writers) + 1, 0);
     {
       uint64_t cum = 0;
@@ -299,7 +421,6 @@ Result<exec::JobResult> DgfBuilder::RunReorganization(
       }
       bounds[static_cast<size_t>(num_writers)] = keys.size();
     }
-    ThreadPool pool(threads);
     for (int w = 0; w < num_writers; ++w) {
       const size_t begin = bounds[static_cast<size_t>(w)];
       const size_t end = bounds[static_cast<size_t>(w) + 1];
@@ -331,6 +452,7 @@ Result<exec::JobResult> DgfBuilder::RunReorganization(
 
   // Concatenate the per-writer staged batches in writer order: one
   // deterministic batch regardless of task scheduling.
+  ScopedStage reduce_sim_stage(&stages, "sim_model");
   std::vector<double> reduce_costs;
   reduce_costs.reserve(static_cast<size_t>(num_writers));
   for (int w = 0; w < num_writers; ++w) {
@@ -363,9 +485,13 @@ Result<exec::JobResult> DgfBuilder::RunReorganization(
   result.local_task_seconds.insert(result.local_task_seconds.end(),
                                    writer_seconds.begin(),
                                    writer_seconds.end());
+  reduce_sim_stage.Stop();
 
-  DGF_RETURN_IF_ERROR(
-      RefreshDimensionBounds(store, policy.num_dims(), out_batch));
+  {
+    ScopedStage stage(&stages, "bounds");
+    DGF_RETURN_IF_ERROR(
+        RefreshDimensionBounds(store, policy.num_dims(), out_batch));
+  }
   // Charge the key-value store round trips (one put per GFU touched); at
   // fine splitting policies this is a visible share of construction time.
   result.simulated_seconds =
@@ -396,13 +522,37 @@ Status DgfBuilder::RefreshDimensionBounds(
     }
     return Status::OK();
   };
-  // Committed entries first, then the staged-but-unpublished ones: bounds
-  // must describe the state the batch will publish.
-  auto it = store->NewIterator();
-  const std::string prefix(1, kGfuKeyPrefix);
-  for (it->Seek(prefix); it->Valid(); it->Next()) {
-    if (it->key().empty() || it->key().front() != kGfuKeyPrefix) break;
-    DGF_RETURN_IF_ERROR(fold(it->key()));
+  // Committed bounds first, then the staged-but-unpublished entries: bounds
+  // must describe the state the batch will publish. The committed side folds
+  // from the stored per-dimension min/max instead of scanning every GFU key:
+  // bounds only ever widen (GFU keys are never deleted — the optimizer
+  // rewrites values in place, and bounds publish atomically with their
+  // keys), so the stored extremes summarize the committed grid exactly.
+  // This turns the per-append cost from O(total GFUs) into O(dims).
+  bool have_stored = false;
+  {
+    const Result<std::string> probe =
+        store->Get(std::string(kMetaDimMinPrefix) + "0");
+    if (probe.ok()) {
+      have_stored = true;
+    } else if (!probe.status().IsNotFound()) {
+      return probe.status();
+    }
+  }
+  if (have_stored) {
+    any = true;
+    for (int d = 0; d < num_dims; ++d) {
+      DGF_ASSIGN_OR_RETURN(std::string lo_text,
+                           store->Get(kMetaDimMinPrefix + std::to_string(d)));
+      DGF_ASSIGN_OR_RETURN(std::string hi_text,
+                           store->Get(kMetaDimMaxPrefix + std::to_string(d)));
+      DGF_ASSIGN_OR_RETURN(int64_t lo, ParseInt64(lo_text));
+      DGF_ASSIGN_OR_RETURN(int64_t hi, ParseInt64(hi_text));
+      min_cell[static_cast<size_t>(d)] =
+          std::min(min_cell[static_cast<size_t>(d)], lo);
+      max_cell[static_cast<size_t>(d)] =
+          std::max(max_cell[static_cast<size_t>(d)], hi);
+    }
   }
   for (const kv::WriteBatch::Entry& entry : out_batch->entries()) {
     if (entry.is_delete || entry.key.empty() ||
@@ -449,7 +599,6 @@ Result<std::unique_ptr<DgfIndex>> DgfBuilder::Build(
                         options.data_dir, options.data_format, /*batch_id=*/0,
                         options.job, options.split_size, options.build_threads,
                         &batch));
-  if (job_result != nullptr) *job_result = result;
 
   batch.Put(kMetaPolicyKey, policy.Serialize());
   batch.Put(kMetaAggsKey, aggs.Serialize());
@@ -461,7 +610,11 @@ Result<std::unique_ptr<DgfIndex>> DgfBuilder::Build(
   DGF_CRASH_POINT("dgf.build.before_publish");
   // One atomic publish: a reader of the store either sees no index at all or
   // the complete one (GFUs, bounds, and meta).
-  DGF_RETURN_IF_ERROR(store->ApplyBatch(batch));
+  {
+    ScopedStage stage(&result.stage_seconds, "publish");
+    DGF_RETURN_IF_ERROR(store->ApplyBatch(batch));
+  }
+  if (job_result != nullptr) *job_result = result;
   return std::unique_ptr<DgfIndex>(new DgfIndex(
       std::move(dfs), std::move(store), base.schema, std::move(policy),
       std::move(aggs), options.data_dir, options.data_format));
@@ -503,7 +656,10 @@ Result<exec::JobResult> DgfBuilder::Append(DgfIndex* index,
   DGF_CRASH_POINT("dgf.append.before_publish");
   // Atomic publish: a concurrent query pinned before this line sees none of
   // the batch, one pinned after sees all of it.
-  DGF_RETURN_IF_ERROR(store->ApplyBatch(staged));
+  {
+    ScopedStage stage(&result.stage_seconds, "publish");
+    DGF_RETURN_IF_ERROR(store->ApplyBatch(staged));
+  }
   return result;
 }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/stage_timer.h"
 #include "common/status.h"
 #include "exec/cluster.h"
 #include "fs/split.h"
@@ -149,6 +150,10 @@ struct JobResult {
   /// projection next to the measured wall time, which on a single-core host
   /// cannot show the parallel speedup directly.
   std::vector<double> local_task_seconds;
+  /// Wall-clock breakdown of the job by pipeline stage (shard, merge,
+  /// slice_write, bounds, ...): the Amdahl evidence for which stages run
+  /// serially. Benches embed this next to the end-to-end wall time.
+  StageTimes stage_seconds;
 };
 
 /// Deterministic multi-threaded MapReduce engine over MiniDfs splits.

@@ -59,8 +59,9 @@ class LocalDfsWriter : public DfsWriter {
     const int rc = ::close(fd_);
     fd_ = -1;
     {
-      std::lock_guard<std::mutex> lock(dfs_->mu_);
-      dfs_->files_[path_] = offset_;
+      MiniDfs::Stripe& stripe = dfs_->StripeFor(path_);
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      stripe.files[path_] = offset_;
     }
     if (rc != 0) return Status::IOError(ErrnoMessage("close " + path_));
     return Status::OK();
@@ -88,11 +89,7 @@ class LocalDfsReader : public DfsReader {
     if (offset >= length_) return Status::OK();
     length = std::min(length, length_ - offset);
     out->resize(length);
-    std::shared_ptr<ReadFaultInjector> injector;
-    {
-      std::lock_guard<std::mutex> lock(dfs_->mu_);
-      injector = dfs_->fault_injector_;
-    }
+    const std::shared_ptr<ReadFaultInjector> injector = dfs_->CurrentInjector();
     // Transient failures are retried like a DFS client failing over to
     // another replica; past the budget the error surfaces structured.
     int transient_failures = 0;
@@ -158,6 +155,16 @@ Result<std::shared_ptr<MiniDfs>> MiniDfs::Open(const Options& options) {
   return dfs;
 }
 
+MiniDfs::Stripe& MiniDfs::StripeFor(const std::string& path) const {
+  return stripes_[std::hash<std::string>{}(path) % kNumStripes];
+}
+
+std::shared_ptr<ReadFaultInjector> MiniDfs::CurrentInjector() const {
+  if (!has_injector_.load(std::memory_order_acquire)) return nullptr;
+  std::lock_guard<std::mutex> lock(injector_mu_);
+  return fault_injector_;
+}
+
 Status MiniDfs::Init() {
   std::error_code ec;
   std::filesystem::create_directories(options_.root_dir, ec);
@@ -171,7 +178,7 @@ Status MiniDfs::Init() {
         std::filesystem::relative(entry.path(), options_.root_dir, ec).string();
     if (ec) return Status::IOError("relative: " + ec.message());
     const std::string dfs_path = "/" + rel;
-    files_[dfs_path] = entry.file_size();
+    StripeFor(dfs_path).files[dfs_path] = entry.file_size();
     TrackDirectories(dfs_path);
   }
   return Status::OK();
@@ -197,6 +204,7 @@ Status MiniDfs::ValidatePath(const std::string& path) {
 
 void MiniDfs::TrackDirectories(const std::string& path) {
   // Register every ancestor directory ("/a/b/c.txt" -> "/a", "/a/b").
+  std::lock_guard<std::mutex> lock(dir_mu_);
   for (size_t pos = path.find('/', 1); pos != std::string::npos;
        pos = path.find('/', pos + 1)) {
     directories_.insert(path.substr(0, pos));
@@ -206,13 +214,14 @@ void MiniDfs::TrackDirectories(const std::string& path) {
 Result<std::unique_ptr<DfsWriter>> MiniDfs::Create(const std::string& path) {
   DGF_RETURN_IF_ERROR(ValidatePath(path));
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (files_.count(path) > 0) {
+    Stripe& stripe = StripeFor(path);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    if (stripe.files.count(path) > 0) {
       return Status::AlreadyExists("file exists: " + path);
     }
-    files_[path] = 0;
-    TrackDirectories(path);
+    stripe.files[path] = 0;
   }
+  TrackDirectories(path);
   const std::string local = LocalPath(path);
   std::error_code ec;
   std::filesystem::create_directories(
@@ -227,9 +236,12 @@ Result<std::unique_ptr<DfsWriter>> MiniDfs::Append(const std::string& path) {
   DGF_RETURN_IF_ERROR(ValidatePath(path));
   uint64_t length = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = files_.find(path);
-    if (it == files_.end()) return Status::NotFound("no such file: " + path);
+    Stripe& stripe = StripeFor(path);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.files.find(path);
+    if (it == stripe.files.end()) {
+      return Status::NotFound("no such file: " + path);
+    }
     length = it->second;
   }
   const std::string local = LocalPath(path);
@@ -248,9 +260,12 @@ Result<std::unique_ptr<DfsReader>> MiniDfs::OpenForRead(
   DGF_RETURN_IF_ERROR(ValidatePath(path));
   uint64_t length = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = files_.find(path);
-    if (it == files_.end()) return Status::NotFound("no such file: " + path);
+    Stripe& stripe = StripeFor(path);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.files.find(path);
+    if (it == stripe.files.end()) {
+      return Status::NotFound("no such file: " + path);
+    }
     length = std::min(it->second, length_limit);
   }
   const std::string local = LocalPath(path);
@@ -260,21 +275,26 @@ Result<std::unique_ptr<DfsReader>> MiniDfs::OpenForRead(
 }
 
 Result<FileStatus> MiniDfs::Stat(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = files_.find(path);
-  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  Stripe& stripe = StripeFor(path);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.files.find(path);
+  if (it == stripe.files.end()) {
+    return Status::NotFound("no such file: " + path);
+  }
   return FileStatus{path, it->second, options_.block_size};
 }
 
 bool MiniDfs::Exists(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return files_.count(path) > 0;
+  Stripe& stripe = StripeFor(path);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  return stripe.files.count(path) > 0;
 }
 
 Status MiniDfs::Delete(const std::string& path) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (files_.erase(path) == 0) {
+    Stripe& stripe = StripeFor(path);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    if (stripe.files.erase(path) == 0) {
       return Status::NotFound("no such file: " + path);
     }
   }
@@ -287,14 +307,32 @@ Status MiniDfs::Delete(const std::string& path) {
 Status MiniDfs::Rename(const std::string& from, const std::string& to) {
   DGF_RETURN_IF_ERROR(ValidatePath(to));
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = files_.find(from);
-    if (it == files_.end()) return Status::NotFound("no such file: " + from);
-    if (files_.count(to) > 0) return Status::AlreadyExists("exists: " + to);
-    files_[to] = it->second;
-    files_.erase(it);
-    TrackDirectories(to);
+    // Both stripes must be held for the move to be atomic; lock them in
+    // address order so concurrent renames cannot deadlock.
+    Stripe& from_stripe = StripeFor(from);
+    Stripe& to_stripe = StripeFor(to);
+    std::unique_lock<std::mutex> first_lock;
+    std::unique_lock<std::mutex> second_lock;
+    if (&from_stripe == &to_stripe) {
+      first_lock = std::unique_lock<std::mutex>(from_stripe.mu);
+    } else if (&from_stripe < &to_stripe) {
+      first_lock = std::unique_lock<std::mutex>(from_stripe.mu);
+      second_lock = std::unique_lock<std::mutex>(to_stripe.mu);
+    } else {
+      first_lock = std::unique_lock<std::mutex>(to_stripe.mu);
+      second_lock = std::unique_lock<std::mutex>(from_stripe.mu);
+    }
+    auto it = from_stripe.files.find(from);
+    if (it == from_stripe.files.end()) {
+      return Status::NotFound("no such file: " + from);
+    }
+    if (to_stripe.files.count(to) > 0) {
+      return Status::AlreadyExists("exists: " + to);
+    }
+    to_stripe.files[to] = it->second;
+    from_stripe.files.erase(it);
   }
+  TrackDirectories(to);
   const std::string local_to = LocalPath(to);
   std::error_code ec;
   std::filesystem::create_directories(
@@ -305,12 +343,21 @@ Status MiniDfs::Rename(const std::string& from, const std::string& to) {
 }
 
 std::vector<FileStatus> MiniDfs::ListFiles(const std::string& prefix) const {
+  // Matching paths are scattered across stripes by the hash; range-scan each
+  // stripe's sorted map, then restore the global path order with one sort.
   std::vector<FileStatus> out;
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
-    if (!StartsWith(it->first, prefix)) break;
-    out.push_back(FileStatus{it->first, it->second, options_.block_size});
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (auto it = stripe.files.lower_bound(prefix); it != stripe.files.end();
+         ++it) {
+      if (!StartsWith(it->first, prefix)) break;
+      out.push_back(FileStatus{it->first, it->second, options_.block_size});
+    }
   }
+  std::sort(out.begin(), out.end(),
+            [](const FileStatus& a, const FileStatus& b) {
+              return a.path < b.path;
+            });
   return out;
 }
 
@@ -338,22 +385,30 @@ Result<std::vector<FileSplit>> MiniDfs::GetSplitsForPrefix(
 }
 
 uint64_t MiniDfs::MetadataMemoryBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
   uint64_t blocks = 0;
-  for (const auto& [path, length] : files_) {
-    (void)path;
-    blocks += (length + options_.block_size - 1) / options_.block_size;
+  uint64_t num_files = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    num_files += stripe.files.size();
+    for (const auto& [path, length] : stripe.files) {
+      (void)path;
+      blocks += (length + options_.block_size - 1) / options_.block_size;
+    }
   }
-  return kMetadataObjectBytes * (files_.size() + directories_.size() + blocks);
+  return kMetadataObjectBytes * (num_files + NumDirectories() + blocks);
 }
 
 uint64_t MiniDfs::NumFiles() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return files_.size();
+  uint64_t num_files = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    num_files += stripe.files.size();
+  }
+  return num_files;
 }
 
 uint64_t MiniDfs::NumDirectories() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(dir_mu_);
   return directories_.size();
 }
 
@@ -364,8 +419,11 @@ void MiniDfs::ResetCounters() {
 }
 
 void MiniDfs::SetReadFaultInjector(std::shared_ptr<ReadFaultInjector> injector) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(injector_mu_);
   fault_injector_ = std::move(injector);
+  // Publish after the pointer is in place so a reader that observes the flag
+  // as set always finds the injector under injector_mu_.
+  has_injector_.store(fault_injector_ != nullptr, std::memory_order_release);
 }
 
 }  // namespace dgf::fs

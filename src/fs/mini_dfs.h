@@ -1,6 +1,7 @@
 #ifndef DGF_FS_MINI_DFS_H_
 #define DGF_FS_MINI_DFS_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -95,8 +96,15 @@ class ReadFaultInjector {
 ///     overloading the NameNode (Section 2.2),
 ///   * byte counters for the write/read-throughput experiments (Figure 3).
 ///
-/// Thread-safe: concurrent readers/writers of distinct files are unsynchronized
-/// fast paths; metadata operations take an internal mutex.
+/// Thread-safe: concurrent readers/writers of distinct files are
+/// unsynchronized fast paths (data bytes move through per-handle file
+/// descriptors, never under a lock); metadata operations take the lock of
+/// the *stripe* owning the path — the namespace is hash-partitioned across
+/// kNumStripes independent maps, so N writer threads creating, sealing, and
+/// appending distinct files serialize only when their paths collide on a
+/// stripe, not on one global mutex. Reads consult the fault injector through
+/// a lock-free presence flag, so the production read path takes no lock at
+/// all.
 class MiniDfs {
  public:
   struct Options {
@@ -173,26 +181,44 @@ class MiniDfs {
   void SetReadFaultInjector(std::shared_ptr<ReadFaultInjector> injector);
 
  private:
+  /// Lock stripes over the namespace. 16 is comfortably above the writer
+  /// parallelism any build pipeline configures while keeping the footprint
+  /// of full-namespace operations (ListFiles, NumFiles) trivial.
+  static constexpr size_t kNumStripes = 16;
+
+  /// One hash partition of the namespace: path -> current length. The maps
+  /// are the authoritative metadata; the local directory is the backing
+  /// store. Each map stays sorted so prefix listings remain range scans.
+  struct Stripe {
+    mutable std::mutex mu;
+    std::map<std::string, uint64_t> files;
+  };
+
   explicit MiniDfs(Options options);
 
   Status Init();
   std::string LocalPath(const std::string& path) const;
   static Status ValidatePath(const std::string& path);
   void TrackDirectories(const std::string& path);
+  Stripe& StripeFor(const std::string& path) const;
+  /// Copies the injector (nullptr when none installed). Lock-free when no
+  /// injector has ever been installed — the production fast path.
+  std::shared_ptr<ReadFaultInjector> CurrentInjector() const;
 
   friend class LocalDfsWriter;
   friend class LocalDfsReader;
 
   Options options_;
-  mutable std::mutex mu_;
-  // path -> current length. The authoritative namespace; the local directory
-  // is the backing store.
-  std::map<std::string, uint64_t> files_;
-  std::set<std::string> directories_;
+  mutable std::array<Stripe, kNumStripes> stripes_;
+  mutable std::mutex dir_mu_;
+  std::set<std::string> directories_;  // guarded by dir_mu_
   std::atomic<uint64_t> bytes_written_{0};
   std::atomic<uint64_t> bytes_read_{0};
   std::atomic<uint64_t> pread_calls_{0};
-  // Guarded by mu_; readers copy the shared_ptr once per Pread call.
+  /// Guarded by injector_mu_; the atomic flag lets readers skip the lock
+  /// entirely while no injector is installed.
+  mutable std::mutex injector_mu_;
+  std::atomic<bool> has_injector_{false};
   std::shared_ptr<ReadFaultInjector> fault_injector_;
 };
 

@@ -189,12 +189,14 @@ Result<uint64_t> QueryService::Append(const std::string& table,
     return Status::NotSupported("APPEND requires a DGF index on " + table);
   }
 
-  // Group commit. Join the open group, then either ride a leader's flush
-  // (our group publishes while we wait) or become the leader ourselves once
-  // the in-progress flush finishes. While a leader is flushing, every
-  // arriving Append accumulates into the open group, so K concurrent calls
-  // cost one staging table, one slice-file extension, and one atomic
-  // WriteBatch publish per flush — not per call.
+  // Double-buffered group commit. Join the open group, then either ride a
+  // leader's flush (our group publishes while we wait) or become the leader
+  // ourselves. A leader blocks the next leader only while *staging* its
+  // group's batch table; the reorganize+publish step runs after the staging
+  // flag clears, so group N+1 stages while group N publishes and group N+2
+  // accumulates. K concurrent calls still cost one staging table, one
+  // slice-file extension, and one atomic WriteBatch publish per flush — not
+  // per call — but the stages now overlap instead of running end-to-end.
   std::shared_ptr<AppendGroup> group;
   int batch_id;
   {
@@ -208,25 +210,67 @@ Result<uint64_t> QueryService::Append(const std::string& table,
     }
     group = entry.open_group;
     group->rows.insert(group->rows.end(), rows.begin(), rows.end());
-    append_cv_.wait(lock, [&] { return group->done || !entry.flushing; });
+    // Leader admission: the pipeline is two deep — one batch between
+    // staged and published, one batch staging. While it is full, arriving
+    // calls accumulate in the open group instead of claiming batches of
+    // their own; that backpressure is what makes groups form. A call may
+    // lead only while its group is still the open one — once a leader
+    // claims the group, the rest of its members wait for done (their rows
+    // are the leader's cargo).
+    append_cv_.wait(lock, [&] {
+      return group->done ||
+             (entry.open_group == group && !entry.staging &&
+              entry.append_batches - entry.publish_turn < 2);
+    });
     if (group->done) {
       // A leader flushed our group for us; its publish covered our rows.
       DGF_RETURN_IF_ERROR(group->status);
       return static_cast<uint64_t>(rows.size());
     }
-    // No flush in progress and our group not yet taken: lead it. Closing the
-    // group here (before dropping mu_) means rows arriving during our flush
-    // start the next group instead of mutating the one being written.
+    // No staging in progress and our group not yet taken: lead it. Closing
+    // the group here (before dropping mu_) means rows arriving during our
+    // flush start the next group instead of mutating the one being written.
     entry.open_group = nullptr;
-    entry.flushing = true;
+    entry.staging = true;
     batch_id = entry.append_batches++;
   }
-  Status flushed = FlushAppendGroup(entry, batch_id, group->rows);
+
+  // Stage 1 (overlaps the previous group's publish): write the batch table.
+  Stopwatch staging_watch;
+  table::TableDesc batch;
+  Status flushed = StageAppendGroup(entry, batch_id, group->rows, &batch);
+  const double staging_seconds = staging_watch.ElapsedSeconds();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entry.staging = false;
+    append_staging_seconds_ += staging_seconds;
+  }
+  // Staging is free again: wake the next group's leader so it stages while
+  // we wait for our publish turn below.
+  append_cv_.notify_all();
+
+  if (flushed.ok()) {
+    // Stage 2: batches enter the index strictly in leader order, so a
+    // staged-early batch waits for its predecessor's publish.
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      append_cv_.wait(lock, [&] { return entry.publish_turn == batch_id; });
+    }
+    Stopwatch reorg_watch;
+    flushed = ReorganizeAppendBatch(entry, batch);
+    const double reorg_seconds = reorg_watch.ElapsedSeconds();
+    std::lock_guard<std::mutex> lock(mu_);
+    append_reorg_seconds_ += reorg_seconds;
+  } else {
+    // The turn must still be claimed, or every later batch deadlocks.
+    std::unique_lock<std::mutex> lock(mu_);
+    append_cv_.wait(lock, [&] { return entry.publish_turn == batch_id; });
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     group->done = true;
     group->status = flushed;
-    entry.flushing = false;
+    entry.publish_turn = batch_id + 1;
     ++append_flushes_;
   }
   append_cv_.notify_all();
@@ -234,25 +278,30 @@ Result<uint64_t> QueryService::Append(const std::string& table,
   return static_cast<uint64_t>(rows.size());
 }
 
-Status QueryService::FlushAppendGroup(TableEntry& entry, int batch_id,
-                                      const std::vector<std::string>& rows) {
+Status QueryService::StageAppendGroup(const TableEntry& entry, int batch_id,
+                                      const std::vector<std::string>& rows,
+                                      table::TableDesc* batch) {
   DGF_CRASH_POINT("dgf.append.group.before_flush");
   // Stage the group as its own table (the paper's "verified temporary
-  // files"), then reorganize it into the index. Batch directories are
-  // per-table sequential (batch_id was claimed under mu_); the reorganize
-  // serializes on the index mutation lock inside DgfBuilder::Append.
-  table::TableDesc batch{
+  // files"). Batch directories are per-table sequential (batch_id was
+  // claimed under mu_), so concurrent stagings never collide; no index
+  // state is read or written here.
+  *batch = table::TableDesc{
       entry.desc.name + "_append" + std::to_string(batch_id),
       entry.desc.schema, table::FileFormat::kText,
       entry.desc.dir + "_append" + std::to_string(batch_id)};
   DGF_ASSIGN_OR_RETURN(auto writer,
-                       table::TableWriter::Create(options_.dfs, batch));
+                       table::TableWriter::Create(options_.dfs, *batch));
   for (const std::string& line : rows) {
     DGF_ASSIGN_OR_RETURN(table::Row row,
-                         table::ParseRowText(line, batch.schema));
+                         table::ParseRowText(line, batch->schema));
     DGF_RETURN_IF_ERROR(writer->Append(row));
   }
-  DGF_RETURN_IF_ERROR(writer->Close());
+  return writer->Close();
+}
+
+Status QueryService::ReorganizeAppendBatch(const TableEntry& entry,
+                                           const table::TableDesc& batch) {
   exec::JobRunner::Options job;
   job.worker_threads = std::max(1, options_.query_worker_threads);
   // One slice file per flush: the whole group extends the index by a single
@@ -279,6 +328,8 @@ std::vector<std::pair<std::string, double>> QueryService::StatsSnapshot()
     out.emplace_back("appends.batches", static_cast<double>(appends_));
     out.emplace_back("appends.rows", static_cast<double>(rows_appended_));
     out.emplace_back("appends.flushes", static_cast<double>(append_flushes_));
+    out.emplace_back("appends.staging_s", append_staging_seconds_);
+    out.emplace_back("appends.reorg_s", append_reorg_seconds_);
     out.emplace_back("cache.hits", static_cast<double>(cache_hits_));
     out.emplace_back("cache.misses", static_cast<double>(cache_misses_));
     const double lookups = static_cast<double>(cache_hits_ + cache_misses_);

@@ -393,7 +393,7 @@ TEST(DgfConcurrencyStressTest, PinnedSnapshotImmuneToMidQueryAppend) {
 // not at all (a torn group shows up as a partial tag count), and the final
 // state must hold every call exactly once on top of an intact base table.
 TEST(DgfConcurrencyStressTest, GroupCommitAppendsAtomicUnderConcurrency) {
-  constexpr int kAppenders = 4;
+  constexpr int kAppenders = 8;
   constexpr int kCallsPerAppender = 4;
   constexpr int kCalls = kAppenders * kCallsPerAppender;
   constexpr int64_t kTagBase = 15100;  // outside the base table's time range
@@ -540,16 +540,25 @@ TEST(DgfConcurrencyStressTest, GroupCommitAppendsAtomicUnderConcurrency) {
     ASSERT_TRUE(got.ok()) << got.status().ToString();
     EXPECT_TRUE(AnswersMatch(*got, base_answer)) << "agg=" << aggregation;
   }
-  // The pipeline actually grouped: all calls published, in no more flushes
-  // than calls (fewer whenever concurrent callers rode one leader's flush).
+  // The pipeline actually grouped: all calls published in STRICTLY fewer
+  // flushes than calls. With 8 appenders racing, some call always lands
+  // while a leader is staging and rides that leader's flush; flushes ==
+  // calls would mean the double-buffered pipeline never coalesced at all.
   uint64_t flushes = 0, batches = 0;
+  double staging_s = -1, reorg_s = -1;
   for (const auto& [name, value] : service.StatsSnapshot()) {
     if (name == "appends.flushes") flushes = static_cast<uint64_t>(value);
     if (name == "appends.batches") batches = static_cast<uint64_t>(value);
+    if (name == "appends.staging_s") staging_s = value;
+    if (name == "appends.reorg_s") reorg_s = value;
   }
   EXPECT_EQ(batches, static_cast<uint64_t>(kCalls));
   EXPECT_GE(flushes, 1u);
-  EXPECT_LE(flushes, batches);
+  EXPECT_LT(flushes, batches);
+  // Both pipeline stages ran and were accounted (the bench's overlap
+  // evidence flows from these counters).
+  EXPECT_GT(staging_s, 0.0);
+  EXPECT_GT(reorg_s, 0.0);
 }
 
 }  // namespace
