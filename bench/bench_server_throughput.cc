@@ -7,6 +7,13 @@
 //   bench_server_throughput [--threads=8] [--queries=40] [--appender]
 //                           [--users=200] [--days=5] [--regions=5]
 //                           [--max-concurrent=4] [--max-pending=32]
+//                           [--shards=N]
+//
+// With --shards=N the same load is driven through an in-process N-shard
+// cluster (per-shard servers behind the scatter-gather coordinator) instead
+// of a single server, so the sharded and single-node configurations are
+// directly comparable. Every run appends one QPS/latency record to
+// BENCH_build.json (path overridable via DGF_BENCH_BUILD_JSON).
 //
 // Exits non-zero if any query fails with an error other than the structured
 // admission rejection (Unavailable counts as backpressure, not failure).
@@ -26,13 +33,16 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "common/stopwatch.h"
+#include "common/string_util.h"
 #include "dgf/dgf_builder.h"
 #include "kv/mem_kv.h"
 #include "server/client.h"
 #include "server/query_service.h"
 #include "server/server.h"
 #include "table/schema.h"
+#include "testing/shard_sweep.h"
 #include "workload/meter_gen.h"
 #include "workload/query_gen.h"
 
@@ -48,6 +58,8 @@ struct Flags {
   int64_t regions = 5;
   int max_concurrent = 4;
   int max_pending = 32;
+  /// 0 = single server; N >= 1 = N-shard cluster behind the coordinator.
+  int shards = 0;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* value) {
@@ -140,35 +152,76 @@ int Main(int argc, char** argv) {
       flags.max_concurrent = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "--max-pending", &value)) {
       flags.max_pending = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--shards", &value)) {
+      flags.shards = std::atoi(value.c_str());
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
     }
   }
 
-  auto world = BuildBenchWorld(flags);
-  if (!world.ok()) {
-    std::fprintf(stderr, "world: %s\n", world.status().ToString().c_str());
-    return 1;
-  }
-  QueryService::Options service_options;
-  service_options.dfs = (*world)->dfs;
-  service_options.max_concurrent = flags.max_concurrent;
-  service_options.max_pending = flags.max_pending;
-  QueryService service(service_options);
-  service.RegisterTable((*world)->meter);
-  service.RegisterTable((*world)->user_info);
-  service.RegisterDgfIndex((*world)->meter.name, (*world)->dgf.get());
+  // Single-node and sharded paths differ only in who answers the port; the
+  // client threads, appender, and reporting below are shared.
+  std::unique_ptr<BenchWorld> world;
+  std::unique_ptr<QueryService> service;
+  std::unique_ptr<Server> server;
+  std::unique_ptr<testing::ShardedCluster> cluster;
+  workload::MeterConfig config;
+  int port = 0;
+  if (flags.shards >= 1) {
+    config.num_users = flags.users;
+    config.num_days = flags.days;
+    config.num_regions = flags.regions;
+    config.extra_metrics = 2;
+    testing::ShardedCluster::Options cluster_options;
+    cluster_options.config = config;
+    cluster_options.dims = {
+        {"userId", table::DataType::kInt64, 0, 50},
+        {"regionId", table::DataType::kInt64, 0, 1},
+        {"time", table::DataType::kDate, static_cast<double>(config.start_day),
+         1},
+    };
+    cluster_options.num_shards = flags.shards;
+    cluster_options.with_user_info = true;  // join templates need the archive
+    cluster_options.max_concurrent = flags.max_concurrent;
+    cluster_options.max_pending = flags.max_pending;
+    auto started = testing::ShardedCluster::Start(cluster_options);
+    if (!started.ok()) {
+      std::fprintf(stderr, "cluster: %s\n",
+                   started.status().ToString().c_str());
+      return 1;
+    }
+    cluster = std::move(*started);
+    port = cluster->front()->port();
+  } else {
+    auto built = BuildBenchWorld(flags);
+    if (!built.ok()) {
+      std::fprintf(stderr, "world: %s\n", built.status().ToString().c_str());
+      return 1;
+    }
+    world = std::move(*built);
+    config = world->config;
+    QueryService::Options service_options;
+    service_options.dfs = world->dfs;
+    service_options.max_concurrent = flags.max_concurrent;
+    service_options.max_pending = flags.max_pending;
+    service = std::make_unique<QueryService>(service_options);
+    service->RegisterTable(world->meter);
+    service->RegisterTable(world->user_info);
+    service->RegisterDgfIndex(world->meter.name, world->dgf.get());
 
-  Server::Options server_options;
-  server_options.service = &service;
-  server_options.port = 0;
-  auto server = Server::Start(server_options);
-  if (!server.ok()) {
-    std::fprintf(stderr, "start: %s\n", server.status().ToString().c_str());
-    return 1;
+    Server::Options server_options;
+    server_options.service = service.get();
+    server_options.port = 0;
+    auto started = Server::Start(server_options);
+    if (!started.ok()) {
+      std::fprintf(stderr, "start: %s\n",
+                   started.status().ToString().c_str());
+      return 1;
+    }
+    server = std::move(*started);
+    port = server->port();
   }
-  const int port = (*server)->port();
 
   // The paper's template mix: aggregation, group-by, join, and
   // partial-specified, at the three evaluated selectivities.
@@ -187,7 +240,8 @@ int Main(int argc, char** argv) {
     appender = std::thread([&] {
       auto client = ServerClient::ConnectTcp("127.0.0.1", port);
       if (!client.ok()) return;
-      const workload::MeterConfig& config = (*world)->config;
+      // New-day batches sit past the last cut, so against the cluster the
+      // coordinator's time-routed append lands them on the last shard.
       const int64_t first_day = config.start_day + config.num_days;
       for (int batch = 0; !stop_appender.load(); ++batch) {
         std::vector<std::string> rows;
@@ -202,7 +256,7 @@ int Main(int argc, char** argv) {
           }
           rows.push_back(table::FormatRowText(row));
         }
-        auto response = (*client)->Append((*world)->meter.name, rows);
+        auto response = (*client)->Append("meterdata", rows);
         if (!response.ok() || !response->ok()) return;
         append_batches.fetch_add(1);
         std::this_thread::sleep_for(std::chrono::milliseconds(20));
@@ -235,8 +289,7 @@ int Main(int argc, char** argv) {
         const uint64_t variant =
             static_cast<uint64_t>(t) * 1000003ULL + static_cast<uint64_t>(i);
         const query::Query q = workload::MakeMeterQuery(
-            (*world)->config, kKinds[variant % 4], kSels[(variant / 4) % 3],
-            variant);
+            config, kKinds[variant % 4], kSels[(variant / 4) % 3], variant);
         const auto start = std::chrono::steady_clock::now();
         auto response = (*client)->Query(q.ToSql());
         const double ms =
@@ -279,29 +332,42 @@ int Main(int argc, char** argv) {
 
   stop_appender.store(true);
   if (appender.joinable()) appender.join();
-  {
+  if (server != nullptr) {
     auto client = ServerClient::ConnectTcp("127.0.0.1", port);
     if (client.ok()) (void)(*client)->Shutdown();
+    server->Shutdown();
   }
-  (*server)->Shutdown();
+  cluster.reset();  // front drains before the shards go away
 
   std::sort(latencies_ms.begin(), latencies_ms.end());
   const double qps =
       elapsed > 0 ? static_cast<double>(ok_count) / elapsed : 0;
+  const double p50 = Percentile(latencies_ms, 0.50);
+  const double p95 = Percentile(latencies_ms, 0.95);
+  const double p99 = Percentile(latencies_ms, 0.99);
   std::printf(
-      "{\"threads\": %d, \"queries_per_thread\": %d, \"ok\": %llu, "
-      "\"rejected\": %llu, \"errors\": %llu, \"wall_seconds\": %.3f, "
-      "\"qps\": %.1f, \"latency_ms\": {\"p50\": %.2f, \"p90\": %.2f, "
-      "\"p95\": %.2f, \"p99\": %.2f, \"max\": %.2f}, "
-      "\"append_batches\": %llu}\n",
-      flags.threads, flags.queries_per_thread,
+      "{\"shards\": %d, \"threads\": %d, \"queries_per_thread\": %d, "
+      "\"ok\": %llu, \"rejected\": %llu, \"errors\": %llu, "
+      "\"wall_seconds\": %.3f, \"qps\": %.1f, \"latency_ms\": "
+      "{\"p50\": %.2f, \"p90\": %.2f, \"p95\": %.2f, \"p99\": %.2f, "
+      "\"max\": %.2f}, \"append_batches\": %llu}\n",
+      flags.shards, flags.threads, flags.queries_per_thread,
       static_cast<unsigned long long>(ok_count),
       static_cast<unsigned long long>(rejected_count),
-      static_cast<unsigned long long>(error_count), elapsed, qps,
-      Percentile(latencies_ms, 0.50), Percentile(latencies_ms, 0.90),
-      Percentile(latencies_ms, 0.95), Percentile(latencies_ms, 0.99),
+      static_cast<unsigned long long>(error_count), elapsed, qps, p50,
+      Percentile(latencies_ms, 0.90), p95, p99,
       latencies_ms.empty() ? 0 : latencies_ms.back(),
       static_cast<unsigned long long>(append_batches.load()));
+  bench::AppendBenchJson(
+      "DGF_BENCH_BUILD_JSON", "BENCH_build.json",
+      StringPrintf("{\"bench\": \"server_throughput\", \"shards\": %d, "
+                   "\"threads\": %d, \"ok\": %llu, \"rejected\": %llu, "
+                   "\"wall_s\": %.3f, \"qps\": %.1f, \"p50_ms\": %.2f, "
+                   "\"p95_ms\": %.2f, \"p99_ms\": %.2f}",
+                   flags.shards, flags.threads,
+                   static_cast<unsigned long long>(ok_count),
+                   static_cast<unsigned long long>(rejected_count), elapsed,
+                   qps, p50, p95, p99));
   if (error_count > 0) {
     std::fprintf(stderr, "first error: %s\n", first_error.c_str());
     return 1;

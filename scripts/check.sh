@@ -4,6 +4,8 @@
 # pass that re-runs both the unit tests and the harness, and a TSan pass
 # that runs the concurrency stress tests plus the threaded differential.
 # Both sanitizer passes also run the query-server suite (dgf_server_tests)
+# and the shard-coordinator suite (dgf_coord_tests), and a shard smoke stage
+# runs the sharded-vs-oracle cluster sweep plus the wire fuzz
 # (contract: every stage prints exactly one [PASS]/[FAIL] line; any [FAIL]
 # makes the script exit non-zero).
 #
@@ -34,6 +36,11 @@ stage "configure"        cmake -B build -S .
 stage "build"            cmake --build build -j "$JOBS"
 stage "unit tests"       ctest --test-dir build -j "$JOBS" --output-on-failure
 stage "difftest tier1"   ./build/src/dgf_difftest --seeds=tier1
+# Shard smoke: paper-template queries through in-process 1/2/4-shard
+# clusters behind the coordinator, diffed against the single-node oracle,
+# plus the mutated-frame wire fuzz against the codec and a live server.
+stage "shard smoke"      ./build/src/dgf_difftest --shard-sweep --wire-fuzz \
+  --count=3 --seed=11
 # Parallel-build speedup gate (1.5x floor at 4 threads); self-skips (exit 0)
 # on hosts with < 4 CPUs, where the comparison measures nothing.
 stage "perf smoke"       ./build/bench/bench_perf_smoke
@@ -49,6 +56,9 @@ stage "asan kv/dgf tests" ctest --test-dir build-asan -j "$JOBS" \
   --output-on-failure -R 'Kv|Sstable|Lsm|Dgf|Slice|Difftest'
 stage "asan difftest"    ./build-asan/src/dgf_difftest --seed=1 --queries=40
 stage "asan server tests" ./build-asan/tests/dgf_server_tests
+stage "asan coord tests" ./build-asan/tests/dgf_coord_tests
+stage "asan shard smoke" ./build-asan/src/dgf_difftest --shard-sweep \
+  --wire-fuzz --count=1 --seed=11
 
 # ThreadSanitizer: concurrent readers vs appender/optimizer (the stress
 # tests) and the threaded differential against its sequential oracle. A
@@ -60,5 +70,8 @@ stage "tsan stress tests" ctest --test-dir build-tsan -j "$JOBS" \
   --output-on-failure -R 'ConcurrencyStress'
 stage "tsan difftest"    ./build-tsan/src/dgf_difftest --threads=4 --seeds=tier1
 stage "tsan server tests" ./build-tsan/tests/dgf_server_tests
+stage "tsan coord tests" ./build-tsan/tests/dgf_coord_tests
+stage "tsan shard smoke" ./build-tsan/src/dgf_difftest --shard-sweep \
+  --wire-fuzz --count=1 --seed=11
 
 exit "$FAILED"

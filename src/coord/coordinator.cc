@@ -1,0 +1,701 @@
+#include "coord/coordinator.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/stopwatch.h"
+#include "query/parser.h"
+#include "server/query_service.h"
+
+namespace dgf::coord {
+namespace {
+
+using server::Response;
+using server::ServerClient;
+
+/// How the merged result is assembled from shard-level rows.
+///
+/// The shard query equals the original except every avg(c) is replaced by
+/// sum(c), with one shared count(*) appended to the select — partial avgs do
+/// not merge, partial sums and counts do.
+///
+/// Shard row layout mirrors the executor's output modes exactly:
+///  - GROUP BY: [group value, aggregations in select order] — the group
+///    column leads regardless of its select position;
+///  - aggregation, no GROUP BY: [aggregations in select order] only;
+///  - projection/join: select order.
+struct MergePlan {
+  query::Query shard_query;
+  /// Group-merge (group-by or aggregation) vs sorted row merge (projection).
+  bool group_merge = false;
+  /// Shard-row slots forming the group key (the leading group value, if
+  /// any); empty key = plain aggregation = a single global group.
+  std::vector<size_t> key_slots;
+  /// One per merged output column, in the oracle's output order.
+  struct Item {
+    bool is_agg = false;
+    bool is_avg = false;
+    core::AggFunc func = core::AggFunc::kCount;
+    /// Spec of the *original* aggregation (names the merged output column).
+    core::AggSpec spec;
+    /// Shard-row slot (for avg: the rewritten sum's slot).
+    size_t slot = 0;
+  };
+  std::vector<Item> items;
+  /// Shard-row slot of the shared count(*) for avg; unused when no avg.
+  size_t count_slot = 0;
+};
+
+MergePlan PlanMerge(const query::Query& q) {
+  MergePlan plan;
+  plan.shard_query = q;
+  bool has_aggs = false;
+  bool any_avg = false;
+  for (const query::SelectItem& item : q.select) {
+    if (!item.is_aggregation()) continue;
+    has_aggs = true;
+    if (item.agg->func == core::AggFunc::kAvg) any_avg = true;
+  }
+  plan.group_merge = has_aggs || q.group_by.has_value();
+  if (!plan.group_merge) return plan;
+
+  // Rewrite avgs in place; select positions are otherwise preserved, so the
+  // shard-side Aggregations() order equals the original's.
+  for (query::SelectItem& item : plan.shard_query.select) {
+    if (item.is_aggregation() && item.agg->func == core::AggFunc::kAvg) {
+      item.agg->func = core::AggFunc::kSum;
+    }
+  }
+
+  const size_t base = q.group_by.has_value() ? 1 : 0;
+  if (q.group_by.has_value()) plan.key_slots.push_back(0);
+
+  size_t agg_index = 0;
+  if (q.group_by.has_value()) {
+    MergePlan::Item group;
+    group.slot = 0;
+    plan.items.push_back(group);
+  }
+  for (const query::SelectItem& item : q.select) {
+    if (!item.is_aggregation()) continue;
+    MergePlan::Item out;
+    out.is_agg = true;
+    out.func = item.agg->func;
+    out.spec = *item.agg;
+    out.is_avg = item.agg->func == core::AggFunc::kAvg;
+    out.slot = base + agg_index++;
+    plan.items.push_back(out);
+  }
+  if (any_avg) {
+    plan.count_slot = base + agg_index;
+    plan.shard_query.select.push_back(query::SelectItem::Aggregation(
+        core::AggSpec{core::AggFunc::kCount, "", ""}));
+  }
+  return plan;
+}
+
+/// Lexicographic canonical row order (same key DescribeResultMismatch sorts
+/// by): deterministic output independent of shard arrival order.
+bool RowLess(const table::Row& x, const table::Row& y) {
+  const size_t n = std::min(x.size(), y.size());
+  for (size_t i = 0; i < n; ++i) {
+    const int c = x[i].Compare(y[i]);
+    if (c != 0) return c < 0;
+  }
+  return x.size() < y.size();
+}
+
+/// Folds one shard's aggregate cell into the accumulator cell — the same
+/// additive merge the GFU headers use, over final result values. Counts stay
+/// int64; sums/min/max are doubles (AggResultValue's output types).
+table::Value FoldCell(core::AggFunc func, const table::Value& acc,
+                      const table::Value& next) {
+  switch (func) {
+    case core::AggFunc::kCount:
+      return table::Value::Int64(acc.int64() + next.int64());
+    case core::AggFunc::kSum:
+    case core::AggFunc::kSumProduct:
+    case core::AggFunc::kAvg:  // shard slot holds the rewritten partial sum
+      return table::Value::Double(acc.AsDouble() + next.AsDouble());
+    case core::AggFunc::kMin:
+      return next.Compare(acc) < 0 ? next : acc;
+    case core::AggFunc::kMax:
+      return next.Compare(acc) > 0 ? next : acc;
+  }
+  return acc;
+}
+
+Result<std::vector<table::Row>> ParseShardRows(
+    const server::QueryResultPayload& payload) {
+  std::vector<table::Row> rows;
+  rows.reserve(payload.rows.size());
+  for (const std::string& line : payload.rows) {
+    DGF_ASSIGN_OR_RETURN(table::Row row,
+                         table::ParseRowText(line, payload.schema));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void FoldStats(query::QueryStats* into, const query::QueryStats& part) {
+  into->records_read += part.records_read;
+  into->records_matched += part.records_matched;
+  into->bytes_read += part.bytes_read;
+  into->splits_scanned += part.splits_scanned;
+  into->kv_gets += part.kv_gets;
+  into->cache_hits += part.cache_hits;
+  into->cache_misses += part.cache_misses;
+  into->index_seconds += part.index_seconds;
+  into->data_seconds += part.data_seconds;
+  into->total_seconds += part.total_seconds;
+}
+
+}  // namespace
+
+Coordinator::Coordinator(Options options)
+    : options_(std::move(options)),
+      pool_(std::max(1, options_.max_concurrent)),
+      free_(static_cast<size_t>(
+          std::max<size_t>(1, options_.shards.size()))) {}
+
+Coordinator::~Coordinator() {
+  BeginDrain();
+  Drain();
+}
+
+void Coordinator::RegisterTable(const table::TableDesc& desc) {
+  catalog_[desc.name] = desc;
+}
+
+Result<query::Query> Coordinator::Parse(const std::string& sql) const {
+  const std::string from = server::TableAfterKeyword(sql, "from");
+  if (from.empty()) return Status::InvalidArgument("no FROM table in: " + sql);
+  auto it = catalog_.find(from);
+  if (it == catalog_.end()) {
+    return Status::NotFound("table not registered: " + from);
+  }
+  const table::Schema* right = nullptr;
+  const std::string join = server::TableAfterKeyword(sql, "join");
+  if (!join.empty()) {
+    auto jt = catalog_.find(join);
+    if (jt == catalog_.end()) {
+      return Status::NotFound("join table not registered: " + join);
+    }
+    right = &jt->second.schema;
+  }
+  return query::ParseQuery(sql, it->second.schema, right);
+}
+
+Result<std::unique_ptr<ServerClient>> Coordinator::Checkout(int shard) {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    auto& idle = free_[static_cast<size_t>(shard)];
+    if (!idle.empty()) {
+      auto client = std::move(idle.back());
+      idle.pop_back();
+      return client;
+    }
+  }
+  const ShardEndpoint& endpoint = options_.shards[static_cast<size_t>(shard)];
+  Result<std::unique_ptr<ServerClient>> client =
+      endpoint.unix_path.empty()
+          ? ServerClient::ConnectTcp(endpoint.host, endpoint.port,
+                                     options_.connect_timeout_seconds)
+          : ServerClient::ConnectUnix(endpoint.unix_path);
+  if (!client.ok()) return client;
+  // A shard that accepts the connection but then stalls mid-frame must not
+  // wedge a fan-out thread forever.
+  DGF_RETURN_IF_ERROR((*client)->SetRecvTimeout(
+      std::max(1.0, options_.shard_response_timeout_seconds)));
+  return client;
+}
+
+void Coordinator::Checkin(int shard, std::unique_ptr<ServerClient> client) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  free_[static_cast<size_t>(shard)].push_back(std::move(client));
+}
+
+Status Coordinator::SubmitQuery(uint64_t request_id, std::string sql,
+                                double deadline_seconds,
+                                server::WireService::QueryDone done) {
+  auto token = std::make_shared<CancelToken>();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      ++rejected_;
+      return Status::Unavailable("coordinator is draining");
+    }
+    if (in_flight_ >= options_.max_concurrent + options_.max_pending) {
+      ++rejected_;
+      return Status::Unavailable("admission queue full (" +
+                                 std::to_string(in_flight_) + " in flight)");
+    }
+    if (!tokens_.emplace(request_id, token).second) {
+      ++rejected_;
+      return Status::InvalidArgument("duplicate in-flight request id");
+    }
+    ++in_flight_;
+    ++admitted_;
+  }
+  if (deadline_seconds > 0) token->SetDeadlineAfter(deadline_seconds);
+  pool_.Submit([this, request_id, sql = std::move(sql), deadline_seconds,
+                token, done = std::move(done)]() mutable {
+    RunQuery(request_id, std::move(sql), deadline_seconds, std::move(token),
+             std::move(done));
+  });
+  return Status::OK();
+}
+
+void Coordinator::RunQuery(uint64_t request_id, std::string sql,
+                           double deadline_seconds,
+                           std::shared_ptr<CancelToken> token,
+                           server::WireService::QueryDone done) {
+  Stopwatch wall;
+  Result<query::QueryResult> result = [&]() -> Result<query::QueryResult> {
+    DGF_ASSIGN_OR_RETURN(query::Query q, Parse(sql));
+    return ExecuteScatterGather(q, deadline_seconds, token.get());
+  }();
+  if (result.ok()) result->stats.wall_seconds = wall.ElapsedSeconds();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tokens_.erase(request_id);
+    --in_flight_;
+    if (result.ok()) {
+      ++served_;
+    } else if (result.status().IsCancelled()) {
+      ++cancelled_;
+    } else if (result.status().IsDeadlineExceeded()) {
+      ++deadline_exceeded_;
+    } else {
+      ++failed_;
+    }
+    const double seconds = wall.ElapsedSeconds();
+    if (latencies_.size() < kLatencyWindow) {
+      latencies_.push_back(seconds);
+    } else {
+      latencies_[latency_next_] = seconds;
+      latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+    }
+    ++latency_total_;
+    if (in_flight_ == 0) drained_.notify_all();
+  }
+  done(std::move(result));
+}
+
+void Coordinator::FanOutCancel(std::vector<ShardCall>& calls) {
+  for (ShardCall& call : calls) {
+    if (call.done || call.broken || call.cancel_sent) continue;
+    call.cancel_sent = true;
+    // A CANCEL leaves its own ack in flight on the connection, so the
+    // connection is retired after this query either way; failure to send
+    // just means the shard finishes on its own.
+    if (!call.client->StartCancel(call.request_id).ok()) call.broken = true;
+  }
+}
+
+Result<query::QueryResult> Coordinator::ExecuteScatterGather(
+    const query::Query& q, double deadline_seconds, CancelToken* token) {
+  const int num_shards = options_.shard_map.num_shards();
+  if (options_.shards.size() != static_cast<size_t>(num_shards)) {
+    return Status::InvalidArgument(
+        "shard map has " + std::to_string(num_shards) + " shards but " +
+        std::to_string(options_.shards.size()) + " endpoints configured");
+  }
+
+  const MergePlan plan = PlanMerge(q);
+
+  // Decompose the query box into per-shard sub-boxes. A shard whose band
+  // cannot intersect the box is skipped. When *no* shard intersects (the
+  // query's own range is empty), shard 0 serves the full query: its answer —
+  // zero rows, or identity aggregates — is already the global answer.
+  std::vector<std::pair<int, std::string>> targets;
+  for (int shard = 0; shard < num_shards; ++shard) {
+    std::optional<query::Query> sub =
+        options_.shard_map.Restrict(plan.shard_query, shard);
+    if (!sub) continue;
+    targets.emplace_back(shard, sub->ToSql());
+  }
+  if (targets.empty()) targets.emplace_back(0, plan.shard_query.ToSql());
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    subqueries_ += targets.size();
+    shards_skipped_ +=
+        static_cast<uint64_t>(num_shards) - targets.size();
+  }
+
+  // Scatter: start every sub-query before awaiting any, so shard-side
+  // execution overlaps; each call owns its connection (ServerClient is
+  // single-threaded, and one in-flight query per connection keeps CANCEL
+  // routing trivial).
+  Stopwatch elapsed;
+  std::vector<ShardCall> calls;
+  calls.reserve(targets.size());
+  Status failure;
+  for (const auto& [shard, sub_sql] : targets) {
+    ShardCall call;
+    call.shard = shard;
+    auto client = Checkout(shard);
+    if (!client.ok()) {
+      failure = Status::Unavailable(
+          "shard " + std::to_string(shard) + " (" +
+          options_.shards[static_cast<size_t>(shard)].ToString() +
+          ") unavailable: " + client.status().message());
+      break;
+    }
+    call.client = std::move(*client);
+    const double remaining =
+        deadline_seconds > 0
+            ? std::max(0.001, deadline_seconds - elapsed.ElapsedSeconds())
+            : 0;
+    auto started = call.client->StartQuery(sub_sql, remaining);
+    if (!started.ok()) {
+      failure = Status::Unavailable(
+          "shard " + std::to_string(shard) + " (" +
+          options_.shards[static_cast<size_t>(shard)].ToString() +
+          ") unavailable: " + started.status().message());
+      break;
+    }
+    call.request_id = *started;
+    calls.push_back(std::move(call));
+  }
+
+  // Gather: await each pending call in short slices, checking our own token
+  // between slices. The first failure (transport error, shard timeout, or
+  // our own cancel/deadline) fans a CANCEL out to every other shard and
+  // wins; stragglers' connections are simply not pooled again.
+  bool token_tripped = false;
+  Stopwatch cancel_wait;
+  for (size_t i = 0; failure.ok() && i < calls.size(); ++i) {
+    ShardCall& call = calls[i];
+    Stopwatch silent;
+    while (!call.done) {
+      auto got =
+          call.client->AwaitFor(call.request_id,
+                                options_.poll_interval_seconds);
+      if (!got.ok()) {
+        call.broken = true;
+        failure = Status::Unavailable(
+            "shard " + std::to_string(call.shard) + " (" +
+            options_.shards[static_cast<size_t>(call.shard)].ToString() +
+            ") died mid-query: " + got.status().message());
+        break;
+      }
+      if (got->has_value()) {
+        call.response = std::move(**got);
+        call.done = true;
+        break;
+      }
+      if (!token_tripped && !token->Check().ok()) {
+        // Our own cancel or deadline: tell every shard to stop, then keep
+        // draining so the failure we report is the token's, not a fake
+        // shard timeout.
+        token_tripped = true;
+        cancel_wait.Restart();
+        FanOutCancel(calls);
+      }
+      if (call.broken) {
+        // FanOutCancel could not reach this shard; stop waiting on it.
+        failure = token->Check();
+        break;
+      }
+      const double silent_for =
+          token_tripped ? cancel_wait.ElapsedSeconds() : silent.ElapsedSeconds();
+      if (silent_for > options_.shard_response_timeout_seconds) {
+        call.broken = true;
+        failure =
+            token_tripped
+                ? token->Check()
+                : Status::Unavailable(
+                      "shard " + std::to_string(call.shard) + " (" +
+                      options_.shards[static_cast<size_t>(call.shard)]
+                          .ToString() +
+                      ") unresponsive after " +
+                      std::to_string(
+                          options_.shard_response_timeout_seconds) +
+                      "s");
+        break;
+      }
+    }
+  }
+
+  if (failure.ok() && !token->Check().ok()) {
+    // Token tripped after the last response arrived: still honor it.
+    failure = token->Check();
+  }
+
+  if (!failure.ok()) {
+    FanOutCancel(calls);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++shard_errors_;
+  } else {
+    // All shards answered. A non-OK shard response propagates as-is (it is
+    // already a structured error; Cancelled/DeadlineExceeded from a shard's
+    // own deadline included).
+    for (ShardCall& call : calls) {
+      if (call.response.ok()) continue;
+      failure = server::ResponseStatus(call.response);
+      break;
+    }
+  }
+
+  // Connections with no leftover in-flight traffic go back to the pool.
+  for (ShardCall& call : calls) {
+    if (call.done && !call.broken && !call.cancel_sent) {
+      Checkin(call.shard, std::move(call.client));
+    }
+  }
+  DGF_RETURN_IF_ERROR(failure);
+
+  // Merge. Shard schemas must agree (same catalog everywhere).
+  const table::Schema& schema = calls.front().response.result.schema;
+  for (const ShardCall& call : calls) {
+    if (call.response.result.schema.num_fields() != schema.num_fields()) {
+      return Status::Internal("shard result schemas disagree");
+    }
+  }
+
+  query::QueryResult merged;
+  merged.stats = calls.front().response.result.stats;
+  for (size_t i = 1; i < calls.size(); ++i) {
+    FoldStats(&merged.stats, calls[i].response.result.stats);
+  }
+
+  if (!plan.group_merge) {
+    // Sorted row merge: shard row sets are disjoint, so the union is exact.
+    merged.schema = schema;
+    for (ShardCall& call : calls) {
+      DGF_ASSIGN_OR_RETURN(std::vector<table::Row> rows,
+                           ParseShardRows(call.response.result));
+      merged.rows.insert(merged.rows.end(),
+                         std::make_move_iterator(rows.begin()),
+                         std::make_move_iterator(rows.end()));
+    }
+    std::sort(merged.rows.begin(), merged.rows.end(), RowLess);
+    return merged;
+  }
+
+  // Group-merge (a plain aggregation is the empty-key case: every shard
+  // returns exactly one row and all fold into one group). Keyed by the
+  // leading group value; aggregate slots fold additively — the rewritten avg
+  // slots as sums, the shared count(*) once per incoming row.
+  const bool any_avg = std::any_of(
+      plan.items.begin(), plan.items.end(),
+      [](const MergePlan::Item& item) { return item.is_avg; });
+  std::map<std::string, table::Row> groups;
+  for (ShardCall& call : calls) {
+    DGF_ASSIGN_OR_RETURN(std::vector<table::Row> rows,
+                         ParseShardRows(call.response.result));
+    for (table::Row& row : rows) {
+      std::string key;
+      for (size_t slot : plan.key_slots) {
+        key += row[slot].ToText();
+        key.push_back('\x1f');
+      }
+      auto [it, inserted] = groups.emplace(std::move(key), std::move(row));
+      if (inserted) continue;
+      table::Row& acc = it->second;
+      for (const MergePlan::Item& item : plan.items) {
+        if (!item.is_agg) continue;
+        acc[item.slot] = FoldCell(item.func, acc[item.slot], row[item.slot]);
+      }
+      if (any_avg) {
+        acc[plan.count_slot] = FoldCell(core::AggFunc::kCount,
+                                        acc[plan.count_slot],
+                                        row[plan.count_slot]);
+      }
+    }
+  }
+
+  // Project back to the oracle's output layout — [group column,] one column
+  // per requested aggregation, named by the *original* spec (so a rewritten
+  // avg reads "avg(col)", not "sum(col)") — dividing out rewritten avgs.
+  std::vector<table::Field> fields;
+  for (const MergePlan::Item& item : plan.items) {
+    if (!item.is_agg) {
+      fields.push_back(schema.fields()[item.slot]);
+    } else {
+      fields.push_back({item.spec.ToString(),
+                        item.func == core::AggFunc::kCount
+                            ? table::DataType::kInt64
+                            : table::DataType::kDouble});
+    }
+  }
+  merged.schema = table::Schema(std::move(fields));
+  for (auto& [key, row] : groups) {
+    table::Row out;
+    out.reserve(plan.items.size());
+    for (const MergePlan::Item& item : plan.items) {
+      if (item.is_avg) {
+        const double count = row[plan.count_slot].AsDouble();
+        out.push_back(table::Value::Double(
+            count > 0 ? row[item.slot].AsDouble() / count : 0.0));
+      } else {
+        out.push_back(row[item.slot]);
+      }
+    }
+    merged.rows.push_back(std::move(out));
+  }
+  std::sort(merged.rows.begin(), merged.rows.end(), RowLess);
+  return merged;
+}
+
+bool Coordinator::CancelQuery(uint64_t request_id) {
+  std::shared_ptr<CancelToken> token;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tokens_.find(request_id);
+    if (it == tokens_.end()) return false;
+    token = it->second;
+  }
+  token->Cancel();
+  return true;
+}
+
+Result<uint64_t> Coordinator::Append(const std::string& table,
+                                     const std::vector<std::string>& rows) {
+  auto it = catalog_.find(table);
+  if (it == catalog_.end()) {
+    return Status::NotFound("table not registered: " + table);
+  }
+  const table::Schema& schema = it->second.schema;
+  int part_col = -1;
+  for (int i = 0; i < schema.num_fields(); ++i) {
+    if (table::ColumnNameEquals(schema.fields()[static_cast<size_t>(i)].name,
+                                options_.shard_map.column())) {
+      part_col = i;
+      break;
+    }
+  }
+  if (part_col < 0) {
+    return Status::InvalidArgument("table " + table +
+                                   " has no partition column " +
+                                   options_.shard_map.column());
+  }
+
+  // Route each row by its partition-dimension value. One bucket per shard;
+  // each non-empty bucket becomes exactly one APPEND to its shard, riding
+  // that shard's group-commit pipeline, so a shard's slice of this call
+  // publishes atomically.
+  std::vector<std::vector<std::string>> buckets(
+      static_cast<size_t>(options_.shard_map.num_shards()));
+  for (const std::string& line : rows) {
+    DGF_ASSIGN_OR_RETURN(table::Row row, table::ParseRowText(line, schema));
+    const table::Value& v = row[static_cast<size_t>(part_col)];
+    const int64_t key = (v.is_int64() || v.is_date())
+                            ? v.int64()
+                            : static_cast<int64_t>(v.AsDouble());
+    buckets[static_cast<size_t>(options_.shard_map.ShardForValue(key))]
+        .push_back(line);
+  }
+
+  // Fan out: one thread per target shard so the shards' group-commit
+  // pipelines overlap (they are independent machines).
+  std::mutex result_mu;
+  Status failure;
+  uint64_t appended = 0;
+  int shard_batches = 0;
+  std::vector<std::thread> threads;
+  for (size_t shard = 0; shard < buckets.size(); ++shard) {
+    if (buckets[shard].empty()) continue;
+    ++shard_batches;
+    threads.emplace_back([this, shard, &buckets, &table, &result_mu, &failure,
+                          &appended] {
+      Status status;
+      auto client = Checkout(static_cast<int>(shard));
+      if (!client.ok()) {
+        status = Status::Unavailable(
+            "shard " + std::to_string(shard) + " (" +
+            options_.shards[shard].ToString() +
+            ") unavailable: " + client.status().message());
+      } else {
+        auto response = (*client)->Append(table, buckets[shard]);
+        if (!response.ok()) {
+          status = Status::Unavailable(
+              "shard " + std::to_string(shard) + " (" +
+              options_.shards[shard].ToString() +
+              ") died mid-append: " + response.status().message());
+        } else if (!response->ok()) {
+          status = server::ResponseStatus(*response);
+        } else {
+          Checkin(static_cast<int>(shard), std::move(*client));
+        }
+      }
+      std::lock_guard<std::mutex> lock(result_mu);
+      if (status.ok()) {
+        appended += buckets[shard].size();
+      } else if (failure.ok()) {
+        failure = status;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++appends_;
+    rows_appended_ += rows.size();
+    append_shard_batches_ += static_cast<uint64_t>(shard_batches);
+  }
+  // Partial failure is reported, never hidden: some shards may have
+  // published their slice (each atomically); the caller knows the batch as
+  // a whole did not commit and can retry — re-appending is the documented
+  // at-least-once contract, same as a retried single-node APPEND.
+  DGF_RETURN_IF_ERROR(failure);
+  return appended;
+}
+
+std::vector<std::pair<std::string, double>> Coordinator::StatsSnapshot()
+    const {
+  std::vector<std::pair<std::string, double>> out;
+  std::vector<double> window;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.emplace_back("queries.admitted", static_cast<double>(admitted_));
+    out.emplace_back("queries.served", static_cast<double>(served_));
+    out.emplace_back("queries.rejected", static_cast<double>(rejected_));
+    out.emplace_back("queries.cancelled", static_cast<double>(cancelled_));
+    out.emplace_back("queries.deadline_exceeded",
+                     static_cast<double>(deadline_exceeded_));
+    out.emplace_back("queries.failed", static_cast<double>(failed_));
+    out.emplace_back("queries.in_flight", static_cast<double>(in_flight_));
+    out.emplace_back("coord.shards",
+                     static_cast<double>(options_.shard_map.num_shards()));
+    out.emplace_back("coord.subqueries", static_cast<double>(subqueries_));
+    out.emplace_back("coord.shards_skipped",
+                     static_cast<double>(shards_skipped_));
+    out.emplace_back("coord.shard_errors",
+                     static_cast<double>(shard_errors_));
+    out.emplace_back("appends.batches", static_cast<double>(appends_));
+    out.emplace_back("appends.rows", static_cast<double>(rows_appended_));
+    out.emplace_back("appends.shard_batches",
+                     static_cast<double>(append_shard_batches_));
+    out.emplace_back("latency.samples", static_cast<double>(latency_total_));
+    window = latencies_;
+  }
+  std::sort(window.begin(), window.end());
+  auto percentile = [&window](double p) {
+    if (window.empty()) return 0.0;
+    const double rank = p * static_cast<double>(window.size() - 1);
+    const auto lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, window.size() - 1);
+    return window[lo] + (window[hi] - window[lo]) *
+                            (rank - static_cast<double>(lo));
+  };
+  out.emplace_back("latency.p50_ms", percentile(0.50) * 1e3);
+  out.emplace_back("latency.p95_ms", percentile(0.95) * 1e3);
+  out.emplace_back("latency.p99_ms", percentile(0.99) * 1e3);
+  return out;
+}
+
+void Coordinator::BeginDrain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  draining_ = true;
+}
+
+void Coordinator::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+}  // namespace dgf::coord

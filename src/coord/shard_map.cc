@@ -1,0 +1,98 @@
+#include "coord/shard_map.h"
+
+#include <algorithm>
+
+namespace dgf::coord {
+namespace {
+
+table::Value DimValue(table::DataType type, int64_t v) {
+  return type == table::DataType::kDate ? table::Value::Date(v)
+                                        : table::Value::Int64(v);
+}
+
+}  // namespace
+
+std::string ShardEndpoint::ToString() const {
+  if (!unix_path.empty()) return "unix:" + unix_path;
+  return host + ":" + std::to_string(port);
+}
+
+ShardMap ShardMap::ByTimeRange(std::string time_column, int64_t first_day,
+                               int64_t last_day, int num_shards) {
+  const int64_t days = std::max<int64_t>(1, last_day - first_day + 1);
+  const auto n = static_cast<int64_t>(
+      std::max(1, std::min<int>(num_shards, static_cast<int>(days))));
+  std::vector<int64_t> cuts;
+  cuts.reserve(static_cast<size_t>(n - 1));
+  // Balanced contiguous day bands: the first `days % n` bands take one extra
+  // day. (Ceil-sized bands would exhaust the span early — 5 days over 4
+  // shards is 2,2,1,0 — leaving trailing shards with no days at all.)
+  const int64_t base = days / n;
+  const int64_t extra = days % n;
+  int64_t cursor = first_day;
+  for (int64_t i = 0; i < n - 1; ++i) {
+    cursor += base + (i < extra ? 1 : 0);
+    cuts.push_back(cursor);
+  }
+  return ByCuts(std::move(time_column), table::DataType::kDate,
+                std::move(cuts));
+}
+
+ShardMap ShardMap::ByCuts(std::string column, table::DataType type,
+                          std::vector<int64_t> cuts) {
+  ShardMap map;
+  map.column_ = std::move(column);
+  map.type_ = type;
+  map.cuts_ = std::move(cuts);
+  return map;
+}
+
+int ShardMap::ShardForValue(int64_t v) const {
+  // First cut strictly greater than v bounds v's band from above.
+  const auto it = std::upper_bound(cuts_.begin(), cuts_.end(), v);
+  return static_cast<int>(it - cuts_.begin());
+}
+
+std::optional<int64_t> ShardMap::LowerBound(int shard) const {
+  if (shard <= 0) return std::nullopt;
+  return cuts_[static_cast<size_t>(shard) - 1];
+}
+
+std::optional<int64_t> ShardMap::UpperBound(int shard) const {
+  if (shard >= static_cast<int>(cuts_.size())) return std::nullopt;
+  return cuts_[static_cast<size_t>(shard)] - 1;
+}
+
+std::optional<query::Query> ShardMap::Restrict(const query::Query& q,
+                                               int shard) const {
+  const std::optional<int64_t> lo = LowerBound(shard);
+  const std::optional<int64_t> hi = UpperBound(shard);
+  if (!lo && !hi) return q;  // single shard: the sub-box is the whole box
+
+  // Skip the shard when the query's own range on the partition dimension
+  // cannot intersect the shard's band.
+  if (const query::ColumnRange* qr = q.where.FindColumn(column_)) {
+    if (hi && qr->lower) {
+      const table::Value band_hi = DimValue(type_, *hi);
+      const int c = qr->lower->value.Compare(band_hi);
+      if (c > 0 || (c == 0 && !qr->lower->inclusive)) return std::nullopt;
+    }
+    if (lo && qr->upper) {
+      const table::Value band_lo = DimValue(type_, *lo);
+      const int c = qr->upper->value.Compare(band_lo);
+      if (c < 0 || (c == 0 && !qr->upper->inclusive)) return std::nullopt;
+    }
+  }
+
+  query::Query sub = q;
+  query::ColumnRange band;
+  band.column = column_;
+  if (lo) band.lower = query::Bound{DimValue(type_, *lo), true};
+  if (hi) band.upper = query::Bound{DimValue(type_, *hi), true};
+  // Predicate::And intersects with any existing range on the column, so the
+  // sub-query's box is exactly (query box) ∩ (shard band).
+  sub.where.And(std::move(band));
+  return sub;
+}
+
+}  // namespace dgf::coord

@@ -1,0 +1,83 @@
+#ifndef DGF_COORD_SHARD_MAP_H_
+#define DGF_COORD_SHARD_MAP_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+
+namespace dgf::coord {
+
+/// Network address of one shard server.
+struct ShardEndpoint {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Non-empty: connect over this Unix socket path instead of TCP.
+  std::string unix_path;
+
+  std::string ToString() const;
+};
+
+/// Partition of a table's grid across N shard servers along one grid
+/// dimension — in the paper's terms, each shard owns a contiguous band of
+/// grid cells, so any query box decomposes into at most one sub-box per
+/// shard and every row routes to exactly one shard.
+///
+/// The canonical partition dimension is time (`ByTimeRange`): smart-meter
+/// data arrives in collection order, so cross-shard appends route whole days
+/// to their owning shard and recent-time queries touch few shards. The cut
+/// points split the day span into contiguous ranges; shard 0 is unbounded
+/// below and shard N-1 unbounded above, so out-of-range values (e.g. days
+/// appended after the initial load window) still route somewhere instead of
+/// failing.
+class ShardMap {
+ public:
+  /// Single implicit shard owning everything.
+  ShardMap() = default;
+
+  /// Splits days [first_day, last_day] into `num_shards` contiguous,
+  /// non-empty ranges (cut points at balanced day boundaries). A shard must
+  /// own at least one day, so `num_shards` is clamped to the day count —
+  /// check `num_shards()` for the effective value.
+  static ShardMap ByTimeRange(std::string time_column, int64_t first_day,
+                              int64_t last_day, int num_shards);
+
+  /// Explicit cut points over `column` (values of `type`): shard i owns
+  /// [cuts[i-1], cuts[i]) with the outer shards unbounded. `cuts` must be
+  /// strictly increasing; num_shards() == cuts.size() + 1. This is the
+  /// generalization to any int-valued grid dimension ("or grid region").
+  static ShardMap ByCuts(std::string column, table::DataType type,
+                         std::vector<int64_t> cuts);
+
+  int num_shards() const { return static_cast<int>(cuts_.size()) + 1; }
+  const std::string& column() const { return column_; }
+  table::DataType type() const { return type_; }
+  const std::vector<int64_t>& cuts() const { return cuts_; }
+
+  /// The shard owning partition-dimension value `v` (total: every value maps
+  /// to exactly one shard).
+  int ShardForValue(int64_t v) const;
+
+  /// Inclusive bounds of `shard`'s band; nullopt = unbounded on that side.
+  std::optional<int64_t> LowerBound(int shard) const;
+  std::optional<int64_t> UpperBound(int shard) const;
+
+  /// `q` restricted to `shard`'s band: the query's predicate intersected
+  /// with the shard's partition-dimension range (the per-shard sub-box).
+  /// nullopt when the intersection is provably empty — the shard cannot
+  /// contribute any row and is skipped entirely.
+  std::optional<query::Query> Restrict(const query::Query& q,
+                                       int shard) const;
+
+ private:
+  std::string column_ = "time";
+  table::DataType type_ = table::DataType::kDate;
+  /// Strictly increasing; shard i owns [cuts_[i-1], cuts_[i]).
+  std::vector<int64_t> cuts_;
+};
+
+}  // namespace dgf::coord
+
+#endif  // DGF_COORD_SHARD_MAP_H_

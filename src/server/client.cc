@@ -1,19 +1,69 @@
 #include "server/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 namespace dgf::server {
 
+namespace {
+
+/// connect() bounded by `timeout_seconds`: non-blocking connect, poll for
+/// writability, then SO_ERROR for the real outcome. Restores blocking mode
+/// on success.
+Status ConnectWithTimeout(int fd, const sockaddr* addr, socklen_t addrlen,
+                          double timeout_seconds) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Status::IOError(std::string("fcntl: ") + std::strerror(errno));
+  }
+  if (::connect(fd, addr, addrlen) != 0) {
+    if (errno != EINPROGRESS) {
+      return Status::IOError(std::string("connect: ") + std::strerror(errno));
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    const int timeout_ms =
+        static_cast<int>(std::min(timeout_seconds * 1e3, 2.0e9)) + 1;
+    int n;
+    do {
+      n = ::poll(&pfd, 1, timeout_ms);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+      return Status::IOError(std::string("poll: ") + std::strerror(errno));
+    }
+    if (n == 0) return Status::IOError("connect timed out");
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      return Status::IOError(std::string("getsockopt: ") +
+                             std::strerror(errno));
+    }
+    if (err != 0) {
+      return Status::IOError(std::string("connect: ") + std::strerror(err));
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) != 0) {
+    return Status::IOError(std::string("fcntl: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Result<std::unique_ptr<ServerClient>> ServerClient::ConnectTcp(
-    const std::string& host, int port) {
+    const std::string& host, int port, double connect_timeout_seconds) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IOError(std::string("socket: ") + std::strerror(errno));
@@ -25,11 +75,19 @@ Result<std::unique_ptr<ServerClient>> ServerClient::ConnectTcp(
     ::close(fd);
     return Status::InvalidArgument("not an IPv4 address: " + host);
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const int err = errno;
+  Status connected;
+  if (connect_timeout_seconds > 0) {
+    connected = ConnectWithTimeout(fd, reinterpret_cast<sockaddr*>(&addr),
+                                   sizeof(addr), connect_timeout_seconds);
+  } else if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr)) != 0) {
+    connected = Status::IOError(std::string("connect: ") +
+                                std::strerror(errno));
+  }
+  if (!connected.ok()) {
     ::close(fd);
     return Status::IOError("connect " + host + ":" + std::to_string(port) +
-                           ": " + std::strerror(err));
+                           ": " + connected.message());
   }
   return std::unique_ptr<ServerClient>(new ServerClient(fd));
 }
@@ -82,6 +140,50 @@ Result<Response> ServerClient::Await(uint64_t request_id) {
     if (response.request_id == request_id) return response;
     buffered_[response.request_id] = std::move(response);
   }
+}
+
+Result<std::optional<Response>> ServerClient::AwaitFor(
+    uint64_t request_id, double timeout_seconds) {
+  auto it = buffered_.find(request_id);
+  if (it != buffered_.end()) {
+    Response response = std::move(it->second);
+    buffered_.erase(it);
+    return std::optional<Response>(std::move(response));
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(
+                                std::max(0.0, timeout_seconds)));
+  std::string body;
+  for (;;) {
+    const double remaining =
+        std::chrono::duration<double>(deadline -
+                                      std::chrono::steady_clock::now())
+            .count();
+    DGF_ASSIGN_OR_RETURN(bool readable,
+                         WaitReadable(fd_, std::max(0.0, remaining)));
+    if (!readable) {
+      if (remaining <= 0) return std::optional<Response>();
+      continue;
+    }
+    // A full frame may still take multiple recvs; SetRecvTimeout (if the
+    // caller armed one) bounds a peer stalling mid-frame.
+    DGF_ASSIGN_OR_RETURN(bool more, ReadFrame(fd_, &body));
+    if (!more) {
+      return Status::IOError("connection closed awaiting response " +
+                             std::to_string(request_id));
+    }
+    DGF_ASSIGN_OR_RETURN(Response response, DecodeResponse(body));
+    if (response.request_id == request_id) {
+      return std::optional<Response>(std::move(response));
+    }
+    buffered_[response.request_id] = std::move(response);
+  }
+}
+
+Status ServerClient::SetRecvTimeout(double timeout_seconds) {
+  return server::SetRecvTimeout(fd_, timeout_seconds);
 }
 
 Result<Response> ServerClient::Call(Request request) {

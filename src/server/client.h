@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -21,8 +22,13 @@ namespace dgf::server {
 /// A client is NOT thread-safe — use one per thread (the load harness does).
 class ServerClient {
  public:
+  /// `connect_timeout_seconds` > 0 bounds the TCP handshake (a dead shard
+  /// endpoint fails fast instead of blocking a coordinator's fan-out
+  /// thread); <= 0 keeps the kernel's default blocking connect. This is
+  /// deliberately distinct from any query deadline, which only starts once
+  /// the server has the request.
   static Result<std::unique_ptr<ServerClient>> ConnectTcp(
-      const std::string& host, int port);
+      const std::string& host, int port, double connect_timeout_seconds = 0);
   static Result<std::unique_ptr<ServerClient>> ConnectUnix(
       const std::string& path);
   ~ServerClient();
@@ -42,6 +48,18 @@ class ServerClient {
   Result<uint64_t> StartCancel(uint64_t target_request_id);
   /// Blocks until the response for `request_id` arrives.
   Result<Response> Await(uint64_t request_id);
+  /// Like Await but gives up after `timeout_seconds`, returning nullopt.
+  /// Nothing is consumed on timeout (the wait polls before reading a frame
+  /// header), so the connection stays at a frame boundary and the same id
+  /// can be awaited again — a coordinator uses short slices of this to check
+  /// its own cancel token between shard responses.
+  Result<std::optional<Response>> AwaitFor(uint64_t request_id,
+                                           double timeout_seconds);
+
+  /// Bounds every subsequent single recv (frame header or body bytes): a
+  /// peer that goes silent mid-frame yields IOError("recv timed out")
+  /// instead of hanging this thread. 0 restores blocking reads.
+  Status SetRecvTimeout(double timeout_seconds);
 
   Result<Response> Append(const std::string& table,
                           const std::vector<std::string>& rows);

@@ -10,11 +10,7 @@
 #include "testing/crash_point.h"
 
 namespace dgf::server {
-namespace {
 
-/// Finds the identifier following keyword `kw` ("from"/"join") in `sql`,
-/// case-insensitively. The parser proper needs the table schema up front to
-/// type literals, so the service peeks at the table names first.
 std::string TableAfterKeyword(std::string_view sql, std::string_view kw) {
   auto lower = [](char c) {
     return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
@@ -42,6 +38,8 @@ std::string TableAfterKeyword(std::string_view sql, std::string_view kw) {
   }
   return std::string();
 }
+
+namespace {
 
 double Percentile(std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0;

@@ -17,8 +17,15 @@
 #include "dgf/dgf_index.h"
 #include "fs/mini_dfs.h"
 #include "query/executor.h"
+#include "server/service_interface.h"
 
 namespace dgf::server {
+
+/// Finds the identifier following keyword `kw` ("from"/"join") in `sql`,
+/// case-insensitively; empty when absent. The parser proper needs the table
+/// schema up front to type literals, so catalog holders (QueryService, the
+/// coordinator) peek at the table names first.
+std::string TableAfterKeyword(std::string_view sql, std::string_view kw);
 
 /// The server-side query engine: a catalog of tables and indexes, a worker
 /// pool bounding query concurrency, admission control bounding the pending
@@ -30,7 +37,7 @@ namespace dgf::server {
 /// one index epoch), so concurrent queries and appends never tear a result.
 /// Appends serialize on the target index's mutation lock inside
 /// DgfBuilder::Append.
-class QueryService {
+class QueryService : public WireService {
  public:
   struct Options {
     std::shared_ptr<fs::MiniDfs> dfs;
@@ -46,7 +53,7 @@ class QueryService {
 
   explicit QueryService(Options options);
   /// Drains in-flight queries (equivalent to BeginDrain + Drain).
-  ~QueryService();
+  ~QueryService() override;
 
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
@@ -55,7 +62,7 @@ class QueryService {
   void RegisterTable(const table::TableDesc& desc);
   void RegisterDgfIndex(const std::string& table, core::DgfIndex* index);
 
-  using QueryDone = std::function<void(Result<query::QueryResult>)>;
+  using QueryDone = WireService::QueryDone;
 
   /// Admits and asynchronously executes one SQL query. On admission returns
   /// OK and later invokes `done` exactly once on a worker thread; on
@@ -63,11 +70,11 @@ class QueryService {
   /// calling `done`. `request_id` keys cancellation and must be unique among
   /// in-flight queries of this service.
   Status SubmitQuery(uint64_t request_id, std::string sql,
-                     double deadline_seconds, QueryDone done);
+                     double deadline_seconds, QueryDone done) override;
 
   /// Trips the cancel token of an in-flight query. False when no query with
   /// that id is in flight (already finished, or never admitted).
-  bool CancelQuery(uint64_t request_id);
+  bool CancelQuery(uint64_t request_id) override;
 
   /// Appends text rows to `table`'s DGF index (the paper's incremental batch
   /// load) through a double-buffered group-commit pipeline: concurrent
@@ -83,17 +90,17 @@ class QueryService {
   /// cost one publish per flush, not per call. Returns this call's row count
   /// once the group holding it has published.
   Result<uint64_t> Append(const std::string& table,
-                          const std::vector<std::string>& rows);
+                          const std::vector<std::string>& rows) override;
 
   /// Counter snapshot for the STATS opcode: admission/outcome counters,
   /// latency percentiles over a sliding window, and cumulative cache and
   /// scan-volume totals.
-  std::vector<std::pair<std::string, double>> StatsSnapshot() const;
+  std::vector<std::pair<std::string, double>> StatsSnapshot() const override;
 
   /// Stops admitting queries (new submissions get Unavailable).
-  void BeginDrain();
+  void BeginDrain() override;
   /// Blocks until every admitted query has completed.
-  void Drain();
+  void Drain() override;
 
   query::QueryExecutor* executor() { return executor_.get(); }
 

@@ -72,7 +72,7 @@ Result<int> ListenUnix(const std::string& path) {
 
 Result<std::unique_ptr<Server>> Server::Start(Options options) {
   if (options.service == nullptr) {
-    return Status::InvalidArgument("Server requires a QueryService");
+    return Status::InvalidArgument("Server requires a WireService");
   }
   std::unique_ptr<Server> server(new Server(options));
   if (!options.unix_path.empty()) {
@@ -143,7 +143,7 @@ bool Server::HandleRequest(const std::shared_ptr<Connection>& conn,
   auto decoded = DecodeRequest(body);
   if (!decoded.ok()) return false;  // protocol error: drop the connection
   const Request& request = *decoded;
-  QueryService* service = options_.service;
+  WireService* service = options_.service;
 
   switch (request.opcode) {
     case Opcode::kQuery: {

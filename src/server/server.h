@@ -12,13 +12,14 @@
 #include <vector>
 
 #include "common/result.h"
-#include "server/query_service.h"
+#include "server/service_interface.h"
 #include "server/wire.h"
 
 namespace dgf::server {
 
 /// The wire front end: accepts TCP (127.0.0.1) or Unix-socket connections
-/// and speaks the framed protocol in wire.h against a QueryService.
+/// and speaks the framed protocol in wire.h against a WireService (a local
+/// QueryService, or a coord::Coordinator fronting a cluster of them).
 ///
 /// One reader thread per connection decodes requests; QUERY dispatches
 /// asynchronously into the service's worker pool, with the response written
@@ -34,7 +35,7 @@ class Server {
  public:
   struct Options {
     /// Borrowed; must outlive the server.
-    QueryService* service = nullptr;
+    WireService* service = nullptr;
     /// Non-empty: listen on this Unix socket path instead of TCP.
     std::string unix_path;
     /// TCP port on 127.0.0.1; 0 picks an ephemeral port (see `port()`).

@@ -8,8 +8,19 @@
 //   dgf_serverd --unix=/tmp/dgf.sock     # Unix socket
 //   dgf_serverd --smoke                  # self-test: serve, query, shut down
 //
-// World shape flags: --users, --days, --regions. Service flags:
-// --max-concurrent, --max-pending.
+// Coordinator mode fronts N already-running shard servers with the
+// scatter-gather coordinator, speaking the same wire protocol, so dgf_cli
+// cannot tell the cluster from a single node. Each shard should serve a
+// contiguous day band; --cuts lists the band boundaries (first day owned by
+// shard i+1), so with N shards there are N-1 cuts:
+//
+//   dgf_serverd --port=4642 --start-day=15675 --days=2 &   # shard 0
+//   dgf_serverd --port=4643 --start-day=15677 --days=3 &   # shard 1
+//   dgf_serverd --coordinator --port=4641 --cuts=15677
+//               --shard=127.0.0.1:4642 --shard=127.0.0.1:4643
+//
+// World shape flags: --users, --days, --regions, --start-day. Service
+// flags: --max-concurrent, --max-pending.
 
 #include <unistd.h>
 
@@ -19,7 +30,10 @@
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "coord/coordinator.h"
+#include "coord/shard_map.h"
 #include "dgf/dgf_builder.h"
 #include "kv/mem_kv.h"
 #include "server/client.h"
@@ -37,8 +51,12 @@ struct Flags {
   int64_t users = 200;
   int days = 5;
   int64_t regions = 5;
+  int64_t start_day = 15675;
   int max_concurrent = 4;
   int max_pending = 16;
+  bool coordinator = false;
+  std::vector<coord::ShardEndpoint> shards;
+  std::vector<int64_t> cuts;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* value) {
@@ -80,6 +98,7 @@ Result<std::unique_ptr<DemoWorld>> BuildDemoWorld(const Flags& flags) {
   world->config.num_users = flags.users;
   world->config.num_days = flags.days;
   world->config.num_regions = flags.regions;
+  world->config.start_day = flags.start_day;
   world->config.extra_metrics = 2;
   DGF_ASSIGN_OR_RETURN(
       world->meter,
@@ -213,12 +232,112 @@ int RunServer(const Flags& flags) {
   return 0;
 }
 
+/// Fronts already-running shard servers with a Coordinator behind a server
+/// speaking the same wire protocol. The catalog mirrors the demo world's
+/// schemas (every shard serves one); only schemas matter to the coordinator,
+/// which never scans local data.
+int RunCoordinator(const Flags& flags) {
+  if (flags.shards.empty()) {
+    std::fprintf(stderr, "dgf_serverd: --coordinator needs >= 1 --shard\n");
+    return 2;
+  }
+  if (flags.cuts.size() + 1 != flags.shards.size()) {
+    std::fprintf(stderr,
+                 "dgf_serverd: %zu shards need %zu cuts (got %zu): each cut "
+                 "is the first day owned by the next shard\n",
+                 flags.shards.size(), flags.shards.size() - 1,
+                 flags.cuts.size());
+    return 2;
+  }
+  workload::MeterConfig config;
+  config.extra_metrics = 2;  // the demo world's schema shape
+
+  coord::Coordinator::Options options;
+  options.shard_map =
+      coord::ShardMap::ByCuts("time", table::DataType::kDate, flags.cuts);
+  options.shards = flags.shards;
+  options.max_concurrent = flags.max_concurrent;
+  options.max_pending = flags.max_pending;
+  coord::Coordinator coordinator(std::move(options));
+  coordinator.RegisterTable(table::TableDesc{
+      "meterdata", workload::MeterSchema(config), table::FileFormat::kText,
+      ""});
+  coordinator.RegisterTable(table::TableDesc{
+      "userinfo", workload::UserInfoSchema(), table::FileFormat::kText, ""});
+
+  Server::Options server_options;
+  server_options.service = &coordinator;
+  server_options.unix_path = flags.unix_path;
+  server_options.port = flags.port;
+  auto server = Server::Start(server_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "dgf_serverd: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  std::string shard_list;
+  for (const coord::ShardEndpoint& endpoint : flags.shards) {
+    if (!shard_list.empty()) shard_list += ", ";
+    shard_list += endpoint.ToString();
+  }
+  if (flags.unix_path.empty()) {
+    std::printf("dgf_serverd: coordinating %zu shard%s (%s) on 127.0.0.1:%d\n",
+                flags.shards.size(), flags.shards.size() == 1 ? "" : "s",
+                shard_list.c_str(), (*server)->port());
+  } else {
+    std::printf("dgf_serverd: coordinating %zu shard%s (%s) on %s\n",
+                flags.shards.size(), flags.shards.size() == 1 ? "" : "s",
+                shard_list.c_str(), flags.unix_path.c_str());
+  }
+  std::fflush(stdout);
+  (*server)->WaitShutdown();
+  (*server)->Shutdown();
+  std::printf("dgf_serverd: drained, bye\n");
+  return 0;
+}
+
+/// "host:port" or "unix:/path" -> endpoint.
+bool ParseEndpoint(const std::string& value, coord::ShardEndpoint* out) {
+  if (value.rfind("unix:", 0) == 0) {
+    out->unix_path = value.substr(5);
+    return !out->unix_path.empty();
+  }
+  const size_t colon = value.rfind(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  out->host = value.substr(0, colon);
+  out->port = std::atoi(value.c_str() + colon + 1);
+  return out->port > 0;
+}
+
 int Main(int argc, char** argv) {
   Flags flags;
   for (int i = 1; i < argc; ++i) {
     std::string value;
     if (std::strcmp(argv[i], "--smoke") == 0) {
       flags.smoke = true;
+    } else if (std::strcmp(argv[i], "--coordinator") == 0) {
+      flags.coordinator = true;
+    } else if (ParseFlag(argv[i], "--shard", &value)) {
+      coord::ShardEndpoint endpoint;
+      if (!ParseEndpoint(value, &endpoint)) {
+        std::fprintf(stderr, "bad --shard endpoint: %s\n", value.c_str());
+        return 2;
+      }
+      flags.shards.push_back(std::move(endpoint));
+    } else if (ParseFlag(argv[i], "--cuts", &value)) {
+      const char* p = value.c_str();
+      while (*p != '\0') {
+        char* end = nullptr;
+        const long long cut = std::strtoll(p, &end, 10);
+        if (end == p) {
+          std::fprintf(stderr, "bad --cuts list: %s\n", value.c_str());
+          return 2;
+        }
+        flags.cuts.push_back(cut);
+        p = (*end == ',') ? end + 1 : end;
+      }
+    } else if (ParseFlag(argv[i], "--start-day", &value)) {
+      flags.start_day = std::atoll(value.c_str());
     } else if (ParseFlag(argv[i], "--port", &value)) {
       flags.port = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "--unix", &value)) {
@@ -238,7 +357,8 @@ int Main(int argc, char** argv) {
       return 2;
     }
   }
-  return flags.smoke ? RunSmoke() : RunServer(flags);
+  if (flags.smoke) return RunSmoke();
+  return flags.coordinator ? RunCoordinator(flags) : RunServer(flags);
 }
 
 }  // namespace

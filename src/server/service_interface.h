@@ -1,0 +1,58 @@
+#ifndef DGF_SERVER_SERVICE_INTERFACE_H_
+#define DGF_SERVER_SERVICE_INTERFACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "query/executor.h"
+
+namespace dgf::server {
+
+/// What the wire front end (`Server`) needs from whatever answers requests.
+/// Two implementations exist: `QueryService` executes queries locally against
+/// its catalog, and `coord::Coordinator` scatters them across shard servers
+/// and gathers the partial results. The server is oblivious to which one it
+/// fronts — a coordinator speaks the exact same protocol as a shard, so
+/// `dgf_cli` and the load harness work unchanged against a cluster.
+class WireService {
+ public:
+  using QueryDone = std::function<void(Result<query::QueryResult>)>;
+
+  virtual ~WireService() = default;
+
+  /// Admits and asynchronously executes one SQL query. On admission returns
+  /// OK and later invokes `done` exactly once on a worker thread; on
+  /// rejection (queue full, or draining) returns Unavailable without ever
+  /// calling `done`. `request_id` keys cancellation and must be unique among
+  /// in-flight queries of this service.
+  virtual Status SubmitQuery(uint64_t request_id, std::string sql,
+                             double deadline_seconds, QueryDone done) = 0;
+
+  /// Trips the cancel token of an in-flight query. False when no query with
+  /// that id is in flight (already finished, or never admitted).
+  virtual bool CancelQuery(uint64_t request_id) = 0;
+
+  /// Appends text rows to `table`. Returns the row count once the rows are
+  /// durably published (whatever that means for the implementation: one
+  /// group-commit flush locally, one append per owning shard for a
+  /// coordinator).
+  virtual Result<uint64_t> Append(const std::string& table,
+                                  const std::vector<std::string>& rows) = 0;
+
+  /// Counter snapshot for the STATS opcode.
+  virtual std::vector<std::pair<std::string, double>> StatsSnapshot()
+      const = 0;
+
+  /// Stops admitting queries (new submissions get Unavailable).
+  virtual void BeginDrain() = 0;
+  /// Blocks until every admitted query has completed.
+  virtual void Drain() = 0;
+};
+
+}  // namespace dgf::server
+
+#endif  // DGF_SERVER_SERVICE_INTERFACE_H_

@@ -1,7 +1,10 @@
 #include "server/wire.h"
 
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 
+#include <algorithm>
 #include <bit>
 #include <cerrno>
 #include <cstring>
@@ -174,7 +177,10 @@ Result<Request> DecodeRequest(std::string_view body) {
       DGF_ASSIGN_OR_RETURN(std::string_view table, GetLengthPrefixed(&body));
       request.append.table = std::string(table);
       DGF_ASSIGN_OR_RETURN(uint64_t n, GetVarint64(&body));
-      if (n > kMaxFrameBytes) return Status::Corruption("absurd row count");
+      // Every row costs at least its one-byte length prefix, so a count
+      // beyond the remaining body is corruption — reject it *before*
+      // reserving, or a tiny hostile frame claims gigabytes.
+      if (n > body.size()) return Status::Corruption("absurd row count");
       request.append.rows.reserve(n);
       for (uint64_t i = 0; i < n; ++i) {
         DGF_ASSIGN_OR_RETURN(std::string_view row, GetLengthPrefixed(&body));
@@ -249,7 +255,9 @@ Result<Response> DecodeResponse(std::string_view body) {
     case Opcode::kQuery: {
       DGF_ASSIGN_OR_RETURN(response.result.schema, DecodeSchema(&body));
       DGF_ASSIGN_OR_RETURN(uint64_t n, GetVarint64(&body));
-      if (n > kMaxFrameBytes) return Status::Corruption("absurd row count");
+      // See DecodeRequest: bound by the bytes actually present before
+      // reserving.
+      if (n > body.size()) return Status::Corruption("absurd row count");
       response.result.rows.reserve(n);
       for (uint64_t i = 0; i < n; ++i) {
         DGF_ASSIGN_OR_RETURN(std::string_view row, GetLengthPrefixed(&body));
@@ -264,7 +272,8 @@ Result<Response> DecodeResponse(std::string_view body) {
     }
     case Opcode::kStats: {
       DGF_ASSIGN_OR_RETURN(uint64_t n, GetVarint64(&body));
-      if (n > 1 << 20) return Status::Corruption("absurd stats arity");
+      // Each entry is >= 9 bytes (length prefix + fixed64 double).
+      if (n > body.size() / 9) return Status::Corruption("absurd stats arity");
       response.stats.reserve(n);
       for (uint64_t i = 0; i < n; ++i) {
         DGF_ASSIGN_OR_RETURN(std::string_view name, GetLengthPrefixed(&body));
@@ -329,6 +338,11 @@ Result<bool> ReadFull(int fd, char* dst, size_t length, bool eof_ok) {
     const ssize_t n = ::recv(fd, dst + got, length - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO expired (SetRecvTimeout): the peer stalled. The stream
+        // position is indeterminate mid-frame, so this connection is dead.
+        return Status::IOError("recv timed out");
+      }
       return Status::IOError(std::string("recv: ") + std::strerror(errno));
     }
     if (n == 0) {
@@ -354,6 +368,39 @@ Result<bool> ReadFrame(int fd, std::string* body) {
                                           /*eof_ok=*/false));
   (void)got;
   return true;
+}
+
+Result<bool> WaitReadable(int fd, double timeout_seconds) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  const int timeout_ms =
+      timeout_seconds <= 0
+          ? 0
+          : static_cast<int>(std::min(timeout_seconds * 1e3, 2.0e9)) + 1;
+  for (;;) {
+    const int n = ::poll(&pfd, 1, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("poll: ") + std::strerror(errno));
+    }
+    // POLLHUP/POLLERR count as readable: the next recv reports EOF/error.
+    return n > 0;
+  }
+}
+
+Status SetRecvTimeout(int fd, double timeout_seconds) {
+  timeval tv{};
+  if (timeout_seconds > 0) {
+    tv.tv_sec = static_cast<time_t>(timeout_seconds);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (timeout_seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  }
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Status::IOError(std::string("setsockopt(SO_RCVTIMEO): ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
 }
 
 }  // namespace dgf::server

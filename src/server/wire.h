@@ -112,6 +112,17 @@ Response MakeErrorResponse(Opcode opcode, uint64_t request_id,
 Status WriteFrame(int fd, std::string_view body);
 Result<bool> ReadFrame(int fd, std::string* body);
 
+/// Polls `fd` for readability: true when a byte (or EOF) is ready within
+/// `timeout_seconds`, false on timeout. Consumes nothing, so a timed-out
+/// caller is still at a frame boundary and can keep waiting later. A
+/// `timeout_seconds` <= 0 only checks the instantaneous state.
+Result<bool> WaitReadable(int fd, double timeout_seconds);
+
+/// Sets SO_RCVTIMEO so a peer that dies *mid-frame* (accepted our request,
+/// sent a partial response, went silent) surfaces as a structured IOError
+/// from ReadFrame instead of blocking the reader forever. 0 clears it.
+Status SetRecvTimeout(int fd, double timeout_seconds);
+
 }  // namespace dgf::server
 
 #endif  // DGF_SERVER_WIRE_H_

@@ -733,6 +733,10 @@ const workload::MeterConfig& SeededWorld::config() const {
   return world_->config;
 }
 
+const std::vector<core::DimensionPolicy>& SeededWorld::dims() const {
+  return world_->dims;
+}
+
 core::DgfIndex* SeededWorld::dgf_text() const {
   return world_->dgf_text.get();
 }

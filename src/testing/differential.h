@@ -33,6 +33,9 @@ class SeededWorld {
   const std::shared_ptr<fs::MiniDfs>& dfs() const;
   const table::TableDesc& meter() const;
   const workload::MeterConfig& config() const;
+  /// The seed's randomized grid policy (the shard sweep rebuilds per-shard
+  /// indexes over the identical grid).
+  const std::vector<core::DimensionPolicy>& dims() const;
   /// The DGFIndex over TextFile slices (what a server registers).
   core::DgfIndex* dgf_text() const;
 

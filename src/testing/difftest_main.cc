@@ -21,6 +21,13 @@
 //                                        be byte-identical and match the data
 //   dgf_difftest --builder-crash-sweep --seed=N  kill-and-reopen sweep over
 //                                        the build/append/group-commit path
+//   dgf_difftest --shard-sweep --seed=N [--count=K] [--shards=S] [--case=C]
+//                                        sharded-vs-oracle sweep: every query
+//                                        through 1/2/4-shard clusters behind
+//                                        the coordinator must match the
+//                                        single-node oracle
+//   dgf_difftest --wire-fuzz --seed=N [--case=K]  mutated-frame fuzz against
+//                                        the wire codec and a live server
 //   dgf_difftest --duration=SECONDS      open-ended soak over rolling seeds
 
 #include <chrono>
@@ -35,6 +42,8 @@
 #include "testing/differential.h"
 #include "testing/lsm_crash_sweep.h"
 #include "testing/parser_fuzz.h"
+#include "testing/shard_sweep.h"
+#include "testing/wire_fuzz.h"
 
 namespace {
 
@@ -50,6 +59,10 @@ using dgf::testing::FaultReport;
 using dgf::testing::FaultSweepOptions;
 using dgf::testing::ParserFuzzOptions;
 using dgf::testing::ParserFuzzReport;
+using dgf::testing::ShardSweepOptions;
+using dgf::testing::ShardSweepReport;
+using dgf::testing::WireFuzzOptions;
+using dgf::testing::WireFuzzReport;
 
 struct Flags {
   bool tier1 = false;
@@ -63,6 +76,9 @@ struct Flags {
   bool parser_fuzz = false;
   bool build_sweep = false;
   bool builder_crash_sweep = false;
+  bool shard_sweep = false;
+  bool wire_fuzz = false;
+  int shards = 0;
   int count = 20;
   bool no_shrink = false;
   bool verbose = false;
@@ -87,8 +103,8 @@ int Usage(const char* argv0) {
                "usage: %s [--seeds=tier1] [--seed=N] [--queries=N] "
                "[--case=K] [--threads=K] [--duration=SECONDS] [--crash-sweep] "
                "[--fault-sweep] [--parser-fuzz] [--build-sweep] "
-               "[--builder-crash-sweep] [--count=N] [--no-shrink] "
-               "[--verbose]\n",
+               "[--builder-crash-sweep] [--shard-sweep] [--wire-fuzz] "
+               "[--shards=S] [--count=N] [--no-shrink] [--verbose]\n",
                argv0);
   return 2;
 }
@@ -224,6 +240,48 @@ bool RunFuzz(const ParserFuzzOptions& options) {
   return report->ok();
 }
 
+bool RunShards(const ShardSweepOptions& options) {
+  auto report = dgf::testing::RunShardSweep(options);
+  if (!report.ok()) {
+    Stage("shard-sweep", false,
+          "seed=" + std::to_string(options.seed) +
+              " harness error: " + report.status().ToString());
+    return false;
+  }
+  Stage("shard-sweep", report->ok(),
+        "seed=" + std::to_string(options.seed) + " seeds=" +
+            std::to_string(report->seeds_run) + " clusters=" +
+            std::to_string(report->clusters_run) + " queries=" +
+            std::to_string(report->queries_run) + " appends=" +
+            std::to_string(report->appends_checked) + " divergences=" +
+            std::to_string(report->divergences.size()));
+  for (const auto& divergence : report->divergences) {
+    std::printf("%s\n", divergence.ToString().c_str());
+  }
+  return report->ok();
+}
+
+bool RunWire(const WireFuzzOptions& options) {
+  auto report = dgf::testing::RunWireFuzz(options);
+  if (!report.ok()) {
+    Stage("wire-fuzz", false,
+          "seed=" + std::to_string(options.seed) +
+              " harness error: " + report.status().ToString());
+    return false;
+  }
+  Stage("wire-fuzz", report->ok(),
+        "seed=" + std::to_string(options.seed) + " cases=" +
+            std::to_string(report->cases_run) + " decoded=" +
+            std::to_string(report->decode_ok) + " rejected=" +
+            std::to_string(report->decode_error) + " live=" +
+            std::to_string(report->live_cases_run) + " failures=" +
+            std::to_string(report->failures.size()));
+  for (const auto& failure : report->failures) {
+    std::printf("WIRE-FUZZ FAILURE: %s\n", failure.c_str());
+  }
+  return report->ok();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -257,6 +315,12 @@ int main(int argc, char** argv) {
       flags.fault_sweep = true;
     } else if (ParseFlag(argv[i], "--parser-fuzz", &value)) {
       flags.parser_fuzz = true;
+    } else if (ParseFlag(argv[i], "--shard-sweep", &value)) {
+      flags.shard_sweep = true;
+    } else if (ParseFlag(argv[i], "--wire-fuzz", &value)) {
+      flags.wire_fuzz = true;
+    } else if (ParseFlag(argv[i], "--shards", &value) && value != nullptr) {
+      flags.shards = std::atoi(value);
     } else if (ParseFlag(argv[i], "--no-shrink", &value)) {
       flags.no_shrink = true;
     } else if (ParseFlag(argv[i], "--verbose", &value)) {
@@ -287,6 +351,12 @@ int main(int argc, char** argv) {
         BuildSweepOptions{.seed = 17, .count = 2, .verbose = flags.verbose});
     RunBuilderCrash(
         BuilderCrashSweepOptions{.seed = 19, .verbose = flags.verbose});
+    RunShards(ShardSweepOptions{.seed = 23,
+                                .count = 2,
+                                .num_queries = 25,
+                                .verbose = flags.verbose});
+    RunWire(WireFuzzOptions{
+        .seed = 29, .num_cases = 400, .verbose = flags.verbose});
     return failures_total == 0 ? 0 : 1;
   }
 
@@ -314,6 +384,12 @@ int main(int argc, char** argv) {
           BuildSweepOptions{.seed = seed, .count = 1, .verbose = flags.verbose});
       RunBuilderCrash(
           BuilderCrashSweepOptions{.seed = seed, .verbose = flags.verbose});
+      RunShards(ShardSweepOptions{.seed = seed,
+                                  .count = 1,
+                                  .num_queries = 15,
+                                  .verbose = flags.verbose});
+      RunWire(WireFuzzOptions{
+          .seed = seed, .num_cases = 400, .verbose = flags.verbose});
       ++seed;
     }
     std::printf("soak finished: seeds %llu..%llu, failures=%d\n",
@@ -324,7 +400,8 @@ int main(int argc, char** argv) {
 
   const bool any_component = flags.crash_sweep || flags.fault_sweep ||
                              flags.parser_fuzz || flags.build_sweep ||
-                             flags.builder_crash_sweep;
+                             flags.builder_crash_sweep || flags.shard_sweep ||
+                             flags.wire_fuzz;
   if (flags.crash_sweep) {
     RunCrash(CrashSweepOptions{.seed = flags.seed, .verbose = flags.verbose});
   }
@@ -348,6 +425,22 @@ int main(int argc, char** argv) {
     options.only_case = flags.only_case;
     options.verbose = flags.verbose;
     RunFuzz(options);
+  }
+  if (flags.shard_sweep) {
+    ShardSweepOptions options;
+    options.seed = flags.seed;
+    options.count = flags.count;
+    options.only_case = flags.only_case;
+    options.only_shards = flags.shards;
+    options.verbose = flags.verbose;
+    RunShards(options);
+  }
+  if (flags.wire_fuzz) {
+    WireFuzzOptions options;
+    options.seed = flags.seed;
+    options.only_case = flags.only_case;
+    options.verbose = flags.verbose;
+    RunWire(options);
   }
   if (!any_component) {
     DiffOptions options;

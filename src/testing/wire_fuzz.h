@@ -1,0 +1,56 @@
+#ifndef DGF_TESTING_WIRE_FUZZ_H_
+#define DGF_TESTING_WIRE_FUZZ_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dgf::testing {
+
+/// Seeded mutation fuzzer for the wire protocol, both sides.
+///
+/// Codec stage: valid encoded request and response bodies from a corpus get
+/// 1-4 random byte-level mutations (truncation, splices, byte flips, span
+/// duplication, huge length claims) and are fed to DecodeRequest and
+/// DecodeResponse. The invariant: each decoder either succeeds — and then
+/// re-encoding the decoded message and decoding it again must also succeed —
+/// or returns a structured non-empty error. Never a crash.
+///
+/// Live stage: the same mutated bytes, framed with sometimes-lying length
+/// prefixes, are written to a real Server (stub service) on fresh
+/// connections, followed by a valid PING on the same connection. The server
+/// must answer the ping or drop the connection within a bounded wait — and
+/// afterwards a brand-new connection's PING must always succeed (one
+/// poisoned peer never wedges or kills the server).
+struct WireFuzzOptions {
+  uint64_t seed = 1;
+  /// Codec-stage cases.
+  int num_cases = 400;
+  /// Live-server cases (slower: one connection each).
+  int num_live_cases = 48;
+  /// >= 0: run only this codec case (seed replay of one input).
+  int only_case = -1;
+  bool verbose = false;
+};
+
+struct WireFuzzReport {
+  int cases_run = 0;
+  int decode_ok = 0;
+  int decode_error = 0;
+  int live_cases_run = 0;
+  std::vector<std::string> failures;
+
+  bool ok() const { return failures.empty(); }
+};
+
+/// The exact mutated body for (seed, case_id); the repro path for a crash
+/// observed in RunWireFuzz.
+std::string GenerateWireFuzzBody(uint64_t seed, int case_id);
+
+Result<WireFuzzReport> RunWireFuzz(const WireFuzzOptions& options);
+
+}  // namespace dgf::testing
+
+#endif  // DGF_TESTING_WIRE_FUZZ_H_
