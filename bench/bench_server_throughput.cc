@@ -7,12 +7,16 @@
 //   bench_server_throughput [--threads=8] [--queries=40] [--appender]
 //                           [--users=200] [--days=5] [--regions=5]
 //                           [--max-concurrent=4] [--max-pending=32]
-//                           [--shards=N]
+//                           [--shards=N] [--replication=k]
 //
 // With --shards=N the same load is driven through an in-process N-shard
 // cluster (per-shard servers behind the scatter-gather coordinator) instead
 // of a single server, so the sharded and single-node configurations are
-// directly comparable. Every run appends one QPS/latency record to
+// directly comparable. --replication=k backs every DFS with k replica
+// stores (fan-out writes, chunk checksums, failover reads; against the
+// cluster it also arms per-shard replica endpoints), making the write
+// amplification and read-path cost of replication a measurable axis of the
+// same report. Every run appends one QPS/latency record to
 // BENCH_build.json (path overridable via DGF_BENCH_BUILD_JSON).
 //
 // Exits non-zero if any query fails with an error other than the structured
@@ -60,6 +64,10 @@ struct Flags {
   int max_pending = 32;
   /// 0 = single server; N >= 1 = N-shard cluster behind the coordinator.
   int shards = 0;
+  /// DFS replication factor (1 = legacy single copy). Against the cluster
+  /// this also starts per-shard replica endpoints and hands them to the
+  /// coordinator.
+  int replication = 1;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* value) {
@@ -94,6 +102,7 @@ Result<std::unique_ptr<BenchWorld>> BuildBenchWorld(const Flags& flags) {
   fs::MiniDfs::Options dfs_options;
   dfs_options.root_dir = world->dir.string();
   dfs_options.block_size = 256 * 1024;
+  dfs_options.replication = flags.replication;
   DGF_ASSIGN_OR_RETURN(world->dfs, fs::MiniDfs::Open(dfs_options));
 
   world->config.num_users = flags.users;
@@ -154,6 +163,12 @@ int Main(int argc, char** argv) {
       flags.max_pending = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "--shards", &value)) {
       flags.shards = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--replication", &value)) {
+      flags.replication = std::atoi(value.c_str());
+      if (flags.replication < 1) {
+        std::fprintf(stderr, "bad --replication factor: %s\n", value.c_str());
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
@@ -183,6 +198,8 @@ int Main(int argc, char** argv) {
     };
     cluster_options.num_shards = flags.shards;
     cluster_options.with_user_info = true;  // join templates need the archive
+    cluster_options.replication = flags.replication;
+    cluster_options.replica_servers = flags.replication > 1;
     cluster_options.max_concurrent = flags.max_concurrent;
     cluster_options.max_pending = flags.max_pending;
     auto started = testing::ShardedCluster::Start(cluster_options);
@@ -332,6 +349,22 @@ int Main(int argc, char** argv) {
 
   stop_appender.store(true);
   if (appender.joinable()) appender.join();
+
+  // Replica write amplification actually paid by the run (single node: the
+  // bench world's DFS; cluster: summed over the shard DFSes). Snapshotted
+  // before teardown releases the DFS handles.
+  uint64_t logical_bytes = 0;
+  uint64_t replica_bytes = 0;
+  if (world != nullptr) {
+    logical_bytes = world->dfs->TotalBytesWritten();
+    replica_bytes = world->dfs->TotalReplicaBytesWritten();
+  } else if (cluster != nullptr) {
+    for (int i = 0; i < cluster->num_shards(); ++i) {
+      logical_bytes += cluster->shard_dfs(i)->TotalBytesWritten();
+      replica_bytes += cluster->shard_dfs(i)->TotalReplicaBytesWritten();
+    }
+  }
+
   if (server != nullptr) {
     auto client = ServerClient::ConnectTcp("127.0.0.1", port);
     if (client.ok()) (void)(*client)->Shutdown();
@@ -346,28 +379,35 @@ int Main(int argc, char** argv) {
   const double p95 = Percentile(latencies_ms, 0.95);
   const double p99 = Percentile(latencies_ms, 0.99);
   std::printf(
-      "{\"shards\": %d, \"threads\": %d, \"queries_per_thread\": %d, "
+      "{\"shards\": %d, \"replication\": %d, \"threads\": %d, "
+      "\"queries_per_thread\": %d, "
       "\"ok\": %llu, \"rejected\": %llu, \"errors\": %llu, "
       "\"wall_seconds\": %.3f, \"qps\": %.1f, \"latency_ms\": "
       "{\"p50\": %.2f, \"p90\": %.2f, \"p95\": %.2f, \"p99\": %.2f, "
-      "\"max\": %.2f}, \"append_batches\": %llu}\n",
-      flags.shards, flags.threads, flags.queries_per_thread,
-      static_cast<unsigned long long>(ok_count),
+      "\"max\": %.2f}, \"append_batches\": %llu, "
+      "\"logical_bytes_written\": %llu, \"replica_bytes_written\": %llu}\n",
+      flags.shards, flags.replication, flags.threads,
+      flags.queries_per_thread, static_cast<unsigned long long>(ok_count),
       static_cast<unsigned long long>(rejected_count),
       static_cast<unsigned long long>(error_count), elapsed, qps, p50,
       Percentile(latencies_ms, 0.90), p95, p99,
       latencies_ms.empty() ? 0 : latencies_ms.back(),
-      static_cast<unsigned long long>(append_batches.load()));
+      static_cast<unsigned long long>(append_batches.load()),
+      static_cast<unsigned long long>(logical_bytes),
+      static_cast<unsigned long long>(replica_bytes));
   bench::AppendBenchJson(
       "DGF_BENCH_BUILD_JSON", "BENCH_build.json",
       StringPrintf("{\"bench\": \"server_throughput\", \"shards\": %d, "
+                   "\"replication\": %d, "
                    "\"threads\": %d, \"ok\": %llu, \"rejected\": %llu, "
                    "\"wall_s\": %.3f, \"qps\": %.1f, \"p50_ms\": %.2f, "
-                   "\"p95_ms\": %.2f, \"p99_ms\": %.2f}",
-                   flags.shards, flags.threads,
+                   "\"p95_ms\": %.2f, \"p99_ms\": %.2f, "
+                   "\"replica_bytes_written\": %llu}",
+                   flags.shards, flags.replication, flags.threads,
                    static_cast<unsigned long long>(ok_count),
                    static_cast<unsigned long long>(rejected_count), elapsed,
-                   qps, p50, p95, p99));
+                   qps, p50, p95, p99,
+                   static_cast<unsigned long long>(replica_bytes)));
   if (error_count > 0) {
     std::fprintf(stderr, "first error: %s\n", first_error.c_str());
     return 1;

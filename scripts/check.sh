@@ -3,9 +3,12 @@
 # tier-1 build + ctest, the differential oracle smoke suite, an ASan/UBSan
 # pass that re-runs both the unit tests and the harness, and a TSan pass
 # that runs the concurrency stress tests plus the threaded differential.
-# Both sanitizer passes also run the query-server suite (dgf_server_tests)
-# and the shard-coordinator suite (dgf_coord_tests), and a shard smoke stage
-# runs the sharded-vs-oracle cluster sweep plus the wire fuzz
+# Both sanitizer passes also run the query-server suite (dgf_server_tests),
+# the shard-coordinator suite (dgf_coord_tests), and the replication suite
+# (dgf_replication_tests); a shard smoke stage runs the sharded-vs-oracle
+# cluster sweep plus the wire fuzz, and a replication smoke stage runs the
+# kill-a-node survivability sweep (replicated clusters with daemon/store
+# kills diffed against the oracle)
 # (contract: every stage prints exactly one [PASS]/[FAIL] line; any [FAIL]
 # makes the script exit non-zero).
 #
@@ -41,6 +44,13 @@ stage "difftest tier1"   ./build/src/dgf_difftest --seeds=tier1
 # plus the mutated-frame wire fuzz against the codec and a live server.
 stage "shard smoke"      ./build/src/dgf_difftest --shard-sweep --wire-fuzz \
   --count=3 --seed=11
+# Replication smoke: the node-crash survivability sweep — 2-way replicated
+# LSM-backed clusters take a store kill (failover reads), a wipe + repair, a
+# primary kill mid-stream (coordinator replica retry), and a daemon kill +
+# cold reopen with one store dir destroyed; every answer must equal the
+# single-node oracle and recovery must equal the acknowledged prefix.
+stage "replication smoke" ./build/src/dgf_difftest --node-crash-sweep \
+  --seed=41 --seeds=2
 # Parallel-build speedup gate (1.5x floor at 4 threads); self-skips (exit 0)
 # on hosts with < 4 CPUs, where the comparison measures nothing.
 stage "perf smoke"       ./build/bench/bench_perf_smoke
@@ -57,8 +67,11 @@ stage "asan kv/dgf tests" ctest --test-dir build-asan -j "$JOBS" \
 stage "asan difftest"    ./build-asan/src/dgf_difftest --seed=1 --queries=40
 stage "asan server tests" ./build-asan/tests/dgf_server_tests
 stage "asan coord tests" ./build-asan/tests/dgf_coord_tests
+stage "asan replication tests" ./build-asan/tests/dgf_replication_tests
 stage "asan shard smoke" ./build-asan/src/dgf_difftest --shard-sweep \
   --wire-fuzz --count=1 --seed=11
+stage "asan replication smoke" ./build-asan/src/dgf_difftest \
+  --node-crash-sweep --seed=41 --seeds=1
 
 # ThreadSanitizer: concurrent readers vs appender/optimizer (the stress
 # tests) and the threaded differential against its sequential oracle. A
@@ -71,7 +84,10 @@ stage "tsan stress tests" ctest --test-dir build-tsan -j "$JOBS" \
 stage "tsan difftest"    ./build-tsan/src/dgf_difftest --threads=4 --seeds=tier1
 stage "tsan server tests" ./build-tsan/tests/dgf_server_tests
 stage "tsan coord tests" ./build-tsan/tests/dgf_coord_tests
+stage "tsan replication tests" ./build-tsan/tests/dgf_replication_tests
 stage "tsan shard smoke" ./build-tsan/src/dgf_difftest --shard-sweep \
   --wire-fuzz --count=1 --seed=11
+stage "tsan replication smoke" ./build-tsan/src/dgf_difftest \
+  --node-crash-sweep --seed=41 --seeds=1
 
 exit "$FAILED"

@@ -50,6 +50,15 @@ int64_t DecodeOrderedInt64(const char* src);
 void PutOrderedDouble(std::string* dst, double value);
 double DecodeOrderedDouble(const char* src);
 
+/// CRC-32 (the IEEE/zlib polynomial, reflected). Incremental: pass the
+/// previous return value as `seed` to extend a running checksum across
+/// appends; start from 0. Used for the per-replica chunk checksums in
+/// MiniDfs replication.
+uint32_t Crc32(uint32_t seed, const void* data, size_t size);
+inline uint32_t Crc32(uint32_t seed, std::string_view data) {
+  return Crc32(seed, data.data(), data.size());
+}
+
 }  // namespace dgf
 
 #endif  // DGF_COMMON_ENCODING_H_

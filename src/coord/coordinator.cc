@@ -155,8 +155,8 @@ void FoldStats(query::QueryStats* into, const query::QueryStats& part) {
 Coordinator::Coordinator(Options options)
     : options_(std::move(options)),
       pool_(std::max(1, options_.max_concurrent)),
-      free_(static_cast<size_t>(
-          std::max<size_t>(1, options_.shards.size()))) {}
+      // One free list per shard primary, plus one per shard replica.
+      free_(2 * std::max<size_t>(1, options_.shards.size())) {}
 
 Coordinator::~Coordinator() {
   BeginDrain();
@@ -186,17 +186,29 @@ Result<query::Query> Coordinator::Parse(const std::string& sql) const {
   return query::ParseQuery(sql, it->second.schema, right);
 }
 
-Result<std::unique_ptr<ServerClient>> Coordinator::Checkout(int shard) {
+bool Coordinator::HasReplica(int shard) const {
+  if (options_.replicas.size() != options_.shards.size()) return false;
+  const ShardEndpoint& endpoint =
+      options_.replicas[static_cast<size_t>(shard)];
+  return endpoint.port != 0 || !endpoint.unix_path.empty();
+}
+
+Result<std::unique_ptr<ServerClient>> Coordinator::Checkout(int shard,
+                                                            bool replica) {
+  const size_t slot = static_cast<size_t>(shard) +
+                      (replica ? options_.shards.size() : 0);
   {
     std::lock_guard<std::mutex> lock(pool_mu_);
-    auto& idle = free_[static_cast<size_t>(shard)];
+    auto& idle = free_[slot];
     if (!idle.empty()) {
       auto client = std::move(idle.back());
       idle.pop_back();
       return client;
     }
   }
-  const ShardEndpoint& endpoint = options_.shards[static_cast<size_t>(shard)];
+  const ShardEndpoint& endpoint =
+      replica ? options_.replicas[static_cast<size_t>(shard)]
+              : options_.shards[static_cast<size_t>(shard)];
   Result<std::unique_ptr<ServerClient>> client =
       endpoint.unix_path.empty()
           ? ServerClient::ConnectTcp(endpoint.host, endpoint.port,
@@ -210,9 +222,58 @@ Result<std::unique_ptr<ServerClient>> Coordinator::Checkout(int shard) {
   return client;
 }
 
-void Coordinator::Checkin(int shard, std::unique_ptr<ServerClient> client) {
+void Coordinator::Checkin(int shard, bool replica,
+                          std::unique_ptr<ServerClient> client) {
+  const size_t slot = static_cast<size_t>(shard) +
+                      (replica ? options_.shards.size() : 0);
   std::lock_guard<std::mutex> lock(pool_mu_);
-  free_[static_cast<size_t>(shard)].push_back(std::move(client));
+  free_[slot].push_back(std::move(client));
+}
+
+bool Coordinator::TryReplicaRetry(ShardCall& call, double deadline_seconds,
+                                  const Stopwatch& elapsed,
+                                  CancelToken* token) {
+  if (call.on_replica || !HasReplica(call.shard)) return false;
+  if (token != nullptr && !token->Check().ok()) return false;
+  call.on_replica = true;  // at most one failover per call, success or not
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++replica_retries_;
+  }
+  auto client = Checkout(call.shard, /*replica=*/true);
+  if (!client.ok()) return false;
+  const double remaining =
+      deadline_seconds > 0
+          ? std::max(0.001, deadline_seconds - elapsed.ElapsedSeconds())
+          : 0;
+  auto started = (*client)->StartQuery(call.sub_sql, remaining);
+  if (!started.ok()) return false;
+  // Await synchronously, honoring our token and the shard-response timeout;
+  // a replica that also fails leaves the caller's original Unavailable in
+  // place (the retry is strictly one-shot).
+  Stopwatch silent;
+  while (true) {
+    auto got = (*client)->AwaitFor(*started, options_.poll_interval_seconds);
+    if (!got.ok()) return false;
+    if (got->has_value()) {
+      call.response = std::move(**got);
+      call.request_id = *started;
+      call.client = std::move(*client);
+      call.done = true;
+      call.broken = false;
+      call.cancel_sent = false;
+      std::lock_guard<std::mutex> lock(mu_);
+      ++replica_successes_;
+      return true;
+    }
+    if (token != nullptr && !token->Check().ok()) {
+      (void)(*client)->StartCancel(*started);
+      return false;
+    }
+    if (silent.ElapsedSeconds() > options_.shard_response_timeout_seconds) {
+      return false;
+    }
+  }
 }
 
 Status Coordinator::SubmitQuery(uint64_t request_id, std::string sql,
@@ -335,28 +396,38 @@ Result<query::QueryResult> Coordinator::ExecuteScatterGather(
   for (const auto& [shard, sub_sql] : targets) {
     ShardCall call;
     call.shard = shard;
-    auto client = Checkout(shard);
+    call.sub_sql = sub_sql;
+    Status scatter_error;
+    auto client = Checkout(shard, /*replica=*/false);
     if (!client.ok()) {
-      failure = Status::Unavailable(
+      scatter_error = Status::Unavailable(
           "shard " + std::to_string(shard) + " (" +
           options_.shards[static_cast<size_t>(shard)].ToString() +
           ") unavailable: " + client.status().message());
-      break;
+    } else {
+      call.client = std::move(*client);
+      const double remaining =
+          deadline_seconds > 0
+              ? std::max(0.001, deadline_seconds - elapsed.ElapsedSeconds())
+              : 0;
+      auto started = call.client->StartQuery(sub_sql, remaining);
+      if (!started.ok()) {
+        scatter_error = Status::Unavailable(
+            "shard " + std::to_string(shard) + " (" +
+            options_.shards[static_cast<size_t>(shard)].ToString() +
+            ") unavailable: " + started.status().message());
+      } else {
+        call.request_id = *started;
+      }
     }
-    call.client = std::move(*client);
-    const double remaining =
-        deadline_seconds > 0
-            ? std::max(0.001, deadline_seconds - elapsed.ElapsedSeconds())
-            : 0;
-    auto started = call.client->StartQuery(sub_sql, remaining);
-    if (!started.ok()) {
-      failure = Status::Unavailable(
-          "shard " + std::to_string(shard) + " (" +
-          options_.shards[static_cast<size_t>(shard)].ToString() +
-          ") unavailable: " + started.status().message());
-      break;
+    if (!scatter_error.ok()) {
+      // Unreachable primary: run this read sub-query once against the
+      // shard's replica endpoint (synchronously) before failing the query.
+      if (!TryReplicaRetry(call, deadline_seconds, elapsed, token)) {
+        failure = std::move(scatter_error);
+        break;
+      }
     }
-    call.request_id = *started;
     calls.push_back(std::move(call));
   }
 
@@ -375,6 +446,14 @@ Result<query::QueryResult> Coordinator::ExecuteScatterGather(
                                 options_.poll_interval_seconds);
       if (!got.ok()) {
         call.broken = true;
+        // The primary died mid-query; the sub-query is an idempotent read,
+        // so retry it once on the shard's replica before giving up. (Not
+        // attempted when our own cancel/deadline tripped — the failure to
+        // report is the token's.)
+        if (!token_tripped &&
+            TryReplicaRetry(call, deadline_seconds, elapsed, token)) {
+          break;  // call.done is set; gather proceeds to the next call
+        }
         failure = Status::Unavailable(
             "shard " + std::to_string(call.shard) + " (" +
             options_.shards[static_cast<size_t>(call.shard)].ToString() +
@@ -403,6 +482,10 @@ Result<query::QueryResult> Coordinator::ExecuteScatterGather(
           token_tripped ? cancel_wait.ElapsedSeconds() : silent.ElapsedSeconds();
       if (silent_for > options_.shard_response_timeout_seconds) {
         call.broken = true;
+        if (!token_tripped &&
+            TryReplicaRetry(call, deadline_seconds, elapsed, token)) {
+          break;  // the replica answered the hung primary's sub-query
+        }
         failure =
             token_tripped
                 ? token->Check()
@@ -442,7 +525,7 @@ Result<query::QueryResult> Coordinator::ExecuteScatterGather(
   // Connections with no leftover in-flight traffic go back to the pool.
   for (ShardCall& call : calls) {
     if (call.done && !call.broken && !call.cancel_sent) {
-      Checkin(call.shard, std::move(call.client));
+      Checkin(call.shard, call.on_replica, std::move(call.client));
     }
   }
   DGF_RETURN_IF_ERROR(failure);
@@ -602,7 +685,7 @@ Result<uint64_t> Coordinator::Append(const std::string& table,
     threads.emplace_back([this, shard, &buckets, &table, &result_mu, &failure,
                           &appended] {
       Status status;
-      auto client = Checkout(static_cast<int>(shard));
+      auto client = Checkout(static_cast<int>(shard), /*replica=*/false);
       if (!client.ok()) {
         status = Status::Unavailable(
             "shard " + std::to_string(shard) + " (" +
@@ -618,7 +701,8 @@ Result<uint64_t> Coordinator::Append(const std::string& table,
         } else if (!response->ok()) {
           status = server::ResponseStatus(*response);
         } else {
-          Checkin(static_cast<int>(shard), std::move(*client));
+          Checkin(static_cast<int>(shard), /*replica=*/false,
+                  std::move(*client));
         }
       }
       std::lock_guard<std::mutex> lock(result_mu);
@@ -666,6 +750,10 @@ std::vector<std::pair<std::string, double>> Coordinator::StatsSnapshot()
                      static_cast<double>(shards_skipped_));
     out.emplace_back("coord.shard_errors",
                      static_cast<double>(shard_errors_));
+    out.emplace_back("coord.replica_retries",
+                     static_cast<double>(replica_retries_));
+    out.emplace_back("coord.replica_successes",
+                     static_cast<double>(replica_successes_));
     out.emplace_back("appends.batches", static_cast<double>(appends_));
     out.emplace_back("appends.rows", static_cast<double>(rows_appended_));
     out.emplace_back("appends.shard_batches",

@@ -12,6 +12,7 @@
 
 #include "common/cancel.h"
 #include "common/result.h"
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "coord/shard_map.h"
 #include "server/client.h"
@@ -56,6 +57,15 @@ class Coordinator : public server::WireService {
     ShardMap shard_map;
     /// One endpoint per shard; size must equal shard_map.num_shards().
     std::vector<ShardEndpoint> shards;
+    /// Optional replica endpoint per shard (empty vector, or same size as
+    /// `shards`; an entry with port 0 and no unix path means "no replica
+    /// for this shard"). When a shard's primary connection cannot be
+    /// established, dies mid-query, or goes unresponsive, an *idempotent
+    /// read* sub-query is retried exactly once against the replica before
+    /// the query fails Unavailable. Appends are never retried on a replica
+    /// (routing writes through one endpoint keeps the at-least-once append
+    /// contract single-homed).
+    std::vector<ShardEndpoint> replicas;
     /// Fan-out workers == queries the coordinator runs at once.
     int max_concurrent = 4;
     /// Admitted-but-not-running queries beyond that; one more is
@@ -96,6 +106,7 @@ class Coordinator : public server::WireService {
   /// One shard's in-flight sub-query during a fan-out.
   struct ShardCall {
     int shard = 0;
+    std::string sub_sql;
     std::unique_ptr<server::ServerClient> client;
     uint64_t request_id = 0;
     bool done = false;
@@ -103,10 +114,22 @@ class Coordinator : public server::WireService {
     bool cancel_sent = false;
     /// Transport-level failure: the connection is not returned to the pool.
     bool broken = false;
+    /// The call's answer came from (or is being retried on) the shard's
+    /// replica endpoint; at most one failover per call.
+    bool on_replica = false;
   };
 
-  Result<std::unique_ptr<server::ServerClient>> Checkout(int shard);
-  void Checkin(int shard, std::unique_ptr<server::ServerClient> client);
+  bool HasReplica(int shard) const;
+  Result<std::unique_ptr<server::ServerClient>> Checkout(int shard,
+                                                         bool replica);
+  void Checkin(int shard, bool replica,
+               std::unique_ptr<server::ServerClient> client);
+  /// Re-runs `call`'s read sub-query synchronously against the shard's
+  /// replica endpoint (once per call). On success fills call.response/done
+  /// and swaps in the replica connection; on any failure the caller's
+  /// original Unavailable stands.
+  bool TryReplicaRetry(ShardCall& call, double deadline_seconds,
+                       const Stopwatch& elapsed, CancelToken* token);
 
   void RunQuery(uint64_t request_id, std::string sql, double deadline_seconds,
                 std::shared_ptr<CancelToken> token,
@@ -147,6 +170,8 @@ class Coordinator : public server::WireService {
   uint64_t appends_ = 0;
   uint64_t rows_appended_ = 0;
   uint64_t append_shard_batches_ = 0;
+  uint64_t replica_retries_ = 0;
+  uint64_t replica_successes_ = 0;
 
   static constexpr size_t kLatencyWindow = 4096;
   std::vector<double> latencies_;

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <filesystem>
 
+#include "common/encoding.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 
@@ -24,29 +25,102 @@ std::string ErrnoMessage(const std::string& context) {
   return context + ": " + std::strerror(errno);
 }
 
+// Fully writes `data` to `fd` (append position).
+bool WriteFully(int fd, std::string_view data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Reads exactly `length` bytes at `offset` of the local file `path` into
+// `*out`. Used by the writer (tail-chunk checksum resume) and recovery
+// paths, which trust the local disk and bypass fault injection.
+Status ReadLocalExactly(const std::string& local, uint64_t offset,
+                        uint64_t length, std::string* out) {
+  out->resize(length);
+  const int fd = ::open(local.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError(ErrnoMessage("open " + local));
+  size_t done = 0;
+  while (done < length) {
+    const ssize_t n = ::pread(fd, out->data() + done, length - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::IOError(ErrnoMessage("pread " + local));
+    }
+    if (n == 0) {
+      ::close(fd);
+      return Status::IOError("short local file: " + local);
+    }
+    done += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
 }  // namespace
 
-/// Writer backed by a local file opened with O_APPEND.
+/// Writer fanning every append out to all live replica stores. With
+/// replication == 1 this degenerates to the legacy single-fd writer (one
+/// target, no checksums). A store that dies mid-write is dropped from the
+/// fan-out and its copy marked invalid at Close; the write itself only
+/// fails when *no* replica target survives.
 class LocalDfsWriter : public DfsWriter {
  public:
-  LocalDfsWriter(MiniDfs* dfs, std::string path, int fd, uint64_t offset)
-      : dfs_(dfs), path_(std::move(path)), fd_(fd), offset_(offset) {}
+  struct Target {
+    int store;
+    int fd;
+    /// The store's kill generation when this pipeline opened; a moved
+    /// generation means the store died (and possibly lost its disk) since,
+    /// so the descriptor may point at a stale or unlinked inode.
+    uint64_t gen;
+  };
+
+  LocalDfsWriter(MiniDfs* dfs, std::string path, std::vector<Target> targets,
+                 uint64_t offset, bool checksummed,
+                 std::vector<uint32_t> full_chunks, uint32_t tail_crc,
+                 uint64_t tail_bytes)
+      : dfs_(dfs),
+        path_(std::move(path)),
+        targets_(std::move(targets)),
+        offset_(offset),
+        checksummed_(checksummed),
+        full_chunks_(std::move(full_chunks)),
+        tail_crc_(tail_crc),
+        tail_bytes_(tail_bytes) {}
 
   ~LocalDfsWriter() override {
-    if (fd_ >= 0) Close();
+    if (!closed_) Close();
   }
 
   Status Append(std::string_view data) override {
-    if (fd_ < 0) return Status::IOError("writer closed: " + path_);
-    size_t written = 0;
-    while (written < data.size()) {
-      const ssize_t n = ::write(fd_, data.data() + written, data.size() - written);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        return Status::IOError(ErrnoMessage("write " + path_));
-      }
-      written += static_cast<size_t>(n);
+    if (closed_) return Status::IOError("writer closed: " + path_);
+    DropDeadStores();
+    if (targets_.empty()) {
+      return Status::IOError("no live replica store for write: " + path_);
     }
+    for (auto it = targets_.begin(); it != targets_.end();) {
+      if (!WriteFully(it->fd, data)) {
+        ::close(it->fd);
+        it = targets_.erase(it);
+        continue;
+      }
+      dfs_->replica_bytes_written_.fetch_add(data.size(),
+                                             std::memory_order_relaxed);
+      ++it;
+    }
+    if (targets_.empty()) {
+      return Status::IOError(ErrnoMessage("write " + path_));
+    }
+    if (checksummed_) FeedChecksums(data);
     offset_ += data.size();
     dfs_->bytes_written_.fetch_add(data.size(), std::memory_order_relaxed);
     return Status::OK();
@@ -55,45 +129,164 @@ class LocalDfsWriter : public DfsWriter {
   uint64_t Offset() const override { return offset_; }
 
   Status Close() override {
-    if (fd_ < 0) return Status::OK();
-    const int rc = ::close(fd_);
-    fd_ = -1;
+    if (closed_) return Status::OK();
+    closed_ = true;
+    DropDeadStores();
+    Status close_error = Status::OK();
+    std::vector<int> sealed_stores;
+    for (const Target& target : targets_) {
+      if (::close(target.fd) != 0) {
+        if (close_error.ok()) {
+          close_error = Status::IOError(ErrnoMessage("close " + path_));
+        }
+        continue;
+      }
+      sealed_stores.push_back(target.store);
+    }
+    targets_.clear();
+    std::shared_ptr<const MiniDfs::FileChecksums> sums;
+    if (checksummed_) {
+      auto owned = std::make_shared<MiniDfs::FileChecksums>();
+      owned->chunk_bytes = dfs_->options_.checksum_chunk_bytes;
+      owned->covered_length = offset_;
+      owned->chunks = full_chunks_;
+      if (tail_bytes_ > 0) owned->chunks.push_back(tail_crc_);
+      sums = std::move(owned);
+    }
     {
       MiniDfs::Stripe& stripe = dfs_->StripeFor(path_);
       std::lock_guard<std::mutex> lock(stripe.mu);
-      stripe.files[path_] = offset_;
+      MiniDfs::FileMeta& meta = stripe.files[path_];
+      meta.length = offset_;
+      meta.sums = std::move(sums);
+      meta.replica_ok.assign(dfs_->options_.replication, 0);
+      for (int store : sealed_stores) meta.replica_ok[store] = 1;
+      meta.open_writers = std::max(0, meta.open_writers - 1);
     }
-    if (rc != 0) return Status::IOError(ErrnoMessage("close " + path_));
-    return Status::OK();
+    return close_error;
   }
 
  private:
+  void DropDeadStores() {
+    for (auto it = targets_.begin(); it != targets_.end();) {
+      if (!dfs_->StoreUp(it->store) ||
+          dfs_->store_gen_[it->store].load(std::memory_order_acquire) !=
+              it->gen) {
+        ::close(it->fd);
+        it = targets_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void FeedChecksums(std::string_view data) {
+    const uint64_t chunk = dfs_->options_.checksum_chunk_bytes;
+    while (!data.empty()) {
+      const uint64_t room = chunk - tail_bytes_;
+      const size_t take = static_cast<size_t>(
+          std::min<uint64_t>(room, data.size()));
+      tail_crc_ = Crc32(tail_crc_, data.substr(0, take));
+      tail_bytes_ += take;
+      if (tail_bytes_ == chunk) {
+        full_chunks_.push_back(tail_crc_);
+        tail_crc_ = 0;
+        tail_bytes_ = 0;
+      }
+      data.remove_prefix(take);
+    }
+  }
+
   MiniDfs* dfs_;
   std::string path_;
-  int fd_;
+  std::vector<Target> targets_;
   uint64_t offset_;
+  bool closed_ = false;
+  // Running chunk checksums (replication > 1 only): CRCs of the sealed full
+  // chunks so far plus the partial tail chunk in flight.
+  bool checksummed_;
+  std::vector<uint32_t> full_chunks_;
+  uint32_t tail_crc_;
+  uint64_t tail_bytes_;
 };
 
-/// Reader backed by pread on a local file descriptor.
+/// Reader with replica failover. `candidates` is the replica preference
+/// order snapshot from open time; a replica is abandoned (and the next one
+/// tried) on a read error past the transient-retry budget, a replica file
+/// shorter than the sealed span, or a chunk-checksum mismatch. With
+/// replication == 1 (no checksums) the behaviour is the legacy single-copy
+/// read loop, including legal short reads at end of file.
 class LocalDfsReader : public DfsReader {
  public:
-  LocalDfsReader(MiniDfs* dfs, std::string path, int fd, uint64_t length)
-      : dfs_(dfs), path_(std::move(path)), fd_(fd), length_(length) {}
+  LocalDfsReader(MiniDfs* dfs, std::string path, uint64_t length,
+                 std::shared_ptr<const MiniDfs::FileChecksums> sums,
+                 std::vector<int> candidates, size_t open_index, int open_fd)
+      : dfs_(dfs),
+        path_(std::move(path)),
+        length_(length),
+        sums_(std::move(sums)),
+        candidates_(std::move(candidates)),
+        preferred_(open_index),
+        fds_(candidates_.size(), -1) {
+    if (open_index < fds_.size()) fds_[open_index] = open_fd;
+  }
 
   ~LocalDfsReader() override {
-    if (fd_ >= 0) ::close(fd_);
+    for (int fd : fds_) {
+      if (fd >= 0) ::close(fd);
+    }
   }
 
   Status Pread(uint64_t offset, uint64_t length, std::string* out) override {
     out->clear();
     if (offset >= length_) return Status::OK();
     length = std::min(length, length_ - offset);
+    if (sums_ == nullptr) return LegacyPread(offset, length, out);
+
+    // Checksummed path: read the chunk-aligned span covering the request
+    // from one replica, verify every covered chunk, then slice out the
+    // requested range. covered_length always reaches length_ (both are
+    // published together at seal), so the whole request is verifiable.
+    const uint64_t chunk = sums_->chunk_bytes;
+    const uint64_t lo = (offset / chunk) * chunk;
+    const uint64_t hi = std::min(
+        ((offset + length + chunk - 1) / chunk) * chunk, sums_->covered_length);
+    std::string buf;
+    Status last = Status::IOError("no valid replica: " + path_);
+    const size_t start = preferred_.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < candidates_.size(); ++i) {
+      const size_t index = (start + i) % candidates_.size();
+      Status attempt = TryReadReplica(index, lo, hi - lo, &buf);
+      if (attempt.ok()) {
+        preferred_.store(index, std::memory_order_relaxed);
+        out->assign(buf, static_cast<size_t>(offset - lo),
+                    static_cast<size_t>(length));
+        dfs_->bytes_read_.fetch_add(length, std::memory_order_relaxed);
+        dfs_->pread_calls_.fetch_add(1, std::memory_order_relaxed);
+        return Status::OK();
+      }
+      last = attempt;
+      if (i + 1 < candidates_.size()) {
+        dfs_->read_failovers_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    return last;
+  }
+
+  uint64_t Length() const override { return length_; }
+
+ private:
+  static constexpr int kMaxTransientRetries = 2;
+
+  // The pre-replication read loop, byte-for-byte: transient faults retried
+  // against the same (only) copy, short reads absorbed, EOF legal.
+  Status LegacyPread(uint64_t offset, uint64_t length, std::string* out) {
     out->resize(length);
-    const std::shared_ptr<ReadFaultInjector> injector = dfs_->CurrentInjector();
-    // Transient failures are retried like a DFS client failing over to
-    // another replica; past the budget the error surfaces structured.
+    const int store = candidates_.empty() ? 0 : candidates_[0];
+    const int fd = fds_.empty() ? -1 : fds_[0];
+    const std::shared_ptr<ReadFaultInjector> injector =
+        dfs_->CurrentInjector(store);
     int transient_failures = 0;
-    constexpr int kMaxTransientRetries = 2;
     size_t done = 0;
     while (done < length) {
       size_t attempt = length - done;
@@ -115,7 +308,7 @@ class LocalDfsReader : public DfsReader {
             break;
         }
       }
-      const ssize_t n = ::pread(fd_, out->data() + done, attempt,
+      const ssize_t n = ::pread(fd, out->data() + done, attempt,
                                 static_cast<off_t>(offset + done));
       if (n < 0) {
         if (errno == EINTR) continue;
@@ -130,16 +323,101 @@ class LocalDfsReader : public DfsReader {
     return Status::OK();
   }
 
-  uint64_t Length() const override { return length_; }
+  // Reads [lo, lo+span) of the file from candidate `index` and verifies the
+  // chunk checksums. Any failure condemns this replica for the attempt.
+  Status TryReadReplica(size_t index, uint64_t lo, uint64_t span,
+                        std::string* buf) {
+    const int store = candidates_[index];
+    if (!dfs_->StoreUp(store)) {
+      return Status::IOError("replica store down: " + path_);
+    }
+    int fd = fds_[index];
+    if (fd < 0) {
+      std::lock_guard<std::mutex> lock(fd_mu_);
+      fd = fds_[index];
+      if (fd < 0) {
+        const std::string local = dfs_->StoreLocalPath(store, path_);
+        fd = ::open(local.c_str(), O_RDONLY);
+        if (fd < 0) return Status::IOError(ErrnoMessage("open " + local));
+        fds_[index] = fd;
+      }
+    }
+    buf->resize(span);
+    const std::shared_ptr<ReadFaultInjector> injector =
+        dfs_->CurrentInjector(store);
+    int transient_failures = 0;
+    size_t done = 0;
+    while (done < span) {
+      size_t attempt = span - done;
+      if (injector != nullptr) {
+        const ReadFault fault = injector->NextFault(path_, lo + done, attempt);
+        switch (fault.kind) {
+          case ReadFault::Kind::kNone:
+            break;
+          case ReadFault::Kind::kTransientError:
+            if (++transient_failures > kMaxTransientRetries) {
+              return Status::IOError("injected transient read error: " +
+                                     path_);
+            }
+            continue;
+          case ReadFault::Kind::kShortRead:
+            attempt = std::min<size_t>(attempt,
+                                       std::max<uint64_t>(1, fault.max_bytes));
+            break;
+        }
+      }
+      const ssize_t n = ::pread(fd, buf->data() + done, attempt,
+                                static_cast<off_t>(lo + done));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(ErrnoMessage("pread " + path_));
+      }
+      if (n == 0) {
+        // The replica's copy is shorter than the sealed span: stale or
+        // truncated — never silently return less than the sealed bytes.
+        return Status::IOError("replica shorter than sealed length: " + path_);
+      }
+      done += static_cast<size_t>(n);
+    }
+    const uint64_t chunk = sums_->chunk_bytes;
+    for (uint64_t pos = lo; pos < lo + span; pos += chunk) {
+      const size_t chunk_index = static_cast<size_t>(pos / chunk);
+      const uint64_t extent =
+          std::min(chunk, sums_->covered_length - pos);
+      const uint32_t crc = Crc32(
+          0, std::string_view(buf->data() + (pos - lo),
+                              static_cast<size_t>(extent)));
+      if (chunk_index >= sums_->chunks.size() ||
+          crc != sums_->chunks[chunk_index]) {
+        dfs_->checksum_failures_.fetch_add(1, std::memory_order_relaxed);
+        return Status::Corruption("replica checksum mismatch: " + path_);
+      }
+    }
+    return Status::OK();
+  }
 
- private:
   MiniDfs* dfs_;
   std::string path_;
-  int fd_;
   uint64_t length_;
+  std::shared_ptr<const MiniDfs::FileChecksums> sums_;
+  std::vector<int> candidates_;
+  /// Index into candidates_ of the replica that served the last successful
+  /// read; failover moves it so a dead primary is not re-probed per call.
+  std::atomic<size_t> preferred_;
+  std::mutex fd_mu_;  // guards lazy opens into fds_
+  std::vector<int> fds_;
 };
 
-MiniDfs::MiniDfs(Options options) : options_(std::move(options)) {}
+MiniDfs::MiniDfs(Options options) : options_(std::move(options)) {
+  const int k = options_.replication;
+  store_up_ = std::make_unique<std::atomic<bool>[]>(k);
+  store_gen_ = std::make_unique<std::atomic<uint64_t>[]>(k);
+  for (int i = 0; i < k; ++i) {
+    store_up_[i].store(true);
+    store_gen_[i].store(0);
+  }
+  fault_injectors_.resize(k);
+}
 
 MiniDfs::~MiniDfs() = default;
 
@@ -150,6 +428,12 @@ Result<std::shared_ptr<MiniDfs>> MiniDfs::Open(const Options& options) {
   if (options.block_size == 0) {
     return Status::InvalidArgument("MiniDfs block_size must be > 0");
   }
+  if (options.replication < 1 || options.replication > 16) {
+    return Status::InvalidArgument("MiniDfs replication must be in [1, 16]");
+  }
+  if (options.replication > 1 && options.checksum_chunk_bytes == 0) {
+    return Status::InvalidArgument("MiniDfs checksum_chunk_bytes must be > 0");
+  }
   std::shared_ptr<MiniDfs> dfs(new MiniDfs(options));
   DGF_RETURN_IF_ERROR(dfs->Init());
   return dfs;
@@ -159,34 +443,117 @@ MiniDfs::Stripe& MiniDfs::StripeFor(const std::string& path) const {
   return stripes_[std::hash<std::string>{}(path) % kNumStripes];
 }
 
-std::shared_ptr<ReadFaultInjector> MiniDfs::CurrentInjector() const {
+std::shared_ptr<ReadFaultInjector> MiniDfs::CurrentInjector(int store) const {
   if (!has_injector_.load(std::memory_order_acquire)) return nullptr;
   std::lock_guard<std::mutex> lock(injector_mu_);
-  return fault_injector_;
+  if (store < 0 || store >= static_cast<int>(fault_injectors_.size())) {
+    return nullptr;
+  }
+  return fault_injectors_[store];
+}
+
+std::vector<uint8_t> MiniDfs::FreshReplicaOk() const {
+  return std::vector<uint8_t>(options_.replication, 0);
+}
+
+Result<std::shared_ptr<const MiniDfs::FileChecksums>> MiniDfs::ComputeSums(
+    const std::string& local, uint64_t length) const {
+  auto sums = std::make_shared<FileChecksums>();
+  sums->chunk_bytes = options_.checksum_chunk_bytes;
+  sums->covered_length = length;
+  std::string buf;
+  for (uint64_t pos = 0; pos < length; pos += sums->chunk_bytes) {
+    const uint64_t extent = std::min(sums->chunk_bytes, length - pos);
+    DGF_RETURN_IF_ERROR(ReadLocalExactly(local, pos, extent, &buf));
+    sums->chunks.push_back(Crc32(0, buf));
+  }
+  return std::shared_ptr<const FileChecksums>(std::move(sums));
 }
 
 Status MiniDfs::Init() {
+  const int k = options_.replication;
   std::error_code ec;
-  std::filesystem::create_directories(options_.root_dir, ec);
-  if (ec) return Status::IOError("create_directories: " + ec.message());
-  // Recover the namespace from any files already present under the root.
-  for (const auto& entry : std::filesystem::recursive_directory_iterator(
-           options_.root_dir, ec)) {
-    if (ec) break;
-    if (!entry.is_regular_file()) continue;
-    std::string rel =
-        std::filesystem::relative(entry.path(), options_.root_dir, ec).string();
-    if (ec) return Status::IOError("relative: " + ec.message());
-    const std::string dfs_path = "/" + rel;
-    StripeFor(dfs_path).files[dfs_path] = entry.file_size();
+  for (int store = 0; store < k; ++store) {
+    std::filesystem::create_directories(StoreRoot(store), ec);
+    if (ec) return Status::IOError("create_directories: " + ec.message());
+  }
+  // Recover the namespace from any files already present under the stores.
+  // A path's canonical length is the longest surviving copy (the replica
+  // that saw the most acknowledged appends); shorter/missing copies are
+  // marked invalid and left for ReReplicate().
+  std::map<std::string, std::vector<int64_t>> found;  // path -> len per store
+  for (int store = 0; store < k; ++store) {
+    const std::string root = StoreRoot(store);
+    for (const auto& entry :
+         std::filesystem::recursive_directory_iterator(root, ec)) {
+      if (ec) break;
+      if (!entry.is_regular_file()) continue;
+      std::string rel =
+          std::filesystem::relative(entry.path(), root, ec).string();
+      if (ec) return Status::IOError("relative: " + ec.message());
+      const std::string dfs_path = "/" + rel;
+      auto [it, inserted] =
+          found.try_emplace(dfs_path, std::vector<int64_t>(k, -1));
+      it->second[store] = static_cast<int64_t>(entry.file_size());
+    }
+  }
+  for (const auto& [dfs_path, lengths] : found) {
+    FileMeta meta;
+    meta.replica_ok = FreshReplicaOk();
+    int64_t canonical = 0;
+    for (int store = 0; store < k; ++store) {
+      canonical = std::max(canonical, lengths[store]);
+    }
+    meta.length = static_cast<uint64_t>(canonical);
+    int source = -1;
+    for (int store = 0; store < k; ++store) {
+      if (lengths[store] == canonical) {
+        meta.replica_ok[store] = 1;
+        if (source < 0) source = store;
+      }
+    }
+    if (k > 1 && meta.length > 0 && source >= 0) {
+      DGF_ASSIGN_OR_RETURN(
+          meta.sums,
+          ComputeSums(StoreLocalPath(source, dfs_path), meta.length));
+    }
+    StripeFor(dfs_path).files[dfs_path] = std::move(meta);
     TrackDirectories(dfs_path);
   }
   return Status::OK();
 }
 
-std::string MiniDfs::LocalPath(const std::string& path) const {
+std::string MiniDfs::StoreRoot(int store) const {
+  if (options_.replication == 1) return options_.root_dir;
+  return options_.root_dir + "/r" + std::to_string(store);
+}
+
+std::string MiniDfs::StoreLocalPath(int store,
+                                    const std::string& path) const {
   // DFS paths are absolute ("/a/b"); strip the leading slash.
-  return options_.root_dir + "/" + path.substr(1);
+  return StoreRoot(store) + "/" + path.substr(1);
+}
+
+std::vector<int> MiniDfs::ReplicaOrder(const std::string& path) const {
+  const int k = options_.replication;
+  std::vector<uint8_t> ok;
+  {
+    Stripe& stripe = StripeFor(path);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.files.find(path);
+    if (it != stripe.files.end()) ok = it->second.replica_ok;
+  }
+  const size_t start = std::hash<std::string>{}(path) % k;
+  std::vector<int> order;
+  for (int i = 0; i < k; ++i) {
+    const int store = static_cast<int>((start + i) % k);
+    // Unknown file (or pre-replication metadata): every store is a
+    // candidate; otherwise only stores holding a complete copy.
+    if (ok.empty() || (store < static_cast<int>(ok.size()) && ok[store])) {
+      order.push_back(store);
+    }
+  }
+  return order;
 }
 
 Status MiniDfs::ValidatePath(const std::string& path) {
@@ -219,22 +586,59 @@ Result<std::unique_ptr<DfsWriter>> MiniDfs::Create(const std::string& path) {
     if (stripe.files.count(path) > 0) {
       return Status::AlreadyExists("file exists: " + path);
     }
-    stripe.files[path] = 0;
+    FileMeta& meta = stripe.files[path];
+    meta.length = 0;
+    meta.replica_ok = FreshReplicaOk();
   }
   TrackDirectories(path);
-  const std::string local = LocalPath(path);
-  std::error_code ec;
-  std::filesystem::create_directories(
-      std::filesystem::path(local).parent_path(), ec);
-  if (ec) return Status::IOError("create parent dirs: " + ec.message());
-  const int fd = ::open(local.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) return Status::IOError(ErrnoMessage("open " + local));
-  return std::unique_ptr<DfsWriter>(new LocalDfsWriter(this, path, fd, 0));
+  std::vector<LocalDfsWriter::Target> targets;
+  Status open_error = Status::OK();
+  for (int store = 0; store < options_.replication; ++store) {
+    if (!StoreUp(store)) continue;
+    const std::string local = StoreLocalPath(store, path);
+    std::error_code ec;
+    std::filesystem::create_directories(
+        std::filesystem::path(local).parent_path(), ec);
+    if (ec) {
+      open_error = Status::IOError("create parent dirs: " + ec.message());
+      continue;
+    }
+    const int fd = ::open(local.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+      open_error = Status::IOError(ErrnoMessage("open " + local));
+      continue;
+    }
+    targets.push_back(LocalDfsWriter::Target{
+        store, fd, store_gen_[store].load(std::memory_order_acquire)});
+  }
+  if (targets.empty()) {
+    if (open_error.ok()) {
+      open_error = Status::IOError("no live replica store: " + path);
+    }
+    return open_error;
+  }
+  {
+    // A just-created (still empty) file is readable from the stores that
+    // opened it; Close re-publishes the flags for the stores that survived
+    // the whole write.
+    Stripe& stripe = StripeFor(path);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.files.find(path);
+    if (it != stripe.files.end()) {
+      for (const auto& target : targets) it->second.replica_ok[target.store] = 1;
+      ++it->second.open_writers;
+    }
+  }
+  return std::unique_ptr<DfsWriter>(
+      new LocalDfsWriter(this, path, std::move(targets), 0,
+                         /*checksummed=*/options_.replication > 1, {}, 0, 0));
 }
 
 Result<std::unique_ptr<DfsWriter>> MiniDfs::Append(const std::string& path) {
   DGF_RETURN_IF_ERROR(ValidatePath(path));
   uint64_t length = 0;
+  std::shared_ptr<const FileChecksums> sums;
+  std::vector<uint8_t> replica_ok;
   {
     Stripe& stripe = StripeFor(path);
     std::lock_guard<std::mutex> lock(stripe.mu);
@@ -242,12 +646,83 @@ Result<std::unique_ptr<DfsWriter>> MiniDfs::Append(const std::string& path) {
     if (it == stripe.files.end()) {
       return Status::NotFound("no such file: " + path);
     }
-    length = it->second;
+    length = it->second.length;
+    sums = it->second.sums;
+    replica_ok = it->second.replica_ok;
   }
-  const std::string local = LocalPath(path);
-  const int fd = ::open(local.c_str(), O_WRONLY | O_APPEND);
-  if (fd < 0) return Status::IOError(ErrnoMessage("open " + local));
-  return std::unique_ptr<DfsWriter>(new LocalDfsWriter(this, path, fd, length));
+  std::vector<LocalDfsWriter::Target> targets;
+  Status open_error = Status::OK();
+  for (int store = 0; store < options_.replication; ++store) {
+    // Only stores holding a complete copy can extend it; stale replicas
+    // stay invalid until ReReplicate().
+    const bool ok = replica_ok.empty() ||
+                    (store < static_cast<int>(replica_ok.size()) &&
+                     replica_ok[store]);
+    if (!ok || !StoreUp(store)) continue;
+    const std::string local = StoreLocalPath(store, path);
+    const int fd = ::open(local.c_str(), O_WRONLY | O_APPEND);
+    if (fd < 0) {
+      open_error = Status::IOError(ErrnoMessage("open " + local));
+      continue;
+    }
+    targets.push_back(LocalDfsWriter::Target{
+        store, fd, store_gen_[store].load(std::memory_order_acquire)});
+  }
+  if (targets.empty()) {
+    if (open_error.ok()) {
+      open_error = Status::IOError("no live replica store: " + path);
+    }
+    return open_error;
+  }
+  // Resume the running chunk checksums at `length`: full chunks carry over
+  // from the sealed sums; the partial tail chunk is re-checksummed from the
+  // first target's local copy.
+  const bool checksummed = options_.replication > 1;
+  std::vector<uint32_t> full_chunks;
+  uint32_t tail_crc = 0;
+  uint64_t tail_bytes = 0;
+  if (checksummed && length > 0) {
+    const uint64_t chunk = options_.checksum_chunk_bytes;
+    const uint64_t full = length / chunk;
+    if (sums != nullptr && sums->chunk_bytes == chunk &&
+        sums->covered_length == length &&
+        sums->chunks.size() >= full) {
+      full_chunks.assign(sums->chunks.begin(), sums->chunks.begin() + full);
+    } else {
+      // Metadata predates checksums (or chunk size changed): recompute the
+      // full chunks from the local copy we are about to extend.
+      const std::string local = StoreLocalPath(targets[0].store, path);
+      std::string buf;
+      for (uint64_t pos = 0; pos + chunk <= length; pos += chunk) {
+        Status read = ReadLocalExactly(local, pos, chunk, &buf);
+        if (!read.ok()) {
+          for (const auto& target : targets) ::close(target.fd);
+          return read;
+        }
+        full_chunks.push_back(Crc32(0, buf));
+      }
+    }
+    tail_bytes = length % chunk;
+    if (tail_bytes > 0) {
+      const std::string local = StoreLocalPath(targets[0].store, path);
+      std::string buf;
+      Status read = ReadLocalExactly(local, full * chunk, tail_bytes, &buf);
+      if (!read.ok()) {
+        for (const auto& target : targets) ::close(target.fd);
+        return read;
+      }
+      tail_crc = Crc32(0, buf);
+    }
+  }
+  {
+    Stripe& stripe = StripeFor(path);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.files.find(path);
+    if (it != stripe.files.end()) ++it->second.open_writers;
+  }
+  return std::unique_ptr<DfsWriter>(new LocalDfsWriter(
+      this, path, std::move(targets), length, checksummed,
+      std::move(full_chunks), tail_crc, tail_bytes));
 }
 
 Result<std::unique_ptr<DfsReader>> MiniDfs::OpenForRead(
@@ -259,6 +734,8 @@ Result<std::unique_ptr<DfsReader>> MiniDfs::OpenForRead(
     const std::string& path, uint64_t length_limit) {
   DGF_RETURN_IF_ERROR(ValidatePath(path));
   uint64_t length = 0;
+  std::shared_ptr<const FileChecksums> sums;
+  std::vector<uint8_t> replica_ok;
   {
     Stripe& stripe = StripeFor(path);
     std::lock_guard<std::mutex> lock(stripe.mu);
@@ -266,12 +743,39 @@ Result<std::unique_ptr<DfsReader>> MiniDfs::OpenForRead(
     if (it == stripe.files.end()) {
       return Status::NotFound("no such file: " + path);
     }
-    length = std::min(it->second, length_limit);
+    length = std::min(it->second.length, length_limit);
+    sums = it->second.sums;
+    replica_ok = it->second.replica_ok;
   }
-  const std::string local = LocalPath(path);
-  const int fd = ::open(local.c_str(), O_RDONLY);
-  if (fd < 0) return Status::IOError(ErrnoMessage("open " + local));
-  return std::unique_ptr<DfsReader>(new LocalDfsReader(this, path, fd, length));
+  const int k = options_.replication;
+  const size_t start = std::hash<std::string>{}(path) % k;
+  std::vector<int> candidates;
+  for (int i = 0; i < k; ++i) {
+    const int store = static_cast<int>((start + i) % k);
+    const bool ok = replica_ok.empty() ||
+                    (store < static_cast<int>(replica_ok.size()) &&
+                     replica_ok[store]);
+    if (ok) candidates.push_back(store);
+  }
+  if (candidates.empty()) {
+    return Status::IOError("no valid replica: " + path);
+  }
+  // Eagerly open the first openable candidate (the legacy contract: a
+  // successfully-opened reader has a live descriptor). Later failover opens
+  // are lazy.
+  Status open_error = Status::OK();
+  for (size_t index = 0; index < candidates.size(); ++index) {
+    const std::string local = StoreLocalPath(candidates[index], path);
+    const int fd = ::open(local.c_str(), O_RDONLY);
+    if (fd < 0) {
+      open_error = Status::IOError(ErrnoMessage("open " + local));
+      continue;
+    }
+    return std::unique_ptr<DfsReader>(new LocalDfsReader(
+        this, path, length, std::move(sums), std::move(candidates), index,
+        fd));
+  }
+  return open_error;
 }
 
 Result<FileStatus> MiniDfs::Stat(const std::string& path) const {
@@ -281,7 +785,7 @@ Result<FileStatus> MiniDfs::Stat(const std::string& path) const {
   if (it == stripe.files.end()) {
     return Status::NotFound("no such file: " + path);
   }
-  return FileStatus{path, it->second, options_.block_size};
+  return FileStatus{path, it->second.length, options_.block_size};
 }
 
 bool MiniDfs::Exists(const std::string& path) const {
@@ -298,10 +802,15 @@ Status MiniDfs::Delete(const std::string& path) {
       return Status::NotFound("no such file: " + path);
     }
   }
-  std::error_code ec;
-  std::filesystem::remove(LocalPath(path), ec);
-  if (ec) return Status::IOError("remove: " + ec.message());
-  return Status::OK();
+  Status result = Status::OK();
+  for (int store = 0; store < options_.replication; ++store) {
+    std::error_code ec;
+    std::filesystem::remove(StoreLocalPath(store, path), ec);
+    if (ec && result.ok()) {
+      result = Status::IOError("remove: " + ec.message());
+    }
+  }
+  return result;
 }
 
 Status MiniDfs::Rename(const std::string& from, const std::string& to) {
@@ -329,16 +838,34 @@ Status MiniDfs::Rename(const std::string& from, const std::string& to) {
     if (to_stripe.files.count(to) > 0) {
       return Status::AlreadyExists("exists: " + to);
     }
-    to_stripe.files[to] = it->second;
+    to_stripe.files[to] = std::move(it->second);
     from_stripe.files.erase(it);
   }
   TrackDirectories(to);
-  const std::string local_to = LocalPath(to);
-  std::error_code ec;
-  std::filesystem::create_directories(
-      std::filesystem::path(local_to).parent_path(), ec);
-  std::filesystem::rename(LocalPath(from), local_to, ec);
-  if (ec) return Status::IOError("rename: " + ec.message());
+  // Move every replica's copy; a store without the source copy (invalid
+  // replica / killed store) is skipped, and the move fails only when no
+  // copy moved at all.
+  int moved = 0;
+  Status move_error = Status::OK();
+  for (int store = 0; store < options_.replication; ++store) {
+    const std::string local_from = StoreLocalPath(store, from);
+    std::error_code exists_ec;
+    if (!std::filesystem::exists(local_from, exists_ec)) continue;
+    const std::string local_to = StoreLocalPath(store, to);
+    std::error_code ec;
+    std::filesystem::create_directories(
+        std::filesystem::path(local_to).parent_path(), ec);
+    std::filesystem::rename(local_from, local_to, ec);
+    if (ec) {
+      if (move_error.ok()) {
+        move_error = Status::IOError("rename: " + ec.message());
+      }
+      continue;
+    }
+    ++moved;
+  }
+  if (moved == 0 && !move_error.ok()) return move_error;
+  if (moved == 0) return Status::IOError("rename: no replica moved: " + from);
   return Status::OK();
 }
 
@@ -351,7 +878,8 @@ std::vector<FileStatus> MiniDfs::ListFiles(const std::string& prefix) const {
     for (auto it = stripe.files.lower_bound(prefix); it != stripe.files.end();
          ++it) {
       if (!StartsWith(it->first, prefix)) break;
-      out.push_back(FileStatus{it->first, it->second, options_.block_size});
+      out.push_back(
+          FileStatus{it->first, it->second.length, options_.block_size});
     }
   }
   std::sort(out.begin(), out.end(),
@@ -390,9 +918,9 @@ uint64_t MiniDfs::MetadataMemoryBytes() const {
   for (const Stripe& stripe : stripes_) {
     std::lock_guard<std::mutex> lock(stripe.mu);
     num_files += stripe.files.size();
-    for (const auto& [path, length] : stripe.files) {
+    for (const auto& [path, meta] : stripe.files) {
       (void)path;
-      blocks += (length + options_.block_size - 1) / options_.block_size;
+      blocks += (meta.length + options_.block_size - 1) / options_.block_size;
     }
   }
   return kMetadataObjectBytes * (num_files + NumDirectories() + blocks);
@@ -414,16 +942,182 @@ uint64_t MiniDfs::NumDirectories() const {
 
 void MiniDfs::ResetCounters() {
   bytes_written_.store(0);
+  replica_bytes_written_.store(0);
   bytes_read_.store(0);
   pread_calls_.store(0);
+  read_failovers_.store(0);
+  checksum_failures_.store(0);
+}
+
+bool MiniDfs::StoreUp(int store) const {
+  if (store < 0 || store >= options_.replication) return false;
+  return store_up_[store].load(std::memory_order_acquire);
+}
+
+Status MiniDfs::KillStore(int store, bool wipe_data) {
+  if (store < 0 || store >= options_.replication) {
+    return Status::InvalidArgument("no such replica store: " +
+                                   std::to_string(store));
+  }
+  store_up_[store].store(false, std::memory_order_release);
+  // Break every open write pipeline through this store: even if the store
+  // revives, its copies are stale until ReReplicate() and the old
+  // descriptors must not keep extending them (after a wipe they point at
+  // unlinked inodes).
+  store_gen_[store].fetch_add(1, std::memory_order_acq_rel);
+  if (wipe_data) {
+    std::error_code ec;
+    std::filesystem::remove_all(StoreRoot(store), ec);
+    if (ec) return Status::IOError("remove_all: " + ec.message());
+    // A wiped store holds no copy of anything: invalidate its replicas so a
+    // revive without re-replication cannot serve from the empty directory.
+    for (Stripe& stripe : stripes_) {
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      for (auto& [path, meta] : stripe.files) {
+        (void)path;
+        if (store < static_cast<int>(meta.replica_ok.size())) {
+          meta.replica_ok[store] = 0;
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status MiniDfs::ReviveStore(int store) {
+  if (store < 0 || store >= options_.replication) {
+    return Status::InvalidArgument("no such replica store: " +
+                                   std::to_string(store));
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(StoreRoot(store), ec);
+  if (ec) return Status::IOError("create_directories: " + ec.message());
+  store_up_[store].store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+Result<uint64_t> MiniDfs::ReReplicate() {
+  if (options_.replication <= 1) return static_cast<uint64_t>(0);
+  struct Job {
+    std::string path;
+    uint64_t length;
+    std::shared_ptr<const FileChecksums> sums;
+    int source;
+    std::vector<int> missing;
+  };
+  std::vector<Job> jobs;
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (const auto& [path, meta] : stripe.files) {
+      // Never repair a file that is still being appended: the pipeline
+      // extends only its own targets, so a copied replica would go stale
+      // the moment the writer's next append lands. Close seals the file
+      // and a later pass repairs it.
+      if (meta.open_writers > 0) continue;
+      Job job{path, meta.length, meta.sums, -1, {}};
+      for (int store = 0; store < options_.replication; ++store) {
+        const bool ok = store < static_cast<int>(meta.replica_ok.size()) &&
+                        meta.replica_ok[store];
+        if (ok && StoreUp(store) && job.source < 0) job.source = store;
+        if (!ok && StoreUp(store)) job.missing.push_back(store);
+      }
+      if (job.source >= 0 && !job.missing.empty()) {
+        jobs.push_back(std::move(job));
+      }
+    }
+  }
+  uint64_t repaired = 0;
+  for (const Job& job : jobs) {
+    const std::string source_local = StoreLocalPath(job.source, job.path);
+    std::string contents;
+    Status read = ReadLocalExactly(source_local, 0, job.length, &contents);
+    if (!read.ok()) return read;
+    for (int store : job.missing) {
+      const std::string local = StoreLocalPath(store, job.path);
+      std::error_code ec;
+      std::filesystem::create_directories(
+          std::filesystem::path(local).parent_path(), ec);
+      if (ec) return Status::IOError("create parent dirs: " + ec.message());
+      const int fd = ::open(local.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (fd < 0) return Status::IOError(ErrnoMessage("open " + local));
+      const bool written = WriteFully(fd, contents);
+      const int close_rc = ::close(fd);
+      if (!written || close_rc != 0) {
+        return Status::IOError("re-replicate copy failed: " + job.path);
+      }
+      // Publish only if the file was not appended/replaced while copying —
+      // a changed length means our copy is already stale, so leave the
+      // replica invalid for a later pass.
+      Stripe& stripe = StripeFor(job.path);
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      auto it = stripe.files.find(job.path);
+      if (it != stripe.files.end() && it->second.length == job.length &&
+          it->second.open_writers == 0 &&
+          store < static_cast<int>(it->second.replica_ok.size())) {
+        it->second.replica_ok[store] = 1;
+        ++repaired;
+      }
+    }
+  }
+  return repaired;
+}
+
+Status MiniDfs::VerifyReplicas(const std::string& path) const {
+  uint64_t length = 0;
+  std::shared_ptr<const FileChecksums> sums;
+  std::vector<uint8_t> replica_ok;
+  {
+    Stripe& stripe = StripeFor(path);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.files.find(path);
+    if (it == stripe.files.end()) {
+      return Status::NotFound("no such file: " + path);
+    }
+    length = it->second.length;
+    sums = it->second.sums;
+    replica_ok = it->second.replica_ok;
+  }
+  if (options_.replication == 1 || sums == nullptr) return Status::OK();
+  for (int store = 0; store < options_.replication; ++store) {
+    const bool ok = store < static_cast<int>(replica_ok.size()) &&
+                    replica_ok[store];
+    if (!ok || !StoreUp(store)) continue;
+    const std::string local = StoreLocalPath(store, path);
+    std::string buf;
+    for (uint64_t pos = 0; pos < length; pos += sums->chunk_bytes) {
+      const uint64_t extent = std::min(sums->chunk_bytes, length - pos);
+      DGF_RETURN_IF_ERROR(ReadLocalExactly(local, pos, extent, &buf));
+      const size_t chunk_index = static_cast<size_t>(pos / sums->chunk_bytes);
+      if (chunk_index >= sums->chunks.size() ||
+          Crc32(0, buf) != sums->chunks[chunk_index]) {
+        return Status::Corruption("replica checksum mismatch: " + path +
+                                  " store r" + std::to_string(store));
+      }
+    }
+  }
+  return Status::OK();
 }
 
 void MiniDfs::SetReadFaultInjector(std::shared_ptr<ReadFaultInjector> injector) {
   std::lock_guard<std::mutex> lock(injector_mu_);
-  fault_injector_ = std::move(injector);
-  // Publish after the pointer is in place so a reader that observes the flag
-  // as set always finds the injector under injector_mu_.
-  has_injector_.store(fault_injector_ != nullptr, std::memory_order_release);
+  bool any = false;
+  for (auto& slot : fault_injectors_) {
+    slot = injector;
+    any = any || slot != nullptr;
+  }
+  // Publish after the pointers are in place so a reader that observes the
+  // flag as set always finds the injector under injector_mu_.
+  has_injector_.store(any, std::memory_order_release);
+}
+
+void MiniDfs::SetReadFaultInjector(int store,
+                                   std::shared_ptr<ReadFaultInjector> injector) {
+  std::lock_guard<std::mutex> lock(injector_mu_);
+  if (store < 0 || store >= static_cast<int>(fault_injectors_.size())) return;
+  fault_injectors_[store] = std::move(injector);
+  bool any = false;
+  for (const auto& slot : fault_injectors_) any = any || slot != nullptr;
+  has_injector_.store(any, std::memory_order_release);
 }
 
 }  // namespace dgf::fs

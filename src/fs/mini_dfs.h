@@ -60,6 +60,7 @@ struct ReadFault {
     kNone,
     /// The read attempt fails; the reader retries it a bounded number of
     /// times (the DFS client's behaviour on a flaky DataNode) before
+    /// failing over to the next replica — or, with no replica left,
     /// surfacing a structured IOError.
     kTransientError,
     /// The read attempt returns fewer bytes than asked (capped at
@@ -75,6 +76,12 @@ struct ReadFault {
 /// Fault source consulted once per low-level read attempt. Implementations
 /// live in src/testing/ (seeded, replayable schedules); production runs have
 /// none installed and pay only a null check.
+///
+/// Injectors are scoped *per replica store*: `SetReadFaultInjector(store, i)`
+/// arms one store only, so a fault schedule can poison replica 0 without
+/// also firing on the failover read from replica 1. The store-less overload
+/// arms every store (the pre-replication behaviour, kept for the existing
+/// fault sweeps and gate-based tests).
 class ReadFaultInjector {
  public:
   virtual ~ReadFaultInjector() = default;
@@ -94,7 +101,17 @@ class ReadFaultInjector {
 ///   * NameNode-style metadata accounting (`MetadataMemoryBytes()`), used to
 ///     reproduce the paper's argument about multidimensional partitioning
 ///     overloading the NameNode (Section 2.2),
-///   * byte counters for the write/read-throughput experiments (Figure 3).
+///   * byte counters for the write/read-throughput experiments (Figure 3),
+///   * k-way replication (`Options::replication`): every file fans out to k
+///     replica stores (`root_dir/r0` … `root_dir/r{k-1}`, each standing in
+///     for one DataNode's disk) on the write path, per-replica chunk
+///     checksums are sealed at Close, and reads fail over to the next
+///     replica on read error, short read, or checksum mismatch. Stores can
+///     be killed/revived (`KillStore`/`ReviveStore`) to model DataNode
+///     death, and `ReReplicate()` repairs under-replicated files from a
+///     surviving copy. With replication == 1 (the default) the on-disk
+///     layout and read/write behaviour are exactly the pre-replication
+///     single-copy ones.
 ///
 /// Thread-safe: concurrent readers/writers of distinct files are
 /// unsynchronized fast paths (data bytes move through per-handle file
@@ -113,6 +130,15 @@ class MiniDfs {
     /// HDFS block size; also the default split size. Paper uses 64 MB; tests
     /// and benches shrink it so multi-split behaviour shows at laptop scale.
     uint64_t block_size = 64ULL << 20;
+    /// Number of replica stores each file fans out to. 1 (the default)
+    /// keeps the legacy single-copy layout rooted directly at `root_dir`;
+    /// k >= 2 places one full copy in each of `root_dir/r0 .. r{k-1}` and
+    /// enables per-replica chunk checksums + read failover.
+    int replication = 1;
+    /// Checksum granularity for replicated files: one CRC32 per
+    /// `checksum_chunk_bytes` bytes (last chunk may be partial). Ignored
+    /// when replication == 1.
+    uint64_t checksum_chunk_bytes = 64 * 1024;
   };
 
   /// Creates (or reopens) a DFS rooted at `options.root_dir`.
@@ -163,22 +189,78 @@ class MiniDfs {
   uint64_t block_size() const { return options_.block_size; }
 
   /// Estimated NameNode heap usage: 150 bytes per directory, file, and block,
-  /// matching the rule of thumb the paper cites for HDFS metadata.
+  /// matching the rule of thumb the paper cites for HDFS metadata. Counts
+  /// logical objects (the NameNode tracks one block object regardless of its
+  /// replica count), so the estimate is replication-invariant.
   uint64_t MetadataMemoryBytes() const;
   uint64_t NumFiles() const;
   uint64_t NumDirectories() const;
 
   /// Total bytes appended / read since construction (Figure 3 throughput).
+  /// `TotalBytesWritten` counts logical bytes (one Append counted once);
+  /// `TotalReplicaBytesWritten` counts physical bytes across all replica
+  /// fan-out writes (== logical × live replicas), the number that shows the
+  /// write amplification of replication in the benches.
   uint64_t TotalBytesWritten() const { return bytes_written_.load(); }
+  uint64_t TotalReplicaBytesWritten() const {
+    return replica_bytes_written_.load();
+  }
   uint64_t TotalBytesRead() const { return bytes_read_.load(); }
   /// Number of Pread calls served (slice-coalescing experiments: merged read
   /// ranges show up here as fewer, larger reads for the same bytes).
   uint64_t TotalPreadCalls() const { return pread_calls_.load(); }
+  /// Times a read abandoned one replica and moved to the next (read error
+  /// past the retry budget, short replica file, or checksum mismatch).
+  uint64_t TotalReadFailovers() const { return read_failovers_.load(); }
+  /// Chunk-checksum mismatches detected on the read path.
+  uint64_t TotalChecksumFailures() const { return checksum_failures_.load(); }
   void ResetCounters();
 
-  /// Installs (or, with nullptr, removes) a read-fault injector. Applies to
-  /// readers opened after the call as well as already-open ones.
+  // ---- Replication control surface (no-ops / errors when replication==1).
+
+  int replication() const { return options_.replication; }
+  int num_stores() const { return options_.replication; }
+
+  /// The preference order in which readers of `path` try replica stores:
+  /// only stores holding a complete copy, rotated so the primary is
+  /// `hash(path) % k` (spreading read load across stores the way HDFS
+  /// spreads block primaries across DataNodes).
+  std::vector<int> ReplicaOrder(const std::string& path) const;
+
+  /// Local-filesystem path of `path`'s copy inside `store` (whether or not
+  /// the copy currently exists). Tests use this to corrupt exactly one
+  /// replica on disk.
+  std::string StoreLocalPath(int store, const std::string& path) const;
+
+  /// Marks `store` down: subsequent writes skip it (marking affected files
+  /// under-replicated) and reads fail over past it. With `wipe_data` the
+  /// store's directory is deleted too, modelling a lost disk rather than a
+  /// dead process.
+  Status KillStore(int store, bool wipe_data = false);
+  /// Marks `store` up again. Its copies stay stale/missing until
+  /// `ReReplicate()` repairs them (reads keep failing over meanwhile, based
+  /// on the per-file replica-valid flags).
+  Status ReviveStore(int store);
+  bool StoreUp(int store) const;
+
+  /// Repairs every under-replicated file whose missing store is up again by
+  /// copying from a valid replica. Returns the number of file-replicas
+  /// repaired. Not intended to run concurrently with writers of the files
+  /// being repaired (a concurrently-appended file is skipped, not broken).
+  Result<uint64_t> ReReplicate();
+
+  /// Checks that every live, valid replica of `path` matches the sealed
+  /// length and chunk checksums. Corruption/IOError on mismatch.
+  Status VerifyReplicas(const std::string& path) const;
+
+  /// Installs (or, with nullptr, removes) a read-fault injector on every
+  /// replica store. Applies to readers opened after the call as well as
+  /// already-open ones.
   void SetReadFaultInjector(std::shared_ptr<ReadFaultInjector> injector);
+  /// Installs (or removes) a read-fault injector on one replica store only,
+  /// leaving its siblings clean — the deterministic-failover testing hook.
+  void SetReadFaultInjector(int store,
+                            std::shared_ptr<ReadFaultInjector> injector);
 
  private:
   /// Lock stripes over the namespace. 16 is comfortably above the writer
@@ -186,24 +268,54 @@ class MiniDfs {
   /// of full-namespace operations (ListFiles, NumFiles) trivial.
   static constexpr size_t kNumStripes = 16;
 
-  /// One hash partition of the namespace: path -> current length. The maps
-  /// are the authoritative metadata; the local directory is the backing
+  /// Immutable per-file checksum snapshot, sealed at writer Close and shared
+  /// with readers (readers verify against the snapshot taken at open, so a
+  /// concurrent re-seal cannot rip the vector out from under them). One
+  /// CRC32 per chunk; the last chunk covers `covered_length % chunk_bytes`
+  /// bytes when that is non-zero.
+  struct FileChecksums {
+    uint64_t chunk_bytes = 0;
+    uint64_t covered_length = 0;
+    std::vector<uint32_t> chunks;
+  };
+
+  /// Authoritative metadata for one file.
+  struct FileMeta {
+    uint64_t length = 0;
+    /// Null when replication == 1 (no checksums, legacy behaviour).
+    std::shared_ptr<const FileChecksums> sums;
+    /// replica_ok[store]: that store holds a complete, current copy.
+    /// Sized `replication`.
+    std::vector<uint8_t> replica_ok;
+    /// Writers currently appending. An unsealed file is never re-replicated
+    /// (HDFS likewise only replicates finalized blocks): repairing a copy
+    /// the write pipeline no longer extends would leave a stale replica
+    /// marked valid.
+    int open_writers = 0;
+  };
+
+  /// One hash partition of the namespace: path -> metadata. The maps are
+  /// the authoritative metadata; the local directories are the backing
   /// store. Each map stays sorted so prefix listings remain range scans.
   struct Stripe {
     mutable std::mutex mu;
-    std::map<std::string, uint64_t> files;
+    std::map<std::string, FileMeta> files;
   };
 
   explicit MiniDfs(Options options);
 
   Status Init();
-  std::string LocalPath(const std::string& path) const;
+  std::string StoreRoot(int store) const;
   static Status ValidatePath(const std::string& path);
   void TrackDirectories(const std::string& path);
   Stripe& StripeFor(const std::string& path) const;
-  /// Copies the injector (nullptr when none installed). Lock-free when no
-  /// injector has ever been installed — the production fast path.
-  std::shared_ptr<ReadFaultInjector> CurrentInjector() const;
+  /// Copies `store`'s injector (nullptr when none installed). Lock-free when
+  /// no injector has ever been installed — the production fast path.
+  std::shared_ptr<ReadFaultInjector> CurrentInjector(int store) const;
+  std::vector<uint8_t> FreshReplicaOk() const;
+  /// Recomputes the chunk checksums of a local file (recovery path).
+  Result<std::shared_ptr<const FileChecksums>> ComputeSums(
+      const std::string& local, uint64_t length) const;
 
   friend class LocalDfsWriter;
   friend class LocalDfsReader;
@@ -213,13 +325,24 @@ class MiniDfs {
   mutable std::mutex dir_mu_;
   std::set<std::string> directories_;  // guarded by dir_mu_
   std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> replica_bytes_written_{0};
   std::atomic<uint64_t> bytes_read_{0};
   std::atomic<uint64_t> pread_calls_{0};
+  std::atomic<uint64_t> read_failovers_{0};
+  std::atomic<uint64_t> checksum_failures_{0};
+  /// store_up_[store]: the store accepts writes and serves reads.
+  std::unique_ptr<std::atomic<bool>[]> store_up_;
+  /// store_gen_[store]: bumped on every KillStore. An open write pipeline
+  /// records each target's generation and permanently drops a target whose
+  /// generation moved — a revived store's copy is stale until ReReplicate()
+  /// and must not silently rejoin the fan-out (the old descriptor may even
+  /// point at a wiped, unlinked inode).
+  std::unique_ptr<std::atomic<uint64_t>[]> store_gen_;
   /// Guarded by injector_mu_; the atomic flag lets readers skip the lock
-  /// entirely while no injector is installed.
+  /// entirely while no injector is installed on any store.
   mutable std::mutex injector_mu_;
   std::atomic<bool> has_injector_{false};
-  std::shared_ptr<ReadFaultInjector> fault_injector_;
+  std::vector<std::shared_ptr<ReadFaultInjector>> fault_injectors_;
 };
 
 }  // namespace dgf::fs

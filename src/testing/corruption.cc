@@ -1,5 +1,7 @@
 #include "testing/corruption.h"
 
+#include <fstream>
+
 namespace dgf::testing {
 namespace {
 
@@ -31,6 +33,28 @@ Status TruncateFile(const std::shared_ptr<fs::MiniDfs>& dfs,
   std::string contents;
   DGF_RETURN_IF_ERROR(reader->Pread(0, keep, &contents));
   return RewriteFile(dfs, path, contents);
+}
+
+Status FlipReplicaByte(const std::shared_ptr<fs::MiniDfs>& dfs, int store,
+                       const std::string& path, uint64_t at) {
+  const std::string local = dfs->StoreLocalPath(store, path);
+  std::fstream file(local,
+                    std::ios::in | std::ios::out | std::ios::binary);
+  if (!file.is_open()) {
+    return Status::IOError("open replica copy: " + local);
+  }
+  file.seekg(static_cast<std::streamoff>(at));
+  char byte = 0;
+  if (!file.read(&byte, 1)) {
+    return Status::InvalidArgument("FlipReplicaByte offset past end of " +
+                                   local);
+  }
+  byte ^= 0x01;
+  file.seekp(static_cast<std::streamoff>(at));
+  file.write(&byte, 1);
+  file.flush();
+  if (!file.good()) return Status::IOError("rewrite replica copy: " + local);
+  return Status::OK();
 }
 
 }  // namespace dgf::testing

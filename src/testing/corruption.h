@@ -23,6 +23,12 @@ Status FlipByte(const std::shared_ptr<fs::MiniDfs>& dfs,
 Status TruncateFile(const std::shared_ptr<fs::MiniDfs>& dfs,
                     const std::string& path, uint64_t keep);
 
+/// Flips one bit of byte `at` in exactly `store`'s local copy of `path`,
+/// behind the DFS's back — the other replicas stay intact, so a chunk-
+/// checksum mismatch on this copy must fail a read over to a sibling.
+Status FlipReplicaByte(const std::shared_ptr<fs::MiniDfs>& dfs, int store,
+                       const std::string& path, uint64_t at);
+
 }  // namespace dgf::testing
 
 #endif  // DGF_TESTING_CORRUPTION_H_

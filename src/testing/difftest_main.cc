@@ -28,7 +28,17 @@
 //                                        single-node oracle
 //   dgf_difftest --wire-fuzz --seed=N [--case=K]  mutated-frame fuzz against
 //                                        the wire codec and a live server
+//   dgf_difftest --node-crash-sweep --seed=N [--seeds=K] [--shards=S]
+//                                        kill-a-node sweep: replicated 2/4-
+//                                        shard clusters lose a replica store,
+//                                        a primary server, and a whole shard
+//                                        daemon at seed-derived points; every
+//                                        query must still match the oracle
+//                                        and recovered state the acked prefix
 //   dgf_difftest --duration=SECONDS      open-ended soak over rolling seeds
+//
+// `--seeds=` accepts the fixed `tier1` suite or a number K, which sweeps
+// seeds [--seed, --seed + K) for the selected component.
 
 #include <chrono>
 #include <cstdio>
@@ -41,6 +51,7 @@
 #include "testing/builder_crash_sweep.h"
 #include "testing/differential.h"
 #include "testing/lsm_crash_sweep.h"
+#include "testing/node_crash_sweep.h"
 #include "testing/parser_fuzz.h"
 #include "testing/shard_sweep.h"
 #include "testing/wire_fuzz.h"
@@ -57,6 +68,8 @@ using dgf::testing::DiffOptions;
 using dgf::testing::DiffReport;
 using dgf::testing::FaultReport;
 using dgf::testing::FaultSweepOptions;
+using dgf::testing::NodeCrashSweepOptions;
+using dgf::testing::NodeCrashSweepReport;
 using dgf::testing::ParserFuzzOptions;
 using dgf::testing::ParserFuzzReport;
 using dgf::testing::ShardSweepOptions;
@@ -78,6 +91,7 @@ struct Flags {
   bool builder_crash_sweep = false;
   bool shard_sweep = false;
   bool wire_fuzz = false;
+  bool node_crash_sweep = false;
   int shards = 0;
   int count = 20;
   bool no_shrink = false;
@@ -100,11 +114,12 @@ bool ParseFlag(const char* arg, const char* name, const char** value) {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--seeds=tier1] [--seed=N] [--queries=N] "
+               "usage: %s [--seeds=tier1|N] [--seed=N] [--queries=N] "
                "[--case=K] [--threads=K] [--duration=SECONDS] [--crash-sweep] "
                "[--fault-sweep] [--parser-fuzz] [--build-sweep] "
                "[--builder-crash-sweep] [--shard-sweep] [--wire-fuzz] "
-               "[--shards=S] [--count=N] [--no-shrink] [--verbose]\n",
+               "[--node-crash-sweep] [--shards=S] [--count=N] [--no-shrink] "
+               "[--verbose]\n",
                argv0);
   return 2;
 }
@@ -261,6 +276,31 @@ bool RunShards(const ShardSweepOptions& options) {
   return report->ok();
 }
 
+bool RunNodeCrash(const NodeCrashSweepOptions& options) {
+  auto report = dgf::testing::RunNodeCrashSweep(options);
+  if (!report.ok()) {
+    Stage("node-crash", false,
+          "seed=" + std::to_string(options.seed) +
+              " harness error: " + report.status().ToString());
+    return false;
+  }
+  Stage("node-crash", report->ok(),
+        "seed=" + std::to_string(options.seed) + " seeds=" +
+            std::to_string(report->seeds_run) + " clusters=" +
+            std::to_string(report->clusters_run) + " queries=" +
+            std::to_string(report->queries_run) + " kills=" +
+            std::to_string(report->store_kills + report->primary_kills +
+                           report->daemon_kills) +
+            " failovers=" + std::to_string(report->read_failovers) +
+            " replica_retries=" + std::to_string(report->replica_retries) +
+            " recoveries=" + std::to_string(report->recoveries_checked) +
+            " divergences=" + std::to_string(report->divergences.size()));
+  for (const auto& divergence : report->divergences) {
+    std::printf("%s\n", divergence.ToString().c_str());
+  }
+  return report->ok();
+}
+
 bool RunWire(const WireFuzzOptions& options) {
   auto report = dgf::testing::RunWireFuzz(options);
   if (!report.ok()) {
@@ -289,10 +329,14 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const char* value = nullptr;
     if (ParseFlag(argv[i], "--seeds", &value)) {
-      if (value == nullptr || std::strcmp(value, "tier1") != 0) {
+      if (value != nullptr && std::strcmp(value, "tier1") == 0) {
+        flags.tier1 = true;
+      } else if (value != nullptr && std::atoi(value) > 0) {
+        // `--seeds=K` sweeps K consecutive seeds of the selected component.
+        flags.count = std::atoi(value);
+      } else {
         return Usage(argv[0]);
       }
-      flags.tier1 = true;
     } else if (ParseFlag(argv[i], "--seed", &value) && value != nullptr) {
       flags.seed = std::strtoull(value, nullptr, 10);
     } else if (ParseFlag(argv[i], "--queries", &value) && value != nullptr) {
@@ -319,6 +363,8 @@ int main(int argc, char** argv) {
       flags.shard_sweep = true;
     } else if (ParseFlag(argv[i], "--wire-fuzz", &value)) {
       flags.wire_fuzz = true;
+    } else if (ParseFlag(argv[i], "--node-crash-sweep", &value)) {
+      flags.node_crash_sweep = true;
     } else if (ParseFlag(argv[i], "--shards", &value) && value != nullptr) {
       flags.shards = std::atoi(value);
     } else if (ParseFlag(argv[i], "--no-shrink", &value)) {
@@ -357,6 +403,11 @@ int main(int argc, char** argv) {
                                 .verbose = flags.verbose});
     RunWire(WireFuzzOptions{
         .seed = 29, .num_cases = 400, .verbose = flags.verbose});
+    RunNodeCrash(NodeCrashSweepOptions{.seed = 31,
+                                       .count = 1,
+                                       .num_queries = 8,
+                                       .only_shards = 2,
+                                       .verbose = flags.verbose});
     return failures_total == 0 ? 0 : 1;
   }
 
@@ -390,6 +441,8 @@ int main(int argc, char** argv) {
                                   .verbose = flags.verbose});
       RunWire(WireFuzzOptions{
           .seed = seed, .num_cases = 400, .verbose = flags.verbose});
+      RunNodeCrash(NodeCrashSweepOptions{
+          .seed = seed, .count = 1, .verbose = flags.verbose});
       ++seed;
     }
     std::printf("soak finished: seeds %llu..%llu, failures=%d\n",
@@ -401,7 +454,7 @@ int main(int argc, char** argv) {
   const bool any_component = flags.crash_sweep || flags.fault_sweep ||
                              flags.parser_fuzz || flags.build_sweep ||
                              flags.builder_crash_sweep || flags.shard_sweep ||
-                             flags.wire_fuzz;
+                             flags.wire_fuzz || flags.node_crash_sweep;
   if (flags.crash_sweep) {
     RunCrash(CrashSweepOptions{.seed = flags.seed, .verbose = flags.verbose});
   }
@@ -434,6 +487,14 @@ int main(int argc, char** argv) {
     options.only_shards = flags.shards;
     options.verbose = flags.verbose;
     RunShards(options);
+  }
+  if (flags.node_crash_sweep) {
+    NodeCrashSweepOptions options;
+    options.seed = flags.seed;
+    options.count = flags.count;
+    options.only_shards = flags.shards;
+    options.verbose = flags.verbose;
+    RunNodeCrash(options);
   }
   if (flags.wire_fuzz) {
     WireFuzzOptions options;

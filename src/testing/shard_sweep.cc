@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "dgf/dgf_builder.h"
+#include "kv/lsm_kv.h"
 #include "kv/mem_kv.h"
 #include "table/table.h"
 
@@ -40,6 +41,9 @@ struct ShardedCluster::Shard {
   std::unique_ptr<core::DgfIndex> dgf;
   std::unique_ptr<server::QueryService> service;
   std::unique_ptr<server::Server> server;
+  /// Second wire server over the same service: the replica endpoint the
+  /// coordinator retries reads on when `server` dies.
+  std::unique_ptr<server::Server> replica_server;
 };
 
 Result<std::unique_ptr<ShardedCluster>> ShardedCluster::Start(
@@ -53,6 +57,7 @@ Result<std::unique_ptr<ShardedCluster>> ShardedCluster::Start(
 
   static std::atomic<int> counter{0};
   std::vector<coord::ShardEndpoint> endpoints;
+  std::vector<coord::ShardEndpoint> replica_endpoints;
   for (int shard = 0; shard < num_shards; ++shard) {
     auto s = std::make_unique<Shard>();
     std::filesystem::path dir =
@@ -65,6 +70,9 @@ Result<std::unique_ptr<ShardedCluster>> ShardedCluster::Start(
     fs::MiniDfs::Options dfs_options;
     dfs_options.root_dir = dir.string();
     dfs_options.block_size = 16384;
+    dfs_options.replication = options.replication;
+    // Small chunks so laptop-scale files still span many checksum chunks.
+    dfs_options.checksum_chunk_bytes = 4096;
     DGF_ASSIGN_OR_RETURN(s->dfs, fs::MiniDfs::Open(dfs_options));
 
     // The shard's slice of the dataset: exactly the rows whose time value
@@ -92,7 +100,15 @@ Result<std::unique_ptr<ShardedCluster>> ShardedCluster::Start(
     dgf_build.split_size = 16384;
     dgf_build.data_dir = "/s/dgf";
     dgf_build.data_format = table::FileFormat::kText;
-    s->store = std::make_shared<kv::MemKv>();
+    if (options.use_lsm) {
+      kv::LsmKv::Options lsm_options;
+      lsm_options.dfs = s->dfs;
+      lsm_options.dir = "/s/kv";
+      DGF_ASSIGN_OR_RETURN(auto lsm, kv::LsmKv::Open(std::move(lsm_options)));
+      s->store = std::shared_ptr<kv::KvStore>(std::move(lsm));
+    } else {
+      s->store = std::make_shared<kv::MemKv>();
+    }
     DGF_ASSIGN_OR_RETURN(
         s->dgf, core::DgfBuilder::Build(s->dfs, s->store, s->meter, dgf_build));
 
@@ -115,18 +131,34 @@ Result<std::unique_ptr<ShardedCluster>> ShardedCluster::Start(
     server::Server::Options server_options;
     server_options.service = s->service.get();
     server_options.port = 0;
+    // With a replica endpoint over the same service, killing the primary
+    // must not mark the shared service draining (the replica keeps serving).
+    server_options.drain_service_on_shutdown = !options.replica_servers;
     DGF_ASSIGN_OR_RETURN(s->server,
                          server::Server::Start(server_options));
     coord::ShardEndpoint endpoint;
     endpoint.host = "127.0.0.1";
     endpoint.port = s->server->port();
     endpoints.push_back(std::move(endpoint));
+    if (options.replica_servers) {
+      server::Server::Options replica_options;
+      replica_options.service = s->service.get();
+      replica_options.port = 0;
+      replica_options.drain_service_on_shutdown = false;
+      DGF_ASSIGN_OR_RETURN(s->replica_server,
+                           server::Server::Start(replica_options));
+      coord::ShardEndpoint replica_endpoint;
+      replica_endpoint.host = "127.0.0.1";
+      replica_endpoint.port = s->replica_server->port();
+      replica_endpoints.push_back(std::move(replica_endpoint));
+    }
     cluster->shards_.push_back(std::move(s));
   }
 
   coord::Coordinator::Options coord_options;
   coord_options.shard_map = cluster->shard_map_;
   coord_options.shards = std::move(endpoints);
+  coord_options.replicas = std::move(replica_endpoints);
   coord_options.max_concurrent = options.max_concurrent;
   coord_options.max_pending = options.max_pending;
   coord_options.connect_timeout_seconds = options.connect_timeout_seconds;
@@ -162,6 +194,10 @@ server::Server* ShardedCluster::shard_server(int i) {
   return shards_[static_cast<size_t>(i)]->server.get();
 }
 
+server::Server* ShardedCluster::shard_replica_server(int i) {
+  return shards_[static_cast<size_t>(i)]->replica_server.get();
+}
+
 server::QueryService* ShardedCluster::shard_service(int i) {
   return shards_[static_cast<size_t>(i)]->service.get();
 }
@@ -170,7 +206,31 @@ const std::shared_ptr<fs::MiniDfs>& ShardedCluster::shard_dfs(int i) {
   return shards_[static_cast<size_t>(i)]->dfs;
 }
 
-namespace {
+std::string ShardedCluster::shard_dir(int i) const {
+  return shards_[static_cast<size_t>(i)]->remover.path.string();
+}
+
+const table::TableDesc& ShardedCluster::meter_desc() const {
+  return shards_.front()->meter;
+}
+
+void ShardedCluster::KillShardPrimary(int i) {
+  shards_[static_cast<size_t>(i)]->server->Shutdown();
+}
+
+void ShardedCluster::KillShardDaemon(int i) {
+  Shard& s = *shards_[static_cast<size_t>(i)];
+  if (s.server != nullptr) s.server->Shutdown();
+  if (s.replica_server != nullptr) s.replica_server->Shutdown();
+  s.replica_server.reset();
+  s.server.reset();
+  s.service.reset();
+  s.dgf.reset();
+  s.store.reset();
+  s.dfs.reset();
+  // s.remover stays: the on-disk state survives for recovery checks and is
+  // cleaned up with the cluster.
+}
 
 Result<query::QueryResult> ResultFromPayload(
     const server::QueryResultPayload& payload) {
@@ -186,6 +246,8 @@ Result<query::QueryResult> ResultFromPayload(
   return result;
 }
 
+namespace {
+
 std::string ShardRepro(uint64_t seed, int shards, int case_id) {
   std::string repro = "dgf_difftest --shard-sweep --seed=" +
                       std::to_string(seed) +
@@ -194,40 +256,30 @@ std::string ShardRepro(uint64_t seed, int shards, int case_id) {
   return repro;
 }
 
-/// The marker rows a sweep appends: userIds >= num_users (disjoint from the
-/// base data, so `userId >= num_users` selects exactly them), spread across
-/// every base day so the batch crosses every shard band.
-struct MarkerBatch {
-  std::vector<std::string> lines;
-  int64_t expected_count = 0;
-  double expected_sum = 0;
-};
+}  // namespace
 
 MarkerBatch MakeMarkerBatch(const workload::MeterConfig& config, int rows) {
   MarkerBatch batch;
-  const table::Schema schema = workload::MeterSchema(config);
   for (int j = 0; j < rows; ++j) {
     table::Row row;
     row.push_back(table::Value::Int64(config.num_users + j));
     row.push_back(table::Value::Int64(1 + (j % config.num_regions)));
-    row.push_back(
-        table::Value::Date(config.start_day + (j % config.num_days)));
+    const int64_t day = config.start_day + (j % config.num_days);
+    row.push_back(table::Value::Date(day));
     const double power = 7.25 + 1.5 * j;
     row.push_back(table::Value::Double(power));
     for (int m = 0; m < config.extra_metrics; ++m) {
       row.push_back(table::Value::Double(0.5 * m));
     }
     batch.lines.push_back(table::FormatRowText(row));
+    batch.days.push_back(day);
+    batch.powers.push_back(power);
     ++batch.expected_count;
     batch.expected_sum += power;
   }
   return batch;
 }
 
-/// Runs the marker-append check against a live cluster: append, then probe
-/// with and without an explicit full-range time predicate. Both probes must
-/// see exactly the whole batch; a row routed to the wrong shard would be
-/// visible to the open probe but missing from the banded one.
 Status CheckMarkerAppend(server::ServerClient* client,
                          const workload::MeterConfig& config,
                          const MarkerBatch& batch) {
@@ -272,8 +324,6 @@ Status CheckMarkerAppend(server::ServerClient* client,
   }
   return Status::OK();
 }
-
-}  // namespace
 
 Result<ShardSweepReport> RunShardSweep(const ShardSweepOptions& options) {
   ShardSweepReport report;

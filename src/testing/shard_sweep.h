@@ -36,6 +36,17 @@ class ShardedCluster {
     int num_shards = 2;
     /// Replicate the userInfo archive to every shard (broadcast joins).
     bool with_user_info = false;
+    /// MiniDfs replication factor for every shard's DFS: k replica stores
+    /// with chunk checksums and failover reads (1 = legacy single copy).
+    int replication = 1;
+    /// Start a second wire server per shard over the same QueryService (the
+    /// shard's replica endpoint) and hand those endpoints to the
+    /// coordinator, arming its one-shot read retry.
+    bool replica_servers = false;
+    /// Back each shard with LsmKv (WAL + SSTable runs through the shard's
+    /// MiniDfs, so the metadata/epoch log rides DFS replication) instead of
+    /// MemKv — required for kill-and-reopen recovery checks to be real.
+    bool use_lsm = false;
     int max_concurrent = 4;
     int max_pending = 16;
     double connect_timeout_seconds = 2.0;
@@ -54,8 +65,24 @@ class ShardedCluster {
   /// The coordinator-fronting server clients talk to.
   server::Server* front() { return front_.get(); }
   server::Server* shard_server(int i);
+  /// The shard's replica wire server (null unless Options::replica_servers).
+  server::Server* shard_replica_server(int i);
   server::QueryService* shard_service(int i);
   const std::shared_ptr<fs::MiniDfs>& shard_dfs(int i);
+  /// Local filesystem directory backing shard i's DFS (survives daemon
+  /// kills; removed when the cluster is destroyed).
+  std::string shard_dir(int i) const;
+  /// The grid policy / table descriptor every shard shares.
+  const table::TableDesc& meter_desc() const;
+
+  /// Abruptly stops shard i's primary server. The replica server (if any)
+  /// keeps serving the same QueryService, so coordinator reads survive via
+  /// its one-shot replica retry; appends to the shard fail Unavailable.
+  void KillShardPrimary(int i);
+  /// Stops every server of shard i and tears down its service, index, KV
+  /// store, and DFS handle, leaving only the on-disk state — the sweep then
+  /// reopens that state to check recovery equals the acknowledged prefix.
+  void KillShardDaemon(int i);
 
   Result<std::unique_ptr<server::ServerClient>> Connect() const;
 
@@ -68,6 +95,34 @@ class ShardedCluster {
   std::unique_ptr<coord::Coordinator> coordinator_;
   std::unique_ptr<server::Server> front_;
 };
+
+/// Parses a wire query payload back into typed rows against its schema (the
+/// client-side inverse of the server's result encoding).
+Result<query::QueryResult> ResultFromPayload(
+    const server::QueryResultPayload& payload);
+
+/// The marker rows a sweep appends: userIds >= num_users (disjoint from the
+/// base data, so `userId >= num_users` selects exactly them), spread across
+/// every base day so the batch crosses every shard band. `days` / `powers`
+/// record each row's routing dimension and aggregate contribution so a
+/// caller can compute per-shard expectations without re-parsing lines.
+struct MarkerBatch {
+  std::vector<std::string> lines;
+  std::vector<int64_t> days;
+  std::vector<double> powers;
+  int64_t expected_count = 0;
+  double expected_sum = 0;
+};
+
+MarkerBatch MakeMarkerBatch(const workload::MeterConfig& config, int rows);
+
+/// Runs the marker-append check against a live cluster: append, then probe
+/// with and without an explicit full-range time predicate. Both probes must
+/// see exactly the whole batch; a row routed to the wrong shard would be
+/// visible to the open probe but missing from the banded one.
+Status CheckMarkerAppend(server::ServerClient* client,
+                         const workload::MeterConfig& config,
+                         const MarkerBatch& batch);
 
 /// Sharded-vs-oracle differential sweep (the PR's acceptance gate): for each
 /// seeded world, every generated paper-template query is answered by an

@@ -1,0 +1,469 @@
+// Replication and failover suite: k-way replica placement invariants,
+// replica-failover reads under injected faults / checksum corruption /
+// degraded clusters, re-replication repair, and the coordinator's one-shot
+// replica retry for read sub-queries (including a primary killed provably
+// mid-query). Built as its own binary (dgf_replication_tests) so the
+// ASan/TSan stages in scripts/check.sh can run exactly this suite.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fs/mini_dfs.h"
+#include "query/parser.h"
+#include "server/client.h"
+#include "table/table.h"
+#include "testing/corruption.h"
+#include "testing/differential.h"
+#include "testing/shard_sweep.h"
+#include "tests/test_util.h"
+#include "workload/meter_gen.h"
+
+namespace dgf {
+namespace {
+
+using ::dgf::testing::FlipReplicaByte;
+using ::dgf::testing::MakeMarkerBatch;
+using ::dgf::testing::ResultFromPayload;
+using ::dgf::testing::ScopedDfs;
+using ::dgf::testing::SeededWorld;
+using ::dgf::testing::ShardedCluster;
+
+fs::MiniDfs::Options ReplicatedOptions(int replication,
+                                       uint64_t chunk_bytes = 64) {
+  fs::MiniDfs::Options options;
+  options.block_size = 1 << 20;
+  options.replication = replication;
+  // Tiny chunks so a handful of bytes spans several checksum chunks.
+  options.checksum_chunk_bytes = chunk_bytes;
+  return options;
+}
+
+// A DFS path (under /pref) whose hash-rotated read preference starts at
+// `store` — ReplicaOrder is a pure function of the path, so the preference
+// can be chosen before the file exists.
+std::string PathPreferring(const std::shared_ptr<fs::MiniDfs>& dfs,
+                           int store) {
+  for (int i = 0;; ++i) {
+    const std::string path = "/pref/f" + std::to_string(i);
+    const std::vector<int> order = dfs->ReplicaOrder(path);
+    if (!order.empty() && order[0] == store) return path;
+  }
+}
+
+void WriteFile(const std::shared_ptr<fs::MiniDfs>& dfs,
+               const std::string& path, const std::string& content) {
+  ASSERT_OK_AND_ASSIGN(auto writer, dfs->Create(path));
+  ASSERT_OK(writer->Append(content));
+  ASSERT_OK(writer->Close());
+}
+
+std::string ReadAll(const std::shared_ptr<fs::MiniDfs>& dfs,
+                    const std::string& path) {
+  auto reader = dfs->OpenForRead(path);
+  EXPECT_TRUE(reader.ok()) << reader.status().ToString();
+  if (!reader.ok()) return {};
+  std::string out;
+  auto read = (*reader)->Pread(0, (*reader)->Length(), &out);
+  EXPECT_TRUE(read.ok()) << read.ToString();
+  return out;
+}
+
+std::string ReadLocalCopy(const std::string& local) {
+  std::ifstream file(local, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(file),
+                     std::istreambuf_iterator<char>());
+}
+
+// Fails every read attempt on whichever store it is installed on; counts
+// the attempts it poisoned.
+class AlwaysTransientInjector : public fs::ReadFaultInjector {
+ public:
+  fs::ReadFault NextFault(const std::string& path, uint64_t offset,
+                          uint64_t length) override {
+    (void)path;
+    (void)offset;
+    (void)length;
+    faults_.fetch_add(1, std::memory_order_relaxed);
+    fs::ReadFault fault;
+    fault.kind = fs::ReadFault::Kind::kTransientError;
+    return fault;
+  }
+
+  int faults() const { return faults_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int> faults_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Placement.
+
+TEST(ReplicationTest, PlacementFansOutToKDistinctStores) {
+  ScopedDfs dfs("repl_placement", ReplicatedOptions(3));
+  const std::string content(300, 'x');  // several 64-byte chunks
+  WriteFile(dfs.get(), "/a/data.txt", content);
+
+  // Every store holds a byte-identical copy at its own local path.
+  std::vector<std::string> locals;
+  for (int store = 0; store < 3; ++store) {
+    const std::string local = dfs->StoreLocalPath(store, "/a/data.txt");
+    ASSERT_TRUE(std::filesystem::exists(local)) << local;
+    EXPECT_EQ(ReadLocalCopy(local), content) << local;
+    locals.push_back(local);
+  }
+  EXPECT_NE(locals[0], locals[1]);
+  EXPECT_NE(locals[1], locals[2]);
+
+  // The read preference covers all k distinct stores.
+  const std::vector<int> order = dfs->ReplicaOrder("/a/data.txt");
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_NE(order[0], order[1]);
+  EXPECT_NE(order[1], order[2]);
+  EXPECT_NE(order[0], order[2]);
+
+  // Accounting: k replica bytes per logical byte; scrubbing is clean.
+  EXPECT_EQ(dfs->TotalBytesWritten(), content.size());
+  EXPECT_EQ(dfs->TotalReplicaBytesWritten(), 3 * content.size());
+  EXPECT_OK(dfs->VerifyReplicas("/a/data.txt"));
+  EXPECT_EQ(ReadAll(dfs.get(), "/a/data.txt"), content);
+}
+
+TEST(ReplicationTest, ReplicationOneKeepsLegacyLayout) {
+  ScopedDfs dfs("repl_legacy", 1 << 20);
+  WriteFile(dfs.get(), "/a/data.txt", "hello");
+  // No r0/ indirection: the file lives directly under the root.
+  EXPECT_TRUE(std::filesystem::exists(dfs.dir() / "a" / "data.txt"));
+  EXPECT_EQ(ReadAll(dfs.get(), "/a/data.txt"), "hello");
+}
+
+// ---------------------------------------------------------------------------
+// Failover reads.
+
+TEST(ReplicationTest, ReadFailsOverOnInjectedFault) {
+  ScopedDfs dfs("repl_fault", ReplicatedOptions(2));
+  const std::string path = PathPreferring(dfs.get(), /*store=*/0);
+  const std::string content(200, 'y');
+  WriteFile(dfs.get(), path, content);
+
+  // Poison only store 0 — the *preferred* replica. The read must retry past
+  // the transient budget, fail over to store 1, and still return the exact
+  // bytes. Store 1 must never see the injector.
+  auto injector = std::make_shared<AlwaysTransientInjector>();
+  dfs->SetReadFaultInjector(/*store=*/0, injector);
+  EXPECT_EQ(ReadAll(dfs.get(), path), content);
+  EXPECT_GE(dfs->TotalReadFailovers(), 1u);
+  EXPECT_GE(injector->faults(), 1);
+
+  // Scoping fix regression: clearing the one store's injector clears the
+  // whole fault path; a fresh reader prefers store 0 again and succeeds
+  // without another failover.
+  dfs->SetReadFaultInjector(/*store=*/0, nullptr);
+  const uint64_t failovers = dfs->TotalReadFailovers();
+  const int faults = injector->faults();
+  EXPECT_EQ(ReadAll(dfs.get(), path), content);
+  EXPECT_EQ(dfs->TotalReadFailovers(), failovers);
+  EXPECT_EQ(injector->faults(), faults);
+}
+
+TEST(ReplicationTest, ReadFailsOverOnChecksumMismatch) {
+  ScopedDfs dfs("repl_crc", ReplicatedOptions(2));
+  const std::string path = PathPreferring(dfs.get(), /*store=*/0);
+  std::string content;
+  for (int i = 0; i < 50; ++i) content += "chunked-content-";
+  WriteFile(dfs.get(), path, content);
+
+  // Corrupt one byte of the preferred store's copy behind the DFS's back.
+  ASSERT_OK(FlipReplicaByte(dfs.get(), /*store=*/0, path, /*at=*/100));
+
+  // The read detects the chunk-checksum mismatch, abandons the corrupt
+  // replica, and serves the intact sibling — bytes exact, corruption
+  // counted, never silently wrong data.
+  EXPECT_EQ(ReadAll(dfs.get(), path), content);
+  EXPECT_GE(dfs->TotalChecksumFailures(), 1u);
+  EXPECT_GE(dfs->TotalReadFailovers(), 1u);
+
+  // Scrubbing sees what the read saw.
+  const Status scrub = dfs->VerifyReplicas(path);
+  EXPECT_TRUE(scrub.IsCorruption()) << scrub.ToString();
+}
+
+TEST(ReplicationTest, DegradedReadsDownToLastReplicaThenStructuredError) {
+  ScopedDfs dfs("repl_degraded", ReplicatedOptions(3));
+  const std::string content(150, 'z');
+  WriteFile(dfs.get(), "/d/file.txt", content);
+
+  // k-1 stores die (processes, not disks): reads keep working off whatever
+  // single replica survives.
+  ASSERT_OK(dfs->KillStore(0));
+  ASSERT_OK(dfs->KillStore(1));
+  EXPECT_EQ(ReadAll(dfs.get(), "/d/file.txt"), content);
+
+  // All k dead: a structured error, not a crash or partial data.
+  ASSERT_OK(dfs->KillStore(2));
+  ASSERT_OK_AND_ASSIGN(auto reader, dfs->OpenForRead("/d/file.txt"));
+  std::string out;
+  const Status read = reader->Pread(0, content.size(), &out);
+  EXPECT_FALSE(read.ok());
+  EXPECT_TRUE(read.IsIOError()) << read.ToString();
+
+  // Revival restores service with no repair needed (data was never lost).
+  ASSERT_OK(dfs->ReviveStore(0));
+  ASSERT_OK(dfs->ReviveStore(1));
+  ASSERT_OK(dfs->ReviveStore(2));
+  EXPECT_EQ(ReadAll(dfs.get(), "/d/file.txt"), content);
+}
+
+// ---------------------------------------------------------------------------
+// Re-replication.
+
+TEST(ReplicationTest, ReReplicateRepairsWipedStore) {
+  ScopedDfs dfs("repl_repair", ReplicatedOptions(2));
+  const std::string content(500, 'a');
+  WriteFile(dfs.get(), "/r/before.txt", content);
+
+  // Store 1 loses its disk; a file written while it is gone lands only on
+  // store 0 and is born under-replicated.
+  ASSERT_OK(dfs->KillStore(1, /*wipe_data=*/true));
+  WriteFile(dfs.get(), "/r/during.txt", content);
+  EXPECT_FALSE(
+      std::filesystem::exists(dfs->StoreLocalPath(1, "/r/during.txt")));
+  EXPECT_EQ(ReadAll(dfs.get(), "/r/before.txt"), content);
+
+  // The store returns empty; ReReplicate repairs both files from store 0
+  // and scrubbing proves the copies.
+  ASSERT_OK(dfs->ReviveStore(1));
+  ASSERT_OK_AND_ASSIGN(uint64_t repaired, dfs->ReReplicate());
+  EXPECT_GE(repaired, 2u);
+  for (const std::string path : {"/r/before.txt", "/r/during.txt"}) {
+    EXPECT_OK(dfs->VerifyReplicas(path));
+    EXPECT_EQ(ReadLocalCopy(dfs->StoreLocalPath(1, path)), content) << path;
+    EXPECT_EQ(dfs->ReplicaOrder(path).size(), 2u) << path;
+  }
+}
+
+TEST(ReplicationTest, OpenWriterIsNeverRepairedUntilSealed) {
+  ScopedDfs dfs("repl_open_writer", ReplicatedOptions(2));
+  ASSERT_OK_AND_ASSIGN(auto writer, dfs->Create("/w/log"));
+  ASSERT_OK(writer->Append("aaaa"));
+
+  // The write pipeline loses store 1's disk mid-file. Repairing the open
+  // file now would leave a copy the pipeline no longer extends — it must be
+  // skipped until the writer seals it.
+  ASSERT_OK(dfs->KillStore(1, /*wipe_data=*/true));
+  ASSERT_OK(dfs->ReviveStore(1));
+  ASSERT_OK_AND_ASSIGN(uint64_t repaired, dfs->ReReplicate());
+  EXPECT_EQ(repaired, 0u);
+  EXPECT_FALSE(std::filesystem::exists(dfs->StoreLocalPath(1, "/w/log")));
+
+  // The revived store must not silently rejoin the pipeline either (its
+  // old descriptor points at the wiped, unlinked inode).
+  ASSERT_OK(writer->Append("bbbb"));
+  ASSERT_OK(writer->Close());
+  EXPECT_FALSE(std::filesystem::exists(dfs->StoreLocalPath(1, "/w/log")));
+
+  // Sealed, the file is repairable: both copies identical and scrubbed.
+  ASSERT_OK_AND_ASSIGN(repaired, dfs->ReReplicate());
+  EXPECT_EQ(repaired, 1u);
+  EXPECT_EQ(ReadLocalCopy(dfs->StoreLocalPath(1, "/w/log")), "aaaabbbb");
+  EXPECT_OK(dfs->VerifyReplicas("/w/log"));
+  EXPECT_EQ(ReadAll(dfs.get(), "/w/log"), "aaaabbbb");
+}
+
+TEST(ReplicationTest, ColdReopenRebuildsNamespaceFromSurvivingStore) {
+  // Managed manually: the DFS is closed, one store directory is destroyed
+  // on disk, and a fresh MiniDfs must recover the namespace and repair the
+  // lost copies from the survivor.
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("dgf_test_repl_cold_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  fs::MiniDfs::Options options = ReplicatedOptions(2);
+  options.root_dir = dir.string();
+
+  const std::string content(300, 'c');
+  {
+    ASSERT_OK_AND_ASSIGN(auto dfs, fs::MiniDfs::Open(options));
+    auto writer = dfs->Create("/cold/a.txt");
+    ASSERT_TRUE(writer.ok());
+    ASSERT_OK((*writer)->Append(content));
+    ASSERT_OK((*writer)->Close());
+  }
+  std::filesystem::remove_all(dir / "r0");
+
+  ASSERT_OK_AND_ASSIGN(auto dfs, fs::MiniDfs::Open(options));
+  ASSERT_OK_AND_ASSIGN(auto status, dfs->Stat("/cold/a.txt"));
+  EXPECT_EQ(status.length, content.size());
+  EXPECT_EQ(ReadAll(dfs, "/cold/a.txt"), content);
+  ASSERT_OK_AND_ASSIGN(uint64_t repaired, dfs->ReReplicate());
+  EXPECT_EQ(repaired, 1u);
+  EXPECT_OK(dfs->VerifyReplicas("/cold/a.txt"));
+  EXPECT_EQ(ReadLocalCopy(dfs->StoreLocalPath(0, "/cold/a.txt")), content);
+
+  dfs.reset();
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator replica retry.
+
+// Deterministic brake (same pattern as coord_test): while closed, every
+// low-level DFS read on the gated shard blocks inside NextFault.
+class GateInjector : public fs::ReadFaultInjector {
+ public:
+  fs::ReadFault NextFault(const std::string& path, uint64_t offset,
+                          uint64_t length) override {
+    (void)path;
+    (void)offset;
+    (void)length;
+    std::unique_lock<std::mutex> lock(mu_);
+    ++blocked_;
+    cv_.notify_all();
+    cv_.wait(lock, [&] { return open_; });
+    --blocked_;
+    return fs::ReadFault{};
+  }
+
+  void Open() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+
+  void WaitForBlocked(int n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return blocked_ >= n || open_; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+  int blocked_ = 0;
+};
+
+double StatValue(const std::vector<std::pair<std::string, double>>& stats,
+                 const std::string& name) {
+  for (const auto& [key, value] : stats) {
+    if (key == name) return value;
+  }
+  return -1;
+}
+
+struct ReplicatedClusterFixture {
+  std::unique_ptr<SeededWorld> world;
+  std::unique_ptr<ShardedCluster> cluster;
+};
+
+Result<ReplicatedClusterFixture> StartReplicatedCluster(uint64_t seed,
+                                                        int num_shards) {
+  ReplicatedClusterFixture fixture;
+  DGF_ASSIGN_OR_RETURN(auto world, SeededWorld::Build(seed));
+  fixture.world = std::make_unique<SeededWorld>(std::move(world));
+  ShardedCluster::Options options;
+  options.config = fixture.world->config();
+  options.dims = fixture.world->dims();
+  options.num_shards = num_shards;
+  options.replication = 2;
+  options.replica_servers = true;
+  DGF_ASSIGN_OR_RETURN(fixture.cluster, ShardedCluster::Start(options));
+  return fixture;
+}
+
+TEST(ReplicationTest, CoordinatorRetriesReadOnReplicaWhenPrimaryIsDead) {
+  auto fixture = StartReplicatedCluster(/*seed=*/6, /*num_shards=*/2);
+  ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+  auto client = fixture->cluster->Connect();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  const std::string sql = "SELECT count(*) FROM meterdata";
+  auto before = (*client)->Query(sql);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  ASSERT_TRUE(before->ok()) << server::ResponseStatus(*before).ToString();
+
+  // Primary of shard 0 dies between queries; the next read must transparently
+  // come back identical via the shard's replica endpoint.
+  fixture->cluster->KillShardPrimary(0);
+  auto after = (*client)->Query(sql);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  ASSERT_TRUE(after->ok()) << server::ResponseStatus(*after).ToString();
+  EXPECT_EQ(after->result.rows, before->result.rows);
+
+  const auto stats = fixture->cluster->coordinator()->StatsSnapshot();
+  EXPECT_GE(StatValue(stats, "coord.replica_retries"), 1.0);
+  EXPECT_GE(StatValue(stats, "coord.replica_successes"), 1.0);
+
+  // Appends are never retried on a replica: a batch whose rows route to the
+  // dead primary fails Unavailable instead of splitting brains.
+  const auto batch = MakeMarkerBatch(fixture->world->config(), /*rows=*/6);
+  auto append = (*client)->Append("meterdata", batch.lines);
+  ASSERT_TRUE(append.ok()) << append.status().ToString();
+  const Status status = server::ResponseStatus(*append);
+  EXPECT_TRUE(status.IsUnavailable()) << status.ToString();
+}
+
+TEST(ReplicationTest, CoordinatorRetriesOnReplicaWhenPrimaryDiesMidQuery) {
+  auto fixture = StartReplicatedCluster(/*seed=*/6, /*num_shards=*/2);
+  ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+
+  // Oracle answer for the projection every shard must contribute to.
+  const std::string sql = "SELECT userId, powerConsumed FROM meterdata";
+  auto query = query::ParseQuery(
+      sql, workload::MeterSchema(fixture->world->config()));
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  auto oracle = fixture->world->Oracle(*query);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+
+  auto gate = std::make_shared<GateInjector>();
+  fixture->cluster->shard_dfs(1)->SetReadFaultInjector(gate);
+  auto client = fixture->cluster->Connect();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  auto id = (*client)->StartQuery(sql);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  // Shard 1's sub-query is provably mid-scan (pinned at the gate); kill its
+  // primary out from under the coordinator. Shutdown half-closes the
+  // connection first (then blocks joining the gated worker), so the
+  // coordinator sees the death while the scan is still pinned.
+  gate->WaitForBlocked(1);
+  std::thread killer([&] { fixture->cluster->KillShardPrimary(1); });
+  // Hold the gate shut until the coordinator has provably *begun* its
+  // replica retry — only then may the (gated) retry scan proceed. Waiting
+  // on the blocked-reader count instead would race: the original
+  // sub-query's own worker threads can pin more than one read.
+  while (StatValue(fixture->cluster->coordinator()->StatsSnapshot(),
+                   "coord.replica_retries") < 1.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  gate->Open();
+  auto response = (*client)->Await(*id);
+  killer.join();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_TRUE(response->ok()) << server::ResponseStatus(*response).ToString();
+
+  // The answer is the oracle's, bit for bit — served through the failover.
+  auto merged = ResultFromPayload(response->result);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  const std::string mismatch =
+      dgf::testing::DescribeResultMismatch(*oracle, *merged);
+  EXPECT_TRUE(mismatch.empty()) << mismatch;
+
+  const auto stats = fixture->cluster->coordinator()->StatsSnapshot();
+  EXPECT_GE(StatValue(stats, "coord.replica_retries"), 1.0);
+  EXPECT_GE(StatValue(stats, "coord.replica_successes"), 1.0);
+}
+
+}  // namespace
+}  // namespace dgf

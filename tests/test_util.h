@@ -38,16 +38,15 @@ namespace dgf::testing {
 class ScopedDfs {
  public:
   explicit ScopedDfs(const std::string& tag, uint64_t block_size = 1 << 20) {
-    dir_ = std::filesystem::temp_directory_path() /
-           ("dgf_test_" + tag + "_" + std::to_string(::getpid()) + "_" +
-            std::to_string(counter_++));
-    std::filesystem::remove_all(dir_);
     fs::MiniDfs::Options options;
-    options.root_dir = dir_.string();
     options.block_size = block_size;
-    auto dfs = fs::MiniDfs::Open(options);
-    EXPECT_TRUE(dfs.ok()) << dfs.status().ToString();
-    dfs_ = *dfs;
+    Start(tag, options);
+  }
+
+  /// Full-options variant (replication / checksum chunk experiments);
+  /// `base.root_dir` is ignored and replaced with the scoped temp dir.
+  ScopedDfs(const std::string& tag, fs::MiniDfs::Options base) {
+    Start(tag, std::move(base));
   }
 
   ~ScopedDfs() {
@@ -58,8 +57,20 @@ class ScopedDfs {
 
   const std::shared_ptr<fs::MiniDfs>& get() const { return dfs_; }
   fs::MiniDfs* operator->() const { return dfs_.get(); }
+  const std::filesystem::path& dir() const { return dir_; }
 
  private:
+  void Start(const std::string& tag, fs::MiniDfs::Options options) {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dgf_test_" + tag + "_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    std::filesystem::remove_all(dir_);
+    options.root_dir = dir_.string();
+    auto dfs = fs::MiniDfs::Open(options);
+    EXPECT_TRUE(dfs.ok()) << dfs.status().ToString();
+    if (dfs.ok()) dfs_ = *dfs;
+  }
+
   static inline int counter_ = 0;
   std::filesystem::path dir_;
   std::shared_ptr<fs::MiniDfs> dfs_;
