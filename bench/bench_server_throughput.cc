@@ -7,7 +7,13 @@
 //   bench_server_throughput [--threads=8] [--queries=40] [--appender]
 //                           [--users=200] [--days=5] [--regions=5]
 //                           [--max-concurrent=4] [--max-pending=32]
-//                           [--shards=N] [--replication=k]
+//                           [--shards=N] [--replication=k] [--http-port=P]
+//
+// --http-port=P (0 = ephemeral) starts the HTTP observability exporter on
+// the serving process and a poller thread that hammers /metrics and
+// /healthz throughout the load window; every probe must succeed — an
+// exporter that blocks or errors under full query load fails the run. The
+// probe count lands in the JSON report.
 //
 // With --shards=N the same load is driven through an in-process N-shard
 // cluster (per-shard servers behind the scatter-gather coordinator) instead
@@ -42,6 +48,7 @@
 #include "common/string_util.h"
 #include "dgf/dgf_builder.h"
 #include "kv/mem_kv.h"
+#include "obs/http_exporter.h"
 #include "server/client.h"
 #include "server/query_service.h"
 #include "server/server.h"
@@ -68,6 +75,9 @@ struct Flags {
   /// this also starts per-shard replica endpoints and hands them to the
   /// coordinator.
   int replication = 1;
+  /// >= 0: serve the HTTP observability exporter and assert it stays
+  /// responsive under load (0 = ephemeral port). < 0 (default): off.
+  int http_port = -1;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* value) {
@@ -169,6 +179,8 @@ int Main(int argc, char** argv) {
         std::fprintf(stderr, "bad --replication factor: %s\n", value.c_str());
         return 2;
       }
+    } else if (ParseFlag(argv[i], "--http-port", &value)) {
+      flags.http_port = std::atoi(value.c_str());
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
@@ -238,6 +250,45 @@ int Main(int argc, char** argv) {
     }
     server = std::move(*started);
     port = server->port();
+  }
+
+  // Observability exporter under load: serve the frontmost service's
+  // registry (single node: the QueryService's; cluster: the coordinator's)
+  // and poll it from a dedicated thread for the whole load window.
+  std::unique_ptr<obs::HttpExporter> exporter;
+  std::atomic<bool> stop_poller{false};
+  std::atomic<uint64_t> http_probes{0};
+  std::atomic<uint64_t> http_probe_failures{0};
+  std::thread poller;
+  if (flags.http_port >= 0) {
+    obs::HttpExporter::Options http_options;
+    http_options.port = flags.http_port;
+    if (cluster != nullptr) {
+      http_options.registry = cluster->coordinator()->metrics();
+      http_options.trace_log = cluster->coordinator()->trace_log();
+    } else {
+      http_options.registry = service->metrics();
+      http_options.trace_log = service->trace_log();
+    }
+    auto started = obs::HttpExporter::Start(http_options);
+    if (!started.ok()) {
+      std::fprintf(stderr, "http exporter: %s\n",
+                   started.status().ToString().c_str());
+      return 1;
+    }
+    exporter = std::move(*started);
+    poller = std::thread([&, http_port = exporter->port()] {
+      while (!stop_poller.load()) {
+        for (const char* path : {"/metrics", "/healthz"}) {
+          auto probe = obs::HttpGet(http_port, path, 5.0);
+          http_probes.fetch_add(1);
+          if (!probe.ok() || probe->status_code != 200) {
+            http_probe_failures.fetch_add(1);
+          }
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
   }
 
   // The paper's template mix: aggregation, group-by, join, and
@@ -349,6 +400,9 @@ int Main(int argc, char** argv) {
 
   stop_appender.store(true);
   if (appender.joinable()) appender.join();
+  stop_poller.store(true);
+  if (poller.joinable()) poller.join();
+  exporter.reset();
 
   // Replica write amplification actually paid by the run (single node: the
   // bench world's DFS; cluster: summed over the shard DFSes). Snapshotted
@@ -385,7 +439,8 @@ int Main(int argc, char** argv) {
       "\"wall_seconds\": %.3f, \"qps\": %.1f, \"latency_ms\": "
       "{\"p50\": %.2f, \"p90\": %.2f, \"p95\": %.2f, \"p99\": %.2f, "
       "\"max\": %.2f}, \"append_batches\": %llu, "
-      "\"logical_bytes_written\": %llu, \"replica_bytes_written\": %llu}\n",
+      "\"logical_bytes_written\": %llu, \"replica_bytes_written\": %llu, "
+      "\"http_probes\": %llu, \"http_probe_failures\": %llu}\n",
       flags.shards, flags.replication, flags.threads,
       flags.queries_per_thread, static_cast<unsigned long long>(ok_count),
       static_cast<unsigned long long>(rejected_count),
@@ -394,7 +449,9 @@ int Main(int argc, char** argv) {
       latencies_ms.empty() ? 0 : latencies_ms.back(),
       static_cast<unsigned long long>(append_batches.load()),
       static_cast<unsigned long long>(logical_bytes),
-      static_cast<unsigned long long>(replica_bytes));
+      static_cast<unsigned long long>(replica_bytes),
+      static_cast<unsigned long long>(http_probes.load()),
+      static_cast<unsigned long long>(http_probe_failures.load()));
   bench::AppendBenchJson(
       "DGF_BENCH_BUILD_JSON", "BENCH_build.json",
       StringPrintf("{\"bench\": \"server_throughput\", \"shards\": %d, "
@@ -410,6 +467,15 @@ int Main(int argc, char** argv) {
                    static_cast<unsigned long long>(replica_bytes)));
   if (error_count > 0) {
     std::fprintf(stderr, "first error: %s\n", first_error.c_str());
+    return 1;
+  }
+  if (flags.http_port >= 0 &&
+      (http_probes.load() == 0 || http_probe_failures.load() > 0)) {
+    std::fprintf(stderr,
+                 "http exporter unresponsive under load: %llu/%llu probes "
+                 "failed\n",
+                 static_cast<unsigned long long>(http_probe_failures.load()),
+                 static_cast<unsigned long long>(http_probes.load()));
     return 1;
   }
   return 0;

@@ -4,11 +4,13 @@
 # pass that re-runs both the unit tests and the harness, and a TSan pass
 # that runs the concurrency stress tests plus the threaded differential.
 # Both sanitizer passes also run the query-server suite (dgf_server_tests),
-# the shard-coordinator suite (dgf_coord_tests), and the replication suite
-# (dgf_replication_tests); a shard smoke stage runs the sharded-vs-oracle
-# cluster sweep plus the wire fuzz, and a replication smoke stage runs the
-# kill-a-node survivability sweep (replicated clusters with daemon/store
-# kills diffed against the oracle)
+# the observability suite (dgf_obs_tests), the shard-coordinator suite
+# (dgf_coord_tests), and the replication suite (dgf_replication_tests); a
+# shard smoke stage runs the sharded-vs-oracle cluster sweep plus the wire
+# fuzz (now including the HTTP-exporter stage), an exporter smoke asserts
+# /metrics stays responsive under 8-client query load, and a replication
+# smoke stage runs the kill-a-node survivability sweep (replicated clusters
+# with daemon/store kills diffed against the oracle)
 # (contract: every stage prints exactly one [PASS]/[FAIL] line; any [FAIL]
 # makes the script exit non-zero).
 #
@@ -51,6 +53,12 @@ stage "shard smoke"      ./build/src/dgf_difftest --shard-sweep --wire-fuzz \
 # single-node oracle and recovery must equal the acknowledged prefix.
 stage "replication smoke" ./build/src/dgf_difftest --node-crash-sweep \
   --seed=41 --seeds=2
+# Observability suite: registry/histogram/exporter/trace tests, then an
+# exporter-under-load smoke — 8 client threads of query load while a poller
+# hammers /metrics and /healthz; any failed probe fails the binary.
+stage "obs tests"        ./build/tests/dgf_obs_tests
+stage "exporter smoke"   ./build/bench/bench_server_throughput \
+  --http-port=0 --threads=8 --queries=5 --users=60 --days=3
 # Parallel-build speedup gate (1.5x floor at 4 threads); self-skips (exit 0)
 # on hosts with < 4 CPUs, where the comparison measures nothing.
 stage "perf smoke"       ./build/bench/bench_perf_smoke
@@ -66,6 +74,7 @@ stage "asan kv/dgf tests" ctest --test-dir build-asan -j "$JOBS" \
   --output-on-failure -R 'Kv|Sstable|Lsm|Dgf|Slice|Difftest'
 stage "asan difftest"    ./build-asan/src/dgf_difftest --seed=1 --queries=40
 stage "asan server tests" ./build-asan/tests/dgf_server_tests
+stage "asan obs tests"   ./build-asan/tests/dgf_obs_tests
 stage "asan coord tests" ./build-asan/tests/dgf_coord_tests
 stage "asan replication tests" ./build-asan/tests/dgf_replication_tests
 stage "asan shard smoke" ./build-asan/src/dgf_difftest --shard-sweep \
@@ -83,6 +92,7 @@ stage "tsan stress tests" ctest --test-dir build-tsan -j "$JOBS" \
   --output-on-failure -R 'ConcurrencyStress'
 stage "tsan difftest"    ./build-tsan/src/dgf_difftest --threads=4 --seeds=tier1
 stage "tsan server tests" ./build-tsan/tests/dgf_server_tests
+stage "tsan obs tests"   ./build-tsan/tests/dgf_obs_tests
 stage "tsan coord tests" ./build-tsan/tests/dgf_coord_tests
 stage "tsan replication tests" ./build-tsan/tests/dgf_replication_tests
 stage "tsan shard smoke" ./build-tsan/src/dgf_difftest --shard-sweep \

@@ -156,7 +156,35 @@ Coordinator::Coordinator(Options options)
     : options_(std::move(options)),
       pool_(std::max(1, options_.max_concurrent)),
       // One free list per shard primary, plus one per shard replica.
-      free_(2 * std::max<size_t>(1, options_.shards.size())) {}
+      free_(2 * std::max<size_t>(1, options_.shards.size())) {
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  c_admitted_ = metrics_->GetCounter("queries.admitted");
+  c_served_ = metrics_->GetCounter("queries.served");
+  c_rejected_ = metrics_->GetCounter("queries.rejected");
+  c_cancelled_ = metrics_->GetCounter("queries.cancelled");
+  c_deadline_exceeded_ = metrics_->GetCounter("queries.deadline_exceeded");
+  c_failed_ = metrics_->GetCounter("queries.failed");
+  c_subqueries_ = metrics_->GetCounter("coord.subqueries");
+  c_shards_skipped_ = metrics_->GetCounter("coord.shards_skipped");
+  c_shard_errors_ = metrics_->GetCounter("coord.shard_errors");
+  c_appends_ = metrics_->GetCounter("appends.batches");
+  c_rows_appended_ = metrics_->GetCounter("appends.rows");
+  c_append_shard_batches_ = metrics_->GetCounter("appends.shard_batches");
+  c_replica_retries_ = metrics_->GetCounter("coord.replica_retries");
+  c_replica_successes_ = metrics_->GetCounter("coord.replica_successes");
+  latency_ = metrics_->GetHistogram("latency");
+  metrics_->GetGauge("coord.shards")
+      ->Set(static_cast<double>(options_.shard_map.num_shards()));
+  metrics_->SetCallback("queries.in_flight", [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<double>(in_flight_);
+  });
+}
 
 Coordinator::~Coordinator() {
   BeginDrain();
@@ -231,22 +259,19 @@ void Coordinator::Checkin(int shard, bool replica,
 }
 
 bool Coordinator::TryReplicaRetry(ShardCall& call, double deadline_seconds,
-                                  const Stopwatch& elapsed,
+                                  uint64_t trace_id, const Stopwatch& elapsed,
                                   CancelToken* token) {
   if (call.on_replica || !HasReplica(call.shard)) return false;
   if (token != nullptr && !token->Check().ok()) return false;
   call.on_replica = true;  // at most one failover per call, success or not
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++replica_retries_;
-  }
+  c_replica_retries_->Increment();
   auto client = Checkout(call.shard, /*replica=*/true);
   if (!client.ok()) return false;
   const double remaining =
       deadline_seconds > 0
           ? std::max(0.001, deadline_seconds - elapsed.ElapsedSeconds())
           : 0;
-  auto started = (*client)->StartQuery(call.sub_sql, remaining);
+  auto started = (*client)->StartQuery(call.sub_sql, remaining, trace_id);
   if (!started.ok()) return false;
   // Await synchronously, honoring our token and the shard-response timeout;
   // a replica that also fails leaves the caller's original Unavailable in
@@ -259,11 +284,11 @@ bool Coordinator::TryReplicaRetry(ShardCall& call, double deadline_seconds,
       call.response = std::move(**got);
       call.request_id = *started;
       call.client = std::move(*client);
+      call.response_seconds = elapsed.ElapsedSeconds();
       call.done = true;
       call.broken = false;
       call.cancel_sent = false;
-      std::lock_guard<std::mutex> lock(mu_);
-      ++replica_successes_;
+      c_replica_successes_->Increment();
       return true;
     }
     if (token != nullptr && !token->Check().ok()) {
@@ -277,67 +302,75 @@ bool Coordinator::TryReplicaRetry(ShardCall& call, double deadline_seconds,
 }
 
 Status Coordinator::SubmitQuery(uint64_t request_id, std::string sql,
-                                double deadline_seconds,
+                                double deadline_seconds, uint64_t trace_id,
                                 server::WireService::QueryDone done) {
   auto token = std::make_shared<CancelToken>();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (draining_) {
-      ++rejected_;
+      c_rejected_->Increment();
       return Status::Unavailable("coordinator is draining");
     }
     if (in_flight_ >= options_.max_concurrent + options_.max_pending) {
-      ++rejected_;
+      c_rejected_->Increment();
       return Status::Unavailable("admission queue full (" +
                                  std::to_string(in_flight_) + " in flight)");
     }
     if (!tokens_.emplace(request_id, token).second) {
-      ++rejected_;
+      c_rejected_->Increment();
       return Status::InvalidArgument("duplicate in-flight request id");
     }
     ++in_flight_;
-    ++admitted_;
+    c_admitted_->Increment();
   }
   if (deadline_seconds > 0) token->SetDeadlineAfter(deadline_seconds);
+  Stopwatch queued;
   pool_.Submit([this, request_id, sql = std::move(sql), deadline_seconds,
-                token, done = std::move(done)]() mutable {
-    RunQuery(request_id, std::move(sql), deadline_seconds, std::move(token),
-             std::move(done));
+                trace_id, queued, token, done = std::move(done)]() mutable {
+    RunQuery(request_id, std::move(sql), deadline_seconds, trace_id, queued,
+             std::move(token), std::move(done));
   });
   return Status::OK();
 }
 
 void Coordinator::RunQuery(uint64_t request_id, std::string sql,
-                           double deadline_seconds,
+                           double deadline_seconds, uint64_t trace_id,
+                           Stopwatch queued,
                            std::shared_ptr<CancelToken> token,
                            server::WireService::QueryDone done) {
+  if (trace_id == 0) trace_id = obs::NextTraceId();
+  const double wait_seconds = queued.ElapsedSeconds();
   Stopwatch wall;
   Result<query::QueryResult> result = [&]() -> Result<query::QueryResult> {
     DGF_ASSIGN_OR_RETURN(query::Query q, Parse(sql));
-    return ExecuteScatterGather(q, deadline_seconds, token.get());
+    return ExecuteScatterGather(q, deadline_seconds, trace_id, token.get());
   }();
-  if (result.ok()) result->stats.wall_seconds = wall.ElapsedSeconds();
+  if (result.ok()) {
+    result->stats.wall_seconds = wall.ElapsedSeconds();
+    result->stats.trace_id = trace_id;
+    // The scatter-gather spans are offsets on its own clock, which started
+    // after the admission wait; rebase onto the query's start.
+    for (obs::SpanTiming& span : result->stats.spans) {
+      span.start_seconds += wait_seconds;
+    }
+    result->stats.spans.insert(result->stats.spans.begin(),
+                               {"admission_wait", 0.0, wait_seconds});
+    trace_log_.Record({trace_id, sql,
+                       wait_seconds + result->stats.wall_seconds,
+                       result->stats.spans});
+    c_served_->Increment();
+  } else if (result.status().IsCancelled()) {
+    c_cancelled_->Increment();
+  } else if (result.status().IsDeadlineExceeded()) {
+    c_deadline_exceeded_->Increment();
+  } else {
+    c_failed_->Increment();
+  }
+  latency_->Observe(wall.ElapsedSeconds());
   {
     std::lock_guard<std::mutex> lock(mu_);
     tokens_.erase(request_id);
     --in_flight_;
-    if (result.ok()) {
-      ++served_;
-    } else if (result.status().IsCancelled()) {
-      ++cancelled_;
-    } else if (result.status().IsDeadlineExceeded()) {
-      ++deadline_exceeded_;
-    } else {
-      ++failed_;
-    }
-    const double seconds = wall.ElapsedSeconds();
-    if (latencies_.size() < kLatencyWindow) {
-      latencies_.push_back(seconds);
-    } else {
-      latencies_[latency_next_] = seconds;
-      latency_next_ = (latency_next_ + 1) % kLatencyWindow;
-    }
-    ++latency_total_;
     if (in_flight_ == 0) drained_.notify_all();
   }
   done(std::move(result));
@@ -355,7 +388,8 @@ void Coordinator::FanOutCancel(std::vector<ShardCall>& calls) {
 }
 
 Result<query::QueryResult> Coordinator::ExecuteScatterGather(
-    const query::Query& q, double deadline_seconds, CancelToken* token) {
+    const query::Query& q, double deadline_seconds, uint64_t trace_id,
+    CancelToken* token) {
   const int num_shards = options_.shard_map.num_shards();
   if (options_.shards.size() != static_cast<size_t>(num_shards)) {
     return Status::InvalidArgument(
@@ -378,12 +412,9 @@ Result<query::QueryResult> Coordinator::ExecuteScatterGather(
   }
   if (targets.empty()) targets.emplace_back(0, plan.shard_query.ToSql());
 
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    subqueries_ += targets.size();
-    shards_skipped_ +=
-        static_cast<uint64_t>(num_shards) - targets.size();
-  }
+  c_subqueries_->Increment(targets.size());
+  c_shards_skipped_->Increment(static_cast<uint64_t>(num_shards) -
+                               targets.size());
 
   // Scatter: start every sub-query before awaiting any, so shard-side
   // execution overlaps; each call owns its connection (ServerClient is
@@ -410,7 +441,8 @@ Result<query::QueryResult> Coordinator::ExecuteScatterGather(
           deadline_seconds > 0
               ? std::max(0.001, deadline_seconds - elapsed.ElapsedSeconds())
               : 0;
-      auto started = call.client->StartQuery(sub_sql, remaining);
+      call.dispatch_seconds = elapsed.ElapsedSeconds();
+      auto started = call.client->StartQuery(sub_sql, remaining, trace_id);
       if (!started.ok()) {
         scatter_error = Status::Unavailable(
             "shard " + std::to_string(shard) + " (" +
@@ -423,7 +455,8 @@ Result<query::QueryResult> Coordinator::ExecuteScatterGather(
     if (!scatter_error.ok()) {
       // Unreachable primary: run this read sub-query once against the
       // shard's replica endpoint (synchronously) before failing the query.
-      if (!TryReplicaRetry(call, deadline_seconds, elapsed, token)) {
+      if (!TryReplicaRetry(call, deadline_seconds, trace_id, elapsed,
+                           token)) {
         failure = std::move(scatter_error);
         break;
       }
@@ -451,7 +484,8 @@ Result<query::QueryResult> Coordinator::ExecuteScatterGather(
         // attempted when our own cancel/deadline tripped — the failure to
         // report is the token's.)
         if (!token_tripped &&
-            TryReplicaRetry(call, deadline_seconds, elapsed, token)) {
+            TryReplicaRetry(call, deadline_seconds, trace_id, elapsed,
+                            token)) {
           break;  // call.done is set; gather proceeds to the next call
         }
         failure = Status::Unavailable(
@@ -462,6 +496,7 @@ Result<query::QueryResult> Coordinator::ExecuteScatterGather(
       }
       if (got->has_value()) {
         call.response = std::move(**got);
+        call.response_seconds = elapsed.ElapsedSeconds();
         call.done = true;
         break;
       }
@@ -483,7 +518,8 @@ Result<query::QueryResult> Coordinator::ExecuteScatterGather(
       if (silent_for > options_.shard_response_timeout_seconds) {
         call.broken = true;
         if (!token_tripped &&
-            TryReplicaRetry(call, deadline_seconds, elapsed, token)) {
+            TryReplicaRetry(call, deadline_seconds, trace_id, elapsed,
+                            token)) {
           break;  // the replica answered the hung primary's sub-query
         }
         failure =
@@ -509,8 +545,7 @@ Result<query::QueryResult> Coordinator::ExecuteScatterGather(
 
   if (!failure.ok()) {
     FanOutCancel(calls);
-    std::lock_guard<std::mutex> lock(mu_);
-    ++shard_errors_;
+    c_shard_errors_->Increment();
   } else {
     // All shards answered. A non-OK shard response propagates as-is (it is
     // already a structured error; Cancelled/DeadlineExceeded from a shard's
@@ -544,6 +579,25 @@ Result<query::QueryResult> Coordinator::ExecuteScatterGather(
     FoldStats(&merged.stats, calls[i].response.result.stats);
   }
 
+  // Rebuild the trace from scratch (the first shard's spans rode along in
+  // the stats copy above): one RPC span per shard call, then each shard's
+  // own spans prefixed `shard<N>.` and rebased onto its dispatch offset, so
+  // the cross-shard timeline reads in coordinator time.
+  merged.stats.spans.clear();
+  for (const ShardCall& call : calls) {
+    const std::string prefix = "shard" + std::to_string(call.shard) + ".";
+    merged.stats.spans.push_back(
+        {prefix + "rpc", call.dispatch_seconds,
+         std::max(0.0, call.response_seconds - call.dispatch_seconds)});
+    for (const obs::SpanTiming& span : call.response.result.stats.spans) {
+      merged.stats.spans.push_back(
+          {prefix + span.name, call.dispatch_seconds + span.start_seconds,
+           span.duration_seconds});
+    }
+  }
+  const double merge_start = elapsed.ElapsedSeconds();
+  Stopwatch merge_watch;
+
   if (!plan.group_merge) {
     // Sorted row merge: shard row sets are disjoint, so the union is exact.
     merged.schema = schema;
@@ -555,6 +609,8 @@ Result<query::QueryResult> Coordinator::ExecuteScatterGather(
                          std::make_move_iterator(rows.end()));
     }
     std::sort(merged.rows.begin(), merged.rows.end(), RowLess);
+    merged.stats.spans.push_back(
+        {"merge", merge_start, merge_watch.ElapsedSeconds()});
     return merged;
   }
 
@@ -620,6 +676,8 @@ Result<query::QueryResult> Coordinator::ExecuteScatterGather(
     merged.rows.push_back(std::move(out));
   }
   std::sort(merged.rows.begin(), merged.rows.end(), RowLess);
+  merged.stats.spans.push_back(
+      {"merge", merge_start, merge_watch.ElapsedSeconds()});
   return merged;
 }
 
@@ -715,12 +773,9 @@ Result<uint64_t> Coordinator::Append(const std::string& table,
   }
   for (std::thread& thread : threads) thread.join();
 
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++appends_;
-    rows_appended_ += rows.size();
-    append_shard_batches_ += static_cast<uint64_t>(shard_batches);
-  }
+  c_appends_->Increment();
+  c_rows_appended_->Increment(rows.size());
+  c_append_shard_batches_->Increment(static_cast<uint64_t>(shard_batches));
   // Partial failure is reported, never hidden: some shards may have
   // published their slice (each atomically); the caller knows the batch as
   // a whole did not commit and can retry — re-appending is the documented
@@ -731,49 +786,7 @@ Result<uint64_t> Coordinator::Append(const std::string& table,
 
 std::vector<std::pair<std::string, double>> Coordinator::StatsSnapshot()
     const {
-  std::vector<std::pair<std::string, double>> out;
-  std::vector<double> window;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    out.emplace_back("queries.admitted", static_cast<double>(admitted_));
-    out.emplace_back("queries.served", static_cast<double>(served_));
-    out.emplace_back("queries.rejected", static_cast<double>(rejected_));
-    out.emplace_back("queries.cancelled", static_cast<double>(cancelled_));
-    out.emplace_back("queries.deadline_exceeded",
-                     static_cast<double>(deadline_exceeded_));
-    out.emplace_back("queries.failed", static_cast<double>(failed_));
-    out.emplace_back("queries.in_flight", static_cast<double>(in_flight_));
-    out.emplace_back("coord.shards",
-                     static_cast<double>(options_.shard_map.num_shards()));
-    out.emplace_back("coord.subqueries", static_cast<double>(subqueries_));
-    out.emplace_back("coord.shards_skipped",
-                     static_cast<double>(shards_skipped_));
-    out.emplace_back("coord.shard_errors",
-                     static_cast<double>(shard_errors_));
-    out.emplace_back("coord.replica_retries",
-                     static_cast<double>(replica_retries_));
-    out.emplace_back("coord.replica_successes",
-                     static_cast<double>(replica_successes_));
-    out.emplace_back("appends.batches", static_cast<double>(appends_));
-    out.emplace_back("appends.rows", static_cast<double>(rows_appended_));
-    out.emplace_back("appends.shard_batches",
-                     static_cast<double>(append_shard_batches_));
-    out.emplace_back("latency.samples", static_cast<double>(latency_total_));
-    window = latencies_;
-  }
-  std::sort(window.begin(), window.end());
-  auto percentile = [&window](double p) {
-    if (window.empty()) return 0.0;
-    const double rank = p * static_cast<double>(window.size() - 1);
-    const auto lo = static_cast<size_t>(rank);
-    const size_t hi = std::min(lo + 1, window.size() - 1);
-    return window[lo] + (window[hi] - window[lo]) *
-                            (rank - static_cast<double>(lo));
-  };
-  out.emplace_back("latency.p50_ms", percentile(0.50) * 1e3);
-  out.emplace_back("latency.p95_ms", percentile(0.95) * 1e3);
-  out.emplace_back("latency.p99_ms", percentile(0.99) * 1e3);
-  return out;
+  return server::StatsFromRegistry(metrics_);
 }
 
 void Coordinator::BeginDrain() {

@@ -15,6 +15,8 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "coord/shard_map.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/client.h"
 #include "server/service_interface.h"
 #include "table/table.h"
@@ -79,6 +81,9 @@ class Coordinator : public server::WireService {
     double shard_response_timeout_seconds = 30.0;
     /// Await slice between checks of the coordinator's own cancel token.
     double poll_interval_seconds = 0.02;
+    /// Registry the coordinator's metrics land in; null gives it a private
+    /// one (same contract as QueryService::Options::metrics).
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   explicit Coordinator(Options options);
@@ -93,7 +98,7 @@ class Coordinator : public server::WireService {
 
   // WireService:
   Status SubmitQuery(uint64_t request_id, std::string sql,
-                     double deadline_seconds,
+                     double deadline_seconds, uint64_t trace_id,
                      server::WireService::QueryDone done) override;
   bool CancelQuery(uint64_t request_id) override;
   Result<uint64_t> Append(const std::string& table,
@@ -101,6 +106,12 @@ class Coordinator : public server::WireService {
   std::vector<std::pair<std::string, double>> StatsSnapshot() const override;
   void BeginDrain() override;
   void Drain() override;
+
+  /// The registry this coordinator reports into (Options.metrics or the
+  /// private one) — what an HTTP exporter should serve.
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+  /// Ring buffer of recent cross-shard query traces (per-shard RPC spans).
+  obs::TraceLog* trace_log() { return &trace_log_; }
 
  private:
   /// One shard's in-flight sub-query during a fan-out.
@@ -117,6 +128,11 @@ class Coordinator : public server::WireService {
     /// The call's answer came from (or is being retried on) the shard's
     /// replica endpoint; at most one failover per call.
     bool on_replica = false;
+    /// Trace bookkeeping: offsets (on the scatter stopwatch) when the
+    /// sub-query was dispatched and when its response was observed. The
+    /// difference is the shard's RPC span.
+    double dispatch_seconds = 0;
+    double response_seconds = 0;
   };
 
   bool HasReplica(int shard) const;
@@ -129,22 +145,34 @@ class Coordinator : public server::WireService {
   /// and swaps in the replica connection; on any failure the caller's
   /// original Unavailable stands.
   bool TryReplicaRetry(ShardCall& call, double deadline_seconds,
-                       const Stopwatch& elapsed, CancelToken* token);
+                       uint64_t trace_id, const Stopwatch& elapsed,
+                       CancelToken* token);
 
+  /// `queued` was started at admission; its elapsed time when the fan-out
+  /// worker picks the query up is the admission-wait span.
   void RunQuery(uint64_t request_id, std::string sql, double deadline_seconds,
+                uint64_t trace_id, Stopwatch queued,
                 std::shared_ptr<CancelToken> token,
                 server::WireService::QueryDone done);
   Result<query::Query> Parse(const std::string& sql) const;
   /// The scatter-gather proper: decompose, fan out, gather, merge.
+  /// `trace_id` rides every sub-query so shard executions join this trace;
+  /// the merged stats carry per-shard RPC spans plus the shards' own spans
+  /// prefixed `shard<N>.`.
   Result<query::QueryResult> ExecuteScatterGather(const query::Query& q,
                                                   double deadline_seconds,
+                                                  uint64_t trace_id,
                                                   CancelToken* token);
   /// Sends CANCEL for every still-pending call (best effort).
   void FanOutCancel(std::vector<ShardCall>& calls);
 
   Options options_;
+  /// Backing storage when Options.metrics is null.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   std::map<std::string, table::TableDesc> catalog_;
   ThreadPool pool_;
+  obs::TraceLog trace_log_;
 
   /// Idle pooled connections, one free list per shard.
   mutable std::mutex pool_mu_;
@@ -156,27 +184,25 @@ class Coordinator : public server::WireService {
   int in_flight_ = 0;
   std::map<uint64_t, std::shared_ptr<CancelToken>> tokens_;
 
-  // Outcome counters (guarded by mu_), mirroring QueryService's STATS names
-  // so dashboards work unchanged, plus coord.* fan-out counters.
-  uint64_t admitted_ = 0;
-  uint64_t served_ = 0;
-  uint64_t rejected_ = 0;
-  uint64_t cancelled_ = 0;
-  uint64_t deadline_exceeded_ = 0;
-  uint64_t failed_ = 0;
-  uint64_t subqueries_ = 0;
-  uint64_t shards_skipped_ = 0;
-  uint64_t shard_errors_ = 0;
-  uint64_t appends_ = 0;
-  uint64_t rows_appended_ = 0;
-  uint64_t append_shard_batches_ = 0;
-  uint64_t replica_retries_ = 0;
-  uint64_t replica_successes_ = 0;
-
-  static constexpr size_t kLatencyWindow = 4096;
-  std::vector<double> latencies_;
-  size_t latency_next_ = 0;
-  uint64_t latency_total_ = 0;
+  // Registry-backed counters (relaxed atomics; no mu_ needed), mirroring
+  // QueryService's STATS names so dashboards work unchanged, plus coord.*
+  // fan-out counters.
+  obs::Counter* c_admitted_ = nullptr;
+  obs::Counter* c_served_ = nullptr;
+  obs::Counter* c_rejected_ = nullptr;
+  obs::Counter* c_cancelled_ = nullptr;
+  obs::Counter* c_deadline_exceeded_ = nullptr;
+  obs::Counter* c_failed_ = nullptr;
+  obs::Counter* c_subqueries_ = nullptr;
+  obs::Counter* c_shards_skipped_ = nullptr;
+  obs::Counter* c_shard_errors_ = nullptr;
+  obs::Counter* c_appends_ = nullptr;
+  obs::Counter* c_rows_appended_ = nullptr;
+  obs::Counter* c_append_shard_batches_ = nullptr;
+  obs::Counter* c_replica_retries_ = nullptr;
+  obs::Counter* c_replica_successes_ = nullptr;
+  /// Coordinator-side query wall time (seconds); replaces the old window.
+  obs::Histogram* latency_ = nullptr;
 };
 
 }  // namespace dgf::coord

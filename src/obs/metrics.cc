@@ -1,0 +1,239 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace dgf::obs {
+
+namespace {
+
+// Bounds table shared by BucketIndex and Quantile; bound[i] = 1e-6 * 2^(i/2).
+const std::array<double, Histogram::kNumBuckets - 1>& Bounds() {
+  static const std::array<double, Histogram::kNumBuckets - 1> bounds = [] {
+    std::array<double, Histogram::kNumBuckets - 1> b{};
+    for (size_t i = 0; i < b.size(); ++i) {
+      b[i] = 1e-6 * std::pow(2.0, static_cast<double>(i) / 2.0);
+    }
+    return b;
+  }();
+  return bounds;
+}
+
+std::string FormatValue(double v) {
+  char buf[64];
+  // Counters dominate; render integral values without an exponent.
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  }
+  return buf;
+}
+
+std::string PromName(const std::string& name) {
+  std::string out = "dgf_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double Histogram::BucketBound(size_t i) { return Bounds()[i]; }
+
+size_t Histogram::BucketIndex(double value) {
+  const auto& bounds = Bounds();
+  // First bucket whose upper bound admits the value; overflow otherwise.
+  auto it = std::lower_bound(bounds.begin(), bounds.end(), value);
+  return static_cast<size_t>(it - bounds.begin());
+}
+
+std::array<uint64_t, Histogram::kNumBuckets> Histogram::Buckets() const {
+  std::array<uint64_t, kNumBuckets> out{};
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::Quantile(double q) const {
+  q = std::min(1.0, std::max(0.0, q));
+  const auto counts = Buckets();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+
+  // Rank of the order statistic we are estimating (0-based, inclusive).
+  const double rank = q * static_cast<double>(total - 1);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    const double first = static_cast<double>(cumulative);
+    cumulative += counts[i];
+    if (rank >= static_cast<double>(cumulative)) continue;
+
+    const double lo = i == 0 ? 0.0 : BucketBound(i - 1);
+    // The overflow bucket has no upper bound; report its lower edge.
+    if (i == kNumBuckets - 1) return lo;
+    const double hi = BucketBound(i);
+    const double frac =
+        counts[i] == 1 ? 0.5
+                       : (rank - first) / static_cast<double>(counts[i] - 1);
+    return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+  }
+  return BucketBound(kNumBuckets - 2);
+}
+
+MetricsRegistry* MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::SetCallback(const std::string& name,
+                                  std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  callbacks_[name] = std::move(fn);
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::Snapshot() const {
+  // Copy the pointers / callbacks out so metric evaluation (callbacks may
+  // take component locks) happens outside the registry lock.
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::pair<std::string, const Histogram*>> histograms;
+  std::vector<std::pair<std::string, std::function<double()>>> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, c] : counters_) counters.emplace_back(name, c.get());
+    for (const auto& [name, g] : gauges_) gauges.emplace_back(name, g.get());
+    for (const auto& [name, h] : histograms_)
+      histograms.emplace_back(name, h.get());
+    for (const auto& [name, fn] : callbacks_) callbacks.emplace_back(name, fn);
+  }
+
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(counters.size() + gauges.size() + callbacks.size() +
+              histograms.size() * 5);
+  for (const auto& [name, c] : counters)
+    out.emplace_back(name, static_cast<double>(c->Value()));
+  for (const auto& [name, g] : gauges) out.emplace_back(name, g->Value());
+  for (const auto& [name, fn] : callbacks) out.emplace_back(name, fn());
+  for (const auto& [name, h] : histograms) {
+    out.emplace_back(name + ".count", static_cast<double>(h->Count()));
+    out.emplace_back(name + ".sum", h->Sum());
+    out.emplace_back(name + ".p50", h->Quantile(0.50));
+    out.emplace_back(name + ".p95", h->Quantile(0.95));
+    out.emplace_back(name + ".p99", h->Quantile(0.99));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::pair<std::string, const Histogram*>> histograms;
+  std::vector<std::pair<std::string, std::function<double()>>> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, c] : counters_) counters.emplace_back(name, c.get());
+    for (const auto& [name, g] : gauges_) gauges.emplace_back(name, g.get());
+    for (const auto& [name, h] : histograms_)
+      histograms.emplace_back(name, h.get());
+    for (const auto& [name, fn] : callbacks_) callbacks.emplace_back(name, fn);
+  }
+
+  std::string out;
+  for (const auto& [name, c] : counters) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + FormatValue(static_cast<double>(c->Value())) + "\n";
+  }
+  for (const auto& [name, g] : gauges) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + FormatValue(g->Value()) + "\n";
+  }
+  for (const auto& [name, fn] : callbacks) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + FormatValue(fn()) + "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string prom = PromName(name);
+    const auto counts = h->Buckets();
+    out += "# TYPE " + prom + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      cumulative += counts[i];
+      if (counts[i] == 0 && i + 1 < Histogram::kNumBuckets) continue;
+      const std::string le = i + 1 < Histogram::kNumBuckets
+                                 ? FormatValue(Histogram::BucketBound(i))
+                                 : "+Inf";
+      out += prom + "_bucket{le=\"" + le + "\"} " +
+             FormatValue(static_cast<double>(cumulative)) + "\n";
+    }
+    out += prom + "_sum " + FormatValue(h->Sum()) + "\n";
+    out += prom + "_count " + FormatValue(static_cast<double>(h->Count())) +
+           "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  const auto snapshot = Snapshot();
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + FormatValue(value);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace dgf::obs

@@ -1,0 +1,85 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+namespace dgf::obs {
+
+namespace {
+
+std::string JsonEscapeTrace(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned char>(c));
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+}  // namespace
+
+uint64_t NextTraceId() {
+  static std::atomic<uint64_t> next{
+      static_cast<uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count())
+      << 16};
+  uint64_t id;
+  do {
+    id = next.fetch_add(1, std::memory_order_relaxed) + 1;
+  } while (id == 0);
+  return id;
+}
+
+void TraceLog::Record(QueryTrace trace) {
+  if (trace.total_seconds < options_.min_seconds) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  traces_.push_back(std::move(trace));
+  while (traces_.size() > options_.capacity) traces_.pop_front();
+}
+
+std::vector<QueryTrace> TraceLog::Traces() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<QueryTrace>(traces_.rbegin(), traces_.rend());
+}
+
+std::string TraceLog::RenderJson() const {
+  const auto traces = Traces();
+  std::string out = "[";
+  for (size_t i = 0; i < traces.size(); ++i) {
+    const auto& t = traces[i];
+    if (i > 0) out += ",";
+    out += "{\"trace_id\":" + std::to_string(t.trace_id);
+    out += ",\"sql\":\"" + JsonEscapeTrace(t.sql) + "\"";
+    out += ",\"total_seconds\":" + Num(t.total_seconds);
+    out += ",\"spans\":[";
+    for (size_t j = 0; j < t.spans.size(); ++j) {
+      const auto& s = t.spans[j];
+      if (j > 0) out += ",";
+      out += "{\"name\":\"" + JsonEscapeTrace(s.name) + "\"";
+      out += ",\"start_s\":" + Num(s.start_seconds);
+      out += ",\"duration_s\":" + Num(s.duration_seconds) + "}";
+    }
+    out += "]}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace dgf::obs

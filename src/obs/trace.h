@@ -1,0 +1,66 @@
+#ifndef DGF_OBS_TRACE_H_
+#define DGF_OBS_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dgf::obs {
+
+/// One timed phase of a query, offsets in seconds from the query's start.
+/// Carried inside QueryStats across the wire: a coordinator prefixes the
+/// spans a shard returns with `shard<N>.` and rebases their starts onto its
+/// own clock, so a cross-shard trace reads as one timeline.
+struct SpanTiming {
+  std::string name;
+  double start_seconds = 0;
+  double duration_seconds = 0;
+};
+
+/// A completed query's trace as kept by the /trace ring buffer.
+struct QueryTrace {
+  uint64_t trace_id = 0;
+  std::string sql;
+  double total_seconds = 0;
+  std::vector<SpanTiming> spans;
+};
+
+/// Fresh process-unique trace id: services assign one when a request arrives
+/// without (wire trace_id 0), so a trace exists whether or not the client
+/// asked for it. Seeded from the clock so ids from coordinator and shards
+/// don't collide visually in logs.
+uint64_t NextTraceId();
+
+/// Bounded ring of recently completed query traces, served at /trace.
+/// Records are mutex-guarded but queries only touch it once at completion,
+/// so it is nowhere near any hot path.
+class TraceLog {
+ public:
+  struct Options {
+    size_t capacity = 64;
+    /// Only queries at least this slow are kept (0 keeps everything).
+    double min_seconds = 0;
+  };
+
+  TraceLog() : TraceLog(Options{}) {}
+  explicit TraceLog(Options options) : options_(options) {}
+
+  void Record(QueryTrace trace);
+
+  /// Most recent first.
+  std::vector<QueryTrace> Traces() const;
+
+  /// JSON array of traces, most recent first.
+  std::string RenderJson() const;
+
+ private:
+  Options options_;
+  mutable std::mutex mu_;
+  std::deque<QueryTrace> traces_;
+};
+
+}  // namespace dgf::obs
+
+#endif  // DGF_OBS_TRACE_H_

@@ -364,6 +364,14 @@ Result<QueryResult> QueryExecutor::Execute(const Query& query,
     result->stats.wall_seconds = wall.ElapsedSeconds();
     result->stats.total_seconds =
         result->stats.index_seconds + result->stats.data_seconds;
+    if (options_.metrics != nullptr && result->stats.records_read > 0) {
+      // Observed selectivity (matched / read). A distribution skewing toward
+      // 1.0 on the DGF path means boundary slices are tight; mass near 0
+      // flags over-wide cells — the adaptive-grid maintenance signal.
+      options_.metrics->GetHistogram("query.selectivity")
+          ->Observe(static_cast<double>(result->stats.records_matched) /
+                    static_cast<double>(result->stats.records_read));
+    }
   }
   return result;
 }
@@ -397,6 +405,14 @@ Result<QueryResult> QueryExecutor::ExecuteDgf(TableState* state,
       core::DgfIndex::CoversAggregations(*snap.aggs, plan.physical);
 
   DGF_ASSIGN_OR_RETURN(auto lookup, index->Lookup(snap, query.where, agg_path));
+  if (options_.metrics != nullptr) {
+    // Per-query-box GFU classification totals: a rising boundary/inner ratio
+    // is the signal the grid is too coarse for the workload's query boxes.
+    options_.metrics->GetCounter("gfu.inner_accesses")
+        ->Increment(lookup.inner_gfus);
+    options_.metrics->GetCounter("gfu.boundary_accesses")
+        ->Increment(lookup.boundary_gfus);
+  }
 
   ScanInputs inputs;
   inputs.scan_desc = index->DataDesc();

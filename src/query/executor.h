@@ -13,6 +13,8 @@
 #include "exec/mapreduce.h"
 #include "index/bitmap_index.h"
 #include "index/compact_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/query.h"
 #include "table/table.h"
 
@@ -52,6 +54,12 @@ struct QueryStats {
   double total_seconds = 0.0;
   /// Real elapsed time on this machine.
   double wall_seconds = 0.0;
+  /// Distributed trace: the id travels with the query (coordinator -> shard
+  /// sub-queries share their parent's id) and each hop appends its timed
+  /// spans. Both ride the wire as optional trailing fields of the QUERY
+  /// frames, so old peers interoperate.
+  uint64_t trace_id = 0;
+  std::vector<obs::SpanTiming> spans;
 };
 
 /// One executed query: output rows plus accounting.
@@ -77,6 +85,9 @@ class QueryExecutor {
     /// Split size for data scans (0 = DFS block size).
     uint64_t split_size = 0;
     int group_by_reducers = 8;
+    /// Optional: per-GFU access totals and per-query selectivity land here
+    /// (the feeder for adaptive grid maintenance). Borrowed; may be null.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   explicit QueryExecutor(Options options) : options_(std::move(options)) {}

@@ -192,20 +192,24 @@ Result<Response> ServerClient::Call(Request request) {
 }
 
 Result<Response> ServerClient::Query(const std::string& sql,
-                                     double deadline_seconds) {
+                                     double deadline_seconds,
+                                     uint64_t trace_id) {
   Request request;
   request.opcode = Opcode::kQuery;
   request.query.sql = sql;
   request.query.deadline_seconds = deadline_seconds;
+  request.query.trace_id = trace_id;
   return Call(std::move(request));
 }
 
 Result<uint64_t> ServerClient::StartQuery(const std::string& sql,
-                                          double deadline_seconds) {
+                                          double deadline_seconds,
+                                          uint64_t trace_id) {
   Request request;
   request.opcode = Opcode::kQuery;
   request.query.sql = sql;
   request.query.deadline_seconds = deadline_seconds;
+  request.query.trace_id = trace_id;
   return Send(std::move(request));
 }
 

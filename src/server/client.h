@@ -38,12 +38,16 @@ class ServerClient {
 
   /// Runs one SQL query; `deadline_seconds` <= 0 means no deadline. The
   /// returned response carries the wire code (check `ok()` /
-  /// ResponseStatus) plus schema, rows and stats on success.
-  Result<Response> Query(const std::string& sql, double deadline_seconds = 0);
+  /// ResponseStatus) plus schema, rows and stats on success. `trace_id`
+  /// joins the query to a distributed trace (0 lets the server assign one;
+  /// the id used comes back in the response stats).
+  Result<Response> Query(const std::string& sql, double deadline_seconds = 0,
+                         uint64_t trace_id = 0);
 
   /// Sends a QUERY without waiting; returns its request id for Await/Cancel.
   Result<uint64_t> StartQuery(const std::string& sql,
-                              double deadline_seconds = 0);
+                              double deadline_seconds = 0,
+                              uint64_t trace_id = 0);
   /// Sends a CANCEL for `target_request_id`; returns the cancel's own id.
   Result<uint64_t> StartCancel(uint64_t target_request_id);
   /// Blocks until the response for `request_id` arrives.

@@ -39,26 +39,40 @@ std::string TableAfterKeyword(std::string_view sql, std::string_view kw) {
   return std::string();
 }
 
-namespace {
-
-double Percentile(std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0;
-  const double rank = p * static_cast<double>(sorted.size() - 1);
-  const auto lo = static_cast<size_t>(rank);
-  const size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
-}
-
-}  // namespace
-
 QueryService::QueryService(Options options)
     : options_(std::move(options)),
       pool_(std::max(1, options_.max_concurrent)) {
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  c_admitted_ = metrics_->GetCounter("queries.admitted");
+  c_served_ = metrics_->GetCounter("queries.served");
+  c_rejected_ = metrics_->GetCounter("queries.rejected");
+  c_cancelled_ = metrics_->GetCounter("queries.cancelled");
+  c_deadline_exceeded_ = metrics_->GetCounter("queries.deadline_exceeded");
+  c_failed_ = metrics_->GetCounter("queries.failed");
+  c_appends_ = metrics_->GetCounter("appends.batches");
+  c_rows_appended_ = metrics_->GetCounter("appends.rows");
+  c_append_flushes_ = metrics_->GetCounter("appends.flushes");
+  g_append_staging_s_ = metrics_->GetGauge("appends.staging_s");
+  g_append_reorg_s_ = metrics_->GetGauge("appends.reorg_s");
+  c_cache_hits_ = metrics_->GetCounter("cache.hits");
+  c_cache_misses_ = metrics_->GetCounter("cache.misses");
+  c_records_read_ = metrics_->GetCounter("scan.records_read");
+  latency_ = metrics_->GetHistogram("latency");
+  metrics_->SetCallback("queries.in_flight", [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<double>(in_flight_);
+  });
+
   query::QueryExecutor::Options exec_options;
   exec_options.dfs = options_.dfs;
   exec_options.split_size = options_.split_size;
   exec_options.worker_threads = std::max(1, options_.query_worker_threads);
+  exec_options.metrics = metrics_;
   executor_ = std::make_unique<query::QueryExecutor>(exec_options);
 }
 
@@ -98,67 +112,76 @@ Result<query::Query> QueryService::Parse(const std::string& sql) const {
 }
 
 Status QueryService::SubmitQuery(uint64_t request_id, std::string sql,
-                                 double deadline_seconds, QueryDone done) {
+                                 double deadline_seconds, uint64_t trace_id,
+                                 QueryDone done) {
   auto token = std::make_shared<CancelToken>();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (draining_) {
-      ++rejected_;
+      c_rejected_->Increment();
       return Status::Unavailable("server is draining");
     }
     if (in_flight_ >= options_.max_concurrent + options_.max_pending) {
-      ++rejected_;
+      c_rejected_->Increment();
       return Status::Unavailable(
           "admission queue full (" + std::to_string(in_flight_) +
           " in flight)");
     }
     if (!tokens_.emplace(request_id, token).second) {
-      ++rejected_;
+      c_rejected_->Increment();
       return Status::InvalidArgument("duplicate in-flight request id");
     }
     ++in_flight_;
-    ++admitted_;
+    c_admitted_->Increment();
   }
   if (deadline_seconds > 0) token->SetDeadlineAfter(deadline_seconds);
-  pool_.Submit([this, request_id, sql = std::move(sql), token,
-                done = std::move(done)]() mutable {
-    RunQuery(request_id, std::move(sql), std::move(token), std::move(done));
+  // `queued` starts here; its reading when the worker dequeues the query is
+  // the admission-wait span of the trace.
+  Stopwatch queued;
+  pool_.Submit([this, request_id, sql = std::move(sql), trace_id, queued,
+                token, done = std::move(done)]() mutable {
+    RunQuery(request_id, std::move(sql), trace_id, queued, std::move(token),
+             std::move(done));
   });
   return Status::OK();
 }
 
 void QueryService::RunQuery(uint64_t request_id, std::string sql,
+                            uint64_t trace_id, Stopwatch queued,
                             std::shared_ptr<CancelToken> token,
                             QueryDone done) {
+  if (trace_id == 0) trace_id = obs::NextTraceId();
+  const double wait_seconds = queued.ElapsedSeconds();
   Stopwatch wall;
   Result<query::QueryResult> result = [&]() -> Result<query::QueryResult> {
     DGF_ASSIGN_OR_RETURN(query::Query q, Parse(sql));
     return executor_->Execute(q, std::nullopt, token.get());
   }();
+  const double exec_seconds = wall.ElapsedSeconds();
+  if (result.ok()) {
+    result->stats.trace_id = trace_id;
+    result->stats.spans.insert(
+        result->stats.spans.begin(),
+        {{"admission_wait", 0.0, wait_seconds},
+         {"execute", wait_seconds, exec_seconds}});
+    trace_log_.Record({trace_id, sql, wait_seconds + exec_seconds,
+                       result->stats.spans});
+    c_served_->Increment();
+    c_cache_hits_->Increment(result->stats.cache_hits);
+    c_cache_misses_->Increment(result->stats.cache_misses);
+    c_records_read_->Increment(result->stats.records_read);
+  } else if (result.status().IsCancelled()) {
+    c_cancelled_->Increment();
+  } else if (result.status().IsDeadlineExceeded()) {
+    c_deadline_exceeded_->Increment();
+  } else {
+    c_failed_->Increment();
+  }
+  latency_->Observe(exec_seconds);
   {
     std::lock_guard<std::mutex> lock(mu_);
     tokens_.erase(request_id);
     --in_flight_;
-    if (result.ok()) {
-      ++served_;
-      cache_hits_ += result->stats.cache_hits;
-      cache_misses_ += result->stats.cache_misses;
-      records_read_ += result->stats.records_read;
-    } else if (result.status().IsCancelled()) {
-      ++cancelled_;
-    } else if (result.status().IsDeadlineExceeded()) {
-      ++deadline_exceeded_;
-    } else {
-      ++failed_;
-    }
-    const double seconds = wall.ElapsedSeconds();
-    if (latencies_.size() < kLatencyWindow) {
-      latencies_.push_back(seconds);
-    } else {
-      latencies_[latency_next_] = seconds;
-      latency_next_ = (latency_next_ + 1) % kLatencyWindow;
-    }
-    ++latency_total_;
     if (in_flight_ == 0) drained_.notify_all();
   }
   done(std::move(result));
@@ -201,8 +224,8 @@ Result<uint64_t> QueryService::Append(const std::string& table,
     // Appends are admitted even while draining (they are the background
     // load the drain is waiting out queries against), but still count.
     std::unique_lock<std::mutex> lock(mu_);
-    ++appends_;
-    rows_appended_ += rows.size();
+    c_appends_->Increment();
+    c_rows_appended_->Increment(rows.size());
     if (entry.open_group == nullptr) {
       entry.open_group = std::make_shared<AppendGroup>();
     }
@@ -237,11 +260,10 @@ Result<uint64_t> QueryService::Append(const std::string& table,
   Stopwatch staging_watch;
   table::TableDesc batch;
   Status flushed = StageAppendGroup(entry, batch_id, group->rows, &batch);
-  const double staging_seconds = staging_watch.ElapsedSeconds();
+  g_append_staging_s_->Add(staging_watch.ElapsedSeconds());
   {
     std::lock_guard<std::mutex> lock(mu_);
     entry.staging = false;
-    append_staging_seconds_ += staging_seconds;
   }
   // Staging is free again: wake the next group's leader so it stages while
   // we wait for our publish turn below.
@@ -256,9 +278,7 @@ Result<uint64_t> QueryService::Append(const std::string& table,
     }
     Stopwatch reorg_watch;
     flushed = ReorganizeAppendBatch(entry, batch);
-    const double reorg_seconds = reorg_watch.ElapsedSeconds();
-    std::lock_guard<std::mutex> lock(mu_);
-    append_reorg_seconds_ += reorg_seconds;
+    g_append_reorg_s_->Add(reorg_watch.ElapsedSeconds());
   } else {
     // The turn must still be claimed, or every later batch deadlocks.
     std::unique_lock<std::mutex> lock(mu_);
@@ -269,7 +289,7 @@ Result<uint64_t> QueryService::Append(const std::string& table,
     group->done = true;
     group->status = flushed;
     entry.publish_turn = batch_id + 1;
-    ++append_flushes_;
+    c_append_flushes_->Increment();
   }
   append_cv_.notify_all();
   DGF_RETURN_IF_ERROR(flushed);
@@ -305,43 +325,47 @@ Status QueryService::ReorganizeAppendBatch(const TableEntry& entry,
   // One slice file per flush: the whole group extends the index by a single
   // data-file write, whatever the group's size.
   job.num_reducers = 1;
-  return core::DgfBuilder::Append(entry.dgf, batch, job, options_.split_size)
-      .status();
+  auto appended =
+      core::DgfBuilder::Append(entry.dgf, batch, job, options_.split_size);
+  if (appended.ok()) {
+    // Surface the builder's per-stage timers (map/shuffle/publish/...) as
+    // cumulative gauges, so a scrape shows where append time goes.
+    for (const auto& [stage, seconds] : appended->stage_seconds.Sorted()) {
+      metrics_->GetGauge("build." + stage + "_s")->Add(seconds);
+    }
+  }
+  return appended.status();
 }
 
 std::vector<std::pair<std::string, double>> QueryService::StatsSnapshot()
     const {
-  std::vector<std::pair<std::string, double>> out;
-  std::vector<double> window;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    out.emplace_back("queries.admitted", static_cast<double>(admitted_));
-    out.emplace_back("queries.served", static_cast<double>(served_));
-    out.emplace_back("queries.rejected", static_cast<double>(rejected_));
-    out.emplace_back("queries.cancelled", static_cast<double>(cancelled_));
-    out.emplace_back("queries.deadline_exceeded",
-                     static_cast<double>(deadline_exceeded_));
-    out.emplace_back("queries.failed", static_cast<double>(failed_));
-    out.emplace_back("queries.in_flight", static_cast<double>(in_flight_));
-    out.emplace_back("appends.batches", static_cast<double>(appends_));
-    out.emplace_back("appends.rows", static_cast<double>(rows_appended_));
-    out.emplace_back("appends.flushes", static_cast<double>(append_flushes_));
-    out.emplace_back("appends.staging_s", append_staging_seconds_);
-    out.emplace_back("appends.reorg_s", append_reorg_seconds_);
-    out.emplace_back("cache.hits", static_cast<double>(cache_hits_));
-    out.emplace_back("cache.misses", static_cast<double>(cache_misses_));
-    const double lookups = static_cast<double>(cache_hits_ + cache_misses_);
-    out.emplace_back("cache.hit_rate",
-                     lookups > 0 ? static_cast<double>(cache_hits_) / lookups
-                                 : 0.0);
-    out.emplace_back("scan.records_read", static_cast<double>(records_read_));
-    out.emplace_back("latency.samples", static_cast<double>(latency_total_));
-    window = latencies_;
+  return StatsFromRegistry(metrics_);
+}
+
+std::vector<std::pair<std::string, double>> StatsFromRegistry(
+    const obs::MetricsRegistry* metrics) {
+  auto out = metrics->Snapshot();
+  // Legacy aliases: the snapshot already carries the raw series
+  // (cache.hits/misses, latency.count/.p50...in seconds); these derived
+  // names predate the registry and stay for dashboards and tests.
+  double hits = 0;
+  double misses = 0;
+  double p50 = 0, p95 = 0, p99 = 0, samples = 0;
+  for (const auto& [name, value] : out) {
+    if (name == "cache.hits") hits = value;
+    if (name == "cache.misses") misses = value;
+    if (name == "latency.count") samples = value;
+    if (name == "latency.p50") p50 = value;
+    if (name == "latency.p95") p95 = value;
+    if (name == "latency.p99") p99 = value;
   }
-  std::sort(window.begin(), window.end());
-  out.emplace_back("latency.p50_ms", Percentile(window, 0.50) * 1e3);
-  out.emplace_back("latency.p95_ms", Percentile(window, 0.95) * 1e3);
-  out.emplace_back("latency.p99_ms", Percentile(window, 0.99) * 1e3);
+  const double lookups = hits + misses;
+  out.emplace_back("cache.hit_rate", lookups > 0 ? hits / lookups : 0.0);
+  out.emplace_back("latency.samples", samples);
+  out.emplace_back("latency.p50_ms", p50 * 1e3);
+  out.emplace_back("latency.p95_ms", p95 * 1e3);
+  out.emplace_back("latency.p99_ms", p99 * 1e3);
+  std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -13,9 +13,12 @@
 
 #include "common/cancel.h"
 #include "common/result.h"
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "dgf/dgf_index.h"
 #include "fs/mini_dfs.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/executor.h"
 #include "server/service_interface.h"
 
@@ -27,6 +30,13 @@ namespace dgf::server {
 /// coordinator) peek at the table names first.
 std::string TableAfterKeyword(std::string_view sql, std::string_view kw);
 
+/// Registry snapshot plus the legacy derived series (cache.hit_rate,
+/// latency.samples, latency.p50_ms/p95_ms/p99_ms) predating the registry.
+/// Shared by QueryService and the coordinator so both STATS surfaces keep
+/// the same name shape.
+std::vector<std::pair<std::string, double>> StatsFromRegistry(
+    const obs::MetricsRegistry* metrics);
+
 /// The server-side query engine: a catalog of tables and indexes, a worker
 /// pool bounding query concurrency, admission control bounding the pending
 /// queue, and per-query cancellation tokens.
@@ -37,6 +47,11 @@ std::string TableAfterKeyword(std::string_view sql, std::string_view kw);
 /// one index epoch), so concurrent queries and appends never tear a result.
 /// Appends serialize on the target index's mutation lock inside
 /// DgfBuilder::Append.
+///
+/// Observability: every counter lives in an obs::MetricsRegistry (injected
+/// via Options, or a private one), latencies feed a log-bucketed histogram,
+/// and each query leaves a trace (admission wait + execution spans) in the
+/// /trace ring buffer.
 class QueryService : public WireService {
  public:
   struct Options {
@@ -49,6 +64,12 @@ class QueryService : public WireService {
     /// Threads inside each query's scan job.
     int query_worker_threads = 2;
     uint64_t split_size = 0;
+    /// Registry the service's metrics land in. Null gives the service a
+    /// private registry (tests build many services in one process; merging
+    /// their counters into one Default() would make assertions racy).
+    /// dgf_serverd passes obs::MetricsRegistry::Default() so the HTTP
+    /// exporter sees everything.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   explicit QueryService(Options options);
@@ -68,9 +89,10 @@ class QueryService : public WireService {
   /// OK and later invokes `done` exactly once on a worker thread; on
   /// rejection (queue full, or draining) returns Unavailable without ever
   /// calling `done`. `request_id` keys cancellation and must be unique among
-  /// in-flight queries of this service.
+  /// in-flight queries of this service. `trace_id` 0 assigns a fresh one.
   Status SubmitQuery(uint64_t request_id, std::string sql,
-                     double deadline_seconds, QueryDone done) override;
+                     double deadline_seconds, uint64_t trace_id,
+                     QueryDone done) override;
 
   /// Trips the cancel token of an in-flight query. False when no query with
   /// that id is in flight (already finished, or never admitted).
@@ -92,9 +114,9 @@ class QueryService : public WireService {
   Result<uint64_t> Append(const std::string& table,
                           const std::vector<std::string>& rows) override;
 
-  /// Counter snapshot for the STATS opcode: admission/outcome counters,
-  /// latency percentiles over a sliding window, and cumulative cache and
-  /// scan-volume totals.
+  /// Counter snapshot for the STATS opcode: the registry's snapshot plus
+  /// the legacy aliases (cache.hit_rate, latency.samples, latency.p*_ms)
+  /// older dashboards and the tests key on.
   std::vector<std::pair<std::string, double>> StatsSnapshot() const override;
 
   /// Stops admitting queries (new submissions get Unavailable).
@@ -103,6 +125,11 @@ class QueryService : public WireService {
   void Drain() override;
 
   query::QueryExecutor* executor() { return executor_.get(); }
+  /// The registry this service reports into (Options.metrics or the private
+  /// one) — what an HTTP exporter should serve.
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+  /// Ring buffer of recent query traces, for the /trace endpoint.
+  obs::TraceLog* trace_log() { return &trace_log_; }
 
  private:
   /// One group-commit unit: the concatenated rows of every Append call that
@@ -133,8 +160,11 @@ class QueryService : public WireService {
     int publish_turn = 0;
   };
 
-  void RunQuery(uint64_t request_id, std::string sql,
-                std::shared_ptr<CancelToken> token, QueryDone done);
+  /// `queued` was started at admission: its elapsed time when the worker
+  /// picks the query up is the admission-wait span.
+  void RunQuery(uint64_t request_id, std::string sql, uint64_t trace_id,
+                Stopwatch queued, std::shared_ptr<CancelToken> token,
+                QueryDone done);
   Result<query::Query> Parse(const std::string& sql) const;
   /// Pipeline stage 1 of a group commit: writes `rows` as batch table
   /// `batch_id` (no index state touched, so it overlaps the previous
@@ -149,9 +179,13 @@ class QueryService : public WireService {
                                const table::TableDesc& batch);
 
   Options options_;
+  /// Backing storage when Options.metrics is null.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   std::unique_ptr<query::QueryExecutor> executor_;
   std::map<std::string, TableEntry> catalog_;
   ThreadPool pool_;
+  obs::TraceLog trace_log_;
 
   mutable std::mutex mu_;
   std::condition_variable drained_;
@@ -159,36 +193,34 @@ class QueryService : public WireService {
   /// leadership of the open group becomes available.
   std::condition_variable append_cv_;
   bool draining_ = false;
-  /// Admitted queries not yet completed (queued + running).
+  /// Admitted queries not yet completed (queued + running). Guarded by mu_
+  /// (it gates admission); mirrored into the registry via a callback gauge.
   int in_flight_ = 0;
   std::map<uint64_t, std::shared_ptr<CancelToken>> tokens_;
 
-  // Outcome counters (guarded by mu_; query rates are far below lock cost).
-  uint64_t admitted_ = 0;
-  uint64_t served_ = 0;
-  uint64_t rejected_ = 0;
-  uint64_t cancelled_ = 0;
-  uint64_t deadline_exceeded_ = 0;
-  uint64_t failed_ = 0;
-  uint64_t appends_ = 0;
-  uint64_t rows_appended_ = 0;
-  /// Group-commit flushes (<= appends_; the gap is the batching win).
-  uint64_t append_flushes_ = 0;
+  // Registry-backed counters, resolved once in the constructor; increments
+  // are relaxed atomics, so none of them need mu_.
+  obs::Counter* c_admitted_ = nullptr;
+  obs::Counter* c_served_ = nullptr;
+  obs::Counter* c_rejected_ = nullptr;
+  obs::Counter* c_cancelled_ = nullptr;
+  obs::Counter* c_deadline_exceeded_ = nullptr;
+  obs::Counter* c_failed_ = nullptr;
+  obs::Counter* c_appends_ = nullptr;
+  obs::Counter* c_rows_appended_ = nullptr;
+  /// Group-commit flushes (<= appends; the gap is the batching win).
+  obs::Counter* c_append_flushes_ = nullptr;
   /// Cumulative wall seconds the append pipeline spent per stage. Staging
   /// overlaps the previous group's reorganize, so under load the two sums
   /// together exceeding the end-to-end append wall time is the direct
   /// evidence the double buffer overlaps.
-  double append_staging_seconds_ = 0;
-  double append_reorg_seconds_ = 0;
-  uint64_t cache_hits_ = 0;
-  uint64_t cache_misses_ = 0;
-  uint64_t records_read_ = 0;
-
-  /// Sliding latency window feeding the STATS percentiles.
-  static constexpr size_t kLatencyWindow = 4096;
-  std::vector<double> latencies_;
-  size_t latency_next_ = 0;
-  uint64_t latency_total_ = 0;
+  obs::Gauge* g_append_staging_s_ = nullptr;
+  obs::Gauge* g_append_reorg_s_ = nullptr;
+  obs::Counter* c_cache_hits_ = nullptr;
+  obs::Counter* c_cache_misses_ = nullptr;
+  obs::Counter* c_records_read_ = nullptr;
+  /// Query wall-time histogram (seconds); replaces the old sliding window.
+  obs::Histogram* latency_ = nullptr;
 };
 
 }  // namespace dgf::server

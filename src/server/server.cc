@@ -167,6 +167,7 @@ bool Server::HandleRequest(const std::shared_ptr<Connection>& conn,
       // is kept alive by the shared_ptr captured here.
       Status admitted = service->SubmitQuery(
           service_id, request.query.sql, request.query.deadline_seconds,
+          request.query.trace_id,
           [this, conn, id](Result<query::QueryResult> result) {
             {
               std::lock_guard<std::mutex> lock(conn->inflight_mu);

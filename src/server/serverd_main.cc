@@ -33,6 +33,15 @@
 //   dgf_cli --port=4642 shutdown      # primary endpoint dies; the daemon
 //                                     # keeps serving the replica endpoint
 //
+// Observability: `--http-port=P` (0 = ephemeral, printed at startup) serves
+// GET /metrics (Prometheus text), /stats (JSON), /trace (recent query
+// traces), and /healthz on 127.0.0.1 — works in both shard and coordinator
+// mode, so every process of a cluster exports its own metrics:
+//
+//   dgf_serverd --port=4642 --http-port=9642 ... &
+//   dgf_serverd --coordinator --port=4641 --http-port=9641 ...
+//   curl -s 127.0.0.1:9641/metrics | grep dgf_coord
+//
 // World shape flags: --users, --days, --regions, --start-day. Service
 // flags: --max-concurrent, --max-pending.
 
@@ -50,6 +59,8 @@
 #include "coord/shard_map.h"
 #include "dgf/dgf_builder.h"
 #include "kv/mem_kv.h"
+#include "obs/http_exporter.h"
+#include "obs/metrics.h"
 #include "server/client.h"
 #include "server/query_service.h"
 #include "server/server.h"
@@ -74,6 +85,10 @@ struct Flags {
   /// > 0: also serve the same QueryService on this second port (the shard's
   /// replica endpoint a coordinator can fail reads over to).
   int replica_port = 0;
+  /// >= 0: serve the HTTP observability endpoints (/metrics, /stats, /trace,
+  /// /healthz) on this port (0 picks an ephemeral one, printed at startup).
+  /// < 0 (default): no HTTP exporter.
+  int http_port = -1;
   bool coordinator = false;
   std::vector<coord::ShardEndpoint> shards;
   std::vector<int64_t> cuts;
@@ -211,6 +226,57 @@ int RunSmoke() {
   return 0;
 }
 
+/// Bridges the served world's pre-existing atomic totals (DFS byte/failover
+/// counters, the index's decoded-GFU cache totals) into `registry` as
+/// snapshot-time callback gauges, so /metrics covers the whole process, not
+/// just what the services record directly.
+void RegisterWorldGauges(obs::MetricsRegistry* registry,
+                         const DemoWorld& world) {
+  const auto dfs = world.dfs;
+  registry->SetCallback("fs.bytes_written", [dfs] {
+    return static_cast<double>(dfs->TotalBytesWritten());
+  });
+  registry->SetCallback("fs.replica_bytes_written", [dfs] {
+    return static_cast<double>(dfs->TotalReplicaBytesWritten());
+  });
+  registry->SetCallback("fs.bytes_read", [dfs] {
+    return static_cast<double>(dfs->TotalBytesRead());
+  });
+  registry->SetCallback("fs.pread_calls", [dfs] {
+    return static_cast<double>(dfs->TotalPreadCalls());
+  });
+  registry->SetCallback("fs.read_failovers", [dfs] {
+    return static_cast<double>(dfs->TotalReadFailovers());
+  });
+  registry->SetCallback("fs.checksum_failures", [dfs] {
+    return static_cast<double>(dfs->TotalChecksumFailures());
+  });
+  const core::DgfIndex* dgf = world.dgf.get();  // lives as long as the daemon
+  registry->SetCallback("index.cache_hits_total", [dgf] {
+    return static_cast<double>(dgf->cumulative_cache_hits());
+  });
+  registry->SetCallback("index.cache_misses_total", [dgf] {
+    return static_cast<double>(dgf->cumulative_cache_misses());
+  });
+}
+
+/// Starts the HTTP observability endpoint when --http-port was given.
+/// Returns null (success) when it was not.
+Result<std::unique_ptr<obs::HttpExporter>> MaybeStartExporter(
+    const Flags& flags, obs::MetricsRegistry* registry,
+    obs::TraceLog* trace_log) {
+  if (flags.http_port < 0) return std::unique_ptr<obs::HttpExporter>();
+  obs::HttpExporter::Options options;
+  options.port = flags.http_port;
+  options.registry = registry;
+  options.trace_log = trace_log;
+  DGF_ASSIGN_OR_RETURN(auto exporter, obs::HttpExporter::Start(options));
+  std::printf("dgf_serverd: http observability on 127.0.0.1:%d "
+              "(/metrics /stats /trace /healthz)\n",
+              exporter->port());
+  return exporter;
+}
+
 int RunServer(const Flags& flags) {
   auto world = BuildDemoWorld(flags);
   if (!world.ok()) {
@@ -222,10 +288,19 @@ int RunServer(const Flags& flags) {
   service_options.dfs = (*world)->dfs;
   service_options.max_concurrent = flags.max_concurrent;
   service_options.max_pending = flags.max_pending;
+  service_options.metrics = obs::MetricsRegistry::Default();
   QueryService service(service_options);
   service.RegisterTable((*world)->meter);
   service.RegisterTable((*world)->user_info);
   service.RegisterDgfIndex((*world)->meter.name, (*world)->dgf.get());
+  RegisterWorldGauges(service.metrics(), **world);
+  auto exporter =
+      MaybeStartExporter(flags, service.metrics(), service.trace_log());
+  if (!exporter.ok()) {
+    std::fprintf(stderr, "dgf_serverd: http exporter: %s\n",
+                 exporter.status().ToString().c_str());
+    return 1;
+  }
 
   Server::Options server_options;
   server_options.service = &service;
@@ -329,12 +404,20 @@ int RunCoordinator(const Flags& flags) {
   options.replicas = flags.replicas;
   options.max_concurrent = flags.max_concurrent;
   options.max_pending = flags.max_pending;
+  options.metrics = obs::MetricsRegistry::Default();
   coord::Coordinator coordinator(std::move(options));
   coordinator.RegisterTable(table::TableDesc{
       "meterdata", workload::MeterSchema(config), table::FileFormat::kText,
       ""});
   coordinator.RegisterTable(table::TableDesc{
       "userinfo", workload::UserInfoSchema(), table::FileFormat::kText, ""});
+  auto exporter = MaybeStartExporter(flags, coordinator.metrics(),
+                                     coordinator.trace_log());
+  if (!exporter.ok()) {
+    std::fprintf(stderr, "dgf_serverd: http exporter: %s\n",
+                 exporter.status().ToString().c_str());
+    return 1;
+  }
 
   Server::Options server_options;
   server_options.service = &coordinator;
@@ -434,6 +517,8 @@ int Main(int argc, char** argv) {
       }
     } else if (ParseFlag(argv[i], "--replica-port", &value)) {
       flags.replica_port = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--http-port", &value)) {
+      flags.http_port = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "--max-concurrent", &value)) {
       flags.max_concurrent = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "--max-pending", &value)) {

@@ -28,9 +28,13 @@ class WireService {
   /// OK and later invokes `done` exactly once on a worker thread; on
   /// rejection (queue full, or draining) returns Unavailable without ever
   /// calling `done`. `request_id` keys cancellation and must be unique among
-  /// in-flight queries of this service.
+  /// in-flight queries of this service. `trace_id` joins this execution to a
+  /// distributed trace (a coordinator passes its own id down to shard
+  /// sub-queries); 0 makes the service assign a fresh one, reported back in
+  /// the result's QueryStats.
   virtual Status SubmitQuery(uint64_t request_id, std::string sql,
-                             double deadline_seconds, QueryDone done) = 0;
+                             double deadline_seconds, uint64_t trace_id,
+                             QueryDone done) = 0;
 
   /// Trips the cancel token of an in-flight query. False when no query with
   /// that id is in flight (already finished, or never admitted).

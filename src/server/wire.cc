@@ -59,6 +59,17 @@ void EncodeQueryStats(std::string* dst, const query::QueryStats& stats) {
   PutDouble(dst, stats.data_seconds);
   PutDouble(dst, stats.total_seconds);
   PutDouble(dst, stats.wall_seconds);
+  // Trace tail. Stats are the last field of a QUERY response, so a decoder
+  // that predates tracing treats these bytes as trailing garbage and rejects
+  // the frame — acceptable, since both ends of a cluster upgrade together —
+  // while THIS decoder accepts old frames that simply stop above.
+  PutFixed64(dst, stats.trace_id);
+  PutVarint64(dst, stats.spans.size());
+  for (const obs::SpanTiming& span : stats.spans) {
+    PutLengthPrefixed(dst, span.name);
+    PutDouble(dst, span.start_seconds);
+    PutDouble(dst, span.duration_seconds);
+  }
 }
 
 Result<query::QueryStats> DecodeQueryStats(std::string_view* input) {
@@ -80,6 +91,25 @@ Result<query::QueryStats> DecodeQueryStats(std::string_view* input) {
   DGF_ASSIGN_OR_RETURN(stats.data_seconds, GetDouble(input));
   DGF_ASSIGN_OR_RETURN(stats.total_seconds, GetDouble(input));
   DGF_ASSIGN_OR_RETURN(stats.wall_seconds, GetDouble(input));
+  // Optional trace tail: pre-tracing frames end here.
+  if (!input->empty()) {
+    DGF_ASSIGN_OR_RETURN(stats.trace_id, GetFixed64(input));
+    DGF_ASSIGN_OR_RETURN(uint64_t n, GetVarint64(input));
+    // Each span costs at least 17 bytes (length prefix + two fixed64
+    // doubles); bound before reserving, as with row counts.
+    if (n > input->size() / 17) {
+      return Status::Corruption("absurd span count");
+    }
+    stats.spans.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      obs::SpanTiming span;
+      DGF_ASSIGN_OR_RETURN(std::string_view name, GetLengthPrefixed(input));
+      span.name = std::string(name);
+      DGF_ASSIGN_OR_RETURN(span.start_seconds, GetDouble(input));
+      DGF_ASSIGN_OR_RETURN(span.duration_seconds, GetDouble(input));
+      stats.spans.push_back(std::move(span));
+    }
+  }
   return stats;
 }
 
@@ -141,6 +171,7 @@ std::string EncodeRequest(const Request& request) {
     case Opcode::kQuery:
       PutLengthPrefixed(&body, request.query.sql);
       PutDouble(&body, request.query.deadline_seconds);
+      PutFixed64(&body, request.query.trace_id);
       break;
     case Opcode::kAppend:
       PutLengthPrefixed(&body, request.append.table);
@@ -171,6 +202,10 @@ Result<Request> DecodeRequest(std::string_view body) {
       DGF_ASSIGN_OR_RETURN(std::string_view sql, GetLengthPrefixed(&body));
       request.query.sql = std::string(sql);
       DGF_ASSIGN_OR_RETURN(request.query.deadline_seconds, GetDouble(&body));
+      // Optional trailing trace id (absent in pre-tracing frames).
+      if (!body.empty()) {
+        DGF_ASSIGN_OR_RETURN(request.query.trace_id, GetFixed64(&body));
+      }
       break;
     }
     case Opcode::kAppend: {

@@ -52,6 +52,10 @@ struct QueryRequest {
   std::string sql;
   /// Per-query time budget in seconds; <= 0 means no deadline.
   double deadline_seconds = 0;
+  /// Distributed trace id; 0 lets the service assign one. Encoded as an
+  /// optional trailing fixed64 — frames from peers that predate tracing
+  /// simply omit it, and the decoder leaves it 0.
+  uint64_t trace_id = 0;
 };
 
 struct AppendRequest {

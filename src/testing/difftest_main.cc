@@ -314,7 +314,8 @@ bool RunWire(const WireFuzzOptions& options) {
             std::to_string(report->cases_run) + " decoded=" +
             std::to_string(report->decode_ok) + " rejected=" +
             std::to_string(report->decode_error) + " live=" +
-            std::to_string(report->live_cases_run) + " failures=" +
+            std::to_string(report->live_cases_run) + " http=" +
+            std::to_string(report->http_cases_run) + " failures=" +
             std::to_string(report->failures.size()));
   for (const auto& failure : report->failures) {
     std::printf("WIRE-FUZZ FAILURE: %s\n", failure.c_str());

@@ -17,6 +17,9 @@
 #include "common/encoding.h"
 #include "common/random.h"
 #include "common/status.h"
+#include "obs/http_exporter.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/client.h"
 #include "server/server.h"
 #include "server/service_interface.h"
@@ -184,7 +187,8 @@ void MutateBytes(std::string* body, Random* rng) {
 class StubService final : public server::WireService {
  public:
   Status SubmitQuery(uint64_t /*request_id*/, std::string /*sql*/,
-                     double /*deadline_seconds*/, QueryDone done) override {
+                     double /*deadline_seconds*/, uint64_t /*trace_id*/,
+                     QueryDone done) override {
     query::QueryResult result;
     result.schema = table::Schema({{"userId", table::DataType::kInt64},
                                    {"powerConsumed", table::DataType::kDouble}});
@@ -344,6 +348,85 @@ void RunLiveCase(int port, uint64_t seed, int case_id,
   }
 }
 
+/// One hostile connection against the HTTP exporter. Acceptable outcomes:
+/// any HTTP response, or a dropped connection. Unacceptable: a crash (takes
+/// the binary down) or the exporter going unhealthy for the next client —
+/// both are checked by the clean /healthz probe the caller runs after.
+void RunHttpCase(int port, uint64_t seed, int case_id,
+                 WireFuzzReport* report) {
+  Random rng((seed ^ 0xDECAFBADULL) +
+             0x9E3779B97F4A7C15ULL * (static_cast<uint64_t>(case_id) + 1));
+  std::string payload;
+  switch (rng.Uniform(6)) {
+    case 0:  // malformed request line
+      payload = "GET\r\n\r\n";
+      break;
+    case 1: {  // request line with garbage method / missing version
+      static const char* kLines[] = {
+          "BREW /metrics HTTP/1.0\r\n\r\n", "GET  \r\n\r\n",
+          "GET /metrics\r\n\r\n", "\r\n\r\n",
+          "GET /metrics HTTP/1.0\r\nHost:\x01\x02\r\n\r\n"};
+      payload = kLines[rng.Uniform(5)];
+      break;
+    }
+    case 2: {  // header flood past the head-read budget
+      payload = "GET /metrics HTTP/1.0\r\n";
+      for (int i = 0; i < 512; ++i) {
+        payload += "X-Flood-" + std::to_string(i) + ": " +
+                   std::string(64, 'a') + "\r\n";
+      }
+      payload += "\r\n";
+      break;
+    }
+    case 3: {  // one absurdly long request line
+      payload = "GET /" + std::string(64 * 1024, 'a') + " HTTP/1.0\r\n\r\n";
+      break;
+    }
+    case 4: {  // raw binary noise, never a valid head terminator
+      const size_t n = 1 + rng.Uniform(2048);
+      for (size_t i = 0; i < n; ++i) {
+        char c = static_cast<char>(rng.Uniform(256));
+        if (c == '\n') c = 'x';  // keep it from accidentally terminating
+        payload.push_back(c);
+      }
+      break;
+    }
+    default:  // valid prefix, then the connection dies mid-request
+      payload = "GET /stats HT";
+      break;
+  }
+
+  auto fd = RawConnect(port);
+  if (!fd.ok()) {
+    report->failures.push_back("http case " + std::to_string(case_id) +
+                               ": exporter refused a new connection (" +
+                               fd.status().ToString() + ")");
+    return;
+  }
+  (void)SendAll(*fd, payload);
+  // Half the time read whatever comes back (bounded); otherwise close
+  // immediately — the early-abort client.
+  if (rng.Uniform(2) == 0) {
+    (void)server::SetRecvTimeout(*fd, 1.0);
+    char buf[1024];
+    while (::recv(*fd, buf, sizeof(buf), 0) > 0) {
+    }
+  }
+  ::close(*fd);
+  ++report->http_cases_run;
+
+  // The exporter must still serve a clean client promptly.
+  auto health = obs::HttpGet(port, "/healthz", 5.0);
+  if (!health.ok() || health->status_code != 200) {
+    report->failures.push_back(
+        "http case " + std::to_string(case_id) +
+        ": /healthz failed afterwards (" +
+        (health.ok() ? "status " + std::to_string(health->status_code)
+                     : health.status().ToString()) +
+        ")");
+  }
+}
+
 }  // namespace
 
 std::string GenerateWireFuzzBody(uint64_t seed, int case_id) {
@@ -427,6 +510,23 @@ Result<WireFuzzReport> RunWireFuzz(const WireFuzzOptions& options) {
                 repro_prefix + std::to_string(case_id), &report);
   }
   server->Shutdown();
+
+  // HTTP stage: hostile clients against the observability exporter.
+  if (options.only_case < 0 && options.num_http_cases > 0) {
+    obs::MetricsRegistry registry;
+    registry.GetCounter("fuzz.sentinel")->Increment();
+    obs::TraceLog trace_log;
+    obs::HttpExporter::Options http_options;
+    http_options.registry = &registry;
+    http_options.trace_log = &trace_log;
+    http_options.recv_timeout_seconds = 1.0;
+    DGF_ASSIGN_OR_RETURN(auto exporter,
+                         obs::HttpExporter::Start(http_options));
+    for (int case_id = 0; case_id < options.num_http_cases; ++case_id) {
+      RunHttpCase(exporter->port(), options.seed, case_id, &report);
+    }
+    exporter->Shutdown();
+  }
   return report;
 }
 

@@ -24,12 +24,20 @@ namespace dgf::testing {
 /// must answer the ping or drop the connection within a bounded wait — and
 /// afterwards a brand-new connection's PING must always succeed (one
 /// poisoned peer never wedges or kills the server).
+///
+/// HTTP stage: the same hostility against the observability exporter —
+/// malformed request lines, header floods past the head budget, raw binary
+/// noise, and connections closed mid-request. The exporter must answer each
+/// with an HTTP error or drop the connection, and a clean GET /healthz on a
+/// fresh connection must return 200 after every case.
 struct WireFuzzOptions {
   uint64_t seed = 1;
   /// Codec-stage cases.
   int num_cases = 400;
   /// Live-server cases (slower: one connection each).
   int num_live_cases = 48;
+  /// HTTP-exporter cases (one connection each).
+  int num_http_cases = 48;
   /// >= 0: run only this codec case (seed replay of one input).
   int only_case = -1;
   bool verbose = false;
@@ -40,6 +48,7 @@ struct WireFuzzReport {
   int decode_ok = 0;
   int decode_error = 0;
   int live_cases_run = 0;
+  int http_cases_run = 0;
   std::vector<std::string> failures;
 
   bool ok() const { return failures.empty(); }

@@ -292,7 +292,7 @@ TEST(CoordinatorTest, DeadEndpointFailsFastWithStructuredUnavailable) {
   Status status;
   Stopwatch elapsed;
   ASSERT_TRUE(coordinator
-                  .SubmitQuery(1, "SELECT count(*) FROM meterdata", 0,
+                  .SubmitQuery(1, "SELECT count(*) FROM meterdata", 0, 0,
                                [&](Result<query::QueryResult> result) {
                                  std::lock_guard<std::mutex> lock(mu);
                                  status = result.status();
